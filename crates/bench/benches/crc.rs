@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the CRC32 implementations (reference vs table vs
+//! slicing-by-8 vs the hardware-unit model) and the combine primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use re_crc::combine::shift_zeros_fast;
+use re_crc::units::ComputeCrcUnit;
+use re_crc::{reference, table};
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i as u32).wrapping_mul(2654435761) as u8).collect()
+}
+
+fn bench_crc_impls(c: &mut Criterion) {
+    let data = payload(64 * 1024);
+    let mut g = c.benchmark_group("crc32");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("bitwise_reference", |b| {
+        b.iter(|| reference::crc_bytes(std::hint::black_box(&data)))
+    });
+    g.bench_function("table_byte_at_a_time", |b| {
+        b.iter(|| table::update_bytes(0, std::hint::black_box(&data)))
+    });
+    g.bench_function("slicing_by_8", |b| {
+        b.iter(|| table::update_slicing8(0, std::hint::black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_hardware_unit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compute_crc_unit");
+    for len in [64usize, 144, 1024] {
+        let block = payload(len);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &block, |b, block| {
+            let mut unit = ComputeCrcUnit::new();
+            b.iter(|| unit.sign_block(std::hint::black_box(block)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    c.bench_function("shift_zeros_fast_1MiB", |b| {
+        b.iter(|| shift_zeros_fast(std::hint::black_box(0xDEAD_BEEF), 8 * 1024 * 1024))
+    });
+}
+
+criterion_group!(benches, bench_crc_impls, bench_hardware_unit, bench_combine);
+criterion_main!(benches);

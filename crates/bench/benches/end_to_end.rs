@@ -1,0 +1,27 @@
+//! End-to-end simulator throughput: full multi-technique evaluation of a
+//! handful of frames (render + 3 memory systems + signatures + analyses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use re_core::{SimOptions, Simulator};
+use re_gpu::GpuConfig;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for alias in ["ccs", "ter"] {
+        g.bench_function(format!("run_4_frames_{alias}"), |b| {
+            b.iter(|| {
+                let mut bench = re_workloads::by_alias(alias).expect("alias exists");
+                let mut sim = Simulator::new(SimOptions {
+                    gpu: GpuConfig { width: 256, height: 160, tile_size: 16, ..Default::default() },
+                    ..SimOptions::default()
+                });
+                sim.run(bench.scene.as_mut(), 4)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

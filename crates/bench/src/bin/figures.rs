@@ -1,0 +1,132 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! figures [--fast] [--frames N] [--width W] [--height H] [all | <targets…>]
+//!
+//! targets: table1 table2 fig1 fig2 fig14a fig14b fig15a fig15b fig16
+//!          fig17a fig17b sigcycles summary hashes otdepth subblock
+//!          tilesize buffering
+//! ```
+//!
+//! With no target (or `all`), everything is produced. `--fast` runs at
+//! quarter resolution with 48 frames — the shapes are preserved, the run
+//! finishes in about a minute. `--csv DIR` additionally exports the
+//! suite-backed figures as CSV files for external plotting.
+
+use re_bench::harness::HarnessOptions;
+use re_bench::{ablation, figures, run_suite};
+use re_gpu::GpuConfig;
+
+const SUITE_TARGETS: &[&str] = &[
+    "table2", "fig1", "fig2", "fig14a", "fig14b", "fig15a", "fig15b", "fig16", "fig17a",
+    "fig17b", "phases", "summary",
+];
+const ABLATION_TARGETS: &[&str] = &["hashes", "otdepth", "subblock", "tilesize", "buffering", "binning"];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--fast] [--frames N] [--width W] [--height H] [all | targets…]\n\
+         targets: table1 {} sigcycles {}",
+        SUITE_TARGETS.join(" "),
+        ABLATION_TARGETS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = HarnessOptions::default();
+    let mut csv_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fast" => {
+                let fast = HarnessOptions::fast();
+                opts.frames = fast.frames;
+                opts.width = fast.width;
+                opts.height = fast.height;
+            }
+            "--frames" => {
+                opts.frames = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--width" => {
+                opts.width = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--height" => {
+                opts.height = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--csv" => csv_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            t if t.starts_with('-') => usage(),
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = std::iter::once("table1")
+            .chain(SUITE_TARGETS.iter().copied())
+            .chain(std::iter::once("sigcycles"))
+            .chain(ABLATION_TARGETS.iter().copied())
+            .map(String::from)
+            .collect();
+    }
+    for t in &targets {
+        let known = t == "table1"
+            || t == "sigcycles"
+            || SUITE_TARGETS.contains(&t.as_str())
+            || ABLATION_TARGETS.contains(&t.as_str());
+        if !known {
+            eprintln!("unknown target: {t}");
+            usage();
+        }
+    }
+
+    println!(
+        "# rendering-elimination figures — {} frames @ {}x{}, tile {}",
+        opts.frames, opts.width, opts.height, opts.tile_size
+    );
+
+    // Run the suite once if any suite-backed figure was requested.
+    let needs_suite =
+        csv_dir.is_some() || targets.iter().any(|t| SUITE_TARGETS.contains(&t.as_str()));
+    let results = if needs_suite { Some(run_suite(&opts)) } else { None };
+    if let (Some(dir), Some(r)) = (&csv_dir, results.as_ref()) {
+        match re_bench::csv::dump_all(r, dir) {
+            Ok(()) => eprintln!("[figures] CSV written to {dir}"),
+            Err(e) => eprintln!("[figures] CSV export failed: {e}"),
+        }
+    }
+
+    let abl_cfg = GpuConfig { width: 400, height: 256, tile_size: 16, ..Default::default() };
+    let abl_frames = 10.min(opts.frames);
+
+    for t in &targets {
+        match t.as_str() {
+            "table1" => figures::table1(),
+            "sigcycles" => figures::sigcycles(),
+            "hashes" => ablation::hashes(abl_frames, abl_cfg),
+            "otdepth" => ablation::ot_depth(abl_frames, abl_cfg),
+            "subblock" => ablation::subblock(abl_frames, abl_cfg),
+            "tilesize" => ablation::tile_size(abl_frames),
+            "buffering" => ablation::buffering(abl_frames),
+            "binning" => ablation::binning(abl_frames),
+            suite_target => {
+                let r = results.as_ref().expect("suite was run");
+                match suite_target {
+                    "table2" => figures::table2(r),
+                    "fig1" => figures::fig1(r),
+                    "fig2" => figures::fig2(r),
+                    "fig14a" => figures::fig14a(r),
+                    "fig14b" => figures::fig14b(r),
+                    "fig15a" => figures::fig15a(r),
+                    "fig15b" => figures::fig15b(r),
+                    "fig16" => figures::fig16(r),
+                    "fig17a" => figures::fig17a(r),
+                    "fig17b" => figures::fig17b(r),
+                    "phases" => figures::phases(r),
+                    "summary" => figures::summary(r),
+                    _ => unreachable!("validated above"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! CSV export of the figure data (for plotting the reproduced figures
+//! against the paper's with external tooling).
+
+use std::io;
+use std::path::Path;
+
+use re_timing::TrafficClass;
+
+use crate::harness::SuiteResult;
+
+fn write(path: &Path, name: &str, content: String) -> io::Result<()> {
+    std::fs::write(path.join(name), content)
+}
+
+/// Writes one CSV per suite-backed figure into `dir` (created if absent):
+/// `fig2.csv`, `fig14a.csv`, `fig14b.csv`, `fig15a.csv`, `fig15b.csv`,
+/// `fig16.csv`, `fig17.csv`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn dump_all(results: &[SuiteResult], dir: impl AsRef<Path>) -> io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+
+    let mut fig2 = String::from("bench,equal_tiles_pct\n");
+    let mut fig14a = String::from(
+        "bench,base_geometry,base_raster,re_geometry,re_raster,re_total,speedup\n",
+    );
+    let mut fig14b = String::from("bench,base_gpu,base_mem,re_gpu,re_mem,re_total\n");
+    let mut fig15a = String::from(
+        "bench,eq_color_eq_input_pct,eq_color_diff_input_pct,diff_color_diff_input_pct,collisions\n",
+    );
+    let mut fig15b = String::from("bench,colors,texels,prims,total\n");
+    let mut fig16 = String::from("bench,re_fragments,memo_fragments\n");
+    let mut fig17 = String::from("bench,te_cycles,re_cycles,te_energy,re_energy\n");
+
+    for r in results {
+        let rep = &r.report;
+        let b = &rep.baseline;
+        let e = &rep.re;
+        let bt = b.total_cycles() as f64;
+        let be = b.energy.total_pj();
+
+        fig2.push_str(&format!("{},{:.3}\n", r.alias, rep.equal_tiles_pct_dist1()));
+        fig14a.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4}\n",
+            r.alias,
+            b.geometry_cycles as f64 / bt,
+            b.raster_cycles as f64 / bt,
+            e.geometry_cycles as f64 / bt,
+            e.raster_cycles as f64 / bt,
+            e.total_cycles() as f64 / bt,
+            bt / e.total_cycles() as f64,
+        ));
+        fig14b.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+            r.alias,
+            b.energy.gpu_pj() / be,
+            b.energy.memory_pj() / be,
+            e.energy.gpu_pj() / be,
+            e.energy.memory_pj() / be,
+            e.energy.total_pj() / be,
+        ));
+        let k = &rep.classes;
+        fig15a.push_str(&format!(
+            "{},{:.3},{:.3},{:.3},{}\n",
+            r.alias,
+            k.pct(k.eq_color_eq_input),
+            k.pct(k.eq_color_diff_input),
+            k.pct(k.diff_color_diff_input),
+            k.diff_color_eq_input,
+        ));
+        let raster_bytes = |d: &re_timing::dram::DramStats| {
+            d.class_bytes(TrafficClass::Colors)
+                + d.class_bytes(TrafficClass::Texels)
+                + d.class_bytes(TrafficClass::PrimitiveReads)
+        };
+        let base_rb = raster_bytes(&b.dram) as f64;
+        fig15b.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{:.6}\n",
+            r.alias,
+            e.dram.class_bytes(TrafficClass::Colors) as f64 / base_rb,
+            e.dram.class_bytes(TrafficClass::Texels) as f64 / base_rb,
+            e.dram.class_bytes(TrafficClass::PrimitiveReads) as f64 / base_rb,
+            raster_bytes(&e.dram) as f64 / base_rb,
+        ));
+        let frags = b.fragments_shaded.max(1) as f64;
+        fig16.push_str(&format!(
+            "{},{:.6},{:.6}\n",
+            r.alias,
+            e.fragments_shaded as f64 / frags,
+            rep.memo.fragments_shaded as f64 / frags,
+        ));
+        fig17.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{:.6}\n",
+            r.alias,
+            rep.te.total_cycles() as f64 / bt,
+            e.total_cycles() as f64 / bt,
+            rep.te.energy.total_pj() / be,
+            e.energy.total_pj() / be,
+        ));
+    }
+
+    write(dir, "fig2.csv", fig2)?;
+    write(dir, "fig14a.csv", fig14a)?;
+    write(dir, "fig14b.csv", fig14b)?;
+    write(dir, "fig15a.csv", fig15a)?;
+    write(dir, "fig15b.csv", fig15b)?;
+    write(dir, "fig16.csv", fig16)?;
+    write(dir, "fig17.csv", fig17)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_benchmark, HarnessOptions};
+
+    #[test]
+    fn dump_produces_all_files_with_headers() {
+        let opts = HarnessOptions {
+            frames: 3,
+            width: 128,
+            height: 64,
+            ..HarnessOptions::default()
+        };
+        let results =
+            vec![run_benchmark(re_workloads::by_alias("ccs").expect("ccs"), &opts)];
+        let dir = std::env::temp_dir().join("re_csv_test");
+        dump_all(&results, &dir).expect("dump");
+        for f in ["fig2.csv", "fig14a.csv", "fig14b.csv", "fig15a.csv", "fig15b.csv", "fig16.csv", "fig17.csv"] {
+            let content = std::fs::read_to_string(dir.join(f)).expect("read");
+            assert!(content.starts_with("bench,"), "{f} header");
+            assert!(content.lines().count() == 2, "{f} has one data row");
+            assert!(content.contains("ccs"), "{f} row");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,12 @@
+//! Harness shared by the `figures` binary and the Criterion benches:
+//! suite execution, figure printing, and the ablation studies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod csv;
+pub mod figures;
+pub mod harness;
+
+pub use harness::{run_suite, SuiteResult};

@@ -1,0 +1,197 @@
+//! Frame-to-frame tile redundancy analysis (paper Figs. 2 and 15a).
+//!
+//! Classifies every tile of a frame against the frame `distance` frames
+//! earlier along two axes — did the *inputs* (signatures) match, and did
+//! the rendered *colors* match — yielding the four classes of Fig. 15a:
+//!
+//! * equal colors & equal inputs — the redundancy RE eliminates;
+//! * equal colors, different inputs — RE's *false negatives* (occluded
+//!   changes, camera pans over flat backgrounds, …);
+//! * different colors & different inputs — genuinely changed tiles;
+//! * different colors, equal inputs — **false positives**: only possible
+//!   through a CRC collision (the paper observed zero; so do we, but we
+//!   count them honestly).
+
+use re_gpu::framebuffer::ColorSurface;
+use re_gpu::GpuConfig;
+
+/// Per-frame tile classification counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileClassCounts {
+    /// Equal colors and equal inputs (RE-detectable redundancy).
+    pub eq_color_eq_input: u64,
+    /// Equal colors but different inputs (false negatives).
+    pub eq_color_diff_input: u64,
+    /// Different colors and different inputs.
+    pub diff_color_diff_input: u64,
+    /// Different colors but equal inputs — CRC collisions (false
+    /// positives). Expected to be zero.
+    pub diff_color_eq_input: u64,
+}
+
+impl TileClassCounts {
+    /// Total classified tiles.
+    pub fn total(&self) -> u64 {
+        self.eq_color_eq_input
+            + self.eq_color_diff_input
+            + self.diff_color_diff_input
+            + self.diff_color_eq_input
+    }
+
+    /// Tiles whose colors were unchanged (RE-detectable or not).
+    pub fn equal_color(&self) -> u64 {
+        self.eq_color_eq_input + self.eq_color_diff_input
+    }
+
+    /// Merges another frame's counts.
+    pub fn merge(&mut self, o: &TileClassCounts) {
+        self.eq_color_eq_input += o.eq_color_eq_input;
+        self.eq_color_diff_input += o.eq_color_diff_input;
+        self.diff_color_diff_input += o.diff_color_diff_input;
+        self.diff_color_eq_input += o.diff_color_eq_input;
+    }
+
+    /// Percentage helpers for reporting (0–100).
+    pub fn pct(&self, part: u64) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Ground-truth color history: keeps full copies of the last `depth`
+/// rendered frames so tile-color equality can be tested exactly.
+#[derive(Debug)]
+pub struct ColorHistory {
+    frames: std::collections::VecDeque<ColorSurface>,
+    depth: usize,
+}
+
+impl ColorHistory {
+    /// History keeping the last `depth` frames.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "history depth must be at least 1");
+        ColorHistory { frames: std::collections::VecDeque::with_capacity(depth), depth }
+    }
+
+    /// Records a rendered frame (cloning the surface).
+    pub fn push(&mut self, surface: &ColorSurface) {
+        if self.frames.len() == self.depth {
+            self.frames.pop_front();
+        }
+        self.frames.push_back(surface.clone());
+    }
+
+    /// Whether tile `tile_id`'s colors in `current` equal those of the
+    /// frame `distance` frames before it. `None` while history is too
+    /// short.
+    pub fn tile_equals(
+        &self,
+        config: &GpuConfig,
+        current: &ColorSurface,
+        tile_id: u32,
+        distance: usize,
+    ) -> Option<bool> {
+        if self.frames.len() < distance {
+            return None;
+        }
+        let past = &self.frames[self.frames.len() - distance];
+        let rect = config.tile_rect(tile_id);
+        Some(current.rect_equals(past, rect))
+    }
+
+    /// Number of stored frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether no frames are stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// Classifies one tile given the two equality verdicts.
+pub fn classify(counts: &mut TileClassCounts, colors_equal: bool, inputs_equal: bool) {
+    match (colors_equal, inputs_equal) {
+        (true, true) => counts.eq_color_eq_input += 1,
+        (true, false) => counts.eq_color_diff_input += 1,
+        (false, false) => counts.diff_color_diff_input += 1,
+        (false, true) => counts.diff_color_eq_input += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_gpu::{Framebuffer, GpuConfig};
+    use re_math::Color;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig { width: 32, height: 32, tile_size: 16, ..Default::default() }
+    }
+
+    #[test]
+    fn classify_covers_all_quadrants() {
+        let mut c = TileClassCounts::default();
+        classify(&mut c, true, true);
+        classify(&mut c, true, false);
+        classify(&mut c, false, false);
+        classify(&mut c, false, true);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.equal_color(), 2);
+        assert_eq!(c.eq_color_eq_input, 1);
+        assert_eq!(c.diff_color_eq_input, 1);
+        assert_eq!(c.pct(c.equal_color()), 50.0);
+    }
+
+    #[test]
+    fn history_needs_distance_frames() {
+        let cfg = cfg();
+        let fb = Framebuffer::new(cfg);
+        let mut h = ColorHistory::new(2);
+        assert_eq!(h.tile_equals(&cfg, fb.back(), 0, 1), None);
+        h.push(fb.back());
+        assert_eq!(h.tile_equals(&cfg, fb.back(), 0, 1), Some(true));
+        assert_eq!(h.tile_equals(&cfg, fb.back(), 0, 2), None);
+        h.push(fb.back());
+        assert_eq!(h.tile_equals(&cfg, fb.back(), 0, 2), Some(true));
+    }
+
+    #[test]
+    fn detects_changed_tile_at_right_distance() {
+        let cfg = cfg();
+        let mut fb = Framebuffer::new(cfg);
+        let mut h = ColorHistory::new(2);
+        h.push(fb.back()); // frame 0: black
+        fb.back_mut().put_pixel(1, 1, Color::WHITE); // frame 1 differs in tile 0
+        h.push(fb.back());
+        // Current frame == frame 1, differs from frame 0.
+        assert_eq!(h.tile_equals(&cfg, fb.back(), 0, 1), Some(true));
+        assert_eq!(h.tile_equals(&cfg, fb.back(), 0, 2), Some(false));
+        // Tile 3 (untouched) equal at both distances.
+        assert_eq!(h.tile_equals(&cfg, fb.back(), 3, 2), Some(true));
+    }
+
+    #[test]
+    fn history_evicts_oldest() {
+        let cfg = cfg();
+        let mut fb = Framebuffer::new(cfg);
+        let mut h = ColorHistory::new(1);
+        h.push(fb.back());
+        fb.back_mut().put_pixel(0, 0, Color::WHITE);
+        h.push(fb.back()); // evicts the black frame
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.tile_equals(&cfg, fb.back(), 0, 1), Some(true));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TileClassCounts { eq_color_eq_input: 5, ..Default::default() };
+        a.merge(&TileClassCounts { eq_color_eq_input: 3, diff_color_diff_input: 2, ..Default::default() });
+        assert_eq!(a.eq_color_eq_input, 8);
+        assert_eq!(a.total(), 10);
+    }
+}

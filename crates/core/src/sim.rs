@@ -1,0 +1,575 @@
+//! The unified technique simulator.
+//!
+//! [`Simulator::run`] renders a workload frame by frame on the functional
+//! GPU **once**, and evaluates the Baseline, Rendering Elimination and
+//! Transaction Elimination machines simultaneously, each with its own cache
+//! hierarchy, DRAM and energy model (fed by record/replay of the access
+//! stream), plus the PFR fragment-memoization fragment counts. This is
+//! sound because none of the techniques changes the rendered colors (RE/TE
+//! reuse bit-identical tiles; collisions are *counted*, not silently
+//! absorbed), so one ground-truth render serves all machines.
+//!
+//! Per tile, the driver:
+//!
+//! 1. rasterizes the tile, recording its access stream;
+//! 2. replays the stream into the baseline memory system and charges
+//!    baseline cycles/energy;
+//! 3. asks the Signature Buffer whether RE skips the tile — a skipped tile
+//!    costs RE only the signature compare; a rendered one replays the
+//!    stream into RE's memory system;
+//! 4. hashes the tile's colors for TE and replays with the flush filtered
+//!    out when TE eliminates it;
+//! 5. classifies the tile for the redundancy figures and cross-checks every
+//!    RE skip against ground truth (false-positive accounting).
+
+use re_gpu::api::FrameDesc;
+use re_gpu::stats::TileStats;
+use re_gpu::{Gpu, GpuConfig};
+use re_timing::energy::{EnergyBreakdown, EnergyModel};
+use re_timing::{MemorySystem, TimingConfig};
+
+use crate::memo::{FragmentMemo, MemoStats};
+use crate::record::Recorder;
+use crate::redundancy::{classify, ColorHistory, TileClassCounts};
+use crate::signature::{SignatureBuffer, SignatureUnit, SignatureUnitStats};
+use crate::te::{TeStats, TransactionElimination};
+
+/// Cycles charged per tile for reading and comparing a Signature Buffer
+/// entry at tile-scheduling time (paper: "a few cycles").
+pub const SIG_COMPARE_CYCLES: u64 = 4;
+
+/// A workload: uploads its textures once, then produces one
+/// [`FrameDesc`] per frame index.
+pub trait Scene {
+    /// One-time setup (texture uploads).
+    fn init(&mut self, gpu: &mut Gpu) {
+        let _ = gpu;
+    }
+    /// Command stream of frame `index`.
+    fn frame(&mut self, index: usize) -> FrameDesc;
+    /// Benchmark name for reports.
+    fn name(&self) -> &str {
+        "scene"
+    }
+}
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Screen/tile geometry.
+    pub gpu: GpuConfig,
+    /// Table I machine parameters.
+    pub timing: TimingConfig,
+    /// Frame distance for signature/color comparison: 2 with the
+    /// double-buffered Frame Buffer (paper §IV-C), 1 for single-buffered.
+    pub compare_distance: usize,
+    /// Optional periodic refresh (paper §III-E: "RE could also be disabled
+    /// during one frame periodically to guarantee Frame Buffer
+    /// refreshing"): every `n`-th frame renders all tiles. `None` (the
+    /// paper's evaluated configuration) never forces a refresh.
+    pub refresh_period: Option<usize>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            gpu: GpuConfig::default(),
+            timing: TimingConfig::mali450(),
+            compare_distance: 2,
+            refresh_period: None,
+        }
+    }
+}
+
+/// Per-technique cycle/energy/traffic totals.
+#[derive(Debug, Clone, Default)]
+pub struct TechniqueReport {
+    /// Geometry Pipeline cycles (including, for RE, signature stalls).
+    pub geometry_cycles: u64,
+    /// Raster Pipeline cycles.
+    pub raster_cycles: u64,
+    /// Energy totals.
+    pub energy: EnergyBreakdown,
+    /// DRAM traffic by class.
+    pub dram: re_timing::dram::DramStats,
+    /// Tiles dispatched to the Raster Pipeline.
+    pub tiles_rendered: u64,
+    /// Tiles eliminated before rasterization.
+    pub tiles_skipped: u64,
+    /// Fragments shaded.
+    pub fragments_shaded: u64,
+}
+
+impl TechniqueReport {
+    /// Total execution cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.geometry_cycles + self.raster_cycles
+    }
+}
+
+/// Everything measured over one workload run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub name: String,
+    /// Frames simulated.
+    pub frames: usize,
+    /// Tiles per frame.
+    pub tile_count: u32,
+    /// The baseline GPU.
+    pub baseline: TechniqueReport,
+    /// Rendering Elimination.
+    pub re: TechniqueReport,
+    /// Transaction Elimination.
+    pub te: TechniqueReport,
+    /// PFR fragment-memoization fragment counts.
+    pub memo: MemoStats,
+    /// Tile classification at the compare distance (Fig. 15a).
+    pub classes: TileClassCounts,
+    /// Tiles with equal colors at distance 1 (Fig. 2 numerator).
+    pub equal_tiles_dist1: u64,
+    /// Tiles classified at distance 1 (Fig. 2 denominator).
+    pub classified_dist1: u64,
+    /// RE skips whose colors actually differed (CRC collisions).
+    pub false_positives: u64,
+    /// Signature Unit activity.
+    pub su_stats: SignatureUnitStats,
+    /// Transaction Elimination hardware activity.
+    pub te_stats: TeStats,
+    /// Frames on which RE was disabled (global-state changes).
+    pub re_frames_disabled: u64,
+    /// Per-frame time series (phase analysis; paper §V discusses the three
+    /// workload behaviour categories visible in these curves).
+    pub per_frame: Vec<FrameSample>,
+}
+
+/// One frame's point in the run's time series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameSample {
+    /// Tiles RE skipped this frame.
+    pub tiles_skipped: u32,
+    /// Baseline raster cycles spent on this frame.
+    pub baseline_raster_cycles: u64,
+    /// RE raster cycles spent on this frame (including signature compares).
+    pub re_raster_cycles: u64,
+}
+
+impl RunReport {
+    /// Fig. 2 metric: % tiles with the same color as the preceding frame.
+    pub fn equal_tiles_pct_dist1(&self) -> f64 {
+        if self.classified_dist1 == 0 {
+            0.0
+        } else {
+            100.0 * self.equal_tiles_dist1 as f64 / self.classified_dist1 as f64
+        }
+    }
+
+    /// Speedup of RE over the baseline.
+    pub fn re_speedup(&self) -> f64 {
+        self.re.total_cycles() as f64 / self.baseline.total_cycles() as f64
+    }
+}
+
+/// Per-technique mutable machine state during a run.
+struct Machine {
+    mem: MemorySystem,
+    energy: EnergyModel,
+    geometry_cycles: u64,
+    raster_cycles: u64,
+    tiles_rendered: u64,
+    tiles_skipped: u64,
+    fragments_shaded: u64,
+}
+
+impl Machine {
+    fn new(cfg: TimingConfig) -> Self {
+        Machine {
+            mem: MemorySystem::new(cfg),
+            energy: EnergyModel::new(),
+            geometry_cycles: 0,
+            raster_cycles: 0,
+            tiles_rendered: 0,
+            tiles_skipped: 0,
+            fragments_shaded: 0,
+        }
+    }
+
+    fn charge_geometry(&mut self, cfg: &TimingConfig, g: &re_gpu::GeometryStats) {
+        let epoch = self.mem.take_epoch();
+        self.geometry_cycles += re_timing::geometry_cycles(cfg, g, &epoch);
+        self.energy.add_geometry(g);
+    }
+
+    fn charge_tile(&mut self, cfg: &TimingConfig, t: &TileStats) {
+        let epoch = self.mem.take_epoch();
+        self.raster_cycles += re_timing::raster_tile_cycles(cfg, t, &epoch);
+        self.energy.add_raster(t, cfg);
+        self.tiles_rendered += 1;
+        self.fragments_shaded += t.fragments_shaded;
+    }
+
+    fn finish(mut self) -> TechniqueReport {
+        for (size, n) in self.mem.sram_accesses() {
+            self.energy.add_sram(size, n);
+        }
+        self.energy.add_dram(self.mem.dram_stats());
+        self.energy.add_cycles(self.geometry_cycles + self.raster_cycles);
+        TechniqueReport {
+            geometry_cycles: self.geometry_cycles,
+            raster_cycles: self.raster_cycles,
+            energy: self.energy.breakdown(),
+            dram: *self.mem.dram_stats(),
+            tiles_rendered: self.tiles_rendered,
+            tiles_skipped: self.tiles_skipped,
+            fragments_shaded: self.fragments_shaded,
+        }
+    }
+}
+
+/// The simulator: a functional GPU plus the technique machines.
+pub struct Simulator {
+    opts: SimOptions,
+    gpu: Gpu,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    pub fn new(opts: SimOptions) -> Self {
+        Simulator { opts, gpu: Gpu::new(opts.gpu) }
+    }
+
+    /// Mutable access to the GPU (texture uploads during scene init).
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// Runs `scene` for `frames` frames and reports every technique's
+    /// results.
+    pub fn run(&mut self, scene: &mut dyn Scene, frames: usize) -> RunReport {
+        let tcfg = self.opts.timing;
+        let tile_count = self.gpu.tile_count();
+        let distance = self.opts.compare_distance;
+
+        scene.init(&mut self.gpu);
+
+        let mut base = Machine::new(tcfg);
+        let mut rem = Machine::new(tcfg);
+        let mut tem = Machine::new(tcfg);
+
+        let mut su = SignatureUnit::new(tcfg.ot_queue_entries as usize);
+        let mut su_stats = SignatureUnitStats::default();
+        let mut sig_buffer = SignatureBuffer::new(tile_count, distance);
+        let mut te = TransactionElimination::new(tile_count, distance);
+        let mut memo = FragmentMemo::new();
+
+        let mut history = ColorHistory::new(distance.max(1));
+        let mut classes = TileClassCounts::default();
+        let mut equal_tiles_dist1 = 0u64;
+        let mut classified_dist1 = 0u64;
+        let mut false_positives = 0u64;
+        let mut re_frames_disabled = 0u64;
+        // RE stays disabled for `distance` frames after a global-state
+        // change, because comparisons reach that far back.
+        // Warmup (the first `distance` frames) is handled by the Signature
+        // Buffer's history check; this counter tracks only explicit
+        // disables (global-state changes, §III-E).
+        let mut re_disabled_for = 0usize;
+
+        let mut recorder = Recorder::new();
+        let mut per_frame: Vec<FrameSample> = Vec::with_capacity(frames);
+
+        for f in 0..frames {
+            let frame_skip_mark = rem.tiles_skipped;
+            let frame_base_raster_mark = base.raster_cycles;
+            let frame_re_raster_mark = rem.raster_cycles;
+            let frame = scene.frame(f);
+            if frame.re_unsafe {
+                re_disabled_for = re_disabled_for.max(distance + 1);
+            }
+            let refresh_frame = self
+                .opts
+                .refresh_period
+                .is_some_and(|p| p > 0 && f > 0 && f % p == 0);
+            let re_enabled = re_disabled_for == 0 && !refresh_frame;
+            if !re_enabled {
+                re_frames_disabled += 1;
+            }
+
+            // --- Geometry Pipeline (shared work) -------------------------
+            recorder.clear();
+            let geo = self.gpu.run_geometry(&frame, &mut recorder);
+            for m in [&mut base, &mut rem, &mut tem] {
+                recorder.replay(&mut m.mem, true);
+                m.charge_geometry(&tcfg, &geo.stats);
+            }
+
+            // --- Signature Unit (overlapped with geometry; only stalls
+            //     count as extra time) ---------------------------------
+            let sigs = su.process_frame(&geo, tile_count);
+            rem.geometry_cycles += sigs.stats.stall_cycles;
+            su_stats.merge(&sigs.stats);
+
+            // --- Raster Pipeline, tile by tile ----------------------------
+            let mut frame_hashes: Vec<Vec<u32>> = vec![Vec::new(); tile_count as usize];
+            for t in 0..tile_count {
+                recorder.clear();
+                let tstats = self.gpu.rasterize_tile(&frame, &geo, t, &mut recorder);
+                frame_hashes[t as usize] = recorder.frag_hashes().collect();
+
+                // Baseline: renders everything.
+                recorder.replay(&mut base.mem, true);
+                base.charge_tile(&tcfg, &tstats);
+
+                // Ground-truth equality verdicts.
+                let rect = self.opts.gpu.tile_rect(t);
+                let colors_eq_cmp =
+                    history.tile_equals(&self.opts.gpu, self.gpu.framebuffer().back(), t, distance);
+                let colors_eq_d1 =
+                    history.tile_equals(&self.opts.gpu, self.gpu.framebuffer().back(), t, 1);
+                if let Some(eq) = colors_eq_d1 {
+                    classified_dist1 += 1;
+                    if eq {
+                        equal_tiles_dist1 += 1;
+                    }
+                }
+
+                // Rendering Elimination.
+                let inputs_eq = sig_buffer.matches(&sigs.sigs, t);
+                rem.raster_cycles += SIG_COMPARE_CYCLES;
+                if re_enabled && inputs_eq {
+                    rem.tiles_skipped += 1;
+                    if colors_eq_cmp == Some(false) {
+                        false_positives += 1;
+                    }
+                } else {
+                    recorder.replay(&mut rem.mem, true);
+                    rem.charge_tile(&tcfg, &tstats);
+                }
+
+                // Tile classification (Fig. 15a) at the compare distance.
+                if let Some(ceq) = colors_eq_cmp {
+                    classify(&mut classes, ceq, inputs_eq);
+                }
+
+                // Transaction Elimination: hashes the rendered colors and
+                // may drop the flush.
+                let tile_colors = self.gpu.framebuffer().back().read_rect(rect);
+                let te_skip_flush = te.tile_rendered(t, &tile_colors);
+                recorder.replay(&mut tem.mem, !te_skip_flush);
+                let mut te_tstats = tstats;
+                if te_skip_flush {
+                    te_tstats.color_bytes_flushed = 0;
+                }
+                tem.charge_tile(&tcfg, &te_tstats);
+            }
+
+            // --- Frame end ------------------------------------------------
+            per_frame.push(FrameSample {
+                tiles_skipped: (rem.tiles_skipped - frame_skip_mark) as u32,
+                baseline_raster_cycles: base.raster_cycles - frame_base_raster_mark,
+                re_raster_cycles: rem.raster_cycles - frame_re_raster_mark,
+            });
+            history.push(self.gpu.framebuffer().back());
+            sig_buffer.push(sigs.sigs);
+            te.end_frame();
+            memo.push_frame(frame_hashes);
+            self.gpu.end_frame();
+            re_disabled_for = re_disabled_for.saturating_sub(1);
+        }
+        memo.finish();
+
+        // RE hardware energy: Signature Buffer, CRC LUTs, bitmap, OT queue.
+        let sigbuf_bytes = sig_buffer.storage_bytes() as u32;
+        rem.energy.add_sram(sigbuf_bytes, su_stats.sig_buffer_accesses + sig_buffer.compare_reads);
+        rem.energy.add_sram(1024, su_stats.lut_accesses);
+        rem.energy.add_sram(tile_count.div_ceil(8).max(1), su_stats.bitmap_accesses);
+        rem.energy.add_sram(64, su_stats.ot_pushes * 2); // queue push + pop
+        // TE hardware energy: CRC unit + its signature buffer.
+        tem.energy.add_sram(te.storage_bytes() as u32, te.stats.sig_buffer_accesses);
+        tem.energy.add_sram(1024, te.stats.lut_accesses);
+
+        let te_stats = te.stats;
+        RunReport {
+            name: scene.name().to_owned(),
+            frames,
+            tile_count,
+            baseline: base.finish(),
+            re: rem.finish(),
+            te: tem.finish(),
+            memo: memo.stats,
+            classes,
+            equal_tiles_dist1,
+            classified_dist1,
+            false_positives,
+            su_stats,
+            te_stats,
+            re_frames_disabled,
+            per_frame,
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator").field("opts", &self.opts).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_gpu::api::{DrawCall, PipelineState, Vertex};
+    use re_math::{Mat4, Vec4};
+
+    /// A scene drawing one triangle that moves every `period` frames.
+    struct MovingTri {
+        period: usize,
+    }
+
+    impl Scene for MovingTri {
+        fn frame(&mut self, index: usize) -> FrameDesc {
+            let step = (index / self.period) as f32 * 0.05;
+            let verts = [(-0.5 + step, -0.5), (0.5 + step, -0.5), (step, 0.5)]
+                .iter()
+                .map(|&(x, y)| {
+                    Vertex::new(vec![Vec4::new(x, y, 0.0, 1.0), Vec4::new(0.9, 0.2, 0.1, 1.0)])
+                })
+                .collect();
+            let mut frame = FrameDesc::new();
+            frame.drawcalls.push(DrawCall {
+                state: PipelineState::flat_2d(),
+                constants: Mat4::IDENTITY.cols.to_vec(),
+                vertices: verts,
+            });
+            frame
+        }
+        fn name(&self) -> &str {
+            "moving-tri"
+        }
+    }
+
+    fn small_opts() -> SimOptions {
+        SimOptions {
+            gpu: GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() },
+            ..SimOptions::default()
+        }
+    }
+
+    #[test]
+    fn static_scene_skips_almost_everything() {
+        let mut sim = Simulator::new(small_opts());
+        let report = sim.run(&mut MovingTri { period: 1_000_000 }, 8);
+        // 16 tiles × 8 frames; the first `distance` frames cannot skip.
+        assert_eq!(report.baseline.tiles_rendered, 16 * 8);
+        assert!(report.re.tiles_skipped >= 16 * 5, "skipped {}", report.re.tiles_skipped);
+        assert_eq!(report.false_positives, 0);
+        assert!(report.re.total_cycles() < report.baseline.total_cycles());
+        assert!(report.re.energy.total_pj() < report.baseline.energy.total_pj());
+        assert!(report.re.dram.total_bytes() < report.baseline.dram.total_bytes());
+    }
+
+    #[test]
+    fn every_frame_motion_defeats_re() {
+        let mut sim = Simulator::new(small_opts());
+        let report = sim.run(&mut MovingTri { period: 1 }, 8);
+        // Tiles the triangle covers change inputs each frame; only empty
+        // tiles (zero signature, empty bin) can match.
+        assert_eq!(report.false_positives, 0);
+        // RE must not be dramatically slower than baseline even when
+        // useless (paper: <1% overhead).
+        let ratio = report.re.total_cycles() as f64 / report.baseline.total_cycles() as f64;
+        assert!(ratio < 1.05, "RE overhead ratio {ratio}");
+    }
+
+    #[test]
+    fn re_never_misrenders_without_collisions() {
+        let mut sim = Simulator::new(small_opts());
+        let report = sim.run(&mut MovingTri { period: 3 }, 12);
+        assert_eq!(report.false_positives, 0, "CRC32 collision would be news");
+        assert_eq!(report.classes.diff_color_eq_input, 0);
+    }
+
+    #[test]
+    fn te_skips_flushes_on_static_scene() {
+        let mut sim = Simulator::new(small_opts());
+        let report = sim.run(&mut MovingTri { period: 1_000_000 }, 8);
+        assert!(report.te_stats.flushes_skipped > 0);
+        // TE saves colors traffic relative to baseline but keeps texel
+        // and primitive traffic.
+        assert!(
+            report.te.dram.class_bytes(re_timing::TrafficClass::Colors)
+                < report.baseline.dram.class_bytes(re_timing::TrafficClass::Colors)
+        );
+        // And RE saves at least as much total DRAM as TE.
+        assert!(report.re.dram.total_bytes() <= report.te.dram.total_bytes());
+    }
+
+    #[test]
+    fn fig2_metric_reflects_motion() {
+        let mut sim = Simulator::new(small_opts());
+        let still = sim.run(&mut MovingTri { period: 1_000_000 }, 8);
+        let mut sim2 = Simulator::new(small_opts());
+        let moving = sim2.run(&mut MovingTri { period: 1 }, 8);
+        assert!(still.equal_tiles_pct_dist1() > moving.equal_tiles_pct_dist1());
+        assert!(still.equal_tiles_pct_dist1() > 99.0);
+    }
+
+    #[test]
+    fn memo_counts_fragments() {
+        let mut sim = Simulator::new(small_opts());
+        let report = sim.run(&mut MovingTri { period: 1_000_000 }, 8);
+        assert_eq!(report.memo.total(), report.baseline.fragments_shaded);
+        // A static scene is highly memoizable (flat color fragments).
+        assert!(report.memo.fragments_reused > 0);
+    }
+
+    #[test]
+    fn per_frame_series_reflects_motion_phases() {
+        let mut sim = Simulator::new(small_opts());
+        // Moves every 4 frames: skip counts dip right after each move.
+        let report = sim.run(&mut MovingTri { period: 4 }, 12);
+        assert_eq!(report.per_frame.len(), 12);
+        let total: u64 = report.per_frame.iter().map(|s| s.tiles_skipped as u64).sum();
+        assert_eq!(total, report.re.tiles_skipped);
+        let base_total: u64 =
+            report.per_frame.iter().map(|s| s.baseline_raster_cycles).sum();
+        assert_eq!(base_total, report.baseline.raster_cycles);
+        // Frames 0 and 1 (warmup) skip nothing.
+        assert_eq!(report.per_frame[0].tiles_skipped, 0);
+        assert_eq!(report.per_frame[1].tiles_skipped, 0);
+    }
+
+    #[test]
+    fn refresh_period_forces_periodic_full_renders() {
+        let mut opts = small_opts();
+        opts.refresh_period = Some(4);
+        let mut sim = Simulator::new(opts);
+        let with_refresh = sim.run(&mut MovingTri { period: 1_000_000 }, 12);
+        let mut sim2 = Simulator::new(small_opts());
+        let without = sim2.run(&mut MovingTri { period: 1_000_000 }, 12);
+        // Frames 4 and 8 are forced renders: 2 × 16 tiles fewer skips.
+        assert_eq!(without.re.tiles_skipped - with_refresh.re.tiles_skipped, 2 * 16);
+        assert_eq!(with_refresh.false_positives, 0);
+    }
+
+    #[test]
+    fn re_unsafe_frames_disable_skipping() {
+        struct Unsafe;
+        impl Scene for Unsafe {
+            fn frame(&mut self, _i: usize) -> FrameDesc {
+                let mut f = MovingTri { period: 1_000_000 }.frame(0);
+                f.re_unsafe = true;
+                f
+            }
+        }
+        let mut sim = Simulator::new(small_opts());
+        let report = sim.run(&mut Unsafe, 6);
+        assert_eq!(report.re.tiles_skipped, 0);
+        assert_eq!(report.re_frames_disabled, 6);
+    }
+}

@@ -1,0 +1,151 @@
+//! Transaction Elimination (paper §IV-C) — the ARM Mali bandwidth-saving
+//! baseline.
+//!
+//! After a tile finishes rendering, its Color Buffer contents are hashed
+//! (CRC32) and compared with the signature the same tile produced
+//! `distance` frames earlier; on a match the flush to the Frame Buffer is
+//! elided. Per the paper's methodology we charge the CRC-unit and
+//! signature-buffer *energy* but no execution-time overhead.
+
+use std::collections::VecDeque;
+
+use re_crc::Crc32;
+use re_math::Color;
+
+/// Activity counters for the TE hardware.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TeStats {
+    /// Compute-CRC-unit cycles spent hashing Color Buffers (8 B/cycle);
+    /// charged as energy only.
+    pub crc_cycles: u64,
+    /// 1 KB LUT lookups inside the CRC unit.
+    pub lut_accesses: u64,
+    /// Signature-buffer reads + writes.
+    pub sig_buffer_accesses: u64,
+    /// Tiles whose flush was eliminated.
+    pub flushes_skipped: u64,
+    /// Tiles that were flushed normally.
+    pub flushes_performed: u64,
+}
+
+/// Transaction Elimination state: color signatures spanning `distance`
+/// frames (two, with the double-buffered Frame Buffer).
+#[derive(Debug)]
+pub struct TransactionElimination {
+    history: VecDeque<Vec<u32>>,
+    current: Vec<u32>,
+    tile_count: u32,
+    distance: usize,
+    /// Hardware activity so far.
+    pub stats: TeStats,
+}
+
+impl TransactionElimination {
+    /// Creates TE state for `tile_count` tiles at compare `distance`.
+    ///
+    /// # Panics
+    /// Panics if `distance == 0`.
+    pub fn new(tile_count: u32, distance: usize) -> Self {
+        assert!(distance >= 1, "compare distance must be at least 1");
+        TransactionElimination {
+            history: VecDeque::with_capacity(distance),
+            current: vec![0; tile_count as usize],
+            tile_count,
+            distance,
+            stats: TeStats::default(),
+        }
+    }
+
+    /// Signature-buffer storage in bytes (`distance` frames of CRCs).
+    pub fn storage_bytes(&self) -> usize {
+        self.distance * self.tile_count as usize * 4
+    }
+
+    /// Hashes a rendered tile's colors and decides whether its flush can
+    /// be eliminated. Returns `true` when the flush is skipped.
+    pub fn tile_rendered(&mut self, tile_id: u32, colors: &[Color]) -> bool {
+        // CRC the packed RGBA bytes, 8 bytes per CRC-unit cycle.
+        let mut crc = Crc32::new();
+        for c in colors {
+            crc.update(&c.to_u32().to_le_bytes());
+        }
+        let sig = crc.finalize();
+        let bytes = colors.len() as u64 * 4;
+        self.stats.crc_cycles += bytes.div_ceil(8);
+        self.stats.lut_accesses += bytes.div_ceil(8) * 12;
+
+        self.current[tile_id as usize] = sig;
+        self.stats.sig_buffer_accesses += 2; // read old + write new
+        let skip = self.history.len() == self.distance
+            && self.history.front().expect("non-empty")[tile_id as usize] == sig;
+        if skip {
+            self.stats.flushes_skipped += 1;
+        } else {
+            self.stats.flushes_performed += 1;
+        }
+        skip
+    }
+
+    /// Commits the frame's signatures and starts a new frame.
+    pub fn end_frame(&mut self) {
+        if self.history.len() == self.distance {
+            self.history.pop_front();
+        }
+        let fresh = vec![0; self.tile_count as usize];
+        self.history.push_back(std::mem::replace(&mut self.current, fresh));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(colors: u8) -> Vec<Color> {
+        vec![Color::new(colors, colors, colors, 255); 256]
+    }
+
+    #[test]
+    fn first_frames_always_flush() {
+        let mut te = TransactionElimination::new(4, 2);
+        assert!(!te.tile_rendered(0, &tile(1)));
+        te.end_frame();
+        assert!(!te.tile_rendered(0, &tile(1)), "only one frame of history");
+        te.end_frame();
+    }
+
+    #[test]
+    fn identical_tile_at_distance_two_skips_flush() {
+        let mut te = TransactionElimination::new(4, 2);
+        te.tile_rendered(0, &tile(7));
+        te.end_frame();
+        te.tile_rendered(0, &tile(9));
+        te.end_frame();
+        // Frame 2 equals frame 0 → skip.
+        assert!(te.tile_rendered(0, &tile(7)));
+        assert_eq!(te.stats.flushes_skipped, 1);
+        assert_eq!(te.stats.flushes_performed, 2);
+    }
+
+    #[test]
+    fn changed_tile_flushes() {
+        let mut te = TransactionElimination::new(4, 1);
+        te.tile_rendered(0, &tile(7));
+        te.end_frame();
+        assert!(!te.tile_rendered(0, &tile(8)));
+    }
+
+    #[test]
+    fn crc_cycles_track_color_bytes() {
+        let mut te = TransactionElimination::new(4, 1);
+        te.tile_rendered(0, &tile(1)); // 256 px × 4 B = 1024 B → 128 cycles
+        assert_eq!(te.stats.crc_cycles, 128);
+        assert_eq!(te.stats.lut_accesses, 128 * 12);
+        assert_eq!(te.stats.sig_buffer_accesses, 2);
+    }
+
+    #[test]
+    fn distance_one_storage() {
+        let te = TransactionElimination::new(3600, 2);
+        assert_eq!(te.storage_bytes(), 28_800);
+    }
+}

@@ -1,0 +1,135 @@
+//! Technique-level integration tests: double-buffering semantics,
+//! alternating workloads, and edge configurations.
+
+use re_core::{Scene, SimOptions, Simulator};
+use re_gpu::api::{DrawCall, FrameDesc, PipelineState, Vertex};
+use re_gpu::GpuConfig;
+use re_math::{Mat4, Vec4};
+
+/// A scene that alternates between two layouts A, B, A, B, …
+struct Alternating;
+
+impl Scene for Alternating {
+    fn frame(&mut self, index: usize) -> FrameDesc {
+        let x0 = if index % 2 == 0 { -0.6 } else { 0.1 };
+        let vertices = [(x0, -0.5), (x0 + 0.5, -0.5), (x0 + 0.25, 0.3)]
+            .iter()
+            .map(|&(x, y)| {
+                Vertex::new(vec![Vec4::new(x, y, 0.0, 1.0), Vec4::new(0.2, 0.9, 0.4, 1.0)])
+            })
+            .collect();
+        let mut frame = FrameDesc::new();
+        frame.drawcalls.push(DrawCall {
+            state: PipelineState::flat_2d(),
+            constants: Mat4::IDENTITY.cols.to_vec(),
+            vertices,
+        });
+        frame
+    }
+    fn name(&self) -> &str {
+        "alternating"
+    }
+}
+
+fn opts(distance: usize) -> SimOptions {
+    SimOptions {
+        gpu: GpuConfig { width: 96, height: 64, tile_size: 16, ..Default::default() },
+        compare_distance: distance,
+        ..SimOptions::default()
+    }
+}
+
+#[test]
+fn alternating_scene_is_fully_redundant_at_distance_two() {
+    // Frame i is bit-identical to frame i−2, so the double-buffered
+    // configuration (distance 2) skips everything after warmup...
+    let mut sim = Simulator::new(opts(2));
+    let r = sim.run(&mut Alternating, 10);
+    let tiles = r.tile_count as u64;
+    assert_eq!(r.re.tiles_skipped, (10 - 2) * tiles, "all post-warmup tiles skip");
+    assert_eq!(r.false_positives, 0);
+
+    // ...while a single-buffered comparison (distance 1) sees the flip and
+    // can only skip tiles the triangle never touches.
+    let mut sim1 = Simulator::new(opts(1));
+    let r1 = sim1.run(&mut Alternating, 10);
+    assert!(
+        r1.re.tiles_skipped < r.re.tiles_skipped,
+        "distance-1 must skip strictly less on an alternating scene"
+    );
+}
+
+#[test]
+fn distance_one_skips_from_the_second_frame() {
+    struct Static;
+    impl Scene for Static {
+        fn frame(&mut self, _i: usize) -> FrameDesc {
+            Alternating.frame(0)
+        }
+    }
+    let mut sim = Simulator::new(opts(1));
+    let r = sim.run(&mut Static, 6);
+    assert_eq!(r.re.tiles_skipped, 5 * r.tile_count as u64);
+}
+
+#[test]
+fn empty_frames_are_fully_skippable() {
+    struct Empty;
+    impl Scene for Empty {
+        fn frame(&mut self, _i: usize) -> FrameDesc {
+            FrameDesc::new()
+        }
+    }
+    let mut sim = Simulator::new(opts(2));
+    let r = sim.run(&mut Empty, 8);
+    assert_eq!(r.re.tiles_skipped, 6 * r.tile_count as u64);
+    assert_eq!(r.baseline.tiles_rendered, 8 * r.tile_count as u64);
+    // An empty tile still costs the baseline its flush traffic.
+    assert!(r.baseline.dram.total_bytes() > 0);
+    assert!(r.re.dram.total_bytes() < r.baseline.dram.total_bytes() / 2);
+}
+
+#[test]
+fn re_unsafe_burst_recovers_after_distance_frames() {
+    struct BurstUnsafe;
+    impl Scene for BurstUnsafe {
+        fn frame(&mut self, i: usize) -> FrameDesc {
+            let mut f = Alternating.frame(0); // static content
+            f.re_unsafe = i == 4; // texture upload at frame 4
+            f
+        }
+    }
+    let mut sim = Simulator::new(opts(2));
+    let r = sim.run(&mut BurstUnsafe, 12);
+    let tiles = r.tile_count as u64;
+    // Skippable frames: 2..=11 minus frames 4, 5, 6 (unsafe + distance).
+    assert_eq!(r.re.tiles_skipped, (10 - 3) * tiles);
+    assert_eq!(r.re_frames_disabled, 3);
+    assert_eq!(r.false_positives, 0);
+}
+
+#[test]
+fn te_and_re_agree_on_fully_static_content() {
+    struct Static;
+    impl Scene for Static {
+        fn frame(&mut self, _i: usize) -> FrameDesc {
+            Alternating.frame(0)
+        }
+    }
+    let mut sim = Simulator::new(opts(2));
+    let r = sim.run(&mut Static, 8);
+    // TE eliminates the flush of every post-warmup tile; RE eliminates
+    // the whole tile. Flush-skip count equals RE's skip count here.
+    assert_eq!(r.te_stats.flushes_skipped, r.re.tiles_skipped);
+}
+
+#[test]
+fn memo_sees_reuse_within_pairs_on_alternating_content() {
+    // A and B alternate; each PFR pair is (A, B). Fragments of B hit what
+    // A cached only where the two layouts overlap — but identical flat
+    // fragments always match (inputs exclude position).
+    let mut sim = Simulator::new(opts(2));
+    let r = sim.run(&mut Alternating, 8);
+    assert!(r.memo.fragments_reused > 0, "flat color fragments memoize");
+    assert_eq!(r.memo.total(), r.baseline.fragments_shaded);
+}

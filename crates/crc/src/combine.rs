@@ -1,0 +1,129 @@
+//! The CRC concatenation identity (paper Algorithm 1), in software.
+//!
+//! `concat(crc_a, crc_b, len_b_bits)` returns the CRC of `A‖B` given only the
+//! two partial CRCs and the bit length of `B`. The Signature Unit applies
+//! this identity once per (primitive, overlapped tile) pair, so the software
+//! version must be fast: the zero-shift is done with a log-time GF(2) matrix
+//! exponentiation rather than by feeding `len_b` zero bits.
+
+use crate::CRC32_POLY;
+
+/// Multiplies two degree-<32 polynomials modulo the CRC polynomial.
+///
+/// Used as the primitive for [`shift_zeros_fast`]; runs in 32 steps.
+pub fn gf2_mul(a: u32, b: u32) -> u32 {
+    let mut product = 0u32;
+    let mut a = a;
+    // Iterate over the bits of b from LSB (degree 0) upwards, adding a·x^i.
+    for i in 0..32 {
+        if (b >> i) & 1 == 1 {
+            product ^= a;
+        }
+        // a ← a·x mod P
+        let carry = a >> 31;
+        a <<= 1;
+        if carry != 0 {
+            a ^= CRC32_POLY;
+        }
+    }
+    product
+}
+
+/// Computes `x^bits mod P` by square-and-multiply.
+pub fn x_pow_mod(mut bits: u64) -> u32 {
+    let mut result = 1u32; // x⁰
+    let mut base = 2u32; // x¹
+    while bits > 0 {
+        if bits & 1 == 1 {
+            result = gf2_mul(result, base);
+        }
+        base = gf2_mul(base, base);
+        bits >>= 1;
+    }
+    result
+}
+
+/// Computes `(crc · x^bits) mod P` — the CRC of the message whose remainder
+/// is `crc`, extended by `bits` zero bits — in O(log bits) time.
+pub fn shift_zeros_fast(crc: u32, bits: u64) -> u32 {
+    gf2_mul(crc, x_pow_mod(bits))
+}
+
+/// Algorithm 1 of the paper: CRC of `A‖B` from `CRC(A)`, `CRC(B)`, `|B|`.
+///
+/// ```
+/// use re_crc::{Crc32, combine::concat};
+/// let a = b"drawcall constants";
+/// let b = b"primitive attributes";
+/// let mut ab = a.to_vec();
+/// ab.extend_from_slice(b);
+/// assert_eq!(
+///     Crc32::digest(&ab),
+///     concat(Crc32::digest(a), Crc32::digest(b), 8 * b.len() as u64),
+/// );
+/// ```
+pub fn concat(crc_a: u32, crc_b: u32, len_b_bits: u64) -> u32 {
+    shift_zeros_fast(crc_a, len_b_bits) ^ crc_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::Crc32;
+
+    #[test]
+    fn gf2_mul_identity_and_commutativity() {
+        for v in [0u32, 1, 2, 0xDEAD_BEEF, CRC32_POLY] {
+            assert_eq!(gf2_mul(v, 1), v);
+            assert_eq!(gf2_mul(1, v), v);
+        }
+        assert_eq!(gf2_mul(0x1234, 0x8765), gf2_mul(0x8765, 0x1234));
+    }
+
+    #[test]
+    fn gf2_mul_by_x_is_one_shift() {
+        for v in [1u32, 0x8000_0000, 0xFFFF_FFFF, 0x0420_1337] {
+            assert_eq!(gf2_mul(v, 2), reference::shift_zeros(v, 1));
+        }
+    }
+
+    #[test]
+    fn x_pow_mod_small_cases() {
+        assert_eq!(x_pow_mod(0), 1);
+        assert_eq!(x_pow_mod(1), 2);
+        assert_eq!(x_pow_mod(31), 1 << 31);
+        assert_eq!(x_pow_mod(32), CRC32_POLY);
+    }
+
+    #[test]
+    fn shift_fast_matches_bitwise_shift() {
+        for bits in [0u64, 1, 7, 8, 31, 32, 33, 64, 100, 1024, 4096] {
+            let c = Crc32::digest(b"partial tile signature");
+            assert_eq!(
+                shift_zeros_fast(c, bits),
+                reference::shift_zeros(c, bits),
+                "bits {bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn concat_matches_digest_of_concatenation() {
+        let parts: [&[u8]; 4] = [b"constants", b"", b"attrs A", b"attrs B and C"];
+        // Fold left, as the Signature Unit does per tile.
+        let mut running = 0u32;
+        let mut message = Vec::new();
+        for p in parts {
+            running = concat(running, Crc32::digest(p), 8 * p.len() as u64);
+            message.extend_from_slice(p);
+            assert_eq!(running, Crc32::digest(&message));
+        }
+    }
+
+    #[test]
+    fn concat_with_empty_b_is_identity() {
+        let a = Crc32::digest(b"anything");
+        assert_eq!(concat(a, 0, 0), a);
+    }
+}

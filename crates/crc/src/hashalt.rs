@@ -1,0 +1,224 @@
+//! Alternative signature functions for the hash-quality ablation.
+//!
+//! §III-B of the paper: "CRC32 outperforms well-known hashing approaches
+//! such as XOR-based schemes". This module provides those weaker schemes so
+//! the benchmark harness can measure collision (false-positive) rates on the
+//! same tile-input streams that feed the CRC. All hashers share the
+//! [`TileHasher`] interface: incremental absorption of variable-length
+//! blocks, 32-bit digest.
+
+use crate::units::fold_block_software;
+
+/// A 32-bit incremental hash over a stream of byte blocks.
+///
+/// Implementations must be *order sensitive* in principle (the tile input
+/// stream is ordered), but some deliberately are not — that weakness is
+/// exactly what the ablation quantifies.
+pub trait TileHasher: std::fmt::Debug {
+    /// Absorbs one data block (drawcall constants or primitive attributes).
+    fn absorb(&mut self, block: &[u8]);
+    /// Returns the signature of everything absorbed.
+    fn digest(&self) -> u32;
+    /// Resets to the empty-stream state.
+    fn reset(&mut self);
+    /// Human-readable scheme name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's scheme: non-augmented CRC32 with the hardware's 8-byte block
+/// padding (see [`crate::units`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrcHasher {
+    state: u32,
+}
+
+impl TileHasher for CrcHasher {
+    fn absorb(&mut self, block: &[u8]) {
+        self.state = fold_block_software(self.state, block);
+    }
+    fn digest(&self) -> u32 {
+        self.state
+    }
+    fn reset(&mut self) {
+        self.state = 0;
+    }
+    fn name(&self) -> &'static str {
+        "crc32"
+    }
+}
+
+/// XOR folding: XOR of all 32-bit words of the stream. Fast and tiny in
+/// hardware but order-insensitive and blind to paired changes — the baseline
+/// the paper's CRC choice is defended against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XorFoldHasher {
+    state: u32,
+}
+
+impl TileHasher for XorFoldHasher {
+    fn absorb(&mut self, block: &[u8]) {
+        for chunk in block.chunks(4) {
+            let mut w = [0u8; 4];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.state ^= u32::from_le_bytes(w);
+        }
+    }
+    fn digest(&self) -> u32 {
+        self.state
+    }
+    fn reset(&mut self) {
+        self.state = 0;
+    }
+    fn name(&self) -> &'static str {
+        "xor-fold"
+    }
+}
+
+/// Additive checksum: wrapping sum of all 32-bit words. Order-insensitive
+/// and weak against balanced increments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdditiveHasher {
+    state: u32,
+}
+
+impl TileHasher for AdditiveHasher {
+    fn absorb(&mut self, block: &[u8]) {
+        for chunk in block.chunks(4) {
+            let mut w = [0u8; 4];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.state = self.state.wrapping_add(u32::from_le_bytes(w));
+        }
+    }
+    fn digest(&self) -> u32 {
+        self.state
+    }
+    fn reset(&mut self) {
+        self.state = 0;
+    }
+    fn name(&self) -> &'static str {
+        "additive"
+    }
+}
+
+/// FNV-1a, a strong non-cryptographic byte hash; included as an upper
+/// reference point that is costlier in hardware (sequential multiply).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1aHasher {
+    state: u32,
+}
+
+impl Default for Fnv1aHasher {
+    fn default() -> Self {
+        Fnv1aHasher { state: 0x811C_9DC5 }
+    }
+}
+
+impl TileHasher for Fnv1aHasher {
+    fn absorb(&mut self, block: &[u8]) {
+        for &b in block {
+            self.state ^= b as u32;
+            self.state = self.state.wrapping_mul(0x0100_0193);
+        }
+    }
+    fn digest(&self) -> u32 {
+        self.state
+    }
+    fn reset(&mut self) {
+        self.state = 0x811C_9DC5;
+    }
+    fn name(&self) -> &'static str {
+        "fnv1a"
+    }
+}
+
+/// All hashers compared by the ablation, CRC first.
+pub fn all_hashers() -> Vec<Box<dyn TileHasher>> {
+    vec![
+        Box::<CrcHasher>::default(),
+        Box::<XorFoldHasher>::default(),
+        Box::<AdditiveHasher>::default(),
+        Box::<Fnv1aHasher>::default(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_blocks(h: &mut dyn TileHasher, blocks: &[&[u8]]) -> u32 {
+        h.reset();
+        for b in blocks {
+            h.absorb(b);
+        }
+        h.digest()
+    }
+
+    #[test]
+    fn equal_streams_hash_equal_for_all_schemes() {
+        let stream: [&[u8]; 3] = [b"constants", b"attrs-0", b"attrs-1"];
+        for h in all_hashers().iter_mut() {
+            let a = digest_blocks(h.as_mut(), &stream);
+            let b = digest_blocks(h.as_mut(), &stream);
+            assert_eq!(a, b, "{} not deterministic", h.name());
+        }
+    }
+
+    #[test]
+    fn crc_is_order_sensitive_xor_is_not() {
+        let fwd: [&[u8]; 2] = [&[1, 2, 3, 4], &[5, 6, 7, 8]];
+        let rev: [&[u8]; 2] = [&[5, 6, 7, 8], &[1, 2, 3, 4]];
+        let mut crc = CrcHasher::default();
+        let a = digest_blocks(&mut crc, &fwd);
+        let b = digest_blocks(&mut crc, &rev);
+        assert_ne!(a, b, "crc must distinguish block order");
+
+        let mut xf = XorFoldHasher::default();
+        let a = digest_blocks(&mut xf, &fwd);
+        let b = digest_blocks(&mut xf, &rev);
+        assert_eq!(a, b, "xor-fold is order-insensitive by construction");
+    }
+
+    #[test]
+    fn xor_collides_on_duplicate_pair() {
+        // Adding the same word twice cancels out for XOR — the classic
+        // weakness the paper alludes to.
+        let mut xf = XorFoldHasher::default();
+        let with_pair: [&[u8]; 3] = [&[9, 9, 9, 9], &[7, 7, 7, 7], &[7, 7, 7, 7]];
+        let without: [&[u8]; 1] = [&[9, 9, 9, 9]];
+        assert_eq!(
+            digest_blocks(&mut xf, &with_pair),
+            digest_blocks(&mut xf, &without)
+        );
+        let mut crc = CrcHasher::default();
+        assert_ne!(
+            digest_blocks(&mut crc, &with_pair),
+            digest_blocks(&mut crc, &without)
+        );
+    }
+
+    #[test]
+    fn fnv_differs_from_crc_but_both_deterministic() {
+        let s: [&[u8]; 1] = [b"block"];
+        let mut f = Fnv1aHasher::default();
+        let mut c = CrcHasher::default();
+        assert_ne!(digest_blocks(&mut f, &s), digest_blocks(&mut c, &s));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        for h in all_hashers().iter_mut() {
+            h.absorb(b"junk");
+            h.reset();
+            let clean = h.digest();
+            h.absorb(b"payload");
+            h.reset();
+            assert_eq!(h.digest(), clean, "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn all_hashers_lists_four_schemes() {
+        let names: Vec<_> = all_hashers().iter().map(|h| h.name()).collect();
+        assert_eq!(names, ["crc32", "xor-fold", "additive", "fnv1a"]);
+    }
+}

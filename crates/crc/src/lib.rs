@@ -1,0 +1,144 @@
+//! CRC32 signature machinery for Rendering Elimination.
+//!
+//! The paper ("Rendering Elimination: Early Discard of Redundant Tiles in the
+//! Graphics Pipeline", HPCA 2019) signs the input bitstream of every screen
+//! tile with a CRC32 so that two frames' worth of tile inputs can be compared
+//! in O(1) space per tile. Three properties of CRC make the hardware design
+//! work:
+//!
+//! 1. **Incrementality** (paper Algorithm 1): the CRC of a concatenated
+//!    message `A‖B` can be formed from `CRC(A)`, `CRC(B)` and `|B|` alone:
+//!    `CRC(A‖B) = CRC(CRC(A) ≪ |B|) ⊕ CRC(B)`.
+//! 2. **Table parallelism** (paper §III-D, after Sun & Kim): the CRC of a
+//!    64-bit block is the XOR of eight 256-entry LUT lookups, one per byte.
+//! 3. **Zero-extension is cheap** (paper Algorithm 3): shifting a partial CRC
+//!    by `k` zero blocks only needs `k` applications of a 4-LUT circuit.
+//!
+//! These identities hold *exactly* for the **non-augmented** CRC, i.e. the
+//! plain polynomial remainder `CRC(M) = M(x) mod P(x)` with zero initial
+//! state and no final XOR, which is what this crate implements (the paper's
+//! Algorithms 1–3 are only algebraically consistent under this definition;
+//! see [`mod@reference`] for the derivation). Error-detection strength is the
+//! same as the conventional augmented CRC32.
+//!
+//! # Crate layout
+//!
+//! * [`mod@reference`] — bit-at-a-time reference implementation, the ground truth
+//!   every optimized path is tested against.
+//! * [`table`] — byte-at-a-time and slicing-by-8 software implementations.
+//! * [`combine`] — the concatenation identity (Algorithm 1) in software.
+//! * [`units`] — cycle-accounted models of the hardware blocks in the paper:
+//!   the *Sign* subunit (Fig. 10), the *Shift* subunit (Fig. 11), the
+//!   *Compute CRC* unit (Fig. 8 / Algorithm 2) and the *Accumulate CRC* unit
+//!   (Fig. 9 / Algorithm 3).
+//! * [`hashalt`] — alternative (weaker) hash functions used by the paper's
+//!   hash-quality ablation: XOR folding, FNV-1a and an additive checksum.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use re_crc::{Crc32, combine::concat};
+//!
+//! // Stream a message in two pieces...
+//! let mut h = Crc32::new();
+//! h.update(b"tile 42 ");
+//! h.update(b"inputs");
+//! // ...or sign the pieces independently and combine them.
+//! let a = Crc32::digest(b"tile 42 ");
+//! let b = Crc32::digest(b"inputs");
+//! assert_eq!(h.finalize(), concat(a, b, 8 * b"inputs".len() as u64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combine;
+pub mod hashalt;
+pub mod reference;
+pub mod table;
+pub mod units;
+
+/// The CRC-32 generator polynomial (IEEE 802.3), MSB-first, without the
+/// implicit leading `x³²` term: `x³² + x²⁶ + x²³ + … + x + 1`.
+pub const CRC32_POLY: u32 = 0x04C1_1DB7;
+
+/// Streaming non-augmented CRC32 hasher.
+///
+/// This is the software equivalent of what the paper's Signature Unit
+/// computes in hardware: the polynomial remainder of the byte stream fed to
+/// [`update`](Crc32::update), with zero initial state and no output XOR.
+///
+/// ```
+/// use re_crc::Crc32;
+///
+/// let mut h = Crc32::new();
+/// h.update(&[0xDE, 0xAD, 0xBE, 0xEF]);
+/// assert_eq!(h.finalize(), Crc32::digest(&[0xDE, 0xAD, 0xBE, 0xEF]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Creates a hasher with zero initial state.
+    pub fn new() -> Self {
+        Crc32 { state: 0 }
+    }
+
+    /// Absorbs `bytes` into the running CRC.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.state = table::update_slicing8(self.state, bytes);
+    }
+
+    /// Returns the CRC of everything absorbed so far.
+    pub fn finalize(&self) -> u32 {
+        self.state
+    }
+
+    /// One-shot CRC of `bytes`.
+    pub fn digest(bytes: &[u8]) -> u32 {
+        let mut h = Crc32::new();
+        h.update(bytes);
+        h.finalize()
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_matches_reference() {
+        for msg in [&b""[..], b"a", b"abc", b"rendering elimination"] {
+            assert_eq!(Crc32::digest(msg), reference::crc_bytes(msg));
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let msg = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..=msg.len() {
+            let mut h = Crc32::new();
+            h.update(&msg[..split]);
+            h.update(&msg[split..]);
+            assert_eq!(h.finalize(), Crc32::digest(msg), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(Crc32::digest(b""), 0);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        assert_eq!(Crc32::default(), Crc32::new());
+    }
+}

@@ -1,0 +1,207 @@
+//! Table-driven software CRC32 (byte-at-a-time and slicing-by-8).
+//!
+//! The hardware units in [`crate::units`] use dedicated LUT arrays sized as
+//! in the paper; this module provides the equivalent *software* fast paths
+//! used by the simulator itself (signing tile input streams can dominate
+//! simulation time, so the host-side implementation matters).
+
+use crate::CRC32_POLY;
+
+/// A 256-entry lookup table mapping a byte `b` to `b(x)·x^(32+shift·8) mod P`
+/// — i.e. the CRC contribution of byte `b` placed `shift` bytes before the
+/// end of a message that is then... more precisely: `table(s)[b]` is the
+/// remainder of the polynomial of byte `b` shifted left by `8·(s+1)` bits
+/// beyond degree 24, such that `table(0)` is the classic MSB-first CRC table.
+///
+/// `TABLE0[b] = (b as a degree-<8 polynomial) · x³² mod P` is what the
+/// standard byte-at-a-time loop consumes. Higher tables are built by feeding
+/// additional zero bytes, exactly as the paper's per-byte LUTs (Fig. 10).
+#[derive(Debug, Clone)]
+pub struct ByteTable {
+    entries: [u32; 256],
+}
+
+impl ByteTable {
+    /// Builds the table whose entry `b` is the CRC of the 1-byte message `b`
+    /// followed by `trailing_zero_bytes` zero bytes.
+    pub fn with_trailing_zeros(trailing_zero_bytes: usize) -> Self {
+        let mut entries = [0u32; 256];
+        for (b, e) in entries.iter_mut().enumerate() {
+            let mut state = 0u32;
+            state = feed_byte_bitwise(state, b as u8);
+            for _ in 0..trailing_zero_bytes {
+                state = feed_byte_bitwise(state, 0);
+            }
+            *e = state;
+        }
+        ByteTable { entries }
+    }
+
+    /// Looks up the precomputed CRC for byte `b`.
+    #[inline]
+    pub fn lookup(&self, b: u8) -> u32 {
+        self.entries[b as usize]
+    }
+
+    /// Storage cost in bytes (each entry is a 32-bit CRC). The paper charges
+    /// 1 KB per LUT (§III-D).
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.len() * 4
+    }
+}
+
+#[inline]
+fn feed_byte_bitwise(mut state: u32, byte: u8) -> u32 {
+    for i in (0..8).rev() {
+        let bit = (byte >> i) & 1 == 1;
+        let carry = state >> 31;
+        state = (state << 1) | bit as u32;
+        if carry != 0 {
+            state ^= CRC32_POLY;
+        }
+    }
+    state
+}
+
+/// The classic MSB-first table: `T[b] = crc(b‖0⁴)`, equivalently
+/// `b(x)·x³² mod P`. Used by [`update_bytes`].
+fn classic_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (b, e) in t.iter_mut().enumerate() {
+            // crc of byte b followed by four zero bytes == b(x)·x³² mod P.
+            let mut state = feed_byte_bitwise(0, b as u8);
+            for _ in 0..4 {
+                state = feed_byte_bitwise(state, 0);
+            }
+            *e = state;
+        }
+        t
+    })
+}
+
+/// Slicing-by-8 tables: `S[j][b] = crc(b ‖ 0^(4+j))`, so that eight bytes can
+/// be folded into the state with eight independent lookups — the software
+/// analogue of the paper's Sign subunit.
+fn slicing_tables() -> &'static [[u32; 256]; 8] {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (j, tj) in t.iter_mut().enumerate() {
+            for (b, e) in tj.iter_mut().enumerate() {
+                let mut state = feed_byte_bitwise(0, b as u8);
+                for _ in 0..(4 + j) {
+                    state = feed_byte_bitwise(state, 0);
+                }
+                *e = state;
+            }
+        }
+        t
+    })
+}
+
+/// Byte-at-a-time non-augmented CRC update.
+///
+/// Appending byte `d` maps the message `M` to `M·x⁸ + d`, so the new state is
+/// `(state·x⁸ + d) mod P = T[state≫24] ⊕ (state≪8) ⊕ d`.
+pub fn update_bytes(mut state: u32, bytes: &[u8]) -> u32 {
+    let t = classic_table();
+    for &d in bytes {
+        state = t[(state >> 24) as usize] ^ (state << 8) ^ d as u32;
+    }
+    state
+}
+
+/// Slicing-by-8 non-augmented CRC update; processes 8 bytes per iteration.
+pub fn update_slicing8(mut state: u32, bytes: &[u8]) -> u32 {
+    let s = slicing_tables();
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        // New state = (state·x⁶⁴ ⊕ chunk) mod P. The state's four bytes sit
+        // at degrees 88/80/72/64 after the shift (tables S[7]..S[4]); the
+        // chunk's high four bytes sit at 56/48/40/32 (tables S[3]..S[0]);
+        // its low four bytes are already below degree 32 and contribute
+        // their literal value.
+        let sb = state.to_be_bytes();
+        state = s[7][sb[0] as usize]
+            ^ s[6][sb[1] as usize]
+            ^ s[5][sb[2] as usize]
+            ^ s[4][sb[3] as usize]
+            ^ s[3][c[0] as usize]
+            ^ s[2][c[1] as usize]
+            ^ s[1][c[2] as usize]
+            ^ s[0][c[3] as usize]
+            ^ u32::from_be_bytes([c[4], c[5], c[6], c[7]]);
+    }
+    update_bytes(state, chunks.remainder())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn byte_table_zero_matches_reference_single_bytes() {
+        let t = ByteTable::with_trailing_zeros(0);
+        for b in 0..=255u8 {
+            assert_eq!(t.lookup(b), reference::crc_bytes(&[b]));
+        }
+    }
+
+    #[test]
+    fn byte_table_with_zeros_matches_reference() {
+        let t = ByteTable::with_trailing_zeros(3);
+        for b in [0u8, 1, 0x80, 0xFF, 0x5A] {
+            assert_eq!(t.lookup(b), reference::crc_bytes(&[b, 0, 0, 0]));
+        }
+    }
+
+    #[test]
+    fn table_storage_is_1kb() {
+        // §III-D: "the size of each LUT is 1 KB".
+        assert_eq!(ByteTable::with_trailing_zeros(0).storage_bytes(), 1024);
+    }
+
+    #[test]
+    fn update_bytes_matches_reference() {
+        let msgs: &[&[u8]] = &[b"", b"x", b"tile inputs", &[0xFF; 33]];
+        for m in msgs {
+            assert_eq!(update_bytes(0, m), reference::crc_bytes(m));
+        }
+    }
+
+    #[test]
+    fn update_bytes_resumes_from_state() {
+        let m = b"split across calls";
+        for cut in 0..m.len() {
+            let s = update_bytes(0, &m[..cut]);
+            assert_eq!(update_bytes(s, &m[cut..]), reference::crc_bytes(m));
+        }
+    }
+
+    #[test]
+    fn slicing8_matches_reference_all_lengths() {
+        let data: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                update_slicing8(0, &data[..len]),
+                reference::crc_bytes(&data[..len]),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn slicing8_resumes_from_nonzero_state() {
+        let head = b"state carried";
+        let tail = b"over 8-byte chunks of message!!";
+        let s = update_slicing8(0, head);
+        let mut full = head.to_vec();
+        full.extend_from_slice(tail);
+        assert_eq!(update_slicing8(s, tail), reference::crc_bytes(&full));
+    }
+}

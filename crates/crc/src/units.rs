@@ -1,0 +1,454 @@
+//! Cycle-accounted models of the paper's CRC hardware blocks.
+//!
+//! The Signature Unit (paper Fig. 7) is built from two blocks modelled here:
+//!
+//! * the **Compute CRC unit** (Fig. 8, Algorithm 2) signs a variable-length
+//!   data block — a primitive's attributes or a drawcall's constants — by
+//!   consuming one 64-bit subblock per cycle through the *Sign* subunit
+//!   (Fig. 10, eight 1 KB LUTs) and folding with the *Shift* subunit;
+//! * the **Accumulate CRC unit** (Fig. 9, Algorithm 3) aligns a tile's
+//!   partial CRC with the block just signed by applying the Shift subunit
+//!   once per 64-bit subblock of that block (one cycle each).
+//!
+//! Both expose the cycle counts the paper quotes in §III-G: signing the
+//! average 64-byte constants block takes 8 cycles and the average 144-byte
+//! primitive (3 attributes × 48 bytes) takes 18 cycles.
+
+use crate::table::ByteTable;
+use crate::Crc32;
+
+/// Number of bytes consumed per Compute-CRC-unit cycle (§III-G: "subblocks
+/// of size 8 bytes signed with eight 1-KB LUTs").
+pub const SUBBLOCK_BYTES: usize = 8;
+
+/// The Sign subunit (paper Fig. 10): computes the CRC32 of one subblock
+/// with one byte LUT per subblock byte, XORing all outputs.
+///
+/// LUT `i` (0 = most significant byte) stores the CRC of its byte followed
+/// by `width − 1 − i` zero bytes, so the XOR of the lookups is exactly the
+/// CRC of the `width`-byte message. The paper's design uses `width = 8`
+/// (eight 1 KB LUTs); other widths exist for the §III-G trade-off ablation.
+#[derive(Debug, Clone)]
+pub struct SignSubunit {
+    luts: Vec<ByteTable>,
+}
+
+impl SignSubunit {
+    /// Builds the paper's eight LUTs (8 KB of storage).
+    pub fn new() -> Self {
+        Self::with_width(SUBBLOCK_BYTES)
+    }
+
+    /// Builds a Sign subunit for `width`-byte subblocks (`width` ≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn with_width(width: usize) -> Self {
+        assert!(width > 0, "subblock width must be positive");
+        let luts = (0..width)
+            .map(|i| ByteTable::with_trailing_zeros(width - 1 - i))
+            .collect();
+        SignSubunit { luts }
+    }
+
+    /// The subblock width in bytes.
+    pub fn width(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// CRC32 of one `width`-byte subblock, in one (modelled) cycle.
+    ///
+    /// # Panics
+    /// Panics if `subblock.len() != self.width()`.
+    pub fn sign(&self, subblock: &[u8]) -> u32 {
+        assert_eq!(subblock.len(), self.width(), "subblock width mismatch");
+        self.luts
+            .iter()
+            .zip(subblock)
+            .fold(0, |acc, (lut, &b)| acc ^ lut.lookup(b))
+    }
+
+    /// Total LUT storage in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.luts.iter().map(ByteTable::storage_bytes).sum()
+    }
+}
+
+impl Default for SignSubunit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The Shift subunit (paper Fig. 11): maps a 32-bit partial CRC `c` to the
+/// CRC of `c` followed by 64 zero bits (`c·x⁶⁴ mod P`), with four parallel
+/// byte LUTs.
+///
+/// Byte `i` of `c` (0 = most significant) sits at degree `8·(3−i)`; after
+/// a `width`-byte zero extension it contributes
+/// `byte·x^(8·(width+3−i)) mod P`, so LUT `i` stores the CRC of its byte
+/// followed by `width + 3 − i` zero bytes (the paper's `width = 8` gives
+/// `11 − i`).
+#[derive(Debug, Clone)]
+pub struct ShiftSubunit {
+    luts: Vec<ByteTable>,
+    width: usize,
+}
+
+impl ShiftSubunit {
+    /// Builds the paper's four LUTs (4 KB of storage, 64-bit shifts).
+    pub fn new() -> Self {
+        Self::with_width(SUBBLOCK_BYTES)
+    }
+
+    /// Builds a Shift subunit extending by `width` zero bytes per cycle.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn with_width(width: usize) -> Self {
+        assert!(width > 0, "subblock width must be positive");
+        let luts = (0..4)
+            .map(|i| ByteTable::with_trailing_zeros(width + 3 - i))
+            .collect();
+        ShiftSubunit { luts, width }
+    }
+
+    /// The extension width in bytes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// CRC of `crc` extended by one zero subblock (`width` zero bytes), in
+    /// one (modelled) cycle.
+    pub fn shift64(&self, crc: u32) -> u32 {
+        let bytes = crc.to_be_bytes();
+        self.luts
+            .iter()
+            .zip(bytes)
+            .fold(0, |acc, (lut, b)| acc ^ lut.lookup(b))
+    }
+
+    /// Total LUT storage in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.luts.iter().map(ByteTable::storage_bytes).sum()
+    }
+}
+
+impl Default for ShiftSubunit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The Compute CRC unit (paper Fig. 8, Algorithm 2).
+///
+/// Signs a variable-length block 8 bytes per cycle and reports the *shift
+/// amount* (number of 64-bit subblocks) the Accumulate unit will need.
+/// Blocks whose length is not a multiple of 8 bytes are zero-padded to the
+/// next subblock; the padding is deterministic, so equal inputs still map to
+/// equal signatures across frames.
+#[derive(Debug, Clone)]
+pub struct ComputeCrcUnit {
+    sign: SignSubunit,
+    shift: ShiftSubunit,
+    cycles: u64,
+}
+
+/// Result of signing one block with the Compute CRC unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignedBlock {
+    /// CRC32 of the (zero-padded) block.
+    pub crc: u32,
+    /// Number of 64-bit subblocks consumed — the `ShiftAmount` register of
+    /// the paper, handed to the Accumulate CRC unit.
+    pub shift_amount: u32,
+}
+
+impl ComputeCrcUnit {
+    /// Creates the unit with freshly built LUTs at the paper's 8-byte
+    /// subblock width.
+    pub fn new() -> Self {
+        Self::with_width(SUBBLOCK_BYTES)
+    }
+
+    /// Creates the unit for a different subblock width (the §III-G
+    /// cycles-vs-storage trade-off ablation).
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn with_width(width: usize) -> Self {
+        ComputeCrcUnit {
+            sign: SignSubunit::with_width(width),
+            shift: ShiftSubunit::with_width(width),
+            cycles: 0,
+        }
+    }
+
+    /// The subblock width in bytes.
+    pub fn width(&self) -> usize {
+        self.sign.width()
+    }
+
+    /// Signs `block`, consuming one cycle per subblock (Algorithm 2).
+    pub fn sign_block(&mut self, block: &[u8]) -> SignedBlock {
+        let width = self.width();
+        let mut crc_out = 0u32;
+        let mut shift_amount = 0u32;
+        let mut chunks = block.chunks_exact(width);
+        for c in &mut chunks {
+            crc_out = self.sign.sign(c) ^ self.shift.shift64(crc_out);
+            shift_amount += 1;
+            self.cycles += 1;
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut sub = vec![0u8; width];
+            sub[..rem.len()].copy_from_slice(rem);
+            crc_out = self.sign.sign(&sub) ^ self.shift.shift64(crc_out);
+            shift_amount += 1;
+            self.cycles += 1;
+        }
+        SignedBlock { crc: crc_out, shift_amount }
+    }
+
+    /// Cycles spent by this unit since construction (or the last
+    /// [`reset_cycles`](Self::reset_cycles)).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Clears the cycle counter (e.g. at a frame boundary).
+    pub fn reset_cycles(&mut self) {
+        self.cycles = 0;
+    }
+
+    /// Total LUT storage (Sign + Shift subunits).
+    pub fn storage_bytes(&self) -> usize {
+        self.sign.storage_bytes() + self.shift.storage_bytes()
+    }
+}
+
+impl Default for ComputeCrcUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The Accumulate CRC unit (paper Fig. 9, Algorithm 3).
+///
+/// Extends a tile's previous partial CRC by as many zero subblocks as the
+/// Compute unit consumed, one Shift-subunit application (one cycle) per
+/// subblock. The caller XORs the result with [`SignedBlock::crc`] to obtain
+/// the tile's new signature.
+#[derive(Debug, Clone)]
+pub struct AccumulateCrcUnit {
+    shift: ShiftSubunit,
+    cycles: u64,
+}
+
+impl AccumulateCrcUnit {
+    /// Creates the unit with a freshly built Shift subunit.
+    pub fn new() -> Self {
+        AccumulateCrcUnit { shift: ShiftSubunit::new(), cycles: 0 }
+    }
+
+    /// Applies `shift_amount` zero-subblock extensions to `prev_crc`
+    /// (Algorithm 3), consuming one cycle per iteration.
+    pub fn accumulate(&mut self, prev_crc: u32, shift_amount: u32) -> u32 {
+        let mut acc = prev_crc;
+        for _ in 0..shift_amount {
+            acc = self.shift.shift64(acc);
+            self.cycles += 1;
+        }
+        acc
+    }
+
+    /// Cycles spent by this unit since construction or the last reset.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Clears the cycle counter.
+    pub fn reset_cycles(&mut self) {
+        self.cycles = 0;
+    }
+
+    /// LUT storage of the embedded Shift subunit.
+    pub fn storage_bytes(&self) -> usize {
+        self.shift.storage_bytes()
+    }
+}
+
+impl Default for AccumulateCrcUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Convenience: folds a signed block into a tile's running signature, the
+/// XOR at the output of the two units in Fig. 7.
+pub fn fold_block(acc_unit: &mut AccumulateCrcUnit, prev: u32, block: SignedBlock) -> u32 {
+    acc_unit.accumulate(prev, block.shift_amount) ^ block.crc
+}
+
+/// Software fast path equivalent to [`ComputeCrcUnit::sign_block`] +
+/// [`fold_block`] without cycle accounting — used by redundancy-analysis
+/// passes that only need the final signatures.
+pub fn fold_block_software(prev: u32, block: &[u8]) -> u32 {
+    let padded_len = block.len().div_ceil(SUBBLOCK_BYTES) * SUBBLOCK_BYTES;
+    let mut crc = Crc32::new();
+    crc.update(block);
+    // Account for the deterministic zero padding the hardware applies.
+    let pad = padded_len - block.len();
+    crc.update(&[0u8; SUBBLOCK_BYTES][..pad]);
+    crate::combine::concat(prev, crc.finalize(), 8 * padded_len as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn sign_subunit_matches_reference() {
+        let s = SignSubunit::new();
+        let blocks: [[u8; 8]; 3] = [
+            [0; 8],
+            [1, 2, 3, 4, 5, 6, 7, 8],
+            [0xFF, 0xA5, 0x00, 0x42, 0x13, 0x37, 0xC0, 0xDE],
+        ];
+        for b in blocks {
+            assert_eq!(s.sign(&b), reference::crc_bytes(&b));
+        }
+    }
+
+    #[test]
+    fn sign_subunit_storage_is_8kb() {
+        assert_eq!(SignSubunit::new().storage_bytes(), 8 * 1024);
+    }
+
+    #[test]
+    fn shift_subunit_matches_reference() {
+        let s = ShiftSubunit::new();
+        for crc in [0u32, 1, 0xDEAD_BEEF, 0xFFFF_FFFF] {
+            assert_eq!(s.shift64(crc), reference::shift_zeros(crc, 64));
+        }
+    }
+
+    #[test]
+    fn compute_unit_matches_oneshot_crc() {
+        let mut u = ComputeCrcUnit::new();
+        let block: Vec<u8> = (0..48u8).collect(); // one 48-byte attribute
+        let out = u.sign_block(&block);
+        assert_eq!(out.crc, Crc32::digest(&block));
+        assert_eq!(out.shift_amount, 6);
+        assert_eq!(u.cycles(), 6);
+    }
+
+    #[test]
+    fn compute_unit_pads_partial_subblock() {
+        let mut u = ComputeCrcUnit::new();
+        let block = [0xABu8; 11]; // 11 bytes → padded to 16
+        let out = u.sign_block(&block);
+        let mut padded = block.to_vec();
+        padded.extend_from_slice(&[0; 5]);
+        assert_eq!(out.crc, Crc32::digest(&padded));
+        assert_eq!(out.shift_amount, 2);
+    }
+
+    #[test]
+    fn paper_latencies_constants_and_primitive() {
+        // §III-G: average constants block = 16 values × 4 B = 64 B → 8
+        // cycles; average primitive = 3 attributes × 48 B = 144 B → 18.
+        let mut u = ComputeCrcUnit::new();
+        u.sign_block(&vec![0x11; 64]);
+        assert_eq!(u.cycles(), 8);
+        u.reset_cycles();
+        u.sign_block(&vec![0x22; 144]);
+        assert_eq!(u.cycles(), 18);
+    }
+
+    #[test]
+    fn accumulate_unit_matches_reference_shift() {
+        let mut a = AccumulateCrcUnit::new();
+        let crc = Crc32::digest(b"partial tile state");
+        let shifted = a.accumulate(crc, 3);
+        assert_eq!(shifted, reference::shift_zeros(crc, 3 * 64));
+        assert_eq!(a.cycles(), 3);
+    }
+
+    #[test]
+    fn units_compose_to_concatenated_crc() {
+        // Signing block A then folding block B must equal CRC(A‖B) for
+        // 8-byte-aligned blocks, the invariant the Signature Buffer relies on.
+        let a = vec![0x5Au8; 64];
+        let b: Vec<u8> = (0..144u8).collect();
+        let mut cu = ComputeCrcUnit::new();
+        let mut au = AccumulateCrcUnit::new();
+        let sig_a = cu.sign_block(&a).crc;
+        let sig_ab = fold_block(&mut au, sig_a, cu.sign_block(&b));
+        let mut ab = a.clone();
+        ab.extend_from_slice(&b);
+        assert_eq!(sig_ab, Crc32::digest(&ab));
+    }
+
+    #[test]
+    fn software_fold_matches_hardware_fold() {
+        let blocks: [&[u8]; 4] = [b"constants!!!", b"attr", &[0u8; 48], &[9u8; 7]];
+        let mut cu = ComputeCrcUnit::new();
+        let mut au = AccumulateCrcUnit::new();
+        let mut hw = 0u32;
+        let mut sw = 0u32;
+        for b in blocks {
+            hw = fold_block(&mut au, hw, cu.sign_block(b));
+            sw = fold_block_software(sw, b);
+            assert_eq!(hw, sw);
+        }
+    }
+
+    #[test]
+    fn cycle_counters_reset() {
+        let mut cu = ComputeCrcUnit::new();
+        cu.sign_block(&[0; 8]);
+        assert_eq!(cu.cycles(), 1);
+        cu.reset_cycles();
+        assert_eq!(cu.cycles(), 0);
+        let mut au = AccumulateCrcUnit::new();
+        au.accumulate(5, 4);
+        au.reset_cycles();
+        assert_eq!(au.cycles(), 0);
+    }
+
+    #[test]
+    fn all_widths_compute_the_same_crc() {
+        // The subblock width is a pure throughput/storage trade-off: the
+        // computed CRC must be identical for every width on width-aligned
+        // blocks (192 is a multiple of 4, 8, 16 and 32).
+        let block: Vec<u8> = (0..192u8).collect();
+        let expected = Crc32::digest(&block);
+        for width in [4usize, 8, 16, 32] {
+            let mut u = ComputeCrcUnit::with_width(width);
+            let out = u.sign_block(&block);
+            assert_eq!(out.crc, expected, "width {width}");
+            assert_eq!(u.cycles(), (192 / width) as u64, "width {width}");
+            assert_eq!(u.width(), width);
+        }
+    }
+
+    #[test]
+    fn wider_subblocks_cost_more_storage() {
+        let w4 = ComputeCrcUnit::with_width(4).storage_bytes();
+        let w8 = ComputeCrcUnit::with_width(8).storage_bytes();
+        let w32 = ComputeCrcUnit::with_width(32).storage_bytes();
+        assert!(w4 < w8 && w8 < w32);
+        // Paper configuration: 8 sign LUTs + 4 shift LUTs = 12 KB.
+        assert_eq!(w8, 12 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn sign_rejects_wrong_width() {
+        let s = SignSubunit::with_width(8);
+        let _ = s.sign(&[0u8; 4]);
+    }
+}

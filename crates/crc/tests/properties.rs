@@ -1,0 +1,116 @@
+//! Property-based tests for the CRC machinery (DESIGN.md §6, invariants 1-3).
+
+use proptest::prelude::*;
+use re_crc::combine::{concat, shift_zeros_fast};
+use re_crc::units::{fold_block, fold_block_software, AccumulateCrcUnit, ComputeCrcUnit};
+use re_crc::{reference, table, Crc32};
+
+proptest! {
+    /// Table-driven byte-at-a-time CRC equals the bitwise reference.
+    #[test]
+    fn table_matches_reference(msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(table::update_bytes(0, &msg), reference::crc_bytes(&msg));
+    }
+
+    /// Slicing-by-8 equals the bitwise reference for any length/content.
+    #[test]
+    fn slicing8_matches_reference(msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(table::update_slicing8(0, &msg), reference::crc_bytes(&msg));
+    }
+
+    /// Streaming over arbitrary splits equals the one-shot digest.
+    #[test]
+    fn streaming_split_invariant(
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+        cuts in proptest::collection::vec(any::<usize>(), 0..5),
+    ) {
+        let mut h = Crc32::new();
+        let mut idx: Vec<usize> = cuts.iter().map(|c| c % (msg.len() + 1)).collect();
+        idx.sort_unstable();
+        let mut prev = 0;
+        for c in idx {
+            h.update(&msg[prev..c]);
+            prev = c;
+        }
+        h.update(&msg[prev..]);
+        prop_assert_eq!(h.finalize(), Crc32::digest(&msg));
+    }
+
+    /// Algorithm 1: concat(crc(A), crc(B), |B|) == crc(A‖B).
+    #[test]
+    fn concat_identity(
+        a in proptest::collection::vec(any::<u8>(), 0..128),
+        b in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut ab = a.clone();
+        ab.extend_from_slice(&b);
+        prop_assert_eq!(
+            concat(Crc32::digest(&a), Crc32::digest(&b), 8 * b.len() as u64),
+            Crc32::digest(&ab)
+        );
+    }
+
+    /// Log-time zero-extension equals bit-at-a-time zero feeding.
+    #[test]
+    fn fast_shift_matches_reference(seed in any::<u32>(), bits in 0u64..5000) {
+        prop_assert_eq!(shift_zeros_fast(seed, bits), reference::shift_zeros(seed, bits));
+    }
+
+    /// Hardware Compute+Accumulate composition equals the direct CRC of the
+    /// concatenated, per-block zero-padded stream (invariant 3).
+    #[test]
+    fn hardware_units_match_direct_crc(
+        blocks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 1..6),
+    ) {
+        let mut cu = ComputeCrcUnit::new();
+        let mut au = AccumulateCrcUnit::new();
+        let mut hw = 0u32;
+        let mut padded_stream = Vec::new();
+        for b in &blocks {
+            hw = fold_block(&mut au, hw, cu.sign_block(b));
+            padded_stream.extend_from_slice(b);
+            let pad = b.len().div_ceil(8) * 8 - b.len();
+            padded_stream.extend(std::iter::repeat(0u8).take(pad));
+        }
+        prop_assert_eq!(hw, Crc32::digest(&padded_stream));
+    }
+
+    /// The software fold fast path tracks the hardware model exactly.
+    #[test]
+    fn software_fold_tracks_hardware(
+        blocks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..6),
+    ) {
+        let mut cu = ComputeCrcUnit::new();
+        let mut au = AccumulateCrcUnit::new();
+        let mut hw = 0u32;
+        let mut sw = 0u32;
+        for b in &blocks {
+            hw = fold_block(&mut au, hw, cu.sign_block(b));
+            sw = fold_block_software(sw, b);
+        }
+        prop_assert_eq!(hw, sw);
+    }
+
+    /// Compute-unit cycle count is exactly ⌈len/8⌉ per block (§III-G).
+    #[test]
+    fn compute_cycles_are_ceil_len_over_8(block in proptest::collection::vec(any::<u8>(), 1..300)) {
+        let mut cu = ComputeCrcUnit::new();
+        let out = cu.sign_block(&block);
+        prop_assert_eq!(cu.cycles(), block.len().div_ceil(8) as u64);
+        prop_assert_eq!(out.shift_amount as u64, cu.cycles());
+    }
+
+    /// Single-bit corruption anywhere always changes the CRC (error
+    /// detection property that underpins the ~2⁻³² false-positive claim).
+    #[test]
+    fn single_bit_flip_always_detected(
+        msg in proptest::collection::vec(any::<u8>(), 1..128),
+        byte_sel in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut flipped = msg.clone();
+        let i = byte_sel % msg.len();
+        flipped[i] ^= 1 << bit;
+        prop_assert_ne!(Crc32::digest(&msg), Crc32::digest(&flipped));
+    }
+}

@@ -1,0 +1,224 @@
+//! The command-level API: pipeline state, drawcalls and frames.
+//!
+//! This is the abstraction of the OpenGL ES command stream that the paper's
+//! trace generator captures: a frame is a clear color plus an ordered list
+//! of drawcalls, each carrying its pipeline state (shaders, texture, blend
+//! and depth modes), its constants ("uniforms") and a triangle list of
+//! vertices.
+
+use re_math::{Color, Vec4};
+
+use crate::shader::ShaderProgram;
+use crate::texture::{Filter, TextureId};
+
+/// Fixed-function state bound for a drawcall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineState {
+    /// Vertex program (leaves clip position in `r0`, varyings in `r1..`).
+    pub vertex_shader: ShaderProgram,
+    /// Fragment program (leaves color in `r0`).
+    pub fragment_shader: ShaderProgram,
+    /// Texture bound to the fragment stage, if any.
+    pub texture: Option<TextureId>,
+    /// Texture filtering mode.
+    pub filter: Filter,
+    /// Alpha blending (`src-alpha / one-minus-src-alpha`) vs replace.
+    pub blend: bool,
+    /// Whether fragments are depth-tested against the tile's depth buffer.
+    pub depth_test: bool,
+    /// Whether passing fragments update the depth buffer.
+    pub depth_write: bool,
+    /// Whether back-facing (clockwise) triangles are culled at assembly.
+    pub cull_backface: bool,
+}
+
+impl PipelineState {
+    /// Typical 2D sprite state: transform VS, textured FS, blending on,
+    /// depth off — what puzzle/arcade games use.
+    pub fn sprite_2d(texture: TextureId) -> Self {
+        PipelineState {
+            vertex_shader: crate::shader::presets::vs_transform(2),
+            fragment_shader: crate::shader::presets::fs_textured(),
+            texture: Some(texture),
+            filter: Filter::Bilinear,
+            blend: true,
+            depth_test: false,
+            depth_write: false,
+            cull_backface: false,
+        }
+    }
+
+    /// Typical 3D opaque state: transform VS, lit textured FS, no blending,
+    /// depth test + write, backface culling.
+    pub fn mesh_3d(texture: TextureId) -> Self {
+        PipelineState {
+            vertex_shader: crate::shader::presets::vs_transform(3),
+            fragment_shader: crate::shader::presets::fs_textured_lit(),
+            texture: Some(texture),
+            filter: Filter::Bilinear,
+            blend: false,
+            depth_test: true,
+            depth_write: true,
+            cull_backface: true,
+        }
+    }
+
+    /// Flat-colored untextured state (UI rectangles, background fills).
+    pub fn flat_2d() -> Self {
+        PipelineState {
+            vertex_shader: crate::shader::presets::vs_transform(1),
+            fragment_shader: crate::shader::presets::fs_flat(),
+            texture: None,
+            filter: Filter::Nearest,
+            blend: true,
+            depth_test: false,
+            depth_write: false,
+            cull_backface: false,
+        }
+    }
+}
+
+/// One vertex: attribute 0 is the object-space position; further attributes
+/// feed the vertex shader (color, UV, normal, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vertex {
+    /// Attribute values; `attrs[0]` must be the position.
+    pub attrs: Vec<Vec4>,
+}
+
+impl Vertex {
+    /// Builds a vertex from its attributes.
+    ///
+    /// # Panics
+    /// Panics if `attrs` is empty (a vertex must at least have a position).
+    pub fn new(attrs: Vec<Vec4>) -> Self {
+        assert!(!attrs.is_empty(), "vertex needs at least a position attribute");
+        Vertex { attrs }
+    }
+
+    /// Byte footprint in the vertex buffer (16 bytes per attribute).
+    pub fn stride(&self) -> u32 {
+        self.attrs.len() as u32 * 16
+    }
+}
+
+/// A drawcall: pipeline state + constants + a triangle list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrawCall {
+    /// Bound fixed-function and programmable state.
+    pub state: PipelineState,
+    /// Drawcall constants in vec4 slots; slots 0–3 conventionally hold the
+    /// column-major MVP matrix. The paper's "average command that updates
+    /// constants modifies 16 values" corresponds to these 4 slots (64 B).
+    pub constants: Vec<Vec4>,
+    /// Vertices, consumed three at a time as triangles. A trailing partial
+    /// triangle is ignored.
+    pub vertices: Vec<Vertex>,
+}
+
+impl DrawCall {
+    /// Number of whole triangles submitted.
+    pub fn triangle_count(&self) -> usize {
+        self.vertices.len() / 3
+    }
+
+    /// Serializes the constants block exactly as it enters the Signature
+    /// Unit: vec4 slots, little-endian floats, in slot order.
+    pub fn constants_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.constants.len() * 16);
+        for v in &self.constants {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// A frame: clear color plus ordered drawcalls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameDesc {
+    /// Color the on-chip Color Buffer is initialized to for every tile.
+    pub clear_color: Color,
+    /// Drawcalls in submission order.
+    pub drawcalls: Vec<DrawCall>,
+    /// Set when this frame (re)bound shaders or uploaded textures — global
+    /// state the tile signature does not cover. The driver disables
+    /// Rendering Elimination for such frames (paper §III-E).
+    pub re_unsafe: bool,
+}
+
+impl FrameDesc {
+    /// An empty frame that clears to black.
+    pub fn new() -> Self {
+        FrameDesc { clear_color: Color::BLACK, drawcalls: Vec::new(), re_unsafe: false }
+    }
+
+    /// Total triangles across all drawcalls.
+    pub fn triangle_count(&self) -> usize {
+        self.drawcalls.iter().map(DrawCall::triangle_count).sum()
+    }
+}
+
+impl Default for FrameDesc {
+    fn default() -> Self {
+        FrameDesc::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_bytes_layout() {
+        let dc = DrawCall {
+            state: PipelineState::flat_2d(),
+            constants: vec![Vec4::new(1.0, 2.0, 3.0, 4.0)],
+            vertices: Vec::new(),
+        };
+        let b = dc.constants_bytes();
+        assert_eq!(b.len(), 16);
+        assert_eq!(f32::from_le_bytes(b[4..8].try_into().unwrap()), 2.0);
+    }
+
+    #[test]
+    fn mvp_constants_are_64_bytes() {
+        // The paper's "average constants block" (16 four-byte values).
+        let dc = DrawCall {
+            state: PipelineState::flat_2d(),
+            constants: re_math::Mat4::IDENTITY.cols.to_vec(),
+            vertices: Vec::new(),
+        };
+        assert_eq!(dc.constants_bytes().len(), 64);
+    }
+
+    #[test]
+    fn triangle_count_ignores_partial() {
+        let v = Vertex::new(vec![Vec4::ZERO]);
+        let dc = DrawCall {
+            state: PipelineState::flat_2d(),
+            constants: vec![],
+            vertices: vec![v.clone(), v.clone(), v.clone(), v.clone()],
+        };
+        assert_eq!(dc.triangle_count(), 1);
+    }
+
+    #[test]
+    fn vertex_stride_counts_attributes() {
+        let v = Vertex::new(vec![Vec4::ZERO, Vec4::ZERO, Vec4::ZERO]);
+        assert_eq!(v.stride(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a position")]
+    fn empty_vertex_panics() {
+        let _ = Vertex::new(vec![]);
+    }
+
+    #[test]
+    fn empty_frame_defaults() {
+        let f = FrameDesc::default();
+        assert_eq!(f.clear_color, Color::BLACK);
+        assert_eq!(f.triangle_count(), 0);
+        assert!(!f.re_unsafe);
+    }
+}

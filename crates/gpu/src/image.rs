@@ -1,0 +1,158 @@
+//! Frame-buffer image export (binary PPM) and perceptual diffing.
+//!
+//! Useful for eyeballing what the synthetic workloads actually render and
+//! for golden-image regression tests: PPM is self-contained (no codec
+//! dependency) and loads everywhere.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use re_math::Color;
+
+use crate::framebuffer::ColorSurface;
+
+/// Serializes a color surface as a binary PPM (`P6`) byte stream.
+pub fn to_ppm(surface: &ColorSurface, width: u32, height: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + (width * height * 3) as usize);
+    out.extend_from_slice(format!("P6\n{width} {height}\n255\n").as_bytes());
+    for y in 0..height {
+        for x in 0..width {
+            let c = surface.pixel(x, y);
+            out.extend_from_slice(&[c.r, c.g, c.b]);
+        }
+    }
+    out
+}
+
+/// Writes a color surface to `path` as binary PPM.
+///
+/// # Errors
+/// Returns any I/O error from creating or writing the file.
+pub fn write_ppm(
+    surface: &ColorSurface,
+    width: u32,
+    height: u32,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&to_ppm(surface, width, height))
+}
+
+/// Result of comparing two equally-sized surfaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageDiff {
+    /// Pixels whose packed RGBA differs.
+    pub differing_pixels: u64,
+    /// Largest absolute per-channel difference observed.
+    pub max_channel_delta: u8,
+    /// Mean absolute per-channel difference over all pixels and channels.
+    pub mean_abs_delta: f64,
+}
+
+impl ImageDiff {
+    /// Whether the images are bit-identical.
+    pub fn identical(&self) -> bool {
+        self.differing_pixels == 0
+    }
+}
+
+/// Compares two surfaces pixel by pixel over `width × height`.
+pub fn diff(a: &ColorSurface, b: &ColorSurface, width: u32, height: u32) -> ImageDiff {
+    let mut differing = 0u64;
+    let mut max_delta = 0u8;
+    let mut sum = 0u64;
+    let chan = |x: Color| [x.r, x.g, x.b, x.a];
+    for y in 0..height {
+        for x in 0..width {
+            let (pa, pb) = (a.pixel(x, y), b.pixel(x, y));
+            if pa != pb {
+                differing += 1;
+            }
+            for (ca, cb) in chan(pa).into_iter().zip(chan(pb)) {
+                let d = ca.abs_diff(cb);
+                max_delta = max_delta.max(d);
+                sum += d as u64;
+            }
+        }
+    }
+    ImageDiff {
+        differing_pixels: differing,
+        max_channel_delta: max_delta,
+        mean_abs_delta: sum as f64 / (width as f64 * height as f64 * 4.0),
+    }
+}
+
+/// A 64-bit FNV-1a digest of the surface contents — a compact fingerprint
+/// for golden-image regression tests.
+pub fn fingerprint(surface: &ColorSurface, width: u32, height: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for y in 0..height {
+        for x in 0..width {
+            for byte in surface.pixel(x, y).to_u32().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Framebuffer, GpuConfig};
+
+    fn fb() -> (Framebuffer, u32, u32) {
+        let cfg = GpuConfig { width: 8, height: 4, tile_size: 16, ..Default::default() };
+        (Framebuffer::new(cfg), 8, 4)
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let (fb, w, h) = fb();
+        let ppm = to_ppm(fb.back(), w, h);
+        assert!(ppm.starts_with(b"P6\n8 4\n255\n"));
+        assert_eq!(ppm.len(), 11 + (8 * 4 * 3));
+    }
+
+    #[test]
+    fn ppm_pixel_order_is_row_major_rgb() {
+        let (mut fb, w, h) = fb();
+        fb.back_mut().put_pixel(1, 0, Color::new(10, 20, 30, 255));
+        let ppm = to_ppm(fb.back(), w, h);
+        // Header is 11 bytes; pixel (1,0) starts at byte 11 + 3.
+        assert_eq!(&ppm[14..17], &[10, 20, 30]);
+    }
+
+    #[test]
+    fn diff_detects_and_quantifies_changes() {
+        let (mut fb, w, h) = fb();
+        let clean = fb.back().clone();
+        assert!(diff(fb.back(), &clean, w, h).identical());
+        fb.back_mut().put_pixel(3, 2, Color::new(255, 0, 0, 255));
+        let d = diff(fb.back(), &clean, w, h);
+        assert_eq!(d.differing_pixels, 1);
+        assert_eq!(d.max_channel_delta, 255);
+        assert!(d.mean_abs_delta > 0.0);
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let (mut fb, w, h) = fb();
+        let f0 = fingerprint(fb.back(), w, h);
+        fb.back_mut().put_pixel(0, 0, Color::new(1, 0, 0, 255));
+        assert_ne!(fingerprint(fb.back(), w, h), f0);
+    }
+
+    #[test]
+    fn write_ppm_roundtrip_via_fs() {
+        let (fb, w, h) = fb();
+        let dir = std::env::temp_dir().join("re_ppm_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("frame.ppm");
+        write_ppm(fb.back(), w, h, &path).expect("write");
+        let bytes = std::fs::read(&path).expect("read");
+        assert_eq!(bytes, to_ppm(fb.back(), w, h));
+        let _ = std::fs::remove_file(path);
+    }
+}

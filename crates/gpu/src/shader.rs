@@ -1,0 +1,415 @@
+//! The programmable-stage bytecode VM.
+//!
+//! Vertex and fragment shaders are small register programs over `Vec4`
+//! values, mirroring the simple ALU of a Mali-400-class shader core. The
+//! instruction count of a program is the unit the timing model charges per
+//! vertex / per fragment (Table I: 1 vertex processor, 4 fragment
+//! processors, 1 instruction slot per cycle each).
+//!
+//! Register model:
+//!
+//! * `r0..r15` — general registers. By convention a **vertex shader** leaves
+//!   the clip-space position in `r0` and varyings in `r1..rK`; a **fragment
+//!   shader** leaves the output color in `r0`.
+//! * Inputs: `Attr(i)` reads vertex attribute / interpolated varying `i`.
+//! * `Uniform(i)` reads drawcall-constant vec4 slot `i` (four consecutive
+//!   floats of the constants block).
+//!
+//! Texturing is performed by the [`Instr::Tex`] instruction through a
+//! [`SampleCtx`] provided by the raster stage, which also counts texel
+//! fetches for the memory model.
+
+use re_math::Vec4;
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+/// A source operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Src {
+    /// General register.
+    Reg(u8),
+    /// Vertex attribute (vertex shaders) or interpolated varying (fragment
+    /// shaders).
+    Attr(u8),
+    /// Drawcall-constant vec4 slot.
+    Uniform(u8),
+    /// Immediate literal.
+    Lit(Vec4),
+}
+
+/// One VM instruction. `dst` is always a general register index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// `dst ← src`
+    Mov {
+        /// Destination register.
+        dst: u8,
+        /// Source operand.
+        src: Src,
+    },
+    /// `dst ← a + b`
+    Add {
+        /// Destination register.
+        dst: u8,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// `dst ← a − b`
+    Sub {
+        /// Destination register.
+        dst: u8,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// `dst ← a · b` (component-wise)
+    Mul {
+        /// Destination register.
+        dst: u8,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// `dst ← a · b + c` (component-wise multiply-add)
+    Mad {
+        /// Destination register.
+        dst: u8,
+        /// Multiplicand.
+        a: Src,
+        /// Multiplier.
+        b: Src,
+        /// Addend.
+        c: Src,
+    },
+    /// `dst ← splat(dot4(a, b))`
+    Dp4 {
+        /// Destination register.
+        dst: u8,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// `dst ← M · src`, where `M` is the 4×4 matrix stored column-major in
+    /// uniform slots `mat_base .. mat_base+4`. Costs 4 instruction slots.
+    Transform {
+        /// Destination register.
+        dst: u8,
+        /// Vector to transform.
+        src: Src,
+        /// First uniform slot of the column-major matrix.
+        mat_base: u8,
+    },
+    /// `dst ← texture(coord.xy)` using the drawcall's bound texture.
+    /// Fragment shaders only; vertex-stage execution returns opaque black.
+    Tex {
+        /// Destination register.
+        dst: u8,
+        /// Texture coordinate source (`.xy` used).
+        coord: Src,
+    },
+    /// `dst ← clamp(src, 0, 1)` component-wise.
+    Clamp01 {
+        /// Destination register.
+        dst: u8,
+        /// Source operand.
+        src: Src,
+    },
+    /// `dst ← max(a, b)` component-wise.
+    Max {
+        /// Destination register.
+        dst: u8,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+}
+
+impl Instr {
+    /// Instruction-slot cost charged by the timing model.
+    pub fn cost(&self) -> u32 {
+        match self {
+            Instr::Transform { .. } => 4, // four dp4s
+            Instr::Tex { .. } => 1,       // issue cost; memory modelled separately
+            _ => 1,
+        }
+    }
+}
+
+/// Texture-sampling context supplied by the raster stage to fragment
+/// programs. `None` (vertex stage) makes [`Instr::Tex`] return black.
+pub trait SampleCtx {
+    /// Samples the currently bound texture at normalized coordinates.
+    fn sample(&mut self, u: f32, v: f32) -> Vec4;
+}
+
+/// A compiled shader program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShaderProgram {
+    /// Instruction stream, executed in order (no control flow — mobile
+    /// game shaders of this era are straight-line).
+    pub instrs: Vec<Instr>,
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Number of varying outputs a vertex shader produces (registers
+    /// `r1..=r{n}`); ignored for fragment shaders.
+    pub num_varyings: u8,
+}
+
+impl ShaderProgram {
+    /// Total instruction-slot cost of one invocation.
+    pub fn cost(&self) -> u32 {
+        self.instrs.iter().map(Instr::cost).sum()
+    }
+
+    /// Executes the program.
+    ///
+    /// * `attrs` — vertex attributes or interpolated varyings.
+    /// * `uniforms` — the drawcall constants, grouped in vec4 slots.
+    /// * `sampler` — texture access for fragment programs.
+    ///
+    /// Returns the full register file; callers read the conventional output
+    /// registers.
+    pub fn run(
+        &self,
+        attrs: &[Vec4],
+        uniforms: &[Vec4],
+        mut sampler: Option<&mut dyn SampleCtx>,
+    ) -> [Vec4; NUM_REGS] {
+        let mut regs = [Vec4::ZERO; NUM_REGS];
+        let read = |regs: &[Vec4; NUM_REGS], s: Src| -> Vec4 {
+            match s {
+                Src::Reg(i) => regs[i as usize],
+                Src::Attr(i) => attrs.get(i as usize).copied().unwrap_or(Vec4::ZERO),
+                Src::Uniform(i) => uniforms.get(i as usize).copied().unwrap_or(Vec4::ZERO),
+                Src::Lit(v) => v,
+            }
+        };
+        for ins in &self.instrs {
+            match *ins {
+                Instr::Mov { dst, src } => regs[dst as usize] = read(&regs, src),
+                Instr::Add { dst, a, b } => regs[dst as usize] = read(&regs, a) + read(&regs, b),
+                Instr::Sub { dst, a, b } => regs[dst as usize] = read(&regs, a) - read(&regs, b),
+                Instr::Mul { dst, a, b } => regs[dst as usize] = read(&regs, a) * read(&regs, b),
+                Instr::Mad { dst, a, b, c } => {
+                    regs[dst as usize] = read(&regs, a) * read(&regs, b) + read(&regs, c)
+                }
+                Instr::Dp4 { dst, a, b } => {
+                    regs[dst as usize] = Vec4::splat(read(&regs, a).dot(read(&regs, b)))
+                }
+                Instr::Transform { dst, src, mat_base } => {
+                    let v = read(&regs, src);
+                    let b = mat_base as usize;
+                    let get = |i: usize| uniforms.get(i).copied().unwrap_or(Vec4::ZERO);
+                    regs[dst as usize] =
+                        get(b) * v.x + get(b + 1) * v.y + get(b + 2) * v.z + get(b + 3) * v.w;
+                }
+                Instr::Tex { dst, coord } => {
+                    let c = read(&regs, coord);
+                    regs[dst as usize] = match sampler.as_deref_mut() {
+                        Some(s) => s.sample(c.x, c.y),
+                        None => Vec4::new(0.0, 0.0, 0.0, 1.0),
+                    };
+                }
+                Instr::Clamp01 { dst, src } => regs[dst as usize] = read(&regs, src).clamp(0.0, 1.0),
+                Instr::Max { dst, a, b } => {
+                    let (x, y) = (read(&regs, a), read(&regs, b));
+                    regs[dst as usize] = Vec4::new(
+                        x.x.max(y.x),
+                        x.y.max(y.y),
+                        x.z.max(y.z),
+                        x.w.max(y.w),
+                    );
+                }
+            }
+        }
+        regs
+    }
+}
+
+/// Canonical shader programs used by the workloads.
+pub mod presets {
+    use super::*;
+
+    /// Vertex shader: clip position = MVP (uniform slots 0–3) × attr0;
+    /// passes `extra` further attributes through as varyings.
+    pub fn vs_transform(extra: u8) -> ShaderProgram {
+        let mut instrs = vec![Instr::Transform { dst: 0, src: Src::Attr(0), mat_base: 0 }];
+        for i in 0..extra {
+            instrs.push(Instr::Mov { dst: 1 + i, src: Src::Attr(1 + i) });
+        }
+        ShaderProgram { instrs, name: "vs_transform", num_varyings: extra }
+    }
+
+    /// Fragment shader: flat varying color (varying 0).
+    pub fn fs_flat() -> ShaderProgram {
+        ShaderProgram {
+            instrs: vec![Instr::Mov { dst: 0, src: Src::Attr(0) }],
+            name: "fs_flat",
+            num_varyings: 0,
+        }
+    }
+
+    /// Fragment shader: texture (varying 1 = UV) modulated by varying 0 =
+    /// color, plus the tone/fog terms 2D engines tack on (uniform slots
+    /// 4–5, zero by default so they are value-neutral). ~6 instruction
+    /// slots — the cost class of a real ES2 sprite shader.
+    pub fn fs_textured() -> ShaderProgram {
+        ShaderProgram {
+            instrs: vec![
+                Instr::Tex { dst: 1, coord: Src::Attr(1) },
+                Instr::Mul { dst: 2, a: Src::Reg(1), b: Src::Attr(0) },
+                // r3 ← r2·u4 + r2 (brightness term; u4 defaults to 0).
+                Instr::Mad { dst: 3, a: Src::Reg(2), b: Src::Uniform(4), c: Src::Reg(2) },
+                // Fog floor (u5 defaults to 0 → no-op on non-negative colors).
+                Instr::Max { dst: 3, a: Src::Reg(3), b: Src::Uniform(5) },
+                Instr::Clamp01 { dst: 0, src: Src::Reg(3) },
+            ],
+            name: "fs_textured",
+            num_varyings: 0,
+        }
+    }
+
+    /// Heavier fragment shader: texture fetch plus a diffuse-style term fed
+    /// by uniform slot 4 (light color) — stands in for the multi-term
+    /// shaders of 3D games, raising the per-fragment instruction count.
+    pub fn fs_textured_lit() -> ShaderProgram {
+        ShaderProgram {
+            instrs: vec![
+                Instr::Tex { dst: 1, coord: Src::Attr(1) },
+                // Diffuse: N·L, clamped.
+                Instr::Dp4 { dst: 2, a: Src::Attr(2), b: Src::Uniform(4) },
+                Instr::Clamp01 { dst: 2, src: Src::Reg(2) },
+                // Albedo·diffuse + ambient.
+                Instr::Mad { dst: 3, a: Src::Reg(1), b: Src::Reg(2), c: Src::Uniform(5) },
+                Instr::Mul { dst: 0, a: Src::Reg(3), b: Src::Attr(0) },
+                // Value-neutral detail/fog/specular terms 3D engines layer
+                // on (uniform slots 6-7 default to zero) — they model the
+                // instruction count of a real multi-term mobile shader.
+                Instr::Mad { dst: 4, a: Src::Reg(0), b: Src::Uniform(6), c: Src::Reg(0) },
+                Instr::Dp4 { dst: 5, a: Src::Attr(2), b: Src::Uniform(7) },
+                Instr::Clamp01 { dst: 5, src: Src::Reg(5) },
+                Instr::Mad { dst: 4, a: Src::Reg(5), b: Src::Uniform(7), c: Src::Reg(4) },
+                Instr::Clamp01 { dst: 0, src: Src::Reg(4) },
+            ],
+            name: "fs_textured_lit",
+            num_varyings: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::presets::*;
+    use super::*;
+    use re_math::{Mat4, Vec3};
+
+    struct FixedSampler(Vec4, u32);
+    impl SampleCtx for FixedSampler {
+        fn sample(&mut self, _u: f32, _v: f32) -> Vec4 {
+            self.1 += 1;
+            self.0
+        }
+    }
+
+    fn mat_uniforms(m: &Mat4) -> Vec<Vec4> {
+        m.cols.to_vec()
+    }
+
+    #[test]
+    fn vs_transform_applies_matrix() {
+        let vs = vs_transform(1);
+        let m = Mat4::translation(Vec3::new(2.0, 0.0, 0.0));
+        let attrs = [Vec4::new(1.0, 1.0, 0.0, 1.0), Vec4::new(0.5, 0.25, 0.0, 0.0)];
+        let regs = vs.run(&attrs, &mat_uniforms(&m), None);
+        assert_eq!(regs[0], Vec4::new(3.0, 1.0, 0.0, 1.0));
+        assert_eq!(regs[1], attrs[1], "varying passthrough");
+    }
+
+    #[test]
+    fn transform_costs_four_slots() {
+        assert_eq!(vs_transform(2).cost(), 4 + 2);
+    }
+
+    #[test]
+    fn fs_flat_outputs_varying_color() {
+        let fs = fs_flat();
+        let color = Vec4::new(0.25, 0.5, 0.75, 1.0);
+        let regs = fs.run(&[color], &[], None);
+        assert_eq!(regs[0], color);
+    }
+
+    #[test]
+    fn fs_textured_modulates_sample() {
+        let fs = fs_textured();
+        let mut sampler = FixedSampler(Vec4::new(1.0, 0.5, 0.0, 1.0), 0);
+        let varyings = [Vec4::splat(0.5), Vec4::new(0.1, 0.2, 0.0, 0.0)];
+        let regs = fs.run(&varyings, &[], Some(&mut sampler));
+        assert_eq!(regs[0], Vec4::new(0.5, 0.25, 0.0, 0.5));
+        assert_eq!(sampler.1, 1, "exactly one texel sample");
+    }
+
+    #[test]
+    fn tex_without_sampler_is_black() {
+        let fs = fs_textured();
+        let regs = fs.run(&[Vec4::splat(1.0), Vec4::ZERO], &[], None);
+        assert_eq!(regs[0], Vec4::new(0.0, 0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn mad_and_dp4_semantics() {
+        let p = ShaderProgram {
+            instrs: vec![
+                Instr::Mad {
+                    dst: 0,
+                    a: Src::Lit(Vec4::splat(2.0)),
+                    b: Src::Lit(Vec4::splat(3.0)),
+                    c: Src::Lit(Vec4::splat(1.0)),
+                },
+                Instr::Dp4 { dst: 1, a: Src::Reg(0), b: Src::Lit(Vec4::new(1.0, 0.0, 0.0, 0.0)) },
+            ],
+            name: "t",
+            num_varyings: 0,
+        };
+        let regs = p.run(&[], &[], None);
+        assert_eq!(regs[0], Vec4::splat(7.0));
+        assert_eq!(regs[1], Vec4::splat(7.0));
+    }
+
+    #[test]
+    fn out_of_range_operands_read_zero() {
+        let p = ShaderProgram {
+            instrs: vec![Instr::Mov { dst: 0, src: Src::Attr(7) }],
+            name: "t",
+            num_varyings: 0,
+        };
+        assert_eq!(p.run(&[], &[], None)[0], Vec4::ZERO);
+    }
+
+    #[test]
+    fn clamp_and_max() {
+        let p = ShaderProgram {
+            instrs: vec![
+                Instr::Clamp01 { dst: 0, src: Src::Lit(Vec4::new(-1.0, 0.5, 2.0, 1.0)) },
+                Instr::Max { dst: 1, a: Src::Reg(0), b: Src::Lit(Vec4::splat(0.25)) },
+            ],
+            name: "t",
+            num_varyings: 0,
+        };
+        let regs = p.run(&[], &[], None);
+        assert_eq!(regs[0], Vec4::new(0.0, 0.5, 1.0, 1.0));
+        assert_eq!(regs[1], Vec4::new(0.25, 0.5, 1.0, 1.0));
+    }
+
+    #[test]
+    fn preset_costs_reflect_complexity() {
+        assert!(fs_textured_lit().cost() > fs_textured().cost());
+        assert!(fs_textured().cost() > fs_flat().cost());
+    }
+}

@@ -1,0 +1,140 @@
+//! Packed 8-bit RGBA color, the format of the Color Buffer and Frame Buffer.
+
+use crate::Vec4;
+
+/// A packed RGBA8888 color.
+///
+/// This is the unit the Raster Pipeline blends and the Tile Flush writes to
+/// the Frame Buffer; Transaction Elimination signs arrays of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+    /// Alpha channel.
+    pub a: u8,
+}
+
+impl Color {
+    /// Opaque black — the clear color of a fresh frame buffer.
+    pub const BLACK: Color = Color::new(0, 0, 0, 255);
+    /// Opaque white.
+    pub const WHITE: Color = Color::new(255, 255, 255, 255);
+    /// Fully transparent black.
+    pub const TRANSPARENT: Color = Color::new(0, 0, 0, 0);
+
+    /// Constructs from channels.
+    #[inline]
+    pub const fn new(r: u8, g: u8, b: u8, a: u8) -> Self {
+        Color { r, g, b, a }
+    }
+
+    /// Converts from a floating-point color with channels in `[0, 1]`
+    /// (values outside are clamped, as the blending unit saturates).
+    pub fn from_vec4(v: Vec4) -> Self {
+        #[inline]
+        fn q(x: f32) -> u8 {
+            (x.clamp(0.0, 1.0) * 255.0 + 0.5) as u8
+        }
+        Color::new(q(v.x), q(v.y), q(v.z), q(v.w))
+    }
+
+    /// Converts to floating point with channels in `[0, 1]`.
+    pub fn to_vec4(self) -> Vec4 {
+        Vec4::new(
+            self.r as f32 / 255.0,
+            self.g as f32 / 255.0,
+            self.b as f32 / 255.0,
+            self.a as f32 / 255.0,
+        )
+    }
+
+    /// Packs to a little-endian `u32` (`0xAABBGGRR`).
+    #[inline]
+    pub fn to_u32(self) -> u32 {
+        u32::from_le_bytes([self.r, self.g, self.b, self.a])
+    }
+
+    /// Unpacks from the [`to_u32`](Self::to_u32) layout.
+    #[inline]
+    pub fn from_u32(v: u32) -> Self {
+        let [r, g, b, a] = v.to_le_bytes();
+        Color::new(r, g, b, a)
+    }
+
+    /// Standard `src-alpha / one-minus-src-alpha` blend of `src` over `self`,
+    /// computed in 8-bit fixed point exactly as the Blending unit would.
+    pub fn blend_over(self, src: Color) -> Color {
+        let sa = src.a as u32;
+        let ia = 255 - sa;
+        #[inline]
+        fn mix(s: u8, d: u8, sa: u32, ia: u32) -> u8 {
+            // Rounded fixed-point (s·a + d·(1−a)) / 255.
+            ((s as u32 * sa + d as u32 * ia + 127) / 255) as u8
+        }
+        Color::new(
+            mix(src.r, self.r, sa, ia),
+            mix(src.g, self.g, sa, ia),
+            mix(src.b, self.b, sa, ia),
+            mix(src.a, self.a, sa, ia),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        let c = Color::new(1, 2, 3, 4);
+        assert_eq!(Color::from_u32(c.to_u32()), c);
+        assert_eq!(Color::BLACK.to_u32(), 0xFF00_0000);
+    }
+
+    #[test]
+    fn vec4_roundtrip_quantized() {
+        let c = Color::new(0, 128, 255, 64);
+        let back = Color::from_vec4(c.to_vec4());
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn from_vec4_clamps() {
+        assert_eq!(Color::from_vec4(Vec4::new(2.0, -1.0, 0.5, 1.0)), Color::new(255, 0, 128, 255));
+    }
+
+    #[test]
+    fn blend_opaque_src_replaces() {
+        let dst = Color::new(10, 20, 30, 255);
+        let src = Color::new(200, 100, 50, 255);
+        assert_eq!(dst.blend_over(src), src);
+    }
+
+    #[test]
+    fn blend_transparent_src_keeps_dst() {
+        let dst = Color::new(10, 20, 30, 255);
+        let src = Color::new(200, 100, 50, 0);
+        assert_eq!(dst.blend_over(src), dst);
+    }
+
+    #[test]
+    fn blend_half_alpha_mixes() {
+        let dst = Color::new(0, 0, 0, 255);
+        let src = Color::new(255, 255, 255, 128);
+        let out = dst.blend_over(src);
+        assert!(out.r >= 127 && out.r <= 129, "~50% mix, got {}", out.r);
+    }
+
+    #[test]
+    fn blend_is_deterministic_fixed_point() {
+        // The same inputs must produce bit-identical outputs — required for
+        // the "equal inputs ⇒ equal colors" invariant RE relies on.
+        let dst = Color::new(13, 77, 200, 255);
+        let src = Color::new(99, 3, 250, 160);
+        assert_eq!(dst.blend_over(src), dst.blend_over(src));
+    }
+}

@@ -1,0 +1,70 @@
+//! Small graphics math library backing the RE GPU simulator.
+//!
+//! Deliberately minimal: only what a tile-based rasterizer needs — `f32`
+//! vectors ([`Vec2`], [`Vec3`], [`Vec4`]), a column-major [`Mat4`],
+//! packed 8-bit RGBA [`Color`], integer [`Rect`]s for tiles/scissors, and
+//! the edge-function helpers used for triangle setup.
+//!
+//! ```
+//! use re_math::{Mat4, Vec3, Vec4};
+//!
+//! let mvp = Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+//! let p = mvp.mul_vec4(Vec4::new(0.0, 0.0, 0.0, 1.0));
+//! assert_eq!(p.xyz(), Vec3::new(1.0, 2.0, 3.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod color;
+pub mod mat;
+pub mod rect;
+pub mod vec;
+
+pub use color::Color;
+pub use mat::Mat4;
+pub use rect::Rect;
+pub use vec::{Vec2, Vec3, Vec4};
+
+/// Linear interpolation `a + t·(b − a)`.
+#[inline]
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + t * (b - a)
+}
+
+/// Twice the signed area of triangle `(a, b, c)`; positive when `c` lies to
+/// the left of the directed edge `a → b` in a Y-down screen coordinate
+/// system with counter-clockwise winding.
+#[inline]
+pub fn edge_function(a: Vec2, b: Vec2, c: Vec2) -> f32 {
+    (c.x - a.x) * (b.y - a.y) - (c.y - a.y) * (b.x - a.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        assert_eq!(lerp(2.0, 6.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 6.0, 1.0), 6.0);
+        assert_eq!(lerp(2.0, 6.0, 0.5), 4.0);
+    }
+
+    #[test]
+    fn edge_function_antisymmetry() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        let c = Vec2::new(1.0, 0.0);
+        assert_eq!(edge_function(a, b, c), -edge_function(a, c, b));
+        assert!(edge_function(a, b, c) != 0.0);
+    }
+
+    #[test]
+    fn edge_function_collinear_is_zero() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(1.0, 1.0);
+        let c = Vec2::new(2.0, 2.0);
+        assert_eq!(edge_function(a, b, c), 0.0);
+    }
+}

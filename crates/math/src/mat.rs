@@ -1,0 +1,260 @@
+//! Column-major 4×4 matrix, the uniform type consumed by vertex shaders.
+
+use crate::{Vec3, Vec4};
+
+/// A column-major 4×4 `f32` matrix.
+///
+/// `cols[j]` is column `j`; `m.mul_vec4(v)` computes `M·v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// The four columns.
+    pub cols: [Vec4; 4],
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat4 = Mat4 {
+        cols: [
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, 1.0, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// Builds from columns.
+    pub const fn from_cols(c0: Vec4, c1: Vec4, c2: Vec4, c3: Vec4) -> Self {
+        Mat4 { cols: [c0, c1, c2, c3] }
+    }
+
+    /// Translation by `t`.
+    pub fn translation(t: Vec3) -> Self {
+        let mut m = Mat4::IDENTITY;
+        m.cols[3] = Vec4::new(t.x, t.y, t.z, 1.0);
+        m
+    }
+
+    /// Non-uniform scale.
+    pub fn scale(s: Vec3) -> Self {
+        let mut m = Mat4::IDENTITY;
+        m.cols[0].x = s.x;
+        m.cols[1].y = s.y;
+        m.cols[2].z = s.z;
+        m
+    }
+
+    /// Rotation of `angle` radians about the Z axis.
+    pub fn rotation_z(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Mat4::from_cols(
+            Vec4::new(c, s, 0.0, 0.0),
+            Vec4::new(-s, c, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, 1.0, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Rotation of `angle` radians about the Y axis.
+    pub fn rotation_y(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Mat4::from_cols(
+            Vec4::new(c, 0.0, -s, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(s, 0.0, c, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Rotation of `angle` radians about the X axis.
+    pub fn rotation_x(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Mat4::from_cols(
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, c, s, 0.0),
+            Vec4::new(0.0, -s, c, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Right-handed perspective projection mapping the view frustum to the
+    /// OpenGL clip volume (`z ∈ [−w, w]`).
+    ///
+    /// # Panics
+    /// Panics if `near <= 0`, `far <= near` or `aspect <= 0` — such frusta
+    /// are always configuration bugs in workloads.
+    pub fn perspective(fov_y_radians: f32, aspect: f32, near: f32, far: f32) -> Self {
+        assert!(near > 0.0 && far > near && aspect > 0.0, "degenerate frustum");
+        let f = 1.0 / (fov_y_radians * 0.5).tan();
+        Mat4::from_cols(
+            Vec4::new(f / aspect, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, f, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, (far + near) / (near - far), -1.0),
+            Vec4::new(0.0, 0.0, 2.0 * far * near / (near - far), 0.0),
+        )
+    }
+
+    /// Orthographic projection onto the OpenGL clip volume. Used by the 2D
+    /// workloads (sprite games render with an ortho camera).
+    pub fn orthographic(left: f32, right: f32, bottom: f32, top: f32, near: f32, far: f32) -> Self {
+        let rl = right - left;
+        let tb = top - bottom;
+        let fnr = far - near;
+        Mat4::from_cols(
+            Vec4::new(2.0 / rl, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, 2.0 / tb, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, -2.0 / fnr, 0.0),
+            Vec4::new(-(right + left) / rl, -(top + bottom) / tb, -(far + near) / fnr, 1.0),
+        )
+    }
+
+    /// Right-handed look-at view matrix.
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Self {
+        let fwd = (target - eye).normalized();
+        let right = fwd.cross(up).normalized();
+        let true_up = right.cross(fwd);
+        Mat4::from_cols(
+            Vec4::new(right.x, true_up.x, -fwd.x, 0.0),
+            Vec4::new(right.y, true_up.y, -fwd.y, 0.0),
+            Vec4::new(right.z, true_up.z, -fwd.z, 0.0),
+            Vec4::new(-right.dot(eye), -true_up.dot(eye), fwd.dot(eye), 1.0),
+        )
+    }
+
+    /// Matrix–vector product `M·v`.
+    #[inline]
+    pub fn mul_vec4(&self, v: Vec4) -> Vec4 {
+        self.cols[0] * v.x + self.cols[1] * v.y + self.cols[2] * v.z + self.cols[3] * v.w
+    }
+
+    /// Matrix–matrix product `self · rhs`.
+    pub fn mul_mat4(&self, rhs: &Mat4) -> Mat4 {
+        Mat4 {
+            cols: [
+                self.mul_vec4(rhs.cols[0]),
+                self.mul_vec4(rhs.cols[1]),
+                self.mul_vec4(rhs.cols[2]),
+                self.mul_vec4(rhs.cols[3]),
+            ],
+        }
+    }
+
+    /// Serializes the 16 floats column-major to little-endian bytes, the
+    /// layout in which matrix uniforms enter the tile signature stream.
+    pub fn to_le_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for (j, col) in self.cols.iter().enumerate() {
+            out[j * 16..(j + 1) * 16].copy_from_slice(&col.to_le_bytes());
+        }
+        out
+    }
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Mat4::IDENTITY
+    }
+}
+
+impl std::ops::Mul for Mat4 {
+    type Output = Mat4;
+    fn mul(self, rhs: Mat4) -> Mat4 {
+        self.mul_mat4(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_vec4_close(a: Vec4, b: Vec4) {
+        for (x, y) in [(a.x, b.x), (a.y, b.y), (a.z, b.z), (a.w, b.w)] {
+            assert!((x - y).abs() < 1e-5, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let v = Vec4::new(1.0, -2.0, 3.0, 1.0);
+        assert_eq!(Mat4::IDENTITY.mul_vec4(v), v);
+        let m = Mat4::translation(Vec3::new(5.0, 6.0, 7.0));
+        assert_eq!((Mat4::IDENTITY * m).cols, m.cols);
+    }
+
+    #[test]
+    fn translation_moves_points_not_directions() {
+        let m = Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(m.mul_vec4(Vec4::new(0.0, 0.0, 0.0, 1.0)).xyz(), Vec3::new(1.0, 2.0, 3.0));
+        // w = 0 → direction, unaffected by translation.
+        assert_eq!(m.mul_vec4(Vec4::new(1.0, 0.0, 0.0, 0.0)).xyz(), Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn scale_then_translate_composition_order() {
+        let t = Mat4::translation(Vec3::new(10.0, 0.0, 0.0));
+        let s = Mat4::scale(Vec3::new(2.0, 2.0, 2.0));
+        // (t * s) applies scale first.
+        let p = (t * s).mul_vec4(Vec4::new(1.0, 1.0, 1.0, 1.0));
+        assert_eq!(p.xyz(), Vec3::new(12.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn rotation_z_quarter_turn() {
+        let m = Mat4::rotation_z(std::f32::consts::FRAC_PI_2);
+        assert_vec4_close(m.mul_vec4(Vec4::new(1.0, 0.0, 0.0, 1.0)), Vec4::new(0.0, 1.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn rotation_y_quarter_turn() {
+        let m = Mat4::rotation_y(std::f32::consts::FRAC_PI_2);
+        assert_vec4_close(m.mul_vec4(Vec4::new(1.0, 0.0, 0.0, 1.0)), Vec4::new(0.0, 0.0, -1.0, 1.0));
+    }
+
+    #[test]
+    fn rotation_x_quarter_turn() {
+        let m = Mat4::rotation_x(std::f32::consts::FRAC_PI_2);
+        assert_vec4_close(m.mul_vec4(Vec4::new(0.0, 1.0, 0.0, 1.0)), Vec4::new(0.0, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn perspective_maps_near_and_far_planes() {
+        let near = 0.1;
+        let far = 100.0;
+        let m = Mat4::perspective(1.0, 1.5, near, far);
+        let pn = m.mul_vec4(Vec4::new(0.0, 0.0, -near, 1.0));
+        let pf = m.mul_vec4(Vec4::new(0.0, 0.0, -far, 1.0));
+        assert!((pn.z / pn.w + 1.0).abs() < 1e-4, "near plane → z/w = −1");
+        assert!((pf.z / pf.w - 1.0).abs() < 1e-4, "far plane → z/w = +1");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate frustum")]
+    fn perspective_rejects_bad_frustum() {
+        let _ = Mat4::perspective(1.0, 1.0, -0.1, 100.0);
+    }
+
+    #[test]
+    fn orthographic_maps_corners_to_ndc() {
+        let m = Mat4::orthographic(0.0, 800.0, 0.0, 600.0, -1.0, 1.0);
+        let bl = m.mul_vec4(Vec4::new(0.0, 0.0, 0.0, 1.0));
+        let tr = m.mul_vec4(Vec4::new(800.0, 600.0, 0.0, 1.0));
+        assert_vec4_close(bl, Vec4::new(-1.0, -1.0, 0.0, 1.0));
+        assert_vec4_close(tr, Vec4::new(1.0, 1.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn look_at_centers_target_on_minus_z() {
+        let eye = Vec3::new(0.0, 0.0, 5.0);
+        let m = Mat4::look_at(eye, Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        let p = m.mul_vec4(Vec4::new(0.0, 0.0, 0.0, 1.0));
+        assert_vec4_close(p, Vec4::new(0.0, 0.0, -5.0, 1.0));
+    }
+
+    #[test]
+    fn byte_serialization_is_column_major() {
+        let m = Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+        let b = m.to_le_bytes();
+        // Column 3 starts at byte 48; its x is the translation x.
+        assert_eq!(f32::from_le_bytes(b[48..52].try_into().unwrap()), 1.0);
+        assert_eq!(f32::from_le_bytes(b[0..4].try_into().unwrap()), 1.0); // col0.x
+    }
+}

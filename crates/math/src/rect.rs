@@ -1,0 +1,141 @@
+//! Integer rectangles for tiles, scissors and primitive bounding boxes.
+
+/// A half-open integer rectangle `[x0, x1) × [y0, y1)` in pixel coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x0: i32,
+    /// Top edge (inclusive).
+    pub y0: i32,
+    /// Right edge (exclusive).
+    pub x1: i32,
+    /// Bottom edge (exclusive).
+    pub y1: i32,
+}
+
+impl Rect {
+    /// Constructs from edges.
+    ///
+    /// # Panics
+    /// Panics if `x1 < x0` or `y1 < y0`; empty rectangles (`x0 == x1`) are
+    /// allowed.
+    pub fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> Self {
+        assert!(x1 >= x0 && y1 >= y0, "inverted rect ({x0},{y0})-({x1},{y1})");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// A rectangle from origin and size.
+    pub fn from_origin_size(x: i32, y: i32, w: i32, h: i32) -> Self {
+        Rect::new(x, y, x + w, y + h)
+    }
+
+    /// Width in pixels.
+    #[inline]
+    pub fn width(&self) -> i32 {
+        self.x1 - self.x0
+    }
+
+    /// Height in pixels.
+    #[inline]
+    pub fn height(&self) -> i32 {
+        self.y1 - self.y0
+    }
+
+    /// Number of pixels covered.
+    #[inline]
+    pub fn area(&self) -> i64 {
+        self.width() as i64 * self.height() as i64
+    }
+
+    /// Whether the rectangle covers no pixels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x0 >= self.x1 || self.y0 >= self.y1
+    }
+
+    /// Whether pixel `(x, y)` lies inside.
+    #[inline]
+    pub fn contains(&self, x: i32, y: i32) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Intersection; empty if the rectangles are disjoint.
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        let x0 = self.x0.max(other.x0);
+        let y0 = self.y0.max(other.y0);
+        let x1 = self.x1.min(other.x1).max(x0);
+        let y1 = self.y1.min(other.y1).max(y0);
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// Whether the two rectangles share at least one pixel.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Iterator over all pixel coordinates, row-major.
+    pub fn pixels(&self) -> impl Iterator<Item = (i32, i32)> + '_ {
+        let r = *self;
+        (r.y0..r.y1).flat_map(move |y| (r.x0..r.x1).map(move |x| (x, y)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_area() {
+        let r = Rect::from_origin_size(16, 32, 16, 16);
+        assert_eq!(r.width(), 16);
+        assert_eq!(r.height(), 16);
+        assert_eq!(r.area(), 256);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = Rect::new(0, 0, 16, 16);
+        assert!(r.contains(0, 0));
+        assert!(r.contains(15, 15));
+        assert!(!r.contains(16, 0));
+        assert!(!r.contains(0, 16));
+        assert!(!r.contains(-1, 5));
+    }
+
+    #[test]
+    fn intersection_clips() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 20, 20);
+        assert_eq!(a.intersect(&b), Rect::new(5, 5, 10, 10));
+        assert!(a.overlaps(&b));
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(8, 8, 12, 12);
+        assert!(a.intersect(&b).is_empty());
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn touching_edges_do_not_overlap() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(4, 0, 8, 4);
+        assert!(!a.overlaps(&b), "half-open rects that touch share no pixel");
+    }
+
+    #[test]
+    fn pixel_iteration_row_major() {
+        let r = Rect::new(1, 1, 3, 3);
+        let px: Vec<_> = r.pixels().collect();
+        assert_eq!(px, vec![(1, 1), (2, 1), (1, 2), (2, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted rect")]
+    fn inverted_rect_panics() {
+        let _ = Rect::new(5, 0, 0, 5);
+    }
+}

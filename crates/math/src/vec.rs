@@ -1,0 +1,275 @@
+//! Fixed-size `f32` vectors.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+macro_rules! impl_vec_ops {
+    ($t:ident { $($f:ident),+ }) => {
+        impl Add for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, rhs: $t) -> $t { $t { $($f: self.$f + rhs.$f),+ } }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, rhs: $t) -> $t { $t { $($f: self.$f - rhs.$f),+ } }
+        }
+        impl Mul<f32> for $t {
+            type Output = $t;
+            #[inline]
+            fn mul(self, s: f32) -> $t { $t { $($f: self.$f * s),+ } }
+        }
+        impl Mul<$t> for $t {
+            type Output = $t;
+            /// Component-wise product.
+            #[inline]
+            fn mul(self, rhs: $t) -> $t { $t { $($f: self.$f * rhs.$f),+ } }
+        }
+        impl Div<f32> for $t {
+            type Output = $t;
+            #[inline]
+            fn div(self, s: f32) -> $t { $t { $($f: self.$f / s),+ } }
+        }
+        impl Neg for $t {
+            type Output = $t;
+            #[inline]
+            fn neg(self) -> $t { $t { $($f: -self.$f),+ } }
+        }
+        impl AddAssign for $t {
+            #[inline]
+            fn add_assign(&mut self, rhs: $t) { $(self.$f += rhs.$f;)+ }
+        }
+        impl SubAssign for $t {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $t) { $(self.$f -= rhs.$f;)+ }
+        }
+        impl MulAssign<f32> for $t {
+            #[inline]
+            fn mul_assign(&mut self, s: f32) { $(self.$f *= s;)+ }
+        }
+        impl $t {
+            /// Dot product.
+            #[inline]
+            pub fn dot(self, rhs: $t) -> f32 {
+                let mut acc = 0.0;
+                $(acc += self.$f * rhs.$f;)+
+                acc
+            }
+            /// Euclidean length.
+            #[inline]
+            pub fn length(self) -> f32 { self.dot(self).sqrt() }
+            /// Unit vector in the same direction; the zero vector is
+            /// returned unchanged.
+            #[inline]
+            pub fn normalized(self) -> $t {
+                let len = self.length();
+                if len == 0.0 { self } else { self / len }
+            }
+            /// Component-wise linear interpolation.
+            #[inline]
+            pub fn lerp(self, rhs: $t, t: f32) -> $t {
+                self + (rhs - self) * t
+            }
+        }
+    };
+}
+
+/// 2-component `f32` vector (screen-space positions, texture coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+}
+
+impl Vec2 {
+    /// Constructs from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Vec2 { x, y }
+    }
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2::new(0.0, 0.0);
+}
+
+/// 3-component `f32` vector (object-space positions, normals, RGB).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// Constructs from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+    /// Extends with a `w` component.
+    #[inline]
+    pub fn extend(self, w: f32) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, w)
+    }
+}
+
+/// 4-component `f32` vector (clip-space positions, RGBA, shader registers).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W component.
+    pub w: f32,
+}
+
+impl Vec4 {
+    /// Constructs from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Vec4 { x, y, z, w }
+    }
+    /// The zero vector.
+    pub const ZERO: Vec4 = Vec4::new(0.0, 0.0, 0.0, 0.0);
+    /// Splats `v` into all four lanes.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Vec4::new(v, v, v, v)
+    }
+    /// The first three components.
+    #[inline]
+    pub fn xyz(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+    /// The first two components.
+    #[inline]
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+    /// Serializes to little-endian bytes — the wire format used when tile
+    /// input streams are signed by the Signature Unit.
+    #[inline]
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&self.x.to_le_bytes());
+        out[4..8].copy_from_slice(&self.y.to_le_bytes());
+        out[8..12].copy_from_slice(&self.z.to_le_bytes());
+        out[12..16].copy_from_slice(&self.w.to_le_bytes());
+        out
+    }
+    /// Component-wise clamp to `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: f32, hi: f32) -> Vec4 {
+        Vec4::new(
+            self.x.clamp(lo, hi),
+            self.y.clamp(lo, hi),
+            self.z.clamp(lo, hi),
+            self.w.clamp(lo, hi),
+        )
+    }
+}
+
+impl_vec_ops!(Vec2 { x, y });
+impl_vec_ops!(Vec3 { x, y, z });
+impl_vec_ops!(Vec4 { x, y, z, w });
+
+impl From<[f32; 4]> for Vec4 {
+    fn from(a: [f32; 4]) -> Self {
+        Vec4::new(a[0], a[1], a[2], a[3])
+    }
+}
+
+impl From<Vec4> for [f32; 4] {
+    fn from(v: Vec4) -> Self {
+        [v.x, v.y, v.z, v.w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a * b, Vec3::new(4.0, 10.0, 18.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_length() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.dot(v), 25.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.normalized().length(), 1.0);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn cross_product_right_handed() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(y.cross(x), Vec3::new(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn lerp_components() {
+        let a = Vec4::new(0.0, 10.0, -2.0, 1.0);
+        let b = Vec4::new(4.0, 20.0, 2.0, 1.0);
+        assert_eq!(a.lerp(b, 0.5), Vec4::new(2.0, 15.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn vec4_bytes_roundtrip_layout() {
+        let v = Vec4::new(1.0, -2.5, 3.25, 0.0);
+        let bytes = v.to_le_bytes();
+        assert_eq!(f32::from_le_bytes(bytes[0..4].try_into().unwrap()), 1.0);
+        assert_eq!(f32::from_le_bytes(bytes[4..8].try_into().unwrap()), -2.5);
+        assert_eq!(f32::from_le_bytes(bytes[8..12].try_into().unwrap()), 3.25);
+        assert_eq!(f32::from_le_bytes(bytes[12..16].try_into().unwrap()), 0.0);
+    }
+
+    #[test]
+    fn vec4_clamp() {
+        let v = Vec4::new(-1.0, 0.5, 2.0, 1.0);
+        assert_eq!(v.clamp(0.0, 1.0), Vec4::new(0.0, 0.5, 1.0, 1.0));
+    }
+
+    #[test]
+    fn array_conversions() {
+        let v = Vec4::from([1.0, 2.0, 3.0, 4.0]);
+        let a: [f32; 4] = v.into();
+        assert_eq!(a, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn swizzles() {
+        let v = Vec4::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(v.xyz(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(v.xy(), Vec2::new(1.0, 2.0));
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).extend(4.0), v);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the math primitives.
+
+use proptest::prelude::*;
+use re_math::{edge_function, Color, Mat4, Rect, Vec2, Vec3, Vec4};
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    /// Matrix multiplication distributes over vector transform.
+    #[test]
+    fn mat_mul_composes(
+        t in proptest::array::uniform3(-10.0f32..10.0),
+        s in proptest::array::uniform3(0.1f32..4.0),
+        v in proptest::array::uniform4(-10.0f32..10.0),
+    ) {
+        let a = Mat4::translation(Vec3::new(t[0], t[1], t[2]));
+        let b = Mat4::scale(Vec3::new(s[0], s[1], s[2]));
+        let v = Vec4::new(v[0], v[1], v[2], v[3]);
+        let composed = (a * b).mul_vec4(v);
+        let stepped = a.mul_vec4(b.mul_vec4(v));
+        for (x, y) in [
+            (composed.x, stepped.x),
+            (composed.y, stepped.y),
+            (composed.z, stepped.z),
+            (composed.w, stepped.w),
+        ] {
+            prop_assert!(close(x, y), "{x} vs {y}");
+        }
+    }
+
+    /// Rotations preserve vector length.
+    #[test]
+    fn rotations_are_isometries(angle in -6.3f32..6.3, v in proptest::array::uniform3(-5.0f32..5.0)) {
+        let p = Vec4::new(v[0], v[1], v[2], 0.0);
+        for m in [Mat4::rotation_x(angle), Mat4::rotation_y(angle), Mat4::rotation_z(angle)] {
+            let q = m.mul_vec4(p);
+            prop_assert!(close(q.xyz().length(), p.xyz().length()));
+        }
+    }
+
+    /// The edge function is antisymmetric in its last two arguments and
+    /// translation invariant.
+    #[test]
+    fn edge_function_invariants(
+        pts in proptest::array::uniform6(-100.0f32..100.0),
+        shift in proptest::array::uniform2(-50.0f32..50.0),
+    ) {
+        let a = Vec2::new(pts[0], pts[1]);
+        let b = Vec2::new(pts[2], pts[3]);
+        let c = Vec2::new(pts[4], pts[5]);
+        prop_assert_eq!(edge_function(a, b, c), -edge_function(a, c, b));
+        let d = Vec2::new(shift[0], shift[1]);
+        let translated = edge_function(a + d, b + d, c + d);
+        prop_assert!(close(translated, edge_function(a, b, c)));
+    }
+
+    /// Color ↔ u32 packing is lossless; vec4 quantization is idempotent.
+    #[test]
+    fn color_roundtrips(r in any::<u8>(), g in any::<u8>(), b in any::<u8>(), a in any::<u8>()) {
+        let c = Color::new(r, g, b, a);
+        prop_assert_eq!(Color::from_u32(c.to_u32()), c);
+        let q = Color::from_vec4(c.to_vec4());
+        prop_assert_eq!(q, c, "8-bit → float → 8-bit must be exact");
+    }
+
+    /// Blending is bounded: the result channels never exceed the range
+    /// spanned by source and destination.
+    #[test]
+    fn blend_is_bounded(
+        d in proptest::array::uniform4(0u8..=255),
+        s in proptest::array::uniform4(0u8..=255),
+    ) {
+        let dst = Color::new(d[0], d[1], d[2], d[3]);
+        let src = Color::new(s[0], s[1], s[2], s[3]);
+        let out = dst.blend_over(src);
+        for (o, (x, y)) in [
+            (out.r, (dst.r, src.r)),
+            (out.g, (dst.g, src.g)),
+            (out.b, (dst.b, src.b)),
+        ] {
+            prop_assert!(o >= x.min(y) && o <= x.max(y), "{o} outside [{}, {}]", x.min(y), x.max(y));
+        }
+    }
+
+    /// Rect intersection is commutative, contained in both operands, and
+    /// contains exactly the common pixels.
+    #[test]
+    fn rect_intersection_properties(
+        a in (0i32..64, 0i32..64, 1i32..32, 1i32..32),
+        b in (0i32..64, 0i32..64, 1i32..32, 1i32..32),
+    ) {
+        let ra = Rect::from_origin_size(a.0, a.1, a.2, a.3);
+        let rb = Rect::from_origin_size(b.0, b.1, b.2, b.3);
+        let i1 = ra.intersect(&rb);
+        let i2 = rb.intersect(&ra);
+        prop_assert_eq!(i1.is_empty(), i2.is_empty());
+        if !i1.is_empty() {
+            prop_assert_eq!(i1, i2);
+        }
+        for (x, y) in i1.pixels() {
+            prop_assert!(ra.contains(x, y) && rb.contains(x, y));
+        }
+        prop_assert_eq!(
+            i1.area(),
+            ra.pixels().filter(|&(x, y)| rb.contains(x, y)).count() as i64
+        );
+    }
+}

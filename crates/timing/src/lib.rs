@@ -1,0 +1,36 @@
+//! Cycle and energy models for the RE GPU simulator.
+//!
+//! This crate substitutes the paper's cycle-accurate timing simulator,
+//! McPAT/CACTI power model and DRAMSim2 (§IV-A). It consumes the activity
+//! counters and memory-address streams produced by `re-gpu` and converts
+//! them into cycles, per-structure access counts, DRAM traffic and energy.
+//!
+//! Components:
+//!
+//! * [`config`] — the Table I machine description ([`TimingConfig::mali450`]).
+//! * [`cache`] — a set-associative LRU cache model used for the Vertex,
+//!   Texture (×4), Tile and L2 caches.
+//! * [`dram`] — a bandwidth/latency LPDDR3-like main-memory model with
+//!   traffic classified by stream (colors / texels / primitives / …), the
+//!   classification Fig. 15b reports.
+//! * [`memory`] — [`MemorySystem`], a [`re_gpu::hooks::GpuHooks`] sink that
+//!   routes every pipeline access through the cache hierarchy.
+//! * [`pipeline`] — stage-throughput cycle model (geometry and per-tile
+//!   raster cycles).
+//! * [`energy`] — per-access energy table and static power integration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod energy;
+pub mod memory;
+pub mod pipeline;
+
+pub use config::TimingConfig;
+pub use dram::TrafficClass;
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use memory::{MemEpoch, MemorySystem};
+pub use pipeline::{geometry_cycles, raster_tile_cycles};

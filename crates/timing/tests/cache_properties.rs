@@ -1,0 +1,88 @@
+//! Property-based tests for the cache and DRAM models.
+
+use proptest::prelude::*;
+use re_timing::cache::{Access, Cache};
+use re_timing::config::CacheGeometry;
+use re_timing::dram::{Dram, TrafficClass, BURST_BYTES};
+use re_timing::TimingConfig;
+
+fn small_cache() -> Cache {
+    Cache::new(CacheGeometry { size_bytes: 1024, line_bytes: 64, ways: 4, latency: 1 })
+}
+
+proptest! {
+    /// Inclusion: immediately re-accessing any address hits.
+    #[test]
+    fn rehit_after_access(addrs in proptest::collection::vec(0u64..1 << 20, 1..64)) {
+        let mut c = small_cache();
+        for a in addrs {
+            c.access(a);
+            prop_assert_eq!(c.access(a), Access::Hit);
+        }
+    }
+
+    /// Working sets up to the associativity never conflict within a set.
+    #[test]
+    fn no_thrash_within_associativity(base in 0u64..1 << 16) {
+        let mut c = small_cache();
+        let sets = c.geometry().sets() as u64;
+        // 4 lines that map to the same set (stride = sets × line).
+        let stride = sets * 64;
+        let lines: Vec<u64> = (0..4).map(|i| base + i * stride).collect();
+        for &l in &lines {
+            c.access(l);
+        }
+        for &l in &lines {
+            prop_assert_eq!(c.access(l), Access::Hit);
+        }
+    }
+
+    /// Total accesses = hits + misses, and a pure re-run is all hits.
+    #[test]
+    fn accounting_is_consistent(addrs in proptest::collection::vec(0u64..1 << 12, 1..128)) {
+        let mut c = Cache::new(CacheGeometry {
+            size_bytes: 8192, line_bytes: 64, ways: 8, latency: 1,
+        });
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.accesses(), addrs.len() as u64);
+        // 8 KB / 64 B = 128 lines ≥ the 64-line working set: re-run hits.
+        let h0 = c.hits();
+        for &a in &addrs {
+            prop_assert_eq!(c.access(a), Access::Hit);
+        }
+        prop_assert_eq!(c.hits(), h0 + addrs.len() as u64);
+    }
+
+    /// DRAM accounting: bytes are whole bursts and busy time scales.
+    #[test]
+    fn dram_bytes_are_burst_multiples(
+        reqs in proptest::collection::vec((0u64..1 << 24, 1u32..512), 1..32),
+    ) {
+        let mut d = Dram::new(TimingConfig::mali450());
+        for &(addr, bytes) in &reqs {
+            let lat = d.request(TrafficClass::Texels, addr, bytes);
+            prop_assert!(lat >= 50 && lat <= 100);
+        }
+        let s = d.stats();
+        prop_assert_eq!(s.total_bytes() % BURST_BYTES, 0);
+        prop_assert_eq!(s.row_hits + s.row_misses, s.bursts.iter().sum::<u64>());
+        // Busy cycles: 16 transfer + 2 overhead per burst at 4 B/cycle.
+        prop_assert_eq!(s.busy_cycles, s.bursts.iter().sum::<u64>() * 18);
+    }
+
+    /// Invalidation removes exactly the targeted lines.
+    #[test]
+    fn invalidate_is_precise(keep in 0u64..256, kill in 0u64..256) {
+        prop_assume!(keep / 1 != kill || keep != kill);
+        let mut c = small_cache();
+        let (a, b) = (keep * 64, kill * 64);
+        prop_assume!(a != b);
+        c.access(a);
+        c.access(b);
+        c.invalidate_range(b, 1);
+        prop_assert_eq!(c.access(a), Access::Hit, "untouched line survives");
+        prop_assert_eq!(c.access(b), Access::Miss, "invalidated line gone");
+    }
+}

@@ -1,0 +1,464 @@
+//! The `.retrace` binary format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      "RETRACE1"                      8 bytes
+//! config     width u32, height u32, tile u32, binning u8
+//! textures   count u32, then per texture:
+//!              width u32, height u32, RGBA texels (4 B each)
+//! frames     count u32, then per frame:
+//!              clear RGBA (4 B), re_unsafe u8
+//!              drawcall count u32, then per drawcall:
+//!                vertex shader, fragment shader   (see below)
+//!                texture id u32 (u32::MAX = none)
+//!                filter u8, blend u8, depth_test u8, depth_write u8,
+//!                cull u8
+//!                constants count u32, then vec4s (16 B each)
+//!                vertex count u32, then per vertex:
+//!                  attr count u8, vec4 attrs (16 B each)
+//! shader     name (len u16 + UTF-8), num_varyings u8,
+//!            instr count u16, then per instruction:
+//!              opcode u8 + operands (dst u8, sources; a source is a
+//!              tag u8 followed by idx u8 or a 16 B literal)
+//! ```
+
+use re_gpu::api::{DrawCall, FrameDesc, PipelineState, Vertex};
+use re_gpu::shader::{Instr, ShaderProgram, Src};
+use re_gpu::texture::{Filter, TextureId};
+use re_gpu::{BinningMode, GpuConfig};
+use re_math::{Color, Vec4};
+
+use crate::{Trace, TextureImage};
+
+const MAGIC: &[u8; 8] = b"RETRACE1";
+
+/// Errors produced when parsing a `.retrace` stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The stream does not start with the `RETRACE1` magic.
+    BadMagic,
+    /// The stream ended before a complete record.
+    Truncated {
+        /// What was being read.
+        context: &'static str,
+    },
+    /// An enum tag (opcode, source tag, filter, binning) was invalid.
+    BadTag {
+        /// What was being read.
+        context: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// A string was not valid UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a RETRACE1 stream"),
+            TraceError::Truncated { context } => write!(f, "truncated while reading {context}"),
+            TraceError::BadTag { context, value } => {
+                write!(f, "invalid tag {value:#04x} while reading {context}")
+            }
+            TraceError::BadString => write!(f, "invalid UTF-8 in string"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn vec4(&mut self, v: Vec4) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn color(&mut self, c: Color) {
+        self.out.extend_from_slice(&[c.r, c.g, c.b, c.a]);
+    }
+    fn src(&mut self, s: Src) {
+        match s {
+            Src::Reg(i) => {
+                self.u8(0);
+                self.u8(i);
+            }
+            Src::Attr(i) => {
+                self.u8(1);
+                self.u8(i);
+            }
+            Src::Uniform(i) => {
+                self.u8(2);
+                self.u8(i);
+            }
+            Src::Lit(v) => {
+                self.u8(3);
+                self.vec4(v);
+            }
+        }
+    }
+    fn instr(&mut self, i: &Instr) {
+        match *i {
+            Instr::Mov { dst, src } => {
+                self.u8(0);
+                self.u8(dst);
+                self.src(src);
+            }
+            Instr::Add { dst, a, b } => {
+                self.u8(1);
+                self.u8(dst);
+                self.src(a);
+                self.src(b);
+            }
+            Instr::Sub { dst, a, b } => {
+                self.u8(2);
+                self.u8(dst);
+                self.src(a);
+                self.src(b);
+            }
+            Instr::Mul { dst, a, b } => {
+                self.u8(3);
+                self.u8(dst);
+                self.src(a);
+                self.src(b);
+            }
+            Instr::Mad { dst, a, b, c } => {
+                self.u8(4);
+                self.u8(dst);
+                self.src(a);
+                self.src(b);
+                self.src(c);
+            }
+            Instr::Dp4 { dst, a, b } => {
+                self.u8(5);
+                self.u8(dst);
+                self.src(a);
+                self.src(b);
+            }
+            Instr::Transform { dst, src, mat_base } => {
+                self.u8(6);
+                self.u8(dst);
+                self.src(src);
+                self.u8(mat_base);
+            }
+            Instr::Tex { dst, coord } => {
+                self.u8(7);
+                self.u8(dst);
+                self.src(coord);
+            }
+            Instr::Clamp01 { dst, src } => {
+                self.u8(8);
+                self.u8(dst);
+                self.src(src);
+            }
+            Instr::Max { dst, a, b } => {
+                self.u8(9);
+                self.u8(dst);
+                self.src(a);
+                self.src(b);
+            }
+        }
+    }
+    fn shader(&mut self, s: &ShaderProgram) {
+        let name = s.name.as_bytes();
+        self.u16(name.len() as u16);
+        self.out.extend_from_slice(name);
+        self.u8(s.num_varyings);
+        self.u16(s.instrs.len() as u16);
+        for i in &s.instrs {
+            self.instr(i);
+        }
+    }
+}
+
+/// Serializes a trace (see the module docs for the layout).
+pub fn write_trace(t: &Trace) -> Vec<u8> {
+    let mut w = Writer { out: Vec::with_capacity(1 << 16) };
+    w.out.extend_from_slice(MAGIC);
+    w.u32(t.config.width);
+    w.u32(t.config.height);
+    w.u32(t.config.tile_size);
+    w.u8(match t.config.binning {
+        BinningMode::BoundingBox => 0,
+        BinningMode::ExactCoverage => 1,
+    });
+
+    w.u32(t.textures.len() as u32);
+    for tex in &t.textures {
+        w.u32(tex.width);
+        w.u32(tex.height);
+        for c in &tex.texels {
+            w.color(*c);
+        }
+    }
+
+    w.u32(t.frames.len() as u32);
+    for f in &t.frames {
+        w.color(f.clear_color);
+        w.u8(f.re_unsafe as u8);
+        w.u32(f.drawcalls.len() as u32);
+        for dc in &f.drawcalls {
+            w.shader(&dc.state.vertex_shader);
+            w.shader(&dc.state.fragment_shader);
+            w.u32(dc.state.texture.map_or(u32::MAX, |t| t.0));
+            w.u8(match dc.state.filter {
+                Filter::Nearest => 0,
+                Filter::Bilinear => 1,
+            });
+            w.u8(dc.state.blend as u8);
+            w.u8(dc.state.depth_test as u8);
+            w.u8(dc.state.depth_write as u8);
+            w.u8(dc.state.cull_backface as u8);
+            w.u32(dc.constants.len() as u32);
+            for c in &dc.constants {
+                w.vec4(*c);
+            }
+            w.u32(dc.vertices.len() as u32);
+            for v in &dc.vertices {
+                w.u8(v.attrs.len() as u8);
+                for a in &v.attrs {
+                    w.vec4(*a);
+                }
+            }
+        }
+    }
+    w.out
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], TraceError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(TraceError::Truncated { context });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self, context: &'static str) -> Result<u8, TraceError> {
+        Ok(self.take(1, context)?[0])
+    }
+    fn u16(&mut self, context: &'static str) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2, context)?.try_into().expect("len 2")))
+    }
+    fn u32(&mut self, context: &'static str) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4, context)?.try_into().expect("len 4")))
+    }
+    fn f32(&mut self, context: &'static str) -> Result<f32, TraceError> {
+        Ok(f32::from_le_bytes(self.take(4, context)?.try_into().expect("len 4")))
+    }
+    fn vec4(&mut self, context: &'static str) -> Result<Vec4, TraceError> {
+        Ok(Vec4::new(
+            self.f32(context)?,
+            self.f32(context)?,
+            self.f32(context)?,
+            self.f32(context)?,
+        ))
+    }
+    fn color(&mut self, context: &'static str) -> Result<Color, TraceError> {
+        let b = self.take(4, context)?;
+        Ok(Color::new(b[0], b[1], b[2], b[3]))
+    }
+    fn src(&mut self) -> Result<Src, TraceError> {
+        match self.u8("src tag")? {
+            0 => Ok(Src::Reg(self.u8("src reg")?)),
+            1 => Ok(Src::Attr(self.u8("src attr")?)),
+            2 => Ok(Src::Uniform(self.u8("src uniform")?)),
+            3 => Ok(Src::Lit(self.vec4("src literal")?)),
+            v => Err(TraceError::BadTag { context: "src", value: v }),
+        }
+    }
+    fn instr(&mut self) -> Result<Instr, TraceError> {
+        let op = self.u8("opcode")?;
+        let dst = self.u8("dst")?;
+        Ok(match op {
+            0 => Instr::Mov { dst, src: self.src()? },
+            1 => Instr::Add { dst, a: self.src()?, b: self.src()? },
+            2 => Instr::Sub { dst, a: self.src()?, b: self.src()? },
+            3 => Instr::Mul { dst, a: self.src()?, b: self.src()? },
+            4 => Instr::Mad { dst, a: self.src()?, b: self.src()?, c: self.src()? },
+            5 => Instr::Dp4 { dst, a: self.src()?, b: self.src()? },
+            6 => Instr::Transform { dst, src: self.src()?, mat_base: self.u8("mat_base")? },
+            7 => Instr::Tex { dst, coord: self.src()? },
+            8 => Instr::Clamp01 { dst, src: self.src()? },
+            9 => Instr::Max { dst, a: self.src()?, b: self.src()? },
+            v => return Err(TraceError::BadTag { context: "opcode", value: v }),
+        })
+    }
+    fn shader(&mut self) -> Result<ShaderProgram, TraceError> {
+        let n = self.u16("shader name length")? as usize;
+        let name_bytes = self.take(n, "shader name")?;
+        let name = std::str::from_utf8(name_bytes).map_err(|_| TraceError::BadString)?;
+        let num_varyings = self.u8("num varyings")?;
+        let count = self.u16("instruction count")? as usize;
+        let mut instrs = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            instrs.push(self.instr()?);
+        }
+        Ok(ShaderProgram { instrs, name: intern_name(name), num_varyings })
+    }
+}
+
+/// Maps a deserialized shader name onto a `&'static str`. Preset names are
+/// reused; unknown names are interned (leaked once per distinct name —
+/// traces contain a handful of shaders, so this is bounded in practice).
+fn intern_name(name: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    for known in ["vs_transform", "fs_flat", "fs_textured", "fs_textured_lit"] {
+        if name == known {
+            return known;
+        }
+    }
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = set.lock().expect("intern table poisoned");
+    if let Some(&existing) = guard.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+/// Parses a `.retrace` byte stream.
+pub fn read_trace(bytes: &[u8]) -> Result<Trace, TraceError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(8, "magic")? != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let width = r.u32("config width")?;
+    let height = r.u32("config height")?;
+    let tile_size = r.u32("config tile size")?;
+    let binning = match r.u8("binning mode")? {
+        0 => BinningMode::BoundingBox,
+        1 => BinningMode::ExactCoverage,
+        v => return Err(TraceError::BadTag { context: "binning mode", value: v }),
+    };
+    let config = GpuConfig { width, height, tile_size, binning };
+
+    let tex_count = r.u32("texture count")? as usize;
+    let mut textures = Vec::with_capacity(tex_count.min(4096));
+    for _ in 0..tex_count {
+        let w = r.u32("texture width")?;
+        let h = r.u32("texture height")?;
+        let mut texels = Vec::with_capacity((w as usize * h as usize).min(1 << 24));
+        for _ in 0..w as u64 * h as u64 {
+            texels.push(r.color("texels")?);
+        }
+        textures.push(TextureImage { width: w, height: h, texels });
+    }
+
+    let frame_count = r.u32("frame count")? as usize;
+    let mut frames = Vec::with_capacity(frame_count.min(1 << 16));
+    for _ in 0..frame_count {
+        let clear_color = r.color("clear color")?;
+        let re_unsafe = r.u8("re_unsafe flag")? != 0;
+        let dc_count = r.u32("drawcall count")? as usize;
+        let mut drawcalls = Vec::with_capacity(dc_count.min(1 << 16));
+        for _ in 0..dc_count {
+            let vertex_shader = r.shader()?;
+            let fragment_shader = r.shader()?;
+            let tex_id = r.u32("texture id")?;
+            let texture = (tex_id != u32::MAX).then_some(TextureId(tex_id));
+            let filter = match r.u8("filter")? {
+                0 => Filter::Nearest,
+                1 => Filter::Bilinear,
+                v => return Err(TraceError::BadTag { context: "filter", value: v }),
+            };
+            let blend = r.u8("blend")? != 0;
+            let depth_test = r.u8("depth test")? != 0;
+            let depth_write = r.u8("depth write")? != 0;
+            let cull_backface = r.u8("cull")? != 0;
+            let const_count = r.u32("constants count")? as usize;
+            let mut constants = Vec::with_capacity(const_count.min(1 << 12));
+            for _ in 0..const_count {
+                constants.push(r.vec4("constants")?);
+            }
+            let vert_count = r.u32("vertex count")? as usize;
+            let mut vertices = Vec::with_capacity(vert_count.min(1 << 20));
+            for _ in 0..vert_count {
+                let attrs = r.u8("attr count")? as usize;
+                if attrs == 0 {
+                    return Err(TraceError::BadTag { context: "attr count", value: 0 });
+                }
+                let mut av = Vec::with_capacity(attrs);
+                for _ in 0..attrs {
+                    av.push(r.vec4("vertex attrs")?);
+                }
+                vertices.push(Vertex::new(av));
+            }
+            drawcalls.push(DrawCall {
+                state: PipelineState {
+                    vertex_shader,
+                    fragment_shader,
+                    texture,
+                    filter,
+                    blend,
+                    depth_test,
+                    depth_write,
+                    cull_backface,
+                },
+                constants,
+                vertices,
+            });
+        }
+        frames.push(FrameDesc { clear_color, drawcalls, re_unsafe });
+    }
+    Ok(Trace { config, textures, frames })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_reuses_preset_and_custom_names() {
+        assert_eq!(intern_name("fs_flat"), "fs_flat");
+        let a = intern_name("my_custom_shader");
+        let b = intern_name("my_custom_shader");
+        assert!(std::ptr::eq(a, b), "custom names are interned once");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TraceError::Truncated { context: "vertex attrs" };
+        assert!(e.to_string().contains("vertex attrs"));
+        let e = TraceError::BadTag { context: "opcode", value: 0x2A };
+        assert!(e.to_string().contains("0x2a"));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace {
+            config: GpuConfig::default(),
+            textures: Vec::new(),
+            frames: Vec::new(),
+        };
+        assert_eq!(read_trace(&write_trace(&t)).expect("parse"), t);
+    }
+}

@@ -1,0 +1,63 @@
+//! Trace integration tests: capture real benchmark scenes, replay them,
+//! and verify the simulator cannot tell the difference.
+
+use re_core::{SimOptions, Simulator};
+use re_gpu::GpuConfig;
+use re_trace::{capture, Trace, TraceScene};
+
+fn cfg() -> GpuConfig {
+    GpuConfig { width: 192, height: 128, tile_size: 16, ..Default::default() }
+}
+
+#[test]
+fn every_benchmark_roundtrips_through_the_format() {
+    for entry in re_workloads::suite() {
+        let mut bench = entry;
+        let trace = capture(bench.scene.as_mut(), cfg(), 3);
+        let bytes = trace.to_bytes();
+        let back = Trace::from_bytes(&bytes).unwrap_or_else(|e| {
+            panic!("{}: parse failed: {e}", bench.alias);
+        });
+        assert_eq!(back, trace, "{}", bench.alias);
+    }
+}
+
+#[test]
+fn replayed_trace_simulates_identically_to_the_live_scene() {
+    let opts = SimOptions { gpu: cfg(), ..SimOptions::default() };
+    let frames = 8;
+
+    // Live run.
+    let mut live_bench = re_workloads::by_alias("ctr").expect("ctr exists");
+    let mut live_sim = Simulator::new(opts);
+    let live = live_sim.run(live_bench.scene.as_mut(), frames);
+
+    // Captured + serialized + replayed run.
+    let mut cap_bench = re_workloads::by_alias("ctr").expect("ctr exists");
+    let trace = capture(cap_bench.scene.as_mut(), cfg(), frames);
+    let bytes = trace.to_bytes();
+    let mut replay = TraceScene::new(Trace::from_bytes(&bytes).expect("parse"));
+    let mut replay_sim = Simulator::new(opts);
+    let replayed = replay_sim.run(&mut replay, frames);
+
+    assert_eq!(live.baseline.total_cycles(), replayed.baseline.total_cycles());
+    assert_eq!(live.re.total_cycles(), replayed.re.total_cycles());
+    assert_eq!(live.re.tiles_skipped, replayed.re.tiles_skipped);
+    assert_eq!(live.classes, replayed.classes);
+    assert_eq!(live.memo, replayed.memo);
+    assert_eq!(
+        live.baseline.dram.total_bytes(),
+        replayed.baseline.dram.total_bytes()
+    );
+}
+
+#[test]
+fn trace_size_is_reasonable() {
+    let mut bench = re_workloads::by_alias("ccs").expect("ccs exists");
+    let trace = capture(bench.scene.as_mut(), cfg(), 4);
+    let bytes = trace.to_bytes();
+    // Textures dominate (512² atlas + 1024² background ≈ 5 MB); frames are
+    // small. Guard against format blow-ups.
+    assert!(bytes.len() < 8 << 20, "{} bytes", bytes.len());
+    assert!(bytes.len() > 1 << 20, "textures must actually be embedded");
+}

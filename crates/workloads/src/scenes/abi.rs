@@ -1,0 +1,143 @@
+//! `abi` — Angry Birds stand-in: alternating *aim* phases (bit-static
+//! screen) and *flight* phases (a bird flies while the camera pans). The
+//! paper's third behaviour category: static in some phases, dynamic in
+//! others.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use re_core::Scene;
+use re_gpu::api::FrameDesc;
+use re_gpu::texture::TextureId;
+use re_gpu::Gpu;
+use re_math::{Color, Mat4, Vec3, Vec4};
+
+use crate::helpers::{upload_atlas, upload_background, SpriteBatch};
+
+/// Frames spent aiming (static).
+const AIM: usize = 18;
+/// Frames of bird flight (camera pans, bird moves).
+const FLIGHT: usize = 14;
+/// Frames of settle after impact (static again).
+const SETTLE: usize = 8;
+
+/// The slingshot scene.
+#[derive(Debug)]
+pub struct SlingshotPhases {
+    atlas: Option<TextureId>,
+    background: Option<TextureId>,
+    blocks: Vec<(f32, f32, f32, u8)>,
+}
+
+impl SlingshotPhases {
+    /// Builds the level layout.
+    pub fn new() -> Self {
+        let mut rng = SmallRng::seed_from_u64(0xAB1);
+        let blocks = (0..14)
+            .map(|_| {
+                (
+                    rng.gen_range(0.2..0.9f32),
+                    rng.gen_range(-0.8..0.0f32),
+                    rng.gen_range(0.05..0.14f32),
+                    rng.gen_range(0..16u8),
+                )
+            })
+            .collect();
+        SlingshotPhases { atlas: None, background: None, blocks }
+    }
+
+    /// Phase of frame `i`: `(is_flight, t_in_flight)`.
+    fn phase(i: usize) -> (bool, f32) {
+        let cycle = AIM + FLIGHT + SETTLE;
+        let w = i % cycle;
+        if w >= AIM && w < AIM + FLIGHT {
+            (true, (w - AIM) as f32 / FLIGHT as f32)
+        } else {
+            (false, 0.0)
+        }
+    }
+}
+
+impl Default for SlingshotPhases {
+    fn default() -> Self {
+        SlingshotPhases::new()
+    }
+}
+
+impl Scene for SlingshotPhases {
+    fn init(&mut self, gpu: &mut Gpu) {
+        self.atlas = Some(upload_atlas(gpu, 0xAB1, 512, 4));
+        self.background = Some(upload_background(gpu, 0xAB1B, 1024));
+    }
+
+    fn frame(&mut self, index: usize) -> FrameDesc {
+        let atlas = self.atlas.expect("init() must run before frame()");
+        let (flying, t) = Self::phase(index);
+        // The camera pans with the bird during flight.
+        let cam = if flying {
+            Mat4::translation(Vec3::new(-t * 0.4, 0.0, 0.0))
+        } else {
+            Mat4::IDENTITY
+        };
+
+        let mut frame = FrameDesc::new();
+        frame.clear_color = Color::new(130, 200, 240, 255);
+
+        // Parallax backdrop under the camera transform: during flight the
+        // pan changes every covered tile's inputs (and pixels).
+        let background = self.background.expect("init() must run before frame()");
+        let mut backdrop = SpriteBatch::new();
+        backdrop.quad((-1.4, -1.0, 1.8, 1.0), (0.0, 0.0, 1.6, 1.0), Vec4::new(0.8, 0.95, 1.0, 1.0), 0.97);
+        frame.drawcalls.push(backdrop.into_drawcall(background, cam));
+
+        // World: ground, slingshot, target blocks (camera-transformed).
+        let mut world = SpriteBatch::new();
+        world.quad((-1.4, -1.0, 1.8, -0.75), (0.0, 0.0, 3.0, 0.3), Vec4::new(0.4, 0.7, 0.3, 1.0), 0.9);
+        world.quad((-0.8, -0.78, -0.72, -0.45), (0.0, 0.5, 0.1, 0.8), Vec4::new(0.5, 0.3, 0.2, 1.0), 0.6);
+        for &(x, y, s, kind) in &self.blocks {
+            let u = (kind % 4) as f32 * 0.25;
+            let v = (kind / 4) as f32 * 0.25;
+            world.quad((x, y, x + s, y + s), (u, v, u + 0.25, v + 0.25), Vec4::splat(1.0), 0.5);
+        }
+        // The bird: parked on the slingshot while aiming, on a parabola
+        // while flying.
+        let (bx, by) = if flying {
+            (-0.76 + t * 1.5, -0.45 + 1.2 * t - 1.3 * t * t)
+        } else {
+            (-0.76, -0.45)
+        };
+        world.quad((bx - 0.05, by - 0.05, bx + 0.05, by + 0.05), (0.5, 0.0, 0.75, 0.25), Vec4::splat(1.0), 0.3);
+        frame.drawcalls.push(world.into_drawcall(atlas, cam));
+
+        // Static HUD.
+        let mut hud = SpriteBatch::new();
+        hud.quad((-1.0, 0.88, -0.4, 1.0), (0.0, 0.0, 0.5, 0.1), Vec4::new(0.15, 0.15, 0.2, 0.8), 0.1);
+        frame.drawcalls.push(hud.into_drawcall(atlas, Mat4::IDENTITY));
+        frame
+    }
+
+    fn name(&self) -> &str {
+        "abi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::testutil::equal_tiles_pct;
+
+    #[test]
+    fn aim_frames_are_identical_flight_frames_differ() {
+        let mut s = SlingshotPhases::new();
+        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        s.init(&mut gpu);
+        assert_eq!(s.frame(2), s.frame(3), "aim phase static");
+        assert_ne!(s.frame(AIM), s.frame(AIM + 1), "flight phase dynamic");
+    }
+
+    #[test]
+    fn coherence_is_intermediate() {
+        let mut s = SlingshotPhases::new();
+        let pct = equal_tiles_pct(&mut s, AIM + FLIGHT + SETTLE);
+        assert!(pct > 35.0 && pct < 95.0, "phased behaviour, got {pct:.1}");
+    }
+}

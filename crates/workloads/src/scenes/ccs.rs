@@ -1,0 +1,182 @@
+//! `ccs` — Candy Crush Saga stand-in: a static candy board with a rare,
+//! localized swap animation. The extreme of frame-to-frame coherence
+//! (paper Fig. 2: >95% equal tiles).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use re_core::Scene;
+use re_gpu::api::FrameDesc;
+use re_gpu::texture::TextureId;
+use re_gpu::Gpu;
+use re_math::{Color, Mat4, Vec4};
+
+use crate::helpers::{upload_atlas, upload_background, SpriteBatch};
+
+/// Board dimensions (candies).
+const COLS: usize = 8;
+const ROWS: usize = 7;
+/// A swap animation starts every `PERIOD` frames and lasts `SWAP_LEN`.
+const PERIOD: usize = 24;
+const SWAP_LEN: usize = 5;
+
+/// The Candy Crush-like scene.
+#[derive(Debug)]
+pub struct CandyBoard {
+    atlas: Option<TextureId>,
+    background: Option<TextureId>,
+    /// Candy kind per cell (atlas cell index), fixed at construction.
+    board: Vec<u8>,
+    /// Pre-drawn random swap locations, one per event.
+    swaps: Vec<(usize, usize)>,
+}
+
+impl CandyBoard {
+    /// Builds the board from the benchmark's fixed seed.
+    pub fn new() -> Self {
+        let mut rng = SmallRng::seed_from_u64(0xCC5);
+        let board = (0..COLS * ROWS).map(|_| rng.gen_range(0..16u8)).collect();
+        let swaps = (0..256)
+            .map(|_| {
+                let c = rng.gen_range(0..COLS - 1);
+                let r = rng.gen_range(0..ROWS);
+                (c, r)
+            })
+            .collect();
+        CandyBoard { atlas: None, background: None, board, swaps }
+    }
+
+    fn cell_rect(c: usize, r: usize) -> (f32, f32, f32, f32) {
+        // Board occupies the central [-0.8, 0.8] × [-0.7, 0.7] region.
+        let w = 1.6 / COLS as f32;
+        let h = 1.4 / ROWS as f32;
+        let x0 = -0.8 + c as f32 * w;
+        let y0 = -0.7 + r as f32 * h;
+        (x0 + 0.01, y0 + 0.01, x0 + w - 0.01, y0 + h - 0.01)
+    }
+
+    fn cell_uv(kind: u8) -> (f32, f32, f32, f32) {
+        let cx = (kind % 4) as f32 * 0.25;
+        let cy = (kind / 4) as f32 * 0.25;
+        (cx, cy, cx + 0.25, cy + 0.25)
+    }
+}
+
+impl Default for CandyBoard {
+    fn default() -> Self {
+        CandyBoard::new()
+    }
+}
+
+impl Scene for CandyBoard {
+    fn init(&mut self, gpu: &mut Gpu) {
+        self.atlas = Some(upload_atlas(gpu, 0xCC5, 512, 4));
+        self.background = Some(upload_background(gpu, 0xCC5B, 1024));
+    }
+
+    fn frame(&mut self, index: usize) -> FrameDesc {
+        let atlas = self.atlas.expect("init() must run before frame()");
+        let mut frame = FrameDesc::new();
+        frame.clear_color = Color::new(24, 16, 48, 255);
+
+        // Static backdrop, sampled ~1:1 from the large background texture.
+        let background = self.background.expect("init() must run before frame()");
+        let mut bg = SpriteBatch::new();
+        bg.quad((-1.0, -1.0, 1.0, 1.0), (0.0, 0.0, 1.0, 1.0), Vec4::new(0.8, 0.75, 0.9, 1.0), 0.9);
+        frame.drawcalls.push(bg.into_drawcall(background, Mat4::IDENTITY));
+
+        // The board. During a swap window, the two candies of the active
+        // swap slide toward each other; everything else is bit-static.
+        let event = index / PERIOD;
+        let phase = index % PERIOD;
+        let swapping = phase < SWAP_LEN;
+        let (sc, sr) = self.swaps[event % self.swaps.len()];
+
+        // The board is split into two materials, as real engines batch by
+        // material: the top two rows use a "glossy" material that carries a
+        // per-frame time uniform. The shader ignores it, so those pixels do
+        // not change — but the tile *inputs* do: that band becomes RE false
+        // negatives (paper Fig. 15a mid bar), capping RE's gain on ccs.
+        let mut candies = SpriteBatch::new();
+        let mut glossy = SpriteBatch::new();
+        for r in 0..ROWS {
+            for c in 0..COLS {
+                let kind = self.board[r * COLS + c];
+                let (mut x0, y0, mut x1, y1) = Self::cell_rect(c, r);
+                if swapping && r == sr && (c == sc || c == sc + 1) {
+                    let t = (phase as f32 + 1.0) / SWAP_LEN as f32;
+                    let dir = if c == sc { 1.0 } else { -1.0 };
+                    let shift = dir * t * 0.5 * (1.6 / COLS as f32);
+                    x0 += shift;
+                    x1 += shift;
+                }
+                let batch = if r < 2 { &mut glossy } else { &mut candies };
+                batch.quad((x0, y0, x1, y1), Self::cell_uv(kind), Vec4::splat(1.0), 0.5);
+            }
+        }
+        frame.drawcalls.push(candies.into_drawcall(atlas, Mat4::IDENTITY));
+        let mut glossy_dc = glossy.into_drawcall(atlas, Mat4::IDENTITY);
+        // Slot 8: past every slot the shaders read (4-7 are tone/fog terms).
+        glossy_dc.constants.resize(8, Vec4::ZERO);
+        glossy_dc.constants.push(Vec4::new(index as f32 / 60.0, 0.0, 0.0, 0.0));
+        frame.drawcalls.push(glossy_dc);
+
+        // Idle "shine" particles: real games keep a trickle of animation
+        // alive even on static boards; three sparkles wander the board
+        // every frame, churning a handful of dispersed tiles.
+        let mut fx = SpriteBatch::new();
+        for k in 0..3u32 {
+            let t = index as f32 * 0.31 + k as f32 * 2.1;
+            let x = (t * 0.7).sin() * 0.75;
+            let y = (t * 0.43 + 1.0).cos() * 0.6;
+            fx.quad(
+                (x, y, x + 0.07, y + 0.07),
+                (0.5, 0.75, 0.75, 1.0),
+                Vec4::new(1.0, 1.0, 0.8, 0.8),
+                0.2,
+            );
+        }
+        frame.drawcalls.push(fx.into_drawcall(atlas, Mat4::IDENTITY));
+        frame
+    }
+
+    fn name(&self) -> &str {
+        "ccs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::testutil::equal_tiles_pct;
+
+    #[test]
+    fn quiet_frames_are_bit_identical() {
+        let mut s = CandyBoard::new();
+        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        s.init(&mut gpu);
+        // The background and the main candy batch are bit-static across
+        // quiet frames; the glossy batch (time uniform) and the sparkles
+        // change every frame.
+        let a = s.frame(6);
+        let b = s.frame(7);
+        assert_eq!(a.drawcalls[0], b.drawcalls[0], "background static");
+        assert_eq!(a.drawcalls[1], b.drawcalls[1], "candies static");
+        assert_ne!(a.drawcalls[2], b.drawcalls[2], "glossy time uniform ticks");
+        assert_ne!(a.drawcalls[3], b.drawcalls[3], "sparkles wander");
+        // A swap frame moves candies in whichever batch holds the swap row.
+        let sw = s.frame(0);
+        let quiet = s.frame(6);
+        assert!(
+            sw.drawcalls[1].vertices != quiet.drawcalls[1].vertices
+                || sw.drawcalls[2].vertices != quiet.drawcalls[2].vertices,
+            "the active swap must move some candy"
+        );
+    }
+
+    #[test]
+    fn coherence_matches_paper_band() {
+        let mut s = CandyBoard::new();
+        let pct = equal_tiles_pct(&mut s, 24);
+        assert!(pct > 85.0, "ccs should be >85% equal tiles, got {pct:.1}");
+    }
+}

@@ -1,0 +1,127 @@
+//! `csn` — Crazy Snowboard stand-in: continuous downhill motion under a
+//! static sky band and HUD. The world moves every frame; roughly half the
+//! screen (sky + HUD) stays put.
+
+use re_core::Scene;
+use re_gpu::api::FrameDesc;
+use re_gpu::texture::TextureId;
+use re_gpu::Gpu;
+use re_math::{Color, Mat4, Vec3, Vec4};
+
+use crate::helpers::{constants_3d, cuboid, mesh_drawcall, terrain, upload_atlas, upload_background, SpriteBatch};
+
+/// The snowboarding scene.
+#[derive(Debug, Default)]
+pub struct SnowSlope {
+    atlas: Option<TextureId>,
+    background: Option<TextureId>,
+    snow: Option<TextureId>,
+}
+
+impl SnowSlope {
+    /// Creates the scene.
+    pub fn new() -> Self {
+        SnowSlope { atlas: None, background: None, snow: None }
+    }
+
+    fn camera(i: usize, aspect: f32) -> Mat4 {
+        // Steady downhill run: the camera advances along −z every frame.
+        let z = -(i as f32) * 0.6;
+        let eye = Vec3::new(0.0, 2.2, z + 6.0);
+        let target = Vec3::new(0.0, 0.5, z - 4.0);
+        Mat4::perspective(1.0, aspect, 0.1, 120.0) * Mat4::look_at(eye, target, Vec3::new(0.0, 1.0, 0.0))
+    }
+}
+
+impl Scene for SnowSlope {
+    fn init(&mut self, gpu: &mut Gpu) {
+        self.atlas = Some(upload_atlas(gpu, 0xC59, 512, 4));
+        self.background = Some(upload_background(gpu, 0xC59B, 1024));
+        // Solid white: flat stretches of slope render the same color no
+        // matter how the camera moves — a natural false-negative source.
+        self.snow = Some(gpu.textures_mut().upload_solid(re_math::Color::WHITE));
+    }
+
+    fn frame(&mut self, index: usize) -> FrameDesc {
+        let atlas = self.atlas.expect("init() must run before frame()");
+        let mut frame = FrameDesc::new();
+        frame.clear_color = Color::new(170, 200, 235, 255);
+
+        // Static sky band: the top ~45% of the screen, drawn as a 2D quad
+        // *after* nothing — slope fragments overdraw it only below the
+        // horizon because the slope projects to the lower half.
+        let mut sky = SpriteBatch::new();
+        sky.quad((-1.0, 0.1, 1.0, 1.0), (0.0, 0.0, 1.0, 0.4), Vec4::new(0.75, 0.85, 1.0, 1.0), 0.95);
+        let background = self.background.expect("init() must run before frame()");
+        frame.drawcalls.push(sky.into_drawcall(background, Mat4::IDENTITY));
+
+        // The slope: a rolling white heightfield window that follows the
+        // camera, regenerated from absolute z so overlapping windows of
+        // consecutive frames sample identical heights.
+        let zc = -(index as f32) * 0.6;
+        let slope = terrain(
+            10,
+            14,
+            14.0,
+            zc - 24.0,
+            2.0,
+            |x, z| 0.5 * (x * 0.3).sin() + 0.4 * (z * 0.22).cos(),
+            |_, _| Vec4::new(0.92, 0.95, 1.0, 1.0),
+        );
+        let mvp = Self::camera(index, 1196.0 / 768.0);
+        let constants = constants_3d(mvp, Vec3::new(0.3, 1.0, 0.4), 0.05);
+        let snow = self.snow.expect("init() must run before frame()");
+        frame.drawcalls.push(mesh_drawcall(slope, snow, constants.clone()));
+
+        // A few pine "trees" (green cuboids) at fixed world slots near the
+        // camera window.
+        let mut trees = Vec::new();
+        let first_slot = ((zc - 24.0) / 8.0).floor() as i64;
+        for s in 0..4 {
+            let slot = first_slot + s;
+            let tz = slot as f32 * 8.0;
+            let tx = if slot % 2 == 0 { -4.0 } else { 4.5 };
+            trees.extend(cuboid(
+                Vec3::new(tx, 1.2, tz),
+                Vec3::new(0.4, 1.2, 0.4),
+                Vec4::new(0.15, 0.45, 0.2, 1.0),
+            ));
+        }
+        frame.drawcalls.push(mesh_drawcall(trees, atlas, constants));
+
+        // Static HUD strip at the bottom.
+        let mut hud = SpriteBatch::new();
+        hud.quad((-1.0, -1.0, 1.0, -0.86), (0.0, 0.0, 1.0, 0.1), Vec4::new(0.1, 0.1, 0.15, 0.85), 0.05);
+        frame.drawcalls.push(hud.into_drawcall(atlas, Mat4::IDENTITY));
+        frame
+    }
+
+    fn name(&self) -> &str {
+        "csn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::testutil::equal_tiles_pct;
+
+    #[test]
+    fn sky_and_hud_are_static_world_is_not() {
+        let mut s = SnowSlope::new();
+        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        s.init(&mut gpu);
+        let a = s.frame(3);
+        let b = s.frame(4);
+        assert_eq!(a.drawcalls[0], b.drawcalls[0], "sky static");
+        assert_eq!(a.drawcalls[3], b.drawcalls[3], "HUD static");
+        assert_ne!(a.drawcalls[1], b.drawcalls[1], "slope moves");
+    }
+
+    #[test]
+    fn coherence_is_the_static_screen_share() {
+        let mut s = SnowSlope::new();
+        let pct = equal_tiles_pct(&mut s, 12);
+        assert!(pct > 15.0 && pct < 85.0, "sky+HUD share, got {pct:.1}");
+    }
+}

@@ -1,0 +1,150 @@
+//! `hop` — Hopeless stand-in: a near-black cave with tiny dim characters
+//! and a flickering torch whose color change is *below quantization*.
+//!
+//! Two properties the paper calls out are reproduced here: (1) huge
+//! flat-black regions make fragment memoization unusually effective — all
+//! those fragments share one input hash, so `hop` is the one benchmark
+//! where memoization beats RE (Fig. 16); and (2) inputs that change
+//! without changing the final 8-bit color (the torch flicker) produce RE
+//! false negatives (Fig. 15a mid bar).
+
+use re_core::Scene;
+use re_gpu::api::FrameDesc;
+use re_gpu::texture::TextureId;
+use re_gpu::Gpu;
+use re_math::{Color, Mat4, Vec4};
+
+use crate::helpers::{upload_dark, FlatBatch, SpriteBatch};
+
+/// Characters shuffle every `STEP` frames.
+const STEP: usize = 4;
+
+/// The dark-cave scene.
+#[derive(Debug, Default)]
+pub struct DarkCave {
+    dark: Option<TextureId>,
+}
+
+impl DarkCave {
+    /// Creates the scene.
+    pub fn new() -> Self {
+        DarkCave { dark: None }
+    }
+
+    fn blob_pos(k: usize, i: usize) -> (f32, f32) {
+        let t = (i / STEP) as f32;
+        let x = -0.7 + 0.35 * k as f32 + (t * 0.37 + k as f32).sin() * 0.08;
+        let y = -0.55 + (t * 0.23 + k as f32 * 2.0).cos() * 0.06;
+        (x, y)
+    }
+}
+
+impl Scene for DarkCave {
+    fn init(&mut self, gpu: &mut Gpu) {
+        self.dark = Some(upload_dark(gpu, 0x4097, 512));
+    }
+
+    fn frame(&mut self, index: usize) -> FrameDesc {
+        let dark = self.dark.expect("init() must run before frame()");
+        let mut frame = FrameDesc::new();
+        frame.clear_color = Color::BLACK;
+
+        // Cave: full-screen *flat* black — every fragment carries the same
+        // shader inputs, so the memoization LUT absorbs all of them.
+        let mut cave = FlatBatch::new();
+        cave.quad((-1.0, -1.0, 1.0, 1.0), Vec4::new(0.0, 0.0, 0.0, 1.0), 0.9);
+        frame.drawcalls.push(cave.into_drawcall(Mat4::IDENTITY));
+
+        // Torch glow: a textured region whose tint cycles through three
+        // values that all quantize to the same 8-bit color — inputs change
+        // at every comparison distance, pixels do not (false negatives).
+        let flick = [0.9990f32, 0.9991, 0.9992][index % 3];
+        let mut torch = SpriteBatch::new();
+        torch.quad(
+            (0.45, 0.25, 0.95, 0.9),
+            (0.0, 0.0, 0.4, 0.4),
+            Vec4::new(flick, flick, flick, 1.0),
+            0.8,
+        );
+        frame.drawcalls.push(torch.into_drawcall(dark, Mat4::IDENTITY));
+
+        // Breathing vignette: a flat black overlay whose vertices jitter
+        // by ~1e-4 NDC each frame. Inputs change every frame; the rendered
+        // pixels are black-on-black and never change — a large
+        // false-negative region that fragment memoization *does* absorb
+        // (its hash ignores positions), reproducing hop's Fig. 16 flip.
+        let jitter = ((index % 7) as f32) * 1.0e-4;
+        let mut vignette = FlatBatch::new();
+        vignette.quad(
+            (-0.9017 + jitter, -0.9013, 0.2011 + jitter, 0.1021),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+            0.6,
+        );
+        frame.drawcalls.push(vignette.into_drawcall(Mat4::IDENTITY));
+
+        // Three dim characters, drawn flat so their fragments memoize,
+        // shuffling every few frames (RE re-renders the tiles they cross).
+        let mut blobs = FlatBatch::new();
+        for k in 0..3 {
+            let (x, y) = Self::blob_pos(k, index);
+            blobs.quad(
+                (x, y, x + 0.07, y + 0.1),
+                Vec4::new(0.16, 0.14, 0.12, 1.0),
+                0.4,
+            );
+        }
+        frame.drawcalls.push(blobs.into_drawcall(Mat4::IDENTITY));
+        frame
+    }
+
+    fn name(&self) -> &str {
+        "hop"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::testutil::equal_tiles_pct;
+    use re_core::{SimOptions, Simulator};
+    use re_gpu::GpuConfig;
+
+    #[test]
+    fn flicker_changes_inputs_every_frame() {
+        let mut s = DarkCave::new();
+        let mut gpu = Gpu::new(GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        s.init(&mut gpu);
+        assert_ne!(s.frame(0).drawcalls[1], s.frame(1).drawcalls[1]);
+        assert_ne!(s.frame(0).drawcalls[1], s.frame(2).drawcalls[1]);
+        assert_eq!(s.frame(0).drawcalls[1], s.frame(3).drawcalls[1]);
+    }
+
+    #[test]
+    fn coherence_high_despite_flicker() {
+        let mut s = DarkCave::new();
+        let pct = equal_tiles_pct(&mut s, 16);
+        assert!(pct > 70.0, "mostly static blackness, got {pct:.1}");
+    }
+
+    #[test]
+    fn produces_false_negatives_and_memo_friendly_fragments() {
+        let mut sim = Simulator::new(SimOptions {
+            gpu: GpuConfig { width: 192, height: 128, tile_size: 16, ..Default::default() },
+            ..SimOptions::default()
+        });
+        let mut s = DarkCave::new();
+        let report = sim.run(&mut s, 10);
+        // The torch region changes inputs but not colors → Fig. 15a's
+        // "equal colors, different inputs" class must be non-empty.
+        assert!(
+            report.classes.eq_color_diff_input > 0,
+            "torch flicker should yield false negatives"
+        );
+        assert_eq!(report.false_positives, 0);
+        // Flat-black fragments memoize heavily.
+        assert!(
+            report.memo.fragments_reused > report.memo.fragments_shaded,
+            "memoization should thrive on hop"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! The ten benchmark scene generators (see the crate docs for the mapping
+//! to the paper's Table II games).
+
+pub mod abi;
+pub mod ccs;
+pub mod cde;
+pub mod coc;
+pub mod csn;
+pub mod ctr;
+pub mod hop;
+pub mod mst;
+pub mod ter;
+pub mod tib;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use re_core::{Scene, SimOptions, Simulator};
+    use re_gpu::GpuConfig;
+
+    /// Runs a scene briefly at reduced resolution and returns the
+    /// equal-tiles percentage at distance 1 (the Fig. 2 metric).
+    pub fn equal_tiles_pct(scene: &mut dyn Scene, frames: usize) -> f64 {
+        let mut sim = Simulator::new(SimOptions {
+            gpu: GpuConfig { width: 192, height: 128, tile_size: 16, ..Default::default() },
+            ..SimOptions::default()
+        });
+        let report = sim.run(scene, frames);
+        report.equal_tiles_pct_dist1()
+    }
+}

@@ -1,0 +1,127 @@
+//! `mst` — Modern Strike stand-in: a first-person arena whose camera moves
+//! *every frame*. Virtually no tile repeats its inputs, so Rendering
+//! Elimination finds nothing — the benchmark the paper uses to bound RE's
+//! overhead (<1%).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use re_core::Scene;
+use re_gpu::api::FrameDesc;
+use re_gpu::api::Vertex;
+use re_gpu::texture::TextureId;
+use re_gpu::Gpu;
+use re_math::{Color, Mat4, Vec3, Vec4};
+
+use crate::helpers::{constants_3d, cuboid, mesh_drawcall, terrain, upload_atlas, upload_background};
+
+/// The FPS-arena scene.
+#[derive(Debug)]
+pub struct FpsArena {
+    atlas: Option<TextureId>,
+    background: Option<TextureId>,
+    arena: Vec<Vertex>,
+    crates: Vec<Vertex>,
+}
+
+impl FpsArena {
+    /// Builds the arena geometry.
+    pub fn new() -> Self {
+        let mut rng = SmallRng::seed_from_u64(0x357);
+        let arena = terrain(
+            12,
+            12,
+            20.0,
+            -20.0,
+            40.0 / 12.0,
+            |x, z| 0.15 * (x * 0.4).sin() * (z * 0.4).cos(),
+            |x, z| {
+                let g = 0.45 + 0.1 * ((x + z) * 0.3).sin();
+                Vec4::new(g, g * 0.9, g * 0.7, 1.0)
+            },
+        );
+        let mut crates = Vec::new();
+        for _ in 0..10 {
+            let p = Vec3::new(rng.gen_range(-15.0..15.0), 0.8, rng.gen_range(-15.0..15.0));
+            let tint = rng.gen_range(0.5..0.9f32);
+            crates.extend(cuboid(p, Vec3::new(0.8, 0.8, 0.8), Vec4::new(tint, tint * 0.8, 0.4, 1.0)));
+        }
+        FpsArena { atlas: None, background: None, arena, crates }
+    }
+
+    /// Camera pose at frame `i`: strafing along a circle while turning.
+    fn camera(i: usize, aspect: f32) -> Mat4 {
+        let t = i as f32 * 0.05;
+        let eye = Vec3::new(6.0 * t.cos(), 1.7, 6.0 * t.sin());
+        let target = Vec3::new(8.0 * (t + 0.8).cos(), 1.2, 8.0 * (t + 0.8).sin());
+        let view = Mat4::look_at(eye, target, Vec3::new(0.0, 1.0, 0.0));
+        let proj = Mat4::perspective(1.1, aspect, 0.1, 100.0);
+        proj * view
+    }
+}
+
+impl Default for FpsArena {
+    fn default() -> Self {
+        FpsArena::new()
+    }
+}
+
+impl Scene for FpsArena {
+    fn init(&mut self, gpu: &mut Gpu) {
+        self.atlas = Some(upload_atlas(gpu, 0x357, 512, 4));
+        self.background = Some(upload_background(gpu, 0x357B, 1024));
+    }
+
+    fn frame(&mut self, index: usize) -> FrameDesc {
+        let atlas = self.atlas.expect("init() must run before frame()");
+        let mvp = Self::camera(index, 1196.0 / 768.0);
+        let constants = constants_3d(mvp, Vec3::new(0.4, 1.0, 0.2), 0.35);
+
+        let mut frame = FrameDesc::new();
+        frame.clear_color = Color::new(120, 150, 190, 255);
+
+        // Skybox stand-in: a full-screen quad whose texture window scrolls
+        // with the camera yaw, as a real skybox would — no tile escapes the
+        // camera motion.
+        let yaw = index as f32 * 0.05;
+        let mut sky = crate::helpers::SpriteBatch::new();
+        sky.quad(
+            (-1.0, -1.0, 1.0, 1.0),
+            (yaw * 0.3, 0.0, yaw * 0.3 + 1.0, 1.0),
+            Vec4::new(0.55, 0.7, 0.95, 1.0),
+            0.999,
+        );
+        let background = self.background.expect("init() must run before frame()");
+        frame.drawcalls.push(sky.into_drawcall(background, Mat4::IDENTITY));
+
+        frame.drawcalls.push(mesh_drawcall(self.arena.clone(), atlas, constants.clone()));
+        frame.drawcalls.push(mesh_drawcall(self.crates.clone(), atlas, constants));
+        frame
+    }
+
+    fn name(&self) -> &str {
+        "mst"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::testutil::equal_tiles_pct;
+
+    #[test]
+    fn camera_never_rests() {
+        let mut s = FpsArena::new();
+        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        s.init(&mut gpu);
+        for i in 0..6 {
+            assert_ne!(s.frame(i), s.frame(i + 1), "frames {i}/{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn coherence_is_near_zero() {
+        let mut s = FpsArena::new();
+        let pct = equal_tiles_pct(&mut s, 10);
+        assert!(pct < 30.0, "FPS motion defeats coherence, got {pct:.1}");
+    }
+}

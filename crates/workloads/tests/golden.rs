@@ -1,0 +1,69 @@
+//! Golden-image regression tests: the rendered first frame of every
+//! benchmark is pinned by a 64-bit fingerprint. Any change to the
+//! rasterizer, shaders, blending, texture sampling or the scenes
+//! themselves shows up here immediately.
+//!
+//! If a change is *intentional* (scene recalibration, shader change),
+//! regenerate the table with the commented snippet at the bottom and
+//! update the constants — and re-validate the figure calibration in
+//! `EXPERIMENTS.md`, since the workloads define the reproduced results.
+
+use re_gpu::hooks::NullHooks;
+use re_gpu::{image, Gpu, GpuConfig};
+
+const GOLDEN: &[(&str, u64)] = &[
+    ("ccs", 0xfb9103fab4d22ec1),
+    ("cde", 0xa2a44fbbd1f3a0ea),
+    ("coc", 0x612a74e107940dc0),
+    ("ctr", 0x07d0b1fbc81289b8),
+    ("hop", 0xa2a8590fe8022fb2),
+    ("mst", 0x278c287bfb6718a1),
+    ("abi", 0x2ce5fd0ea474bb5c),
+    ("csn", 0x90442976e024970b),
+    ("ter", 0x5e5dd6aa5a032da9),
+    ("tib", 0x0dfe105259e12be8),
+];
+
+fn render_frame0(alias: &str, cfg: GpuConfig) -> u64 {
+    let mut bench = re_workloads::by_alias(alias).expect("alias exists");
+    let mut gpu = Gpu::new(cfg);
+    bench.scene.init(&mut gpu);
+    let frame = bench.scene.frame(0);
+    let geo = gpu.run_geometry(&frame, &mut NullHooks);
+    for t in 0..gpu.tile_count() {
+        gpu.rasterize_tile(&frame, &geo, t, &mut NullHooks);
+    }
+    image::fingerprint(gpu.framebuffer().back(), cfg.width, cfg.height)
+}
+
+#[test]
+fn frame_zero_images_match_golden_fingerprints() {
+    let cfg = GpuConfig { width: 256, height: 160, tile_size: 16, ..Default::default() };
+    for &(alias, expected) in GOLDEN {
+        let got = render_frame0(alias, cfg);
+        assert_eq!(
+            got, expected,
+            "{alias}: rendered image changed (got {got:#018x}); if intentional, \
+             regenerate the golden table and re-check EXPERIMENTS.md"
+        );
+    }
+}
+
+#[test]
+fn golden_table_covers_the_whole_suite() {
+    let suite: Vec<_> = re_workloads::suite().iter().map(|b| b.alias).collect();
+    let golden: Vec<_> = GOLDEN.iter().map(|&(a, _)| a).collect();
+    assert_eq!(suite, golden);
+}
+
+#[test]
+fn fingerprints_are_distinct_across_benchmarks() {
+    let mut fps: Vec<u64> = GOLDEN.iter().map(|&(_, f)| f).collect();
+    fps.sort_unstable();
+    fps.dedup();
+    assert_eq!(fps.len(), GOLDEN.len(), "no two scenes render identically");
+}
+
+// To regenerate:
+//   for b in suite() { render frame 0 at 256x160 and print
+//   image::fingerprint(...) }  — see crates/bench/src/bin/golden_gen.rs.

@@ -1,0 +1,40 @@
+//! The adversarial case: an FPS workload (`mst`, Modern-Strike-like) whose
+//! camera moves every frame, leaving Rendering Elimination nothing to skip.
+//! The point of this example is the paper's overhead claim: even when RE is
+//! useless, it costs well under 1%.
+//!
+//! ```sh
+//! cargo run --release --example fps_shooter
+//! ```
+
+use rendering_elimination::core::{SimOptions, Simulator};
+use rendering_elimination::gpu::GpuConfig;
+use rendering_elimination::workloads;
+
+fn main() {
+    let mut bench = workloads::by_alias("mst").expect("mst is part of the suite");
+    println!("benchmark: {} (stand-in for {}, {})", bench.alias, bench.stands_for, bench.genre);
+
+    let mut sim = Simulator::new(SimOptions {
+        gpu: GpuConfig { width: 598, height: 384, tile_size: 16, ..Default::default() },
+        ..SimOptions::default()
+    });
+    let report = sim.run(bench.scene.as_mut(), 30);
+
+    let b = &report.baseline;
+    let r = &report.re;
+    println!();
+    println!("equal tiles frame-to-frame : {:.1}%", report.equal_tiles_pct_dist1());
+    println!("tiles RE could skip        : {}", r.tiles_skipped);
+    let overhead =
+        r.total_cycles() as f64 / b.total_cycles() as f64 - 1.0;
+    println!("RE execution overhead      : {:.3}% (paper: <1%)", 100.0 * overhead);
+    let e_overhead = r.energy.total_pj() / b.energy.total_pj() - 1.0;
+    println!("RE energy overhead         : {:.3}% (paper: <1%)", 100.0 * e_overhead);
+    println!(
+        "signature stalls           : {} cycles ({:.3}% of total)",
+        report.su_stats.stall_cycles,
+        100.0 * report.su_stats.stall_cycles as f64 / b.total_cycles() as f64
+    );
+    assert!(overhead < 0.02, "RE must stay cheap when useless");
+}

@@ -1,0 +1,63 @@
+//! A puzzle-game workload (the `ccs` Candy-Crush-like benchmark): the
+//! motivating case of the paper — a mostly static screen where Rendering
+//! Elimination skips the bulk of the Raster Pipeline.
+//!
+//! ```sh
+//! cargo run --release --example puzzle_game
+//! ```
+
+use rendering_elimination::core::{SimOptions, Simulator};
+use rendering_elimination::gpu::GpuConfig;
+use rendering_elimination::workloads;
+
+fn main() {
+    let mut bench = workloads::by_alias("ccs").expect("ccs is part of the suite");
+    println!("benchmark: {} (stand-in for {}, {})", bench.alias, bench.stands_for, bench.genre);
+
+    let mut sim = Simulator::new(SimOptions {
+        gpu: GpuConfig { width: 598, height: 384, tile_size: 16, ..Default::default() },
+        ..SimOptions::default()
+    });
+    let report = sim.run(bench.scene.as_mut(), 48);
+
+    let b = &report.baseline;
+    let r = &report.re;
+    let t = &report.te;
+    println!();
+    println!("{:<26} {:>14} {:>14} {:>14}", "", "baseline", "RE", "TE");
+    println!(
+        "{:<26} {:>14} {:>14} {:>14}",
+        "total cycles",
+        b.total_cycles(),
+        r.total_cycles(),
+        t.total_cycles()
+    );
+    println!(
+        "{:<26} {:>13.1}% {:>13.1}% {:>13.1}%",
+        "energy (vs baseline)",
+        100.0,
+        100.0 * r.energy.total_pj() / b.energy.total_pj(),
+        100.0 * t.energy.total_pj() / b.energy.total_pj()
+    );
+    println!(
+        "{:<26} {:>13.1}% {:>13.1}% {:>13.1}%",
+        "DRAM bytes (vs baseline)",
+        100.0,
+        100.0 * r.dram.total_bytes() as f64 / b.dram.total_bytes() as f64,
+        100.0 * t.dram.total_bytes() as f64 / b.dram.total_bytes() as f64
+    );
+    println!();
+    let k = &report.classes;
+    println!("tile classification over {} frames:", report.frames);
+    println!("  equal colors & inputs   : {:>6.1}%  (RE skips these)", k.pct(k.eq_color_eq_input));
+    println!("  equal colors, new inputs: {:>6.1}%  (false negatives)", k.pct(k.eq_color_diff_input));
+    println!("  changed tiles           : {:>6.1}%", k.pct(k.diff_color_diff_input));
+    println!("  CRC collisions          : {}", k.diff_color_eq_input);
+    println!();
+    println!(
+        "signature unit: {} compute cycles, {} stall cycles ({}% of geometry)",
+        report.su_stats.compute_cycles,
+        report.su_stats.stall_cycles,
+        100 * report.su_stats.stall_cycles / b.geometry_cycles.max(1)
+    );
+}

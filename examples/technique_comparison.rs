@@ -1,0 +1,53 @@
+//! Side-by-side comparison of Rendering Elimination against Transaction
+//! Elimination and PFR fragment memoization on a slice of the suite —
+//! a compact reproduction of the paper's Figs. 16 and 17.
+//!
+//! ```sh
+//! cargo run --release --example technique_comparison [alias ...]
+//! ```
+
+use rendering_elimination::core::{SimOptions, Simulator};
+use rendering_elimination::gpu::GpuConfig;
+use rendering_elimination::workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let aliases: Vec<&str> = if args.is_empty() {
+        vec!["ccs", "hop", "mst", "tib"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    println!(
+        "{:<6} {:>11} {:>11} {:>12} {:>12} {:>12}",
+        "bench", "RE cycles", "TE cycles", "RE energy", "TE energy", "frags RE/memo"
+    );
+    for alias in aliases {
+        let Some(mut bench) = workloads::by_alias(alias) else {
+            eprintln!("unknown benchmark alias: {alias}");
+            std::process::exit(2);
+        };
+        let mut sim = Simulator::new(SimOptions {
+            gpu: GpuConfig { width: 598, height: 384, tile_size: 16, ..Default::default() },
+            ..SimOptions::default()
+        });
+        let report = sim.run(bench.scene.as_mut(), 48);
+        let b = &report.baseline;
+        let norm_c = |c: u64| c as f64 / b.total_cycles() as f64;
+        let norm_e = |e: f64| e / b.energy.total_pj();
+        let frags_base = b.fragments_shaded.max(1) as f64;
+        println!(
+            "{:<6} {:>11.3} {:>11.3} {:>12.3} {:>12.3} {:>6.3}/{:.3}",
+            alias,
+            norm_c(report.re.total_cycles()),
+            norm_c(report.te.total_cycles()),
+            norm_e(report.re.energy.total_pj()),
+            norm_e(report.te.energy.total_pj()),
+            report.re.fragments_shaded as f64 / frags_base,
+            report.memo.fragments_shaded as f64 / frags_base,
+        );
+    }
+    println!();
+    println!("(all numbers normalized to the baseline GPU; lower is better)");
+    println!("(note hop: memoization wins on fragments — the paper's one exception)");
+}

@@ -1,0 +1,26 @@
+//! Facade crate for the Rendering Elimination reproduction.
+//!
+//! Re-exports the public API of every workspace crate so downstream users
+//! (and the `examples/` and `tests/` directories) can depend on a single
+//! crate:
+//!
+//! * [`crc`] — CRC32 signature machinery and hardware-unit models.
+//! * [`math`] — vectors, matrices, colors, rectangles.
+//! * [`gpu`] — the functional tile-based-rendering GPU.
+//! * [`timing`] — cycle, cache, DRAM and energy models.
+//! * [`core`] — the Rendering Elimination technique, its baselines
+//!   (Transaction Elimination, PFR fragment memoization) and the unified
+//!   simulator driver.
+//! * [`workloads`] — the ten synthetic benchmark scenes (paper Table II).
+//! * [`trace`] — command-stream capture and replay (`.retrace` format).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use re_core as core;
+pub use re_crc as crc;
+pub use re_gpu as gpu;
+pub use re_math as math;
+pub use re_timing as timing;
+pub use re_trace as trace;
+pub use re_workloads as workloads;

@@ -1,0 +1,122 @@
+//! End-to-end integration tests: run real benchmarks through the full
+//! simulator and assert the paper's qualitative results hold.
+
+use rendering_elimination::core::{RunReport, SimOptions, Simulator};
+use rendering_elimination::gpu::GpuConfig;
+use rendering_elimination::workloads;
+
+fn run(alias: &str, frames: usize) -> RunReport {
+    let mut bench = workloads::by_alias(alias).expect("alias exists");
+    let mut sim = Simulator::new(SimOptions {
+        gpu: GpuConfig { width: 320, height: 192, tile_size: 16, ..Default::default() },
+        ..SimOptions::default()
+    });
+    sim.run(bench.scene.as_mut(), frames)
+}
+
+#[test]
+fn static_game_gets_large_speedup() {
+    let r = run("cde", 24);
+    let speedup = r.baseline.total_cycles() as f64 / r.re.total_cycles() as f64;
+    assert!(speedup > 3.0, "cde is the paper's best case, got {speedup:.2}x");
+    assert!(r.re.energy.total_pj() < 0.5 * r.baseline.energy.total_pj());
+}
+
+#[test]
+fn fps_game_pays_almost_nothing() {
+    let r = run("mst", 12);
+    let ratio = r.re.total_cycles() as f64 / r.baseline.total_cycles() as f64;
+    assert!(ratio < 1.01, "RE overhead must stay under 1%, got {ratio:.4}");
+    let e_ratio = r.re.energy.total_pj() / r.baseline.energy.total_pj();
+    assert!(e_ratio < 1.01, "energy overhead must stay under 1%, got {e_ratio:.4}");
+}
+
+#[test]
+fn re_beats_te_on_every_coherent_benchmark() {
+    for alias in ["ccs", "cde", "ctr", "tib"] {
+        let r = run(alias, 24);
+        assert!(
+            r.re.total_cycles() <= r.te.total_cycles(),
+            "{alias}: RE must not be slower than TE"
+        );
+        assert!(
+            r.re.energy.total_pj() <= r.te.energy.total_pj(),
+            "{alias}: RE must not burn more energy than TE"
+        );
+        assert!(
+            r.re.dram.total_bytes() <= r.te.dram.total_bytes(),
+            "{alias}: RE saves at least TE's bandwidth"
+        );
+    }
+}
+
+#[test]
+fn te_saves_only_color_traffic() {
+    use rendering_elimination::timing::TrafficClass;
+    let r = run("ccs", 16);
+    let b = &r.baseline.dram;
+    let t = &r.te.dram;
+    assert!(t.class_bytes(TrafficClass::Colors) < b.class_bytes(TrafficClass::Colors));
+    // TE does not touch texel or primitive-read traffic.
+    assert_eq!(t.class_bytes(TrafficClass::Texels), b.class_bytes(TrafficClass::Texels));
+    assert_eq!(
+        t.class_bytes(TrafficClass::PrimitiveReads),
+        b.class_bytes(TrafficClass::PrimitiveReads)
+    );
+}
+
+#[test]
+fn zero_false_positives_across_the_suite_slice() {
+    for alias in ["ccs", "hop", "abi", "ter"] {
+        let r = run(alias, 16);
+        assert_eq!(r.false_positives, 0, "{alias}: CRC32 collision observed");
+        assert_eq!(r.classes.diff_color_eq_input, 0, "{alias}");
+    }
+}
+
+#[test]
+fn hop_is_where_memoization_wins() {
+    let r = run("hop", 24);
+    assert!(
+        r.memo.fragments_shaded < r.re.fragments_shaded,
+        "paper Fig. 16: memoization reuses more than RE on hop (memo {}, re {})",
+        r.memo.fragments_shaded,
+        r.re.fragments_shaded
+    );
+    // ...but RE still wins broadly elsewhere.
+    let r2 = run("ccs", 24);
+    assert!(r2.re.fragments_shaded < r2.memo.fragments_shaded, "ccs: RE reuses more");
+}
+
+#[test]
+fn baseline_counts_are_invariant_across_techniques() {
+    // The baseline machine renders every tile of every frame.
+    let r = run("ctr", 10);
+    assert_eq!(r.baseline.tiles_skipped, 0);
+    assert_eq!(
+        r.baseline.tiles_rendered,
+        10 * r.tile_count as u64,
+        "every tile of every frame"
+    );
+    // RE partitions the same tile population.
+    assert_eq!(r.re.tiles_rendered + r.re.tiles_skipped, r.baseline.tiles_rendered);
+}
+
+#[test]
+fn skipping_only_begins_after_warmup() {
+    // With compare distance 2, the first two frames can never be skipped.
+    let r = run("cde", 3);
+    assert!(r.re.tiles_skipped <= r.tile_count as u64, "at most one frame's worth");
+}
+
+#[test]
+fn geometry_cycles_identical_for_baseline_and_te() {
+    let r = run("coc", 8);
+    assert_eq!(r.baseline.geometry_cycles, r.te.geometry_cycles);
+    // RE adds only signature stalls on top.
+    assert!(r.re.geometry_cycles >= r.baseline.geometry_cycles);
+    assert_eq!(
+        r.re.geometry_cycles - r.baseline.geometry_cycles,
+        r.su_stats.stall_cycles
+    );
+}

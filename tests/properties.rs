@@ -1,0 +1,122 @@
+//! Property-based tests over randomized scenes: whatever geometry is
+//! thrown at the pipeline, Rendering Elimination must never corrupt output
+//! (zero false skips without a CRC collision) and its accounting must stay
+//! consistent.
+
+use proptest::prelude::*;
+use rendering_elimination::core::{Scene, SimOptions, Simulator};
+use rendering_elimination::gpu::api::{DrawCall, FrameDesc, PipelineState, Vertex};
+use rendering_elimination::gpu::GpuConfig;
+use rendering_elimination::math::{Mat4, Vec4};
+
+/// A randomized sprite scene: a set of triangles, some animated by a
+/// per-triangle period (period 0 = static).
+#[derive(Debug, Clone)]
+struct RandomScene {
+    tris: Vec<([f32; 6], u32, [f32; 4])>, // positions, period, color
+}
+
+impl Scene for RandomScene {
+    fn frame(&mut self, index: usize) -> FrameDesc {
+        let mut frame = FrameDesc::new();
+        let mut vertices = Vec::new();
+        for (pos, period, color) in &self.tris {
+            let shift = if *period == 0 {
+                0.0
+            } else {
+                0.08 * ((index as u32 / period) as f32)
+            };
+            let c = Vec4::new(color[0], color[1], color[2], color[3]);
+            for k in 0..3 {
+                vertices.push(Vertex::new(vec![
+                    Vec4::new(pos[2 * k] + shift, pos[2 * k + 1], 0.0, 1.0),
+                    c,
+                ]));
+            }
+        }
+        frame.drawcalls.push(DrawCall {
+            state: PipelineState::flat_2d(),
+            constants: Mat4::IDENTITY.cols.to_vec(),
+            vertices,
+        });
+        frame
+    }
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+fn arb_tri() -> impl Strategy<Value = ([f32; 6], u32, [f32; 4])> {
+    (
+        proptest::array::uniform6(-1.0f32..1.0),
+        0u32..4,
+        proptest::array::uniform4(0.0f32..1.0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Zero false positives, conservation of tiles, and RE never slower
+    /// than baseline by more than the documented overhead bound.
+    #[test]
+    fn re_is_safe_and_accounted(tris in proptest::collection::vec(arb_tri(), 1..8)) {
+        let mut scene = RandomScene { tris };
+        let mut sim = Simulator::new(SimOptions {
+            gpu: GpuConfig { width: 128, height: 128, tile_size: 16, ..Default::default() },
+            ..SimOptions::default()
+        });
+        let frames = 8;
+        let r = sim.run(&mut scene, frames);
+
+        prop_assert_eq!(r.false_positives, 0);
+        prop_assert_eq!(r.classes.diff_color_eq_input, 0);
+        prop_assert_eq!(
+            r.re.tiles_rendered + r.re.tiles_skipped,
+            frames as u64 * r.tile_count as u64
+        );
+        prop_assert_eq!(r.baseline.tiles_skipped, 0);
+        // RE ≤ baseline + 2% (signature compare + stalls).
+        prop_assert!(
+            r.re.total_cycles() as f64 <= r.baseline.total_cycles() as f64 * 1.02,
+            "re {} vs base {}", r.re.total_cycles(), r.baseline.total_cycles()
+        );
+        // DRAM traffic can only shrink.
+        prop_assert!(r.re.dram.total_bytes() <= r.baseline.dram.total_bytes());
+        prop_assert!(r.te.dram.total_bytes() <= r.baseline.dram.total_bytes());
+    }
+
+    /// A fully static random scene must converge to skipping everything.
+    #[test]
+    fn static_scenes_converge_to_full_skip(
+        tris in proptest::collection::vec(arb_tri(), 1..8),
+    ) {
+        let mut scene = RandomScene {
+            tris: tris.into_iter().map(|(p, _, c)| (p, 0, c)).collect(),
+        };
+        let mut sim = Simulator::new(SimOptions {
+            gpu: GpuConfig { width: 128, height: 128, tile_size: 16, ..Default::default() },
+            ..SimOptions::default()
+        });
+        let frames = 6;
+        let r = sim.run(&mut scene, frames);
+        // Frames 2..6 are all skippable (distance-2 history warm).
+        let expected = (frames as u64 - 2) * r.tile_count as u64;
+        prop_assert_eq!(r.re.tiles_skipped, expected);
+        prop_assert_eq!(r.false_positives, 0);
+    }
+
+    /// Memoization and baseline agree on the fragment population.
+    #[test]
+    fn memo_processes_every_baseline_fragment(
+        tris in proptest::collection::vec(arb_tri(), 1..6),
+    ) {
+        let mut scene = RandomScene { tris };
+        let mut sim = Simulator::new(SimOptions {
+            gpu: GpuConfig { width: 128, height: 128, tile_size: 16, ..Default::default() },
+            ..SimOptions::default()
+        });
+        let r = sim.run(&mut scene, 6);
+        prop_assert_eq!(r.memo.total(), r.baseline.fragments_shaded);
+    }
+}
