@@ -7,7 +7,9 @@ use re_crc::units::ComputeCrcUnit;
 use re_crc::{reference, table};
 
 fn payload(len: usize) -> Vec<u8> {
-    (0..len).map(|i| (i as u32).wrapping_mul(2654435761) as u8).collect()
+    (0..len)
+        .map(|i| (i as u32).wrapping_mul(2654435761) as u8)
+        .collect()
 }
 
 fn bench_crc_impls(c: &mut Criterion) {

@@ -13,7 +13,12 @@ fn bench_simulator(c: &mut Criterion) {
             b.iter(|| {
                 let mut bench = re_workloads::by_alias(alias).expect("alias exists");
                 let mut sim = Simulator::new(SimOptions {
-                    gpu: GpuConfig { width: 256, height: 160, tile_size: 16, ..Default::default() },
+                    gpu: GpuConfig {
+                        width: 256,
+                        height: 160,
+                        tile_size: 16,
+                        ..Default::default()
+                    },
                     ..SimOptions::default()
                 });
                 sim.run(bench.scene.as_mut(), 4)

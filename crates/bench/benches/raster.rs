@@ -6,7 +6,12 @@ use re_gpu::hooks::NullHooks;
 use re_gpu::{Gpu, GpuConfig};
 
 fn bench_tile_and_frame(c: &mut Criterion) {
-    let cfg = GpuConfig { width: 400, height: 256, tile_size: 16, ..Default::default() };
+    let cfg = GpuConfig {
+        width: 400,
+        height: 256,
+        tile_size: 16,
+        ..Default::default()
+    };
 
     for alias in ["ccs", "mst"] {
         let mut bench = re_workloads::by_alias(alias).expect("alias exists");
@@ -19,11 +24,11 @@ fn bench_tile_and_frame(c: &mut Criterion) {
         let busiest = (0..cfg.tile_count())
             .max_by_key(|&t| geo.bin(t).len())
             .expect("tiles exist");
-        c.bench_function(&format!("rasterize_busiest_tile_{alias}"), |b| {
+        c.bench_function(format!("rasterize_busiest_tile_{alias}"), |b| {
             b.iter(|| gpu.rasterize_tile(&frame, &geo, busiest, &mut NullHooks))
         });
 
-        c.bench_function(&format!("rasterize_full_frame_{alias}"), |b| {
+        c.bench_function(format!("rasterize_full_frame_{alias}"), |b| {
             b.iter(|| {
                 for t in 0..cfg.tile_count() {
                     gpu.rasterize_tile(&frame, &geo, t, &mut NullHooks);
@@ -34,7 +39,12 @@ fn bench_tile_and_frame(c: &mut Criterion) {
 }
 
 fn bench_geometry(c: &mut Criterion) {
-    let cfg = GpuConfig { width: 400, height: 256, tile_size: 16, ..Default::default() };
+    let cfg = GpuConfig {
+        width: 400,
+        height: 256,
+        tile_size: 16,
+        ..Default::default()
+    };
     let mut bench = re_workloads::by_alias("mst").expect("mst exists");
     let mut gpu = Gpu::new(cfg);
     bench.scene.init(&mut gpu);

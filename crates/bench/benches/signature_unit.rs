@@ -7,7 +7,12 @@ use re_gpu::hooks::NullHooks;
 use re_gpu::{Gpu, GpuConfig};
 
 fn bench_process_frame(c: &mut Criterion) {
-    let cfg = GpuConfig { width: 400, height: 256, tile_size: 16, ..Default::default() };
+    let cfg = GpuConfig {
+        width: 400,
+        height: 256,
+        tile_size: 16,
+        ..Default::default()
+    };
     let mut bench = re_workloads::by_alias("ccs").expect("ccs exists");
     let mut gpu = Gpu::new(cfg);
     bench.scene.init(&mut gpu);
@@ -20,7 +25,9 @@ fn bench_process_frame(c: &mut Criterion) {
     });
 
     c.bench_function("reference_signatures_frame_ccs", |b| {
-        b.iter(|| re_core::signature::reference_signatures(std::hint::black_box(&geo), cfg.tile_count()))
+        b.iter(|| {
+            re_core::signature::reference_signatures(std::hint::black_box(&geo), cfg.tile_count())
+        })
     });
 }
 

@@ -1,0 +1,49 @@
+//! Sweep fan-out throughput: cells/second on a small fixed grid at 1, 2 and
+//! all hardware workers. The interesting number is the scaling ratio — the
+//! work-stealing pool should approach linear until captures/memory bandwidth
+//! saturate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use re_sweep::{pool, ExperimentGrid, SweepOptions};
+
+fn small_grid() -> ExperimentGrid {
+    ExperimentGrid {
+        scenes: vec!["ccs".into(), "tib".into()],
+        frames: 3,
+        width: 128,
+        height: 64,
+        tile_sizes: vec![16, 32],
+        compare_distances: vec![1, 2],
+        ..ExperimentGrid::default()
+    }
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let grid = small_grid();
+    let cells = grid.cell_count() as u64;
+    // Capture once up front so the benchmark times pure fan-out + simulate.
+    let opts = SweepOptions {
+        workers: 1,
+        trace_dir: None,
+        quiet: true,
+    };
+    let traces = re_sweep::capture_traces(&grid, &opts).expect("capture");
+
+    let mut g = c.benchmark_group("sweep_fanout");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells));
+    for workers in [1, 2, pool::default_workers()] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let cells = grid.cells();
+                pool::run_indexed(cells, w, |_, cell| {
+                    re_sweep::run_cell(&traces[&cell.scene], &cell)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

@@ -1,14 +1,46 @@
 //! Ablation studies for the design choices DESIGN.md calls out: hash
 //! function quality, OT-queue depth, Compute-unit subblock width, tile
 //! size, and single vs double buffering.
+//!
+//! The configuration-space studies (tile size, binning, buffering) are
+//! expressed as `re-sweep` experiment grids and fan out across the worker
+//! pool; only the studies that probe hardware internals directly (hash
+//! quality, OT depth, subblock width) still drive the units by hand.
 
 use std::collections::HashMap;
 
-use re_core::{SimOptions, Simulator};
 use re_crc::hashalt::all_hashers;
 use re_gpu::hooks::NullHooks;
 use re_gpu::{Gpu, GpuConfig};
-use re_timing::TimingConfig;
+use re_sweep::{CellOutcome, ExperimentGrid, SweepOptions};
+
+/// Runs `grid` in-memory on all hardware workers, quietly.
+fn sweep(grid: &ExperimentGrid) -> Vec<CellOutcome> {
+    re_sweep::run_grid(
+        grid,
+        &SweepOptions {
+            quiet: true,
+            ..SweepOptions::default()
+        },
+    )
+    .expect("in-memory ablation sweep cannot hit store I/O")
+}
+
+/// Quarter-resolution base grid shared by the ablation studies.
+fn ablation_grid(scenes: &[&str], frames: usize) -> ExperimentGrid {
+    ExperimentGrid {
+        scenes: scenes.iter().map(|s| s.to_string()).collect(),
+        frames,
+        width: 400,
+        height: 256,
+        ..ExperimentGrid::default()
+    }
+}
+
+fn skipped_pct(o: &CellOutcome) -> f64 {
+    let r = &o.report.re;
+    100.0 * r.tiles_skipped as f64 / (r.tiles_skipped + r.tiles_rendered) as f64
+}
 
 fn hdr(title: &str) {
     println!();
@@ -19,11 +51,7 @@ fn hdr(title: &str) {
 
 /// Captures the per-tile input streams (Fig. 6 layout) of `frames` frames
 /// of one benchmark, as lists of blocks.
-fn capture_tile_streams(
-    alias: &str,
-    frames: usize,
-    cfg: GpuConfig,
-) -> Vec<Vec<Vec<u8>>> {
+fn capture_tile_streams(alias: &str, frames: usize, cfg: GpuConfig) -> Vec<Vec<Vec<u8>>> {
     let mut bench = re_workloads::by_alias(alias).expect("known alias");
     let mut gpu = Gpu::new(cfg);
     bench.scene.init(&mut gpu);
@@ -60,7 +88,9 @@ fn fingerprint(blocks: &[Vec<u8>]) -> u128 {
     for blk in blocks {
         for &byte in blk {
             a = (a ^ byte as u64).wrapping_mul(0x0000_0100_0000_01B3);
-            b = (b ^ byte as u64).wrapping_mul(0xff51_afd7_ed55_8ccd).rotate_left(17);
+            b = (b ^ byte as u64)
+                .wrapping_mul(0xff51_afd7_ed55_8ccd)
+                .rotate_left(17);
         }
         a = a.wrapping_add(0x517c_c1b7_2722_0a95); // block boundary
         b ^= blk.len() as u64;
@@ -79,7 +109,10 @@ pub fn hashes(frames: usize, cfg: GpuConfig) {
     // Drop empty streams (tiles with no geometry hash to the same value by
     // definition and are legitimately identical).
     streams.retain(|s| !s.is_empty());
-    println!("streams: {} (non-empty tile inputs from ccs, mst, tib)", streams.len());
+    println!(
+        "streams: {} (non-empty tile inputs from ccs, mst, tib)",
+        streams.len()
+    );
     println!("{:<10} {:>14} {:>12}", "scheme", "distinct", "collisions");
     for hasher in all_hashers().iter_mut() {
         let mut seen: HashMap<u32, Vec<u128>> = HashMap::new();
@@ -99,7 +132,12 @@ pub fn hashes(frames: usize, cfg: GpuConfig) {
                 entry.push(fp);
             }
         }
-        println!("{:<10} {:>14} {:>12}", hasher.name(), seen.len(), collisions);
+        println!(
+            "{:<10} {:>14} {:>12}",
+            hasher.name(),
+            seen.len(),
+            collisions
+        );
     }
     println!("(paper: CRC32 outperforms XOR-based schemes; zero CRC collisions observed)");
 }
@@ -116,7 +154,10 @@ pub fn ot_depth(frames: usize, cfg: GpuConfig) {
             gpu.run_geometry(&frame, &mut NullHooks)
         })
         .collect();
-    println!("{:>6} {:>14} {:>18}", "depth", "stall cycles", "max occupancy");
+    println!(
+        "{:>6} {:>14} {:>18}",
+        "depth", "stall cycles", "max occupancy"
+    );
     for depth in [2usize, 4, 8, 16, 32, 64] {
         let mut su = re_core::SignatureUnit::new(depth);
         let mut stalls = 0u64;
@@ -138,7 +179,10 @@ pub fn subblock(frames: usize, cfg: GpuConfig) {
     use re_crc::units::ComputeCrcUnit;
     hdr("Ablation: Compute CRC subblock width (measured cycles vs LUT storage)");
     let streams = capture_tile_streams("ccs", frames, cfg);
-    println!("{:>9} {:>16} {:>14}", "width(B)", "signing cycles", "LUT storage");
+    println!(
+        "{:>9} {:>16} {:>14}",
+        "width(B)", "signing cycles", "LUT storage"
+    );
     for width in [4usize, 8, 16, 32] {
         let mut unit = ComputeCrcUnit::with_width(width);
         for s in &streams {
@@ -156,27 +200,22 @@ pub fn subblock(frames: usize, cfg: GpuConfig) {
 /// Tile-size study: redundancy detected and RE speedup vs tile edge.
 pub fn tile_size(frames: usize) {
     hdr("Ablation: tile size vs detected redundancy and speedup (ccs, ter)");
-    println!("{:<6} {:>6} {:>12} {:>10}", "bench", "tile", "skipped(%)", "speedup");
-    for alias in ["ccs", "ter"] {
-        for ts in [8u32, 16, 32] {
-            let mut bench = re_workloads::by_alias(alias).expect("alias");
-            let mut sim = Simulator::new(SimOptions {
-                gpu: GpuConfig { width: 400, height: 256, tile_size: ts, ..Default::default() },
-                timing: TimingConfig::mali450(),
-                compare_distance: 2,
-                refresh_period: None,
-            });
-            let r = sim.run(bench.scene.as_mut(), frames);
-            let skipped = 100.0 * r.re.tiles_skipped as f64
-                / (r.re.tiles_skipped + r.re.tiles_rendered) as f64;
-            println!(
-                "{:<6} {:>6} {:>12.1} {:>9.2}x",
-                alias,
-                ts,
-                skipped,
-                r.baseline.total_cycles() as f64 / r.re.total_cycles() as f64
-            );
-        }
+    println!(
+        "{:<6} {:>6} {:>12} {:>10}",
+        "bench", "tile", "skipped(%)", "speedup"
+    );
+    let grid = ExperimentGrid {
+        tile_sizes: vec![8, 16, 32],
+        ..ablation_grid(&["ccs", "ter"], frames)
+    };
+    for o in sweep(&grid) {
+        println!(
+            "{:<6} {:>6} {:>12.1} {:>9.2}x",
+            o.cell.scene,
+            o.cell.config.tile_size,
+            skipped_pct(&o),
+            o.report.baseline.total_cycles() as f64 / o.report.re.total_cycles() as f64
+        );
     }
     println!("(smaller tiles isolate motion better but multiply signature work)");
 }
@@ -190,32 +229,22 @@ pub fn binning(frames: usize) {
         "{:<6} {:<12} {:>12} {:>14} {:>12}",
         "bench", "mode", "pairs", "param bytes", "skipped(%)"
     );
-    for alias in ["ccs", "mst"] {
-        for (name, mode) in [("bbox", BinningMode::BoundingBox), ("exact", BinningMode::ExactCoverage)] {
-            let mut bench = re_workloads::by_alias(alias).expect("alias");
-            let mut sim = Simulator::new(SimOptions {
-                gpu: GpuConfig {
-                    width: 400,
-                    height: 256,
-                    tile_size: 16,
-                    binning: mode,
-                },
-                timing: TimingConfig::mali450(),
-                compare_distance: 2,
-                refresh_period: None,
-            });
-            let r = sim.run(bench.scene.as_mut(), frames);
-            let skipped = 100.0 * r.re.tiles_skipped as f64
-                / (r.re.tiles_skipped + r.re.tiles_rendered) as f64;
-            println!(
-                "{:<6} {:<12} {:>12} {:>14} {:>12.1}",
-                alias,
-                name,
-                r.su_stats.ot_pushes,
-                r.baseline.dram.class_bytes(re_timing::TrafficClass::PrimitiveWrites),
-                skipped,
-            );
-        }
+    let grid = ExperimentGrid {
+        binnings: vec![BinningMode::BoundingBox, BinningMode::ExactCoverage],
+        ..ablation_grid(&["ccs", "mst"], frames)
+    };
+    for o in sweep(&grid) {
+        println!(
+            "{:<6} {:<12} {:>12} {:>14} {:>12.1}",
+            o.cell.scene,
+            re_sweep::binning_name(o.cell.config.binning),
+            o.report.su_stats.ot_pushes,
+            o.report
+                .baseline
+                .dram
+                .class_bytes(re_timing::TrafficClass::PrimitiveWrites),
+            skipped_pct(&o),
+        );
     }
     println!("(exact binning trims bbox-only pairs; redundancy detection is unaffected)");
 }
@@ -224,22 +253,55 @@ pub fn binning(frames: usize) {
 pub fn buffering(frames: usize) {
     hdr("Ablation: single vs double buffering (compare distance 1 vs 2)");
     println!("{:<6} {:>10} {:>14}", "bench", "distance", "skipped(%)");
-    for alias in ["ccs", "abi", "ter"] {
-        for d in [1usize, 2] {
-            let mut bench = re_workloads::by_alias(alias).expect("alias");
-            let mut sim = Simulator::new(SimOptions {
-                gpu: GpuConfig { width: 400, height: 256, tile_size: 16, ..Default::default() },
-                timing: TimingConfig::mali450(),
-                compare_distance: d,
-                refresh_period: None,
-            });
-            let r = sim.run(bench.scene.as_mut(), frames);
-            let skipped = 100.0 * r.re.tiles_skipped as f64
-                / (r.re.tiles_skipped + r.re.tiles_rendered) as f64;
-            println!("{:<6} {:>10} {:>14.1}", alias, d, skipped);
-        }
+    let grid = ExperimentGrid {
+        compare_distances: vec![1, 2],
+        ..ablation_grid(&["ccs", "abi", "ter"], frames)
+    };
+    for o in sweep(&grid) {
+        println!(
+            "{:<6} {:>10} {:>14.1}",
+            o.cell.scene,
+            o.cell.config.compare_distance,
+            skipped_pct(&o)
+        );
     }
     println!("(double buffering compares 2 frames back; §IV-C)");
+}
+
+/// Signature-width study (new with the sweep subsystem): Signature Buffer
+/// storage vs collision (false-positive) exposure as the stored CRC is
+/// truncated.
+pub fn sig_width(frames: usize) {
+    hdr("Ablation: signature width vs storage and collisions (ccs, tib)");
+    println!(
+        "{:<6} {:>6} {:>12} {:>12} {:>14}",
+        "bench", "bits", "skipped(%)", "collisions", "sigbuf bytes"
+    );
+    let grid = ExperimentGrid {
+        sig_bits: vec![8, 16, 24, 32],
+        ..ablation_grid(&["ccs", "tib"], frames)
+    };
+    for o in sweep(&grid) {
+        let c = &o.cell.config;
+        // Ask the hardware model itself, so this column always matches what
+        // the simulator charges energy for.
+        let sim = c.sim_options();
+        let sigbuf = re_core::SignatureBuffer::with_sig_bits(
+            sim.gpu.tile_count(),
+            sim.compare_distance,
+            sim.sig_bits,
+        )
+        .storage_bytes();
+        println!(
+            "{:<6} {:>6} {:>12.1} {:>12} {:>14}",
+            o.cell.scene,
+            c.sig_bits,
+            skipped_pct(&o),
+            o.report.false_positives,
+            sigbuf,
+        );
+    }
+    println!("(narrow signatures shrink the Signature Buffer but admit CRC collisions)");
 }
 
 #[cfg(test)]
@@ -257,7 +319,12 @@ mod tests {
 
     #[test]
     fn capture_streams_nonempty_for_real_scene() {
-        let cfg = GpuConfig { width: 128, height: 64, tile_size: 16, ..Default::default() };
+        let cfg = GpuConfig {
+            width: 128,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        };
         let s = capture_tile_streams("ccs", 2, cfg);
         assert_eq!(s.len(), 2 * cfg.tile_count() as usize);
         assert!(s.iter().any(|t| !t.is_empty()));

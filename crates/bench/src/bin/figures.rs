@@ -5,7 +5,7 @@
 //!
 //! targets: table1 table2 fig1 fig2 fig14a fig14b fig15a fig15b fig16
 //!          fig17a fig17b sigcycles summary hashes otdepth subblock
-//!          tilesize buffering
+//!          tilesize buffering binning sigwidth
 //! ```
 //!
 //! With no target (or `all`), everything is produced. `--fast` runs at
@@ -18,10 +18,18 @@ use re_bench::{ablation, figures, run_suite};
 use re_gpu::GpuConfig;
 
 const SUITE_TARGETS: &[&str] = &[
-    "table2", "fig1", "fig2", "fig14a", "fig14b", "fig15a", "fig15b", "fig16", "fig17a",
-    "fig17b", "phases", "summary",
+    "table2", "fig1", "fig2", "fig14a", "fig14b", "fig15a", "fig15b", "fig16", "fig17a", "fig17b",
+    "phases", "summary",
 ];
-const ABLATION_TARGETS: &[&str] = &["hashes", "otdepth", "subblock", "tilesize", "buffering", "binning"];
+const ABLATION_TARGETS: &[&str] = &[
+    "hashes",
+    "otdepth",
+    "subblock",
+    "tilesize",
+    "buffering",
+    "binning",
+    "sigwidth",
+];
 
 fn usage() -> ! {
     eprintln!(
@@ -47,13 +55,22 @@ fn main() {
                 opts.height = fast.height;
             }
             "--frames" => {
-                opts.frames = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.frames = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--width" => {
-                opts.width = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.width = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--height" => {
-                opts.height = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.height = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--csv" => csv_dir = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
@@ -88,7 +105,11 @@ fn main() {
     // Run the suite once if any suite-backed figure was requested.
     let needs_suite =
         csv_dir.is_some() || targets.iter().any(|t| SUITE_TARGETS.contains(&t.as_str()));
-    let results = if needs_suite { Some(run_suite(&opts)) } else { None };
+    let results = if needs_suite {
+        Some(run_suite(&opts))
+    } else {
+        None
+    };
     if let (Some(dir), Some(r)) = (&csv_dir, results.as_ref()) {
         match re_bench::csv::dump_all(r, dir) {
             Ok(()) => eprintln!("[figures] CSV written to {dir}"),
@@ -96,7 +117,12 @@ fn main() {
         }
     }
 
-    let abl_cfg = GpuConfig { width: 400, height: 256, tile_size: 16, ..Default::default() };
+    let abl_cfg = GpuConfig {
+        width: 400,
+        height: 256,
+        tile_size: 16,
+        ..Default::default()
+    };
     let abl_frames = 10.min(opts.frames);
 
     for t in &targets {
@@ -109,6 +135,7 @@ fn main() {
             "tilesize" => ablation::tile_size(abl_frames),
             "buffering" => ablation::buffering(abl_frames),
             "binning" => ablation::binning(abl_frames),
+            "sigwidth" => ablation::sig_width(abl_frames),
             suite_target => {
                 let r = results.as_ref().expect("suite was run");
                 match suite_target {

@@ -7,7 +7,12 @@
 //! ```
 
 fn main() {
-    let cfg = re_gpu::GpuConfig { width: 256, height: 160, tile_size: 16, ..Default::default() };
+    let cfg = re_gpu::GpuConfig {
+        width: 256,
+        height: 160,
+        tile_size: 16,
+        ..Default::default()
+    };
     for entry in re_workloads::suite() {
         let mut bench = entry;
         let mut gpu = re_gpu::Gpu::new(cfg);

@@ -23,9 +23,8 @@ pub fn dump_all(results: &[SuiteResult], dir: impl AsRef<Path>) -> io::Result<()
     std::fs::create_dir_all(dir)?;
 
     let mut fig2 = String::from("bench,equal_tiles_pct\n");
-    let mut fig14a = String::from(
-        "bench,base_geometry,base_raster,re_geometry,re_raster,re_total,speedup\n",
-    );
+    let mut fig14a =
+        String::from("bench,base_geometry,base_raster,re_geometry,re_raster,re_total,speedup\n");
     let mut fig14b = String::from("bench,base_gpu,base_mem,re_gpu,re_mem,re_total\n");
     let mut fig15a = String::from(
         "bench,eq_color_eq_input_pct,eq_color_diff_input_pct,diff_color_diff_input_pct,collisions\n",
@@ -124,11 +123,21 @@ mod tests {
             height: 64,
             ..HarnessOptions::default()
         };
-        let results =
-            vec![run_benchmark(re_workloads::by_alias("ccs").expect("ccs"), &opts)];
+        let results = vec![run_benchmark(
+            re_workloads::by_alias("ccs").expect("ccs"),
+            &opts,
+        )];
         let dir = std::env::temp_dir().join("re_csv_test");
         dump_all(&results, &dir).expect("dump");
-        for f in ["fig2.csv", "fig14a.csv", "fig14b.csv", "fig15a.csv", "fig15b.csv", "fig16.csv", "fig17.csv"] {
+        for f in [
+            "fig2.csv",
+            "fig14a.csv",
+            "fig14b.csv",
+            "fig15a.csv",
+            "fig15b.csv",
+            "fig16.csv",
+            "fig17.csv",
+        ] {
             let content = std::fs::read_to_string(dir.join(f)).expect("read");
             assert!(content.starts_with("bench,"), "{f} header");
             assert!(content.lines().count() == 2, "{f} has one data row");

@@ -17,31 +17,55 @@ fn hdr(title: &str) {
 pub fn table1() {
     let c = TimingConfig::mali450();
     hdr("Table I: GPU Simulation Parameters");
-    println!("Tech specs            : {} MHz, {} V, 32 nm", c.clock_hz / 1_000_000, c.voltage);
+    println!(
+        "Tech specs            : {} MHz, {} V, 32 nm",
+        c.clock_hz / 1_000_000,
+        c.voltage
+    );
     println!("Screen resolution     : 1196x768 (default harness)");
     println!("Tile size             : 16x16 pixels");
-    println!("Main memory           : latency {}-{} cycles, {} bytes/cycle, dual-channel LPDDR3",
-        c.dram_latency_min, c.dram_latency_max, c.dram_bytes_per_cycle);
-    println!("Queues                : vertex/triangle/tile {} entries, fragment {} entries",
-        c.queue_entries, c.fragment_queue_entries);
+    println!(
+        "Main memory           : latency {}-{} cycles, {} bytes/cycle, dual-channel LPDDR3",
+        c.dram_latency_min, c.dram_latency_max, c.dram_bytes_per_cycle
+    );
+    println!(
+        "Queues                : vertex/triangle/tile {} entries, fragment {} entries",
+        c.queue_entries, c.fragment_queue_entries
+    );
     let pc = |g: re_timing::config::CacheGeometry| {
-        format!("{} KB, {}-way, {} B lines, {} cycle(s)", g.size_bytes / 1024, g.ways, g.line_bytes, g.latency)
+        format!(
+            "{} KB, {}-way, {} B lines, {} cycle(s)",
+            g.size_bytes / 1024,
+            g.ways,
+            g.line_bytes,
+            g.latency
+        )
     };
     println!("Vertex cache          : {}", pc(c.vertex_cache));
     println!("Texture caches (4x)   : {}", pc(c.texture_cache));
     println!("Tile cache            : {}", pc(c.tile_cache));
     println!("L2 cache              : {}", pc(c.l2_cache));
-    println!("Color/Depth buffers   : {} KB / {} KB on-chip", c.color_buffer_bytes / 1024, c.depth_buffer_bytes / 1024);
+    println!(
+        "Color/Depth buffers   : {} KB / {} KB on-chip",
+        c.color_buffer_bytes / 1024,
+        c.depth_buffer_bytes / 1024
+    );
     println!("Vertex processors     : {}", c.num_vertex_processors);
     println!("Fragment processors   : {}", c.num_fragment_processors);
-    println!("Rasterizer            : {} attributes/cycle", c.raster_attrs_per_cycle);
+    println!(
+        "Rasterizer            : {} attributes/cycle",
+        c.raster_attrs_per_cycle
+    );
     println!("OT queue (RE)         : {} entries", c.ot_queue_entries);
 }
 
 /// Table II — the benchmark suite.
 pub fn table2(results: &[SuiteResult]) {
     hdr("Table II: Benchmark suite");
-    println!("{:<6} {:<22} {:<22} {:<4}", "alias", "stands for", "genre", "type");
+    println!(
+        "{:<6} {:<22} {:<22} {:<4}",
+        "alias", "stands for", "genre", "type"
+    );
     for r in results {
         println!(
             "{:<6} {:<22} {:<22} {:<4}",
@@ -64,7 +88,12 @@ pub fn fig1(results: &[SuiteResult]) {
         let power_mw = r.report.baseline.energy.total_pj() * 1e-12 / wall_s * 1e3;
         let budget = clock / 60.0 * r.report.frames as f64;
         let load = 100.0 * r.report.baseline.total_cycles() as f64 / budget;
-        println!("{:<6} {:>12.1} {:>12.1}", r.alias, power_mw, load.min(100.0));
+        println!(
+            "{:<6} {:>12.1} {:>12.1}",
+            r.alias,
+            power_mw,
+            load.min(100.0)
+        );
     }
     println!("(paper: simple games drive power comparable to a GPU stress test)");
 }
@@ -347,10 +376,22 @@ pub fn summary(results: &[SuiteResult]) {
                 / r.report.baseline.total_cycles().max(1) as f64
         })
         .collect();
-    println!("average speedup             : {:.2}x (paper 1.74x)", 1.0 / mean(ratios));
-    println!("max cycle reduction         : {:.0}% (paper 86%, cde)", 100.0 * cyc_red.iter().cloned().fold(0.0, f64::max));
-    println!("average energy reduction    : {:.0}% (paper 43%)", 100.0 * mean(energy_red));
-    println!("average tiles skipped       : {:.0}% (paper 50%)", mean(skipped));
+    println!(
+        "average speedup             : {:.2}x (paper 1.74x)",
+        1.0 / mean(ratios)
+    );
+    println!(
+        "max cycle reduction         : {:.0}% (paper 86%, cde)",
+        100.0 * cyc_red.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "average energy reduction    : {:.0}% (paper 43%)",
+        100.0 * mean(energy_red)
+    );
+    println!(
+        "average tiles skipped       : {:.0}% (paper 50%)",
+        mean(skipped)
+    );
     println!("CRC32 false positives       : {fp} (paper 0)");
     println!(
         "avg signature stall overhead: {:.2}% of geometry, {:.3}% of total (paper: 0.64% of geometry)",

@@ -1,10 +1,14 @@
-//! Suite execution: runs every benchmark through the simulator once and
-//! returns the per-benchmark reports the figure printers consume.
+//! Suite execution: a thin layer over the `re-sweep` orchestration engine.
+//!
+//! The harness describes the suite run as a one-config [`ExperimentGrid`]
+//! and lets the sweep engine do the work — trace capture, parallel fan-out
+//! across workers, deterministic cell-order aggregation — then decorates
+//! the reports with the Table II metadata the figure printers consume.
 
 use re_core::{RunReport, SimOptions, Simulator};
 use re_gpu::GpuConfig;
-use re_timing::TimingConfig;
-use re_workloads::{suite, Benchmark};
+use re_sweep::{ExperimentGrid, SweepOptions};
+use re_workloads::Benchmark;
 
 /// One benchmark's metadata plus its simulation report.
 pub struct SuiteResult {
@@ -33,11 +37,20 @@ pub struct HarnessOptions {
     pub tile_size: u32,
     /// Signature/color comparison distance (paper §IV-C: 2).
     pub compare_distance: usize,
+    /// Worker threads for suite runs (0 = one per hardware thread).
+    pub workers: usize,
 }
 
 impl Default for HarnessOptions {
     fn default() -> Self {
-        HarnessOptions { frames: 50, width: 1196, height: 768, tile_size: 16, compare_distance: 2 }
+        HarnessOptions {
+            frames: 50,
+            width: 1196,
+            height: 768,
+            tile_size: 16,
+            compare_distance: 2,
+            workers: 0,
+        }
     }
 }
 
@@ -46,16 +59,45 @@ impl HarnessOptions {
     /// resolution, 48 frames (enough to cover every scene's phase cycle).
     /// Shapes are preserved; absolute counts shrink.
     pub fn fast() -> Self {
-        HarnessOptions { frames: 48, width: 400, height: 256, ..HarnessOptions::default() }
+        HarnessOptions {
+            frames: 48,
+            width: 400,
+            height: 256,
+            ..HarnessOptions::default()
+        }
     }
 
-    /// Converts to simulator options.
+    /// Converts to simulator options (the paper's design point otherwise).
     pub fn sim_options(&self) -> SimOptions {
         SimOptions {
-            gpu: GpuConfig { width: self.width, height: self.height, tile_size: self.tile_size, ..Default::default() },
-            timing: TimingConfig::mali450(),
+            gpu: GpuConfig {
+                width: self.width,
+                height: self.height,
+                tile_size: self.tile_size,
+                ..Default::default()
+            },
             compare_distance: self.compare_distance,
-            refresh_period: None,
+            ..SimOptions::default()
+        }
+    }
+
+    /// The full ten-benchmark suite as a one-config experiment grid.
+    pub fn grid(&self) -> ExperimentGrid {
+        ExperimentGrid {
+            frames: self.frames,
+            width: self.width,
+            height: self.height,
+            tile_sizes: vec![self.tile_size],
+            compare_distances: vec![self.compare_distance],
+            ..ExperimentGrid::default()
+        }
+    }
+
+    fn sweep_options(&self) -> SweepOptions {
+        SweepOptions {
+            workers: self.workers,
+            trace_dir: None,
+            quiet: false,
         }
     }
 }
@@ -73,13 +115,23 @@ pub fn run_benchmark(mut bench: Benchmark, opts: &HarnessOptions) -> SuiteResult
     }
 }
 
-/// Runs the full ten-benchmark suite.
+/// Runs the full ten-benchmark suite through the sweep engine: each scene
+/// is captured once, replayed in parallel across the worker pool, and the
+/// reports come back in suite order regardless of scheduling.
 pub fn run_suite(opts: &HarnessOptions) -> Vec<SuiteResult> {
-    suite()
+    let outcomes = re_sweep::run_grid(&opts.grid(), &opts.sweep_options())
+        .expect("in-memory suite sweep cannot hit store I/O");
+    outcomes
         .into_iter()
-        .map(|b| {
-            eprintln!("[harness] running {} ({} frames)…", b.alias, opts.frames);
-            run_benchmark(b, opts)
+        .map(|o| {
+            let meta = re_workloads::by_alias(&o.cell.scene).expect("suite alias");
+            SuiteResult {
+                alias: meta.alias,
+                stands_for: meta.stands_for,
+                genre: meta.genre,
+                is_3d: meta.is_3d,
+                report: o.report,
+            }
         })
         .collect()
 }
@@ -138,5 +190,31 @@ mod tests {
         assert_eq!(r.alias, "ccs");
         assert_eq!(r.report.frames, 4);
         assert!(r.report.baseline.total_cycles() > 0);
+    }
+
+    #[test]
+    fn suite_grid_covers_all_ten_in_paper_order() {
+        let opts = HarnessOptions {
+            frames: 2,
+            width: 128,
+            height: 64,
+            ..Default::default()
+        };
+        let grid = opts.grid();
+        assert_eq!(grid.cell_count(), 10);
+        let aliases: Vec<&str> = re_workloads::suite().iter().map(|b| b.alias).collect();
+        assert_eq!(grid.scenes, aliases);
+        // The suite run via the sweep engine matches a direct simulator run.
+        let through_sweep = run_suite(&opts);
+        assert_eq!(through_sweep.len(), 10);
+        let direct = run_benchmark(re_workloads::by_alias("ccs").unwrap(), &opts);
+        assert_eq!(
+            through_sweep[0].report.baseline.total_cycles(),
+            direct.report.baseline.total_cycles()
+        );
+        assert_eq!(
+            through_sweep[0].report.re.tiles_skipped,
+            direct.report.re.tiles_skipped
+        );
     }
 }

@@ -56,12 +56,12 @@
 pub mod memo;
 pub mod record;
 pub mod redundancy;
-pub mod sim;
 pub mod signature;
+pub mod sim;
 pub mod te;
 
 pub use memo::{FragmentMemo, MemoStats};
 pub use redundancy::TileClassCounts;
-pub use sim::{RunReport, Scene, SimOptions, Simulator, TechniqueReport};
 pub use signature::{SignatureBuffer, SignatureUnit, SignatureUnitStats};
+pub use sim::{RunReport, Scene, SimOptions, Simulator, TechniqueReport};
 pub use te::TransactionElimination;

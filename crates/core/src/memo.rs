@@ -31,7 +31,10 @@ impl MemoLut {
     /// # Panics
     /// Panics unless `entries` is a positive multiple of `ways`.
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(ways > 0 && entries > 0 && entries % ways == 0, "bad LUT geometry");
+        assert!(
+            ways > 0 && entries > 0 && entries.is_multiple_of(ways),
+            "bad LUT geometry"
+        );
         MemoLut {
             sets: entries / ways,
             ways,
@@ -115,7 +118,11 @@ impl FragmentMemo {
 
     /// Creates the model with a custom LUT (for the ablation).
     pub fn with_lut(lut: MemoLut) -> Self {
-        FragmentMemo { lut, pending: None, stats: MemoStats::default() }
+        FragmentMemo {
+            lut,
+            pending: None,
+            stats: MemoStats::default(),
+        }
     }
 
     /// Feeds one frame's fragment hashes, grouped per tile. Frames arrive
@@ -178,7 +185,7 @@ mod tests {
     #[test]
     fn lut_lru_within_set() {
         let mut l = MemoLut::new(8, 2); // 4 sets
-        // Hashes 0, 4, 8 all map to set 0.
+                                        // Hashes 0, 4, 8 all map to set 0.
         l.probe_insert(0);
         l.probe_insert(4);
         l.probe_insert(0); // refresh 0
@@ -210,7 +217,7 @@ mod tests {
         let before = m.stats.fragments_reused;
         m.push_frame(a.clone());
         m.push_frame(a); // pair 2
-        // Pair 2's first frame misses (evicted), second frame hits.
+                         // Pair 2's first frame misses (evicted), second frame hits.
         assert_eq!(m.stats.fragments_reused - before, 8);
     }
 
@@ -226,7 +233,10 @@ mod tests {
 
     #[test]
     fn shaded_fraction_bounds() {
-        let s = MemoStats { fragments_shaded: 25, fragments_reused: 75 };
+        let s = MemoStats {
+            fragments_shaded: 25,
+            fragments_reused: 75,
+        };
         assert!((s.shaded_fraction() - 0.25).abs() < 1e-12);
         assert_eq!(MemoStats::default().shaded_fraction(), 1.0);
     }

@@ -90,9 +90,11 @@ impl Recorder {
                         sink.color_flush(addr, bytes);
                     }
                 }
-                Event::FragShaded { tile, drawcall, hash } => {
-                    sink.fragment_shaded(tile, drawcall, hash)
-                }
+                Event::FragShaded {
+                    tile,
+                    drawcall,
+                    hash,
+                } => sink.fragment_shaded(tile, drawcall, hash),
             }
         }
     }
@@ -123,7 +125,11 @@ impl GpuHooks for Recorder {
         self.events.push(Event::ColorFlush { addr, bytes });
     }
     fn fragment_shaded(&mut self, tile_id: u32, drawcall: u32, input_hash: u32) {
-        self.events.push(Event::FragShaded { tile: tile_id, drawcall, hash: input_hash });
+        self.events.push(Event::FragShaded {
+            tile: tile_id,
+            drawcall,
+            hash: input_hash,
+        });
     }
 }
 
@@ -147,8 +153,21 @@ mod tests {
     fn records_in_order() {
         let r = sample();
         assert_eq!(r.events.len(), 6);
-        assert_eq!(r.events[0], Event::VertexFetch { addr: 0x100, bytes: 48 });
-        assert_eq!(r.events[5], Event::FragShaded { tile: 3, drawcall: 1, hash: 0xABCD });
+        assert_eq!(
+            r.events[0],
+            Event::VertexFetch {
+                addr: 0x100,
+                bytes: 48
+            }
+        );
+        assert_eq!(
+            r.events[5],
+            Event::FragShaded {
+                tile: 3,
+                drawcall: 1,
+                hash: 0xABCD
+            }
+        );
     }
 
     #[test]

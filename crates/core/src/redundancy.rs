@@ -73,7 +73,10 @@ impl ColorHistory {
     /// History keeping the last `depth` frames.
     pub fn new(depth: usize) -> Self {
         assert!(depth >= 1, "history depth must be at least 1");
-        ColorHistory { frames: std::collections::VecDeque::with_capacity(depth), depth }
+        ColorHistory {
+            frames: std::collections::VecDeque::with_capacity(depth),
+            depth,
+        }
     }
 
     /// Records a rendered frame (cloning the surface).
@@ -130,7 +133,12 @@ mod tests {
     use re_math::Color;
 
     fn cfg() -> GpuConfig {
-        GpuConfig { width: 32, height: 32, tile_size: 16, ..Default::default() }
+        GpuConfig {
+            width: 32,
+            height: 32,
+            tile_size: 16,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -189,8 +197,15 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = TileClassCounts { eq_color_eq_input: 5, ..Default::default() };
-        a.merge(&TileClassCounts { eq_color_eq_input: 3, diff_color_diff_input: 2, ..Default::default() });
+        let mut a = TileClassCounts {
+            eq_color_eq_input: 5,
+            ..Default::default()
+        };
+        a.merge(&TileClassCounts {
+            eq_color_eq_input: 3,
+            diff_color_diff_input: 2,
+            ..Default::default()
+        });
         assert_eq!(a.eq_color_eq_input, 8);
         assert_eq!(a.total(), 10);
     }

@@ -158,8 +158,7 @@ impl SignatureUnit {
                     if !bitmap[t] {
                         bitmap[t] = true;
                         stats.bitmap_accesses += 1;
-                        sigs[t] =
-                            re_crc::units::fold_block(&mut self.accumulate, sigs[t], cb);
+                        sigs[t] = re_crc::units::fold_block(&mut self.accumulate, sigs[t], cb);
                         stats.sig_buffer_accesses += 2;
                         fold_cost += ACCUM_FOLD_CYCLES;
                     }
@@ -254,38 +253,63 @@ pub struct SignatureBuffer {
     history: VecDeque<Vec<u32>>,
     distance: usize,
     tile_count: u32,
+    /// Bits of each signature the hardware stores and compares (1..=32).
+    sig_bits: u32,
+    /// Mask selecting the stored bits.
+    mask: u32,
     /// Signature-compare reads performed at tile-scheduling time.
     pub compare_reads: u64,
 }
 
 impl SignatureBuffer {
-    /// Creates an empty buffer comparing at `distance` frames.
+    /// Creates an empty buffer comparing at `distance` frames, storing the
+    /// full 32-bit CRC (the paper's design point).
     ///
     /// # Panics
     /// Panics if `distance == 0`.
     pub fn new(tile_count: u32, distance: usize) -> Self {
+        SignatureBuffer::with_sig_bits(tile_count, distance, 32)
+    }
+
+    /// Creates a buffer that truncates each signature to its low `sig_bits`
+    /// bits — the storage/false-positive trade-off axis of the paper's §V
+    /// sensitivity discussion: narrower signatures shrink the Signature
+    /// Buffer but raise the collision (false skip) probability.
+    ///
+    /// # Panics
+    /// Panics if `distance == 0` or `sig_bits` is not in `1..=32`.
+    pub fn with_sig_bits(tile_count: u32, distance: usize, sig_bits: u32) -> Self {
         assert!(distance >= 1, "compare distance must be at least 1");
+        assert!((1..=32).contains(&sig_bits), "sig_bits must be in 1..=32");
+        let mask = if sig_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << sig_bits) - 1
+        };
         SignatureBuffer {
             history: VecDeque::with_capacity(distance),
             distance,
             tile_count,
+            sig_bits,
+            mask,
             compare_reads: 0,
         }
     }
 
-    /// Storage the hardware needs: `distance` frames of 32-bit signatures.
+    /// Storage the hardware needs: `distance` frames of `sig_bits`-wide
+    /// signatures (rounded up to whole bytes per tile).
     pub fn storage_bytes(&self) -> usize {
-        self.distance * self.tile_count as usize * 4
+        self.distance * self.tile_count as usize * self.sig_bits.div_ceil(8) as usize
     }
 
     /// Whether tile `tile` of the frame with signatures `cur` may be
     /// skipped: true iff a signature from `distance` frames ago exists and
-    /// matches. Counts the Signature Buffer read.
+    /// matches in the stored bits. Counts the Signature Buffer read.
     pub fn matches(&mut self, cur: &[u32], tile: u32) -> bool {
         self.compare_reads += 1;
         match self.history.front() {
             Some(old) if self.history.len() == self.distance => {
-                old[tile as usize] == cur[tile as usize]
+                (old[tile as usize] ^ cur[tile as usize]) & self.mask == 0
             }
             _ => false,
         }
@@ -293,7 +317,11 @@ impl SignatureBuffer {
 
     /// Commits the finished frame's signatures, retiring the oldest set.
     pub fn push(&mut self, sigs: Vec<u32>) {
-        assert_eq!(sigs.len(), self.tile_count as usize, "signature count mismatch");
+        assert_eq!(
+            sigs.len(),
+            self.tile_count as usize,
+            "signature count mismatch"
+        );
         if self.history.len() == self.distance {
             self.history.pop_front();
         }
@@ -310,7 +338,12 @@ mod tests {
     use re_math::{Mat4, Vec4};
 
     fn cfg() -> GpuConfig {
-        GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() }
+        GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        }
     }
 
     fn tri(x0: f32, y0: f32, s: f32) -> DrawCall {
@@ -326,7 +359,10 @@ mod tests {
     }
 
     fn geo_for(dcs: Vec<DrawCall>) -> re_gpu::GeometryOutput {
-        let frame = FrameDesc { drawcalls: dcs, ..FrameDesc::new() };
+        let frame = FrameDesc {
+            drawcalls: dcs,
+            ..FrameDesc::new()
+        };
         re_gpu::geometry::run_geometry(&cfg(), &frame, &mut NullHooks)
     }
 
@@ -425,7 +461,10 @@ mod tests {
         let mut big = SignatureUnit::new(1024);
         let out_big = big.process_frame(&geo, cfg().tile_count());
         assert!(out_small.stats.stall_cycles > out_big.stats.stall_cycles);
-        assert_eq!(out_small.sigs, out_big.sigs, "timing does not change values");
+        assert_eq!(
+            out_small.sigs, out_big.sigs,
+            "timing does not change values"
+        );
     }
 
     #[test]
@@ -436,7 +475,7 @@ mod tests {
         sb.push(vec![7u32; 4]); // frame 0
         assert!(!sb.matches(&cur, 0), "only one frame of history");
         sb.push(vec![9u32; 4]); // frame 1
-        // Now frame-0 signatures are at distance 2.
+                                // Now frame-0 signatures are at distance 2.
         assert!(sb.matches(&cur, 0));
         sb.push(vec![1u32; 4]); // frame 2; frame 0 retired
         assert!(!sb.matches(&cur, 0), "compares against frame 1 now");
@@ -450,6 +489,21 @@ mod tests {
         assert!(sb.matches(&[5, 0], 0));
         assert!(!sb.matches(&[0, 0], 0));
         assert!(sb.matches(&[0, 6], 1));
+    }
+
+    #[test]
+    fn narrow_signatures_compare_truncated_bits_only() {
+        let mut sb = SignatureBuffer::with_sig_bits(2, 1, 8);
+        sb.push(vec![0x1234_5678, 0]);
+        assert!(
+            sb.matches(&[0xFFFF_FF78, 0], 0),
+            "only the low 8 bits count"
+        );
+        assert!(!sb.matches(&[0x0000_0079, 0], 0));
+        assert_eq!(sb.storage_bytes(), 2, "one byte per tile at 8 bits");
+        // Full width stays byte-exact.
+        let full = SignatureBuffer::new(3600, 2);
+        assert_eq!(full.storage_bytes(), 28_800);
     }
 
     #[test]

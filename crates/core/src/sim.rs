@@ -68,6 +68,11 @@ pub struct SimOptions {
     /// refreshing"): every `n`-th frame renders all tiles. `None` (the
     /// paper's evaluated configuration) never forces a refresh.
     pub refresh_period: Option<usize>,
+    /// Bits of each tile signature the Signature Buffer stores and compares
+    /// (1..=32). 32 is the paper's CRC32 design point; narrower widths trade
+    /// Signature Buffer storage against false-positive (collision) risk and
+    /// are an axis of the sweep subsystem's sensitivity studies.
+    pub sig_bits: u32,
 }
 
 impl Default for SimOptions {
@@ -77,6 +82,7 @@ impl Default for SimOptions {
             timing: TimingConfig::mali450(),
             compare_distance: 2,
             refresh_period: None,
+            sig_bits: 32,
         }
     }
 }
@@ -213,7 +219,8 @@ impl Machine {
             self.energy.add_sram(size, n);
         }
         self.energy.add_dram(self.mem.dram_stats());
-        self.energy.add_cycles(self.geometry_cycles + self.raster_cycles);
+        self.energy
+            .add_cycles(self.geometry_cycles + self.raster_cycles);
         TechniqueReport {
             geometry_cycles: self.geometry_cycles,
             raster_cycles: self.raster_cycles,
@@ -235,7 +242,10 @@ pub struct Simulator {
 impl Simulator {
     /// Creates a simulator.
     pub fn new(opts: SimOptions) -> Self {
-        Simulator { opts, gpu: Gpu::new(opts.gpu) }
+        Simulator {
+            opts,
+            gpu: Gpu::new(opts.gpu),
+        }
     }
 
     /// Mutable access to the GPU (texture uploads during scene init).
@@ -263,7 +273,8 @@ impl Simulator {
 
         let mut su = SignatureUnit::new(tcfg.ot_queue_entries as usize);
         let mut su_stats = SignatureUnitStats::default();
-        let mut sig_buffer = SignatureBuffer::new(tile_count, distance);
+        let mut sig_buffer =
+            SignatureBuffer::with_sig_bits(tile_count, distance, self.opts.sig_bits);
         let mut te = TransactionElimination::new(tile_count, distance);
         let mut memo = FragmentMemo::new();
 
@@ -385,12 +396,17 @@ impl Simulator {
 
         // RE hardware energy: Signature Buffer, CRC LUTs, bitmap, OT queue.
         let sigbuf_bytes = sig_buffer.storage_bytes() as u32;
-        rem.energy.add_sram(sigbuf_bytes, su_stats.sig_buffer_accesses + sig_buffer.compare_reads);
+        rem.energy.add_sram(
+            sigbuf_bytes,
+            su_stats.sig_buffer_accesses + sig_buffer.compare_reads,
+        );
         rem.energy.add_sram(1024, su_stats.lut_accesses);
-        rem.energy.add_sram(tile_count.div_ceil(8).max(1), su_stats.bitmap_accesses);
+        rem.energy
+            .add_sram(tile_count.div_ceil(8).max(1), su_stats.bitmap_accesses);
         rem.energy.add_sram(64, su_stats.ot_pushes * 2); // queue push + pop
-        // TE hardware energy: CRC unit + its signature buffer.
-        tem.energy.add_sram(te.storage_bytes() as u32, te.stats.sig_buffer_accesses);
+                                                         // TE hardware energy: CRC unit + its signature buffer.
+        tem.energy
+            .add_sram(te.storage_bytes() as u32, te.stats.sig_buffer_accesses);
         tem.energy.add_sram(1024, te.stats.lut_accesses);
 
         let te_stats = te.stats;
@@ -416,7 +432,9 @@ impl Simulator {
 
 impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Simulator").field("opts", &self.opts).finish_non_exhaustive()
+        f.debug_struct("Simulator")
+            .field("opts", &self.opts)
+            .finish_non_exhaustive()
     }
 }
 
@@ -437,7 +455,10 @@ mod tests {
             let verts = [(-0.5 + step, -0.5), (0.5 + step, -0.5), (step, 0.5)]
                 .iter()
                 .map(|&(x, y)| {
-                    Vertex::new(vec![Vec4::new(x, y, 0.0, 1.0), Vec4::new(0.9, 0.2, 0.1, 1.0)])
+                    Vertex::new(vec![
+                        Vec4::new(x, y, 0.0, 1.0),
+                        Vec4::new(0.9, 0.2, 0.1, 1.0),
+                    ])
                 })
                 .collect();
             let mut frame = FrameDesc::new();
@@ -455,7 +476,12 @@ mod tests {
 
     fn small_opts() -> SimOptions {
         SimOptions {
-            gpu: GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() },
+            gpu: GpuConfig {
+                width: 64,
+                height: 64,
+                tile_size: 16,
+                ..Default::default()
+            },
             ..SimOptions::default()
         }
     }
@@ -466,7 +492,11 @@ mod tests {
         let report = sim.run(&mut MovingTri { period: 1_000_000 }, 8);
         // 16 tiles × 8 frames; the first `distance` frames cannot skip.
         assert_eq!(report.baseline.tiles_rendered, 16 * 8);
-        assert!(report.re.tiles_skipped >= 16 * 5, "skipped {}", report.re.tiles_skipped);
+        assert!(
+            report.re.tiles_skipped >= 16 * 5,
+            "skipped {}",
+            report.re.tiles_skipped
+        );
         assert_eq!(report.false_positives, 0);
         assert!(report.re.total_cycles() < report.baseline.total_cycles());
         assert!(report.re.energy.total_pj() < report.baseline.energy.total_pj());
@@ -503,7 +533,10 @@ mod tests {
         // and primitive traffic.
         assert!(
             report.te.dram.class_bytes(re_timing::TrafficClass::Colors)
-                < report.baseline.dram.class_bytes(re_timing::TrafficClass::Colors)
+                < report
+                    .baseline
+                    .dram
+                    .class_bytes(re_timing::TrafficClass::Colors)
         );
         // And RE saves at least as much total DRAM as TE.
         assert!(report.re.dram.total_bytes() <= report.te.dram.total_bytes());
@@ -534,10 +567,17 @@ mod tests {
         // Moves every 4 frames: skip counts dip right after each move.
         let report = sim.run(&mut MovingTri { period: 4 }, 12);
         assert_eq!(report.per_frame.len(), 12);
-        let total: u64 = report.per_frame.iter().map(|s| s.tiles_skipped as u64).sum();
+        let total: u64 = report
+            .per_frame
+            .iter()
+            .map(|s| s.tiles_skipped as u64)
+            .sum();
         assert_eq!(total, report.re.tiles_skipped);
-        let base_total: u64 =
-            report.per_frame.iter().map(|s| s.baseline_raster_cycles).sum();
+        let base_total: u64 = report
+            .per_frame
+            .iter()
+            .map(|s| s.baseline_raster_cycles)
+            .sum();
         assert_eq!(base_total, report.baseline.raster_cycles);
         // Frames 0 and 1 (warmup) skip nothing.
         assert_eq!(report.per_frame[0].tiles_skipped, 0);
@@ -553,7 +593,10 @@ mod tests {
         let mut sim2 = Simulator::new(small_opts());
         let without = sim2.run(&mut MovingTri { period: 1_000_000 }, 12);
         // Frames 4 and 8 are forced renders: 2 × 16 tiles fewer skips.
-        assert_eq!(without.re.tiles_skipped - with_refresh.re.tiles_skipped, 2 * 16);
+        assert_eq!(
+            without.re.tiles_skipped - with_refresh.re.tiles_skipped,
+            2 * 16
+        );
         assert_eq!(with_refresh.false_positives, 0);
     }
 

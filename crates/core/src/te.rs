@@ -92,7 +92,8 @@ impl TransactionElimination {
             self.history.pop_front();
         }
         let fresh = vec![0; self.tile_count as usize];
-        self.history.push_back(std::mem::replace(&mut self.current, fresh));
+        self.history
+            .push_back(std::mem::replace(&mut self.current, fresh));
     }
 }
 

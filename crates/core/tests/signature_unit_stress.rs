@@ -8,17 +8,29 @@ use re_gpu::{Gpu, GpuConfig};
 use re_math::{Mat4, Vec4};
 
 fn cfg() -> GpuConfig {
-    GpuConfig { width: 128, height: 128, tile_size: 16, ..Default::default() }
+    GpuConfig {
+        width: 128,
+        height: 128,
+        tile_size: 16,
+        ..Default::default()
+    }
 }
 
 fn quad_frame(n_layers: usize) -> FrameDesc {
     let mut frame = FrameDesc::new();
     for layer in 0..n_layers {
         let c = Vec4::new(layer as f32 / n_layers.max(1) as f32, 0.5, 0.5, 1.0);
-        let verts = [(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0), (-1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)]
-            .iter()
-            .map(|&(x, y)| Vertex::new(vec![Vec4::new(x, y, 0.0, 1.0), c]))
-            .collect();
+        let verts = [
+            (-1.0, -1.0),
+            (1.0, -1.0),
+            (1.0, 1.0),
+            (-1.0, -1.0),
+            (1.0, 1.0),
+            (-1.0, 1.0),
+        ]
+        .iter()
+        .map(|&(x, y)| Vertex::new(vec![Vec4::new(x, y, 0.0, 1.0), c]))
+        .collect();
         frame.drawcalls.push(DrawCall {
             state: PipelineState::flat_2d(),
             constants: Mat4::IDENTITY.cols.to_vec(),
@@ -55,7 +67,10 @@ fn deeper_queues_never_stall_more() {
     let mut prev = u64::MAX;
     for depth in [1usize, 2, 4, 8, 16, 64, 4096] {
         let mut su = SignatureUnit::new(depth);
-        let stalls = su.process_frame(&geo, cfg().tile_count()).stats.stall_cycles;
+        let stalls = su
+            .process_frame(&geo, cfg().tile_count())
+            .stats
+            .stall_cycles;
         assert!(stalls <= prev, "depth {depth}: {stalls} > {prev}");
         prev = stalls;
     }
@@ -135,8 +150,14 @@ fn ot_pushes_scale_with_coverage_not_primitive_count() {
     let g_tiny = gpu.run_geometry(&tiny, &mut NullHooks);
     let g_full = gpu.run_geometry(&quad_frame(1), &mut NullHooks);
     let mut su = SignatureUnit::new(16);
-    let tiny_pushes = su.process_frame(&g_tiny, cfg().tile_count()).stats.ot_pushes;
-    let full_pushes = su.process_frame(&g_full, cfg().tile_count()).stats.ot_pushes;
+    let tiny_pushes = su
+        .process_frame(&g_tiny, cfg().tile_count())
+        .stats
+        .ot_pushes;
+    let full_pushes = su
+        .process_frame(&g_full, cfg().tile_count())
+        .stats
+        .ot_pushes;
     assert!(tiny_pushes <= 4);
     assert!(full_pushes >= 64, "fullscreen coverage dominates");
 }

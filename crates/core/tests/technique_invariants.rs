@@ -11,11 +11,14 @@ struct Alternating;
 
 impl Scene for Alternating {
     fn frame(&mut self, index: usize) -> FrameDesc {
-        let x0 = if index % 2 == 0 { -0.6 } else { 0.1 };
+        let x0 = if index.is_multiple_of(2) { -0.6 } else { 0.1 };
         let vertices = [(x0, -0.5), (x0 + 0.5, -0.5), (x0 + 0.25, 0.3)]
             .iter()
             .map(|&(x, y)| {
-                Vertex::new(vec![Vec4::new(x, y, 0.0, 1.0), Vec4::new(0.2, 0.9, 0.4, 1.0)])
+                Vertex::new(vec![
+                    Vec4::new(x, y, 0.0, 1.0),
+                    Vec4::new(0.2, 0.9, 0.4, 1.0),
+                ])
             })
             .collect();
         let mut frame = FrameDesc::new();
@@ -33,7 +36,12 @@ impl Scene for Alternating {
 
 fn opts(distance: usize) -> SimOptions {
     SimOptions {
-        gpu: GpuConfig { width: 96, height: 64, tile_size: 16, ..Default::default() },
+        gpu: GpuConfig {
+            width: 96,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        },
         compare_distance: distance,
         ..SimOptions::default()
     }
@@ -46,7 +54,11 @@ fn alternating_scene_is_fully_redundant_at_distance_two() {
     let mut sim = Simulator::new(opts(2));
     let r = sim.run(&mut Alternating, 10);
     let tiles = r.tile_count as u64;
-    assert_eq!(r.re.tiles_skipped, (10 - 2) * tiles, "all post-warmup tiles skip");
+    assert_eq!(
+        r.re.tiles_skipped,
+        (10 - 2) * tiles,
+        "all post-warmup tiles skip"
+    );
     assert_eq!(r.false_positives, 0);
 
     // ...while a single-buffered comparison (distance 1) sees the flip and

@@ -98,7 +98,7 @@ mod tests {
         // A single 1 followed by 32 zeros is x³², whose remainder is
         // P(x) − x³², i.e. the polynomial constant.
         let mut bits = vec![true];
-        bits.extend(std::iter::repeat(false).take(32));
+        bits.extend(std::iter::repeat_n(false, 32));
         assert_eq!(update_bits(0, &bits), CRC32_POLY);
     }
 

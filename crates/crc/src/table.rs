@@ -185,7 +185,9 @@ mod tests {
 
     #[test]
     fn slicing8_matches_reference_all_lengths() {
-        let data: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        let data: Vec<u8> = (0..64u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
         for len in 0..data.len() {
             assert_eq!(
                 update_slicing8(0, &data[..len]),

@@ -208,7 +208,10 @@ impl ComputeCrcUnit {
             shift_amount += 1;
             self.cycles += 1;
         }
-        SignedBlock { crc: crc_out, shift_amount }
+        SignedBlock {
+            crc: crc_out,
+            shift_amount,
+        }
     }
 
     /// Cycles spent by this unit since construction (or the last
@@ -249,7 +252,10 @@ pub struct AccumulateCrcUnit {
 impl AccumulateCrcUnit {
     /// Creates the unit with a freshly built Shift subunit.
     pub fn new() -> Self {
-        AccumulateCrcUnit { shift: ShiftSubunit::new(), cycles: 0 }
+        AccumulateCrcUnit {
+            shift: ShiftSubunit::new(),
+            cycles: 0,
+        }
     }
 
     /// Applies `shift_amount` zero-subblock extensions to `prev_crc`
@@ -361,10 +367,10 @@ mod tests {
         // §III-G: average constants block = 16 values × 4 B = 64 B → 8
         // cycles; average primitive = 3 attributes × 48 B = 144 B → 18.
         let mut u = ComputeCrcUnit::new();
-        u.sign_block(&vec![0x11; 64]);
+        u.sign_block(&[0x11; 64]);
         assert_eq!(u.cycles(), 8);
         u.reset_cycles();
-        u.sign_block(&vec![0x22; 144]);
+        u.sign_block(&[0x22; 144]);
         assert_eq!(u.cycles(), 18);
     }
 

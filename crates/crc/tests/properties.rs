@@ -70,7 +70,7 @@ proptest! {
             hw = fold_block(&mut au, hw, cu.sign_block(b));
             padded_stream.extend_from_slice(b);
             let pad = b.len().div_ceil(8) * 8 - b.len();
-            padded_stream.extend(std::iter::repeat(0u8).take(pad));
+            padded_stream.extend(std::iter::repeat_n(0u8, pad));
         }
         prop_assert_eq!(hw, Crc32::digest(&padded_stream));
     }

@@ -92,7 +92,10 @@ impl Vertex {
     /// # Panics
     /// Panics if `attrs` is empty (a vertex must at least have a position).
     pub fn new(attrs: Vec<Vec4>) -> Self {
-        assert!(!attrs.is_empty(), "vertex needs at least a position attribute");
+        assert!(
+            !attrs.is_empty(),
+            "vertex needs at least a position attribute"
+        );
         Vertex { attrs }
     }
 
@@ -149,7 +152,11 @@ pub struct FrameDesc {
 impl FrameDesc {
     /// An empty frame that clears to black.
     pub fn new() -> Self {
-        FrameDesc { clear_color: Color::BLACK, drawcalls: Vec::new(), re_unsafe: false }
+        FrameDesc {
+            clear_color: Color::BLACK,
+            drawcalls: Vec::new(),
+            re_unsafe: false,
+        }
     }
 
     /// Total triangles across all drawcalls.

@@ -36,7 +36,10 @@ impl ColorSurface {
     /// Panics if out of bounds.
     #[inline]
     pub fn pixel(&self, x: u32, y: u32) -> Color {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[(y * self.width + x) as usize]
     }
 
@@ -55,12 +58,15 @@ impl ColorSurface {
 
     /// Copies the rectangle `rect` out, row-major.
     pub fn read_rect(&self, rect: Rect) -> Vec<Color> {
-        rect.pixels().map(|(x, y)| self.pixel(x as u32, y as u32)).collect()
+        rect.pixels()
+            .map(|(x, y)| self.pixel(x as u32, y as u32))
+            .collect()
     }
 
     /// Whether the contents of `rect` are identical in `self` and `other`.
     pub fn rect_equals(&self, other: &ColorSurface, rect: Rect) -> bool {
-        rect.pixels().all(|(x, y)| self.pixel(x as u32, y as u32) == other.pixel(x as u32, y as u32))
+        rect.pixels()
+            .all(|(x, y)| self.pixel(x as u32, y as u32) == other.pixel(x as u32, y as u32))
     }
 }
 
@@ -111,7 +117,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> GpuConfig {
-        GpuConfig { width: 32, height: 16, tile_size: 16, ..Default::default() }
+        GpuConfig {
+            width: 32,
+            height: 16,
+            tile_size: 16,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -157,7 +168,10 @@ mod tests {
         let mut fb = Framebuffer::new(cfg());
         fb.back_mut().put_pixel(1, 0, Color::WHITE);
         let px = fb.back().read_rect(Rect::new(0, 0, 2, 2));
-        assert_eq!(px, vec![Color::BLACK, Color::WHITE, Color::BLACK, Color::BLACK]);
+        assert_eq!(
+            px,
+            vec![Color::BLACK, Color::WHITE, Color::BLACK, Color::BLACK]
+        );
     }
 
     #[test]

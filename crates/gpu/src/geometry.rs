@@ -184,7 +184,11 @@ pub fn run_geometry(
                 }
             };
             for k in 1..poly.len() - 1 {
-                let verts = [to_screen(&poly[0]), to_screen(&poly[k]), to_screen(&poly[k + 1])];
+                let verts = [
+                    to_screen(&poly[0]),
+                    to_screen(&poly[k]),
+                    to_screen(&poly[k + 1]),
+                ];
                 let a = Vec2::new(verts[0].screen[0], verts[0].screen[1]);
                 let b = Vec2::new(verts[1].screen[0], verts[1].screen[1]);
                 let c = Vec2::new(verts[2].screen[0], verts[2].screen[1]);
@@ -214,8 +218,7 @@ pub fn run_geometry(
                 }
 
                 // --- Polygon List Builder -------------------------------
-                let prim_idx =
-                    plb.push_prim(dc_idx as u32, verts, bbox, &mut stats, hooks);
+                let prim_idx = plb.push_prim(dc_idx as u32, verts, bbox, &mut stats, hooks);
                 meta.prim_indices.push(prim_idx);
             }
         }
@@ -223,7 +226,12 @@ pub fn run_geometry(
     }
 
     let (prims, bins) = plb.finish();
-    GeometryOutput { drawcalls, prims, bins, stats }
+    GeometryOutput {
+        drawcalls,
+        prims,
+        bins,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +242,12 @@ mod tests {
     use re_math::Mat4;
 
     fn cfg() -> GpuConfig {
-        GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() }
+        GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        }
     }
 
     /// A fullscreen-ish triangle in NDC via an identity transform.
@@ -242,7 +255,10 @@ mod tests {
         let verts = positions
             .iter()
             .map(|&(x, y)| {
-                Vertex::new(vec![Vec4::new(x, y, 0.0, 1.0), Vec4::new(1.0, 0.0, 0.0, 1.0)])
+                Vertex::new(vec![
+                    Vec4::new(x, y, 0.0, 1.0),
+                    Vec4::new(1.0, 0.0, 0.0, 1.0),
+                ])
             })
             .collect();
         DrawCall {
@@ -253,7 +269,10 @@ mod tests {
     }
 
     fn frame_of(dcs: Vec<DrawCall>) -> FrameDesc {
-        FrameDesc { drawcalls: dcs, ..FrameDesc::new() }
+        FrameDesc {
+            drawcalls: dcs,
+            ..FrameDesc::new()
+        }
     }
 
     #[test]
@@ -302,7 +321,7 @@ mod tests {
         let mut dc = tri_dc([(0.0, -0.5), (0.5, 0.5), (-0.5, 0.5)]);
         dc.vertices[0].attrs[0].w = -0.5;
         let geo = run_geometry(&cfg(), &frame_of(vec![dc]), &mut NullHooks);
-        assert!(geo.stats.prims_from_clipping > 0 || geo.prims.len() >= 1);
+        assert!(geo.stats.prims_from_clipping > 0 || !geo.prims.is_empty());
     }
 
     #[test]
@@ -361,6 +380,9 @@ mod tests {
         let b = run_geometry(&cfg(), &f, &mut NullHooks);
         assert_eq!(a.prims[0].param_bytes, b.prims[0].param_bytes);
         assert_eq!(a.prims[0].overlapped_tiles, b.prims[0].overlapped_tiles);
-        assert_eq!(a.drawcalls[0].constants_bytes, b.drawcalls[0].constants_bytes);
+        assert_eq!(
+            a.drawcalls[0].constants_bytes,
+            b.drawcalls[0].constants_bytes
+        );
     }
 }

@@ -103,7 +103,8 @@ mod tests {
 
     #[test]
     fn regions_are_disjoint_and_ordered() {
-        assert!(VB_BASE < TEX_BASE && TEX_BASE < PARAM_BASE && PARAM_BASE < FB_BASE);
+        let bases = [VB_BASE, TEX_BASE, PARAM_BASE, FB_BASE];
+        assert!(bases.windows(2).all(|w| w[0] < w[1]), "{bases:?}");
     }
 
     #[test]

@@ -103,7 +103,12 @@ mod tests {
     use crate::{Framebuffer, GpuConfig};
 
     fn fb() -> (Framebuffer, u32, u32) {
-        let cfg = GpuConfig { width: 8, height: 4, tile_size: 16, ..Default::default() };
+        let cfg = GpuConfig {
+            width: 8,
+            height: 4,
+            tile_size: 16,
+            ..Default::default()
+        };
         (Framebuffer::new(cfg), 8, 4)
     }
 

@@ -95,7 +95,12 @@ pub struct GpuConfig {
 impl Default for GpuConfig {
     fn default() -> Self {
         // Paper Table I.
-        GpuConfig { width: 1196, height: 768, tile_size: 16, binning: BinningMode::default() }
+        GpuConfig {
+            width: 1196,
+            height: 768,
+            tile_size: 16,
+            binning: BinningMode::default(),
+        }
     }
 }
 
@@ -250,7 +255,12 @@ mod tests {
 
     #[test]
     fn tile_rect_row_major_layout() {
-        let c = GpuConfig { width: 64, height: 32, tile_size: 16, ..Default::default() };
+        let c = GpuConfig {
+            width: 64,
+            height: 32,
+            tile_size: 16,
+            ..Default::default()
+        };
         assert_eq!(c.tile_rect(0).x0, 0);
         assert_eq!(c.tile_rect(1).x0, 16);
         assert_eq!(c.tile_rect(4).y0, 16); // second row starts at index tiles_x
@@ -258,7 +268,12 @@ mod tests {
 
     #[test]
     fn empty_frame_renders_clear_color() {
-        let mut gpu = Gpu::new(GpuConfig { width: 32, height: 32, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(GpuConfig {
+            width: 32,
+            height: 32,
+            tile_size: 16,
+            ..Default::default()
+        });
         let mut frame = FrameDesc::new();
         frame.clear_color = Color::new(10, 20, 30, 255);
         let geo = gpu.run_geometry(&frame, &mut hooks::NullHooks);

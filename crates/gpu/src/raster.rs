@@ -189,27 +189,33 @@ pub fn rasterize_tile(
             let inv_w = l0 * v0.inv_w + l1 * v1.inv_w + l2 * v2.inv_w;
             let mut varyings = [Vec4::ZERO; 8];
             let k = 1.0 / inv_w;
+            #[allow(clippy::needless_range_loop)] // j indexes three vertices' arrays in lockstep
             for j in 0..n_vary.min(8) {
                 // Zero-gradient plane equations interpolate exactly in real
                 // rasterizers; reproduce that so attribute-constant
                 // primitives yield bit-identical fragment inputs.
-                varyings[j] = if v0.varyings[j] == v1.varyings[j] && v1.varyings[j] == v2.varyings[j]
-                {
-                    v0.varyings[j]
-                } else {
-                    (v0.varyings[j] * (l0 * v0.inv_w)
-                        + v1.varyings[j] * (l1 * v1.inv_w)
-                        + v2.varyings[j] * (l2 * v2.inv_w))
-                        * k
-                };
+                varyings[j] =
+                    if v0.varyings[j] == v1.varyings[j] && v1.varyings[j] == v2.varyings[j] {
+                        v0.varyings[j]
+                    } else {
+                        (v0.varyings[j] * (l0 * v0.inv_w)
+                            + v1.varyings[j] * (l1 * v1.inv_w)
+                            + v2.varyings[j] * (l2 * v2.inv_w))
+                            * k
+                    };
             }
             let varyings = &varyings[..n_vary.min(8)];
 
             // Fragment Processing. Texture unit banks by fragment quad, as
             // the four fragment processors each own a texture cache.
             let unit = (((px >> 1) + (py >> 1)) & 3) as u8;
-            let mut sampler =
-                TexSampler { texture, filter: state.filter, unit, hooks, fetches: 0 };
+            let mut sampler = TexSampler {
+                texture,
+                filter: state.filter,
+                unit,
+                hooks,
+                fetches: 0,
+            };
             let regs = fs.run(varyings, &dc.constants, Some(&mut sampler));
             stats.texel_fetches += sampler.fetches;
             stats.fragments_shaded += 1;
@@ -225,7 +231,11 @@ pub fn rasterize_tile(
 
             // Blending into the on-chip Color Buffer.
             let src = Color::from_vec4(regs[0]);
-            color[li] = if state.blend { color[li].blend_over(src) } else { src };
+            color[li] = if state.blend {
+                color[li].blend_over(src)
+            } else {
+                src
+            };
             stats.blend_ops += 1;
         }
     }
@@ -256,7 +266,12 @@ mod tests {
     use re_math::Mat4;
 
     fn cfg() -> GpuConfig {
-        GpuConfig { width: 32, height: 32, tile_size: 16, ..Default::default() }
+        GpuConfig {
+            width: 32,
+            height: 32,
+            tile_size: 16,
+            ..Default::default()
+        }
     }
 
     fn flat_tri(positions: [(f32, f32); 3], color: Vec4) -> DrawCall {
@@ -288,12 +303,24 @@ mod tests {
         let mut gpu = Gpu::new(cfg());
         let mut frame = FrameDesc::new();
         let red = Vec4::new(1.0, 0.0, 0.0, 1.0);
-        frame.drawcalls.push(flat_tri([(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0)], red));
-        frame.drawcalls.push(flat_tri([(-1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)], red));
+        frame
+            .drawcalls
+            .push(flat_tri([(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0)], red));
+        frame
+            .drawcalls
+            .push(flat_tri([(-1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)], red));
         let stats = render_full(&mut gpu, &frame);
-        assert_eq!(stats.fragments_rasterized, 32 * 32, "each pixel exactly once");
+        assert_eq!(
+            stats.fragments_rasterized,
+            32 * 32,
+            "each pixel exactly once"
+        );
         for (x, y) in [(0, 0), (31, 31), (0, 31), (31, 0), (16, 16)] {
-            assert_eq!(gpu.back_pixel(x, y), Color::new(255, 0, 0, 255), "pixel ({x},{y})");
+            assert_eq!(
+                gpu.back_pixel(x, y),
+                Color::new(255, 0, 0, 255),
+                "pixel ({x},{y})"
+            );
         }
     }
 
@@ -301,9 +328,10 @@ mod tests {
     fn half_screen_triangle_covers_half_the_pixels() {
         let mut gpu = Gpu::new(cfg());
         let mut frame = FrameDesc::new();
-        frame
-            .drawcalls
-            .push(flat_tri([(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0)], Vec4::splat(1.0)));
+        frame.drawcalls.push(flat_tri(
+            [(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0)],
+            Vec4::splat(1.0),
+        ));
         let stats = render_full(&mut gpu, &frame);
         // The 32 diagonal pixel centers lie exactly on the hypotenuse and
         // are assigned to this triangle by the top-left rule: 496 strictly
@@ -326,13 +354,21 @@ mod tests {
             state.depth_test = true;
             state.depth_write = true;
             state.blend = false;
-            DrawCall { state, constants: Mat4::IDENTITY.cols.to_vec(), vertices }
+            DrawCall {
+                state,
+                constants: Mat4::IDENTITY.cols.to_vec(),
+                vertices,
+            }
         };
         frame.drawcalls.push(mk(0.1, Vec4::new(1.0, 0.0, 0.0, 1.0)));
         frame.drawcalls.push(mk(0.5, Vec4::new(0.0, 1.0, 0.0, 1.0)));
         let stats = render_full(&mut gpu, &frame);
         assert_eq!(stats.early_z_killed, 528, "entire far triangle killed");
-        assert_eq!(gpu.back_pixel(31, 16), Color::new(255, 0, 0, 255), "near color wins");
+        assert_eq!(
+            gpu.back_pixel(31, 16),
+            Color::new(255, 0, 0, 255),
+            "near color wins"
+        );
         assert_eq!(
             stats.fragments_shaded,
             stats.fragments_rasterized - stats.early_z_killed
@@ -356,13 +392,18 @@ mod tests {
     #[test]
     fn textured_draw_fetches_texels() {
         let mut gpu = Gpu::new(cfg());
-        let tex = gpu.textures_mut().upload_with(8, 8, |x, _| {
-            if x < 4 {
-                Color::WHITE
-            } else {
-                Color::BLACK
-            }
-        });
+        let tex =
+            gpu.textures_mut().upload_with(
+                8,
+                8,
+                |x, _| {
+                    if x < 4 {
+                        Color::WHITE
+                    } else {
+                        Color::BLACK
+                    }
+                },
+            );
         let mut frame = FrameDesc::new();
         let vertices = [
             ((-1.0, -1.0), (0.0, 0.0)),
@@ -373,7 +414,7 @@ mod tests {
         .map(|&((x, y), (u, v))| {
             Vertex::new(vec![
                 Vec4::new(x, y, 0.0, 1.0),
-                Vec4::splat(1.0),            // varying 0: color
+                Vec4::splat(1.0),          // varying 0: color
                 Vec4::new(u, v, 0.0, 0.0), // varying 1: uv
             ])
         })
@@ -389,7 +430,11 @@ mod tests {
         for t in 0..gpu.tile_count() {
             stats.merge(&gpu.rasterize_tile(&frame, &geo, t, &mut hooks));
         }
-        assert_eq!(stats.texel_fetches, 4 * stats.fragments_shaded, "bilinear: 4 texels/frag");
+        assert_eq!(
+            stats.texel_fetches,
+            4 * stats.fragments_shaded,
+            "bilinear: 4 texels/frag"
+        );
         assert_eq!(hooks.texel_bytes, stats.texel_fetches * 4);
     }
 
@@ -439,6 +484,10 @@ mod tests {
         // Render only tile 0; tile 3's pixels stay black from init.
         gpu.rasterize_tile(&frame, &geo, 0, &mut NullHooks);
         assert_eq!(gpu.back_pixel(0, 0), Color::new(50, 50, 50, 255));
-        assert_eq!(gpu.back_pixel(16, 16), Color::BLACK, "skipped tile untouched");
+        assert_eq!(
+            gpu.back_pixel(16, 16),
+            Color::BLACK,
+            "skipped tile untouched"
+        );
     }
 }

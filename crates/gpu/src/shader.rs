@@ -217,15 +217,13 @@ impl ShaderProgram {
                         None => Vec4::new(0.0, 0.0, 0.0, 1.0),
                     };
                 }
-                Instr::Clamp01 { dst, src } => regs[dst as usize] = read(&regs, src).clamp(0.0, 1.0),
+                Instr::Clamp01 { dst, src } => {
+                    regs[dst as usize] = read(&regs, src).clamp(0.0, 1.0)
+                }
                 Instr::Max { dst, a, b } => {
                     let (x, y) = (read(&regs, a), read(&regs, b));
-                    regs[dst as usize] = Vec4::new(
-                        x.x.max(y.x),
-                        x.y.max(y.y),
-                        x.z.max(y.z),
-                        x.w.max(y.w),
-                    );
+                    regs[dst as usize] =
+                        Vec4::new(x.x.max(y.x), x.y.max(y.y), x.z.max(y.z), x.w.max(y.w));
                 }
             }
         }
@@ -240,17 +238,31 @@ pub mod presets {
     /// Vertex shader: clip position = MVP (uniform slots 0–3) × attr0;
     /// passes `extra` further attributes through as varyings.
     pub fn vs_transform(extra: u8) -> ShaderProgram {
-        let mut instrs = vec![Instr::Transform { dst: 0, src: Src::Attr(0), mat_base: 0 }];
+        let mut instrs = vec![Instr::Transform {
+            dst: 0,
+            src: Src::Attr(0),
+            mat_base: 0,
+        }];
         for i in 0..extra {
-            instrs.push(Instr::Mov { dst: 1 + i, src: Src::Attr(1 + i) });
+            instrs.push(Instr::Mov {
+                dst: 1 + i,
+                src: Src::Attr(1 + i),
+            });
         }
-        ShaderProgram { instrs, name: "vs_transform", num_varyings: extra }
+        ShaderProgram {
+            instrs,
+            name: "vs_transform",
+            num_varyings: extra,
+        }
     }
 
     /// Fragment shader: flat varying color (varying 0).
     pub fn fs_flat() -> ShaderProgram {
         ShaderProgram {
-            instrs: vec![Instr::Mov { dst: 0, src: Src::Attr(0) }],
+            instrs: vec![Instr::Mov {
+                dst: 0,
+                src: Src::Attr(0),
+            }],
             name: "fs_flat",
             num_varyings: 0,
         }
@@ -263,13 +275,32 @@ pub mod presets {
     pub fn fs_textured() -> ShaderProgram {
         ShaderProgram {
             instrs: vec![
-                Instr::Tex { dst: 1, coord: Src::Attr(1) },
-                Instr::Mul { dst: 2, a: Src::Reg(1), b: Src::Attr(0) },
+                Instr::Tex {
+                    dst: 1,
+                    coord: Src::Attr(1),
+                },
+                Instr::Mul {
+                    dst: 2,
+                    a: Src::Reg(1),
+                    b: Src::Attr(0),
+                },
                 // r3 ← r2·u4 + r2 (brightness term; u4 defaults to 0).
-                Instr::Mad { dst: 3, a: Src::Reg(2), b: Src::Uniform(4), c: Src::Reg(2) },
+                Instr::Mad {
+                    dst: 3,
+                    a: Src::Reg(2),
+                    b: Src::Uniform(4),
+                    c: Src::Reg(2),
+                },
                 // Fog floor (u5 defaults to 0 → no-op on non-negative colors).
-                Instr::Max { dst: 3, a: Src::Reg(3), b: Src::Uniform(5) },
-                Instr::Clamp01 { dst: 0, src: Src::Reg(3) },
+                Instr::Max {
+                    dst: 3,
+                    a: Src::Reg(3),
+                    b: Src::Uniform(5),
+                },
+                Instr::Clamp01 {
+                    dst: 0,
+                    src: Src::Reg(3),
+                },
             ],
             name: "fs_textured",
             num_varyings: 0,
@@ -282,21 +313,60 @@ pub mod presets {
     pub fn fs_textured_lit() -> ShaderProgram {
         ShaderProgram {
             instrs: vec![
-                Instr::Tex { dst: 1, coord: Src::Attr(1) },
+                Instr::Tex {
+                    dst: 1,
+                    coord: Src::Attr(1),
+                },
                 // Diffuse: N·L, clamped.
-                Instr::Dp4 { dst: 2, a: Src::Attr(2), b: Src::Uniform(4) },
-                Instr::Clamp01 { dst: 2, src: Src::Reg(2) },
+                Instr::Dp4 {
+                    dst: 2,
+                    a: Src::Attr(2),
+                    b: Src::Uniform(4),
+                },
+                Instr::Clamp01 {
+                    dst: 2,
+                    src: Src::Reg(2),
+                },
                 // Albedo·diffuse + ambient.
-                Instr::Mad { dst: 3, a: Src::Reg(1), b: Src::Reg(2), c: Src::Uniform(5) },
-                Instr::Mul { dst: 0, a: Src::Reg(3), b: Src::Attr(0) },
+                Instr::Mad {
+                    dst: 3,
+                    a: Src::Reg(1),
+                    b: Src::Reg(2),
+                    c: Src::Uniform(5),
+                },
+                Instr::Mul {
+                    dst: 0,
+                    a: Src::Reg(3),
+                    b: Src::Attr(0),
+                },
                 // Value-neutral detail/fog/specular terms 3D engines layer
                 // on (uniform slots 6-7 default to zero) — they model the
                 // instruction count of a real multi-term mobile shader.
-                Instr::Mad { dst: 4, a: Src::Reg(0), b: Src::Uniform(6), c: Src::Reg(0) },
-                Instr::Dp4 { dst: 5, a: Src::Attr(2), b: Src::Uniform(7) },
-                Instr::Clamp01 { dst: 5, src: Src::Reg(5) },
-                Instr::Mad { dst: 4, a: Src::Reg(5), b: Src::Uniform(7), c: Src::Reg(4) },
-                Instr::Clamp01 { dst: 0, src: Src::Reg(4) },
+                Instr::Mad {
+                    dst: 4,
+                    a: Src::Reg(0),
+                    b: Src::Uniform(6),
+                    c: Src::Reg(0),
+                },
+                Instr::Dp4 {
+                    dst: 5,
+                    a: Src::Attr(2),
+                    b: Src::Uniform(7),
+                },
+                Instr::Clamp01 {
+                    dst: 5,
+                    src: Src::Reg(5),
+                },
+                Instr::Mad {
+                    dst: 4,
+                    a: Src::Reg(5),
+                    b: Src::Uniform(7),
+                    c: Src::Reg(4),
+                },
+                Instr::Clamp01 {
+                    dst: 0,
+                    src: Src::Reg(4),
+                },
             ],
             name: "fs_textured_lit",
             num_varyings: 0,
@@ -326,7 +396,10 @@ mod tests {
     fn vs_transform_applies_matrix() {
         let vs = vs_transform(1);
         let m = Mat4::translation(Vec3::new(2.0, 0.0, 0.0));
-        let attrs = [Vec4::new(1.0, 1.0, 0.0, 1.0), Vec4::new(0.5, 0.25, 0.0, 0.0)];
+        let attrs = [
+            Vec4::new(1.0, 1.0, 0.0, 1.0),
+            Vec4::new(0.5, 0.25, 0.0, 0.0),
+        ];
         let regs = vs.run(&attrs, &mat_uniforms(&m), None);
         assert_eq!(regs[0], Vec4::new(3.0, 1.0, 0.0, 1.0));
         assert_eq!(regs[1], attrs[1], "varying passthrough");
@@ -372,7 +445,11 @@ mod tests {
                     b: Src::Lit(Vec4::splat(3.0)),
                     c: Src::Lit(Vec4::splat(1.0)),
                 },
-                Instr::Dp4 { dst: 1, a: Src::Reg(0), b: Src::Lit(Vec4::new(1.0, 0.0, 0.0, 0.0)) },
+                Instr::Dp4 {
+                    dst: 1,
+                    a: Src::Reg(0),
+                    b: Src::Lit(Vec4::new(1.0, 0.0, 0.0, 0.0)),
+                },
             ],
             name: "t",
             num_varyings: 0,
@@ -385,7 +462,10 @@ mod tests {
     #[test]
     fn out_of_range_operands_read_zero() {
         let p = ShaderProgram {
-            instrs: vec![Instr::Mov { dst: 0, src: Src::Attr(7) }],
+            instrs: vec![Instr::Mov {
+                dst: 0,
+                src: Src::Attr(7),
+            }],
             name: "t",
             num_varyings: 0,
         };
@@ -396,8 +476,15 @@ mod tests {
     fn clamp_and_max() {
         let p = ShaderProgram {
             instrs: vec![
-                Instr::Clamp01 { dst: 0, src: Src::Lit(Vec4::new(-1.0, 0.5, 2.0, 1.0)) },
-                Instr::Max { dst: 1, a: Src::Reg(0), b: Src::Lit(Vec4::splat(0.25)) },
+                Instr::Clamp01 {
+                    dst: 0,
+                    src: Src::Lit(Vec4::new(-1.0, 0.5, 2.0, 1.0)),
+                },
+                Instr::Max {
+                    dst: 1,
+                    a: Src::Reg(0),
+                    b: Src::Lit(Vec4::splat(0.25)),
+                },
             ],
             name: "t",
             num_varyings: 0,

@@ -122,8 +122,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = TileStats { fragments_shaded: 10, texel_fetches: 5, ..Default::default() };
-        let b = TileStats { fragments_shaded: 3, blend_ops: 7, ..Default::default() };
+        let mut a = TileStats {
+            fragments_shaded: 10,
+            texel_fetches: 5,
+            ..Default::default()
+        };
+        let b = TileStats {
+            fragments_shaded: 3,
+            blend_ops: 7,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.fragments_shaded, 13);
         assert_eq!(a.texel_fetches, 5);
@@ -132,16 +140,31 @@ mod tests {
 
     #[test]
     fn geometry_merge_adds_fields() {
-        let mut a = GeometryStats { vertices_shaded: 4, prim_tile_pairs: 9, ..Default::default() };
-        a.merge(&GeometryStats { vertices_shaded: 6, ..Default::default() });
+        let mut a = GeometryStats {
+            vertices_shaded: 4,
+            prim_tile_pairs: 9,
+            ..Default::default()
+        };
+        a.merge(&GeometryStats {
+            vertices_shaded: 6,
+            ..Default::default()
+        });
         assert_eq!(a.vertices_shaded, 10);
         assert_eq!(a.prim_tile_pairs, 9);
     }
 
     #[test]
     fn frame_merge_accumulates_tiles() {
-        let mut f = FrameStats { tiles_rendered: 100, tiles_skipped: 20, ..Default::default() };
-        f.merge(&FrameStats { tiles_rendered: 50, tiles_skipped: 70, ..Default::default() });
+        let mut f = FrameStats {
+            tiles_rendered: 100,
+            tiles_skipped: 20,
+            ..Default::default()
+        };
+        f.merge(&FrameStats {
+            tiles_rendered: 50,
+            tiles_skipped: 70,
+            ..Default::default()
+        });
         assert_eq!(f.tiles_rendered, 150);
         assert_eq!(f.tiles_skipped, 90);
     }

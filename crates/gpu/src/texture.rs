@@ -107,7 +107,10 @@ pub struct TextureStore {
 impl TextureStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        TextureStore { textures: Vec::new(), next_addr: TEX_BASE }
+        TextureStore {
+            textures: Vec::new(),
+            next_addr: TEX_BASE,
+        }
     }
 
     /// Uploads a texture from a closure generating texel `(x, y)` colors.
@@ -130,7 +133,12 @@ impl TextureStore {
         let size = (width as u64 * height as u64 * 4).next_multiple_of(64);
         self.next_addr += size;
         let id = TextureId(self.textures.len() as u32);
-        self.textures.push(Texture { width, height, texels, base_addr });
+        self.textures.push(Texture {
+            width,
+            height,
+            texels,
+            base_addr,
+        });
         id
     }
 
@@ -188,7 +196,9 @@ mod tests {
         let mut s = TextureStore::new();
         let id = checkerboard(&mut s);
         let mut fetches = Vec::new();
-        let c = s.get(id).sample(0.1, 0.1, Filter::Nearest, &mut |a| fetches.push(a));
+        let c = s
+            .get(id)
+            .sample(0.1, 0.1, Filter::Nearest, &mut |a| fetches.push(a));
         assert_eq!(c, Color::WHITE.to_vec4());
         assert_eq!(fetches.len(), 1);
         assert_eq!(fetches[0], s.get(id).base_addr());
@@ -199,7 +209,9 @@ mod tests {
         let mut s = TextureStore::new();
         let id = checkerboard(&mut s);
         let mut n = 0;
-        let c = s.get(id).sample(0.5, 0.5, Filter::Bilinear, &mut |_| n += 1);
+        let c = s
+            .get(id)
+            .sample(0.5, 0.5, Filter::Bilinear, &mut |_| n += 1);
         assert_eq!(n, 4);
         // Center of a checkerboard blends to gray.
         assert!((c.x - 0.5).abs() < 0.01, "r ≈ 0.5, got {}", c.x);

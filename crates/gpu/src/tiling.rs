@@ -75,9 +75,9 @@ pub fn tiles_overlapping_exact(
                 Vec2::new(r.x0 as f32, r.y1 as f32),
                 Vec2::new(r.x1 as f32, r.y1 as f32),
             ];
-            edges.iter().all(|&(e0, e1)| {
-                corners.iter().any(|&k| edge_function(e0, e1, k) >= 0.0)
-            })
+            edges
+                .iter()
+                .all(|&(e0, e1)| corners.iter().any(|&k| edge_function(e0, e1, k) >= 0.0))
         })
         .collect()
 }
@@ -175,7 +175,12 @@ mod tests {
     use re_math::Vec4;
 
     fn cfg() -> GpuConfig {
-        GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() }
+        GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        }
     }
 
     fn sv(x: f32, y: f32) -> ShadedVertex {
@@ -231,7 +236,7 @@ mod tests {
         // First 16 bytes are v0's clip position.
         assert_eq!(f32::from_le_bytes(bytes[0..4].try_into().unwrap()), 0.0);
         assert_eq!(f32::from_le_bytes(bytes[12..16].try_into().unwrap()), 1.0); // w
-        // Bytes 16..32 are v0's varying (all ones).
+                                                                                // Bytes 16..32 are v0's varying (all ones).
         assert_eq!(f32::from_le_bytes(bytes[16..20].try_into().unwrap()), 1.0);
     }
 
@@ -244,7 +249,12 @@ mod tests {
         let bbox = Rect::new(0, 0, 64, 64);
         let exact = tiles_overlapping_exact(&c, bbox, &verts);
         let bb = tiles_overlapping(&c, bbox);
-        assert!(exact.len() < bb.len(), "exact {} vs bbox {}", exact.len(), bb.len());
+        assert!(
+            exact.len() < bb.len(),
+            "exact {} vs bbox {}",
+            exact.len(),
+            bb.len()
+        );
         // Exactness is conservative: every exact tile is also a bbox tile.
         assert!(exact.iter().all(|t| bb.contains(t)));
         // The far off-diagonal corner tile (top-right) is excluded.
@@ -281,7 +291,13 @@ mod tests {
         let mut stats = GeometryStats::default();
         let mut hooks = crate::hooks::CountingHooks::default();
         let verts = [sv(0.0, 0.0), sv(8.0, 0.0), sv(0.0, 8.0)];
-        let a = plb.push_prim(0, verts.clone(), Rect::new(0, 0, 8, 8), &mut stats, &mut hooks);
+        let a = plb.push_prim(
+            0,
+            verts.clone(),
+            Rect::new(0, 0, 8, 8),
+            &mut stats,
+            &mut hooks,
+        );
         let b = plb.push_prim(0, verts, Rect::new(0, 0, 8, 8), &mut stats, &mut hooks);
         let (prims, bins) = plb.finish();
         assert_eq!((a, b), (0, 1));

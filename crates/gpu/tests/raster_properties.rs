@@ -9,7 +9,12 @@ use re_gpu::{Gpu, GpuConfig};
 use re_math::{Color, Mat4, Vec4};
 
 fn cfg() -> GpuConfig {
-    GpuConfig { width: 64, height: 48, tile_size: 16, ..Default::default() }
+    GpuConfig {
+        width: 64,
+        height: 48,
+        tile_size: 16,
+        ..Default::default()
+    }
 }
 
 fn tri_frame(coords: [f32; 6], w: [f32; 3], color: [f32; 4]) -> FrameDesc {

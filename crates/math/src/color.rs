@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn from_vec4_clamps() {
-        assert_eq!(Color::from_vec4(Vec4::new(2.0, -1.0, 0.5, 1.0)), Color::new(255, 0, 128, 255));
+        assert_eq!(
+            Color::from_vec4(Vec4::new(2.0, -1.0, 0.5, 1.0)),
+            Color::new(255, 0, 128, 255)
+        );
     }
 
     #[test]

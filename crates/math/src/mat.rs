@@ -24,7 +24,9 @@ impl Mat4 {
 
     /// Builds from columns.
     pub const fn from_cols(c0: Vec4, c1: Vec4, c2: Vec4, c3: Vec4) -> Self {
-        Mat4 { cols: [c0, c1, c2, c3] }
+        Mat4 {
+            cols: [c0, c1, c2, c3],
+        }
     }
 
     /// Translation by `t`.
@@ -83,7 +85,10 @@ impl Mat4 {
     /// Panics if `near <= 0`, `far <= near` or `aspect <= 0` — such frusta
     /// are always configuration bugs in workloads.
     pub fn perspective(fov_y_radians: f32, aspect: f32, near: f32, far: f32) -> Self {
-        assert!(near > 0.0 && far > near && aspect > 0.0, "degenerate frustum");
+        assert!(
+            near > 0.0 && far > near && aspect > 0.0,
+            "degenerate frustum"
+        );
         let f = 1.0 / (fov_y_radians * 0.5).tan();
         Mat4::from_cols(
             Vec4::new(f / aspect, 0.0, 0.0, 0.0),
@@ -103,7 +108,12 @@ impl Mat4 {
             Vec4::new(2.0 / rl, 0.0, 0.0, 0.0),
             Vec4::new(0.0, 2.0 / tb, 0.0, 0.0),
             Vec4::new(0.0, 0.0, -2.0 / fnr, 0.0),
-            Vec4::new(-(right + left) / rl, -(top + bottom) / tb, -(far + near) / fnr, 1.0),
+            Vec4::new(
+                -(right + left) / rl,
+                -(top + bottom) / tb,
+                -(far + near) / fnr,
+                1.0,
+            ),
         )
     }
 
@@ -183,9 +193,15 @@ mod tests {
     #[test]
     fn translation_moves_points_not_directions() {
         let m = Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
-        assert_eq!(m.mul_vec4(Vec4::new(0.0, 0.0, 0.0, 1.0)).xyz(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(
+            m.mul_vec4(Vec4::new(0.0, 0.0, 0.0, 1.0)).xyz(),
+            Vec3::new(1.0, 2.0, 3.0)
+        );
         // w = 0 → direction, unaffected by translation.
-        assert_eq!(m.mul_vec4(Vec4::new(1.0, 0.0, 0.0, 0.0)).xyz(), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(
+            m.mul_vec4(Vec4::new(1.0, 0.0, 0.0, 0.0)).xyz(),
+            Vec3::new(1.0, 0.0, 0.0)
+        );
     }
 
     #[test]
@@ -200,19 +216,28 @@ mod tests {
     #[test]
     fn rotation_z_quarter_turn() {
         let m = Mat4::rotation_z(std::f32::consts::FRAC_PI_2);
-        assert_vec4_close(m.mul_vec4(Vec4::new(1.0, 0.0, 0.0, 1.0)), Vec4::new(0.0, 1.0, 0.0, 1.0));
+        assert_vec4_close(
+            m.mul_vec4(Vec4::new(1.0, 0.0, 0.0, 1.0)),
+            Vec4::new(0.0, 1.0, 0.0, 1.0),
+        );
     }
 
     #[test]
     fn rotation_y_quarter_turn() {
         let m = Mat4::rotation_y(std::f32::consts::FRAC_PI_2);
-        assert_vec4_close(m.mul_vec4(Vec4::new(1.0, 0.0, 0.0, 1.0)), Vec4::new(0.0, 0.0, -1.0, 1.0));
+        assert_vec4_close(
+            m.mul_vec4(Vec4::new(1.0, 0.0, 0.0, 1.0)),
+            Vec4::new(0.0, 0.0, -1.0, 1.0),
+        );
     }
 
     #[test]
     fn rotation_x_quarter_turn() {
         let m = Mat4::rotation_x(std::f32::consts::FRAC_PI_2);
-        assert_vec4_close(m.mul_vec4(Vec4::new(0.0, 1.0, 0.0, 1.0)), Vec4::new(0.0, 0.0, 1.0, 1.0));
+        assert_vec4_close(
+            m.mul_vec4(Vec4::new(0.0, 1.0, 0.0, 1.0)),
+            Vec4::new(0.0, 0.0, 1.0, 1.0),
+        );
     }
 
     #[test]

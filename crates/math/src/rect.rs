@@ -20,7 +20,10 @@ impl Rect {
     /// Panics if `x1 < x0` or `y1 < y0`; empty rectangles (`x0 == x1`) are
     /// allowed.
     pub fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> Self {
-        assert!(x1 >= x0 && y1 >= y0, "inverted rect ({x0},{y0})-({x1},{y1})");
+        assert!(
+            x1 >= x0 && y1 >= y0,
+            "inverted rect ({x0},{y0})-({x1},{y1})"
+        );
         Rect { x0, y0, x1, y1 }
     }
 

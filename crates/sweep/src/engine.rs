@@ -1,0 +1,314 @@
+//! The sweep engine: capture traces, fan cells out, aggregate results.
+//!
+//! Execution model:
+//!
+//! 1. every distinct scene of the grid is captured **once** into a trace
+//!    (from the disk cache when available) — scene generators never cross a
+//!    thread boundary;
+//! 2. the (scene × config) cells go through the work-stealing pool; each
+//!    worker replays the shared trace through its own simulator;
+//! 3. results are re-assembled in cell-id order, so every aggregate —
+//!    returned reports, store records, the final CSV — is independent of
+//!    worker count and scheduling.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use re_core::{RunReport, Simulator};
+use re_trace::Trace;
+
+use crate::grid::{Cell, ExperimentGrid};
+use crate::pool;
+use crate::store::{CellRecord, ResultStore};
+use crate::trace_cache::{SharedTraceScene, TraceCache};
+
+/// How a sweep executes (as opposed to *what* it runs, which is the grid).
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; 0 means one per available hardware thread.
+    pub workers: usize,
+    /// Directory for cached `.retrace` captures (`None` = capture in memory
+    /// each run).
+    pub trace_dir: Option<PathBuf>,
+    /// Suppress per-cell progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl SweepOptions {
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            pool::default_workers()
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// One finished cell: its grid point plus the full simulator report.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The grid point.
+    pub cell: Cell,
+    /// The simulator's report.
+    pub report: RunReport,
+}
+
+/// What a stored sweep produced overall.
+#[derive(Debug)]
+pub struct SweepSummary {
+    /// Every record of the grid, in cell-id order.
+    pub records: Vec<CellRecord>,
+    /// Path of the regenerated `results.csv`.
+    pub csv_path: PathBuf,
+    /// Cells found already complete in the store.
+    pub resumed: usize,
+    /// Cells executed by this run.
+    pub ran: usize,
+}
+
+/// Progress reporting shared by the workers.
+struct Progress {
+    done: AtomicUsize,
+    total: usize,
+    start: Instant,
+    quiet: bool,
+}
+
+impl Progress {
+    fn new(total: usize, quiet: bool) -> Self {
+        Progress {
+            done: AtomicUsize::new(0),
+            total,
+            start: Instant::now(),
+            quiet,
+        }
+    }
+
+    fn cell_done(&self, label: &str) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.quiet {
+            return;
+        }
+        let secs = self.start.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        eprintln!(
+            "[sweep] {done}/{total} {label}  ({rate:.2} cells/s)",
+            total = self.total
+        );
+    }
+}
+
+/// Captures (or loads from cache) every scene the grid references.
+///
+/// # Errors
+/// Trace-cache I/O errors or unknown scene aliases.
+pub fn capture_traces(
+    grid: &ExperimentGrid,
+    opts: &SweepOptions,
+) -> io::Result<HashMap<String, Arc<Trace>>> {
+    // Captures run the full geometry+raster pipeline per frame; the default
+    // GpuConfig only carries screen geometry, and replay overrides it per
+    // cell anyway.
+    let capture_cfg = re_gpu::GpuConfig {
+        width: grid.width,
+        height: grid.height,
+        ..re_gpu::GpuConfig::default()
+    };
+    let mut cache = TraceCache::new(opts.trace_dir.clone());
+    let mut traces = HashMap::new();
+    for alias in &grid.scenes {
+        if traces.contains_key(alias) {
+            continue;
+        }
+        if !opts.quiet {
+            eprintln!("[sweep] capturing {alias} ({} frames)…", grid.frames);
+        }
+        traces.insert(alias.clone(), cache.get(alias, grid.frames, capture_cfg)?);
+    }
+    Ok(traces)
+}
+
+/// Runs one cell against a shared trace.
+pub fn run_cell(trace: &Arc<Trace>, cell: &Cell) -> RunReport {
+    let mut scene = SharedTraceScene::new(Arc::clone(trace), cell.scene.clone());
+    let mut sim = Simulator::new(cell.config.sim_options());
+    sim.run(&mut scene, cell.config.frames)
+}
+
+fn run_cells(
+    cells: Vec<Cell>,
+    traces: &HashMap<String, Arc<Trace>>,
+    opts: &SweepOptions,
+    on_done: impl Fn(&Cell, &RunReport) + Sync,
+) -> Vec<CellOutcome> {
+    let progress = Progress::new(cells.len(), opts.quiet);
+    pool::run_indexed(cells, opts.effective_workers(), |_i, cell| {
+        let trace = &traces[&cell.scene];
+        let report = run_cell(trace, &cell);
+        on_done(&cell, &report);
+        progress.cell_done(&cell.label());
+        CellOutcome { cell, report }
+    })
+}
+
+/// Runs the whole grid in memory and returns every outcome in cell-id
+/// order. This is the entry point `re-bench` layers its suite harness and
+/// ablation studies on.
+///
+/// # Errors
+/// Trace capture/caching errors.
+pub fn run_grid(grid: &ExperimentGrid, opts: &SweepOptions) -> io::Result<Vec<CellOutcome>> {
+    let traces = capture_traces(grid, opts)?;
+    Ok(run_cells(grid.cells(), &traces, opts, |_, _| {}))
+}
+
+/// Runs the grid against a resumable store at `dir`: cells already recorded
+/// there are skipped, newly finished cells are committed as they complete
+/// (so a kill loses at most in-flight work), and `results.csv` is
+/// regenerated from the complete record set.
+///
+/// # Errors
+/// Store/trace I/O errors, including a store that belongs to a different
+/// grid.
+pub fn run_grid_with_store(
+    grid: &ExperimentGrid,
+    opts: &SweepOptions,
+    dir: impl Into<PathBuf>,
+) -> io::Result<SweepSummary> {
+    let (store, existing) = ResultStore::open(dir, grid)?;
+    let done: std::collections::HashSet<usize> = existing.iter().map(|r| r.id).collect();
+    let pending: Vec<Cell> = grid
+        .cells()
+        .into_iter()
+        .filter(|c| !done.contains(&c.id))
+        .collect();
+    let resumed = existing.len();
+    let ran = pending.len();
+    if !opts.quiet && resumed > 0 {
+        eprintln!("[sweep] resuming: {resumed} cells already complete, {ran} to run");
+    }
+
+    let outcomes = if pending.is_empty() {
+        Vec::new()
+    } else {
+        // Capture only the scenes that still have pending cells: a resume
+        // with one cell left must not re-capture the other nine workloads.
+        let needed: Vec<String> = {
+            let mut seen = std::collections::HashSet::new();
+            pending
+                .iter()
+                .filter(|c| seen.insert(c.scene.clone()))
+                .map(|c| c.scene.clone())
+                .collect()
+        };
+        let capture_grid = ExperimentGrid {
+            scenes: needed,
+            ..grid.clone()
+        };
+        let traces = capture_traces(&capture_grid, opts)?;
+        // Commit from the worker so a killed sweep keeps finished cells.
+        // A failed commit must not report success (an apparently complete
+        // store that silently lacks records would poison later resumes and
+        // merges), so the first store error is kept and returned after the
+        // pool drains.
+        let record_error = std::sync::Mutex::new(None::<io::Error>);
+        let outcomes = run_cells(pending, &traces, opts, |cell, report| {
+            if let Err(e) = store.record(&CellRecord::from_run(cell, report)) {
+                record_error
+                    .lock()
+                    .expect("record_error lock poisoned")
+                    .get_or_insert(e);
+            }
+        });
+        if let Some(e) = record_error
+            .into_inner()
+            .expect("record_error lock poisoned")
+        {
+            return Err(io::Error::new(
+                e.kind(),
+                format!("failed to commit a cell record to the store: {e}"),
+            ));
+        }
+        outcomes
+    };
+
+    let mut records = existing;
+    records.extend(
+        outcomes
+            .iter()
+            .map(|o| CellRecord::from_run(&o.cell, &o.report)),
+    );
+    records.sort_by_key(|r| r.id);
+    if records.len() != grid.cell_count() {
+        return Err(io::Error::other(format!(
+            "sweep incomplete: {} of {} cells recorded",
+            records.len(),
+            grid.cell_count()
+        )));
+    }
+    let csv_path = store.write_csv(&records)?;
+    Ok(SweepSummary {
+        records,
+        csv_path,
+        resumed,
+        ran,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> ExperimentGrid {
+        ExperimentGrid {
+            scenes: vec!["ccs".into(), "tib".into()],
+            frames: 3,
+            width: 128,
+            height: 64,
+            tile_sizes: vec![16, 32],
+            ..ExperimentGrid::default()
+        }
+    }
+
+    fn quiet() -> SweepOptions {
+        SweepOptions {
+            workers: 2,
+            trace_dir: None,
+            quiet: true,
+        }
+    }
+
+    #[test]
+    fn outcomes_arrive_in_cell_order() {
+        let outcomes = run_grid(&tiny_grid(), &quiet()).expect("run");
+        assert_eq!(outcomes.len(), 4);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.cell.id, i);
+            assert_eq!(o.report.frames, 3);
+            assert!(o.report.baseline.total_cycles() > 0);
+        }
+    }
+
+    #[test]
+    fn store_run_completes_and_is_idempotent() {
+        let dir = std::env::temp_dir().join(format!("re_sweep_engine_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = tiny_grid();
+        let first = run_grid_with_store(&grid, &quiet(), &dir).expect("run");
+        assert_eq!(first.resumed, 0);
+        assert_eq!(first.ran, 4);
+        let csv = std::fs::read_to_string(&first.csv_path).unwrap();
+        assert_eq!(csv.lines().count(), 5);
+
+        // Second invocation: everything already recorded.
+        let second = run_grid_with_store(&grid, &quiet(), &dir).expect("rerun");
+        assert_eq!(second.resumed, 4);
+        assert_eq!(second.ran, 0);
+        assert_eq!(std::fs::read_to_string(&second.csv_path).unwrap(), csv);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

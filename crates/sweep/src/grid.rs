@@ -1,0 +1,361 @@
+//! Experiment grids: the cross product of configuration axes and scenes.
+//!
+//! A grid names the design-space the HPCA'19 paper explores — tile size,
+//! signature width, compare distance, refresh policy, binning mode and the
+//! machine's timing knobs — crossed with the benchmark scenes. Each point of
+//! the product is a [`Cell`] with a stable integer id; cell ids (and
+//! therefore every downstream artifact: store filenames, CSV row order) are
+//! a pure function of the grid, independent of worker count or completion
+//! order.
+
+use re_core::SimOptions;
+use re_gpu::{BinningMode, GpuConfig};
+use re_timing::TimingConfig;
+
+/// Display name of a binning mode (used in CSV/JSON and CLI parsing).
+pub fn binning_name(mode: BinningMode) -> &'static str {
+    match mode {
+        BinningMode::BoundingBox => "bbox",
+        BinningMode::ExactCoverage => "exact",
+    }
+}
+
+/// Parses a binning-mode name (`bbox` / `exact`).
+pub fn parse_binning(name: &str) -> Option<BinningMode> {
+    match name {
+        "bbox" => Some(BinningMode::BoundingBox),
+        "exact" => Some(BinningMode::ExactCoverage),
+        _ => None,
+    }
+}
+
+/// One concrete simulator configuration (a grid point minus the scene).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellConfig {
+    /// Screen width in pixels.
+    pub width: u32,
+    /// Screen height in pixels.
+    pub height: u32,
+    /// Frames simulated.
+    pub frames: usize,
+    /// Tile edge in pixels.
+    pub tile_size: u32,
+    /// Signature width stored in the Signature Buffer (1..=32).
+    pub sig_bits: u32,
+    /// Signature/color comparison distance.
+    pub compare_distance: usize,
+    /// Periodic forced refresh (`None` = never, the paper's configuration).
+    pub refresh_period: Option<usize>,
+    /// Polygon-List-Builder binning mode.
+    pub binning: BinningMode,
+    /// Signature Unit OT-queue depth.
+    pub ot_depth: u32,
+    /// L2 cache capacity in KiB.
+    pub l2_kb: u32,
+}
+
+impl CellConfig {
+    /// Lowers this grid point to simulator options.
+    pub fn sim_options(&self) -> SimOptions {
+        let mut timing = TimingConfig::mali450();
+        timing.ot_queue_entries = self.ot_depth;
+        timing.l2_cache.size_bytes = self.l2_kb << 10;
+        SimOptions {
+            gpu: GpuConfig {
+                width: self.width,
+                height: self.height,
+                tile_size: self.tile_size,
+                binning: self.binning,
+            },
+            timing,
+            compare_distance: self.compare_distance,
+            refresh_period: self.refresh_period,
+            sig_bits: self.sig_bits,
+        }
+    }
+}
+
+/// One experiment: a scene under one configuration, with its grid id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Position in the grid's deterministic enumeration order.
+    pub id: usize,
+    /// Workload alias (`ccs` … `tib`).
+    pub scene: String,
+    /// The configuration of this grid point.
+    pub config: CellConfig,
+}
+
+impl Cell {
+    /// A compact human-readable label for progress lines.
+    pub fn label(&self) -> String {
+        let c = &self.config;
+        format!(
+            "{} ts{} sb{} d{} r{} {} ot{} l2:{}K",
+            self.scene,
+            c.tile_size,
+            c.sig_bits,
+            c.compare_distance,
+            c.refresh_period.unwrap_or(0),
+            binning_name(c.binning),
+            c.ot_depth,
+            c.l2_kb,
+        )
+    }
+}
+
+/// The cross product of configuration axes and scenes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentGrid {
+    /// Workload aliases, in enumeration (and report) order.
+    pub scenes: Vec<String>,
+    /// Frames per cell.
+    pub frames: usize,
+    /// Screen width in pixels.
+    pub width: u32,
+    /// Screen height in pixels.
+    pub height: u32,
+    /// Tile-edge axis.
+    pub tile_sizes: Vec<u32>,
+    /// Signature-width axis.
+    pub sig_bits: Vec<u32>,
+    /// Compare-distance axis.
+    pub compare_distances: Vec<usize>,
+    /// Refresh-period axis (`None` = never refresh).
+    pub refresh_periods: Vec<Option<usize>>,
+    /// Binning-mode axis.
+    pub binnings: Vec<BinningMode>,
+    /// OT-queue-depth axis.
+    pub ot_depths: Vec<u32>,
+    /// L2-capacity axis in KiB.
+    pub l2_kb: Vec<u32>,
+}
+
+impl Default for ExperimentGrid {
+    /// All ten workloads at the paper's design point, quarter resolution.
+    fn default() -> Self {
+        ExperimentGrid {
+            scenes: re_workloads::suite()
+                .iter()
+                .map(|b| b.alias.to_string())
+                .collect(),
+            frames: 24,
+            width: 400,
+            height: 256,
+            tile_sizes: vec![16],
+            sig_bits: vec![32],
+            compare_distances: vec![2],
+            refresh_periods: vec![None],
+            binnings: vec![BinningMode::BoundingBox],
+            ot_depths: vec![16],
+            l2_kb: vec![256],
+        }
+    }
+}
+
+impl ExperimentGrid {
+    /// Number of cells in the product.
+    pub fn cell_count(&self) -> usize {
+        self.scenes.len()
+            * self.tile_sizes.len()
+            * self.sig_bits.len()
+            * self.compare_distances.len()
+            * self.refresh_periods.len()
+            * self.binnings.len()
+            * self.ot_depths.len()
+            * self.l2_kb.len()
+    }
+
+    /// Enumerates every cell in deterministic order (scene-major, then each
+    /// axis in struct order). Ids are the enumeration index.
+    ///
+    /// # Panics
+    /// Panics if any axis is empty or a value is out of range.
+    pub fn cells(&self) -> Vec<Cell> {
+        assert!(self.frames > 0, "grid needs at least one frame");
+        for (name, empty) in [
+            ("scenes", self.scenes.is_empty()),
+            ("tile_sizes", self.tile_sizes.is_empty()),
+            ("sig_bits", self.sig_bits.is_empty()),
+            ("compare_distances", self.compare_distances.is_empty()),
+            ("refresh_periods", self.refresh_periods.is_empty()),
+            ("binnings", self.binnings.is_empty()),
+            ("ot_depths", self.ot_depths.is_empty()),
+            ("l2_kb", self.l2_kb.is_empty()),
+        ] {
+            assert!(!empty, "grid axis `{name}` is empty");
+        }
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for scene in &self.scenes {
+            for &tile_size in &self.tile_sizes {
+                for &sig_bits in &self.sig_bits {
+                    for &compare_distance in &self.compare_distances {
+                        for &refresh_period in &self.refresh_periods {
+                            for &binning in &self.binnings {
+                                for &ot_depth in &self.ot_depths {
+                                    for &l2_kb in &self.l2_kb {
+                                        cells.push(Cell {
+                                            id: cells.len(),
+                                            scene: scene.clone(),
+                                            config: CellConfig {
+                                                width: self.width,
+                                                height: self.height,
+                                                frames: self.frames,
+                                                tile_size,
+                                                sig_bits,
+                                                compare_distance,
+                                                refresh_period,
+                                                binning,
+                                                ot_depth,
+                                                l2_kb,
+                                            },
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Canonical textual form of the grid — what the fingerprint hashes and
+    /// what the store records so a resumed run can prove it matches.
+    pub fn spec_string(&self) -> String {
+        fn join<T: std::fmt::Display>(xs: &[T]) -> String {
+            xs.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        format!(
+            "scenes={}\nframes={}\nscreen={}x{}\ntile_sizes={}\nsig_bits={}\n\
+             compare_distances={}\nrefresh_periods={}\nbinnings={}\not_depths={}\nl2_kb={}\n",
+            self.scenes.join(","),
+            self.frames,
+            self.width,
+            self.height,
+            join(&self.tile_sizes),
+            join(&self.sig_bits),
+            join(&self.compare_distances),
+            self.refresh_periods
+                .iter()
+                .map(|r| r.map_or_else(|| "none".to_string(), |p| p.to_string()))
+                .collect::<Vec<_>>()
+                .join(","),
+            self.binnings
+                .iter()
+                .map(|&b| binning_name(b))
+                .collect::<Vec<_>>()
+                .join(","),
+            join(&self.ot_depths),
+            join(&self.l2_kb),
+        )
+    }
+
+    /// FNV-1a fingerprint of [`spec_string`](Self::spec_string); two grids
+    /// with the same fingerprint enumerate the same cells.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.spec_string().bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ExperimentGrid {
+        ExperimentGrid {
+            scenes: vec!["ccs".into(), "ter".into()],
+            tile_sizes: vec![8, 16],
+            sig_bits: vec![16, 32],
+            compare_distances: vec![1, 2],
+            ..ExperimentGrid::default()
+        }
+    }
+
+    #[test]
+    fn cell_ids_are_dense_and_ordered() {
+        let cells = small().cells();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
+        assert_eq!(cells.len(), small().cell_count());
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.id, i);
+        }
+        // Scene-major order.
+        assert!(cells[..8].iter().all(|c| c.scene == "ccs"));
+        assert!(cells[8..].iter().all(|c| c.scene == "ter"));
+    }
+
+    #[test]
+    fn enumeration_is_reproducible() {
+        assert_eq!(small().cells(), small().cells());
+        assert_eq!(small().fingerprint(), small().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_every_axis() {
+        let base = small();
+        for variant in [
+            ExperimentGrid {
+                frames: base.frames + 1,
+                ..base.clone()
+            },
+            ExperimentGrid {
+                tile_sizes: vec![32],
+                ..base.clone()
+            },
+            ExperimentGrid {
+                sig_bits: vec![8],
+                ..base.clone()
+            },
+            ExperimentGrid {
+                refresh_periods: vec![Some(4)],
+                ..base.clone()
+            },
+            ExperimentGrid {
+                binnings: vec![BinningMode::ExactCoverage],
+                ..base.clone()
+            },
+            ExperimentGrid {
+                ot_depths: vec![4],
+                ..base.clone()
+            },
+            ExperimentGrid {
+                l2_kb: vec![64],
+                ..base.clone()
+            },
+        ] {
+            assert_ne!(variant.fingerprint(), base.fingerprint(), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn cell_config_lowers_to_sim_options() {
+        let mut grid = small();
+        grid.ot_depths = vec![4];
+        grid.l2_kb = vec![64];
+        grid.refresh_periods = vec![Some(6)];
+        let opts = grid.cells()[0].config.sim_options();
+        assert_eq!(opts.gpu.tile_size, 8);
+        assert_eq!(opts.sig_bits, 16);
+        assert_eq!(opts.compare_distance, 1);
+        assert_eq!(opts.refresh_period, Some(6));
+        assert_eq!(opts.timing.ot_queue_entries, 4);
+        assert_eq!(opts.timing.l2_cache.size_bytes, 64 << 10);
+    }
+
+    #[test]
+    fn binning_names_roundtrip() {
+        for mode in [BinningMode::BoundingBox, BinningMode::ExactCoverage] {
+            assert_eq!(parse_binning(binning_name(mode)), Some(mode));
+        }
+        assert_eq!(parse_binning("nope"), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! Parallel experiment orchestration for the Rendering Elimination
+//! reproduction.
+//!
+//! The paper evaluates every design point — tile size, signature width,
+//! compare distance, refresh policy, binning mode, machine parameters —
+//! across ten game workloads. This crate turns that evaluation into a
+//! first-class, parallel, resumable pipeline:
+//!
+//! * [`ExperimentGrid`] — the cross product of configuration axes × scenes,
+//!   enumerated into stable-id [`Cell`]s;
+//! * [`trace_cache`] — each workload is captured **once** into a
+//!   `.retrace` (optionally cached on disk) and replayed per worker, so
+//!   scene generators never need to be `Send`;
+//! * [`pool`] — a std-only work-stealing thread pool that fans cells out
+//!   and reassembles results in cell-id order;
+//! * [`ResultStore`] — an on-disk store (per-cell JSON, committed
+//!   atomically) plus a regenerated `results.csv`; a killed sweep resumes
+//!   from completed cells and the final CSV is byte-identical to a fresh
+//!   single-worker run.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use re_sweep::{ExperimentGrid, SweepOptions};
+//!
+//! let grid = ExperimentGrid {
+//!     scenes: vec!["ccs".into()],
+//!     frames: 2,
+//!     width: 128,
+//!     height: 64,
+//!     tile_sizes: vec![16, 32],
+//!     ..ExperimentGrid::default()
+//! };
+//! let opts = SweepOptions { workers: 2, quiet: true, ..SweepOptions::default() };
+//! let outcomes = re_sweep::run_grid(&grid, &opts).expect("sweep");
+//! assert_eq!(outcomes.len(), 2);
+//! assert!(outcomes[0].report.baseline.total_cycles() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod grid;
+pub mod json;
+pub mod pool;
+pub mod store;
+pub mod trace_cache;
+
+pub use engine::{capture_traces, run_cell, run_grid, run_grid_with_store};
+pub use engine::{CellOutcome, SweepOptions, SweepSummary};
+pub use grid::{binning_name, parse_binning, Cell, CellConfig, ExperimentGrid};
+pub use store::{render_csv, CellRecord, ResultStore, CSV_HEADER};
+pub use trace_cache::{capture_alias, SharedTraceScene, TraceCache};

@@ -1,0 +1,478 @@
+//! The on-disk, resumable result store.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! <dir>/grid.json           the grid spec + fingerprint this store belongs to
+//! <dir>/cells/cell_00042.json   one record per completed cell (atomic rename)
+//! <dir>/results.csv         all records in cell-id order (rewritten at the end)
+//! ```
+//!
+//! Each completed cell is committed as its own JSON file via
+//! write-to-temp-then-rename, so a killed sweep leaves only whole records
+//! behind; on restart the store reports which cells are already done and the
+//! engine runs the rest. The CSV is always regenerated from the full record
+//! set in id order, which makes it byte-identical across worker counts and
+//! across kill/resume — the determinism contract the tests pin down.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use re_core::RunReport;
+
+use crate::grid::{Cell, ExperimentGrid};
+use crate::json::Json;
+
+/// The CSV header [`ResultStore::write_csv`] emits.
+pub const CSV_HEADER: &str = "id,scene,tile_size,sig_bits,compare_distance,refresh_period,\
+binning,ot_depth,l2_kb,frames,width,height,baseline_cycles,re_cycles,te_cycles,\
+tiles_rendered,tiles_skipped,false_positives,baseline_energy_pj,re_energy_pj,\
+baseline_dram_bytes,re_dram_bytes,re_speedup,skip_pct";
+
+/// Everything the sweep persists about one completed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Grid cell id.
+    pub id: usize,
+    /// Workload alias.
+    pub scene: String,
+    /// Tile edge in pixels.
+    pub tile_size: u32,
+    /// Signature width in bits.
+    pub sig_bits: u32,
+    /// Compare distance in frames.
+    pub compare_distance: usize,
+    /// Forced refresh period (0 = never).
+    pub refresh_period: usize,
+    /// Binning mode name (`bbox` / `exact`).
+    pub binning: String,
+    /// OT-queue depth.
+    pub ot_depth: u32,
+    /// L2 capacity in KiB.
+    pub l2_kb: u32,
+    /// Frames simulated.
+    pub frames: usize,
+    /// Screen width.
+    pub width: u32,
+    /// Screen height.
+    pub height: u32,
+    /// Baseline total cycles.
+    pub baseline_cycles: u64,
+    /// Rendering Elimination total cycles.
+    pub re_cycles: u64,
+    /// Transaction Elimination total cycles.
+    pub te_cycles: u64,
+    /// Tiles RE rendered.
+    pub tiles_rendered: u64,
+    /// Tiles RE skipped.
+    pub tiles_skipped: u64,
+    /// RE skips whose colors differed (signature collisions).
+    pub false_positives: u64,
+    /// Baseline energy in pJ.
+    pub baseline_energy_pj: f64,
+    /// RE energy in pJ.
+    pub re_energy_pj: f64,
+    /// Baseline DRAM traffic in bytes.
+    pub baseline_dram_bytes: u64,
+    /// RE DRAM traffic in bytes.
+    pub re_dram_bytes: u64,
+}
+
+impl CellRecord {
+    /// Summarizes a finished run of `cell`.
+    pub fn from_run(cell: &Cell, report: &RunReport) -> Self {
+        let c = &cell.config;
+        CellRecord {
+            id: cell.id,
+            scene: cell.scene.clone(),
+            tile_size: c.tile_size,
+            sig_bits: c.sig_bits,
+            compare_distance: c.compare_distance,
+            refresh_period: c.refresh_period.unwrap_or(0),
+            binning: crate::grid::binning_name(c.binning).to_string(),
+            ot_depth: c.ot_depth,
+            l2_kb: c.l2_kb,
+            frames: c.frames,
+            width: c.width,
+            height: c.height,
+            baseline_cycles: report.baseline.total_cycles(),
+            re_cycles: report.re.total_cycles(),
+            te_cycles: report.te.total_cycles(),
+            tiles_rendered: report.re.tiles_rendered,
+            tiles_skipped: report.re.tiles_skipped,
+            false_positives: report.false_positives,
+            baseline_energy_pj: report.baseline.energy.total_pj(),
+            re_energy_pj: report.re.energy.total_pj(),
+            baseline_dram_bytes: report.baseline.dram.total_bytes(),
+            re_dram_bytes: report.re.dram.total_bytes(),
+        }
+    }
+
+    /// RE speedup over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_cycles as f64 / self.re_cycles.max(1) as f64
+    }
+
+    /// Percentage of tiles RE skipped.
+    pub fn skip_pct(&self) -> f64 {
+        let total = self.tiles_rendered + self.tiles_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.tiles_skipped as f64 / total as f64
+        }
+    }
+
+    /// One CSV row matching [`CSV_HEADER`].
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2}",
+            self.id,
+            self.scene,
+            self.tile_size,
+            self.sig_bits,
+            self.compare_distance,
+            self.refresh_period,
+            self.binning,
+            self.ot_depth,
+            self.l2_kb,
+            self.frames,
+            self.width,
+            self.height,
+            self.baseline_cycles,
+            self.re_cycles,
+            self.te_cycles,
+            self.tiles_rendered,
+            self.tiles_skipped,
+            self.false_positives,
+            self.baseline_energy_pj,
+            self.re_energy_pj,
+            self.baseline_dram_bytes,
+            self.re_dram_bytes,
+            self.speedup(),
+            self.skip_pct(),
+        )
+    }
+
+    /// The record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let int = |v: u64| Json::Int(v as i64);
+        Json::Obj(vec![
+            ("id".into(), int(self.id as u64)),
+            ("scene".into(), Json::Str(self.scene.clone())),
+            ("tile_size".into(), int(self.tile_size.into())),
+            ("sig_bits".into(), int(self.sig_bits.into())),
+            ("compare_distance".into(), int(self.compare_distance as u64)),
+            ("refresh_period".into(), int(self.refresh_period as u64)),
+            ("binning".into(), Json::Str(self.binning.clone())),
+            ("ot_depth".into(), int(self.ot_depth.into())),
+            ("l2_kb".into(), int(self.l2_kb.into())),
+            ("frames".into(), int(self.frames as u64)),
+            ("width".into(), int(self.width.into())),
+            ("height".into(), int(self.height.into())),
+            ("baseline_cycles".into(), int(self.baseline_cycles)),
+            ("re_cycles".into(), int(self.re_cycles)),
+            ("te_cycles".into(), int(self.te_cycles)),
+            ("tiles_rendered".into(), int(self.tiles_rendered)),
+            ("tiles_skipped".into(), int(self.tiles_skipped)),
+            ("false_positives".into(), int(self.false_positives)),
+            (
+                "baseline_energy_pj".into(),
+                Json::Float(self.baseline_energy_pj),
+            ),
+            ("re_energy_pj".into(), Json::Float(self.re_energy_pj)),
+            ("baseline_dram_bytes".into(), int(self.baseline_dram_bytes)),
+            ("re_dram_bytes".into(), int(self.re_dram_bytes)),
+        ])
+    }
+
+    /// Parses a record written by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    /// Describes the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or(format!("missing int `{k}`"))
+        };
+        let f = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing num `{k}`"))
+        };
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing str `{k}`"))
+        };
+        Ok(CellRecord {
+            id: u("id")? as usize,
+            scene: s("scene")?,
+            tile_size: u("tile_size")? as u32,
+            sig_bits: u("sig_bits")? as u32,
+            compare_distance: u("compare_distance")? as usize,
+            refresh_period: u("refresh_period")? as usize,
+            binning: s("binning")?,
+            ot_depth: u("ot_depth")? as u32,
+            l2_kb: u("l2_kb")? as u32,
+            frames: u("frames")? as usize,
+            width: u("width")? as u32,
+            height: u("height")? as u32,
+            baseline_cycles: u("baseline_cycles")?,
+            re_cycles: u("re_cycles")?,
+            te_cycles: u("te_cycles")?,
+            tiles_rendered: u("tiles_rendered")?,
+            tiles_skipped: u("tiles_skipped")?,
+            false_positives: u("false_positives")?,
+            baseline_energy_pj: f("baseline_energy_pj")?,
+            re_energy_pj: f("re_energy_pj")?,
+            baseline_dram_bytes: u("baseline_dram_bytes")?,
+            re_dram_bytes: u("re_dram_bytes")?,
+        })
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Write-to-temp-then-rename, so a kill mid-write never leaves a torn file
+/// behind (the store's resume path trusts whatever parses).
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// The store directory handle. Recording is `&self` and thread-safe: each
+/// record goes to its own file.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    cell_count: usize,
+}
+
+impl ResultStore {
+    /// Opens (or creates) the store at `dir` for `grid`, returning the
+    /// records already completed by earlier runs, sorted by cell id.
+    ///
+    /// # Errors
+    /// I/O errors; [`io::ErrorKind::InvalidData`] if `dir` already holds a
+    /// store for a *different* grid (resuming it would silently mix
+    /// incompatible results) or a record file is corrupt.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        grid: &ExperimentGrid,
+    ) -> io::Result<(Self, Vec<CellRecord>)> {
+        let dir = dir.into();
+        let cells_dir = dir.join("cells");
+        std::fs::create_dir_all(&cells_dir)?;
+
+        let grid_path = dir.join("grid.json");
+        let fingerprint = grid.fingerprint();
+        if grid_path.exists() {
+            let text = std::fs::read_to_string(&grid_path)?;
+            let existing = Json::parse(&text).map_err(invalid)?;
+            let stored = existing
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .ok_or_else(|| invalid("grid.json has no fingerprint"))?;
+            if stored != format!("{fingerprint:016x}") {
+                return Err(invalid(format!(
+                    "store at {} was created for a different grid \
+                     (stored fingerprint {stored}, this grid {fingerprint:016x}); \
+                     use a fresh directory or delete the store",
+                    dir.display()
+                )));
+            }
+        } else {
+            let doc = Json::Obj(vec![
+                (
+                    "fingerprint".into(),
+                    Json::Str(format!("{fingerprint:016x}")),
+                ),
+                ("cells".into(), Json::Int(grid.cell_count() as i64)),
+                ("spec".into(), Json::Str(grid.spec_string())),
+            ]);
+            write_atomic(&grid_path, &doc.to_string())?;
+        }
+
+        let store = ResultStore {
+            dir,
+            cell_count: grid.cell_count(),
+        };
+        let mut records = Vec::new();
+        for entry in std::fs::read_dir(&cells_dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue; // leftover .tmp from a kill mid-write
+            }
+            let text = std::fs::read_to_string(&path)?;
+            let rec = Json::parse(&text)
+                .and_then(|v| CellRecord::from_json(&v))
+                .map_err(|e| invalid(format!("{}: {e}", path.display())))?;
+            if rec.id >= store.cell_count {
+                return Err(invalid(format!(
+                    "{}: cell id {} out of range for this grid",
+                    path.display(),
+                    rec.id
+                )));
+            }
+            records.push(rec);
+        }
+        records.sort_by_key(|r| r.id);
+        records.dedup_by_key(|r| r.id);
+        Ok((store, records))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Commits one completed cell (atomic: temp file + rename).
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn record(&self, rec: &CellRecord) -> io::Result<()> {
+        let name = format!("cell_{:05}.json", rec.id);
+        let tmp = self.dir.join("cells").join(format!("{name}.tmp"));
+        std::fs::write(&tmp, rec.to_json().to_string())?;
+        std::fs::rename(&tmp, self.dir.join("cells").join(name))
+    }
+
+    /// Renders `records` (already id-sorted) to `results.csv` and returns
+    /// its path. Output depends only on the record values, never on how
+    /// many workers produced them or across how many runs.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, records: &[CellRecord]) -> io::Result<PathBuf> {
+        let path = self.dir.join("results.csv");
+        write_atomic(&path, &render_csv(records))?;
+        Ok(path)
+    }
+}
+
+/// The CSV document for `records` (header + one row per record).
+pub fn render_csv(records: &[CellRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 128 + CSV_HEADER.len() + 1);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&r.csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::CellConfig;
+    use re_gpu::BinningMode;
+
+    fn record(id: usize) -> CellRecord {
+        let cell = Cell {
+            id,
+            scene: "ccs".into(),
+            config: CellConfig {
+                width: 128,
+                height: 64,
+                frames: 4,
+                tile_size: 16,
+                sig_bits: 32,
+                compare_distance: 2,
+                refresh_period: None,
+                binning: BinningMode::BoundingBox,
+                ot_depth: 16,
+                l2_kb: 256,
+            },
+        };
+        CellRecord {
+            id: cell.id,
+            baseline_energy_pj: 123.456789,
+            re_energy_pj: 23.4,
+            ..CellRecord::from_run(&cell, &empty_report())
+        }
+    }
+
+    fn empty_report() -> re_core::RunReport {
+        // Simulate one empty frame — cheap and fully deterministic.
+        struct Nothing;
+        impl re_core::Scene for Nothing {
+            fn frame(&mut self, _i: usize) -> re_gpu::api::FrameDesc {
+                re_gpu::api::FrameDesc::new()
+            }
+        }
+        let mut sim = re_core::Simulator::new(re_core::SimOptions {
+            gpu: re_gpu::GpuConfig {
+                width: 32,
+                height: 32,
+                tile_size: 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        sim.run(&mut Nothing, 1)
+    }
+
+    fn grid() -> ExperimentGrid {
+        ExperimentGrid {
+            scenes: vec!["ccs".into()],
+            frames: 4,
+            width: 128,
+            height: 64,
+            ..ExperimentGrid::default()
+        }
+    }
+
+    #[test]
+    fn record_json_roundtrip_is_exact() {
+        let r = record(3);
+        let back = CellRecord::from_json(&Json::parse(&r.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(
+            back.baseline_energy_pj.to_bits(),
+            r.baseline_energy_pj.to_bits()
+        );
+    }
+
+    #[test]
+    fn csv_has_header_and_matching_columns() {
+        let text = render_csv(&[record(0)]);
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), row.split(',').count());
+        assert!(header.starts_with("id,scene,"));
+    }
+
+    #[test]
+    fn store_persists_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("re_sweep_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = grid();
+        let (store, existing) = ResultStore::open(&dir, &g).unwrap();
+        assert!(existing.is_empty());
+        store.record(&record(0)).unwrap();
+
+        let (_store2, resumed) = ResultStore::open(&dir, &g).unwrap();
+        assert_eq!(resumed, vec![record(0)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_grid_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("re_sweep_badgrid_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = grid();
+        ResultStore::open(&dir, &g).unwrap();
+        let other = ExperimentGrid { frames: 99, ..g };
+        let err = ResultStore::open(&dir, &other).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

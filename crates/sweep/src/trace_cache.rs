@@ -1,0 +1,186 @@
+//! Capture-once / replay-everywhere workload traces.
+//!
+//! Scene generators are `Box<dyn Scene>` and deliberately not `Send` — they
+//! were never designed for threading. The sweep sidesteps that entirely:
+//! each workload is captured **once** into a [`re_trace::Trace`] (a plain
+//! `Send + Sync` value), optionally cached on disk as a `.retrace` file, and
+//! every worker replays it through its own lightweight [`SharedTraceScene`]
+//! that borrows the trace via `Arc` instead of cloning frames wholesale.
+//!
+//! Replay is bit-exact (see `re_trace`'s roundtrip tests), so a sweep over a
+//! trace measures exactly what a serial run over the live generator would.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use re_core::Scene;
+use re_gpu::api::FrameDesc;
+use re_gpu::{Gpu, GpuConfig};
+use re_trace::Trace;
+
+/// A [`Scene`] replaying an `Arc`-shared trace; cheap to construct per cell.
+///
+/// Frame indices beyond the capture length wrap around, matching
+/// [`re_trace::TraceScene`]'s replay semantics — the sweep engine always
+/// captures exactly as many frames as it replays, so within the engine the
+/// wrap never triggers.
+#[derive(Debug, Clone)]
+pub struct SharedTraceScene {
+    trace: Arc<Trace>,
+    name: String,
+}
+
+impl SharedTraceScene {
+    /// Wraps `trace` for replay under `name` (used in reports).
+    pub fn new(trace: Arc<Trace>, name: impl Into<String>) -> Self {
+        SharedTraceScene {
+            trace,
+            name: name.into(),
+        }
+    }
+}
+
+impl Scene for SharedTraceScene {
+    fn init(&mut self, gpu: &mut Gpu) {
+        for img in &self.trace.textures {
+            let w = img.width;
+            let texels = &img.texels;
+            gpu.textures_mut()
+                .upload_with(img.width, img.height, |x, y| texels[(y * w + x) as usize]);
+        }
+    }
+
+    fn frame(&mut self, index: usize) -> FrameDesc {
+        let n = self.trace.frames.len().max(1);
+        self.trace.frames[index % n].clone()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Captures workloads once and hands out shared traces, with an optional
+/// on-disk `.retrace` cache keyed by scene, frame count and capture screen.
+#[derive(Debug)]
+pub struct TraceCache {
+    dir: Option<PathBuf>,
+    loaded: HashMap<String, Arc<Trace>>,
+}
+
+impl TraceCache {
+    /// A cache writing `.retrace` files under `dir` (`None` = memory only).
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        TraceCache {
+            dir,
+            loaded: HashMap::new(),
+        }
+    }
+
+    fn file_key(alias: &str, frames: usize, cfg: GpuConfig) -> String {
+        format!("{alias}-{frames}f-{}x{}.retrace", cfg.width, cfg.height)
+    }
+
+    /// The trace of workload `alias` over `frames` frames: from memory, else
+    /// from the disk cache, else captured live (and then cached).
+    ///
+    /// # Errors
+    /// I/O errors from the disk cache, or an unknown alias (reported as
+    /// [`io::ErrorKind::NotFound`]).
+    pub fn get(&mut self, alias: &str, frames: usize, cfg: GpuConfig) -> io::Result<Arc<Trace>> {
+        let key = Self::file_key(alias, frames, cfg);
+        if let Some(t) = self.loaded.get(&key) {
+            return Ok(Arc::clone(t));
+        }
+        if let Some(dir) = &self.dir {
+            let path = dir.join(&key);
+            if path.exists() {
+                let t = Arc::new(Trace::load(&path)?);
+                self.loaded.insert(key, Arc::clone(&t));
+                return Ok(t);
+            }
+        }
+        let t = Arc::new(capture_alias(alias, frames, cfg)?);
+        if let Some(dir) = &self.dir {
+            std::fs::create_dir_all(dir)?;
+            // Write-then-rename so a killed sweep never leaves a torn
+            // `.retrace` that a resumed run would trust.
+            let tmp = dir.join(format!("{key}.tmp"));
+            t.save(&tmp)?;
+            std::fs::rename(&tmp, dir.join(&key))?;
+        }
+        self.loaded.insert(key, Arc::clone(&t));
+        Ok(t)
+    }
+}
+
+/// Captures `frames` frames of the suite workload `alias` under `cfg`.
+///
+/// # Errors
+/// [`io::ErrorKind::NotFound`] if `alias` is not in the suite.
+pub fn capture_alias(alias: &str, frames: usize, cfg: GpuConfig) -> io::Result<Trace> {
+    let mut bench = re_workloads::by_alias(alias).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("unknown workload alias `{alias}`"),
+        )
+    })?;
+    Ok(re_trace::capture(bench.scene.as_mut(), cfg, frames))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_core::{SimOptions, Simulator};
+
+    fn cfg() -> GpuConfig {
+        GpuConfig {
+            width: 128,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shared_replay_matches_live_run() {
+        let trace = Arc::new(capture_alias("ccs", 4, cfg()).expect("capture"));
+        let mut replay = SharedTraceScene::new(Arc::clone(&trace), "ccs");
+        let mut live = re_workloads::by_alias("ccs").unwrap();
+
+        let opts = SimOptions {
+            gpu: cfg(),
+            ..SimOptions::default()
+        };
+        let a = Simulator::new(opts).run(&mut replay, 4);
+        let b = Simulator::new(opts).run(live.scene.as_mut(), 4);
+        assert_eq!(a.baseline.total_cycles(), b.baseline.total_cycles());
+        assert_eq!(a.re.tiles_skipped, b.re.tiles_skipped);
+        assert_eq!(a.false_positives, b.false_positives);
+        assert_eq!(a.name, "ccs");
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_is_reused() {
+        let dir = std::env::temp_dir().join(format!("re_sweep_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = TraceCache::new(Some(dir.clone()));
+        let first = cache.get("tib", 3, cfg()).expect("capture");
+        assert!(dir.join("tib-3f-128x64.retrace").exists());
+
+        // A fresh cache object must hit the file, not re-capture.
+        let mut cache2 = TraceCache::new(Some(dir.clone()));
+        let second = cache2.get("tib", 3, cfg()).expect("load");
+        assert_eq!(*first, *second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_alias_is_not_found() {
+        let mut cache = TraceCache::new(None);
+        let err = cache.get("nope", 2, cfg()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

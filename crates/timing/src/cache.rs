@@ -154,7 +154,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets × 2 ways × 64 B lines = 256 B.
-        Cache::new(CacheGeometry { size_bytes: 256, line_bytes: 64, ways: 2, latency: 1 })
+        Cache::new(CacheGeometry {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -216,7 +221,7 @@ mod tests {
         c.access(64); // set 1
         c.access(2 * 64); // set 0
         c.access(3 * 64); // set 1
-        // Both sets hold 2 lines each — all four still resident.
+                          // Both sets hold 2 lines each — all four still resident.
         for a in [0, 64, 128, 192] {
             assert_eq!(c.access(a), Access::Hit, "addr {a}");
         }

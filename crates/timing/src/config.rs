@@ -76,11 +76,31 @@ impl TimingConfig {
         TimingConfig {
             clock_hz: 400_000_000,
             voltage: 1.0,
-            vertex_cache: CacheGeometry { size_bytes: 4 << 10, line_bytes: line, ways: 2, latency: 1 },
-            texture_cache: CacheGeometry { size_bytes: 8 << 10, line_bytes: line, ways: 2, latency: 1 },
+            vertex_cache: CacheGeometry {
+                size_bytes: 4 << 10,
+                line_bytes: line,
+                ways: 2,
+                latency: 1,
+            },
+            texture_cache: CacheGeometry {
+                size_bytes: 8 << 10,
+                line_bytes: line,
+                ways: 2,
+                latency: 1,
+            },
             num_fragment_processors: 4,
-            tile_cache: CacheGeometry { size_bytes: 128 << 10, line_bytes: line, ways: 8, latency: 1 },
-            l2_cache: CacheGeometry { size_bytes: 256 << 10, line_bytes: line, ways: 8, latency: 2 },
+            tile_cache: CacheGeometry {
+                size_bytes: 128 << 10,
+                line_bytes: line,
+                ways: 8,
+                latency: 1,
+            },
+            l2_cache: CacheGeometry {
+                size_bytes: 256 << 10,
+                line_bytes: line,
+                ways: 8,
+                latency: 2,
+            },
             color_buffer_bytes: 1 << 10,
             depth_buffer_bytes: 1 << 10,
             num_vertex_processors: 1,

@@ -96,7 +96,11 @@ pub struct Dram {
 impl Dram {
     /// Creates the model with all rows closed.
     pub fn new(config: TimingConfig) -> Self {
-        Dram { config, stats: DramStats::default(), open_rows: [u64::MAX; 5] }
+        Dram {
+            config,
+            stats: DramStats::default(),
+            open_rows: [u64::MAX; 5],
+        }
     }
 
     /// Services an access of `bytes` at `addr` for `class`; returns the
@@ -123,8 +127,7 @@ impl Dram {
             self.stats.bursts[i] += 1;
             // Transfer time at the configured bandwidth + fixed controller
             // overhead per burst.
-            self.stats.busy_cycles +=
-                BURST_BYTES / self.config.dram_bytes_per_cycle as u64 + 2;
+            self.stats.busy_cycles += BURST_BYTES / self.config.dram_bytes_per_cycle as u64 + 2;
         }
         self.stats.bytes[i] += (last - first + 1) * BURST_BYTES;
         latency

@@ -112,12 +112,18 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// Creates a model with default 32 nm-ish parameters.
     pub fn new() -> Self {
-        EnergyModel { params: EnergyParams::default(), acc: EnergyBreakdown::default() }
+        EnergyModel {
+            params: EnergyParams::default(),
+            acc: EnergyBreakdown::default(),
+        }
     }
 
     /// Creates a model with explicit parameters.
     pub fn with_params(params: EnergyParams) -> Self {
-        EnergyModel { params, acc: EnergyBreakdown::default() }
+        EnergyModel {
+            params,
+            acc: EnergyBreakdown::default(),
+        }
     }
 
     /// The parameter set in use.
@@ -165,8 +171,8 @@ impl EnergyModel {
     /// deltas; the charge is linear).
     pub fn add_dram(&mut self, d: &DramStats) {
         let p = &self.params;
-        self.acc.dram_dynamic_pj += d.total_bytes() as f64 * p.dram_byte_pj
-            + d.row_misses as f64 * p.dram_activate_pj;
+        self.acc.dram_dynamic_pj +=
+            d.total_bytes() as f64 * p.dram_byte_pj + d.row_misses as f64 * p.dram_activate_pj;
     }
 
     /// Integrates leakage/background power over `cycles` GPU cycles.
@@ -231,7 +237,11 @@ mod tests {
     #[test]
     fn dram_energy_from_traffic() {
         let mut m = EnergyModel::new();
-        let d = DramStats { bytes: [640, 0, 0, 0, 0], row_misses: 2, ..Default::default() };
+        let d = DramStats {
+            bytes: [640, 0, 0, 0, 0],
+            row_misses: 2,
+            ..Default::default()
+        };
         m.add_dram(&d);
         assert_eq!(m.breakdown().dram_dynamic_pj, 640.0 * 40.0 + 2000.0);
     }
@@ -253,7 +263,7 @@ mod tests {
     fn average_power_sane() {
         let mut m = EnergyModel::new();
         m.add_cycles(400_000_000); // one second of cycles
-        // 400 pJ/cycle × 400 MHz = 160 mW.
+                                   // 400 pJ/cycle × 400 MHz = 160 mW.
         let p = m.average_power_mw(400_000_000, 400_000_000);
         assert!((p - 160.0).abs() < 1.0, "got {p}");
     }
@@ -262,7 +272,12 @@ mod tests {
     fn raster_energy_counts_buffers() {
         let cfg = TimingConfig::mali450();
         let mut m = EnergyModel::new();
-        let t = TileStats { blend_ops: 10, pixels_flushed: 256, depth_accesses: 5, ..Default::default() };
+        let t = TileStats {
+            blend_ops: 10,
+            pixels_flushed: 256,
+            depth_accesses: 5,
+            ..Default::default()
+        };
         m.add_raster(&t, &cfg);
         assert!(m.breakdown().gpu_dynamic_pj > 0.0);
     }

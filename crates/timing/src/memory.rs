@@ -89,8 +89,14 @@ impl MemorySystem {
     /// `(size_bytes, accesses)` pairs — input for the energy model.
     pub fn sram_accesses(&self) -> Vec<(u32, u64)> {
         let mut v = vec![
-            (self.config.vertex_cache.size_bytes, self.vertex_cache.accesses()),
-            (self.config.tile_cache.size_bytes, self.tile_cache.accesses()),
+            (
+                self.config.vertex_cache.size_bytes,
+                self.vertex_cache.accesses(),
+            ),
+            (
+                self.config.tile_cache.size_bytes,
+                self.tile_cache.accesses(),
+            ),
             (self.config.l2_cache.size_bytes, self.l2.accesses()),
         ];
         for t in &self.texture_caches {
@@ -127,7 +133,9 @@ impl GpuHooks for MemorySystem {
                 self.epoch.vertex_misses += 1;
                 if self.l2.access(line * lb) == crate::cache::Access::Miss {
                     self.epoch.l2_misses += 1;
-                    let lat = self.dram.request(TrafficClass::Vertices, line * lb, lb as u32);
+                    let lat = self
+                        .dram
+                        .request(TrafficClass::Vertices, line * lb, lb as u32);
                     self.epoch.vertex_latency_sum += lat;
                 }
             }
@@ -139,7 +147,8 @@ impl GpuHooks for MemorySystem {
         // The PLB rewrites the Parameter Buffer every frame; stale lines in
         // the Tile Cache must not survive (write-invalidate coherence).
         self.tile_cache.invalidate_range(addr, bytes);
-        self.dram.request(TrafficClass::PrimitiveWrites, addr, bytes);
+        self.dram
+            .request(TrafficClass::PrimitiveWrites, addr, bytes);
     }
 
     fn param_read(&mut self, addr: u64, bytes: u32) {
@@ -152,7 +161,9 @@ impl GpuHooks for MemorySystem {
         for line in first..=last {
             if self.tile_cache.access(line * lb) == crate::cache::Access::Miss {
                 self.epoch.tile_misses += 1;
-                let lat = self.dram.request(TrafficClass::PrimitiveReads, line * lb, lb as u32);
+                let lat = self
+                    .dram
+                    .request(TrafficClass::PrimitiveReads, line * lb, lb as u32);
                 self.epoch.prim_read_latency_sum += lat;
             }
         }
@@ -166,7 +177,9 @@ impl GpuHooks for MemorySystem {
             self.epoch.tex_misses += 1;
             if self.l2.access(line_addr) == crate::cache::Access::Miss {
                 self.epoch.l2_misses += 1;
-                let lat = self.dram.request(TrafficClass::Texels, line_addr, lb as u32);
+                let lat = self
+                    .dram
+                    .request(TrafficClass::Texels, line_addr, lb as u32);
                 self.epoch.texel_latency_sum += lat;
             }
         }

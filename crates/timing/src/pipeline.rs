@@ -40,12 +40,18 @@ pub fn geometry_cycles(cfg: &TimingConfig, g: &GeometryStats, mem: &MemEpoch) ->
 pub fn raster_tile_cycles(cfg: &TimingConfig, t: &TileStats, mem: &MemEpoch) -> u64 {
     // Triangle setup + attribute interpolation.
     let setup = t.prims_processed * 4;
-    let raster = t.attr_interpolations.div_ceil(cfg.raster_attrs_per_cycle as u64);
+    let raster = t
+        .attr_interpolations
+        .div_ceil(cfg.raster_attrs_per_cycle as u64);
     // Early-Z throughput.
-    let early_z = t.fragments_rasterized.div_ceil(cfg.early_z_frags_per_cycle as u64);
+    let early_z = t
+        .fragments_rasterized
+        .div_ceil(cfg.early_z_frags_per_cycle as u64);
     // Fragment shading: instruction slots over the processor array, plus
     // the texture-miss latency the MSHRs cannot hide.
-    let shade = t.fs_instr_slots.div_ceil(cfg.num_fragment_processors as u64)
+    let shade = t
+        .fs_instr_slots
+        .div_ceil(cfg.num_fragment_processors as u64)
         + mem.tex_misses * cfg.l2_cache.latency as u64 / cfg.num_fragment_processors as u64
         + mem.texel_latency_sum / cfg.texture_outstanding as u64;
     // Parameter Buffer fetch latency, overlapped by the tile queue.
@@ -55,7 +61,14 @@ pub fn raster_tile_cycles(cfg: &TimingConfig, t: &TileStats, mem: &MemEpoch) -> 
     // The tile's DRAM traffic (flush + misses) occupies the channel.
     let dram = mem.dram_busy_cycles;
 
-    TILE_DISPATCH_CYCLES + setup.max(raster).max(early_z).max(shade).max(fetch).max(blend).max(dram)
+    TILE_DISPATCH_CYCLES
+        + setup
+            .max(raster)
+            .max(early_z)
+            .max(shade)
+            .max(fetch)
+            .max(blend)
+            .max(dram)
 }
 
 #[cfg(test)]
@@ -73,7 +86,11 @@ mod tests {
             color_bytes_flushed: 1024,
             ..Default::default()
         };
-        let mem = MemEpoch { color_bytes: 1024, dram_busy_cycles: 1024 / 4 + 2 * 16, ..Default::default() };
+        let mem = MemEpoch {
+            color_bytes: 1024,
+            dram_busy_cycles: 1024 / 4 + 2 * 16,
+            ..Default::default()
+        };
         let c = raster_tile_cycles(&cfg(), &t, &mem);
         // Dominated by the flush bandwidth (~288 cycles), not by compute.
         assert_eq!(c, TILE_DISPATCH_CYCLES + 1024 / 4 + 32);
@@ -97,7 +114,10 @@ mod tests {
 
     #[test]
     fn texture_misses_add_stalls() {
-        let t = TileStats { fs_instr_slots: 100, ..Default::default() };
+        let t = TileStats {
+            fs_instr_slots: 100,
+            ..Default::default()
+        };
         let warm = raster_tile_cycles(&cfg(), &t, &MemEpoch::default());
         let cold_mem = MemEpoch {
             tex_misses: 64,
@@ -136,8 +156,14 @@ mod tests {
 
     #[test]
     fn param_write_bandwidth_bounds_geometry() {
-        let g = GeometryStats { prim_tile_pairs: 10, ..Default::default() };
-        let mem = MemEpoch { param_write_bytes: 40_000, ..Default::default() };
+        let g = GeometryStats {
+            prim_tile_pairs: 10,
+            ..Default::default()
+        };
+        let mem = MemEpoch {
+            param_write_bytes: 40_000,
+            ..Default::default()
+        };
         assert_eq!(geometry_cycles(&cfg(), &g, &mem), 10_000);
     }
 }

@@ -29,7 +29,7 @@ use re_gpu::texture::{Filter, TextureId};
 use re_gpu::{BinningMode, GpuConfig};
 use re_math::{Color, Vec4};
 
-use crate::{Trace, TextureImage};
+use crate::{TextureImage, Trace};
 
 const MAGIC: &[u8; 8] = b"RETRACE1";
 
@@ -189,7 +189,9 @@ impl Writer {
 
 /// Serializes a trace (see the module docs for the layout).
 pub fn write_trace(t: &Trace) -> Vec<u8> {
-    let mut w = Writer { out: Vec::with_capacity(1 << 16) };
+    let mut w = Writer {
+        out: Vec::with_capacity(1 << 16),
+    };
     w.out.extend_from_slice(MAGIC);
     w.u32(t.config.width);
     w.u32(t.config.height);
@@ -263,13 +265,19 @@ impl<'a> Reader<'a> {
         Ok(self.take(1, context)?[0])
     }
     fn u16(&mut self, context: &'static str) -> Result<u16, TraceError> {
-        Ok(u16::from_le_bytes(self.take(2, context)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().expect("len 2"),
+        ))
     }
     fn u32(&mut self, context: &'static str) -> Result<u32, TraceError> {
-        Ok(u32::from_le_bytes(self.take(4, context)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("len 4"),
+        ))
     }
     fn f32(&mut self, context: &'static str) -> Result<f32, TraceError> {
-        Ok(f32::from_le_bytes(self.take(4, context)?.try_into().expect("len 4")))
+        Ok(f32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("len 4"),
+        ))
     }
     fn vec4(&mut self, context: &'static str) -> Result<Vec4, TraceError> {
         Ok(Vec4::new(
@@ -289,24 +297,70 @@ impl<'a> Reader<'a> {
             1 => Ok(Src::Attr(self.u8("src attr")?)),
             2 => Ok(Src::Uniform(self.u8("src uniform")?)),
             3 => Ok(Src::Lit(self.vec4("src literal")?)),
-            v => Err(TraceError::BadTag { context: "src", value: v }),
+            v => Err(TraceError::BadTag {
+                context: "src",
+                value: v,
+            }),
         }
     }
     fn instr(&mut self) -> Result<Instr, TraceError> {
         let op = self.u8("opcode")?;
         let dst = self.u8("dst")?;
         Ok(match op {
-            0 => Instr::Mov { dst, src: self.src()? },
-            1 => Instr::Add { dst, a: self.src()?, b: self.src()? },
-            2 => Instr::Sub { dst, a: self.src()?, b: self.src()? },
-            3 => Instr::Mul { dst, a: self.src()?, b: self.src()? },
-            4 => Instr::Mad { dst, a: self.src()?, b: self.src()?, c: self.src()? },
-            5 => Instr::Dp4 { dst, a: self.src()?, b: self.src()? },
-            6 => Instr::Transform { dst, src: self.src()?, mat_base: self.u8("mat_base")? },
-            7 => Instr::Tex { dst, coord: self.src()? },
-            8 => Instr::Clamp01 { dst, src: self.src()? },
-            9 => Instr::Max { dst, a: self.src()?, b: self.src()? },
-            v => return Err(TraceError::BadTag { context: "opcode", value: v }),
+            0 => Instr::Mov {
+                dst,
+                src: self.src()?,
+            },
+            1 => Instr::Add {
+                dst,
+                a: self.src()?,
+                b: self.src()?,
+            },
+            2 => Instr::Sub {
+                dst,
+                a: self.src()?,
+                b: self.src()?,
+            },
+            3 => Instr::Mul {
+                dst,
+                a: self.src()?,
+                b: self.src()?,
+            },
+            4 => Instr::Mad {
+                dst,
+                a: self.src()?,
+                b: self.src()?,
+                c: self.src()?,
+            },
+            5 => Instr::Dp4 {
+                dst,
+                a: self.src()?,
+                b: self.src()?,
+            },
+            6 => Instr::Transform {
+                dst,
+                src: self.src()?,
+                mat_base: self.u8("mat_base")?,
+            },
+            7 => Instr::Tex {
+                dst,
+                coord: self.src()?,
+            },
+            8 => Instr::Clamp01 {
+                dst,
+                src: self.src()?,
+            },
+            9 => Instr::Max {
+                dst,
+                a: self.src()?,
+                b: self.src()?,
+            },
+            v => {
+                return Err(TraceError::BadTag {
+                    context: "opcode",
+                    value: v,
+                })
+            }
         })
     }
     fn shader(&mut self) -> Result<ShaderProgram, TraceError> {
@@ -319,7 +373,11 @@ impl<'a> Reader<'a> {
         for _ in 0..count {
             instrs.push(self.instr()?);
         }
-        Ok(ShaderProgram { instrs, name: intern_name(name), num_varyings })
+        Ok(ShaderProgram {
+            instrs,
+            name: intern_name(name),
+            num_varyings,
+        })
     }
 }
 
@@ -357,9 +415,19 @@ pub fn read_trace(bytes: &[u8]) -> Result<Trace, TraceError> {
     let binning = match r.u8("binning mode")? {
         0 => BinningMode::BoundingBox,
         1 => BinningMode::ExactCoverage,
-        v => return Err(TraceError::BadTag { context: "binning mode", value: v }),
+        v => {
+            return Err(TraceError::BadTag {
+                context: "binning mode",
+                value: v,
+            })
+        }
     };
-    let config = GpuConfig { width, height, tile_size, binning };
+    let config = GpuConfig {
+        width,
+        height,
+        tile_size,
+        binning,
+    };
 
     let tex_count = r.u32("texture count")? as usize;
     let mut textures = Vec::with_capacity(tex_count.min(4096));
@@ -370,7 +438,11 @@ pub fn read_trace(bytes: &[u8]) -> Result<Trace, TraceError> {
         for _ in 0..w as u64 * h as u64 {
             texels.push(r.color("texels")?);
         }
-        textures.push(TextureImage { width: w, height: h, texels });
+        textures.push(TextureImage {
+            width: w,
+            height: h,
+            texels,
+        });
     }
 
     let frame_count = r.u32("frame count")? as usize;
@@ -388,7 +460,12 @@ pub fn read_trace(bytes: &[u8]) -> Result<Trace, TraceError> {
             let filter = match r.u8("filter")? {
                 0 => Filter::Nearest,
                 1 => Filter::Bilinear,
-                v => return Err(TraceError::BadTag { context: "filter", value: v }),
+                v => {
+                    return Err(TraceError::BadTag {
+                        context: "filter",
+                        value: v,
+                    })
+                }
             };
             let blend = r.u8("blend")? != 0;
             let depth_test = r.u8("depth test")? != 0;
@@ -404,7 +481,10 @@ pub fn read_trace(bytes: &[u8]) -> Result<Trace, TraceError> {
             for _ in 0..vert_count {
                 let attrs = r.u8("attr count")? as usize;
                 if attrs == 0 {
-                    return Err(TraceError::BadTag { context: "attr count", value: 0 });
+                    return Err(TraceError::BadTag {
+                        context: "attr count",
+                        value: 0,
+                    });
                 }
                 let mut av = Vec::with_capacity(attrs);
                 for _ in 0..attrs {
@@ -427,9 +507,17 @@ pub fn read_trace(bytes: &[u8]) -> Result<Trace, TraceError> {
                 vertices,
             });
         }
-        frames.push(FrameDesc { clear_color, drawcalls, re_unsafe });
+        frames.push(FrameDesc {
+            clear_color,
+            drawcalls,
+            re_unsafe,
+        });
     }
-    Ok(Trace { config, textures, frames })
+    Ok(Trace {
+        config,
+        textures,
+        frames,
+    })
 }
 
 #[cfg(test)]
@@ -446,9 +534,14 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = TraceError::Truncated { context: "vertex attrs" };
+        let e = TraceError::Truncated {
+            context: "vertex attrs",
+        };
         assert!(e.to_string().contains("vertex attrs"));
-        let e = TraceError::BadTag { context: "opcode", value: 0x2A };
+        let e = TraceError::BadTag {
+            context: "opcode",
+            value: 0x2A,
+        };
         assert!(e.to_string().contains("0x2a"));
     }
 

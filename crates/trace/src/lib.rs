@@ -118,11 +118,19 @@ pub fn capture(scene: &mut dyn Scene, config: GpuConfig, frames: usize) -> Trace
                 .flat_map(|y| (0..t.width()).map(move |x| (x, y)))
                 .map(|(x, y)| t.texel(x as i32, y as i32))
                 .collect();
-            TextureImage { width: t.width(), height: t.height(), texels }
+            TextureImage {
+                width: t.width(),
+                height: t.height(),
+                texels,
+            }
         })
         .collect();
     let frames = (0..frames).map(|i| scene.frame(i)).collect();
-    Trace { config, textures, frames }
+    Trace {
+        config,
+        textures,
+        frames,
+    }
 }
 
 /// Replays a [`Trace`] as a [`Scene`]. Frame indices beyond the capture
@@ -136,12 +144,18 @@ pub struct TraceScene {
 impl TraceScene {
     /// Wraps a trace for replay.
     pub fn new(trace: Trace) -> Self {
-        TraceScene { trace, name: "trace-replay".to_owned() }
+        TraceScene {
+            trace,
+            name: "trace-replay".to_owned(),
+        }
     }
 
     /// Wraps a trace with a custom report name.
     pub fn with_name(trace: Trace, name: impl Into<String>) -> Self {
-        TraceScene { trace, name: name.into() }
+        TraceScene {
+            trace,
+            name: name.into(),
+        }
     }
 
     /// The underlying trace.
@@ -155,9 +169,8 @@ impl Scene for TraceScene {
         for img in &self.trace.textures {
             let w = img.width;
             let texels = &img.texels;
-            gpu.textures_mut().upload_with(img.width, img.height, |x, y| {
-                texels[(y * w + x) as usize]
-            });
+            gpu.textures_mut()
+                .upload_with(img.width, img.height, |x, y| texels[(y * w + x) as usize]);
         }
     }
 
@@ -180,17 +193,14 @@ mod tests {
     struct TwoFrames;
     impl Scene for TwoFrames {
         fn init(&mut self, gpu: &mut Gpu) {
-            gpu.textures_mut().upload_with(4, 4, |x, y| {
-                Color::new(x as u8 * 10, y as u8 * 10, 7, 255)
-            });
+            gpu.textures_mut()
+                .upload_with(4, 4, |x, y| Color::new(x as u8 * 10, y as u8 * 10, 7, 255));
         }
         fn frame(&mut self, index: usize) -> FrameDesc {
             let x0 = if index == 0 { -0.5 } else { 0.0 };
             let vertices = [(x0, -0.5), (x0 + 0.5, -0.5), (x0, 0.5)]
                 .iter()
-                .map(|&(x, y)| {
-                    Vertex::new(vec![Vec4::new(x, y, 0.0, 1.0), Vec4::splat(1.0)])
-                })
+                .map(|&(x, y)| Vertex::new(vec![Vec4::new(x, y, 0.0, 1.0), Vec4::splat(1.0)]))
                 .collect();
             FrameDesc {
                 drawcalls: vec![DrawCall {
@@ -205,7 +215,12 @@ mod tests {
     }
 
     fn cfg() -> GpuConfig {
-        GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() }
+        GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        }
     }
 
     #[test]

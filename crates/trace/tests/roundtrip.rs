@@ -6,7 +6,12 @@ use re_gpu::GpuConfig;
 use re_trace::{capture, Trace, TraceScene};
 
 fn cfg() -> GpuConfig {
-    GpuConfig { width: 192, height: 128, tile_size: 16, ..Default::default() }
+    GpuConfig {
+        width: 192,
+        height: 128,
+        tile_size: 16,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -24,7 +29,10 @@ fn every_benchmark_roundtrips_through_the_format() {
 
 #[test]
 fn replayed_trace_simulates_identically_to_the_live_scene() {
-    let opts = SimOptions { gpu: cfg(), ..SimOptions::default() };
+    let opts = SimOptions {
+        gpu: cfg(),
+        ..SimOptions::default()
+    };
     let frames = 8;
 
     // Live run.
@@ -40,7 +48,10 @@ fn replayed_trace_simulates_identically_to_the_live_scene() {
     let mut replay_sim = Simulator::new(opts);
     let replayed = replay_sim.run(&mut replay, frames);
 
-    assert_eq!(live.baseline.total_cycles(), replayed.baseline.total_cycles());
+    assert_eq!(
+        live.baseline.total_cycles(),
+        replayed.baseline.total_cycles()
+    );
     assert_eq!(live.re.total_cycles(), replayed.re.total_cycles());
     assert_eq!(live.re.tiles_skipped, replayed.re.tiles_skipped);
     assert_eq!(live.classes, replayed.classes);

@@ -33,7 +33,11 @@ impl SpriteBatch {
         z: f32,
     ) -> &mut Self {
         let v = |x: f32, y: f32, u: f32, vv: f32| {
-            Vertex::new(vec![Vec4::new(x, y, z, 1.0), color, Vec4::new(u, vv, 0.0, 0.0)])
+            Vertex::new(vec![
+                Vec4::new(x, y, z, 1.0),
+                color,
+                Vec4::new(u, vv, 0.0, 0.0),
+            ])
         };
         // Counter-clockwise in NDC (y up): both triangles.
         self.verts.push(v(x0, y0, u0, v0));
@@ -96,7 +100,8 @@ pub fn upload_background(gpu: &mut Gpu, seed: u64, size: u32) -> TextureId {
     let (r0, g0, b0): (u8, u8, u8) = (rng.gen(), rng.gen(), rng.gen());
     gpu.textures_mut().upload_with(size, size, |x, y| {
         // Cheap value noise: deterministic, non-repeating at line scale.
-        let h = (x.wrapping_mul(0x9E37_79B1) ^ y.wrapping_mul(0x85EB_CA77)).wrapping_mul(0xC2B2_AE35);
+        let h =
+            (x.wrapping_mul(0x9E37_79B1) ^ y.wrapping_mul(0x85EB_CA77)).wrapping_mul(0xC2B2_AE35);
         let n = (h >> 24) as i16 - 128;
         let band = ((y * 96 / size.max(1)) % 96) as i16;
         let adj = |c: u8| (c as i16 + n / 6 + band / 3).clamp(0, 255) as u8;
@@ -118,7 +123,12 @@ impl FlatBatch {
     }
 
     /// Appends an axis-aligned flat-colored quad at depth `z`.
-    pub fn quad(&mut self, (x0, y0, x1, y1): (f32, f32, f32, f32), color: Vec4, z: f32) -> &mut Self {
+    pub fn quad(
+        &mut self,
+        (x0, y0, x1, y1): (f32, f32, f32, f32),
+        color: Vec4,
+        z: f32,
+    ) -> &mut Self {
         let v = |x: f32, y: f32| Vertex::new(vec![Vec4::new(x, y, z, 1.0), color]);
         self.verts.push(v(x0, y0));
         self.verts.push(v(x1, y0));
@@ -154,7 +164,7 @@ pub fn upload_dark(gpu: &mut Gpu, seed: u64, size: u32) -> TextureId {
     let mut rng = SmallRng::seed_from_u64(seed);
     let streak: u32 = rng.gen_range(3..9);
     gpu.textures_mut().upload_with(size, size, |x, y| {
-        if (x / streak + y / streak) % 19 == 0 {
+        if (x / streak + y / streak).is_multiple_of(19) {
             Color::new(8, 8, 12, 255)
         } else {
             Color::BLACK
@@ -192,8 +202,12 @@ pub fn terrain(
         let y = height(x, z);
         // Finite-difference normal.
         let e = 0.05;
-        let n = Vec3::new(height(x - e, z) - height(x + e, z), 2.0 * e, height(x, z - e) - height(x, z + e))
-            .normalized();
+        let n = Vec3::new(
+            height(x - e, z) - height(x + e, z),
+            2.0 * e,
+            height(x, z - e) - height(x, z + e),
+        )
+        .normalized();
         Vertex::new(vec![
             Vec4::new(x, y, z, 1.0),
             color(x, z),
@@ -269,7 +283,11 @@ pub fn mesh_drawcall(vertices: Vec<Vertex>, texture: TextureId, constants: Vec<V
     let mut state = PipelineState::mesh_3d(texture);
     // Terrain and simple meshes are modelled double-sided.
     state.cull_backface = false;
-    DrawCall { state, constants, vertices }
+    DrawCall {
+        state,
+        constants,
+        vertices,
+    }
 }
 
 #[cfg(test)]
@@ -280,15 +298,30 @@ mod tests {
     #[test]
     fn quad_emits_six_vertices() {
         let mut b = SpriteBatch::new();
-        b.quad((-0.5, -0.5, 0.5, 0.5), (0.0, 0.0, 1.0, 1.0), Vec4::splat(1.0), 0.0);
+        b.quad(
+            (-0.5, -0.5, 0.5, 0.5),
+            (0.0, 0.0, 1.0, 1.0),
+            Vec4::splat(1.0),
+            0.0,
+        );
         assert_eq!(b.len(), 6);
         assert!(!b.is_empty());
     }
 
     #[test]
     fn atlas_is_deterministic() {
-        let mut gpu1 = Gpu::new(GpuConfig { width: 32, height: 32, tile_size: 16, ..Default::default() });
-        let mut gpu2 = Gpu::new(GpuConfig { width: 32, height: 32, tile_size: 16, ..Default::default() });
+        let mut gpu1 = Gpu::new(GpuConfig {
+            width: 32,
+            height: 32,
+            tile_size: 16,
+            ..Default::default()
+        });
+        let mut gpu2 = Gpu::new(GpuConfig {
+            width: 32,
+            height: 32,
+            tile_size: 16,
+            ..Default::default()
+        });
         let a = upload_atlas(&mut gpu1, 42, 64, 4);
         let b = upload_atlas(&mut gpu2, 42, 64, 4);
         let ta = gpu1.textures().get(a);
@@ -300,7 +333,12 @@ mod tests {
 
     #[test]
     fn dark_texture_is_mostly_black() {
-        let mut gpu = Gpu::new(GpuConfig { width: 32, height: 32, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(GpuConfig {
+            width: 32,
+            height: 32,
+            tile_size: 16,
+            ..Default::default()
+        });
         let id = upload_dark(&mut gpu, 7, 64);
         let t = gpu.textures().get(id);
         let black = (0..64)

@@ -172,7 +172,12 @@ mod tests {
     fn scenes_are_deterministic_across_constructions() {
         // Same benchmark, same frame index ⇒ identical command stream.
         use re_gpu::{Gpu, GpuConfig};
-        let cfg = GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() };
+        let cfg = GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        };
         let mut a = by_alias("ccs").unwrap().scene;
         let mut b = by_alias("ccs").unwrap().scene;
         a.init(&mut Gpu::new(cfg));

@@ -42,14 +42,18 @@ impl SlingshotPhases {
                 )
             })
             .collect();
-        SlingshotPhases { atlas: None, background: None, blocks }
+        SlingshotPhases {
+            atlas: None,
+            background: None,
+            blocks,
+        }
     }
 
     /// Phase of frame `i`: `(is_flight, t_in_flight)`.
     fn phase(i: usize) -> (bool, f32) {
         let cycle = AIM + FLIGHT + SETTLE;
         let w = i % cycle;
-        if w >= AIM && w < AIM + FLIGHT {
+        if (AIM..AIM + FLIGHT).contains(&w) {
             (true, (w - AIM) as f32 / FLIGHT as f32)
         } else {
             (false, 0.0)
@@ -86,17 +90,39 @@ impl Scene for SlingshotPhases {
         // pan changes every covered tile's inputs (and pixels).
         let background = self.background.expect("init() must run before frame()");
         let mut backdrop = SpriteBatch::new();
-        backdrop.quad((-1.4, -1.0, 1.8, 1.0), (0.0, 0.0, 1.6, 1.0), Vec4::new(0.8, 0.95, 1.0, 1.0), 0.97);
-        frame.drawcalls.push(backdrop.into_drawcall(background, cam));
+        backdrop.quad(
+            (-1.4, -1.0, 1.8, 1.0),
+            (0.0, 0.0, 1.6, 1.0),
+            Vec4::new(0.8, 0.95, 1.0, 1.0),
+            0.97,
+        );
+        frame
+            .drawcalls
+            .push(backdrop.into_drawcall(background, cam));
 
         // World: ground, slingshot, target blocks (camera-transformed).
         let mut world = SpriteBatch::new();
-        world.quad((-1.4, -1.0, 1.8, -0.75), (0.0, 0.0, 3.0, 0.3), Vec4::new(0.4, 0.7, 0.3, 1.0), 0.9);
-        world.quad((-0.8, -0.78, -0.72, -0.45), (0.0, 0.5, 0.1, 0.8), Vec4::new(0.5, 0.3, 0.2, 1.0), 0.6);
+        world.quad(
+            (-1.4, -1.0, 1.8, -0.75),
+            (0.0, 0.0, 3.0, 0.3),
+            Vec4::new(0.4, 0.7, 0.3, 1.0),
+            0.9,
+        );
+        world.quad(
+            (-0.8, -0.78, -0.72, -0.45),
+            (0.0, 0.5, 0.1, 0.8),
+            Vec4::new(0.5, 0.3, 0.2, 1.0),
+            0.6,
+        );
         for &(x, y, s, kind) in &self.blocks {
             let u = (kind % 4) as f32 * 0.25;
             let v = (kind / 4) as f32 * 0.25;
-            world.quad((x, y, x + s, y + s), (u, v, u + 0.25, v + 0.25), Vec4::splat(1.0), 0.5);
+            world.quad(
+                (x, y, x + s, y + s),
+                (u, v, u + 0.25, v + 0.25),
+                Vec4::splat(1.0),
+                0.5,
+            );
         }
         // The bird: parked on the slingshot while aiming, on a parabola
         // while flying.
@@ -105,13 +131,25 @@ impl Scene for SlingshotPhases {
         } else {
             (-0.76, -0.45)
         };
-        world.quad((bx - 0.05, by - 0.05, bx + 0.05, by + 0.05), (0.5, 0.0, 0.75, 0.25), Vec4::splat(1.0), 0.3);
+        world.quad(
+            (bx - 0.05, by - 0.05, bx + 0.05, by + 0.05),
+            (0.5, 0.0, 0.75, 0.25),
+            Vec4::splat(1.0),
+            0.3,
+        );
         frame.drawcalls.push(world.into_drawcall(atlas, cam));
 
         // Static HUD.
         let mut hud = SpriteBatch::new();
-        hud.quad((-1.0, 0.88, -0.4, 1.0), (0.0, 0.0, 0.5, 0.1), Vec4::new(0.15, 0.15, 0.2, 0.8), 0.1);
-        frame.drawcalls.push(hud.into_drawcall(atlas, Mat4::IDENTITY));
+        hud.quad(
+            (-1.0, 0.88, -0.4, 1.0),
+            (0.0, 0.0, 0.5, 0.1),
+            Vec4::new(0.15, 0.15, 0.2, 0.8),
+            0.1,
+        );
+        frame
+            .drawcalls
+            .push(hud.into_drawcall(atlas, Mat4::IDENTITY));
         frame
     }
 
@@ -128,7 +166,12 @@ mod tests {
     #[test]
     fn aim_frames_are_identical_flight_frames_differ() {
         let mut s = SlingshotPhases::new();
-        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(re_gpu::GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        });
         s.init(&mut gpu);
         assert_eq!(s.frame(2), s.frame(3), "aim phase static");
         assert_ne!(s.frame(AIM), s.frame(AIM + 1), "flight phase dynamic");

@@ -42,7 +42,12 @@ impl CandyBoard {
                 (c, r)
             })
             .collect();
-        CandyBoard { atlas: None, background: None, board, swaps }
+        CandyBoard {
+            atlas: None,
+            background: None,
+            board,
+            swaps,
+        }
     }
 
     fn cell_rect(c: usize, r: usize) -> (f32, f32, f32, f32) {
@@ -81,8 +86,15 @@ impl Scene for CandyBoard {
         // Static backdrop, sampled ~1:1 from the large background texture.
         let background = self.background.expect("init() must run before frame()");
         let mut bg = SpriteBatch::new();
-        bg.quad((-1.0, -1.0, 1.0, 1.0), (0.0, 0.0, 1.0, 1.0), Vec4::new(0.8, 0.75, 0.9, 1.0), 0.9);
-        frame.drawcalls.push(bg.into_drawcall(background, Mat4::IDENTITY));
+        bg.quad(
+            (-1.0, -1.0, 1.0, 1.0),
+            (0.0, 0.0, 1.0, 1.0),
+            Vec4::new(0.8, 0.75, 0.9, 1.0),
+            0.9,
+        );
+        frame
+            .drawcalls
+            .push(bg.into_drawcall(background, Mat4::IDENTITY));
 
         // The board. During a swap window, the two candies of the active
         // swap slide toward each other; everything else is bit-static.
@@ -113,11 +125,15 @@ impl Scene for CandyBoard {
                 batch.quad((x0, y0, x1, y1), Self::cell_uv(kind), Vec4::splat(1.0), 0.5);
             }
         }
-        frame.drawcalls.push(candies.into_drawcall(atlas, Mat4::IDENTITY));
+        frame
+            .drawcalls
+            .push(candies.into_drawcall(atlas, Mat4::IDENTITY));
         let mut glossy_dc = glossy.into_drawcall(atlas, Mat4::IDENTITY);
         // Slot 8: past every slot the shaders read (4-7 are tone/fog terms).
         glossy_dc.constants.resize(8, Vec4::ZERO);
-        glossy_dc.constants.push(Vec4::new(index as f32 / 60.0, 0.0, 0.0, 0.0));
+        glossy_dc
+            .constants
+            .push(Vec4::new(index as f32 / 60.0, 0.0, 0.0, 0.0));
         frame.drawcalls.push(glossy_dc);
 
         // Idle "shine" particles: real games keep a trickle of animation
@@ -135,7 +151,9 @@ impl Scene for CandyBoard {
                 0.2,
             );
         }
-        frame.drawcalls.push(fx.into_drawcall(atlas, Mat4::IDENTITY));
+        frame
+            .drawcalls
+            .push(fx.into_drawcall(atlas, Mat4::IDENTITY));
         frame
     }
 
@@ -152,7 +170,12 @@ mod tests {
     #[test]
     fn quiet_frames_are_bit_identical() {
         let mut s = CandyBoard::new();
-        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(re_gpu::GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        });
         s.init(&mut gpu);
         // The background and the main candy batch are bit-static across
         // quiet frames; the glossy batch (time uniform) and the sparkles

@@ -40,7 +40,11 @@ impl CastleDefense {
                 )
             })
             .collect();
-        CastleDefense { atlas: None, background: None, towers }
+        CastleDefense {
+            atlas: None,
+            background: None,
+            towers,
+        }
     }
 
     /// Walker `k`'s lane position at frame `i` — a slow horizontal march
@@ -73,17 +77,31 @@ impl Scene for CastleDefense {
         // Static map background (1:1 sampled) in its own drawcall.
         let background = self.background.expect("init() must run before frame()");
         let mut bgb = SpriteBatch::new();
-        bgb.quad((-1.0, -1.0, 1.0, 1.0), (0.0, 0.0, 1.0, 1.0), Vec4::new(0.6, 0.8, 0.5, 1.0), 0.95);
-        frame.drawcalls.push(bgb.into_drawcall(background, Mat4::IDENTITY));
+        bgb.quad(
+            (-1.0, -1.0, 1.0, 1.0),
+            (0.0, 0.0, 1.0, 1.0),
+            Vec4::new(0.6, 0.8, 0.5, 1.0),
+            0.95,
+        );
+        frame
+            .drawcalls
+            .push(bgb.into_drawcall(background, Mat4::IDENTITY));
 
         // Towers in one drawcall.
         let mut map = SpriteBatch::new();
         for &(x, y, kind) in &self.towers {
             let u = (kind % 4) as f32 * 0.25;
             let v = (kind / 4) as f32 * 0.25;
-            map.quad((x, y, x + 0.12, y + 0.18), (u, v, u + 0.25, v + 0.25), Vec4::splat(1.0), 0.5);
+            map.quad(
+                (x, y, x + 0.12, y + 0.18),
+                (u, v, u + 0.25, v + 0.25),
+                Vec4::splat(1.0),
+                0.5,
+            );
         }
-        frame.drawcalls.push(map.into_drawcall(atlas, Mat4::IDENTITY));
+        frame
+            .drawcalls
+            .push(map.into_drawcall(atlas, Mat4::IDENTITY));
 
         // Walkers: the only thing that moves.
         let mut creeps = SpriteBatch::new();
@@ -104,7 +122,9 @@ impl Scene for CastleDefense {
             Vec4::new(0.9, 0.2, 0.2, 1.0),
             0.25,
         );
-        frame.drawcalls.push(creeps.into_drawcall(atlas, Mat4::IDENTITY));
+        frame
+            .drawcalls
+            .push(creeps.into_drawcall(atlas, Mat4::IDENTITY));
         frame
     }
 
@@ -121,7 +141,12 @@ mod tests {
     #[test]
     fn only_walker_drawcall_changes() {
         let mut s = CastleDefense::new();
-        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(re_gpu::GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        });
         s.init(&mut gpu);
         let a = s.frame(10);
         let b = s.frame(11);

@@ -39,7 +39,11 @@ impl VillageView {
                 )
             })
             .collect();
-        VillageView { atlas: None, background: None, buildings }
+        VillageView {
+            atlas: None,
+            background: None,
+            buildings,
+        }
     }
 
     /// Camera x-offset at frame `i`: piecewise-constant during holds,
@@ -48,7 +52,11 @@ impl VillageView {
         let cycle = HOLD + PAN;
         let full_pans = (i / cycle) as f32;
         let within = i % cycle;
-        let partial = if within >= HOLD { (within - HOLD + 1) as f32 / PAN as f32 } else { 0.0 };
+        let partial = if within >= HOLD {
+            (within - HOLD + 1) as f32 / PAN as f32
+        } else {
+            0.0
+        };
         (full_pans + partial) * 0.25 % 1.5
     }
 }
@@ -76,13 +84,23 @@ impl Scene for VillageView {
         // changes the MVP constants and thus every covered tile's inputs.
         let background = self.background.expect("init() must run before frame()");
         let mut ground = SpriteBatch::new();
-        ground.quad((-2.0, -1.2, 2.5, 1.2), (0.0, 0.0, 2.2, 1.2), Vec4::new(0.55, 0.72, 0.45, 1.0), 0.9);
+        ground.quad(
+            (-2.0, -1.2, 2.5, 1.2),
+            (0.0, 0.0, 2.2, 1.2),
+            Vec4::new(0.55, 0.72, 0.45, 1.0),
+            0.9,
+        );
         frame.drawcalls.push(ground.into_drawcall(background, cam));
         let mut world = SpriteBatch::new();
         for &(x, y, s, kind) in &self.buildings {
             let u = (kind % 4) as f32 * 0.25;
             let v = (kind / 4) as f32 * 0.25;
-            world.quad((x, y, x + s, y + s * 1.2), (u, v, u + 0.25, v + 0.25), Vec4::splat(1.0), 0.5);
+            world.quad(
+                (x, y, x + s, y + s * 1.2),
+                (u, v, u + 0.25, v + 0.25),
+                Vec4::splat(1.0),
+                0.5,
+            );
         }
         // Two villagers strolling the paths continuously.
         for k in 0..2u32 {
@@ -100,8 +118,15 @@ impl Scene for VillageView {
 
         // Static HUD bar (unaffected by the camera).
         let mut hud = SpriteBatch::new();
-        hud.quad((-1.0, 0.9, 1.0, 1.0), (0.0, 0.0, 1.0, 0.1), Vec4::new(0.2, 0.2, 0.25, 0.9), 0.1);
-        frame.drawcalls.push(hud.into_drawcall(atlas, Mat4::IDENTITY));
+        hud.quad(
+            (-1.0, 0.9, 1.0, 1.0),
+            (0.0, 0.0, 1.0, 0.1),
+            Vec4::new(0.2, 0.2, 0.25, 0.9),
+            0.1,
+        );
+        frame
+            .drawcalls
+            .push(hud.into_drawcall(atlas, Mat4::IDENTITY));
         frame
     }
 
@@ -117,16 +142,31 @@ mod tests {
 
     #[test]
     fn holds_are_static_pans_move() {
-        assert_eq!(VillageView::camera_offset(0), VillageView::camera_offset(HOLD - 1));
-        assert_ne!(VillageView::camera_offset(HOLD - 1), VillageView::camera_offset(HOLD));
+        assert_eq!(
+            VillageView::camera_offset(0),
+            VillageView::camera_offset(HOLD - 1)
+        );
+        assert_ne!(
+            VillageView::camera_offset(HOLD - 1),
+            VillageView::camera_offset(HOLD)
+        );
         let mut s = VillageView::new();
-        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(re_gpu::GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        });
         s.init(&mut gpu);
         // The ground drawcall is static during holds (villagers churn in
         // the buildings drawcall) and moves during pans.
         assert_eq!(s.frame(1).drawcalls[0], s.frame(2).drawcalls[0]);
         assert_ne!(s.frame(HOLD - 1).drawcalls[0], s.frame(HOLD).drawcalls[0]);
-        assert_ne!(s.frame(1).drawcalls[1], s.frame(2).drawcalls[1], "villagers move");
+        assert_ne!(
+            s.frame(1).drawcalls[1],
+            s.frame(2).drawcalls[1],
+            "villagers move"
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@ use re_gpu::texture::TextureId;
 use re_gpu::Gpu;
 use re_math::{Color, Mat4, Vec3, Vec4};
 
-use crate::helpers::{constants_3d, cuboid, mesh_drawcall, terrain, upload_atlas, upload_background, SpriteBatch};
+use crate::helpers::{
+    constants_3d, cuboid, mesh_drawcall, terrain, upload_atlas, upload_background, SpriteBatch,
+};
 
 /// The snowboarding scene.
 #[derive(Debug, Default)]
@@ -21,7 +23,11 @@ pub struct SnowSlope {
 impl SnowSlope {
     /// Creates the scene.
     pub fn new() -> Self {
-        SnowSlope { atlas: None, background: None, snow: None }
+        SnowSlope {
+            atlas: None,
+            background: None,
+            snow: None,
+        }
     }
 
     fn camera(i: usize, aspect: f32) -> Mat4 {
@@ -29,7 +35,8 @@ impl SnowSlope {
         let z = -(i as f32) * 0.6;
         let eye = Vec3::new(0.0, 2.2, z + 6.0);
         let target = Vec3::new(0.0, 0.5, z - 4.0);
-        Mat4::perspective(1.0, aspect, 0.1, 120.0) * Mat4::look_at(eye, target, Vec3::new(0.0, 1.0, 0.0))
+        Mat4::perspective(1.0, aspect, 0.1, 120.0)
+            * Mat4::look_at(eye, target, Vec3::new(0.0, 1.0, 0.0))
     }
 }
 
@@ -51,9 +58,16 @@ impl Scene for SnowSlope {
         // *after* nothing — slope fragments overdraw it only below the
         // horizon because the slope projects to the lower half.
         let mut sky = SpriteBatch::new();
-        sky.quad((-1.0, 0.1, 1.0, 1.0), (0.0, 0.0, 1.0, 0.4), Vec4::new(0.75, 0.85, 1.0, 1.0), 0.95);
+        sky.quad(
+            (-1.0, 0.1, 1.0, 1.0),
+            (0.0, 0.0, 1.0, 0.4),
+            Vec4::new(0.75, 0.85, 1.0, 1.0),
+            0.95,
+        );
         let background = self.background.expect("init() must run before frame()");
-        frame.drawcalls.push(sky.into_drawcall(background, Mat4::IDENTITY));
+        frame
+            .drawcalls
+            .push(sky.into_drawcall(background, Mat4::IDENTITY));
 
         // The slope: a rolling white heightfield window that follows the
         // camera, regenerated from absolute z so overlapping windows of
@@ -71,7 +85,9 @@ impl Scene for SnowSlope {
         let mvp = Self::camera(index, 1196.0 / 768.0);
         let constants = constants_3d(mvp, Vec3::new(0.3, 1.0, 0.4), 0.05);
         let snow = self.snow.expect("init() must run before frame()");
-        frame.drawcalls.push(mesh_drawcall(slope, snow, constants.clone()));
+        frame
+            .drawcalls
+            .push(mesh_drawcall(slope, snow, constants.clone()));
 
         // A few pine "trees" (green cuboids) at fixed world slots near the
         // camera window.
@@ -91,8 +107,15 @@ impl Scene for SnowSlope {
 
         // Static HUD strip at the bottom.
         let mut hud = SpriteBatch::new();
-        hud.quad((-1.0, -1.0, 1.0, -0.86), (0.0, 0.0, 1.0, 0.1), Vec4::new(0.1, 0.1, 0.15, 0.85), 0.05);
-        frame.drawcalls.push(hud.into_drawcall(atlas, Mat4::IDENTITY));
+        hud.quad(
+            (-1.0, -1.0, 1.0, -0.86),
+            (0.0, 0.0, 1.0, 0.1),
+            Vec4::new(0.1, 0.1, 0.15, 0.85),
+            0.05,
+        );
+        frame
+            .drawcalls
+            .push(hud.into_drawcall(atlas, Mat4::IDENTITY));
         frame
     }
 
@@ -109,7 +132,12 @@ mod tests {
     #[test]
     fn sky_and_hud_are_static_world_is_not() {
         let mut s = SnowSlope::new();
-        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(re_gpu::GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        });
         s.init(&mut gpu);
         let a = s.frame(3);
         let b = s.frame(4);

@@ -25,7 +25,10 @@ pub struct RopePuzzle {
 impl RopePuzzle {
     /// Creates the scene.
     pub fn new() -> Self {
-        RopePuzzle { atlas: None, background: None }
+        RopePuzzle {
+            atlas: None,
+            background: None,
+        }
     }
 
     /// Swing angle at frame `i` (radians) — a gentle pendulum.
@@ -48,18 +51,42 @@ impl Scene for RopePuzzle {
         // Static cardboard backdrop (1:1 sampled) and frame decorations.
         let background = self.background.expect("init() must run before frame()");
         let mut bgb = SpriteBatch::new();
-        bgb.quad((-1.0, -1.0, 1.0, 1.0), (0.0, 0.0, 1.0, 1.0), Vec4::new(0.85, 0.7, 0.5, 1.0), 0.95);
-        frame.drawcalls.push(bgb.into_drawcall(background, Mat4::IDENTITY));
+        bgb.quad(
+            (-1.0, -1.0, 1.0, 1.0),
+            (0.0, 0.0, 1.0, 1.0),
+            Vec4::new(0.85, 0.7, 0.5, 1.0),
+            0.95,
+        );
+        frame
+            .drawcalls
+            .push(bgb.into_drawcall(background, Mat4::IDENTITY));
         let mut bg = SpriteBatch::new();
-        bg.quad((-1.0, -1.0, 1.0, -0.8), (0.0, 0.0, 1.0, 0.2), Vec4::new(0.35, 0.25, 0.15, 1.0), 0.8);
-        bg.quad((-0.95, 0.8, -0.55, 0.98), (0.5, 0.5, 0.75, 0.75), Vec4::splat(1.0), 0.7);
-        bg.quad((0.55, 0.8, 0.95, 0.98), (0.75, 0.5, 1.0, 0.75), Vec4::splat(1.0), 0.7);
+        bg.quad(
+            (-1.0, -1.0, 1.0, -0.8),
+            (0.0, 0.0, 1.0, 0.2),
+            Vec4::new(0.35, 0.25, 0.15, 1.0),
+            0.8,
+        );
+        bg.quad(
+            (-0.95, 0.8, -0.55, 0.98),
+            (0.5, 0.5, 0.75, 0.75),
+            Vec4::splat(1.0),
+            0.7,
+        );
+        bg.quad(
+            (0.55, 0.8, 0.95, 0.98),
+            (0.75, 0.5, 1.0, 0.75),
+            Vec4::splat(1.0),
+            0.7,
+        );
         // The decoration material carries a per-frame time uniform the
         // shader ignores — inputs change, pixels do not (false negatives).
         let mut deco_dc = bg.into_drawcall(atlas, Mat4::IDENTITY);
         // Slot 8: past every slot the shaders read (4-7 are tone/fog terms).
         deco_dc.constants.resize(8, Vec4::ZERO);
-        deco_dc.constants.push(Vec4::new(index as f32 / 60.0, 0.0, 0.0, 0.0));
+        deco_dc
+            .constants
+            .push(Vec4::new(index as f32 / 60.0, 0.0, 0.0, 0.0));
         frame.drawcalls.push(deco_dc);
 
         // The swinging rope: a chain of small quads from a pivot, ending
@@ -82,7 +109,12 @@ impl Scene for RopePuzzle {
             x = nx;
             y = ny;
         }
-        rope.quad((x - 0.06, y - 0.1, x + 0.06, y), (0.25, 0.5, 0.5, 0.75), Vec4::splat(1.0), 0.3);
+        rope.quad(
+            (x - 0.06, y - 0.1, x + 0.06, y),
+            (0.25, 0.5, 0.5, 0.75),
+            Vec4::splat(1.0),
+            0.3,
+        );
         // Two dust motes drifting across the whole scene — dispersed,
         // small, per-frame churn.
         let mut motes = SpriteBatch::new();
@@ -97,7 +129,9 @@ impl Scene for RopePuzzle {
                 0.2,
             );
         }
-        frame.drawcalls.push(motes.into_drawcall(atlas, Mat4::IDENTITY));
+        frame
+            .drawcalls
+            .push(motes.into_drawcall(atlas, Mat4::IDENTITY));
         frame
     }
 
@@ -114,7 +148,12 @@ mod tests {
     #[test]
     fn background_static_rope_moves() {
         let mut s = RopePuzzle::new();
-        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(re_gpu::GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        });
         s.init(&mut gpu);
         let a = s.frame(4);
         let b = s.frame(5);

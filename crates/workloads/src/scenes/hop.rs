@@ -66,7 +66,9 @@ impl Scene for DarkCave {
             Vec4::new(flick, flick, flick, 1.0),
             0.8,
         );
-        frame.drawcalls.push(torch.into_drawcall(dark, Mat4::IDENTITY));
+        frame
+            .drawcalls
+            .push(torch.into_drawcall(dark, Mat4::IDENTITY));
 
         // Breathing vignette: a flat black overlay whose vertices jitter
         // by ~1e-4 NDC each frame. Inputs change every frame; the rendered
@@ -112,7 +114,12 @@ mod tests {
     #[test]
     fn flicker_changes_inputs_every_frame() {
         let mut s = DarkCave::new();
-        let mut gpu = Gpu::new(GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        });
         s.init(&mut gpu);
         assert_ne!(s.frame(0).drawcalls[1], s.frame(1).drawcalls[1]);
         assert_ne!(s.frame(0).drawcalls[1], s.frame(2).drawcalls[1]);
@@ -129,7 +136,12 @@ mod tests {
     #[test]
     fn produces_false_negatives_and_memo_friendly_fragments() {
         let mut sim = Simulator::new(SimOptions {
-            gpu: GpuConfig { width: 192, height: 128, tile_size: 16, ..Default::default() },
+            gpu: GpuConfig {
+                width: 192,
+                height: 128,
+                tile_size: 16,
+                ..Default::default()
+            },
             ..SimOptions::default()
         });
         let mut s = DarkCave::new();

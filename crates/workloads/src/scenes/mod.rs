@@ -21,7 +21,12 @@ pub(crate) mod testutil {
     /// equal-tiles percentage at distance 1 (the Fig. 2 metric).
     pub fn equal_tiles_pct(scene: &mut dyn Scene, frames: usize) -> f64 {
         let mut sim = Simulator::new(SimOptions {
-            gpu: GpuConfig { width: 192, height: 128, tile_size: 16, ..Default::default() },
+            gpu: GpuConfig {
+                width: 192,
+                height: 128,
+                tile_size: 16,
+                ..Default::default()
+            },
             ..SimOptions::default()
         });
         let report = sim.run(scene, frames);

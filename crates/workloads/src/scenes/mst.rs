@@ -12,7 +12,9 @@ use re_gpu::texture::TextureId;
 use re_gpu::Gpu;
 use re_math::{Color, Mat4, Vec3, Vec4};
 
-use crate::helpers::{constants_3d, cuboid, mesh_drawcall, terrain, upload_atlas, upload_background};
+use crate::helpers::{
+    constants_3d, cuboid, mesh_drawcall, terrain, upload_atlas, upload_background,
+};
 
 /// The FPS-arena scene.
 #[derive(Debug)]
@@ -43,9 +45,18 @@ impl FpsArena {
         for _ in 0..10 {
             let p = Vec3::new(rng.gen_range(-15.0..15.0), 0.8, rng.gen_range(-15.0..15.0));
             let tint = rng.gen_range(0.5..0.9f32);
-            crates.extend(cuboid(p, Vec3::new(0.8, 0.8, 0.8), Vec4::new(tint, tint * 0.8, 0.4, 1.0)));
+            crates.extend(cuboid(
+                p,
+                Vec3::new(0.8, 0.8, 0.8),
+                Vec4::new(tint, tint * 0.8, 0.4, 1.0),
+            ));
         }
-        FpsArena { atlas: None, background: None, arena, crates }
+        FpsArena {
+            atlas: None,
+            background: None,
+            arena,
+            crates,
+        }
     }
 
     /// Camera pose at frame `i`: strafing along a circle while turning.
@@ -91,10 +102,16 @@ impl Scene for FpsArena {
             0.999,
         );
         let background = self.background.expect("init() must run before frame()");
-        frame.drawcalls.push(sky.into_drawcall(background, Mat4::IDENTITY));
+        frame
+            .drawcalls
+            .push(sky.into_drawcall(background, Mat4::IDENTITY));
 
-        frame.drawcalls.push(mesh_drawcall(self.arena.clone(), atlas, constants.clone()));
-        frame.drawcalls.push(mesh_drawcall(self.crates.clone(), atlas, constants));
+        frame
+            .drawcalls
+            .push(mesh_drawcall(self.arena.clone(), atlas, constants.clone()));
+        frame
+            .drawcalls
+            .push(mesh_drawcall(self.crates.clone(), atlas, constants));
         frame
     }
 
@@ -111,7 +128,12 @@ mod tests {
     #[test]
     fn camera_never_rests() {
         let mut s = FpsArena::new();
-        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(re_gpu::GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        });
         s.init(&mut gpu);
         for i in 0..6 {
             assert_ne!(s.frame(i), s.frame(i + 1), "frames {i}/{}", i + 1);

@@ -27,7 +27,8 @@ impl EndlessRun {
         let sway = (i as f32 * 0.11).sin() * 0.6;
         let eye = Vec3::new(sway, 2.4, z + 5.0);
         let target = Vec3::new(sway * 0.5, 1.2, z - 6.0);
-        Mat4::perspective(1.05, aspect, 0.1, 90.0) * Mat4::look_at(eye, target, Vec3::new(0.0, 1.0, 0.0))
+        Mat4::perspective(1.05, aspect, 0.1, 90.0)
+            * Mat4::look_at(eye, target, Vec3::new(0.0, 1.0, 0.0))
     }
 }
 
@@ -58,7 +59,9 @@ impl Scene for EndlessRun {
                 Vec4::new(c, c * 0.8, c * 0.55, 1.0)
             },
         );
-        frame.drawcalls.push(mesh_drawcall(floor, atlas, constants.clone()));
+        frame
+            .drawcalls
+            .push(mesh_drawcall(floor, atlas, constants.clone()));
 
         // Side walls at fixed world slots (regenerated deterministically
         // from absolute z, so the same wall reappears bit-identical while
@@ -79,10 +82,27 @@ impl Scene for EndlessRun {
 
         // Static HUD: score bar on top, two buttons at the bottom corners.
         let mut hud = SpriteBatch::new();
-        hud.quad((-1.0, 0.86, 1.0, 1.0), (0.0, 0.0, 1.0, 0.1), Vec4::new(0.12, 0.1, 0.1, 0.9), 0.05);
-        hud.quad((-1.0, -1.0, -0.72, -0.74), (0.5, 0.5, 0.75, 0.75), Vec4::splat(1.0), 0.05);
-        hud.quad((0.72, -1.0, 1.0, -0.74), (0.75, 0.5, 1.0, 0.75), Vec4::splat(1.0), 0.05);
-        frame.drawcalls.push(hud.into_drawcall(atlas, Mat4::IDENTITY));
+        hud.quad(
+            (-1.0, 0.86, 1.0, 1.0),
+            (0.0, 0.0, 1.0, 0.1),
+            Vec4::new(0.12, 0.1, 0.1, 0.9),
+            0.05,
+        );
+        hud.quad(
+            (-1.0, -1.0, -0.72, -0.74),
+            (0.5, 0.5, 0.75, 0.75),
+            Vec4::splat(1.0),
+            0.05,
+        );
+        hud.quad(
+            (0.72, -1.0, 1.0, -0.74),
+            (0.75, 0.5, 1.0, 0.75),
+            Vec4::splat(1.0),
+            0.05,
+        );
+        frame
+            .drawcalls
+            .push(hud.into_drawcall(atlas, Mat4::IDENTITY));
         frame
     }
 
@@ -99,7 +119,12 @@ mod tests {
     #[test]
     fn motion_every_frame_except_hud() {
         let mut s = EndlessRun::new();
-        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(re_gpu::GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        });
         s.init(&mut gpu);
         let a = s.frame(5);
         let b = s.frame(6);

@@ -45,7 +45,8 @@ impl BallPuzzle {
         let pan = shot as f32 * 0.35 + t * 0.35;
         let eye = Vec3::new(1.5 + pan * 0.3, 4.5, 9.0);
         let target = Vec3::new(pan * 0.5, 0.5, 0.0);
-        Mat4::perspective(0.9, aspect, 0.1, 60.0) * Mat4::look_at(eye, target, Vec3::new(0.0, 1.0, 0.0))
+        Mat4::perspective(0.9, aspect, 0.1, 60.0)
+            * Mat4::look_at(eye, target, Vec3::new(0.0, 1.0, 0.0))
     }
 }
 
@@ -72,7 +73,11 @@ impl Scene for BallPuzzle {
             2.0,
             |_, _| 0.0,
             |x, z| {
-                let c = if ((x.floor() + z.floor()) as i64) % 2 == 0 { 0.85 } else { 0.7 };
+                let c = if ((x.floor() + z.floor()) as i64) % 2 == 0 {
+                    0.85
+                } else {
+                    0.7
+                };
                 Vec4::new(c, c * 0.95, c * 0.8, 1.0)
             },
         );
@@ -83,7 +88,9 @@ impl Scene for BallPuzzle {
                 Vec4::new(0.8, 0.5, 0.3, 1.0),
             ));
         }
-        frame.drawcalls.push(mesh_drawcall(room, atlas, constants.clone()));
+        frame
+            .drawcalls
+            .push(mesh_drawcall(room, atlas, constants.clone()));
 
         // The ball (a small cuboid standing in for a sphere) rolls a fixed
         // arc during the roll phase and rests at shot-dependent positions.
@@ -112,7 +119,12 @@ mod tests {
     #[test]
     fn rest_frames_identical_roll_frames_differ() {
         let mut s = BallPuzzle::new();
-        let mut gpu = Gpu::new(re_gpu::GpuConfig { width: 64, height: 64, tile_size: 16, ..Default::default() });
+        let mut gpu = Gpu::new(re_gpu::GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        });
         s.init(&mut gpu);
         assert_eq!(s.frame(3), s.frame(4), "rest phase");
         assert_ne!(s.frame(REST), s.frame(REST + 1), "roll phase");

@@ -13,7 +13,12 @@ use rendering_elimination::trace::{capture, Trace, TraceScene};
 use rendering_elimination::workloads;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = GpuConfig { width: 400, height: 256, tile_size: 16, ..Default::default() };
+    let cfg = GpuConfig {
+        width: 400,
+        height: 256,
+        tile_size: 16,
+        ..Default::default()
+    };
     let frames = 10;
 
     // 1. Capture the `tib` benchmark into a trace file.
@@ -22,16 +27,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("tib.retrace");
     trace.save(&path)?;
     let size = std::fs::metadata(&path)?.len();
-    println!("captured {} frames of tib -> {} ({:.1} MiB)", frames, path.display(), size as f64 / (1 << 20) as f64);
+    println!(
+        "captured {} frames of tib -> {} ({:.1} MiB)",
+        frames,
+        path.display(),
+        size as f64 / (1 << 20) as f64
+    );
 
     // 2. Reload and replay through the simulator; compare with a live run.
     let reloaded = Trace::load(&path)?;
     let mut replay = TraceScene::with_name(reloaded, "tib-replay");
-    let mut sim_replay = Simulator::new(SimOptions { gpu: cfg, ..SimOptions::default() });
+    let mut sim_replay = Simulator::new(SimOptions {
+        gpu: cfg,
+        ..SimOptions::default()
+    });
     let from_trace = sim_replay.run(&mut replay, frames);
 
     let mut live_bench = workloads::by_alias("tib").expect("tib exists");
-    let mut sim_live = Simulator::new(SimOptions { gpu: cfg, ..SimOptions::default() });
+    let mut sim_live = Simulator::new(SimOptions {
+        gpu: cfg,
+        ..SimOptions::default()
+    });
     let live = sim_live.run(live_bench.scene.as_mut(), frames);
 
     println!(
@@ -44,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         from_trace.baseline.total_cycles(),
         from_trace.re.tiles_skipped
     );
-    assert_eq!(live.baseline.total_cycles(), from_trace.baseline.total_cycles());
+    assert_eq!(
+        live.baseline.total_cycles(),
+        from_trace.baseline.total_cycles()
+    );
     assert_eq!(live.re.tiles_skipped, from_trace.re.tiles_skipped);
     println!("replay is bit-identical to the live scene");
 

@@ -13,10 +13,18 @@ use rendering_elimination::workloads;
 
 fn main() {
     let mut bench = workloads::by_alias("mst").expect("mst is part of the suite");
-    println!("benchmark: {} (stand-in for {}, {})", bench.alias, bench.stands_for, bench.genre);
+    println!(
+        "benchmark: {} (stand-in for {}, {})",
+        bench.alias, bench.stands_for, bench.genre
+    );
 
     let mut sim = Simulator::new(SimOptions {
-        gpu: GpuConfig { width: 598, height: 384, tile_size: 16, ..Default::default() },
+        gpu: GpuConfig {
+            width: 598,
+            height: 384,
+            tile_size: 16,
+            ..Default::default()
+        },
         ..SimOptions::default()
     });
     let report = sim.run(bench.scene.as_mut(), 30);
@@ -24,13 +32,21 @@ fn main() {
     let b = &report.baseline;
     let r = &report.re;
     println!();
-    println!("equal tiles frame-to-frame : {:.1}%", report.equal_tiles_pct_dist1());
+    println!(
+        "equal tiles frame-to-frame : {:.1}%",
+        report.equal_tiles_pct_dist1()
+    );
     println!("tiles RE could skip        : {}", r.tiles_skipped);
-    let overhead =
-        r.total_cycles() as f64 / b.total_cycles() as f64 - 1.0;
-    println!("RE execution overhead      : {:.3}% (paper: <1%)", 100.0 * overhead);
+    let overhead = r.total_cycles() as f64 / b.total_cycles() as f64 - 1.0;
+    println!(
+        "RE execution overhead      : {:.3}% (paper: <1%)",
+        100.0 * overhead
+    );
     let e_overhead = r.energy.total_pj() / b.energy.total_pj() - 1.0;
-    println!("RE energy overhead         : {:.3}% (paper: <1%)", 100.0 * e_overhead);
+    println!(
+        "RE energy overhead         : {:.3}% (paper: <1%)",
+        100.0 * e_overhead
+    );
     println!(
         "signature stalls           : {} cycles ({:.3}% of total)",
         report.su_stats.stall_cycles,

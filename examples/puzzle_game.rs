@@ -12,10 +12,18 @@ use rendering_elimination::workloads;
 
 fn main() {
     let mut bench = workloads::by_alias("ccs").expect("ccs is part of the suite");
-    println!("benchmark: {} (stand-in for {}, {})", bench.alias, bench.stands_for, bench.genre);
+    println!(
+        "benchmark: {} (stand-in for {}, {})",
+        bench.alias, bench.stands_for, bench.genre
+    );
 
     let mut sim = Simulator::new(SimOptions {
-        gpu: GpuConfig { width: 598, height: 384, tile_size: 16, ..Default::default() },
+        gpu: GpuConfig {
+            width: 598,
+            height: 384,
+            tile_size: 16,
+            ..Default::default()
+        },
         ..SimOptions::default()
     });
     let report = sim.run(bench.scene.as_mut(), 48);
@@ -49,9 +57,18 @@ fn main() {
     println!();
     let k = &report.classes;
     println!("tile classification over {} frames:", report.frames);
-    println!("  equal colors & inputs   : {:>6.1}%  (RE skips these)", k.pct(k.eq_color_eq_input));
-    println!("  equal colors, new inputs: {:>6.1}%  (false negatives)", k.pct(k.eq_color_diff_input));
-    println!("  changed tiles           : {:>6.1}%", k.pct(k.diff_color_diff_input));
+    println!(
+        "  equal colors & inputs   : {:>6.1}%  (RE skips these)",
+        k.pct(k.eq_color_eq_input)
+    );
+    println!(
+        "  equal colors, new inputs: {:>6.1}%  (false negatives)",
+        k.pct(k.eq_color_diff_input)
+    );
+    println!(
+        "  changed tiles           : {:>6.1}%",
+        k.pct(k.diff_color_diff_input)
+    );
     println!("  CRC collisions          : {}", k.diff_color_eq_input);
     println!();
     println!(

@@ -48,25 +48,55 @@ impl Scene for Bouncer {
 
 fn main() {
     let mut sim = Simulator::new(SimOptions {
-        gpu: GpuConfig { width: 256, height: 256, tile_size: 16, ..Default::default() },
+        gpu: GpuConfig {
+            width: 256,
+            height: 256,
+            tile_size: 16,
+            ..Default::default()
+        },
         ..SimOptions::default()
     });
     let report = sim.run(&mut Bouncer, 30);
 
     let base = &report.baseline;
     let re = &report.re;
-    println!("workload            : {} ({} frames, {} tiles/frame)", report.name, report.frames, report.tile_count);
-    println!("baseline cycles     : {:>12} (geometry {} + raster {})",
-        base.total_cycles(), base.geometry_cycles, base.raster_cycles);
-    println!("RE cycles           : {:>12} (geometry {} + raster {})",
-        re.total_cycles(), re.geometry_cycles, re.raster_cycles);
-    println!("speedup             : {:.2}x", base.total_cycles() as f64 / re.total_cycles() as f64);
-    println!("tiles skipped       : {} of {} ({:.1}%)",
+    println!(
+        "workload            : {} ({} frames, {} tiles/frame)",
+        report.name, report.frames, report.tile_count
+    );
+    println!(
+        "baseline cycles     : {:>12} (geometry {} + raster {})",
+        base.total_cycles(),
+        base.geometry_cycles,
+        base.raster_cycles
+    );
+    println!(
+        "RE cycles           : {:>12} (geometry {} + raster {})",
+        re.total_cycles(),
+        re.geometry_cycles,
+        re.raster_cycles
+    );
+    println!(
+        "speedup             : {:.2}x",
+        base.total_cycles() as f64 / re.total_cycles() as f64
+    );
+    println!(
+        "tiles skipped       : {} of {} ({:.1}%)",
         re.tiles_skipped,
         re.tiles_skipped + re.tiles_rendered,
-        100.0 * re.tiles_skipped as f64 / (re.tiles_skipped + re.tiles_rendered) as f64);
-    println!("energy vs baseline  : {:.1}%", 100.0 * re.energy.total_pj() / base.energy.total_pj());
-    println!("DRAM traffic ratio  : {:.1}%", 100.0 * re.dram.total_bytes() as f64 / base.dram.total_bytes() as f64);
-    println!("CRC false positives : {} (a nonzero value would be a CRC32 collision)", report.false_positives);
+        100.0 * re.tiles_skipped as f64 / (re.tiles_skipped + re.tiles_rendered) as f64
+    );
+    println!(
+        "energy vs baseline  : {:.1}%",
+        100.0 * re.energy.total_pj() / base.energy.total_pj()
+    );
+    println!(
+        "DRAM traffic ratio  : {:.1}%",
+        100.0 * re.dram.total_bytes() as f64 / base.dram.total_bytes() as f64
+    );
+    println!(
+        "CRC false positives : {} (a nonzero value would be a CRC32 collision)",
+        report.false_positives
+    );
     assert_eq!(report.false_positives, 0);
 }

@@ -28,7 +28,12 @@ fn main() {
             std::process::exit(2);
         };
         let mut sim = Simulator::new(SimOptions {
-            gpu: GpuConfig { width: 598, height: 384, tile_size: 16, ..Default::default() },
+            gpu: GpuConfig {
+                width: 598,
+                height: 384,
+                tile_size: 16,
+                ..Default::default()
+            },
             ..SimOptions::default()
         });
         let report = sim.run(bench.scene.as_mut(), 48);

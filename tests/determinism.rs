@@ -9,22 +9,48 @@ use rendering_elimination::workloads;
 fn run_once(alias: &str) -> RunReport {
     let mut bench = workloads::by_alias(alias).expect("alias exists");
     let mut sim = Simulator::new(SimOptions {
-        gpu: GpuConfig { width: 256, height: 160, tile_size: 16, ..Default::default() },
+        gpu: GpuConfig {
+            width: 256,
+            height: 160,
+            tile_size: 16,
+            ..Default::default()
+        },
         ..SimOptions::default()
     });
     sim.run(bench.scene.as_mut(), 10)
 }
 
 fn assert_reports_equal(a: &RunReport, b: &RunReport, alias: &str) {
-    assert_eq!(a.baseline.geometry_cycles, b.baseline.geometry_cycles, "{alias} geom");
-    assert_eq!(a.baseline.raster_cycles, b.baseline.raster_cycles, "{alias} raster");
+    assert_eq!(
+        a.baseline.geometry_cycles, b.baseline.geometry_cycles,
+        "{alias} geom"
+    );
+    assert_eq!(
+        a.baseline.raster_cycles, b.baseline.raster_cycles,
+        "{alias} raster"
+    );
     assert_eq!(a.re.tiles_skipped, b.re.tiles_skipped, "{alias} skips");
-    assert_eq!(a.re.total_cycles(), b.re.total_cycles(), "{alias} re cycles");
-    assert_eq!(a.te.total_cycles(), b.te.total_cycles(), "{alias} te cycles");
-    assert_eq!(a.memo.fragments_shaded, b.memo.fragments_shaded, "{alias} memo");
+    assert_eq!(
+        a.re.total_cycles(),
+        b.re.total_cycles(),
+        "{alias} re cycles"
+    );
+    assert_eq!(
+        a.te.total_cycles(),
+        b.te.total_cycles(),
+        "{alias} te cycles"
+    );
+    assert_eq!(
+        a.memo.fragments_shaded, b.memo.fragments_shaded,
+        "{alias} memo"
+    );
     assert_eq!(a.classes, b.classes, "{alias} classes");
     assert_eq!(a.su_stats, b.su_stats, "{alias} su stats");
-    assert_eq!(a.baseline.dram.total_bytes(), b.baseline.dram.total_bytes(), "{alias} dram");
+    assert_eq!(
+        a.baseline.dram.total_bytes(),
+        b.baseline.dram.total_bytes(),
+        "{alias} dram"
+    );
     assert!(
         (a.baseline.energy.total_pj() - b.baseline.energy.total_pj()).abs() < 1e-6,
         "{alias} energy"
@@ -55,7 +81,12 @@ fn frame_zero_is_stable_across_scene_instances() {
     for entry in workloads::suite() {
         let mut s1 = workloads::by_alias(entry.alias).expect("alias").scene;
         let mut s2 = workloads::by_alias(entry.alias).expect("alias").scene;
-        let cfg = GpuConfig { width: 128, height: 128, tile_size: 16, ..Default::default() };
+        let cfg = GpuConfig {
+            width: 128,
+            height: 128,
+            tile_size: 16,
+            ..Default::default()
+        };
         s1.init(&mut Gpu::new(cfg));
         s2.init(&mut Gpu::new(cfg));
         assert_eq!(s1.frame(0), s2.frame(0), "{}", entry.alias);

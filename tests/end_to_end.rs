@@ -8,7 +8,12 @@ use rendering_elimination::workloads;
 fn run(alias: &str, frames: usize) -> RunReport {
     let mut bench = workloads::by_alias(alias).expect("alias exists");
     let mut sim = Simulator::new(SimOptions {
-        gpu: GpuConfig { width: 320, height: 192, tile_size: 16, ..Default::default() },
+        gpu: GpuConfig {
+            width: 320,
+            height: 192,
+            tile_size: 16,
+            ..Default::default()
+        },
         ..SimOptions::default()
     });
     sim.run(bench.scene.as_mut(), frames)
@@ -18,7 +23,10 @@ fn run(alias: &str, frames: usize) -> RunReport {
 fn static_game_gets_large_speedup() {
     let r = run("cde", 24);
     let speedup = r.baseline.total_cycles() as f64 / r.re.total_cycles() as f64;
-    assert!(speedup > 3.0, "cde is the paper's best case, got {speedup:.2}x");
+    assert!(
+        speedup > 3.0,
+        "cde is the paper's best case, got {speedup:.2}x"
+    );
     assert!(r.re.energy.total_pj() < 0.5 * r.baseline.energy.total_pj());
 }
 
@@ -26,9 +34,15 @@ fn static_game_gets_large_speedup() {
 fn fps_game_pays_almost_nothing() {
     let r = run("mst", 12);
     let ratio = r.re.total_cycles() as f64 / r.baseline.total_cycles() as f64;
-    assert!(ratio < 1.01, "RE overhead must stay under 1%, got {ratio:.4}");
+    assert!(
+        ratio < 1.01,
+        "RE overhead must stay under 1%, got {ratio:.4}"
+    );
     let e_ratio = r.re.energy.total_pj() / r.baseline.energy.total_pj();
-    assert!(e_ratio < 1.01, "energy overhead must stay under 1%, got {e_ratio:.4}");
+    assert!(
+        e_ratio < 1.01,
+        "energy overhead must stay under 1%, got {e_ratio:.4}"
+    );
 }
 
 #[test]
@@ -58,7 +72,10 @@ fn te_saves_only_color_traffic() {
     let t = &r.te.dram;
     assert!(t.class_bytes(TrafficClass::Colors) < b.class_bytes(TrafficClass::Colors));
     // TE does not touch texel or primitive-read traffic.
-    assert_eq!(t.class_bytes(TrafficClass::Texels), b.class_bytes(TrafficClass::Texels));
+    assert_eq!(
+        t.class_bytes(TrafficClass::Texels),
+        b.class_bytes(TrafficClass::Texels)
+    );
     assert_eq!(
         t.class_bytes(TrafficClass::PrimitiveReads),
         b.class_bytes(TrafficClass::PrimitiveReads)
@@ -85,7 +102,10 @@ fn hop_is_where_memoization_wins() {
     );
     // ...but RE still wins broadly elsewhere.
     let r2 = run("ccs", 24);
-    assert!(r2.re.fragments_shaded < r2.memo.fragments_shaded, "ccs: RE reuses more");
+    assert!(
+        r2.re.fragments_shaded < r2.memo.fragments_shaded,
+        "ccs: RE reuses more"
+    );
 }
 
 #[test]
@@ -99,14 +119,20 @@ fn baseline_counts_are_invariant_across_techniques() {
         "every tile of every frame"
     );
     // RE partitions the same tile population.
-    assert_eq!(r.re.tiles_rendered + r.re.tiles_skipped, r.baseline.tiles_rendered);
+    assert_eq!(
+        r.re.tiles_rendered + r.re.tiles_skipped,
+        r.baseline.tiles_rendered
+    );
 }
 
 #[test]
 fn skipping_only_begins_after_warmup() {
     // With compare distance 2, the first two frames can never be skipped.
     let r = run("cde", 3);
-    assert!(r.re.tiles_skipped <= r.tile_count as u64, "at most one frame's worth");
+    assert!(
+        r.re.tiles_skipped <= r.tile_count as u64,
+        "at most one frame's worth"
+    );
 }
 
 #[test]

@@ -9,7 +9,12 @@ use rendering_elimination::gpu::{Gpu, GpuConfig};
 use rendering_elimination::workloads;
 
 fn cfg() -> GpuConfig {
-    GpuConfig { width: 256, height: 160, tile_size: 16, ..Default::default() }
+    GpuConfig {
+        width: 256,
+        height: 160,
+        tile_size: 16,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -46,8 +51,14 @@ fn localized_motion_changes_localized_signatures() {
     let mut bench = workloads::by_alias("ctr").expect("ctr exists");
     let mut gpu = Gpu::new(cfg());
     bench.scene.init(&mut gpu);
-    let a = reference_signatures(&gpu.run_geometry(&bench.scene.frame(4), &mut NullHooks), cfg().tile_count());
-    let b = reference_signatures(&gpu.run_geometry(&bench.scene.frame(5), &mut NullHooks), cfg().tile_count());
+    let a = reference_signatures(
+        &gpu.run_geometry(&bench.scene.frame(4), &mut NullHooks),
+        cfg().tile_count(),
+    );
+    let b = reference_signatures(
+        &gpu.run_geometry(&bench.scene.frame(5), &mut NullHooks),
+        cfg().tile_count(),
+    );
     let changed = a.iter().zip(&b).filter(|(x, y)| x != y).count();
     assert!(changed > 0, "the rope moved");
     assert!(
@@ -94,7 +105,11 @@ fn signature_covers_constants_not_just_attributes() {
         let mut constants = Mat4::IDENTITY.cols.to_vec();
         constants.push(Vec4::splat(extra));
         FrameDesc {
-            drawcalls: vec![DrawCall { state: PipelineState::flat_2d(), constants, vertices }],
+            drawcalls: vec![DrawCall {
+                state: PipelineState::flat_2d(),
+                constants,
+                vertices,
+            }],
             ..FrameDesc::new()
         }
     };
@@ -103,7 +118,10 @@ fn signature_covers_constants_not_just_attributes() {
     let gb = gpu.run_geometry(&mk(2.0), &mut NullHooks);
     let sa = reference_signatures(&ga, cfg().tile_count());
     let sb = reference_signatures(&gb, cfg().tile_count());
-    assert_ne!(sa, sb, "a changed uniform must change covered tiles' signatures");
+    assert_ne!(
+        sa, sb,
+        "a changed uniform must change covered tiles' signatures"
+    );
     // But only the tiles the triangle covers.
     let changed = sa.iter().zip(&sb).filter(|(a, b)| a != b).count();
     assert_eq!(changed, ga.prims[0].overlapped_tiles.len());

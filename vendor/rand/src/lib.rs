@@ -1,0 +1,239 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no network access, so the real
+//! `rand` cannot be fetched from crates.io. The workloads only need a
+//! deterministic seedable generator with `gen`/`gen_range`/`gen_bool`; this
+//! crate provides exactly that subset, backed by splitmix64 seeding and a
+//! xoshiro256++ core — statistically solid and fully reproducible, which is
+//! the property the benchmark scenes actually rely on.
+//!
+//! Determinism contract: for a given seed, the value sequence is frozen.
+//! Changing it would shift every procedurally generated scene and invalidate
+//! the golden-image fingerprints in `crates/workloads/tests/golden.rs`.
+
+#![forbid(unsafe_code)]
+
+pub mod rngs {
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            // splitmix64 stream expands the seed into the full state, as the
+            // xoshiro authors recommend.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub(crate) fn next_u64_core(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::SmallRng;
+
+/// Construction from seeds (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        SmallRng::from_u64_seed(seed)
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Random: Sized {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 24 explicit mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types `Rng::gen_range` can sample uniformly.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                let span = (high as i128 - low as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "gen_range: empty range");
+                low.wrapping_add((rng.next_u64() as i128).rem_euclid(span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, i8, i16, i32, i64, isize);
+
+// u64/usize spans can exceed i128 precision games never need; keep it simple
+// and separate so the cast math stays valid.
+macro_rules! impl_sample_wide {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                let span = (high - low) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "gen_range: empty range");
+                low + (rng.next_u64() as $t) % span
+            }
+        }
+    )*};
+}
+impl_sample_wide!(u64, usize);
+
+impl SampleUniform for f32 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        low + (high - low) * f32::random(rng)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        low + (high - low) * f64::random(rng)
+    }
+}
+
+/// Range forms `gen_range` accepts.
+pub trait SampleRange<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// The user-facing generator interface.
+pub trait Rng {
+    /// Raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T`.
+    fn gen<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// A uniform sample from `range`.
+    fn gen_range<T: SampleUniform, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::random(self) < p
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u8 = r.gen_range(0..16u8);
+            assert!(x < 16);
+            let f = r.gen_range(-1.5f32..1.5);
+            assert!((-1.5..1.5).contains(&f));
+            let i: u8 = r.gen_range(0u8..=255);
+            let _ = i;
+        }
+    }
+
+    #[test]
+    fn gen_produces_all_supported_types() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let _: (u8, u32, bool) = (r.gen(), r.gen(), r.gen());
+        let f: f32 = r.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}
