@@ -16,7 +16,7 @@ fn bench_tile_and_frame(c: &mut Criterion) {
     for alias in ["ccs", "mst"] {
         let mut bench = re_workloads::by_alias(alias).expect("alias exists");
         let mut gpu = Gpu::new(cfg);
-        bench.scene.init(&mut gpu);
+        bench.scene.init(gpu.textures_mut());
         let frame = bench.scene.frame(0);
         let geo = gpu.run_geometry(&frame, &mut NullHooks);
 
@@ -47,7 +47,7 @@ fn bench_geometry(c: &mut Criterion) {
     };
     let mut bench = re_workloads::by_alias("mst").expect("mst exists");
     let mut gpu = Gpu::new(cfg);
-    bench.scene.init(&mut gpu);
+    bench.scene.init(gpu.textures_mut());
     let frame = bench.scene.frame(0);
     c.bench_function("geometry_pipeline_mst", |b| {
         b.iter(|| gpu.run_geometry(std::hint::black_box(&frame), &mut NullHooks))

@@ -15,7 +15,7 @@ fn bench_process_frame(c: &mut Criterion) {
     };
     let mut bench = re_workloads::by_alias("ccs").expect("ccs exists");
     let mut gpu = Gpu::new(cfg);
-    bench.scene.init(&mut gpu);
+    bench.scene.init(gpu.textures_mut());
     let frame = bench.scene.frame(0);
     let geo = gpu.run_geometry(&frame, &mut NullHooks);
 

@@ -1,7 +1,10 @@
 //! Sweep fan-out throughput: cells/second on a small fixed grid at 1, 2 and
-//! all hardware workers. The interesting number is the scaling ratio — the
-//! work-stealing pool should approach linear until captures/memory bandwidth
-//! saturate.
+//! all hardware workers, plus the render-once grouping comparison. The
+//! interesting numbers are the worker-scaling ratio (the work-stealing pool
+//! should approach linear until captures/memory bandwidth saturate) and the
+//! grouped-vs-per-cell ratio on an evaluation-axis-heavy grid (grouping
+//! turns O(cells) rasterizations into O(render-keys), so cells/s should
+//! rise with the cells-per-key factor).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use re_sweep::{pool, ExperimentGrid, SweepOptions};
@@ -18,14 +21,29 @@ fn small_grid() -> ExperimentGrid {
     }
 }
 
+/// Evaluation-heavy grid: 2 render keys fan out into 16 cells (8 cells per
+/// rasterized key) — the shape render grouping exists for.
+fn eval_heavy_grid() -> ExperimentGrid {
+    ExperimentGrid {
+        scenes: vec!["ccs".into(), "tib".into()],
+        frames: 3,
+        width: 128,
+        height: 64,
+        tile_sizes: vec![16],
+        sig_bits: vec![8, 16, 24, 32],
+        compare_distances: vec![1, 2],
+        ..ExperimentGrid::default()
+    }
+}
+
 fn bench_fanout(c: &mut Criterion) {
     let grid = small_grid();
     let cells = grid.cell_count() as u64;
     // Capture once up front so the benchmark times pure fan-out + simulate.
     let opts = SweepOptions {
         workers: 1,
-        trace_dir: None,
         quiet: true,
+        ..SweepOptions::default()
     };
     let traces = re_sweep::capture_traces(&grid, &opts).expect("capture");
 
@@ -45,5 +63,35 @@ fn bench_fanout(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fanout);
+fn bench_render_grouping(c: &mut Criterion) {
+    let grid = eval_heavy_grid();
+    let cells = grid.cell_count() as u64;
+    // Cache captures on disk so every timed run_grid loads the same traces
+    // instead of re-capturing; the timed difference is then rasterize-once
+    // vs rasterize-per-cell.
+    let trace_dir = std::env::temp_dir().join(format!("re_bench_traces_{}", std::process::id()));
+    let base = SweepOptions {
+        workers: 2,
+        quiet: true,
+        trace_dir: Some(trace_dir),
+        ..SweepOptions::default()
+    };
+    let _ = re_sweep::capture_traces(&grid, &base).expect("capture");
+
+    let mut g = c.benchmark_group("sweep_render_grouping");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells));
+    for (label, group_renders) in [("per-cell-render", false), ("render-once", true)] {
+        let opts = SweepOptions {
+            group_renders,
+            ..base.clone()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
+            b.iter(|| re_sweep::run_grid(&grid, opts).expect("sweep"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fanout, bench_render_grouping);
 criterion_main!(benches);

@@ -54,7 +54,7 @@ fn hdr(title: &str) {
 fn capture_tile_streams(alias: &str, frames: usize, cfg: GpuConfig) -> Vec<Vec<Vec<u8>>> {
     let mut bench = re_workloads::by_alias(alias).expect("known alias");
     let mut gpu = Gpu::new(cfg);
-    bench.scene.init(&mut gpu);
+    bench.scene.init(gpu.textures_mut());
     let mut streams = Vec::new();
     for f in 0..frames {
         let frame = bench.scene.frame(f);
@@ -147,7 +147,7 @@ pub fn ot_depth(frames: usize, cfg: GpuConfig) {
     hdr("Ablation: OT queue depth vs geometry stalls (ccs)");
     let mut bench = re_workloads::by_alias("ccs").expect("ccs exists");
     let mut gpu = Gpu::new(cfg);
-    bench.scene.init(&mut gpu);
+    bench.scene.init(gpu.textures_mut());
     let geos: Vec<_> = (0..frames)
         .map(|f| {
             let frame = bench.scene.frame(f);

@@ -16,7 +16,7 @@ fn main() {
     for entry in re_workloads::suite() {
         let mut bench = entry;
         let mut gpu = re_gpu::Gpu::new(cfg);
-        bench.scene.init(&mut gpu);
+        bench.scene.init(gpu.textures_mut());
         let frame = bench.scene.frame(0);
         let geo = gpu.run_geometry(&frame, &mut re_gpu::hooks::NullHooks);
         for t in 0..gpu.tile_count() {

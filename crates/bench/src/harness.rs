@@ -96,8 +96,7 @@ impl HarnessOptions {
     fn sweep_options(&self) -> SweepOptions {
         SweepOptions {
             workers: self.workers,
-            trace_dir: None,
-            quiet: false,
+            ..SweepOptions::default()
         }
     }
 }

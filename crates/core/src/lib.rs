@@ -15,8 +15,34 @@
 //! (rasterization, Early-Z, fragment shading, texturing, blending, flush)
 //! can be skipped when nothing changed.
 //!
+//! # Architecture: render once, evaluate many
+//!
+//! The simulator is split into two stages around one observation: none of
+//! the techniques changes rendered pixels, so the functional render is an
+//! immutable artifact every evaluation can share.
+//!
+//! ```text
+//!  Stage A — render + record                Stage B — evaluate
+//!  ┌─────────────────────────┐   RenderLog  ┌─────────────────────────┐
+//!  │ render::Renderer        │  ──────────▸ │ passes::Evaluation      │
+//!  │  functional GPU, once   │  (Send+Sync, │  ordered TechniquePass  │
+//!  │  per (screen, tile,     │   replayable │  stack: Baseline → RE → │
+//!  │  binning) render key    │   N times)   │  Redundancy → TE → Memo │
+//!  └─────────────────────────┘              └─────────────────────────┘
+//! ```
+//!
+//! [`Simulator::run`] composes A then B frame by frame;
+//! [`render::render_scene`] + [`passes::evaluate`] run them decoupled so a
+//! sweep renders each render key exactly once and fans out evaluation-only
+//! jobs (signature width, compare distance, refresh, queue depths, cache
+//! geometry) over the shared log.
+//!
 //! # Modules
 //!
+//! * [`render`] — Stage A: the [`render::Renderer`] and the recorded
+//!   [`render::RenderLog`] artifact.
+//! * [`passes`] — Stage B: the [`passes::TechniquePass`] trait, the
+//!   built-in passes and the [`passes::Evaluation`] driver.
 //! * [`signature`] — the Signature Unit (Compute/Accumulate CRC units,
 //!   OT queue, constants bitmap) and the Signature Buffer.
 //! * [`redundancy`] — ground-truth tile classification (Figs. 2, 15a).
@@ -54,14 +80,18 @@
 #![warn(missing_docs)]
 
 pub mod memo;
+pub mod passes;
 pub mod record;
 pub mod redundancy;
+pub mod render;
 pub mod signature;
 pub mod sim;
 pub mod te;
 
 pub use memo::{FragmentMemo, MemoStats};
+pub use passes::{evaluate, Evaluation, TechniquePass};
 pub use redundancy::TileClassCounts;
+pub use render::{render_scene, RenderLog, Renderer};
 pub use signature::{SignatureBuffer, SignatureUnit, SignatureUnitStats};
 pub use sim::{RunReport, Scene, SimOptions, Simulator, TechniqueReport};
 pub use te::TransactionElimination;

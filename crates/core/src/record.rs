@@ -58,6 +58,31 @@ pub enum Event {
     },
 }
 
+/// Replays a recorded event stream into `sink` — the shared primitive
+/// behind [`Recorder::replay`] and the render-log evaluate stage.
+/// `include_flush` gates the [`Event::ColorFlush`] events (Transaction
+/// Elimination).
+pub fn replay_events(events: &[Event], sink: &mut dyn GpuHooks, include_flush: bool) {
+    for e in events {
+        match *e {
+            Event::VertexFetch { addr, bytes } => sink.vertex_fetch(addr, bytes),
+            Event::ParamWrite { addr, bytes } => sink.param_write(addr, bytes),
+            Event::ParamRead { addr, bytes } => sink.param_read(addr, bytes),
+            Event::Texel { unit, addr } => sink.texel_fetch(unit, addr, 4),
+            Event::ColorFlush { addr, bytes } => {
+                if include_flush {
+                    sink.color_flush(addr, bytes);
+                }
+            }
+            Event::FragShaded {
+                tile,
+                drawcall,
+                hash,
+            } => sink.fragment_shaded(tile, drawcall, hash),
+        }
+    }
+}
+
 /// A [`GpuHooks`] sink that records every access.
 #[derive(Debug, Default)]
 pub struct Recorder {
@@ -79,24 +104,7 @@ impl Recorder {
     /// Replays every event into `sink`. `include_flush` gates the
     /// [`Event::ColorFlush`] events (Transaction Elimination).
     pub fn replay(&self, sink: &mut dyn GpuHooks, include_flush: bool) {
-        for e in &self.events {
-            match *e {
-                Event::VertexFetch { addr, bytes } => sink.vertex_fetch(addr, bytes),
-                Event::ParamWrite { addr, bytes } => sink.param_write(addr, bytes),
-                Event::ParamRead { addr, bytes } => sink.param_read(addr, bytes),
-                Event::Texel { unit, addr } => sink.texel_fetch(unit, addr, 4),
-                Event::ColorFlush { addr, bytes } => {
-                    if include_flush {
-                        sink.color_flush(addr, bytes);
-                    }
-                }
-                Event::FragShaded {
-                    tile,
-                    drawcall,
-                    hash,
-                } => sink.fragment_shaded(tile, drawcall, hash),
-            }
-        }
+        replay_events(&self.events, sink, include_flush);
     }
 
     /// Iterates the fragment-input hashes recorded (for memoization).

@@ -1,0 +1,382 @@
+//! Stage A of the simulator: render once, record everything.
+//!
+//! The paper's techniques (RE, TE, fragment memoization) never change the
+//! rendered pixels — they only decide, from signatures, whether work can be
+//! skipped. Stage A exploits that: the functional GPU renders a scene
+//! exactly once per (screen, tile size, binning) point and records, into a
+//! self-contained `Send + Sync` [`RenderLog`], every artifact the evaluate
+//! stage ([`crate::passes`]) needs:
+//!
+//! * the per-frame [`re_gpu::GeometryOutput`] — the Signature Unit's input
+//!   stream (constants blocks, attribute blocks, overlapped-tile lists) and
+//!   the geometry activity counters;
+//! * the geometry-pipeline and per-tile raster memory-access streams
+//!   (recorded [`Event`]s), replayable into any technique's cache hierarchy;
+//! * per-tile raster activity counters ([`re_gpu::stats::TileStats`]);
+//! * per-tile color identity: an interned id that is equal iff the tile's
+//!   exact pixel contents are equal (ground-truth redundancy verdicts at
+//!   any compare distance), plus the CRC32 Transaction Elimination hashes;
+//! * the per-frame `re_unsafe` flags.
+//!
+//! Because a [`RenderLog`] is plain data, one log can be shared (`Arc`)
+//! across threads and replayed through any number of evaluation
+//! configurations — sweeping signature width, compare distance, refresh
+//! period, OT-queue depth or cache geometry costs zero extra
+//! rasterization. That turns a sweep's dominant cost from O(cells)
+//! rasterizations into O(render-keys).
+
+use std::collections::HashMap;
+
+use re_gpu::api::FrameDesc;
+use re_gpu::stats::TileStats;
+use re_gpu::{GeometryOutput, Gpu, GpuConfig};
+
+use crate::record::{Event, Recorder};
+use crate::sim::Scene;
+use crate::te::TransactionElimination;
+
+/// Everything Stage A records about one tile of one frame.
+#[derive(Debug, Clone)]
+pub struct TileLog {
+    /// The tile's raster-pipeline memory accesses, in pipeline order.
+    pub events: Vec<Event>,
+    /// The tile's raster activity counters.
+    pub stats: TileStats,
+    /// Interned color id: two tiles (any frames, any tile index) have equal
+    /// ids iff their exact pixel contents are equal.
+    pub color_id: u32,
+    /// CRC32 of the tile's packed RGBA colors (Transaction Elimination).
+    pub te_sig: u32,
+    /// Bytes of color data the tile holds (`pixels × 4`).
+    pub color_bytes: u64,
+}
+
+impl TileLog {
+    /// The fragment-input hashes recorded while shading this tile, in
+    /// shading order (fragment-memoization probes).
+    pub fn frag_hashes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::FragShaded { hash, .. } => Some(*hash),
+            _ => None,
+        })
+    }
+}
+
+/// Everything Stage A records about one frame.
+#[derive(Debug)]
+pub struct FrameLog {
+    /// Whether the frame carried a global-state change that makes skipping
+    /// unsafe (paper §III-E).
+    pub re_unsafe: bool,
+    /// The Geometry Pipeline + Tiling Engine output — the Signature Unit's
+    /// input stream plus the geometry activity counters.
+    pub geo: GeometryOutput,
+    /// The geometry pipeline's memory accesses (vertex fetches, Parameter
+    /// Buffer writes), shared by every technique machine.
+    pub geo_events: Vec<Event>,
+    /// Per-tile records, indexed by tile id.
+    pub tiles: Vec<TileLog>,
+}
+
+/// A complete recorded render: the Stage A artifact.
+///
+/// Self-contained and `Send + Sync`; build once, evaluate many times (see
+/// [`crate::passes::evaluate`]).
+#[derive(Debug)]
+pub struct RenderLog {
+    /// Workload name (reports).
+    pub name: String,
+    /// The screen/tile geometry the log was rendered under. Only these
+    /// fields affect a log's contents — everything else in
+    /// [`crate::SimOptions`] is evaluation-side.
+    pub config: GpuConfig,
+    /// One record per rendered frame.
+    pub frames: Vec<FrameLog>,
+}
+
+impl RenderLog {
+    /// Tiles per frame.
+    pub fn tile_count(&self) -> u32 {
+        self.config.tile_count()
+    }
+
+    /// Frames recorded.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// Stage A driver: a functional GPU plus the recording plumbing.
+///
+/// Owns the color-id interner, so ids are comparable across every frame it
+/// renders (and only within one `Renderer`'s output).
+#[derive(Debug)]
+pub struct Renderer {
+    gpu: Gpu,
+    recorder: Recorder,
+    /// Packed tile colors → (interned id, frame last seen).
+    interner: HashMap<Vec<u32>, (u32, u64)>,
+    /// Ids handed out so far (never reused, even across eviction).
+    next_id: u32,
+    /// Frames rendered so far.
+    frame_index: u64,
+    /// Retention window in frames (`None` = retain every distinct tile
+    /// content forever). Id equality is exact for comparisons reaching at
+    /// most this many frames back — see [`Renderer::with_id_window`].
+    id_window: Option<u64>,
+}
+
+impl Renderer {
+    /// Creates a renderer for `config`'s screen geometry that keeps every
+    /// distinct tile content interned, so ids are comparable across
+    /// arbitrary frame distances (what [`render_scene`] needs: a
+    /// [`RenderLog`] can be evaluated at any compare distance later).
+    pub fn new(config: GpuConfig) -> Self {
+        Renderer::with_id_window(config, None)
+    }
+
+    /// Creates a renderer that evicts tile contents unseen for more than
+    /// `window` frames, bounding interner memory for long streamed runs.
+    ///
+    /// Eviction preserves exactness for comparisons at distances
+    /// `<= window`: if a tile's content at frame `f` equals its content at
+    /// frame `f - d` (`d <= window`), that content was seen `d` frames ago
+    /// and therefore not evicted, so both frames carry the same id; if the
+    /// contents differ, ids differ by construction (ids are never reused).
+    /// Comparisons beyond the window may see re-interned (fresh) ids for
+    /// recurring content and report spurious inequality — callers must
+    /// size the window to their maximum compare distance, as
+    /// [`crate::Simulator::run`] does.
+    pub fn with_id_window(config: GpuConfig, window: Option<u64>) -> Self {
+        Renderer {
+            gpu: Gpu::new(config),
+            recorder: Recorder::new(),
+            interner: HashMap::new(),
+            next_id: 0,
+            frame_index: 0,
+            id_window: window,
+        }
+    }
+
+    /// Mutable access to the GPU (texture uploads during scene init).
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// The GPU configuration.
+    pub fn config(&self) -> GpuConfig {
+        self.gpu.config()
+    }
+
+    /// Runs `scene`'s one-time setup (texture uploads).
+    pub fn init_scene(&mut self, scene: &mut dyn Scene) {
+        scene.init(self.gpu.textures_mut());
+    }
+
+    /// Renders one frame, records everything, and swaps buffers.
+    pub fn render_frame(&mut self, desc: &FrameDesc) -> FrameLog {
+        let config = self.gpu.config();
+        let tile_count = config.tile_count();
+
+        self.recorder.clear();
+        let geo = self.gpu.run_geometry(desc, &mut self.recorder);
+        let geo_events = std::mem::take(&mut self.recorder.events);
+
+        let mut tiles = Vec::with_capacity(tile_count as usize);
+        for t in 0..tile_count {
+            self.recorder.clear();
+            let stats = self.gpu.rasterize_tile(desc, &geo, t, &mut self.recorder);
+            let events = std::mem::take(&mut self.recorder.events);
+
+            let colors = self.gpu.framebuffer().back().read_rect(config.tile_rect(t));
+            let te_sig = TransactionElimination::color_signature(&colors);
+            let packed: Vec<u32> = colors.iter().map(|c| c.to_u32()).collect();
+            let frame_index = self.frame_index;
+            let entry = self
+                .interner
+                .entry(packed)
+                .and_modify(|(_, seen)| *seen = frame_index)
+                .or_insert((self.next_id, frame_index));
+            let color_id = entry.0;
+            if color_id == self.next_id {
+                self.next_id += 1;
+            }
+
+            tiles.push(TileLog {
+                events,
+                stats,
+                color_id,
+                te_sig,
+                color_bytes: colors.len() as u64 * 4,
+            });
+        }
+        self.gpu.end_frame();
+        if let Some(window) = self.id_window {
+            let horizon = self.frame_index.saturating_sub(window);
+            self.interner.retain(|_, &mut (_, seen)| seen >= horizon);
+        }
+        self.frame_index += 1;
+
+        FrameLog {
+            re_unsafe: desc.re_unsafe,
+            geo,
+            geo_events,
+            tiles,
+        }
+    }
+}
+
+/// Renders `frames` frames of `scene` under `config` into a [`RenderLog`].
+///
+/// This is the whole of Stage A: the only place pixels are produced. The
+/// returned log replays through [`crate::passes::evaluate`] under any
+/// evaluation-side options.
+pub fn render_scene(scene: &mut dyn Scene, config: GpuConfig, frames: usize) -> RenderLog {
+    let mut renderer = Renderer::new(config);
+    renderer.init_scene(scene);
+    let frames = (0..frames)
+        .map(|f| {
+            let desc = scene.frame(f);
+            renderer.render_frame(&desc)
+        })
+        .collect();
+    RenderLog {
+        name: scene.name().to_owned(),
+        config,
+        frames,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_gpu::api::{DrawCall, PipelineState, Vertex};
+    use re_math::{Mat4, Vec4};
+
+    fn cfg() -> GpuConfig {
+        GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        }
+    }
+
+    struct Tri {
+        period: usize,
+    }
+
+    impl Scene for Tri {
+        fn frame(&mut self, index: usize) -> FrameDesc {
+            let step = (index / self.period) as f32 * 0.05;
+            let verts = [(-0.5 + step, -0.5), (0.5 + step, -0.5), (step, 0.5)]
+                .iter()
+                .map(|&(x, y)| {
+                    Vertex::new(vec![
+                        Vec4::new(x, y, 0.0, 1.0),
+                        Vec4::new(0.9, 0.2, 0.1, 1.0),
+                    ])
+                })
+                .collect();
+            let mut frame = FrameDesc::new();
+            frame.drawcalls.push(DrawCall {
+                state: PipelineState::flat_2d(),
+                constants: Mat4::IDENTITY.cols.to_vec(),
+                vertices: verts,
+            });
+            frame
+        }
+        fn name(&self) -> &str {
+            "tri"
+        }
+    }
+
+    #[test]
+    fn log_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RenderLog>();
+    }
+
+    #[test]
+    fn static_scene_interns_one_id_per_tile_content() {
+        let log = render_scene(&mut Tri { period: 1_000_000 }, cfg(), 4);
+        assert_eq!(log.frame_count(), 4);
+        assert_eq!(log.tile_count(), 16);
+        // A static scene re-renders identical tiles: every frame's tile t
+        // has the same color id as frame 0's tile t.
+        for f in &log.frames[1..] {
+            for (a, b) in f.tiles.iter().zip(&log.frames[0].tiles) {
+                assert_eq!(a.color_id, b.color_id);
+                assert_eq!(a.te_sig, b.te_sig);
+            }
+        }
+    }
+
+    #[test]
+    fn moving_scene_changes_some_color_ids() {
+        let log = render_scene(&mut Tri { period: 1 }, cfg(), 3);
+        let changed = log.frames[1]
+            .tiles
+            .iter()
+            .zip(&log.frames[2].tiles)
+            .filter(|(a, b)| a.color_id != b.color_id)
+            .count();
+        assert!(changed > 0, "motion must change some tile contents");
+    }
+
+    #[test]
+    fn id_window_bounds_interner_growth() {
+        // A scene whose tiles change every frame: with full retention the
+        // interner grows with every frame; with a window it stays bounded
+        // to (window + 1) frames of distinct contents.
+        let mut unbounded = Renderer::new(cfg());
+        let mut windowed = Renderer::with_id_window(cfg(), Some(2));
+        let mut scene_a = Tri { period: 1 };
+        let mut scene_b = Tri { period: 1 };
+        unbounded.init_scene(&mut scene_a);
+        windowed.init_scene(&mut scene_b);
+        let mut peak_windowed = 0usize;
+        for f in 0..12 {
+            let desc = scene_a.frame(f);
+            let _ = unbounded.render_frame(&desc);
+            let _ = windowed.render_frame(&desc);
+            peak_windowed = peak_windowed.max(windowed.interner.len());
+        }
+        assert!(
+            unbounded.interner.len() > windowed.interner.len(),
+            "window must evict stale contents ({} vs {})",
+            unbounded.interner.len(),
+            windowed.interner.len()
+        );
+        // 3 frames of ≤16 distinct tiles each can be live at once.
+        assert!(peak_windowed <= 3 * 16, "peak {peak_windowed}");
+    }
+
+    #[test]
+    fn windowed_ids_stay_exact_within_the_window() {
+        // Static scene: every frame's tile ids equal frame 0's even under
+        // the tightest window (content re-seen every frame, never evicted).
+        let mut r = Renderer::with_id_window(cfg(), Some(1));
+        let mut scene = Tri { period: 1_000_000 };
+        r.init_scene(&mut scene);
+        let first = r.render_frame(&scene.frame(0));
+        for f in 1..6 {
+            let frame = r.render_frame(&scene.frame(f));
+            for (a, b) in frame.tiles.iter().zip(&first.tiles) {
+                assert_eq!(a.color_id, b.color_id);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_logs_carry_streams_and_stats() {
+        let log = render_scene(&mut Tri { period: 1 }, cfg(), 2);
+        let frame = &log.frames[0];
+        assert!(!frame.geo_events.is_empty(), "vertex fetches recorded");
+        assert_eq!(frame.tiles.len(), 16);
+        let shaded: u64 = frame.tiles.iter().map(|t| t.stats.fragments_shaded).sum();
+        let hashes: usize = frame.tiles.iter().map(|t| t.frag_hashes().count()).sum();
+        assert_eq!(shaded as usize, hashes, "one hash per shaded fragment");
+        assert!(frame.tiles.iter().all(|t| t.color_bytes == 16 * 16 * 4));
+    }
+}

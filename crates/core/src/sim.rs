@@ -1,49 +1,53 @@
-//! The unified technique simulator.
+//! The unified technique simulator — a thin orchestrator over the
+//! render/evaluate split.
 //!
-//! [`Simulator::run`] renders a workload frame by frame on the functional
-//! GPU **once**, and evaluates the Baseline, Rendering Elimination and
-//! Transaction Elimination machines simultaneously, each with its own cache
-//! hierarchy, DRAM and energy model (fed by record/replay of the access
-//! stream), plus the PFR fragment-memoization fragment counts. This is
-//! sound because none of the techniques changes the rendered colors (RE/TE
-//! reuse bit-identical tiles; collisions are *counted*, not silently
-//! absorbed), so one ground-truth render serves all machines.
+//! [`Simulator::run`] composes the two stages frame by frame:
 //!
-//! Per tile, the driver:
+//! * **Stage A (render + record)** — [`crate::render::Renderer`] runs the
+//!   functional GPU once and records everything evaluation needs into a
+//!   [`crate::render::FrameLog`]: access streams, signature-unit inputs,
+//!   tile color identities/hashes, activity counters.
+//! * **Stage B (evaluate)** — [`crate::passes::Evaluation`] replays the
+//!   log through the default [`crate::passes::TechniquePass`] stack
+//!   (Baseline, RE, redundancy classification, TE, fragment memoization),
+//!   each pass owning its own cache hierarchy, DRAM and energy model.
 //!
-//! 1. rasterizes the tile, recording its access stream;
-//! 2. replays the stream into the baseline memory system and charges
-//!    baseline cycles/energy;
-//! 3. asks the Signature Buffer whether RE skips the tile — a skipped tile
-//!    costs RE only the signature compare; a rendered one replays the
-//!    stream into RE's memory system;
-//! 4. hashes the tile's colors for TE and replays with the flush filtered
-//!    out when TE eliminates it;
-//! 5. classifies the tile for the redundancy figures and cross-checks every
-//!    RE skip against ground truth (false-positive accounting).
+//! This is sound because none of the techniques changes the rendered
+//! colors (RE/TE reuse bit-identical tiles; collisions are *counted*, not
+//! silently absorbed), so one ground-truth render serves all machines —
+//! and, via [`crate::render::render_scene`] + [`crate::passes::evaluate`],
+//! any number of evaluation-side configurations (the sweep engine's
+//! render-once grouping).
 
 use re_gpu::api::FrameDesc;
-use re_gpu::stats::TileStats;
+use re_gpu::texture::TextureStore;
 use re_gpu::{Gpu, GpuConfig};
-use re_timing::energy::{EnergyBreakdown, EnergyModel};
-use re_timing::{MemorySystem, TimingConfig};
+use re_timing::energy::EnergyBreakdown;
+use re_timing::TimingConfig;
 
-use crate::memo::{FragmentMemo, MemoStats};
-use crate::record::Recorder;
-use crate::redundancy::{classify, ColorHistory, TileClassCounts};
-use crate::signature::{SignatureBuffer, SignatureUnit, SignatureUnitStats};
-use crate::te::{TeStats, TransactionElimination};
+use crate::memo::MemoStats;
+use crate::passes::Evaluation;
+use crate::redundancy::TileClassCounts;
+use crate::render::Renderer;
+use crate::signature::SignatureUnitStats;
+use crate::te::TeStats;
 
-/// Cycles charged per tile for reading and comparing a Signature Buffer
-/// entry at tile-scheduling time (paper: "a few cycles").
+/// Default cycles charged per tile for reading and comparing a Signature
+/// Buffer entry at tile-scheduling time (paper: "a few cycles"). The live
+/// knob is [`TimingConfig::sig_compare_cycles`]; this constant is its
+/// design-point default.
 pub const SIG_COMPARE_CYCLES: u64 = 4;
 
 /// A workload: uploads its textures once, then produces one
 /// [`FrameDesc`] per frame index.
+///
+/// Initialization is deliberately narrow — a scene only ever needs the
+/// texture store, which keeps the trait independent of the render stage's
+/// GPU plumbing (workloads never see a [`Gpu`]).
 pub trait Scene {
     /// One-time setup (texture uploads).
-    fn init(&mut self, gpu: &mut Gpu) {
-        let _ = gpu;
+    fn init(&mut self, textures: &mut TextureStore) {
+        let _ = textures;
     }
     /// Command stream of frame `index`.
     fn frame(&mut self, index: usize) -> FrameDesc;
@@ -56,9 +60,10 @@ pub trait Scene {
 /// Simulation options.
 #[derive(Debug, Clone, Copy)]
 pub struct SimOptions {
-    /// Screen/tile geometry.
+    /// Screen/tile geometry (the render-side options: these — and only
+    /// these — determine a [`crate::render::RenderLog`]'s contents).
     pub gpu: GpuConfig,
-    /// Table I machine parameters.
+    /// Table I machine parameters (evaluation-side).
     pub timing: TimingConfig,
     /// Frame distance for signature/color comparison: 2 with the
     /// double-buffered Frame Buffer (paper §IV-C), 1 for single-buffered.
@@ -88,7 +93,7 @@ impl Default for SimOptions {
 }
 
 /// Per-technique cycle/energy/traffic totals.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TechniqueReport {
     /// Geometry Pipeline cycles (including, for RE, signature stalls).
     pub geometry_cycles: u64,
@@ -114,7 +119,7 @@ impl TechniqueReport {
 }
 
 /// Everything measured over one workload run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Workload name.
     pub name: String,
@@ -176,81 +181,29 @@ impl RunReport {
     }
 }
 
-/// Per-technique mutable machine state during a run.
-struct Machine {
-    mem: MemorySystem,
-    energy: EnergyModel,
-    geometry_cycles: u64,
-    raster_cycles: u64,
-    tiles_rendered: u64,
-    tiles_skipped: u64,
-    fragments_shaded: u64,
-}
-
-impl Machine {
-    fn new(cfg: TimingConfig) -> Self {
-        Machine {
-            mem: MemorySystem::new(cfg),
-            energy: EnergyModel::new(),
-            geometry_cycles: 0,
-            raster_cycles: 0,
-            tiles_rendered: 0,
-            tiles_skipped: 0,
-            fragments_shaded: 0,
-        }
-    }
-
-    fn charge_geometry(&mut self, cfg: &TimingConfig, g: &re_gpu::GeometryStats) {
-        let epoch = self.mem.take_epoch();
-        self.geometry_cycles += re_timing::geometry_cycles(cfg, g, &epoch);
-        self.energy.add_geometry(g);
-    }
-
-    fn charge_tile(&mut self, cfg: &TimingConfig, t: &TileStats) {
-        let epoch = self.mem.take_epoch();
-        self.raster_cycles += re_timing::raster_tile_cycles(cfg, t, &epoch);
-        self.energy.add_raster(t, cfg);
-        self.tiles_rendered += 1;
-        self.fragments_shaded += t.fragments_shaded;
-    }
-
-    fn finish(mut self) -> TechniqueReport {
-        for (size, n) in self.mem.sram_accesses() {
-            self.energy.add_sram(size, n);
-        }
-        self.energy.add_dram(self.mem.dram_stats());
-        self.energy
-            .add_cycles(self.geometry_cycles + self.raster_cycles);
-        TechniqueReport {
-            geometry_cycles: self.geometry_cycles,
-            raster_cycles: self.raster_cycles,
-            energy: self.energy.breakdown(),
-            dram: *self.mem.dram_stats(),
-            tiles_rendered: self.tiles_rendered,
-            tiles_skipped: self.tiles_skipped,
-            fragments_shaded: self.fragments_shaded,
-        }
-    }
-}
-
-/// The simulator: a functional GPU plus the technique machines.
+/// The simulator: Stage A renderer + Stage B evaluation, composed.
 pub struct Simulator {
     opts: SimOptions,
-    gpu: Gpu,
+    renderer: Renderer,
 }
 
 impl Simulator {
     /// Creates a simulator.
     pub fn new(opts: SimOptions) -> Self {
+        // The interleaved run only ever compares colors up to
+        // `compare_distance` frames back, so the renderer's color-id
+        // interner can evict beyond that window — keeping memory bounded
+        // to one frame's log plus the comparison window.
+        let window = opts.compare_distance.max(1) as u64;
         Simulator {
             opts,
-            gpu: Gpu::new(opts.gpu),
+            renderer: Renderer::with_id_window(opts.gpu, Some(window)),
         }
     }
 
     /// Mutable access to the GPU (texture uploads during scene init).
     pub fn gpu_mut(&mut self) -> &mut Gpu {
-        &mut self.gpu
+        self.renderer.gpu_mut()
     }
 
     /// The options in use.
@@ -260,173 +213,20 @@ impl Simulator {
 
     /// Runs `scene` for `frames` frames and reports every technique's
     /// results.
+    ///
+    /// Stage A and Stage B run interleaved frame by frame, so memory stays
+    /// bounded to one frame's log; for render-once / evaluate-many, use
+    /// [`crate::render::render_scene`] + [`crate::passes::evaluate`].
     pub fn run(&mut self, scene: &mut dyn Scene, frames: usize) -> RunReport {
-        let tcfg = self.opts.timing;
-        let tile_count = self.gpu.tile_count();
-        let distance = self.opts.compare_distance;
-
-        scene.init(&mut self.gpu);
-
-        let mut base = Machine::new(tcfg);
-        let mut rem = Machine::new(tcfg);
-        let mut tem = Machine::new(tcfg);
-
-        let mut su = SignatureUnit::new(tcfg.ot_queue_entries as usize);
-        let mut su_stats = SignatureUnitStats::default();
-        let mut sig_buffer =
-            SignatureBuffer::with_sig_bits(tile_count, distance, self.opts.sig_bits);
-        let mut te = TransactionElimination::new(tile_count, distance);
-        let mut memo = FragmentMemo::new();
-
-        let mut history = ColorHistory::new(distance.max(1));
-        let mut classes = TileClassCounts::default();
-        let mut equal_tiles_dist1 = 0u64;
-        let mut classified_dist1 = 0u64;
-        let mut false_positives = 0u64;
-        let mut re_frames_disabled = 0u64;
-        // RE stays disabled for `distance` frames after a global-state
-        // change, because comparisons reach that far back.
-        // Warmup (the first `distance` frames) is handled by the Signature
-        // Buffer's history check; this counter tracks only explicit
-        // disables (global-state changes, §III-E).
-        let mut re_disabled_for = 0usize;
-
-        let mut recorder = Recorder::new();
-        let mut per_frame: Vec<FrameSample> = Vec::with_capacity(frames);
-
+        let tile_count = self.opts.gpu.tile_count();
+        self.renderer.init_scene(scene);
+        let mut eval = Evaluation::new(self.opts, tile_count);
         for f in 0..frames {
-            let frame_skip_mark = rem.tiles_skipped;
-            let frame_base_raster_mark = base.raster_cycles;
-            let frame_re_raster_mark = rem.raster_cycles;
-            let frame = scene.frame(f);
-            if frame.re_unsafe {
-                re_disabled_for = re_disabled_for.max(distance + 1);
-            }
-            let refresh_frame = self
-                .opts
-                .refresh_period
-                .is_some_and(|p| p > 0 && f > 0 && f % p == 0);
-            let re_enabled = re_disabled_for == 0 && !refresh_frame;
-            if !re_enabled {
-                re_frames_disabled += 1;
-            }
-
-            // --- Geometry Pipeline (shared work) -------------------------
-            recorder.clear();
-            let geo = self.gpu.run_geometry(&frame, &mut recorder);
-            for m in [&mut base, &mut rem, &mut tem] {
-                recorder.replay(&mut m.mem, true);
-                m.charge_geometry(&tcfg, &geo.stats);
-            }
-
-            // --- Signature Unit (overlapped with geometry; only stalls
-            //     count as extra time) ---------------------------------
-            let sigs = su.process_frame(&geo, tile_count);
-            rem.geometry_cycles += sigs.stats.stall_cycles;
-            su_stats.merge(&sigs.stats);
-
-            // --- Raster Pipeline, tile by tile ----------------------------
-            let mut frame_hashes: Vec<Vec<u32>> = vec![Vec::new(); tile_count as usize];
-            for t in 0..tile_count {
-                recorder.clear();
-                let tstats = self.gpu.rasterize_tile(&frame, &geo, t, &mut recorder);
-                frame_hashes[t as usize] = recorder.frag_hashes().collect();
-
-                // Baseline: renders everything.
-                recorder.replay(&mut base.mem, true);
-                base.charge_tile(&tcfg, &tstats);
-
-                // Ground-truth equality verdicts.
-                let rect = self.opts.gpu.tile_rect(t);
-                let colors_eq_cmp =
-                    history.tile_equals(&self.opts.gpu, self.gpu.framebuffer().back(), t, distance);
-                let colors_eq_d1 =
-                    history.tile_equals(&self.opts.gpu, self.gpu.framebuffer().back(), t, 1);
-                if let Some(eq) = colors_eq_d1 {
-                    classified_dist1 += 1;
-                    if eq {
-                        equal_tiles_dist1 += 1;
-                    }
-                }
-
-                // Rendering Elimination.
-                let inputs_eq = sig_buffer.matches(&sigs.sigs, t);
-                rem.raster_cycles += SIG_COMPARE_CYCLES;
-                if re_enabled && inputs_eq {
-                    rem.tiles_skipped += 1;
-                    if colors_eq_cmp == Some(false) {
-                        false_positives += 1;
-                    }
-                } else {
-                    recorder.replay(&mut rem.mem, true);
-                    rem.charge_tile(&tcfg, &tstats);
-                }
-
-                // Tile classification (Fig. 15a) at the compare distance.
-                if let Some(ceq) = colors_eq_cmp {
-                    classify(&mut classes, ceq, inputs_eq);
-                }
-
-                // Transaction Elimination: hashes the rendered colors and
-                // may drop the flush.
-                let tile_colors = self.gpu.framebuffer().back().read_rect(rect);
-                let te_skip_flush = te.tile_rendered(t, &tile_colors);
-                recorder.replay(&mut tem.mem, !te_skip_flush);
-                let mut te_tstats = tstats;
-                if te_skip_flush {
-                    te_tstats.color_bytes_flushed = 0;
-                }
-                tem.charge_tile(&tcfg, &te_tstats);
-            }
-
-            // --- Frame end ------------------------------------------------
-            per_frame.push(FrameSample {
-                tiles_skipped: (rem.tiles_skipped - frame_skip_mark) as u32,
-                baseline_raster_cycles: base.raster_cycles - frame_base_raster_mark,
-                re_raster_cycles: rem.raster_cycles - frame_re_raster_mark,
-            });
-            history.push(self.gpu.framebuffer().back());
-            sig_buffer.push(sigs.sigs);
-            te.end_frame();
-            memo.push_frame(frame_hashes);
-            self.gpu.end_frame();
-            re_disabled_for = re_disabled_for.saturating_sub(1);
+            let desc = scene.frame(f);
+            let frame_log = self.renderer.render_frame(&desc);
+            eval.push_frame(&frame_log);
         }
-        memo.finish();
-
-        // RE hardware energy: Signature Buffer, CRC LUTs, bitmap, OT queue.
-        let sigbuf_bytes = sig_buffer.storage_bytes() as u32;
-        rem.energy.add_sram(
-            sigbuf_bytes,
-            su_stats.sig_buffer_accesses + sig_buffer.compare_reads,
-        );
-        rem.energy.add_sram(1024, su_stats.lut_accesses);
-        rem.energy
-            .add_sram(tile_count.div_ceil(8).max(1), su_stats.bitmap_accesses);
-        rem.energy.add_sram(64, su_stats.ot_pushes * 2); // queue push + pop
-                                                         // TE hardware energy: CRC unit + its signature buffer.
-        tem.energy
-            .add_sram(te.storage_bytes() as u32, te.stats.sig_buffer_accesses);
-        tem.energy.add_sram(1024, te.stats.lut_accesses);
-
-        let te_stats = te.stats;
-        RunReport {
-            name: scene.name().to_owned(),
-            frames,
-            tile_count,
-            baseline: base.finish(),
-            re: rem.finish(),
-            te: tem.finish(),
-            memo: memo.stats,
-            classes,
-            equal_tiles_dist1,
-            classified_dist1,
-            false_positives,
-            su_stats,
-            te_stats,
-            re_frames_disabled,
-            per_frame,
-        }
+        eval.finish(scene.name())
     }
 }
 
@@ -614,5 +414,22 @@ mod tests {
         let report = sim.run(&mut Unsafe, 6);
         assert_eq!(report.re.tiles_skipped, 0);
         assert_eq!(report.re_frames_disabled, 6);
+    }
+
+    #[test]
+    fn sig_compare_cost_is_a_timing_knob() {
+        // Doubling the signature-compare cost adds exactly one extra
+        // compare's worth of raster cycles per tile per frame to RE.
+        let mut cheap = small_opts();
+        cheap.timing.sig_compare_cycles = SIG_COMPARE_CYCLES;
+        let mut dear = small_opts();
+        dear.timing.sig_compare_cycles = 2 * SIG_COMPARE_CYCLES;
+        let a = Simulator::new(cheap).run(&mut MovingTri { period: 1_000_000 }, 6);
+        let b = Simulator::new(dear).run(&mut MovingTri { period: 1_000_000 }, 6);
+        assert_eq!(
+            b.re.raster_cycles - a.re.raster_cycles,
+            SIG_COMPARE_CYCLES * 16 * 6
+        );
+        assert_eq!(a.baseline.raster_cycles, b.baseline.raster_cycles);
     }
 }

@@ -61,18 +61,35 @@ impl TransactionElimination {
         self.distance * self.tile_count as usize * 4
     }
 
-    /// Hashes a rendered tile's colors and decides whether its flush can
-    /// be eliminated. Returns `true` when the flush is skipped.
-    pub fn tile_rendered(&mut self, tile_id: u32, colors: &[Color]) -> bool {
-        // CRC the packed RGBA bytes, 8 bytes per CRC-unit cycle.
+    /// CRC32 of a tile's packed RGBA colors — the signature
+    /// [`tile_rendered`](Self::tile_rendered) computes, exposed so the
+    /// render stage can hash once and the evaluate stage replay the verdict
+    /// via [`observe_signature`](Self::observe_signature).
+    pub fn color_signature(colors: &[Color]) -> u32 {
         let mut crc = Crc32::new();
         for c in colors {
             crc.update(&c.to_u32().to_le_bytes());
         }
-        let sig = crc.finalize();
-        let bytes = colors.len() as u64 * 4;
-        self.stats.crc_cycles += bytes.div_ceil(8);
-        self.stats.lut_accesses += bytes.div_ceil(8) * 12;
+        crc.finalize()
+    }
+
+    /// Hashes a rendered tile's colors and decides whether its flush can
+    /// be eliminated. Returns `true` when the flush is skipped.
+    pub fn tile_rendered(&mut self, tile_id: u32, colors: &[Color]) -> bool {
+        self.observe_signature(
+            tile_id,
+            Self::color_signature(colors),
+            colors.len() as u64 * 4,
+        )
+    }
+
+    /// Records a rendered tile whose colors hash to `sig` over
+    /// `color_bytes` bytes (the pre-hashed render-log path). Charges the
+    /// same CRC-unit work as hashing live — 8 bytes per CRC-unit cycle —
+    /// and returns `true` when the flush is skipped.
+    pub fn observe_signature(&mut self, tile_id: u32, sig: u32, color_bytes: u64) -> bool {
+        self.stats.crc_cycles += color_bytes.div_ceil(8);
+        self.stats.lut_accesses += color_bytes.div_ceil(8) * 12;
 
         self.current[tile_id as usize] = sig;
         self.stats.sig_buffer_accesses += 2; // read old + write new

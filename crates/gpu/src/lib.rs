@@ -58,6 +58,7 @@ pub mod tiling;
 pub use api::{DrawCall, FrameDesc, PipelineState};
 pub use framebuffer::Framebuffer;
 pub use geometry::GeometryOutput;
+pub use raster::raster_invocations;
 pub use shader::ShaderProgram;
 pub use stats::{FrameStats, GeometryStats, TileStats};
 pub use texture::{Texture, TextureStore};

@@ -68,6 +68,18 @@ impl SampleCtx for TexSampler<'_> {
     }
 }
 
+/// Process-wide count of [`rasterize_tile`] invocations.
+///
+/// The render/evaluate split's contract is that a sweep rasterizes each
+/// render-key group exactly once no matter how many evaluation-side
+/// configurations share it; this counter lets tests assert that directly.
+static RASTER_INVOCATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total [`rasterize_tile`] calls made by this process so far.
+pub fn raster_invocations() -> u64 {
+    RASTER_INVOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Whether a zero-valued edge function should count as covered — the
 /// top-left fill rule, so triangles sharing an edge shade every pixel
 /// exactly once. `(dx, dy)` is the edge direction in y-down screen space
@@ -88,6 +100,7 @@ pub fn rasterize_tile(
     framebuffer: &mut Framebuffer,
     hooks: &mut dyn GpuHooks,
 ) -> TileStats {
+    RASTER_INVOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut stats = TileStats::default();
     let rect = config.tile_rect(tile_id);
     let tw = rect.width();

@@ -5,13 +5,22 @@
 //! sweep [--out DIR] [--workers N] [--frames N] [--width W] [--height H]
 //!       [--scenes a,b,…|all] [--tile-sizes 8,16,32] [--sig-bits 16,32]
 //!       [--distances 1,2] [--refresh none,8] [--binning bbox,exact]
-//!       [--ot-depths 4,16] [--l2-kb 64,256]
-//!       [--trace-dir DIR] [--no-store] [--quiet]
+//!       [--ot-depths 4,16] [--l2-kb 64,256] [--sig-compare-cycles 2,4]
+//!       [--trace-dir DIR] [--no-store] [--no-group] [--quiet]
+//! sweep report [--store DIR]
 //! ```
+//!
+//! Cells sharing a render key — the same (scene, screen, tile size,
+//! binning) — are rasterized **once** and share the recorded render log;
+//! only the evaluation stage runs per cell (`--no-group` disables this).
 //!
 //! Re-running with the same `--out` resumes: completed cells are skipped and
 //! `results.csv` is regenerated over the full grid. The CSV is byte-identical
-//! for any `--workers` value and across kill/resume.
+//! for any `--workers` value, across kill/resume, and with or without render
+//! grouping.
+//!
+//! `sweep report` digests an existing store into per-axis marginal
+//! mean/median RE-speedup tables.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,6 +32,7 @@ sweep — parallel experiment orchestration for the RE reproduction
 
 USAGE:
     sweep [OPTIONS]
+    sweep report [--store DIR]
 
 OPTIONS:
     --out DIR           result-store directory (default: sweep-out; resumable)
@@ -39,9 +49,17 @@ OPTIONS:
     --binning LIST      binning axis: bbox,exact (default: bbox)
     --ot-depths LIST    Signature Unit OT-queue depth axis (default: 16)
     --l2-kb LIST        L2 capacity axis in KiB (default: 256)
+    --sig-compare-cycles LIST
+                        Signature Buffer compare-cost axis in cycles (default: 4)
     --trace-dir DIR     cache .retrace captures here (default: <out>/traces)
+    --no-group          render per cell instead of once per render key
     --quiet             no per-cell progress on stderr
     -h, --help          this text
+
+REPORT:
+    sweep report [--store DIR]
+                        per-axis marginal mean/median RE speedup tables from
+                        an existing store (default store: sweep-out)
 ";
 
 struct Args {
@@ -168,7 +186,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--l2-kb: values must be in 1..=4194303".into());
                 }
             }
+            "--sig-compare-cycles" => {
+                grid.sig_compare_cycles = parse_list(flag, value()?)?;
+            }
             "--trace-dir" => trace_dir = Some(PathBuf::from(value()?)),
+            "--no-group" => opts.group_renders = false,
             "--quiet" => opts.quiet = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -192,8 +214,52 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     })
 }
 
+fn run_report(argv: &[String]) -> ExitCode {
+    let mut store = PathBuf::from("sweep-out");
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--store" => match it.next() {
+                Some(dir) => store = PathBuf::from(dir),
+                None => {
+                    eprintln!("sweep report: --store needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sweep report: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match re_sweep::read_records(&store) {
+        Ok(records) if records.is_empty() => {
+            eprintln!(
+                "sweep report: store at {} holds no records",
+                store.display()
+            );
+            ExitCode::FAILURE
+        }
+        Ok(records) => {
+            print!("{}", re_sweep::render_report(&records));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("report") {
+        return run_report(&argv[1..]);
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {

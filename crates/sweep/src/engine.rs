@@ -1,33 +1,41 @@
-//! The sweep engine: capture traces, fan cells out, aggregate results.
+//! The sweep engine: capture traces, render each key once, fan cells out,
+//! aggregate results.
 //!
 //! Execution model:
 //!
 //! 1. every distinct scene of the grid is captured **once** into a trace
 //!    (from the disk cache when available) — scene generators never cross a
 //!    thread boundary;
-//! 2. the (scene × config) cells go through the work-stealing pool; each
-//!    worker replays the shared trace through its own simulator;
+//! 2. cells go through the work-stealing pool. With render grouping (the
+//!    default), cells sharing a [`RenderKey`] — the same (scene, screen,
+//!    tile size, binning) — share one lazily built `Arc<RenderLog>`: the
+//!    first worker to reach a group runs Stage A, every cell of the group
+//!    runs only Stage B, and the log is dropped when its last cell
+//!    finishes. A sweep over evaluation-only axes (signature width, compare
+//!    distance, refresh, OT depth, L2, signature-compare cost) therefore
+//!    rasterizes each key **exactly once** instead of once per cell;
 //! 3. results are re-assembled in cell-id order, so every aggregate —
 //!    returned reports, store records, the final CSV — is independent of
-//!    worker count and scheduling.
+//!    worker count, scheduling and grouping.
 
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use re_core::{RunReport, Simulator};
+use re_core::render::RenderLog;
+use re_core::{evaluate, render_scene, RunReport, Simulator};
 use re_trace::Trace;
 
-use crate::grid::{Cell, ExperimentGrid};
+use crate::grid::{Cell, ExperimentGrid, RenderKey};
 use crate::pool;
 use crate::store::{CellRecord, ResultStore};
 use crate::trace_cache::{SharedTraceScene, TraceCache};
 
 /// How a sweep executes (as opposed to *what* it runs, which is the grid).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SweepOptions {
     /// Worker threads; 0 means one per available hardware thread.
     pub workers: usize,
@@ -36,6 +44,21 @@ pub struct SweepOptions {
     pub trace_dir: Option<PathBuf>,
     /// Suppress per-cell progress lines on stderr.
     pub quiet: bool,
+    /// Render each [`RenderKey`] once and share the log across its cells
+    /// (the default). Disable to rebuild Stage A per cell — only useful for
+    /// baselining and for equivalence tests.
+    pub group_renders: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            workers: 0,
+            trace_dir: None,
+            quiet: false,
+            group_renders: true,
+        }
+    }
 }
 
 impl SweepOptions {
@@ -132,11 +155,28 @@ pub fn capture_traces(
     Ok(traces)
 }
 
-/// Runs one cell against a shared trace.
+/// Runs one cell against a shared trace through the monolithic per-cell
+/// path (Stage A + Stage B interleaved). The grouped path in
+/// [`run_grid`]/[`run_grid_with_store`] produces identical reports while
+/// rendering each key once.
 pub fn run_cell(trace: &Arc<Trace>, cell: &Cell) -> RunReport {
     let mut scene = SharedTraceScene::new(Arc::clone(trace), cell.scene.clone());
     let mut sim = Simulator::new(cell.config.sim_options());
     sim.run(&mut scene, cell.config.frames)
+}
+
+/// Runs Stage A for one render key: replays the scene's trace through the
+/// functional GPU under the key's screen/tile/binning configuration.
+pub fn render_key_log(trace: &Arc<Trace>, key: &RenderKey) -> RenderLog {
+    let mut scene = SharedTraceScene::new(Arc::clone(trace), key.scene.clone());
+    render_scene(&mut scene, key.gpu_config(), key.frames)
+}
+
+/// A render group's shared state: the lazily built log plus the number of
+/// cells still due to evaluate it (the log is dropped with the last one).
+struct GroupSlot {
+    log: Mutex<Option<Arc<RenderLog>>>,
+    remaining: AtomicUsize,
 }
 
 fn run_cells(
@@ -146,9 +186,65 @@ fn run_cells(
     on_done: impl Fn(&Cell, &RunReport) + Sync,
 ) -> Vec<CellOutcome> {
     let progress = Progress::new(cells.len(), opts.quiet);
+
+    if !opts.group_renders {
+        return pool::run_indexed(cells, opts.effective_workers(), |_i, cell| {
+            let trace = &traces[&cell.scene];
+            let report = run_cell(trace, &cell);
+            on_done(&cell, &report);
+            progress.cell_done(&cell.label());
+            CellOutcome { cell, report }
+        });
+    }
+
+    // One slot per render key. Work is seeded round-robin over the
+    // scene-major cell order, so different workers tend to hit different
+    // groups first and Stage A parallelizes across keys; within a group,
+    // the first worker renders (holding only that group's lock) and the
+    // rest evaluate the shared log.
+    let mut groups: HashMap<RenderKey, GroupSlot> = HashMap::new();
+    for cell in &cells {
+        groups
+            .entry(cell.render_key())
+            .or_insert_with(|| GroupSlot {
+                log: Mutex::new(None),
+                remaining: AtomicUsize::new(0),
+            })
+            .remaining
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    if !opts.quiet {
+        eprintln!(
+            "[sweep] render grouping: {} cells share {} render keys",
+            cells.len(),
+            groups.len()
+        );
+    }
+
     pool::run_indexed(cells, opts.effective_workers(), |_i, cell| {
-        let trace = &traces[&cell.scene];
-        let report = run_cell(trace, &cell);
+        let key = cell.render_key();
+        let slot = &groups[&key];
+        let log = {
+            let mut guard = slot.log.lock().expect("group slot poisoned");
+            match guard.as_ref() {
+                Some(log) => Arc::clone(log),
+                None => {
+                    if !opts.quiet {
+                        eprintln!("[sweep] rendering {} ts{}…", key.scene, key.tile_size);
+                    }
+                    let log = Arc::new(render_key_log(&traces[&key.scene], &key));
+                    *guard = Some(Arc::clone(&log));
+                    log
+                }
+            }
+        };
+        let report = evaluate(&log, &cell.config.sim_options());
+        drop(log);
+        // Last cell of the group: free the log's memory early instead of
+        // keeping every group alive until the sweep ends.
+        if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *slot.log.lock().expect("group slot poisoned") = None;
+        }
         on_done(&cell, &report);
         progress.cell_done(&cell.label());
         CellOutcome { cell, report }
@@ -277,8 +373,8 @@ mod tests {
     fn quiet() -> SweepOptions {
         SweepOptions {
             workers: 2,
-            trace_dir: None,
             quiet: true,
+            ..SweepOptions::default()
         }
     }
 
@@ -290,6 +386,32 @@ mod tests {
             assert_eq!(o.cell.id, i);
             assert_eq!(o.report.frames, 3);
             assert!(o.report.baseline.total_cycles() > 0);
+        }
+    }
+
+    #[test]
+    fn grouped_and_per_cell_paths_agree_exactly() {
+        // Evaluation-only axes (sig bits × distance) on top of a render
+        // axis (tile size): grouping shares logs within each key and the
+        // reports must still be bit-identical to per-cell rendering.
+        let grid = ExperimentGrid {
+            sig_bits: vec![16, 32],
+            compare_distances: vec![1, 2],
+            ..tiny_grid()
+        };
+        let grouped = run_grid(&grid, &quiet()).expect("grouped");
+        let per_cell = run_grid(
+            &grid,
+            &SweepOptions {
+                group_renders: false,
+                ..quiet()
+            },
+        )
+        .expect("per-cell");
+        assert_eq!(grouped.len(), per_cell.len());
+        for (a, b) in grouped.iter().zip(&per_cell) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.report, b.report, "cell {}", a.cell.id);
         }
     }
 

@@ -12,6 +12,38 @@ use re_core::SimOptions;
 use re_gpu::{BinningMode, GpuConfig};
 use re_timing::TimingConfig;
 
+/// The subset of a cell that determines Stage A's output: two cells with
+/// equal render keys rasterize pixel-identical frames, so the sweep engine
+/// builds one shared [`re_core::RenderLog`] per key and fans out
+/// evaluation-only jobs (see `engine`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RenderKey {
+    /// Workload alias.
+    pub scene: String,
+    /// Screen width in pixels.
+    pub width: u32,
+    /// Screen height in pixels.
+    pub height: u32,
+    /// Frames rendered.
+    pub frames: usize,
+    /// Tile edge in pixels.
+    pub tile_size: u32,
+    /// Binning-mode name (`bbox` / `exact`; the name keeps the key `Hash`).
+    pub binning: String,
+}
+
+impl RenderKey {
+    /// The GPU configuration Stage A renders this key under.
+    pub fn gpu_config(&self) -> GpuConfig {
+        GpuConfig {
+            width: self.width,
+            height: self.height,
+            tile_size: self.tile_size,
+            binning: parse_binning(&self.binning).expect("render key holds a valid binning name"),
+        }
+    }
+}
+
 /// Display name of a binning mode (used in CSV/JSON and CLI parsing).
 pub fn binning_name(mode: BinningMode) -> &'static str {
     match mode {
@@ -52,6 +84,8 @@ pub struct CellConfig {
     pub ot_depth: u32,
     /// L2 cache capacity in KiB.
     pub l2_kb: u32,
+    /// Cycles charged per Signature Buffer compare at tile-scheduling time.
+    pub sig_compare_cycles: u64,
 }
 
 impl CellConfig {
@@ -60,6 +94,7 @@ impl CellConfig {
         let mut timing = TimingConfig::mali450();
         timing.ot_queue_entries = self.ot_depth;
         timing.l2_cache.size_bytes = self.l2_kb << 10;
+        timing.sig_compare_cycles = self.sig_compare_cycles;
         SimOptions {
             gpu: GpuConfig {
                 width: self.width,
@@ -91,7 +126,7 @@ impl Cell {
     pub fn label(&self) -> String {
         let c = &self.config;
         format!(
-            "{} ts{} sb{} d{} r{} {} ot{} l2:{}K",
+            "{} ts{} sb{} d{} r{} {} ot{} l2:{}K sc{}",
             self.scene,
             c.tile_size,
             c.sig_bits,
@@ -100,7 +135,21 @@ impl Cell {
             binning_name(c.binning),
             c.ot_depth,
             c.l2_kb,
+            c.sig_compare_cycles,
         )
+    }
+
+    /// The cell's render key — what Stage A's output depends on.
+    pub fn render_key(&self) -> RenderKey {
+        let c = &self.config;
+        RenderKey {
+            scene: self.scene.clone(),
+            width: c.width,
+            height: c.height,
+            frames: c.frames,
+            tile_size: c.tile_size,
+            binning: binning_name(c.binning).to_string(),
+        }
     }
 }
 
@@ -129,6 +178,8 @@ pub struct ExperimentGrid {
     pub ot_depths: Vec<u32>,
     /// L2-capacity axis in KiB.
     pub l2_kb: Vec<u32>,
+    /// Signature-compare-cost axis in cycles.
+    pub sig_compare_cycles: Vec<u64>,
 }
 
 impl Default for ExperimentGrid {
@@ -149,6 +200,7 @@ impl Default for ExperimentGrid {
             binnings: vec![BinningMode::BoundingBox],
             ot_depths: vec![16],
             l2_kb: vec![256],
+            sig_compare_cycles: vec![4],
         }
     }
 }
@@ -164,6 +216,7 @@ impl ExperimentGrid {
             * self.binnings.len()
             * self.ot_depths.len()
             * self.l2_kb.len()
+            * self.sig_compare_cycles.len()
     }
 
     /// Enumerates every cell in deterministic order (scene-major, then each
@@ -182,6 +235,7 @@ impl ExperimentGrid {
             ("binnings", self.binnings.is_empty()),
             ("ot_depths", self.ot_depths.is_empty()),
             ("l2_kb", self.l2_kb.is_empty()),
+            ("sig_compare_cycles", self.sig_compare_cycles.is_empty()),
         ] {
             assert!(!empty, "grid axis `{name}` is empty");
         }
@@ -194,22 +248,25 @@ impl ExperimentGrid {
                             for &binning in &self.binnings {
                                 for &ot_depth in &self.ot_depths {
                                     for &l2_kb in &self.l2_kb {
-                                        cells.push(Cell {
-                                            id: cells.len(),
-                                            scene: scene.clone(),
-                                            config: CellConfig {
-                                                width: self.width,
-                                                height: self.height,
-                                                frames: self.frames,
-                                                tile_size,
-                                                sig_bits,
-                                                compare_distance,
-                                                refresh_period,
-                                                binning,
-                                                ot_depth,
-                                                l2_kb,
-                                            },
-                                        });
+                                        for &sig_compare_cycles in &self.sig_compare_cycles {
+                                            cells.push(Cell {
+                                                id: cells.len(),
+                                                scene: scene.clone(),
+                                                config: CellConfig {
+                                                    width: self.width,
+                                                    height: self.height,
+                                                    frames: self.frames,
+                                                    tile_size,
+                                                    sig_bits,
+                                                    compare_distance,
+                                                    refresh_period,
+                                                    binning,
+                                                    ot_depth,
+                                                    l2_kb,
+                                                    sig_compare_cycles,
+                                                },
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -232,7 +289,8 @@ impl ExperimentGrid {
         }
         format!(
             "scenes={}\nframes={}\nscreen={}x{}\ntile_sizes={}\nsig_bits={}\n\
-             compare_distances={}\nrefresh_periods={}\nbinnings={}\not_depths={}\nl2_kb={}\n",
+             compare_distances={}\nrefresh_periods={}\nbinnings={}\not_depths={}\nl2_kb={}\n\
+             sig_compare_cycles={}\n",
             self.scenes.join(","),
             self.frames,
             self.width,
@@ -252,6 +310,7 @@ impl ExperimentGrid {
                 .join(","),
             join(&self.ot_depths),
             join(&self.l2_kb),
+            join(&self.sig_compare_cycles),
         )
     }
 
@@ -331,6 +390,10 @@ mod tests {
                 l2_kb: vec![64],
                 ..base.clone()
             },
+            ExperimentGrid {
+                sig_compare_cycles: vec![8],
+                ..base.clone()
+            },
         ] {
             assert_ne!(variant.fingerprint(), base.fingerprint(), "{variant:?}");
         }
@@ -342,6 +405,7 @@ mod tests {
         grid.ot_depths = vec![4];
         grid.l2_kb = vec![64];
         grid.refresh_periods = vec![Some(6)];
+        grid.sig_compare_cycles = vec![7];
         let opts = grid.cells()[0].config.sim_options();
         assert_eq!(opts.gpu.tile_size, 8);
         assert_eq!(opts.sig_bits, 16);
@@ -349,6 +413,24 @@ mod tests {
         assert_eq!(opts.refresh_period, Some(6));
         assert_eq!(opts.timing.ot_queue_entries, 4);
         assert_eq!(opts.timing.l2_cache.size_bytes, 64 << 10);
+        assert_eq!(opts.timing.sig_compare_cycles, 7);
+    }
+
+    #[test]
+    fn render_key_ignores_evaluation_axes() {
+        let cells = small().cells();
+        // ccs cells at tile size 8: 2 sig_bits × 2 distances = 4 cells,
+        // one render key.
+        let keys: std::collections::HashSet<_> = cells
+            .iter()
+            .filter(|c| c.scene == "ccs" && c.config.tile_size == 8)
+            .map(|c| c.render_key())
+            .collect();
+        assert_eq!(keys.len(), 1);
+        let key = keys.into_iter().next().unwrap();
+        assert_eq!(key.gpu_config().tile_size, 8);
+        // A different tile size is a different key.
+        assert_ne!(cells[0].render_key(), cells[4].render_key());
     }
 
     #[test]

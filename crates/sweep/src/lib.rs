@@ -11,12 +11,18 @@
 //! * [`trace_cache`] — each workload is captured **once** into a
 //!   `.retrace` (optionally cached on disk) and replayed per worker, so
 //!   scene generators never need to be `Send`;
+//! * render grouping — cells sharing a [`RenderKey`] (scene, screen, tile
+//!   size, binning) share one `Arc<re_core::RenderLog>` built by the first
+//!   worker to reach the group, so a sweep over evaluation-only axes
+//!   rasterizes each key exactly once (O(render-keys), not O(cells));
 //! * [`pool`] — a std-only work-stealing thread pool that fans cells out
 //!   and reassembles results in cell-id order;
 //! * [`ResultStore`] — an on-disk store (per-cell JSON, committed
 //!   atomically) plus a regenerated `results.csv`; a killed sweep resumes
 //!   from completed cells and the final CSV is byte-identical to a fresh
-//!   single-worker run.
+//!   single-worker run, with or without render grouping;
+//! * [`report`] — per-axis marginal speedup tables computed straight from
+//!   a store's records (`sweep report`).
 //!
 //! # Quickstart
 //!
@@ -44,11 +50,13 @@ pub mod engine;
 pub mod grid;
 pub mod json;
 pub mod pool;
+pub mod report;
 pub mod store;
 pub mod trace_cache;
 
-pub use engine::{capture_traces, run_cell, run_grid, run_grid_with_store};
+pub use engine::{capture_traces, render_key_log, run_cell, run_grid, run_grid_with_store};
 pub use engine::{CellOutcome, SweepOptions, SweepSummary};
-pub use grid::{binning_name, parse_binning, Cell, CellConfig, ExperimentGrid};
-pub use store::{render_csv, CellRecord, ResultStore, CSV_HEADER};
+pub use grid::{binning_name, parse_binning, Cell, CellConfig, ExperimentGrid, RenderKey};
+pub use report::{axis_marginals, render_report, AxisMarginal};
+pub use store::{read_records, render_csv, CellRecord, ResultStore, CSV_HEADER};
 pub use trace_cache::{capture_alias, SharedTraceScene, TraceCache};

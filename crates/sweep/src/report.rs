@@ -1,0 +1,249 @@
+//! Per-axis marginal analytics over a store's records (`sweep report`).
+//!
+//! For every grid axis with more than one value, the report groups the
+//! records by that axis's value — marginalizing over every other axis and
+//! the scenes — and tabulates the mean and median RE speedup plus the mean
+//! skip rate of each group. This is the first slice of the ROADMAP's
+//! "richer sweep analytics" item: enough to read off, straight from a
+//! `results.csv`-equivalent record set, which design-space direction moves
+//! the metric.
+
+use crate::store::CellRecord;
+
+/// One axis value's aggregated row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginalRow {
+    /// The axis value, rendered (`16`, `none`, `bbox`, …).
+    pub value: String,
+    /// Records with this value.
+    pub cells: usize,
+    /// Arithmetic-mean RE speedup over those records.
+    pub mean_speedup: f64,
+    /// Median RE speedup.
+    pub median_speedup: f64,
+    /// Mean percentage of tiles RE skipped.
+    pub mean_skip_pct: f64,
+}
+
+/// One axis's marginal table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisMarginal {
+    /// Axis name (CSV column name).
+    pub axis: &'static str,
+    /// One row per axis value, in first-occurrence (grid enumeration)
+    /// order.
+    pub rows: Vec<MarginalRow>,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn marginal_for(
+    axis: &'static str,
+    records: &[CellRecord],
+    value_of: impl Fn(&CellRecord) -> String,
+) -> AxisMarginal {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: std::collections::HashMap<String, Vec<&CellRecord>> =
+        std::collections::HashMap::new();
+    for r in records {
+        let v = value_of(r);
+        if !groups.contains_key(&v) {
+            order.push(v.clone());
+        }
+        groups.entry(v).or_default().push(r);
+    }
+    let rows = order
+        .into_iter()
+        .map(|value| {
+            let rs = &groups[&value];
+            let mut speedups: Vec<f64> = rs.iter().map(|r| r.speedup()).collect();
+            let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+            speedups.sort_by(f64::total_cmp);
+            let mean_skip_pct = rs.iter().map(|r| r.skip_pct()).sum::<f64>() / rs.len() as f64;
+            MarginalRow {
+                value,
+                cells: rs.len(),
+                mean_speedup,
+                median_speedup: median(&speedups),
+                mean_skip_pct,
+            }
+        })
+        .collect();
+    AxisMarginal { axis, rows }
+}
+
+/// Marginal tables for every axis that actually varies in `records`
+/// (single-valued axes carry no information and are omitted). The `scene`
+/// "axis" is always included when more than one scene is present.
+pub fn axis_marginals(records: &[CellRecord]) -> Vec<AxisMarginal> {
+    type AxisValue = Box<dyn Fn(&CellRecord) -> String>;
+    let all: Vec<(&'static str, AxisValue)> = vec![
+        ("scene", Box::new(|r: &CellRecord| r.scene.clone())),
+        (
+            "tile_size",
+            Box::new(|r: &CellRecord| r.tile_size.to_string()),
+        ),
+        (
+            "sig_bits",
+            Box::new(|r: &CellRecord| r.sig_bits.to_string()),
+        ),
+        (
+            "compare_distance",
+            Box::new(|r: &CellRecord| r.compare_distance.to_string()),
+        ),
+        (
+            "refresh_period",
+            Box::new(|r: &CellRecord| {
+                if r.refresh_period == 0 {
+                    "none".to_string()
+                } else {
+                    r.refresh_period.to_string()
+                }
+            }),
+        ),
+        ("binning", Box::new(|r: &CellRecord| r.binning.clone())),
+        (
+            "ot_depth",
+            Box::new(|r: &CellRecord| r.ot_depth.to_string()),
+        ),
+        ("l2_kb", Box::new(|r: &CellRecord| r.l2_kb.to_string())),
+        (
+            "sig_compare_cycles",
+            Box::new(|r: &CellRecord| r.sig_compare_cycles.to_string()),
+        ),
+    ];
+    all.into_iter()
+        .map(|(axis, value_of)| marginal_for(axis, records, value_of))
+        .filter(|m| m.rows.len() > 1)
+        .collect()
+}
+
+/// Renders the marginal tables as the aligned text document the
+/// `sweep report` subcommand prints.
+pub fn render_report(records: &[CellRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "sweep report: {} cells, {} scenes\n",
+        records.len(),
+        {
+            let mut s: Vec<&str> = records.iter().map(|r| r.scene.as_str()).collect();
+            s.sort_unstable();
+            s.dedup();
+            s.len()
+        }
+    ));
+    let marginals = axis_marginals(records);
+    if marginals.is_empty() {
+        out.push_str("(no axis varies; nothing to marginalize)\n");
+        return out;
+    }
+    for m in marginals {
+        out.push_str(&format!("\nmarginal over `{}`:\n", m.axis));
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>13} {:>15} {:>13}\n",
+            "value", "cells", "mean speedup", "median speedup", "mean skip %"
+        ));
+        for row in &m.rows {
+            out.push_str(&format!(
+                "{:<12} {:>6} {:>12.4}x {:>14.4}x {:>13.2}\n",
+                row.value, row.cells, row.mean_speedup, row.median_speedup, row.mean_skip_pct
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: usize, scene: &str, sig_bits: u32, base: u64, re: u64, skipped: u64) -> CellRecord {
+        CellRecord {
+            id,
+            scene: scene.into(),
+            tile_size: 16,
+            sig_bits,
+            compare_distance: 2,
+            refresh_period: 0,
+            binning: "bbox".into(),
+            ot_depth: 16,
+            l2_kb: 256,
+            sig_compare_cycles: 4,
+            frames: 4,
+            width: 128,
+            height: 64,
+            baseline_cycles: base,
+            re_cycles: re,
+            te_cycles: base,
+            tiles_rendered: 100 - skipped,
+            tiles_skipped: skipped,
+            false_positives: 0,
+            baseline_energy_pj: 1.0,
+            re_energy_pj: 0.5,
+            baseline_dram_bytes: 10,
+            re_dram_bytes: 5,
+        }
+    }
+
+    #[test]
+    fn single_valued_axes_are_omitted() {
+        let records = vec![
+            rec(0, "ccs", 16, 200, 100, 50),
+            rec(1, "ccs", 32, 200, 50, 80),
+        ];
+        let ms = axis_marginals(&records);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].axis, "sig_bits");
+        assert_eq!(ms[0].rows.len(), 2);
+    }
+
+    #[test]
+    fn marginal_means_and_medians() {
+        // sig_bits=16 over two scenes: speedups 2.0 and 4.0.
+        let records = vec![
+            rec(0, "ccs", 16, 200, 100, 50),
+            rec(1, "tib", 16, 400, 100, 60),
+            rec(2, "ccs", 32, 300, 100, 70),
+            rec(3, "tib", 32, 500, 100, 80),
+        ];
+        let ms = axis_marginals(&records);
+        let sig = ms.iter().find(|m| m.axis == "sig_bits").expect("sig_bits");
+        let r16 = &sig.rows[0];
+        assert_eq!(r16.value, "16");
+        assert_eq!(r16.cells, 2);
+        assert!((r16.mean_speedup - 3.0).abs() < 1e-12);
+        assert!((r16.median_speedup - 3.0).abs() < 1e-12);
+        assert!((r16.mean_skip_pct - 55.0).abs() < 1e-12);
+        // The scene axis varies too.
+        assert!(ms.iter().any(|m| m.axis == "scene"));
+    }
+
+    #[test]
+    fn report_text_includes_every_varying_axis() {
+        let records = vec![
+            rec(0, "ccs", 16, 200, 100, 50),
+            rec(1, "ccs", 32, 200, 50, 80),
+        ];
+        let text = render_report(&records);
+        assert!(text.contains("marginal over `sig_bits`"));
+        assert!(!text.contains("marginal over `tile_size`"));
+        assert!(text.contains("2 cells"));
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 10.0]), 2.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

@@ -25,8 +25,8 @@ use crate::json::Json;
 
 /// The CSV header [`ResultStore::write_csv`] emits.
 pub const CSV_HEADER: &str = "id,scene,tile_size,sig_bits,compare_distance,refresh_period,\
-binning,ot_depth,l2_kb,frames,width,height,baseline_cycles,re_cycles,te_cycles,\
-tiles_rendered,tiles_skipped,false_positives,baseline_energy_pj,re_energy_pj,\
+binning,ot_depth,l2_kb,sig_compare_cycles,frames,width,height,baseline_cycles,re_cycles,\
+te_cycles,tiles_rendered,tiles_skipped,false_positives,baseline_energy_pj,re_energy_pj,\
 baseline_dram_bytes,re_dram_bytes,re_speedup,skip_pct";
 
 /// Everything the sweep persists about one completed cell.
@@ -50,6 +50,8 @@ pub struct CellRecord {
     pub ot_depth: u32,
     /// L2 capacity in KiB.
     pub l2_kb: u32,
+    /// Signature-compare cost in cycles.
+    pub sig_compare_cycles: u64,
     /// Frames simulated.
     pub frames: usize,
     /// Screen width.
@@ -92,6 +94,7 @@ impl CellRecord {
             binning: crate::grid::binning_name(c.binning).to_string(),
             ot_depth: c.ot_depth,
             l2_kb: c.l2_kb,
+            sig_compare_cycles: c.sig_compare_cycles,
             frames: c.frames,
             width: c.width,
             height: c.height,
@@ -126,7 +129,7 @@ impl CellRecord {
     /// One CSV row matching [`CSV_HEADER`].
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2}",
             self.id,
             self.scene,
             self.tile_size,
@@ -136,6 +139,7 @@ impl CellRecord {
             self.binning,
             self.ot_depth,
             self.l2_kb,
+            self.sig_compare_cycles,
             self.frames,
             self.width,
             self.height,
@@ -167,6 +171,7 @@ impl CellRecord {
             ("binning".into(), Json::Str(self.binning.clone())),
             ("ot_depth".into(), int(self.ot_depth.into())),
             ("l2_kb".into(), int(self.l2_kb.into())),
+            ("sig_compare_cycles".into(), int(self.sig_compare_cycles)),
             ("frames".into(), int(self.frames as u64)),
             ("width".into(), int(self.width.into())),
             ("height".into(), int(self.height.into())),
@@ -217,6 +222,12 @@ impl CellRecord {
             binning: s("binning")?,
             ot_depth: u("ot_depth")? as u32,
             l2_kb: u("l2_kb")? as u32,
+            // Absent in records written before the axis existed; those runs
+            // used the then-hard-coded design-point cost of 4 cycles.
+            sig_compare_cycles: v
+                .get("sig_compare_cycles")
+                .and_then(Json::as_u64)
+                .unwrap_or(4),
             frames: u("frames")? as usize,
             width: u("width")? as u32,
             height: u("height")? as u32,
@@ -356,6 +367,41 @@ impl ResultStore {
     }
 }
 
+/// Reads every completed cell record from a store directory, sorted by
+/// cell id — without grid validation, so analysis commands (`sweep
+/// report`) can digest any store they are pointed at.
+///
+/// # Errors
+/// I/O errors; [`io::ErrorKind::InvalidData`] for corrupt record files,
+/// [`io::ErrorKind::NotFound`] if `dir` holds no store.
+pub fn read_records(dir: impl AsRef<Path>) -> io::Result<Vec<CellRecord>> {
+    let cells_dir = dir.as_ref().join("cells");
+    if !cells_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "{} is not a sweep store (no cells/)",
+                dir.as_ref().display()
+            ),
+        ));
+    }
+    let mut records = Vec::new();
+    for entry in std::fs::read_dir(&cells_dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let rec = Json::parse(&text)
+            .and_then(|v| CellRecord::from_json(&v))
+            .map_err(|e| invalid(format!("{}: {e}", path.display())))?;
+        records.push(rec);
+    }
+    records.sort_by_key(|r| r.id);
+    records.dedup_by_key(|r| r.id);
+    Ok(records)
+}
+
 /// The CSV document for `records` (header + one row per record).
 pub fn render_csv(records: &[CellRecord]) -> String {
     let mut out = String::with_capacity(records.len() * 128 + CSV_HEADER.len() + 1);
@@ -389,6 +435,7 @@ mod tests {
                 binning: BinningMode::BoundingBox,
                 ot_depth: 16,
                 l2_kb: 256,
+                sig_compare_cycles: 4,
             },
         };
         CellRecord {
@@ -438,6 +485,25 @@ mod tests {
             back.baseline_energy_pj.to_bits(),
             r.baseline_energy_pj.to_bits()
         );
+    }
+
+    #[test]
+    fn records_without_sig_compare_cycles_default_to_design_point() {
+        // Stores written before the axis existed lack the key; `sweep
+        // report` must still digest them with the old hard-coded cost.
+        let r = record(3);
+        let Json::Obj(fields) = r.to_json() else {
+            panic!("record JSON is an object");
+        };
+        let legacy = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "sig_compare_cycles")
+                .collect(),
+        );
+        let back = CellRecord::from_json(&Json::parse(&legacy.to_string()).unwrap()).unwrap();
+        assert_eq!(back.sig_compare_cycles, 4);
+        assert_eq!(back.scene, r.scene);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use re_core::Scene;
 use re_gpu::api::FrameDesc;
-use re_gpu::{Gpu, GpuConfig};
+use re_gpu::GpuConfig;
 use re_trace::Trace;
 
 /// A [`Scene`] replaying an `Arc`-shared trace; cheap to construct per cell.
@@ -43,12 +43,11 @@ impl SharedTraceScene {
 }
 
 impl Scene for SharedTraceScene {
-    fn init(&mut self, gpu: &mut Gpu) {
+    fn init(&mut self, textures: &mut re_gpu::texture::TextureStore) {
         for img in &self.trace.textures {
             let w = img.width;
             let texels = &img.texels;
-            gpu.textures_mut()
-                .upload_with(img.width, img.height, |x, y| texels[(y * w + x) as usize]);
+            textures.upload_with(img.width, img.height, |x, y| texels[(y * w + x) as usize]);
         }
     }
 

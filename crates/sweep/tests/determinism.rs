@@ -23,8 +23,8 @@ fn grid() -> ExperimentGrid {
 fn opts(workers: usize) -> SweepOptions {
     SweepOptions {
         workers,
-        trace_dir: None,
         quiet: true,
+        ..SweepOptions::default()
     }
 }
 

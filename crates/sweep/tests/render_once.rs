@@ -1,0 +1,78 @@
+//! The render-once contract of sweep grouping.
+//!
+//! With render grouping enabled, a sweep over evaluation-only axes must
+//! rasterize each (scene, tile size, binning) render key **exactly once**
+//! — asserted here via `re_gpu`'s process-wide raster-invocation counter —
+//! while producing a `results.csv` byte-identical to the per-cell-render
+//! baseline.
+//!
+//! The counter is process-global, so this file holds a single test: other
+//! tests rasterizing concurrently in the same binary would pollute the
+//! deltas.
+
+use re_sweep::{render_csv, CellRecord, ExperimentGrid, SweepOptions};
+
+#[test]
+fn grouped_sweep_rasterizes_each_render_key_exactly_once() {
+    // 2 scenes × (2 sig_bits × 2 distances × 2 sig-compare costs) = 16
+    // cells, but only 2 render keys: every axis except the scene is
+    // evaluation-side.
+    let grid = ExperimentGrid {
+        scenes: vec!["ccs".into(), "tib".into()],
+        frames: 3,
+        width: 128,
+        height: 64,
+        tile_sizes: vec![16],
+        sig_bits: vec![16, 32],
+        compare_distances: vec![1, 2],
+        sig_compare_cycles: vec![2, 4],
+        ..ExperimentGrid::default()
+    };
+    let cells = grid.cell_count();
+    assert_eq!(cells, 16);
+    let tile_count = (128 / 16) * (64 / 16); // 32 tiles per frame
+    let per_render = grid.frames as u64 * tile_count;
+
+    // Trace capture rasterizes nothing (geometry-only command capture), but
+    // run it outside the measured windows anyway so both paths start from
+    // the same in-memory traces via the disk cache.
+    let trace_dir = std::env::temp_dir().join(format!("re_render_once_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let opts = |group_renders| SweepOptions {
+        workers: 2,
+        quiet: true,
+        trace_dir: Some(trace_dir.clone()),
+        group_renders,
+    };
+
+    // Grouped: exactly one Stage A render per render key.
+    let before = re_gpu::raster_invocations();
+    let grouped = re_sweep::run_grid(&grid, &opts(true)).expect("grouped sweep");
+    let grouped_rasters = re_gpu::raster_invocations() - before;
+    assert_eq!(
+        grouped_rasters,
+        2 * per_render,
+        "grouping must rasterize each of the 2 render keys exactly once"
+    );
+
+    // Per-cell baseline: one render per cell.
+    let before = re_gpu::raster_invocations();
+    let per_cell = re_sweep::run_grid(&grid, &opts(false)).expect("per-cell sweep");
+    let per_cell_rasters = re_gpu::raster_invocations() - before;
+    assert_eq!(per_cell_rasters, cells as u64 * per_render);
+
+    // And the results — down to the rendered CSV — are byte-identical.
+    let csv_of = |outcomes: &[re_sweep::CellOutcome]| {
+        let records: Vec<CellRecord> = outcomes
+            .iter()
+            .map(|o| CellRecord::from_run(&o.cell, &o.report))
+            .collect();
+        render_csv(&records)
+    };
+    assert_eq!(csv_of(&grouped), csv_of(&per_cell));
+    for (a, b) in grouped.iter().zip(&per_cell) {
+        assert_eq!(a.report, b.report, "cell {}", a.cell.id);
+    }
+
+    let _ = std::fs::remove_dir_all(&trace_dir);
+}

@@ -67,6 +67,9 @@ pub struct TimingConfig {
     /// Overlapped-Tiles queue depth of the Signature Unit (16 entries,
     /// paper §V: overflow stalls the Geometry Pipeline).
     pub ot_queue_entries: u32,
+    /// Cycles charged per tile for reading and comparing a Signature Buffer
+    /// entry at tile-scheduling time (paper: "a few cycles"; design point 4).
+    pub sig_compare_cycles: u64,
 }
 
 impl TimingConfig {
@@ -115,6 +118,7 @@ impl TimingConfig {
             queue_entries: 16,
             fragment_queue_entries: 64,
             ot_queue_entries: 16,
+            sig_compare_cycles: 4,
         }
     }
 
@@ -147,6 +151,7 @@ mod tests {
         assert_eq!(c.num_vertex_processors, 1);
         assert_eq!(c.raster_attrs_per_cycle, 16);
         assert_eq!(c.dram_bytes_per_cycle, 4);
+        assert_eq!(c.sig_compare_cycles, 4);
     }
 
     #[test]

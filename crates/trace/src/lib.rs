@@ -110,7 +110,7 @@ impl Trace {
 /// textures, and returns the self-contained trace.
 pub fn capture(scene: &mut dyn Scene, config: GpuConfig, frames: usize) -> Trace {
     let mut gpu = Gpu::new(config);
-    scene.init(&mut gpu);
+    scene.init(gpu.textures_mut());
     let textures = (0..gpu.textures().len() as u32)
         .map(|id| {
             let t = gpu.textures().get(TextureId(id));
@@ -165,12 +165,11 @@ impl TraceScene {
 }
 
 impl Scene for TraceScene {
-    fn init(&mut self, gpu: &mut Gpu) {
+    fn init(&mut self, textures: &mut re_gpu::texture::TextureStore) {
         for img in &self.trace.textures {
             let w = img.width;
             let texels = &img.texels;
-            gpu.textures_mut()
-                .upload_with(img.width, img.height, |x, y| texels[(y * w + x) as usize]);
+            textures.upload_with(img.width, img.height, |x, y| texels[(y * w + x) as usize]);
         }
     }
 
@@ -192,9 +191,8 @@ mod tests {
 
     struct TwoFrames;
     impl Scene for TwoFrames {
-        fn init(&mut self, gpu: &mut Gpu) {
-            gpu.textures_mut()
-                .upload_with(4, 4, |x, y| Color::new(x as u8 * 10, y as u8 * 10, 7, 255));
+        fn init(&mut self, textures: &mut re_gpu::texture::TextureStore) {
+            textures.upload_with(4, 4, |x, y| Color::new(x as u8 * 10, y as u8 * 10, 7, 255));
         }
         fn frame(&mut self, index: usize) -> FrameDesc {
             let x0 = if index == 0 { -0.5 } else { 0.0 };
@@ -248,7 +246,7 @@ mod tests {
         let t = capture(&mut TwoFrames, cfg(), 1);
         let mut replay = TraceScene::new(t);
         let mut gpu = Gpu::new(cfg());
-        replay.init(&mut gpu);
+        replay.init(gpu.textures_mut());
         let tex = gpu.textures().get(TextureId(0));
         assert_eq!(tex.texel(1, 1), Color::new(10, 10, 7, 255));
     }

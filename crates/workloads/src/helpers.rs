@@ -4,8 +4,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use re_gpu::api::{DrawCall, PipelineState, Vertex};
-use re_gpu::texture::TextureId;
-use re_gpu::Gpu;
+use re_gpu::texture::{TextureId, TextureStore};
 use re_math::{Color, Mat4, Vec3, Vec4};
 
 /// Accumulates textured quads (two triangles each) for one drawcall.
@@ -72,14 +71,14 @@ impl SpriteBatch {
 
 /// Uploads a procedural "atlas" texture: an `n × n` grid of solid-colored
 /// cells with per-cell noise, seeded deterministically.
-pub fn upload_atlas(gpu: &mut Gpu, seed: u64, size: u32, cells: u32) -> TextureId {
+pub fn upload_atlas(textures: &mut TextureStore, seed: u64, size: u32, cells: u32) -> TextureId {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut palette = Vec::new();
     for _ in 0..cells * cells {
         palette.push(Color::new(rng.gen(), rng.gen(), rng.gen(), 255));
     }
     let cell = (size / cells).max(1);
-    gpu.textures_mut().upload_with(size, size, |x, y| {
+    textures.upload_with(size, size, |x, y| {
         let cx = (x / cell).min(cells - 1);
         let cy = (y / cell).min(cells - 1);
         let base = palette[(cy * cells + cx) as usize];
@@ -95,10 +94,10 @@ pub fn upload_atlas(gpu: &mut Gpu, seed: u64, size: u32, cells: u32) -> TextureI
 /// touch megabytes of texels per frame — far beyond the texture caches and
 /// L2 — reproducing the texel-dominated DRAM traffic of real games
 /// (paper Fig. 15b).
-pub fn upload_background(gpu: &mut Gpu, seed: u64, size: u32) -> TextureId {
+pub fn upload_background(textures: &mut TextureStore, seed: u64, size: u32) -> TextureId {
     let mut rng = SmallRng::seed_from_u64(seed);
     let (r0, g0, b0): (u8, u8, u8) = (rng.gen(), rng.gen(), rng.gen());
-    gpu.textures_mut().upload_with(size, size, |x, y| {
+    textures.upload_with(size, size, |x, y| {
         // Cheap value noise: deterministic, non-repeating at line scale.
         let h =
             (x.wrapping_mul(0x9E37_79B1) ^ y.wrapping_mul(0x85EB_CA77)).wrapping_mul(0xC2B2_AE35);
@@ -160,10 +159,10 @@ impl FlatBatch {
 }
 
 /// Uploads a near-black texture with faint structure (for `hop`).
-pub fn upload_dark(gpu: &mut Gpu, seed: u64, size: u32) -> TextureId {
+pub fn upload_dark(textures: &mut TextureStore, seed: u64, size: u32) -> TextureId {
     let mut rng = SmallRng::seed_from_u64(seed);
     let streak: u32 = rng.gen_range(3..9);
-    gpu.textures_mut().upload_with(size, size, |x, y| {
+    textures.upload_with(size, size, |x, y| {
         if (x / streak + y / streak).is_multiple_of(19) {
             Color::new(8, 8, 12, 255)
         } else {
@@ -293,7 +292,6 @@ pub fn mesh_drawcall(vertices: Vec<Vertex>, texture: TextureId, constants: Vec<V
 #[cfg(test)]
 mod tests {
     use super::*;
-    use re_gpu::GpuConfig;
 
     #[test]
     fn quad_emits_six_vertices() {
@@ -310,22 +308,12 @@ mod tests {
 
     #[test]
     fn atlas_is_deterministic() {
-        let mut gpu1 = Gpu::new(GpuConfig {
-            width: 32,
-            height: 32,
-            tile_size: 16,
-            ..Default::default()
-        });
-        let mut gpu2 = Gpu::new(GpuConfig {
-            width: 32,
-            height: 32,
-            tile_size: 16,
-            ..Default::default()
-        });
-        let a = upload_atlas(&mut gpu1, 42, 64, 4);
-        let b = upload_atlas(&mut gpu2, 42, 64, 4);
-        let ta = gpu1.textures().get(a);
-        let tb = gpu2.textures().get(b);
+        let mut store1 = TextureStore::new();
+        let mut store2 = TextureStore::new();
+        let a = upload_atlas(&mut store1, 42, 64, 4);
+        let b = upload_atlas(&mut store2, 42, 64, 4);
+        let ta = store1.get(a);
+        let tb = store2.get(b);
         for (x, y) in [(0, 0), (17, 31), (63, 63)] {
             assert_eq!(ta.texel(x, y), tb.texel(x, y));
         }
@@ -333,14 +321,9 @@ mod tests {
 
     #[test]
     fn dark_texture_is_mostly_black() {
-        let mut gpu = Gpu::new(GpuConfig {
-            width: 32,
-            height: 32,
-            tile_size: 16,
-            ..Default::default()
-        });
-        let id = upload_dark(&mut gpu, 7, 64);
-        let t = gpu.textures().get(id);
+        let mut store = TextureStore::new();
+        let id = upload_dark(&mut store, 7, 64);
+        let t = store.get(id);
         let black = (0..64)
             .flat_map(|y| (0..64).map(move |x| (x, y)))
             .filter(|&(x, y)| t.texel(x, y) == Color::BLACK)

@@ -180,8 +180,8 @@ mod tests {
         };
         let mut a = by_alias("ccs").unwrap().scene;
         let mut b = by_alias("ccs").unwrap().scene;
-        a.init(&mut Gpu::new(cfg));
-        b.init(&mut Gpu::new(cfg));
+        a.init(Gpu::new(cfg).textures_mut());
+        b.init(Gpu::new(cfg).textures_mut());
         for i in [0usize, 3, 17] {
             assert_eq!(a.frame(i), b.frame(i), "frame {i}");
         }

@@ -7,8 +7,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use re_core::Scene;
 use re_gpu::api::FrameDesc;
-use re_gpu::texture::TextureId;
-use re_gpu::Gpu;
+use re_gpu::texture::{TextureId, TextureStore};
 use re_math::{Color, Mat4, Vec3, Vec4};
 
 use crate::helpers::{upload_atlas, upload_background, SpriteBatch};
@@ -68,9 +67,9 @@ impl Default for SlingshotPhases {
 }
 
 impl Scene for SlingshotPhases {
-    fn init(&mut self, gpu: &mut Gpu) {
-        self.atlas = Some(upload_atlas(gpu, 0xAB1, 512, 4));
-        self.background = Some(upload_background(gpu, 0xAB1B, 1024));
+    fn init(&mut self, textures: &mut TextureStore) {
+        self.atlas = Some(upload_atlas(textures, 0xAB1, 512, 4));
+        self.background = Some(upload_background(textures, 0xAB1B, 1024));
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
@@ -162,6 +161,7 @@ impl Scene for SlingshotPhases {
 mod tests {
     use super::*;
     use crate::scenes::testutil::equal_tiles_pct;
+    use re_gpu::Gpu;
 
     #[test]
     fn aim_frames_are_identical_flight_frames_differ() {
@@ -172,7 +172,7 @@ mod tests {
             tile_size: 16,
             ..Default::default()
         });
-        s.init(&mut gpu);
+        s.init(gpu.textures_mut());
         assert_eq!(s.frame(2), s.frame(3), "aim phase static");
         assert_ne!(s.frame(AIM), s.frame(AIM + 1), "flight phase dynamic");
     }

@@ -6,8 +6,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use re_core::Scene;
 use re_gpu::api::FrameDesc;
-use re_gpu::texture::TextureId;
-use re_gpu::Gpu;
+use re_gpu::texture::{TextureId, TextureStore};
 use re_math::{Color, Mat4, Vec4};
 
 use crate::helpers::{upload_atlas, upload_background, SpriteBatch};
@@ -73,9 +72,9 @@ impl Default for CandyBoard {
 }
 
 impl Scene for CandyBoard {
-    fn init(&mut self, gpu: &mut Gpu) {
-        self.atlas = Some(upload_atlas(gpu, 0xCC5, 512, 4));
-        self.background = Some(upload_background(gpu, 0xCC5B, 1024));
+    fn init(&mut self, textures: &mut TextureStore) {
+        self.atlas = Some(upload_atlas(textures, 0xCC5, 512, 4));
+        self.background = Some(upload_background(textures, 0xCC5B, 1024));
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
@@ -166,6 +165,7 @@ impl Scene for CandyBoard {
 mod tests {
     use super::*;
     use crate::scenes::testutil::equal_tiles_pct;
+    use re_gpu::Gpu;
 
     #[test]
     fn quiet_frames_are_bit_identical() {
@@ -176,7 +176,7 @@ mod tests {
             tile_size: 16,
             ..Default::default()
         });
-        s.init(&mut gpu);
+        s.init(gpu.textures_mut());
         // The background and the main candy batch are bit-static across
         // quiet frames; the glossy batch (time uniform) and the sparkles
         // change every frame.

@@ -6,8 +6,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use re_core::Scene;
 use re_gpu::api::FrameDesc;
-use re_gpu::texture::TextureId;
-use re_gpu::Gpu;
+use re_gpu::texture::{TextureId, TextureStore};
 use re_math::{Color, Mat4, Vec4};
 
 use crate::helpers::{upload_atlas, upload_background, SpriteBatch};
@@ -64,9 +63,9 @@ impl Default for CastleDefense {
 }
 
 impl Scene for CastleDefense {
-    fn init(&mut self, gpu: &mut Gpu) {
-        self.atlas = Some(upload_atlas(gpu, 0xCDE, 512, 4));
-        self.background = Some(upload_background(gpu, 0xCDEB, 1024));
+    fn init(&mut self, textures: &mut TextureStore) {
+        self.atlas = Some(upload_atlas(textures, 0xCDE, 512, 4));
+        self.background = Some(upload_background(textures, 0xCDEB, 1024));
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
@@ -137,6 +136,7 @@ impl Scene for CastleDefense {
 mod tests {
     use super::*;
     use crate::scenes::testutil::equal_tiles_pct;
+    use re_gpu::Gpu;
 
     #[test]
     fn only_walker_drawcall_changes() {
@@ -147,7 +147,7 @@ mod tests {
             tile_size: 16,
             ..Default::default()
         });
-        s.init(&mut gpu);
+        s.init(gpu.textures_mut());
         let a = s.frame(10);
         let b = s.frame(11);
         assert_eq!(a.drawcalls[0], b.drawcalls[0], "background is static");

@@ -6,8 +6,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use re_core::Scene;
 use re_gpu::api::FrameDesc;
-use re_gpu::texture::TextureId;
-use re_gpu::Gpu;
+use re_gpu::texture::{TextureId, TextureStore};
 use re_math::{Color, Mat4, Vec3, Vec4};
 
 use crate::helpers::{upload_atlas, upload_background, SpriteBatch};
@@ -68,9 +67,9 @@ impl Default for VillageView {
 }
 
 impl Scene for VillageView {
-    fn init(&mut self, gpu: &mut Gpu) {
-        self.atlas = Some(upload_atlas(gpu, 0xC0C, 512, 4));
-        self.background = Some(upload_background(gpu, 0xC0CB, 1024));
+    fn init(&mut self, textures: &mut TextureStore) {
+        self.atlas = Some(upload_atlas(textures, 0xC0C, 512, 4));
+        self.background = Some(upload_background(textures, 0xC0CB, 1024));
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
@@ -139,6 +138,7 @@ impl Scene for VillageView {
 mod tests {
     use super::*;
     use crate::scenes::testutil::equal_tiles_pct;
+    use re_gpu::Gpu;
 
     #[test]
     fn holds_are_static_pans_move() {
@@ -157,7 +157,7 @@ mod tests {
             tile_size: 16,
             ..Default::default()
         });
-        s.init(&mut gpu);
+        s.init(gpu.textures_mut());
         // The ground drawcall is static during holds (villagers churn in
         // the buildings drawcall) and moves during pans.
         assert_eq!(s.frame(1).drawcalls[0], s.frame(2).drawcalls[0]);

@@ -4,8 +4,7 @@
 
 use re_core::Scene;
 use re_gpu::api::FrameDesc;
-use re_gpu::texture::TextureId;
-use re_gpu::Gpu;
+use re_gpu::texture::{TextureId, TextureStore};
 use re_math::{Color, Mat4, Vec3, Vec4};
 
 use crate::helpers::{
@@ -41,12 +40,12 @@ impl SnowSlope {
 }
 
 impl Scene for SnowSlope {
-    fn init(&mut self, gpu: &mut Gpu) {
-        self.atlas = Some(upload_atlas(gpu, 0xC59, 512, 4));
-        self.background = Some(upload_background(gpu, 0xC59B, 1024));
+    fn init(&mut self, textures: &mut TextureStore) {
+        self.atlas = Some(upload_atlas(textures, 0xC59, 512, 4));
+        self.background = Some(upload_background(textures, 0xC59B, 1024));
         // Solid white: flat stretches of slope render the same color no
         // matter how the camera moves — a natural false-negative source.
-        self.snow = Some(gpu.textures_mut().upload_solid(re_math::Color::WHITE));
+        self.snow = Some(textures.upload_solid(re_math::Color::WHITE));
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
@@ -128,6 +127,7 @@ impl Scene for SnowSlope {
 mod tests {
     use super::*;
     use crate::scenes::testutil::equal_tiles_pct;
+    use re_gpu::Gpu;
 
     #[test]
     fn sky_and_hud_are_static_world_is_not() {
@@ -138,7 +138,7 @@ mod tests {
             tile_size: 16,
             ..Default::default()
         });
-        s.init(&mut gpu);
+        s.init(gpu.textures_mut());
         let a = s.frame(3);
         let b = s.frame(4);
         assert_eq!(a.drawcalls[0], b.drawcalls[0], "sky static");

@@ -4,8 +4,7 @@
 
 use re_core::Scene;
 use re_gpu::api::FrameDesc;
-use re_gpu::texture::TextureId;
-use re_gpu::Gpu;
+use re_gpu::texture::{TextureId, TextureStore};
 use re_math::{Color, Mat4, Vec4};
 
 use crate::helpers::{upload_atlas, upload_background, SpriteBatch};
@@ -38,9 +37,9 @@ impl RopePuzzle {
 }
 
 impl Scene for RopePuzzle {
-    fn init(&mut self, gpu: &mut Gpu) {
-        self.atlas = Some(upload_atlas(gpu, 0xC12, 512, 4));
-        self.background = Some(upload_background(gpu, 0xC12B, 1024));
+    fn init(&mut self, textures: &mut TextureStore) {
+        self.atlas = Some(upload_atlas(textures, 0xC12, 512, 4));
+        self.background = Some(upload_background(textures, 0xC12B, 1024));
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
@@ -144,6 +143,7 @@ impl Scene for RopePuzzle {
 mod tests {
     use super::*;
     use crate::scenes::testutil::equal_tiles_pct;
+    use re_gpu::Gpu;
 
     #[test]
     fn background_static_rope_moves() {
@@ -154,7 +154,7 @@ mod tests {
             tile_size: 16,
             ..Default::default()
         });
-        s.init(&mut gpu);
+        s.init(gpu.textures_mut());
         let a = s.frame(4);
         let b = s.frame(5);
         assert_eq!(a.drawcalls[0], b.drawcalls[0]);

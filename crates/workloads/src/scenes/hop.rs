@@ -10,8 +10,7 @@
 
 use re_core::Scene;
 use re_gpu::api::FrameDesc;
-use re_gpu::texture::TextureId;
-use re_gpu::Gpu;
+use re_gpu::texture::{TextureId, TextureStore};
 use re_math::{Color, Mat4, Vec4};
 
 use crate::helpers::{upload_dark, FlatBatch, SpriteBatch};
@@ -40,8 +39,8 @@ impl DarkCave {
 }
 
 impl Scene for DarkCave {
-    fn init(&mut self, gpu: &mut Gpu) {
-        self.dark = Some(upload_dark(gpu, 0x4097, 512));
+    fn init(&mut self, textures: &mut TextureStore) {
+        self.dark = Some(upload_dark(textures, 0x4097, 512));
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
@@ -109,6 +108,7 @@ mod tests {
     use super::*;
     use crate::scenes::testutil::equal_tiles_pct;
     use re_core::{SimOptions, Simulator};
+    use re_gpu::Gpu;
     use re_gpu::GpuConfig;
 
     #[test]
@@ -120,7 +120,7 @@ mod tests {
             tile_size: 16,
             ..Default::default()
         });
-        s.init(&mut gpu);
+        s.init(gpu.textures_mut());
         assert_ne!(s.frame(0).drawcalls[1], s.frame(1).drawcalls[1]);
         assert_ne!(s.frame(0).drawcalls[1], s.frame(2).drawcalls[1]);
         assert_eq!(s.frame(0).drawcalls[1], s.frame(3).drawcalls[1]);

@@ -8,8 +8,7 @@ use rand::{Rng, SeedableRng};
 use re_core::Scene;
 use re_gpu::api::FrameDesc;
 use re_gpu::api::Vertex;
-use re_gpu::texture::TextureId;
-use re_gpu::Gpu;
+use re_gpu::texture::{TextureId, TextureStore};
 use re_math::{Color, Mat4, Vec3, Vec4};
 
 use crate::helpers::{
@@ -77,9 +76,9 @@ impl Default for FpsArena {
 }
 
 impl Scene for FpsArena {
-    fn init(&mut self, gpu: &mut Gpu) {
-        self.atlas = Some(upload_atlas(gpu, 0x357, 512, 4));
-        self.background = Some(upload_background(gpu, 0x357B, 1024));
+    fn init(&mut self, textures: &mut TextureStore) {
+        self.atlas = Some(upload_atlas(textures, 0x357, 512, 4));
+        self.background = Some(upload_background(textures, 0x357B, 1024));
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
@@ -124,6 +123,7 @@ impl Scene for FpsArena {
 mod tests {
     use super::*;
     use crate::scenes::testutil::equal_tiles_pct;
+    use re_gpu::Gpu;
 
     #[test]
     fn camera_never_rests() {
@@ -134,7 +134,7 @@ mod tests {
             tile_size: 16,
             ..Default::default()
         });
-        s.init(&mut gpu);
+        s.init(gpu.textures_mut());
         for i in 0..6 {
             assert_ne!(s.frame(i), s.frame(i + 1), "frames {i}/{}", i + 1);
         }

@@ -3,8 +3,7 @@
 
 use re_core::Scene;
 use re_gpu::api::FrameDesc;
-use re_gpu::texture::TextureId;
-use re_gpu::Gpu;
+use re_gpu::texture::{TextureId, TextureStore};
 use re_math::{Color, Mat4, Vec3, Vec4};
 
 use crate::helpers::{constants_3d, cuboid, mesh_drawcall, terrain, upload_atlas, SpriteBatch};
@@ -33,8 +32,8 @@ impl EndlessRun {
 }
 
 impl Scene for EndlessRun {
-    fn init(&mut self, gpu: &mut Gpu) {
-        self.atlas = Some(upload_atlas(gpu, 0x7E4, 512, 4));
+    fn init(&mut self, textures: &mut TextureStore) {
+        self.atlas = Some(upload_atlas(textures, 0x7E4, 512, 4));
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
@@ -115,6 +114,7 @@ impl Scene for EndlessRun {
 mod tests {
     use super::*;
     use crate::scenes::testutil::equal_tiles_pct;
+    use re_gpu::Gpu;
 
     #[test]
     fn motion_every_frame_except_hud() {
@@ -125,7 +125,7 @@ mod tests {
             tile_size: 16,
             ..Default::default()
         });
-        s.init(&mut gpu);
+        s.init(gpu.textures_mut());
         let a = s.frame(5);
         let b = s.frame(6);
         assert_ne!(a.drawcalls[0], b.drawcalls[0], "floor scrolls");

@@ -4,8 +4,7 @@
 
 use re_core::Scene;
 use re_gpu::api::FrameDesc;
-use re_gpu::texture::TextureId;
-use re_gpu::Gpu;
+use re_gpu::texture::{TextureId, TextureStore};
 use re_math::{Color, Mat4, Vec3, Vec4};
 
 use crate::helpers::{constants_3d, cuboid, mesh_drawcall, terrain, upload_atlas};
@@ -51,8 +50,8 @@ impl BallPuzzle {
 }
 
 impl Scene for BallPuzzle {
-    fn init(&mut self, gpu: &mut Gpu) {
-        self.atlas = Some(upload_atlas(gpu, 0x71B, 512, 4));
+    fn init(&mut self, textures: &mut TextureStore) {
+        self.atlas = Some(upload_atlas(textures, 0x71B, 512, 4));
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
@@ -115,6 +114,7 @@ impl Scene for BallPuzzle {
 mod tests {
     use super::*;
     use crate::scenes::testutil::equal_tiles_pct;
+    use re_gpu::Gpu;
 
     #[test]
     fn rest_frames_identical_roll_frames_differ() {
@@ -125,7 +125,7 @@ mod tests {
             tile_size: 16,
             ..Default::default()
         });
-        s.init(&mut gpu);
+        s.init(gpu.textures_mut());
         assert_eq!(s.frame(3), s.frame(4), "rest phase");
         assert_ne!(s.frame(REST), s.frame(REST + 1), "roll phase");
     }

@@ -30,7 +30,7 @@ const GOLDEN: &[(&str, u64)] = &[
 fn render_frame0(alias: &str, cfg: GpuConfig) -> u64 {
     let mut bench = re_workloads::by_alias(alias).expect("alias exists");
     let mut gpu = Gpu::new(cfg);
-    bench.scene.init(&mut gpu);
+    bench.scene.init(gpu.textures_mut());
     let frame = bench.scene.frame(0);
     let geo = gpu.run_geometry(&frame, &mut NullHooks);
     for t in 0..gpu.tile_count() {

@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Render frame 0 from the trace and dump it as a PPM image.
     let mut gpu = Gpu::new(cfg);
     let mut scene = TraceScene::new(Trace::load(&path)?);
-    scene.init(&mut gpu);
+    scene.init(gpu.textures_mut());
     let frame = scene.frame(0);
     let geo = gpu.run_geometry(&frame, &mut NullHooks);
     for t in 0..gpu.tile_count() {

@@ -87,8 +87,8 @@ fn frame_zero_is_stable_across_scene_instances() {
             tile_size: 16,
             ..Default::default()
         };
-        s1.init(&mut Gpu::new(cfg));
-        s2.init(&mut Gpu::new(cfg));
+        s1.init(Gpu::new(cfg).textures_mut());
+        s2.init(Gpu::new(cfg).textures_mut());
         assert_eq!(s1.frame(0), s2.frame(0), "{}", entry.alias);
         assert_eq!(s1.frame(7), s2.frame(7), "{}", entry.alias);
     }

@@ -22,7 +22,7 @@ fn hardware_unit_matches_reference_on_all_benchmarks() {
     for b in workloads::suite() {
         let mut bench = b;
         let mut gpu = Gpu::new(cfg());
-        bench.scene.init(&mut gpu);
+        bench.scene.init(gpu.textures_mut());
         let frame = bench.scene.frame(5);
         let geo = gpu.run_geometry(&frame, &mut NullHooks);
         let mut su = SignatureUnit::new(16);
@@ -36,7 +36,7 @@ fn hardware_unit_matches_reference_on_all_benchmarks() {
 fn identical_frames_produce_identical_signatures() {
     let mut bench = workloads::by_alias("tib").expect("tib exists");
     let mut gpu = Gpu::new(cfg());
-    bench.scene.init(&mut gpu);
+    bench.scene.init(gpu.textures_mut());
     // tib rests for many frames: frames 3 and 4 are bit-identical.
     let g3 = gpu.run_geometry(&bench.scene.frame(3), &mut NullHooks);
     let g4 = gpu.run_geometry(&bench.scene.frame(4), &mut NullHooks);
@@ -50,7 +50,7 @@ fn identical_frames_produce_identical_signatures() {
 fn localized_motion_changes_localized_signatures() {
     let mut bench = workloads::by_alias("ctr").expect("ctr exists");
     let mut gpu = Gpu::new(cfg());
-    bench.scene.init(&mut gpu);
+    bench.scene.init(gpu.textures_mut());
     let a = reference_signatures(
         &gpu.run_geometry(&bench.scene.frame(4), &mut NullHooks),
         cfg().tile_count(),
@@ -72,7 +72,7 @@ fn localized_motion_changes_localized_signatures() {
 fn queue_depth_never_changes_signatures() {
     let mut bench = workloads::by_alias("csn").expect("csn exists");
     let mut gpu = Gpu::new(cfg());
-    bench.scene.init(&mut gpu);
+    bench.scene.init(gpu.textures_mut());
     let geo = gpu.run_geometry(&bench.scene.frame(2), &mut NullHooks);
     let mut a = SignatureUnit::new(2);
     let mut b = SignatureUnit::new(256);

@@ -5,9 +5,12 @@
 //! use (`criterion_group!`/`criterion_main!`, groups, throughput,
 //! `bench_function`, `bench_with_input`, `Bencher::iter`) and measures with
 //! plain `std::time::Instant`: a short warm-up, then a fixed number of
-//! samples, reporting the median per-iteration time (and MB/s when a
-//! byte-throughput is set). No statistics, plots or baselines — just honest
-//! numbers on stderr-free stdout.
+//! samples, reporting min/median/max per-iteration time, an IQR-rule
+//! outlier count (Tukey fences at 1.5×IQR over the sample distribution, the
+//! real criterion's rule) and a rate when a throughput is set. No plots or
+//! baselines — just honest numbers on stderr-free stdout. The spread makes
+//! noisy runs visible: trust medians whose min/max bracket is tight and
+//! whose outlier count is low.
 
 #![forbid(unsafe_code)]
 
@@ -58,6 +61,57 @@ pub struct Bencher {
     sample_count: usize,
 }
 
+/// Summary statistics of one benchmark's samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Samples outside the Tukey fences (1.5 × IQR beyond the quartiles).
+    pub outliers: usize,
+    /// Total samples taken.
+    pub samples: usize,
+}
+
+impl SampleStats {
+    /// Computes the summary of a sample set (empty ⇒ all-zero stats).
+    pub fn from_samples(samples: &mut [Duration]) -> SampleStats {
+        if samples.is_empty() {
+            return SampleStats {
+                min: Duration::ZERO,
+                median: Duration::ZERO,
+                max: Duration::ZERO,
+                outliers: 0,
+                samples: 0,
+            };
+        }
+        samples.sort();
+        let n = samples.len();
+        // Quartiles by the nearest-rank-ish midpoint rule; exact convention
+        // matters less than being deterministic and monotone.
+        let q = |frac_num: usize, frac_den: usize| -> Duration {
+            let idx = (n - 1) * frac_num / frac_den;
+            samples[idx]
+        };
+        let (q1, median, q3) = (q(1, 4), q(2, 4), q(3, 4));
+        let iqr = q3.saturating_sub(q1);
+        let fence = iqr + iqr / 2; // 1.5 × IQR without leaving Duration
+        let lo = q1.saturating_sub(fence);
+        let hi = q3 + fence;
+        let outliers = samples.iter().filter(|&&s| s < lo || s > hi).count();
+        SampleStats {
+            min: samples[0],
+            median,
+            max: samples[n - 1],
+            outliers,
+            samples: n,
+        }
+    }
+}
+
 impl Bencher {
     fn new(sample_count: usize) -> Self {
         Bencher {
@@ -76,21 +130,18 @@ impl Bencher {
         }
     }
 
-    fn median(&mut self) -> Duration {
-        if self.samples.is_empty() {
-            return Duration::ZERO;
-        }
-        self.samples.sort();
-        self.samples[self.samples.len() / 2]
+    fn stats(&mut self) -> SampleStats {
+        SampleStats::from_samples(&mut self.samples)
     }
 }
 
-fn report(group: &str, id: &str, time: Duration, throughput: Option<Throughput>) {
+fn report(group: &str, id: &str, stats: SampleStats, throughput: Option<Throughput>) {
     let label = if group.is_empty() {
         id.to_string()
     } else {
         format!("{group}/{id}")
     };
+    let time = stats.median;
     let per = match throughput {
         Some(Throughput::Bytes(b)) if time > Duration::ZERO => {
             format!(
@@ -103,7 +154,15 @@ fn report(group: &str, id: &str, time: Duration, throughput: Option<Throughput>)
         }
         _ => String::new(),
     };
-    println!("bench {label:<50} {:>12.3?}{per}", time);
+    println!(
+        "bench {label:<50} {:>12.3?}{per}  [min {:.3?}, max {:.3?}, {} outlier{} / {}]",
+        time,
+        stats.min,
+        stats.max,
+        stats.outliers,
+        if stats.outliers == 1 { "" } else { "s" },
+        stats.samples,
+    );
 }
 
 /// A named set of related benchmarks sharing throughput/sample settings.
@@ -135,7 +194,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let mut b = Bencher::new(self.sample_count);
         f(&mut b);
-        report(&self.name, &id.to_string(), b.median(), self.throughput);
+        report(&self.name, &id.to_string(), b.stats(), self.throughput);
         self
     }
 
@@ -148,7 +207,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let mut b = Bencher::new(self.sample_count);
         f(&mut b, input);
-        report(&self.name, &id.to_string(), b.median(), self.throughput);
+        report(&self.name, &id.to_string(), b.stats(), self.throughput);
         self
     }
 
@@ -187,7 +246,7 @@ impl Criterion {
     ) -> &mut Self {
         let mut b = Bencher::new(self.sample_count);
         f(&mut b);
-        report("", &id.to_string(), b.median(), None);
+        report("", &id.to_string(), b.stats(), None);
         self
     }
 }
@@ -234,5 +293,45 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn stats_min_median_max() {
+        let mut s = vec![ms(5), ms(1), ms(3)];
+        let st = SampleStats::from_samples(&mut s);
+        assert_eq!(st.min, ms(1));
+        assert_eq!(st.median, ms(3));
+        assert_eq!(st.max, ms(5));
+        assert_eq!(st.outliers, 0);
+        assert_eq!(st.samples, 3);
+    }
+
+    #[test]
+    fn iqr_rule_flags_the_spike() {
+        // Nine tight samples and one 100× spike: the spike is an outlier.
+        let mut s: Vec<Duration> = (10..19).map(ms).collect();
+        s.push(ms(1000));
+        let st = SampleStats::from_samples(&mut s);
+        assert_eq!(st.outliers, 1);
+        assert_eq!(st.max, ms(1000));
+        assert!(st.median < ms(20));
+    }
+
+    #[test]
+    fn uniform_samples_have_no_outliers() {
+        let mut s: Vec<Duration> = (1..=20).map(ms).collect();
+        let st = SampleStats::from_samples(&mut s);
+        assert_eq!(st.outliers, 0);
+    }
+
+    #[test]
+    fn empty_samples_are_all_zero() {
+        let st = SampleStats::from_samples(&mut []);
+        assert_eq!(st.median, Duration::ZERO);
+        assert_eq!(st.samples, 0);
     }
 }
