@@ -7,33 +7,30 @@
 //! rise with the cells-per-key factor).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use re_sweep::{pool, ExperimentGrid, SweepOptions};
+use re_sweep::{axis, pool, ExperimentGrid, SweepOptions};
 
 fn small_grid() -> ExperimentGrid {
-    ExperimentGrid {
-        scenes: vec!["ccs".into(), "tib".into()],
-        frames: 3,
-        width: 128,
-        height: 64,
-        tile_sizes: vec![16, 32],
-        compare_distances: vec![1, 2],
-        ..ExperimentGrid::default()
-    }
+    let mut g = ExperimentGrid::default()
+        .with_scenes(&["ccs", "tib"])
+        .with_axis(axis::TILE_SIZE, vec![16, 32])
+        .with_axis(axis::COMPARE_DISTANCE, vec![1, 2]);
+    g.frames = 3;
+    g.width = 128;
+    g.height = 64;
+    g
 }
 
 /// Evaluation-heavy grid: 2 render keys fan out into 16 cells (8 cells per
 /// rasterized key) — the shape render grouping exists for.
 fn eval_heavy_grid() -> ExperimentGrid {
-    ExperimentGrid {
-        scenes: vec!["ccs".into(), "tib".into()],
-        frames: 3,
-        width: 128,
-        height: 64,
-        tile_sizes: vec![16],
-        sig_bits: vec![8, 16, 24, 32],
-        compare_distances: vec![1, 2],
-        ..ExperimentGrid::default()
-    }
+    let mut g = ExperimentGrid::default()
+        .with_scenes(&["ccs", "tib"])
+        .with_axis(axis::SIG_BITS, vec![8, 16, 24, 32])
+        .with_axis(axis::COMPARE_DISTANCE, vec![1, 2]);
+    g.frames = 3;
+    g.width = 128;
+    g.height = 64;
+    g
 }
 
 fn bench_fanout(c: &mut Criterion) {
@@ -55,7 +52,7 @@ fn bench_fanout(c: &mut Criterion) {
             b.iter(|| {
                 let cells = grid.cells();
                 pool::run_indexed(cells, w, |_, cell| {
-                    re_sweep::run_cell(&traces[&cell.scene], &cell)
+                    re_sweep::run_cell(&traces[cell.scene()], &cell)
                 })
             })
         });

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use re_crc::hashalt::all_hashers;
 use re_gpu::hooks::NullHooks;
 use re_gpu::{Gpu, GpuConfig};
-use re_sweep::{CellOutcome, ExperimentGrid, SweepOptions};
+use re_sweep::{axis, CellOutcome, ExperimentGrid, SweepOptions};
 
 /// Runs `grid` in-memory on all hardware workers, quietly.
 fn sweep(grid: &ExperimentGrid) -> Vec<CellOutcome> {
@@ -28,13 +28,11 @@ fn sweep(grid: &ExperimentGrid) -> Vec<CellOutcome> {
 
 /// Quarter-resolution base grid shared by the ablation studies.
 fn ablation_grid(scenes: &[&str], frames: usize) -> ExperimentGrid {
-    ExperimentGrid {
-        scenes: scenes.iter().map(|s| s.to_string()).collect(),
-        frames,
-        width: 400,
-        height: 256,
-        ..ExperimentGrid::default()
-    }
+    let mut g = ExperimentGrid::default().with_scenes(scenes);
+    g.frames = frames;
+    g.width = 400;
+    g.height = 256;
+    g
 }
 
 fn skipped_pct(o: &CellOutcome) -> f64 {
@@ -204,15 +202,12 @@ pub fn tile_size(frames: usize) {
         "{:<6} {:>6} {:>12} {:>10}",
         "bench", "tile", "skipped(%)", "speedup"
     );
-    let grid = ExperimentGrid {
-        tile_sizes: vec![8, 16, 32],
-        ..ablation_grid(&["ccs", "ter"], frames)
-    };
+    let grid = ablation_grid(&["ccs", "ter"], frames).with_axis(axis::TILE_SIZE, vec![8, 16, 32]);
     for o in sweep(&grid) {
         println!(
             "{:<6} {:>6} {:>12.1} {:>9.2}x",
-            o.cell.scene,
-            o.cell.config.tile_size,
+            o.cell.scene(),
+            o.cell.point.tile_size(),
             skipped_pct(&o),
             o.report.baseline.total_cycles() as f64 / o.report.re.total_cycles() as f64
         );
@@ -223,21 +218,17 @@ pub fn tile_size(frames: usize) {
 /// Binning-mode study: bounding-box vs exact-coverage binning — pairs,
 /// Parameter Buffer traffic and detected redundancy.
 pub fn binning(frames: usize) {
-    use re_gpu::BinningMode;
     hdr("Ablation: bounding-box vs exact-coverage binning");
     println!(
         "{:<6} {:<12} {:>12} {:>14} {:>12}",
         "bench", "mode", "pairs", "param bytes", "skipped(%)"
     );
-    let grid = ExperimentGrid {
-        binnings: vec![BinningMode::BoundingBox, BinningMode::ExactCoverage],
-        ..ablation_grid(&["ccs", "mst"], frames)
-    };
+    let grid = ablation_grid(&["ccs", "mst"], frames).with_parsed(axis::BINNING, "bbox,exact");
     for o in sweep(&grid) {
         println!(
             "{:<6} {:<12} {:>12} {:>14} {:>12.1}",
-            o.cell.scene,
-            re_sweep::binning_name(o.cell.config.binning),
+            o.cell.scene(),
+            re_sweep::binning_name(o.cell.point.binning()),
             o.report.su_stats.ot_pushes,
             o.report
                 .baseline
@@ -253,15 +244,13 @@ pub fn binning(frames: usize) {
 pub fn buffering(frames: usize) {
     hdr("Ablation: single vs double buffering (compare distance 1 vs 2)");
     println!("{:<6} {:>10} {:>14}", "bench", "distance", "skipped(%)");
-    let grid = ExperimentGrid {
-        compare_distances: vec![1, 2],
-        ..ablation_grid(&["ccs", "abi", "ter"], frames)
-    };
+    let grid =
+        ablation_grid(&["ccs", "abi", "ter"], frames).with_axis(axis::COMPARE_DISTANCE, vec![1, 2]);
     for o in sweep(&grid) {
         println!(
             "{:<6} {:>10} {:>14.1}",
-            o.cell.scene,
-            o.cell.config.compare_distance,
+            o.cell.scene(),
+            o.cell.point.compare_distance(),
             skipped_pct(&o)
         );
     }
@@ -277,15 +266,12 @@ pub fn sig_width(frames: usize) {
         "{:<6} {:>6} {:>12} {:>12} {:>14}",
         "bench", "bits", "skipped(%)", "collisions", "sigbuf bytes"
     );
-    let grid = ExperimentGrid {
-        sig_bits: vec![8, 16, 24, 32],
-        ..ablation_grid(&["ccs", "tib"], frames)
-    };
+    let grid =
+        ablation_grid(&["ccs", "tib"], frames).with_axis(axis::SIG_BITS, vec![8, 16, 24, 32]);
     for o in sweep(&grid) {
-        let c = &o.cell.config;
         // Ask the hardware model itself, so this column always matches what
         // the simulator charges energy for.
-        let sim = c.sim_options();
+        let sim = o.cell.point.sim_options();
         let sigbuf = re_core::SignatureBuffer::with_sig_bits(
             sim.gpu.tile_count(),
             sim.compare_distance,
@@ -294,14 +280,40 @@ pub fn sig_width(frames: usize) {
         .storage_bytes();
         println!(
             "{:<6} {:>6} {:>12.1} {:>12} {:>14}",
-            o.cell.scene,
-            c.sig_bits,
+            o.cell.scene(),
+            o.cell.point.sig_bits(),
             skipped_pct(&o),
             o.report.false_positives,
             sigbuf,
         );
     }
     println!("(narrow signatures shrink the Signature Buffer but admit CRC collisions)");
+}
+
+/// Memoization-capacity study (new with the axis registry): the ISCA'14
+/// baseline's fragment-reuse rate vs LUT capacity, via the `memo_kb` axis.
+/// The entire sweep-side footprint of this axis is its registry
+/// definition — this study only selects values for it.
+pub fn memo_capacity(frames: usize) {
+    hdr("Ablation: fragment-memoization LUT capacity (ISCA'14 baseline)");
+    println!(
+        "{:<6} {:>8} {:>10} {:>12} {:>12}",
+        "bench", "LUT KiB", "entries", "reused(%)", "shaded(%)"
+    );
+    let grid = ablation_grid(&["ccs", "ter"], frames).with_axis(axis::MEMO_KB, vec![1, 4, 16, 64]);
+    for o in sweep(&grid) {
+        let memo = &o.report.memo;
+        let kb = o.cell.point.get(axis::MEMO_KB);
+        println!(
+            "{:<6} {:>8} {:>10} {:>12.1} {:>12.1}",
+            o.cell.scene(),
+            kb,
+            kb as usize * 1024 / re_core::memo::MEMO_ENTRY_BYTES,
+            100.0 * (1.0 - memo.shaded_fraction()),
+            100.0 * memo.shaded_fraction(),
+        );
+    }
+    println!("(the paper's enlarged 16 KiB LUT is the Fig. 16 comparison point)");
 }
 
 #[cfg(test)]

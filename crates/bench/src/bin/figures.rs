@@ -5,7 +5,7 @@
 //!
 //! targets: table1 table2 fig1 fig2 fig14a fig14b fig15a fig15b fig16
 //!          fig17a fig17b sigcycles summary hashes otdepth subblock
-//!          tilesize buffering binning sigwidth
+//!          tilesize buffering binning sigwidth memokb
 //! ```
 //!
 //! With no target (or `all`), everything is produced. `--fast` runs at
@@ -29,6 +29,7 @@ const ABLATION_TARGETS: &[&str] = &[
     "buffering",
     "binning",
     "sigwidth",
+    "memokb",
 ];
 
 fn usage() -> ! {
@@ -136,6 +137,7 @@ fn main() {
             "buffering" => ablation::buffering(abl_frames),
             "binning" => ablation::binning(abl_frames),
             "sigwidth" => ablation::sig_width(abl_frames),
+            "memokb" => ablation::memo_capacity(abl_frames),
             suite_target => {
                 let r = results.as_ref().expect("suite was run");
                 match suite_target {

@@ -83,14 +83,16 @@ impl HarnessOptions {
 
     /// The full ten-benchmark suite as a one-config experiment grid.
     pub fn grid(&self) -> ExperimentGrid {
-        ExperimentGrid {
-            frames: self.frames,
-            width: self.width,
-            height: self.height,
-            tile_sizes: vec![self.tile_size],
-            compare_distances: vec![self.compare_distance],
-            ..ExperimentGrid::default()
-        }
+        let mut g = ExperimentGrid::default()
+            .with_axis(re_sweep::axis::TILE_SIZE, vec![self.tile_size as u64])
+            .with_axis(
+                re_sweep::axis::COMPARE_DISTANCE,
+                vec![self.compare_distance as u64],
+            );
+        g.frames = self.frames;
+        g.width = self.width;
+        g.height = self.height;
+        g
     }
 
     fn sweep_options(&self) -> SweepOptions {
@@ -123,7 +125,7 @@ pub fn run_suite(opts: &HarnessOptions) -> Vec<SuiteResult> {
     outcomes
         .into_iter()
         .map(|o| {
-            let meta = re_workloads::by_alias(&o.cell.scene).expect("suite alias");
+            let meta = re_workloads::by_alias(o.cell.scene()).expect("suite alias");
             SuiteResult {
                 alias: meta.alias,
                 stands_for: meta.stands_for,
@@ -202,7 +204,7 @@ mod tests {
         let grid = opts.grid();
         assert_eq!(grid.cell_count(), 10);
         let aliases: Vec<&str> = re_workloads::suite().iter().map(|b| b.alias).collect();
-        assert_eq!(grid.scenes, aliases);
+        assert_eq!(grid.scene_aliases(), aliases);
         // The suite run via the sweep engine matches a direct simulator run.
         let through_sweep = run_suite(&opts);
         assert_eq!(through_sweep.len(), 10);

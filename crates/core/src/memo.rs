@@ -13,6 +13,14 @@
 //! Per the paper's experimental setup we model the enlarged 2048-entry
 //! 4-way LUT so the chip area is comparable to RE's structures.
 
+/// Bytes one LUT entry occupies: a 32-bit tag plus the 32-bit memoized
+/// color — what the capacity knob divides by to size the table.
+pub const MEMO_ENTRY_BYTES: usize = 8;
+
+/// The paper's LUT capacity in KiB: 2048 entries × 8 B = 16 KiB (enlarged
+/// so the chip area is comparable to RE's structures).
+pub const DEFAULT_MEMO_KB: u32 = 16;
+
 /// A set-associative memoization LUT keyed by 32-bit fragment-input hashes.
 #[derive(Debug, Clone)]
 pub struct MemoLut {
@@ -66,6 +74,16 @@ impl MemoLut {
         false
     }
 
+    /// Builds an empty 4-way LUT holding `kb` KiB of entries (at
+    /// [`MEMO_ENTRY_BYTES`] each) — the sweep's `--memo-kb` capacity axis.
+    ///
+    /// # Panics
+    /// Panics if `kb` is 0.
+    pub fn with_kb(kb: u32) -> Self {
+        assert!(kb > 0, "memo LUT needs at least 1 KiB");
+        MemoLut::new(kb as usize * 1024 / MEMO_ENTRY_BYTES, 4)
+    }
+
     /// Total entries.
     pub fn entries(&self) -> usize {
         self.sets * self.ways
@@ -111,9 +129,9 @@ pub struct FragmentMemo {
 
 impl FragmentMemo {
     /// Creates the model with the paper's enlarged LUT (2048 entries,
-    /// 4-way).
+    /// 4-way — [`DEFAULT_MEMO_KB`]).
     pub fn new() -> Self {
-        FragmentMemo::with_lut(MemoLut::new(2048, 4))
+        FragmentMemo::with_lut(MemoLut::with_kb(DEFAULT_MEMO_KB))
     }
 
     /// Creates the model with a custom LUT (for the ablation).
@@ -245,5 +263,11 @@ mod tests {
     #[should_panic(expected = "bad LUT geometry")]
     fn bad_geometry_panics() {
         let _ = MemoLut::new(10, 4);
+    }
+
+    #[test]
+    fn capacity_in_kb_matches_paper_default() {
+        assert_eq!(MemoLut::with_kb(DEFAULT_MEMO_KB).entries(), 2048);
+        assert_eq!(MemoLut::with_kb(1).entries(), 128);
     }
 }

@@ -420,10 +420,11 @@ pub struct MemoPass {
 }
 
 impl MemoPass {
-    /// Memoization state for `tile_count` tiles.
-    pub fn new(tile_count: u32) -> Self {
+    /// Memoization state for `tile_count` tiles with the LUT capacity
+    /// `opts.memo_kb` selects (the paper's 16 KiB by default).
+    pub fn new(opts: &SimOptions, tile_count: u32) -> Self {
         MemoPass {
-            memo: FragmentMemo::new(),
+            memo: FragmentMemo::with_lut(crate::memo::MemoLut::with_kb(opts.memo_kb)),
             current: vec![Vec::new(); tile_count as usize],
         }
     }
@@ -459,7 +460,7 @@ pub fn default_passes(opts: &SimOptions, tile_count: u32) -> Vec<Box<dyn Techniq
         Box::new(RePass::new(opts, tile_count)),
         Box::new(RedundancyPass::new()),
         Box::new(TePass::new(opts, tile_count)),
-        Box::new(MemoPass::new(tile_count)),
+        Box::new(MemoPass::new(opts, tile_count)),
     ]
 }
 

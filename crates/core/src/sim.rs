@@ -78,6 +78,12 @@ pub struct SimOptions {
     /// Signature Buffer storage against false-positive (collision) risk and
     /// are an axis of the sweep subsystem's sensitivity studies.
     pub sig_bits: u32,
+    /// Capacity of the fragment-memoization LUT in KiB
+    /// ([`crate::memo::MEMO_ENTRY_BYTES`] per entry, 4-way). The paper's
+    /// enlarged design point is 16 KiB (2048 entries); the sweep's
+    /// `--memo-kb` axis scales it to study the ISCA'14 baseline's capacity
+    /// sensitivity.
+    pub memo_kb: u32,
 }
 
 impl Default for SimOptions {
@@ -88,6 +94,7 @@ impl Default for SimOptions {
             compare_distance: 2,
             refresh_period: None,
             sig_bits: 32,
+            memo_kb: crate::memo::DEFAULT_MEMO_KB,
         }
     }
 }

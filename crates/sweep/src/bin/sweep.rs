@@ -2,241 +2,48 @@
 //! work-stealing worker pool, with trace caching and a resumable store.
 //!
 //! ```text
-//! sweep [--out DIR] [--workers N] [--frames N] [--width W] [--height H]
-//!       [--scenes a,b,…|all] [--tile-sizes 8,16,32] [--sig-bits 16,32]
-//!       [--distances 1,2] [--refresh none,8] [--binning bbox,exact]
-//!       [--ot-depths 4,16] [--l2-kb 64,256] [--sig-compare-cycles 2,4]
-//!       [--trace-dir DIR] [--no-store] [--no-group] [--quiet]
-//! sweep report [--store DIR]
+//! sweep [OPTIONS]            run a grid (axis flags come from the registry)
+//! sweep report [--store DIR] digest a store into per-axis marginal tables
+//! sweep axes                 print every registered axis (living docs)
 //! ```
 //!
-//! Cells sharing a render key — the same (scene, screen, tile size,
-//! binning) — are rasterized **once** and share the recorded render log;
-//! only the evaluation stage runs per cell (`--no-group` disables this).
+//! All parsing lives in `re_sweep::cli`, generated from the axis registry
+//! (`re_sweep::axis`); this binary only dispatches. Cells sharing a render
+//! key — the same (scene, screen, tile size, binning) — are rasterized
+//! **once** and share the recorded render log; only the evaluation stage
+//! runs per cell (`--no-group` disables this).
 //!
 //! Re-running with the same `--out` resumes: completed cells are skipped and
 //! `results.csv` is regenerated over the full grid. The CSV is byte-identical
 //! for any `--workers` value, across kill/resume, and with or without render
 //! grouping.
-//!
-//! `sweep report` digests an existing store into per-axis marginal
-//! mean/median RE-speedup tables.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use re_sweep::{ExperimentGrid, SweepOptions};
+use re_sweep::cli::{self, Command, RunArgs};
 
-const USAGE: &str = "\
-sweep — parallel experiment orchestration for the RE reproduction
-
-USAGE:
-    sweep [OPTIONS]
-    sweep report [--store DIR]
-
-OPTIONS:
-    --out DIR           result-store directory (default: sweep-out; resumable)
-    --no-store          run in memory only, print the CSV to stdout
-    --workers N         worker threads (default: all hardware threads)
-    --frames N          frames per cell (default: 24)
-    --width W           screen width (default: 400)
-    --height H          screen height (default: 256)
-    --scenes LIST       comma-separated aliases, or `all` (default: all)
-    --tile-sizes LIST   tile-edge axis (default: 16)
-    --sig-bits LIST     signature-width axis, bits 1..=32 (default: 32)
-    --distances LIST    compare-distance axis (default: 2)
-    --refresh LIST      refresh-period axis; `none` or a frame count (default: none)
-    --binning LIST      binning axis: bbox,exact (default: bbox)
-    --ot-depths LIST    Signature Unit OT-queue depth axis (default: 16)
-    --l2-kb LIST        L2 capacity axis in KiB (default: 256)
-    --sig-compare-cycles LIST
-                        Signature Buffer compare-cost axis in cycles (default: 4)
-    --trace-dir DIR     cache .retrace captures here (default: <out>/traces)
-    --no-group          render per cell instead of once per render key
-    --quiet             no per-cell progress on stderr
-    -h, --help          this text
-
-REPORT:
-    sweep report [--store DIR]
-                        per-axis marginal mean/median RE speedup tables from
-                        an existing store (default store: sweep-out)
-";
-
-struct Args {
-    grid: ExperimentGrid,
-    opts: SweepOptions,
-    out: PathBuf,
-    store: bool,
-}
-
-/// First-occurrence-order dedup: `--tile-sizes 16,16` must not enumerate
-/// (and fully simulate) the same grid cell twice.
-fn dedup_in_order<T: PartialEq>(xs: Vec<T>) -> Vec<T> {
-    let mut out: Vec<T> = Vec::with_capacity(xs.len());
-    for x in xs {
-        if !out.contains(&x) {
-            out.push(x);
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&argv) {
+        Ok(Command::Help) => {
+            print!("{}", cli::usage());
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Axes) => {
+            print!("{}", cli::render_axes_table());
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Report { store }) => run_report(&store),
+        Ok(Command::Run(args)) => run_sweep(*args),
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            ExitCode::from(2)
         }
     }
-    out
 }
 
-fn parse_list<T: std::str::FromStr + PartialEq>(flag: &str, value: &str) -> Result<Vec<T>, String> {
-    value
-        .split(',')
-        .map(|s| {
-            s.trim()
-                .parse::<T>()
-                .map_err(|_| format!("{flag}: bad value `{s}`"))
-        })
-        .collect::<Result<Vec<T>, String>>()
-        .map(dedup_in_order)
-}
-
-fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut grid = ExperimentGrid::default();
-    let mut opts = SweepOptions::default();
-    let mut out = PathBuf::from("sweep-out");
-    let mut store = true;
-    let mut trace_dir: Option<PathBuf> = None;
-
-    let mut it = argv.iter();
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .map(String::as_str)
-                .ok_or(format!("{flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--out" => out = PathBuf::from(value()?),
-            "--no-store" => store = false,
-            "--workers" => opts.workers = value()?.parse().map_err(|_| "--workers: bad value")?,
-            "--frames" => {
-                grid.frames = value()?.parse().map_err(|_| "--frames: bad value")?;
-                if grid.frames == 0 {
-                    return Err("--frames: at least one frame is required".into());
-                }
-            }
-            "--width" => grid.width = value()?.parse().map_err(|_| "--width: bad value")?,
-            "--height" => grid.height = value()?.parse().map_err(|_| "--height: bad value")?,
-            "--scenes" => {
-                let v = value()?;
-                if v != "all" {
-                    grid.scenes =
-                        dedup_in_order(v.split(',').map(|s| s.trim().to_string()).collect());
-                    for s in &grid.scenes {
-                        if re_workloads::by_alias(s).is_none() {
-                            return Err(format!("--scenes: unknown alias `{s}`"));
-                        }
-                    }
-                }
-            }
-            "--tile-sizes" => {
-                grid.tile_sizes = parse_list(flag, value()?)?;
-                if grid.tile_sizes.contains(&0) {
-                    return Err("--tile-sizes: tile edges must be at least 1".into());
-                }
-            }
-            "--sig-bits" => {
-                grid.sig_bits = parse_list(flag, value()?)?;
-                if grid.sig_bits.iter().any(|&b| !(1..=32).contains(&b)) {
-                    return Err("--sig-bits: values must be in 1..=32".into());
-                }
-            }
-            "--distances" => {
-                grid.compare_distances = parse_list(flag, value()?)?;
-                if grid.compare_distances.contains(&0) {
-                    return Err("--distances: compare distance must be at least 1".into());
-                }
-            }
-            "--refresh" => {
-                grid.refresh_periods = value()?
-                    .split(',')
-                    .map(|s| match s.trim() {
-                        "none" | "0" => Ok(None),
-                        s => s
-                            .parse::<usize>()
-                            .map(Some)
-                            .map_err(|_| format!("--refresh: bad value `{s}`")),
-                    })
-                    .collect::<Result<Vec<_>, _>>()
-                    .map(dedup_in_order)?;
-            }
-            "--binning" => {
-                grid.binnings = value()?
-                    .split(',')
-                    .map(|s| {
-                        re_sweep::parse_binning(s.trim())
-                            .ok_or(format!("--binning: bad value `{s}` (bbox|exact)"))
-                    })
-                    .collect::<Result<Vec<_>, _>>()
-                    .map(dedup_in_order)?;
-            }
-            "--ot-depths" => {
-                grid.ot_depths = parse_list(flag, value()?)?;
-                if grid.ot_depths.contains(&0) {
-                    return Err("--ot-depths: the OT queue needs at least one entry".into());
-                }
-            }
-            "--l2-kb" => {
-                grid.l2_kb = parse_list(flag, value()?)?;
-                // Lower bound: one full cache set; upper: `kb << 10` must
-                // stay in u32 for CacheGeometry::size_bytes.
-                if grid.l2_kb.iter().any(|&kb| !(1..=4_194_303).contains(&kb)) {
-                    return Err("--l2-kb: values must be in 1..=4194303".into());
-                }
-            }
-            "--sig-compare-cycles" => {
-                grid.sig_compare_cycles = parse_list(flag, value()?)?;
-            }
-            "--trace-dir" => trace_dir = Some(PathBuf::from(value()?)),
-            "--no-group" => opts.group_renders = false,
-            "--quiet" => opts.quiet = true,
-            "-h" | "--help" => {
-                print!("{USAGE}");
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag `{other}` (try --help)")),
-        }
-    }
-    // With a store, captures default to living beside it; a memory-only run
-    // caches traces only when a directory was explicitly given.
-    opts.trace_dir = match (store, trace_dir) {
-        (_, Some(dir)) => Some(dir),
-        (true, None) => Some(out.join("traces")),
-        (false, None) => None,
-    };
-    Ok(Args {
-        grid,
-        opts,
-        out,
-        store,
-    })
-}
-
-fn run_report(argv: &[String]) -> ExitCode {
-    let mut store = PathBuf::from("sweep-out");
-    let mut it = argv.iter();
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--store" => match it.next() {
-                Some(dir) => store = PathBuf::from(dir),
-                None => {
-                    eprintln!("sweep report: --store needs a value");
-                    return ExitCode::from(2);
-                }
-            },
-            "-h" | "--help" => {
-                print!("{USAGE}");
-                return ExitCode::SUCCESS;
-            }
-            other => {
-                eprintln!("sweep report: unknown flag `{other}` (try --help)");
-                return ExitCode::from(2);
-            }
-        }
-    }
-    match re_sweep::read_records(&store) {
+fn run_report(store: &std::path::Path) -> ExitCode {
+    match re_sweep::read_records(store) {
         Ok(records) if records.is_empty() => {
             eprintln!(
                 "sweep report: store at {} holds no records",
@@ -255,21 +62,9 @@ fn run_report(argv: &[String]) -> ExitCode {
     }
 }
 
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("report") {
-        return run_report(&argv[1..]);
-    }
-    let args = match parse_args(&argv) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("sweep: {e}");
-            return ExitCode::from(2);
-        }
-    };
-
+fn run_sweep(args: RunArgs) -> ExitCode {
     let cells = args.grid.cell_count();
-    let scenes = args.grid.scenes.len();
+    let scenes = args.grid.scene_aliases().len();
     eprintln!(
         "[sweep] grid: {cells} cells ({scenes} scenes × {} configs), {} frames each",
         cells / scenes.max(1),
@@ -313,7 +108,7 @@ fn main() -> ExitCode {
 
 /// A short stdout digest: per-scene best/worst speedup across the grid.
 fn print_highlights(records: &[re_sweep::CellRecord]) {
-    let mut scenes: Vec<&str> = records.iter().map(|r| r.scene.as_str()).collect();
+    let mut scenes: Vec<&str> = records.iter().map(|r| r.scene()).collect();
     scenes.sort_unstable();
     scenes.dedup();
     println!(
@@ -322,7 +117,7 @@ fn print_highlights(records: &[re_sweep::CellRecord]) {
     );
     for scene in scenes {
         let of_scene: Vec<&re_sweep::CellRecord> =
-            records.iter().filter(|r| r.scene == scene).collect();
+            records.iter().filter(|r| r.scene() == scene).collect();
         let best = of_scene
             .iter()
             .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))

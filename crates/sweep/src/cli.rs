@@ -1,0 +1,409 @@
+//! Command-line parsing for the `sweep` binary, generated from the axis
+//! registry.
+//!
+//! Every axis flag — its name, list parsing, domain validation and help
+//! line — comes from [`crate::axis::AXES`]; this module only knows the
+//! fixed execution flags (`--out`, `--workers`, `--frames`, screen size,
+//! trace cache, grouping, verbosity). Registering a new axis therefore
+//! extends the CLI, `--help` and the `sweep axes` table with no changes
+//! here.
+//!
+//! Unknown flags are rejected with a nearest-flag suggestion, and
+//! duplicate values inside an axis list are an error (the grid would
+//! simulate the same cell twice).
+
+use std::path::PathBuf;
+
+use crate::axis::{self, AxisClass, Presence, AXES};
+use crate::engine::SweepOptions;
+use crate::grid::ExperimentGrid;
+
+/// Arguments of a `sweep` run (the default subcommand).
+#[derive(Debug)]
+pub struct RunArgs {
+    /// The experiment grid to enumerate.
+    pub grid: ExperimentGrid,
+    /// Execution options.
+    pub opts: SweepOptions,
+    /// Store directory.
+    pub out: PathBuf,
+    /// Whether to persist to the store (`--no-store` clears it).
+    pub store: bool,
+}
+
+/// A parsed `sweep` invocation.
+#[derive(Debug)]
+pub enum Command {
+    /// Run a grid (optionally against a store).
+    Run(Box<RunArgs>),
+    /// Digest an existing store into marginal tables.
+    Report {
+        /// Store directory to read.
+        store: PathBuf,
+    },
+    /// Print the axis registry table.
+    Axes,
+    /// Print usage and exit.
+    Help,
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+/// A ready-to-print message for unknown flags (with a nearest-flag
+/// suggestion), bad or duplicate values, and missing flag arguments.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    match argv.first().map(String::as_str) {
+        Some("report") => parse_report(&argv[1..]),
+        Some("axes") => match argv.get(1).map(String::as_str) {
+            None => Ok(Command::Axes),
+            Some("-h" | "--help") => Ok(Command::Help),
+            Some(other) => Err(format!("axes takes no arguments (got `{other}`)")),
+        },
+        _ => parse_run(argv),
+    }
+}
+
+fn parse_report(argv: &[String]) -> Result<Command, String> {
+    let mut store = PathBuf::from("sweep-out");
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--store" => match it.next() {
+                Some(dir) => store = PathBuf::from(dir),
+                None => return Err("report: --store needs a value".into()),
+            },
+            "-h" | "--help" => return Ok(Command::Help),
+            other => return Err(unknown_flag(other, &["--store", "--help"])),
+        }
+    }
+    Ok(Command::Report { store })
+}
+
+/// Fixed (non-axis) flags of the run subcommand, for suggestions.
+const RUN_FLAGS: &[&str] = &[
+    "--out",
+    "--no-store",
+    "--workers",
+    "--frames",
+    "--width",
+    "--height",
+    "--trace-dir",
+    "--no-group",
+    "--quiet",
+    "--help",
+];
+
+fn parse_run(argv: &[String]) -> Result<Command, String> {
+    let mut grid = ExperimentGrid::default();
+    let mut opts = SweepOptions::default();
+    let mut out = PathBuf::from("sweep-out");
+    let mut store = true;
+    let mut trace_dir: Option<PathBuf> = None;
+
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or(format!("{flag} needs a value"))
+        };
+        if let Some(a) = axis::by_flag(flag) {
+            let values = AXES[a].parse_list(value()?)?;
+            grid.set_axis(a, values)
+                .map_err(|e| format!("{flag}: {e}"))?;
+            continue;
+        }
+        match flag.as_str() {
+            "--out" => out = PathBuf::from(value()?),
+            "--no-store" => store = false,
+            "--workers" => opts.workers = value()?.parse().map_err(|_| "--workers: bad value")?,
+            "--frames" => {
+                grid.frames = value()?.parse().map_err(|_| "--frames: bad value")?;
+                if grid.frames == 0 {
+                    return Err("--frames: at least one frame is required".into());
+                }
+            }
+            "--width" => grid.width = value()?.parse().map_err(|_| "--width: bad value")?,
+            "--height" => grid.height = value()?.parse().map_err(|_| "--height: bad value")?,
+            "--trace-dir" => trace_dir = Some(PathBuf::from(value()?)),
+            "--no-group" => opts.group_renders = false,
+            "--quiet" => opts.quiet = true,
+            "-h" | "--help" => return Ok(Command::Help),
+            other => {
+                let known: Vec<&str> = AXES
+                    .iter()
+                    .map(|a| a.flag)
+                    .chain(RUN_FLAGS.iter().copied())
+                    .collect();
+                return Err(unknown_flag(other, &known));
+            }
+        }
+    }
+    // With a store, captures default to living beside it; a memory-only run
+    // caches traces only when a directory was explicitly given.
+    opts.trace_dir = match (store, trace_dir) {
+        (_, Some(dir)) => Some(dir),
+        (true, None) => Some(out.join("traces")),
+        (false, None) => None,
+    };
+    Ok(Command::Run(Box::new(RunArgs {
+        grid,
+        opts,
+        out,
+        store,
+    })))
+}
+
+/// Levenshtein distance (small inputs: flags are short).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// "unknown flag" error with the closest known flag as a suggestion: a
+/// flag the input is a prefix of wins (`--sig` → `--sig-bits`), otherwise
+/// the smallest edit distance within a typo-sized bound.
+fn unknown_flag(flag: &str, known: &[&str]) -> String {
+    let by_prefix = known
+        .iter()
+        .filter(|k| flag.len() > 2 && k.starts_with(flag))
+        .min_by_key(|k| k.len());
+    let suggestion = by_prefix
+        .copied()
+        .or_else(|| {
+            known
+                .iter()
+                .map(|k| (edit_distance(flag, k), *k))
+                .min()
+                .filter(|&(d, _)| d <= 3)
+                .map(|(_, k)| k)
+        })
+        .map(|k| format!(" (did you mean `{k}`?)"));
+    format!(
+        "unknown flag `{flag}`{} — try --help or `sweep axes`",
+        suggestion.unwrap_or_default()
+    )
+}
+
+/// The `--help` text; the per-axis option lines are generated from the
+/// registry.
+pub fn usage() -> String {
+    let mut out = String::from(
+        "sweep — parallel experiment orchestration for the RE reproduction
+
+USAGE:
+    sweep [OPTIONS]
+    sweep report [--store DIR]
+    sweep axes
+
+OPTIONS:
+    --out DIR           result-store directory (default: sweep-out; resumable)
+    --no-store          run in memory only, print the CSV to stdout
+    --workers N         worker threads (default: all hardware threads)
+    --frames N          frames per cell (default: 24)
+    --width W           screen width (default: 400)
+    --height H          screen height (default: 256)
+",
+    );
+    for a in &AXES {
+        let head = format!("{} LIST", a.flag);
+        let default = if a.default_all {
+            "all".to_string()
+        } else {
+            a.format_value(a.default)
+        };
+        if head.len() <= 19 {
+            out.push_str(&format!(
+                "    {head:<19} {}, {} (default: {default})\n",
+                a.help, a.domain
+            ));
+        } else {
+            out.push_str(&format!(
+                "    {head}\n                        {}, {} (default: {default})\n",
+                a.help, a.domain
+            ));
+        }
+    }
+    out.push_str(
+        "    --trace-dir DIR     cache .retrace captures here (default: <out>/traces)
+    --no-group          render per cell instead of once per render key
+    --quiet             no per-cell progress on stderr
+    -h, --help          this text
+
+Axis LIST values are comma-separated; `all` expands to the axis default
+(every workload for --scenes). Duplicate values are rejected.
+
+REPORT:
+    sweep report [--store DIR]
+                        per-axis marginal mean/median RE speedup tables from
+                        an existing store (default store: sweep-out)
+
+AXES:
+    sweep axes          print every registered axis: flag, class, domain,
+                        default (generated from the axis registry)
+",
+    );
+    out
+}
+
+/// The `sweep axes` table: one line per registered axis, straight from the
+/// registry (living documentation of the parameter space).
+pub fn render_axes_table() -> String {
+    let mut out = format!(
+        "{:<20} {:<22} {:<7} {:<9} {:<22} {}\n",
+        "axis", "flag", "class", "default", "domain", "description"
+    );
+    for a in &AXES {
+        let class = match a.class {
+            AxisClass::Render => "render",
+            AxisClass::Eval => "eval",
+        };
+        let default = if a.default_all {
+            "all".to_string()
+        } else {
+            a.format_value(a.default)
+        };
+        let presence = match a.presence {
+            Presence::Always => "",
+            Presence::NonDefault => " [in artifacts only off-default]",
+        };
+        out.push_str(&format!(
+            "{:<20} {:<22} {:<7} {:<9} {:<22} {}{}\n",
+            a.name, a.flag, class, default, a.domain, a.help, presence
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_strs(args: &[&str]) -> Result<Command, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn run_args(args: &[&str]) -> RunArgs {
+        match parse_strs(args).expect("parse") {
+            Command::Run(r) => *r,
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn axis_flags_reach_the_grid_through_the_registry() {
+        let r = run_args(&[
+            "--scenes",
+            "ccs,tib",
+            "--tile-sizes",
+            "8,16",
+            "--refresh",
+            "none,8",
+            "--binning",
+            "bbox,exact",
+            "--memo-kb",
+            "4,16",
+            "--frames",
+            "3",
+        ]);
+        assert_eq!(r.grid.scene_aliases(), ["ccs", "tib"]);
+        assert_eq!(r.grid.axis_values(axis::TILE_SIZE), [8, 16]);
+        assert_eq!(r.grid.axis_values(axis::REFRESH_PERIOD), [0, 8]);
+        assert_eq!(r.grid.axis_values(axis::BINNING), [0, 1]);
+        assert_eq!(r.grid.axis_values(axis::MEMO_KB), [4, 16]);
+        assert_eq!(r.grid.frames, 3);
+        assert!(r.store);
+    }
+
+    #[test]
+    fn duplicate_axis_values_are_rejected() {
+        let err = parse_strs(&["--tile-sizes", "16,16"]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let err = parse_strs(&["--scenes", "ccs,ccs"]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_suggest_the_nearest_axis() {
+        let err = parse_strs(&["--sig-bit", "16"]).unwrap_err();
+        assert!(err.contains("did you mean `--sig-bits`?"), "{err}");
+        let err = parse_strs(&["--memokb", "4"]).unwrap_err();
+        assert!(err.contains("did you mean `--memo-kb`?"), "{err}");
+        // A prefix of a real flag beats a closer-by-edit-distance flag.
+        let err = parse_strs(&["--sig", "16"]).unwrap_err();
+        assert!(err.contains("did you mean `--sig-bits`?"), "{err}");
+        // Complete nonsense still errors, without a misleading suggestion.
+        let err = parse_strs(&["--frobnicate-extremely", "1"]).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn domain_errors_carry_the_flag_and_domain() {
+        let err = parse_strs(&["--sig-bits", "33"]).unwrap_err();
+        assert!(
+            err.contains("--sig-bits") && err.contains("1..=32"),
+            "{err}"
+        );
+        let err = parse_strs(&["--scenes", "nope"]).unwrap_err();
+        assert!(err.contains("unknown workload alias"), "{err}");
+        let err = parse_strs(&["--frames", "0"]).unwrap_err();
+        assert!(err.contains("at least one frame"), "{err}");
+    }
+
+    #[test]
+    fn all_expands_scenes_to_the_suite() {
+        let r = run_args(&["--scenes", "all"]);
+        assert_eq!(r.grid.scene_aliases().len(), re_workloads::ALIASES.len());
+    }
+
+    #[test]
+    fn store_and_trace_dir_defaults() {
+        let r = run_args(&["--out", "results"]);
+        assert!(r.store);
+        assert_eq!(
+            r.opts.trace_dir.as_deref(),
+            Some(std::path::Path::new("results/traces"))
+        );
+        let r = run_args(&["--no-store"]);
+        assert!(!r.store);
+        assert_eq!(r.opts.trace_dir, None);
+    }
+
+    #[test]
+    fn report_and_axes_subcommands_parse() {
+        assert!(matches!(
+            parse_strs(&["report", "--store", "d"]).unwrap(),
+            Command::Report { .. }
+        ));
+        assert!(matches!(parse_strs(&["axes"]).unwrap(), Command::Axes));
+        assert!(parse_strs(&["axes", "typo"])
+            .unwrap_err()
+            .contains("no arguments"));
+        assert!(matches!(parse_strs(&["--help"]).unwrap(), Command::Help));
+        let err = parse_strs(&["report", "--stroe", "d"]).unwrap_err();
+        assert!(err.contains("did you mean `--store`?"), "{err}");
+    }
+
+    #[test]
+    fn usage_and_axes_table_cover_every_registered_axis() {
+        let (usage, table) = (usage(), render_axes_table());
+        for a in &AXES {
+            assert!(usage.contains(a.flag), "usage lacks {}", a.flag);
+            assert!(table.contains(a.flag), "table lacks {}", a.flag);
+            assert!(table.contains(a.name), "table lacks {}", a.name);
+        }
+        assert!(table.contains("memo_kb"));
+    }
+}

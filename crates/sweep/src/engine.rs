@@ -11,8 +11,9 @@
 //!    tile size, binning) — share one lazily built `Arc<RenderLog>`: the
 //!    first worker to reach a group runs Stage A, every cell of the group
 //!    runs only Stage B, and the log is dropped when its last cell
-//!    finishes. A sweep over evaluation-only axes (signature width, compare
-//!    distance, refresh, OT depth, L2, signature-compare cost) therefore
+//!    finishes. A sweep over evaluation-only axes (every registered axis
+//!    classified `Eval`: signature width, compare distance, refresh, OT
+//!    depth, L2, signature-compare cost, memo capacity) therefore
 //!    rasterizes each key **exactly once** instead of once per cell;
 //! 3. results are re-assembled in cell-id order, so every aggregate —
 //!    returned reports, store records, the final CSV — is independent of
@@ -132,7 +133,7 @@ impl Progress {
 pub fn capture_traces(
     grid: &ExperimentGrid,
     opts: &SweepOptions,
-) -> io::Result<HashMap<String, Arc<Trace>>> {
+) -> io::Result<HashMap<&'static str, Arc<Trace>>> {
     // Captures run the full geometry+raster pipeline per frame; the default
     // GpuConfig only carries screen geometry, and replay overrides it per
     // cell anyway.
@@ -143,14 +144,14 @@ pub fn capture_traces(
     };
     let mut cache = TraceCache::new(opts.trace_dir.clone());
     let mut traces = HashMap::new();
-    for alias in &grid.scenes {
+    for alias in grid.scene_aliases() {
         if traces.contains_key(alias) {
             continue;
         }
         if !opts.quiet {
             eprintln!("[sweep] capturing {alias} ({} frames)…", grid.frames);
         }
-        traces.insert(alias.clone(), cache.get(alias, grid.frames, capture_cfg)?);
+        traces.insert(alias, cache.get(alias, grid.frames, capture_cfg)?);
     }
     Ok(traces)
 }
@@ -160,16 +161,16 @@ pub fn capture_traces(
 /// [`run_grid`]/[`run_grid_with_store`] produces identical reports while
 /// rendering each key once.
 pub fn run_cell(trace: &Arc<Trace>, cell: &Cell) -> RunReport {
-    let mut scene = SharedTraceScene::new(Arc::clone(trace), cell.scene.clone());
-    let mut sim = Simulator::new(cell.config.sim_options());
-    sim.run(&mut scene, cell.config.frames)
+    let mut scene = SharedTraceScene::new(Arc::clone(trace), cell.scene().to_string());
+    let mut sim = Simulator::new(cell.point.sim_options());
+    sim.run(&mut scene, cell.point.frames)
 }
 
 /// Runs Stage A for one render key: replays the scene's trace through the
 /// functional GPU under the key's screen/tile/binning configuration.
 pub fn render_key_log(trace: &Arc<Trace>, key: &RenderKey) -> RenderLog {
-    let mut scene = SharedTraceScene::new(Arc::clone(trace), key.scene.clone());
-    render_scene(&mut scene, key.gpu_config(), key.frames)
+    let mut scene = SharedTraceScene::new(Arc::clone(trace), key.scene().to_string());
+    render_scene(&mut scene, key.gpu_config(), key.frames())
 }
 
 /// A render group's shared state: the lazily built log plus the number of
@@ -181,7 +182,7 @@ struct GroupSlot {
 
 fn run_cells(
     cells: Vec<Cell>,
-    traces: &HashMap<String, Arc<Trace>>,
+    traces: &HashMap<&'static str, Arc<Trace>>,
     opts: &SweepOptions,
     on_done: impl Fn(&Cell, &RunReport) + Sync,
 ) -> Vec<CellOutcome> {
@@ -189,7 +190,7 @@ fn run_cells(
 
     if !opts.group_renders {
         return pool::run_indexed(cells, opts.effective_workers(), |_i, cell| {
-            let trace = &traces[&cell.scene];
+            let trace = &traces[cell.scene()];
             let report = run_cell(trace, &cell);
             on_done(&cell, &report);
             progress.cell_done(&cell.label());
@@ -230,15 +231,15 @@ fn run_cells(
                 Some(log) => Arc::clone(log),
                 None => {
                     if !opts.quiet {
-                        eprintln!("[sweep] rendering {} ts{}…", key.scene, key.tile_size);
+                        eprintln!("[sweep] rendering {} ts{}…", key.scene(), key.tile_size());
                     }
-                    let log = Arc::new(render_key_log(&traces[&key.scene], &key));
+                    let log = Arc::new(render_key_log(&traces[key.scene()], &key));
                     *guard = Some(Arc::clone(&log));
                     log
                 }
             }
         };
-        let report = evaluate(&log, &cell.config.sim_options());
+        let report = evaluate(&log, &cell.point.sim_options());
         drop(log);
         // Last cell of the group: free the log's memory early instead of
         // keeping every group alive until the sweep ends.
@@ -293,18 +294,15 @@ pub fn run_grid_with_store(
     } else {
         // Capture only the scenes that still have pending cells: a resume
         // with one cell left must not re-capture the other nine workloads.
-        let needed: Vec<String> = {
+        let needed: Vec<&str> = {
             let mut seen = std::collections::HashSet::new();
             pending
                 .iter()
-                .filter(|c| seen.insert(c.scene.clone()))
-                .map(|c| c.scene.clone())
+                .filter(|c| seen.insert(c.scene()))
+                .map(|c| c.scene())
                 .collect()
         };
-        let capture_grid = ExperimentGrid {
-            scenes: needed,
-            ..grid.clone()
-        };
+        let capture_grid = grid.clone().with_scenes(&needed);
         let traces = capture_traces(&capture_grid, opts)?;
         // Commit from the worker so a killed sweep keeps finished cells.
         // A failed commit must not report success (an apparently complete
@@ -360,14 +358,13 @@ mod tests {
     use super::*;
 
     fn tiny_grid() -> ExperimentGrid {
-        ExperimentGrid {
-            scenes: vec!["ccs".into(), "tib".into()],
-            frames: 3,
-            width: 128,
-            height: 64,
-            tile_sizes: vec![16, 32],
-            ..ExperimentGrid::default()
-        }
+        let mut g = ExperimentGrid::default()
+            .with_scenes(&["ccs", "tib"])
+            .with_axis(crate::axis::TILE_SIZE, vec![16, 32]);
+        g.frames = 3;
+        g.width = 128;
+        g.height = 64;
+        g
     }
 
     fn quiet() -> SweepOptions {
@@ -394,11 +391,9 @@ mod tests {
         // Evaluation-only axes (sig bits × distance) on top of a render
         // axis (tile size): grouping shares logs within each key and the
         // reports must still be bit-identical to per-cell rendering.
-        let grid = ExperimentGrid {
-            sig_bits: vec![16, 32],
-            compare_distances: vec![1, 2],
-            ..tiny_grid()
-        };
+        let grid = tiny_grid()
+            .with_axis(crate::axis::SIG_BITS, vec![16, 32])
+            .with_axis(crate::axis::COMPARE_DISTANCE, vec![1, 2]);
         let grouped = run_grid(&grid, &quiet()).expect("grouped");
         let per_cell = run_grid(
             &grid,

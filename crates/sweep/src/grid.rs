@@ -1,317 +1,275 @@
-//! Experiment grids: the cross product of configuration axes and scenes.
+//! Experiment grids: the cross product of registered axes and their value
+//! lists.
 //!
-//! A grid names the design-space the HPCA'19 paper explores — tile size,
-//! signature width, compare distance, refresh policy, binning mode and the
-//! machine's timing knobs — crossed with the benchmark scenes. Each point of
-//! the product is a [`Cell`] with a stable integer id; cell ids (and
-//! therefore every downstream artifact: store filenames, CSV row order) are
-//! a pure function of the grid, independent of worker count or completion
-//! order.
+//! A grid names the design-space the HPCA'19 paper explores — one value
+//! list per axis in [`crate::axis::AXES`], crossed in registry order (the
+//! scene axis is the outermost loop). Each point of the product is a
+//! [`Cell`] with a stable integer id; cell ids (and therefore every
+//! downstream artifact: store filenames, CSV row order) are a pure
+//! function of the grid, independent of worker count or completion order.
+//!
+//! Nothing in this module names an individual axis: enumeration,
+//! validation, spec strings, fingerprints and render keys are all derived
+//! from the registry, so a new axis definition is automatically part of
+//! every grid.
 
-use re_core::SimOptions;
 use re_gpu::{BinningMode, GpuConfig};
-use re_timing::TimingConfig;
+
+use crate::axis::{self, AxisDef, AxisId, ParamPoint, Presence, AXES, AXIS_COUNT};
+
+/// Display name of a binning mode (used in CSV/JSON and CLI parsing) — a
+/// thin view of the registry's name table.
+pub fn binning_name(mode: BinningMode) -> &'static str {
+    axis::BINNING_NAMES[axis::binning_to_raw(mode) as usize].0
+}
+
+/// Parses a binning-mode name (`bbox` / `exact`).
+pub fn parse_binning(name: &str) -> Option<BinningMode> {
+    AXES[axis::BINNING]
+        .parse_value(name)
+        .ok()
+        .map(axis::binning_from_raw)
+}
 
 /// The subset of a cell that determines Stage A's output: two cells with
 /// equal render keys rasterize pixel-identical frames, so the sweep engine
 /// builds one shared [`re_core::RenderLog`] per key and fans out
 /// evaluation-only jobs (see `engine`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct RenderKey {
-    /// Workload alias.
-    pub scene: String,
-    /// Screen width in pixels.
-    pub width: u32,
-    /// Screen height in pixels.
-    pub height: u32,
-    /// Frames rendered.
-    pub frames: usize,
-    /// Tile edge in pixels.
-    pub tile_size: u32,
-    /// Binning-mode name (`bbox` / `exact`; the name keeps the key `Hash`).
-    pub binning: String,
-}
+///
+/// A key is a [`ParamPoint`] with every [`axis::AxisClass::Eval`] axis
+/// reset to its default — derived from the registry's classification
+/// rather than a hand-maintained field list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RenderKey(ParamPoint);
 
 impl RenderKey {
+    /// Workload alias.
+    pub fn scene(&self) -> &'static str {
+        self.0.scene()
+    }
+
+    /// Frames rendered.
+    pub fn frames(&self) -> usize {
+        self.0.frames
+    }
+
+    /// Tile edge in pixels (progress lines).
+    pub fn tile_size(&self) -> u32 {
+        self.0.tile_size()
+    }
+
     /// The GPU configuration Stage A renders this key under.
     pub fn gpu_config(&self) -> GpuConfig {
-        GpuConfig {
-            width: self.width,
-            height: self.height,
-            tile_size: self.tile_size,
-            binning: parse_binning(&self.binning).expect("render key holds a valid binning name"),
-        }
+        self.0.sim_options().gpu
     }
 }
 
-/// Display name of a binning mode (used in CSV/JSON and CLI parsing).
-pub fn binning_name(mode: BinningMode) -> &'static str {
-    match mode {
-        BinningMode::BoundingBox => "bbox",
-        BinningMode::ExactCoverage => "exact",
-    }
-}
-
-/// Parses a binning-mode name (`bbox` / `exact`).
-pub fn parse_binning(name: &str) -> Option<BinningMode> {
-    match name {
-        "bbox" => Some(BinningMode::BoundingBox),
-        "exact" => Some(BinningMode::ExactCoverage),
-        _ => None,
-    }
-}
-
-/// One concrete simulator configuration (a grid point minus the scene).
+/// One experiment: a grid point (scene included) with its stable grid id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CellConfig {
-    /// Screen width in pixels.
-    pub width: u32,
-    /// Screen height in pixels.
-    pub height: u32,
-    /// Frames simulated.
-    pub frames: usize,
-    /// Tile edge in pixels.
-    pub tile_size: u32,
-    /// Signature width stored in the Signature Buffer (1..=32).
-    pub sig_bits: u32,
-    /// Signature/color comparison distance.
-    pub compare_distance: usize,
-    /// Periodic forced refresh (`None` = never, the paper's configuration).
-    pub refresh_period: Option<usize>,
-    /// Polygon-List-Builder binning mode.
-    pub binning: BinningMode,
-    /// Signature Unit OT-queue depth.
-    pub ot_depth: u32,
-    /// L2 cache capacity in KiB.
-    pub l2_kb: u32,
-    /// Cycles charged per Signature Buffer compare at tile-scheduling time.
-    pub sig_compare_cycles: u64,
-}
-
-impl CellConfig {
-    /// Lowers this grid point to simulator options.
-    pub fn sim_options(&self) -> SimOptions {
-        let mut timing = TimingConfig::mali450();
-        timing.ot_queue_entries = self.ot_depth;
-        timing.l2_cache.size_bytes = self.l2_kb << 10;
-        timing.sig_compare_cycles = self.sig_compare_cycles;
-        SimOptions {
-            gpu: GpuConfig {
-                width: self.width,
-                height: self.height,
-                tile_size: self.tile_size,
-                binning: self.binning,
-            },
-            timing,
-            compare_distance: self.compare_distance,
-            refresh_period: self.refresh_period,
-            sig_bits: self.sig_bits,
-        }
-    }
-}
-
-/// One experiment: a scene under one configuration, with its grid id.
-#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cell {
     /// Position in the grid's deterministic enumeration order.
     pub id: usize,
-    /// Workload alias (`ccs` … `tib`).
-    pub scene: String,
-    /// The configuration of this grid point.
-    pub config: CellConfig,
+    /// The full parameter point of this cell.
+    pub point: ParamPoint,
 }
 
 impl Cell {
+    /// Workload alias (`ccs` … `tib`).
+    pub fn scene(&self) -> &'static str {
+        self.point.scene()
+    }
+
     /// A compact human-readable label for progress lines.
     pub fn label(&self) -> String {
-        let c = &self.config;
-        format!(
-            "{} ts{} sb{} d{} r{} {} ot{} l2:{}K sc{}",
-            self.scene,
-            c.tile_size,
-            c.sig_bits,
-            c.compare_distance,
-            c.refresh_period.unwrap_or(0),
-            binning_name(c.binning),
-            c.ot_depth,
-            c.l2_kb,
-            c.sig_compare_cycles,
-        )
+        self.point.label()
     }
 
     /// The cell's render key — what Stage A's output depends on.
     pub fn render_key(&self) -> RenderKey {
-        let c = &self.config;
-        RenderKey {
-            scene: self.scene.clone(),
-            width: c.width,
-            height: c.height,
-            frames: c.frames,
-            tile_size: c.tile_size,
-            binning: binning_name(c.binning).to_string(),
-        }
+        RenderKey(self.point.render_normalized())
     }
 }
 
-/// The cross product of configuration axes and scenes.
+/// The cross product of per-axis value lists.
+///
+/// Axis values are held in registry order and only reachable through
+/// validated setters, so a constructed grid is always enumerable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentGrid {
-    /// Workload aliases, in enumeration (and report) order.
-    pub scenes: Vec<String>,
     /// Frames per cell.
     pub frames: usize,
     /// Screen width in pixels.
     pub width: u32,
     /// Screen height in pixels.
     pub height: u32,
-    /// Tile-edge axis.
-    pub tile_sizes: Vec<u32>,
-    /// Signature-width axis.
-    pub sig_bits: Vec<u32>,
-    /// Compare-distance axis.
-    pub compare_distances: Vec<usize>,
-    /// Refresh-period axis (`None` = never refresh).
-    pub refresh_periods: Vec<Option<usize>>,
-    /// Binning-mode axis.
-    pub binnings: Vec<BinningMode>,
-    /// OT-queue-depth axis.
-    pub ot_depths: Vec<u32>,
-    /// L2-capacity axis in KiB.
-    pub l2_kb: Vec<u32>,
-    /// Signature-compare-cost axis in cycles.
-    pub sig_compare_cycles: Vec<u64>,
+    values: [Vec<u64>; AXIS_COUNT],
 }
 
 impl Default for ExperimentGrid {
     /// All ten workloads at the paper's design point, quarter resolution.
     fn default() -> Self {
         ExperimentGrid {
-            scenes: re_workloads::suite()
-                .iter()
-                .map(|b| b.alias.to_string())
-                .collect(),
             frames: 24,
             width: 400,
             height: 256,
-            tile_sizes: vec![16],
-            sig_bits: vec![32],
-            compare_distances: vec![2],
-            refresh_periods: vec![None],
-            binnings: vec![BinningMode::BoundingBox],
-            ot_depths: vec![16],
-            l2_kb: vec![256],
-            sig_compare_cycles: vec![4],
+            values: std::array::from_fn(|a| AXES[a].default_values()),
         }
     }
 }
 
 impl ExperimentGrid {
-    /// Number of cells in the product.
-    pub fn cell_count(&self) -> usize {
-        self.scenes.len()
-            * self.tile_sizes.len()
-            * self.sig_bits.len()
-            * self.compare_distances.len()
-            * self.refresh_periods.len()
-            * self.binnings.len()
-            * self.ot_depths.len()
-            * self.l2_kb.len()
-            * self.sig_compare_cycles.len()
+    /// The value list of `axis`, in enumeration order.
+    pub fn axis_values(&self, axis: AxisId) -> &[u64] {
+        &self.values[axis]
     }
 
-    /// Enumerates every cell in deterministic order (scene-major, then each
-    /// axis in struct order). Ids are the enumeration index.
+    /// Replaces the value list of `axis`.
+    ///
+    /// # Errors
+    /// Rejects empty lists, out-of-domain values and duplicates (a
+    /// duplicate would enumerate — and fully simulate — the same cell
+    /// twice).
+    pub fn set_axis(&mut self, axis: AxisId, values: Vec<u64>) -> Result<(), String> {
+        let def: &AxisDef = &AXES[axis];
+        if values.is_empty() {
+            return Err(format!("axis `{}`: empty value list", def.name));
+        }
+        for (i, &v) in values.iter().enumerate() {
+            if !def.is_valid(v) {
+                return Err(format!(
+                    "axis `{}`: value `{}` outside domain {}",
+                    def.name,
+                    def.format_value(v),
+                    def.domain
+                ));
+            }
+            if values[..i].contains(&v) {
+                return Err(format!(
+                    "axis `{}`: duplicate value `{}`",
+                    def.name,
+                    def.format_value(v)
+                ));
+            }
+        }
+        self.values[axis] = values;
+        Ok(())
+    }
+
+    /// Builder form of [`set_axis`](Self::set_axis) for tests and
+    /// programmatic grids.
     ///
     /// # Panics
-    /// Panics if any axis is empty or a value is out of range.
+    /// Panics on the errors `set_axis` reports.
+    pub fn with_axis(mut self, axis: AxisId, values: impl Into<Vec<u64>>) -> Self {
+        self.set_axis(axis, values.into())
+            .expect("valid axis values");
+        self
+    }
+
+    /// Builder that parses a CLI-style value list (`"8,16"`, `"bbox,exact"`,
+    /// `"none,4"`, `"all"`) through the axis's own parser.
+    ///
+    /// # Panics
+    /// Panics on values the CLI would reject.
+    pub fn with_parsed(self, axis: AxisId, list: &str) -> Self {
+        let values = AXES[axis].parse_list(list).expect("parsable axis list");
+        self.with_axis(axis, values)
+    }
+
+    /// Builder that selects scenes by alias.
+    ///
+    /// # Panics
+    /// Panics on unknown aliases or duplicates.
+    pub fn with_scenes(self, aliases: &[&str]) -> Self {
+        let scene = &AXES[axis::SCENE];
+        let values: Vec<u64> = aliases
+            .iter()
+            .map(|a| scene.parse_value(a).expect("known workload alias"))
+            .collect();
+        self.with_axis(axis::SCENE, values)
+    }
+
+    /// Workload aliases of the scene axis, in enumeration order.
+    pub fn scene_aliases(&self) -> Vec<&'static str> {
+        self.values[axis::SCENE]
+            .iter()
+            .map(|&raw| re_workloads::ALIASES[raw as usize])
+            .collect()
+    }
+
+    /// Number of cells in the product.
+    pub fn cell_count(&self) -> usize {
+        self.values.iter().map(Vec::len).product()
+    }
+
+    /// Enumerates every cell in deterministic order (scene-major, then
+    /// each axis in registry order). Ids are the enumeration index.
+    ///
+    /// # Panics
+    /// Panics if the grid has no frames.
     pub fn cells(&self) -> Vec<Cell> {
         assert!(self.frames > 0, "grid needs at least one frame");
-        for (name, empty) in [
-            ("scenes", self.scenes.is_empty()),
-            ("tile_sizes", self.tile_sizes.is_empty()),
-            ("sig_bits", self.sig_bits.is_empty()),
-            ("compare_distances", self.compare_distances.is_empty()),
-            ("refresh_periods", self.refresh_periods.is_empty()),
-            ("binnings", self.binnings.is_empty()),
-            ("ot_depths", self.ot_depths.is_empty()),
-            ("l2_kb", self.l2_kb.is_empty()),
-            ("sig_compare_cycles", self.sig_compare_cycles.is_empty()),
-        ] {
-            assert!(!empty, "grid axis `{name}` is empty");
-        }
         let mut cells = Vec::with_capacity(self.cell_count());
-        for scene in &self.scenes {
-            for &tile_size in &self.tile_sizes {
-                for &sig_bits in &self.sig_bits {
-                    for &compare_distance in &self.compare_distances {
-                        for &refresh_period in &self.refresh_periods {
-                            for &binning in &self.binnings {
-                                for &ot_depth in &self.ot_depths {
-                                    for &l2_kb in &self.l2_kb {
-                                        for &sig_compare_cycles in &self.sig_compare_cycles {
-                                            cells.push(Cell {
-                                                id: cells.len(),
-                                                scene: scene.clone(),
-                                                config: CellConfig {
-                                                    width: self.width,
-                                                    height: self.height,
-                                                    frames: self.frames,
-                                                    tile_size,
-                                                    sig_bits,
-                                                    compare_distance,
-                                                    refresh_period,
-                                                    binning,
-                                                    ot_depth,
-                                                    l2_kb,
-                                                    sig_compare_cycles,
-                                                },
-                                            });
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
+        let mut idx = [0usize; AXIS_COUNT];
+        'odometer: loop {
+            let mut point = ParamPoint::new(self.width, self.height, self.frames);
+            for (a, (values, &i)) in self.values.iter().zip(&idx).enumerate() {
+                point.set(a, values[i]);
+            }
+            cells.push(Cell {
+                id: cells.len(),
+                point,
+            });
+            // Increment the innermost (last) axis first; carry outward.
+            let mut a = AXIS_COUNT;
+            loop {
+                if a == 0 {
+                    break 'odometer;
                 }
+                a -= 1;
+                idx[a] += 1;
+                if idx[a] < self.values[a].len() {
+                    break;
+                }
+                idx[a] = 0;
             }
         }
         cells
     }
 
-    /// Canonical textual form of the grid — what the fingerprint hashes and
-    /// what the store records so a resumed run can prove it matches.
+    /// Canonical textual form of the grid — what the fingerprint hashes
+    /// and what the store records so a resumed run can prove it matches.
+    ///
+    /// One line per axis in registry order (scene first, then the grid
+    /// scalars). [`Presence::NonDefault`] axes contribute a line only away
+    /// from their default, so grids that never touch a newer axis keep the
+    /// spec — and the fingerprint — they had before the axis existed.
     pub fn spec_string(&self) -> String {
-        fn join<T: std::fmt::Display>(xs: &[T]) -> String {
-            xs.iter()
-                .map(|x| x.to_string())
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let join = |axis: &AxisDef, values: &[u64]| {
+            values
+                .iter()
+                .map(|&v| axis.format_value(v))
                 .collect::<Vec<_>>()
                 .join(",")
-        }
-        format!(
-            "scenes={}\nframes={}\nscreen={}x{}\ntile_sizes={}\nsig_bits={}\n\
-             compare_distances={}\nrefresh_periods={}\nbinnings={}\not_depths={}\nl2_kb={}\n\
-             sig_compare_cycles={}\n",
-            self.scenes.join(","),
+        };
+        let _ = writeln!(
+            out,
+            "{}={}\nframes={}\nscreen={}x{}",
+            AXES[axis::SCENE].spec_key,
+            join(&AXES[axis::SCENE], &self.values[axis::SCENE]),
             self.frames,
             self.width,
             self.height,
-            join(&self.tile_sizes),
-            join(&self.sig_bits),
-            join(&self.compare_distances),
-            self.refresh_periods
-                .iter()
-                .map(|r| r.map_or_else(|| "none".to_string(), |p| p.to_string()))
-                .collect::<Vec<_>>()
-                .join(","),
-            self.binnings
-                .iter()
-                .map(|&b| binning_name(b))
-                .collect::<Vec<_>>()
-                .join(","),
-            join(&self.ot_depths),
-            join(&self.l2_kb),
-            join(&self.sig_compare_cycles),
-        )
+        );
+        for (a, def) in AXES.iter().enumerate().skip(1) {
+            if matches!(def.presence, Presence::NonDefault) && self.values[a] == [def.default] {
+                continue;
+            }
+            let _ = writeln!(out, "{}={}", def.spec_key, join(def, &self.values[a]));
+        }
+        out
     }
 
     /// FNV-1a fingerprint of [`spec_string`](Self::spec_string); two grids
@@ -330,13 +288,11 @@ mod tests {
     use super::*;
 
     fn small() -> ExperimentGrid {
-        ExperimentGrid {
-            scenes: vec!["ccs".into(), "ter".into()],
-            tile_sizes: vec![8, 16],
-            sig_bits: vec![16, 32],
-            compare_distances: vec![1, 2],
-            ..ExperimentGrid::default()
-        }
+        ExperimentGrid::default()
+            .with_scenes(&["ccs", "ter"])
+            .with_axis(axis::TILE_SIZE, vec![8, 16])
+            .with_axis(axis::SIG_BITS, vec![16, 32])
+            .with_axis(axis::COMPARE_DISTANCE, vec![1, 2])
     }
 
     #[test]
@@ -348,8 +304,8 @@ mod tests {
             assert_eq!(c.id, i);
         }
         // Scene-major order.
-        assert!(cells[..8].iter().all(|c| c.scene == "ccs"));
-        assert!(cells[8..].iter().all(|c| c.scene == "ter"));
+        assert!(cells[..8].iter().all(|c| c.scene() == "ccs"));
+        assert!(cells[8..].iter().all(|c| c.scene() == "ter"));
     }
 
     #[test]
@@ -359,54 +315,70 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_sees_every_axis() {
+    fn fingerprint_sees_every_axis_and_scalar() {
         let base = small();
-        for variant in [
-            ExperimentGrid {
-                frames: base.frames + 1,
-                ..base.clone()
-            },
-            ExperimentGrid {
-                tile_sizes: vec![32],
-                ..base.clone()
-            },
-            ExperimentGrid {
-                sig_bits: vec![8],
-                ..base.clone()
-            },
-            ExperimentGrid {
-                refresh_periods: vec![Some(4)],
-                ..base.clone()
-            },
-            ExperimentGrid {
-                binnings: vec![BinningMode::ExactCoverage],
-                ..base.clone()
-            },
-            ExperimentGrid {
-                ot_depths: vec![4],
-                ..base.clone()
-            },
-            ExperimentGrid {
-                l2_kb: vec![64],
-                ..base.clone()
-            },
-            ExperimentGrid {
-                sig_compare_cycles: vec![8],
-                ..base.clone()
-            },
-        ] {
-            assert_ne!(variant.fingerprint(), base.fingerprint(), "{variant:?}");
+        // A non-default single value per axis, generically.
+        let alternates: [u64; AXIS_COUNT] = [1, 32, 8, 3, 4, 1, 4, 64, 8, 32];
+        for (a, &alt) in alternates.iter().enumerate() {
+            assert_ne!(alt, AXES[a].default, "test needs a non-default value");
+            let variant = base.clone().with_axis(a, vec![alt]);
+            assert_ne!(
+                variant.fingerprint(),
+                base.fingerprint(),
+                "axis {}",
+                AXES[a].name
+            );
         }
+        let frames = ExperimentGrid {
+            frames: base.frames + 1,
+            ..base.clone()
+        };
+        assert_ne!(frames.fingerprint(), base.fingerprint());
     }
 
     #[test]
-    fn cell_config_lowers_to_sim_options() {
-        let mut grid = small();
-        grid.ot_depths = vec![4];
-        grid.l2_kb = vec![64];
-        grid.refresh_periods = vec![Some(6)];
-        grid.sig_compare_cycles = vec![7];
-        let opts = grid.cells()[0].config.sim_options();
+    fn default_spec_and_fingerprint_match_the_pre_registry_store_format() {
+        // Pinned against a store written by the hand-plumbed implementation
+        // (PR 2): same spec bytes, same fingerprint — so old stores resume.
+        let g = ExperimentGrid {
+            frames: 2,
+            width: 128,
+            height: 64,
+            ..ExperimentGrid::default()
+        }
+        .with_scenes(&["ccs"])
+        .with_axis(axis::SIG_BITS, vec![16, 32]);
+        assert_eq!(
+            g.spec_string(),
+            "scenes=ccs\nframes=2\nscreen=128x64\ntile_sizes=16\nsig_bits=16,32\n\
+             compare_distances=2\nrefresh_periods=none\nbinnings=bbox\not_depths=16\n\
+             l2_kb=256\nsig_compare_cycles=4\n"
+        );
+        assert_eq!(format!("{:016x}", g.fingerprint()), "fcec33e7aa062ca9");
+        // The full default grid keeps its PR 2 fingerprint too.
+        assert_eq!(
+            format!("{:016x}", ExperimentGrid::default().fingerprint()),
+            "c3835a31ff92d81d"
+        );
+    }
+
+    #[test]
+    fn non_default_memo_axis_enters_spec_and_fingerprint() {
+        let base = small();
+        let swept = base.clone().with_axis(axis::MEMO_KB, vec![4, 16]);
+        assert!(!base.spec_string().contains("memo_kb"));
+        assert!(swept.spec_string().contains("memo_kb=4,16"));
+        assert_ne!(base.fingerprint(), swept.fingerprint());
+    }
+
+    #[test]
+    fn cells_lower_to_sim_options() {
+        let grid = small()
+            .with_axis(axis::OT_DEPTH, vec![4])
+            .with_axis(axis::L2_KB, vec![64])
+            .with_parsed(axis::REFRESH_PERIOD, "6")
+            .with_axis(axis::SIG_COMPARE_CYCLES, vec![7]);
+        let opts = grid.cells()[0].point.sim_options();
         assert_eq!(opts.gpu.tile_size, 8);
         assert_eq!(opts.sig_bits, 16);
         assert_eq!(opts.compare_distance, 1);
@@ -423,7 +395,7 @@ mod tests {
         // one render key.
         let keys: std::collections::HashSet<_> = cells
             .iter()
-            .filter(|c| c.scene == "ccs" && c.config.tile_size == 8)
+            .filter(|c| c.scene() == "ccs" && c.point.tile_size() == 8)
             .map(|c| c.render_key())
             .collect();
         assert_eq!(keys.len(), 1);
@@ -431,6 +403,18 @@ mod tests {
         assert_eq!(key.gpu_config().tile_size, 8);
         // A different tile size is a different key.
         assert_ne!(cells[0].render_key(), cells[4].render_key());
+    }
+
+    #[test]
+    fn grid_setters_validate() {
+        let mut g = ExperimentGrid::default();
+        assert!(g.set_axis(axis::SIG_BITS, vec![33]).is_err());
+        assert!(g.set_axis(axis::TILE_SIZE, vec![]).is_err());
+        assert!(g
+            .set_axis(axis::TILE_SIZE, vec![8, 8])
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(g.set_axis(axis::TILE_SIZE, vec![8, 16]).is_ok());
     }
 
     #[test]

@@ -4,17 +4,25 @@
 //! The paper evaluates every design point — tile size, signature width,
 //! compare distance, refresh policy, binning mode, machine parameters —
 //! across ten game workloads. This crate turns that evaluation into a
-//! first-class, parallel, resumable pipeline:
+//! first-class, parallel, resumable pipeline built around a **declarative
+//! axis registry**:
 //!
-//! * [`ExperimentGrid`] — the cross product of configuration axes × scenes,
-//!   enumerated into stable-id [`Cell`]s;
+//! * [`axis`] — every sweep parameter is defined exactly once as an
+//!   [`axis::AxisDef`] (name, CLI flag, parse/format, default, domain,
+//!   render/evaluate classification, `SimOptions` lowering); grids, cells,
+//!   CLI, CSV, store records, fingerprints, render keys and report tables
+//!   are all derived from the registry;
+//! * [`ExperimentGrid`] — the cross product of per-axis value lists ×
+//!   scenes, enumerated into stable-id [`Cell`]s carrying a typed
+//!   [`axis::ParamPoint`];
 //! * [`trace_cache`] — each workload is captured **once** into a
 //!   `.retrace` (optionally cached on disk) and replayed per worker, so
 //!   scene generators never need to be `Send`;
-//! * render grouping — cells sharing a [`RenderKey`] (scene, screen, tile
-//!   size, binning) share one `Arc<re_core::RenderLog>` built by the first
-//!   worker to reach the group, so a sweep over evaluation-only axes
-//!   rasterizes each key exactly once (O(render-keys), not O(cells));
+//! * render grouping — cells sharing a [`RenderKey`] (every
+//!   `Render`-classified axis, screen and frame count) share one
+//!   `Arc<re_core::RenderLog>` built by the first worker to reach the
+//!   group, so a sweep over evaluation-only axes rasterizes each key
+//!   exactly once (O(render-keys), not O(cells));
 //! * [`pool`] — a std-only work-stealing thread pool that fans cells out
 //!   and reassembles results in cell-id order;
 //! * [`ResultStore`] — an on-disk store (per-cell JSON, committed
@@ -22,21 +30,21 @@
 //!   from completed cells and the final CSV is byte-identical to a fresh
 //!   single-worker run, with or without render grouping;
 //! * [`report`] — per-axis marginal speedup tables computed straight from
-//!   a store's records (`sweep report`).
+//!   a store's records (`sweep report`);
+//! * [`cli`] — registry-generated command-line parsing for the `sweep`
+//!   binary, including the `sweep axes` self-documentation table.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use re_sweep::{ExperimentGrid, SweepOptions};
+//! use re_sweep::{axis, ExperimentGrid, SweepOptions};
 //!
-//! let grid = ExperimentGrid {
-//!     scenes: vec!["ccs".into()],
-//!     frames: 2,
-//!     width: 128,
-//!     height: 64,
-//!     tile_sizes: vec![16, 32],
-//!     ..ExperimentGrid::default()
-//! };
+//! let mut grid = ExperimentGrid::default()
+//!     .with_scenes(&["ccs"])
+//!     .with_axis(axis::TILE_SIZE, vec![16, 32]);
+//! grid.frames = 2;
+//! grid.width = 128;
+//! grid.height = 64;
 //! let opts = SweepOptions { workers: 2, quiet: true, ..SweepOptions::default() };
 //! let outcomes = re_sweep::run_grid(&grid, &opts).expect("sweep");
 //! assert_eq!(outcomes.len(), 2);
@@ -46,6 +54,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod axis;
+pub mod cli;
 pub mod engine;
 pub mod grid;
 pub mod json;
@@ -54,9 +64,10 @@ pub mod report;
 pub mod store;
 pub mod trace_cache;
 
+pub use axis::{AxisClass, AxisDef, AxisId, ParamPoint, Presence, AXES, AXIS_COUNT};
 pub use engine::{capture_traces, render_key_log, run_cell, run_grid, run_grid_with_store};
 pub use engine::{CellOutcome, SweepOptions, SweepSummary};
-pub use grid::{binning_name, parse_binning, Cell, CellConfig, ExperimentGrid, RenderKey};
+pub use grid::{binning_name, parse_binning, Cell, ExperimentGrid, RenderKey};
 pub use report::{axis_marginals, render_report, AxisMarginal};
-pub use store::{read_records, render_csv, CellRecord, ResultStore, CSV_HEADER};
+pub use store::{csv_axes, csv_header, read_records, render_csv, CellRecord, ResultStore};
 pub use trace_cache::{capture_alias, SharedTraceScene, TraceCache};

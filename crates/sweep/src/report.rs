@@ -1,13 +1,16 @@
 //! Per-axis marginal analytics over a store's records (`sweep report`).
 //!
-//! For every grid axis with more than one value, the report groups the
-//! records by that axis's value — marginalizing over every other axis and
-//! the scenes — and tabulates the mean and median RE speedup plus the mean
-//! skip rate of each group. This is the first slice of the ROADMAP's
-//! "richer sweep analytics" item: enough to read off, straight from a
-//! `results.csv`-equivalent record set, which design-space direction moves
-//! the metric.
+//! For every registered axis with more than one value among the records,
+//! the report groups the records by that axis's value — marginalizing over
+//! every other axis — and tabulates the mean and median RE speedup plus
+//! the mean skip rate of each group. The axis list comes straight from
+//! [`crate::axis::AXES`], so a newly registered axis shows up in `sweep
+//! report` without any change here. This is the first slice of the
+//! ROADMAP's "richer sweep analytics" item: enough to read off, straight
+//! from a `results.csv`-equivalent record set, which design-space
+//! direction moves the metric.
 
+use crate::axis::AXES;
 use crate::store::CellRecord;
 
 /// One axis value's aggregated row.
@@ -82,48 +85,12 @@ fn marginal_for(
     AxisMarginal { axis, rows }
 }
 
-/// Marginal tables for every axis that actually varies in `records`
-/// (single-valued axes carry no information and are omitted). The `scene`
-/// "axis" is always included when more than one scene is present.
+/// Marginal tables for every registered axis that actually varies in
+/// `records` (single-valued axes carry no information and are omitted).
 pub fn axis_marginals(records: &[CellRecord]) -> Vec<AxisMarginal> {
-    type AxisValue = Box<dyn Fn(&CellRecord) -> String>;
-    let all: Vec<(&'static str, AxisValue)> = vec![
-        ("scene", Box::new(|r: &CellRecord| r.scene.clone())),
-        (
-            "tile_size",
-            Box::new(|r: &CellRecord| r.tile_size.to_string()),
-        ),
-        (
-            "sig_bits",
-            Box::new(|r: &CellRecord| r.sig_bits.to_string()),
-        ),
-        (
-            "compare_distance",
-            Box::new(|r: &CellRecord| r.compare_distance.to_string()),
-        ),
-        (
-            "refresh_period",
-            Box::new(|r: &CellRecord| {
-                if r.refresh_period == 0 {
-                    "none".to_string()
-                } else {
-                    r.refresh_period.to_string()
-                }
-            }),
-        ),
-        ("binning", Box::new(|r: &CellRecord| r.binning.clone())),
-        (
-            "ot_depth",
-            Box::new(|r: &CellRecord| r.ot_depth.to_string()),
-        ),
-        ("l2_kb", Box::new(|r: &CellRecord| r.l2_kb.to_string())),
-        (
-            "sig_compare_cycles",
-            Box::new(|r: &CellRecord| r.sig_compare_cycles.to_string()),
-        ),
-    ];
-    all.into_iter()
-        .map(|(axis, value_of)| marginal_for(axis, records, value_of))
+    AXES.iter()
+        .enumerate()
+        .map(|(a, def)| marginal_for(def.name, records, |r| def.format_value(r.point.get(a))))
         .filter(|m| m.rows.len() > 1)
         .collect()
 }
@@ -136,7 +103,7 @@ pub fn render_report(records: &[CellRecord]) -> String {
         "sweep report: {} cells, {} scenes\n",
         records.len(),
         {
-            let mut s: Vec<&str> = records.iter().map(|r| r.scene.as_str()).collect();
+            let mut s: Vec<&str> = records.iter().map(|r| r.scene()).collect();
             s.sort_unstable();
             s.dedup();
             s.len()
@@ -166,22 +133,18 @@ pub fn render_report(records: &[CellRecord]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::axis::{self, ParamPoint};
 
-    fn rec(id: usize, scene: &str, sig_bits: u32, base: u64, re: u64, skipped: u64) -> CellRecord {
+    fn rec(id: usize, scene: &str, sig_bits: u64, base: u64, re: u64, skipped: u64) -> CellRecord {
+        let mut point = ParamPoint::new(128, 64, 4);
+        point.set(
+            axis::SCENE,
+            axis::AXES[axis::SCENE].parse_value(scene).unwrap(),
+        );
+        point.set(axis::SIG_BITS, sig_bits);
         CellRecord {
             id,
-            scene: scene.into(),
-            tile_size: 16,
-            sig_bits,
-            compare_distance: 2,
-            refresh_period: 0,
-            binning: "bbox".into(),
-            ot_depth: 16,
-            l2_kb: 256,
-            sig_compare_cycles: 4,
-            frames: 4,
-            width: 128,
-            height: 64,
+            point,
             baseline_cycles: base,
             re_cycles: re,
             te_cycles: base,
@@ -192,6 +155,8 @@ mod tests {
             re_energy_pj: 0.5,
             baseline_dram_bytes: 10,
             re_dram_bytes: 5,
+            memo_fragments_shaded: 0,
+            memo_fragments_reused: 0,
         }
     }
 
@@ -226,6 +191,18 @@ mod tests {
         assert!((r16.mean_skip_pct - 55.0).abs() < 1e-12);
         // The scene axis varies too.
         assert!(ms.iter().any(|m| m.axis == "scene"));
+    }
+
+    #[test]
+    fn a_newly_swept_registry_axis_gets_a_marginal() {
+        let mut a = rec(0, "ccs", 32, 200, 100, 50);
+        let mut b = rec(1, "ccs", 32, 200, 50, 80);
+        a.point.set(axis::MEMO_KB, 4);
+        b.point.set(axis::MEMO_KB, 16);
+        let ms = axis_marginals(&[a, b]);
+        let memo = ms.iter().find(|m| m.axis == "memo_kb").expect("memo_kb");
+        assert_eq!(memo.rows.len(), 2);
+        assert_eq!(memo.rows[0].value, "4");
     }
 
     #[test]

@@ -14,50 +14,42 @@
 //! engine runs the rest. The CSV is always regenerated from the full record
 //! set in id order, which makes it byte-identical across worker counts and
 //! across kill/resume — the determinism contract the tests pin down.
+//!
+//! Both artifacts derive their parameter columns/keys from the axis
+//! registry:
+//!
+//! * every registered axis is written to the per-cell JSON, and an absent
+//!   key parses as the axis's default — so stores written before an axis
+//!   existed keep loading (`sig_compare_cycles` and `memo_kb` both rely on
+//!   this);
+//! * CSV columns for [`Presence::Always`] axes are always present (the
+//!   compatibility surface of the original format); a
+//!   [`Presence::NonDefault`] axis contributes a column only when some
+//!   record actually departs from its default, so pre-existing grids keep
+//!   byte-identical `results.csv` output.
 
 use std::io;
 use std::path::{Path, PathBuf};
 
 use re_core::RunReport;
 
+use crate::axis::{AxisId, ParamPoint, Presence, AXES, AXIS_COUNT};
 use crate::grid::{Cell, ExperimentGrid};
 use crate::json::Json;
 
-/// The CSV header [`ResultStore::write_csv`] emits.
-pub const CSV_HEADER: &str = "id,scene,tile_size,sig_bits,compare_distance,refresh_period,\
-binning,ot_depth,l2_kb,sig_compare_cycles,frames,width,height,baseline_cycles,re_cycles,\
+/// The non-axis (measurement) columns every CSV row ends with, in order.
+const METRIC_COLUMNS: &str = "baseline_cycles,re_cycles,\
 te_cycles,tiles_rendered,tiles_skipped,false_positives,baseline_energy_pj,re_energy_pj,\
 baseline_dram_bytes,re_dram_bytes,re_speedup,skip_pct";
 
-/// Everything the sweep persists about one completed cell.
+/// Everything the sweep persists about one completed cell: the grid point
+/// plus the measurements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellRecord {
     /// Grid cell id.
     pub id: usize,
-    /// Workload alias.
-    pub scene: String,
-    /// Tile edge in pixels.
-    pub tile_size: u32,
-    /// Signature width in bits.
-    pub sig_bits: u32,
-    /// Compare distance in frames.
-    pub compare_distance: usize,
-    /// Forced refresh period (0 = never).
-    pub refresh_period: usize,
-    /// Binning mode name (`bbox` / `exact`).
-    pub binning: String,
-    /// OT-queue depth.
-    pub ot_depth: u32,
-    /// L2 capacity in KiB.
-    pub l2_kb: u32,
-    /// Signature-compare cost in cycles.
-    pub sig_compare_cycles: u64,
-    /// Frames simulated.
-    pub frames: usize,
-    /// Screen width.
-    pub width: u32,
-    /// Screen height.
-    pub height: u32,
+    /// The cell's parameter point (scene, every axis, screen, frames).
+    pub point: ParamPoint,
     /// Baseline total cycles.
     pub baseline_cycles: u64,
     /// Rendering Elimination total cycles.
@@ -78,26 +70,18 @@ pub struct CellRecord {
     pub baseline_dram_bytes: u64,
     /// RE DRAM traffic in bytes.
     pub re_dram_bytes: u64,
+    /// Fragments the memoization baseline shaded (LUT misses).
+    pub memo_fragments_shaded: u64,
+    /// Fragments the memoization baseline reused (LUT hits).
+    pub memo_fragments_reused: u64,
 }
 
 impl CellRecord {
     /// Summarizes a finished run of `cell`.
     pub fn from_run(cell: &Cell, report: &RunReport) -> Self {
-        let c = &cell.config;
         CellRecord {
             id: cell.id,
-            scene: cell.scene.clone(),
-            tile_size: c.tile_size,
-            sig_bits: c.sig_bits,
-            compare_distance: c.compare_distance,
-            refresh_period: c.refresh_period.unwrap_or(0),
-            binning: crate::grid::binning_name(c.binning).to_string(),
-            ot_depth: c.ot_depth,
-            l2_kb: c.l2_kb,
-            sig_compare_cycles: c.sig_compare_cycles,
-            frames: c.frames,
-            width: c.width,
-            height: c.height,
+            point: cell.point,
             baseline_cycles: report.baseline.total_cycles(),
             re_cycles: report.re.total_cycles(),
             te_cycles: report.te.total_cycles(),
@@ -108,7 +92,14 @@ impl CellRecord {
             re_energy_pj: report.re.energy.total_pj(),
             baseline_dram_bytes: report.baseline.dram.total_bytes(),
             re_dram_bytes: report.re.dram.total_bytes(),
+            memo_fragments_shaded: report.memo.fragments_shaded,
+            memo_fragments_reused: report.memo.fragments_reused,
         }
+    }
+
+    /// Workload alias of the record's scene.
+    pub fn scene(&self) -> &'static str {
+        self.point.scene()
     }
 
     /// RE speedup over the baseline.
@@ -126,23 +117,19 @@ impl CellRecord {
         }
     }
 
-    /// One CSV row matching [`CSV_HEADER`].
-    pub fn csv_row(&self) -> String {
-        format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2}",
-            self.id,
-            self.scene,
-            self.tile_size,
-            self.sig_bits,
-            self.compare_distance,
-            self.refresh_period,
-            self.binning,
-            self.ot_depth,
-            self.l2_kb,
-            self.sig_compare_cycles,
-            self.frames,
-            self.width,
-            self.height,
+    /// One CSV row carrying exactly the axis columns in `axes` (see
+    /// [`csv_axes`]) followed by the metric columns.
+    pub fn csv_row(&self, axes: &[AxisId]) -> String {
+        let mut out = self.id.to_string();
+        for &a in axes {
+            out.push(',');
+            out.push_str(&AXES[a].csv_value(self.point.get(a)));
+        }
+        out.push_str(&format!(
+            ",{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2}",
+            self.point.frames,
+            self.point.width,
+            self.point.height,
             self.baseline_cycles,
             self.re_cycles,
             self.te_cycles,
@@ -155,26 +142,22 @@ impl CellRecord {
             self.re_dram_bytes,
             self.speedup(),
             self.skip_pct(),
-        )
+        ));
+        out
     }
 
-    /// The record as a JSON object.
+    /// The record as a JSON object: id, every registered axis under its
+    /// canonical name, the grid scalars, then the measurements.
     pub fn to_json(&self) -> Json {
         let int = |v: u64| Json::Int(v as i64);
-        Json::Obj(vec![
-            ("id".into(), int(self.id as u64)),
-            ("scene".into(), Json::Str(self.scene.clone())),
-            ("tile_size".into(), int(self.tile_size.into())),
-            ("sig_bits".into(), int(self.sig_bits.into())),
-            ("compare_distance".into(), int(self.compare_distance as u64)),
-            ("refresh_period".into(), int(self.refresh_period as u64)),
-            ("binning".into(), Json::Str(self.binning.clone())),
-            ("ot_depth".into(), int(self.ot_depth.into())),
-            ("l2_kb".into(), int(self.l2_kb.into())),
-            ("sig_compare_cycles".into(), int(self.sig_compare_cycles)),
-            ("frames".into(), int(self.frames as u64)),
-            ("width".into(), int(self.width.into())),
-            ("height".into(), int(self.height.into())),
+        let mut pairs: Vec<(String, Json)> = vec![("id".into(), int(self.id as u64))];
+        for (a, def) in AXES.iter().enumerate() {
+            pairs.push((def.name.into(), def.json_value(self.point.get(a))));
+        }
+        pairs.extend([
+            ("frames".into(), int(self.point.frames as u64)),
+            ("width".into(), int(self.point.width.into())),
+            ("height".into(), int(self.point.height.into())),
             ("baseline_cycles".into(), int(self.baseline_cycles)),
             ("re_cycles".into(), int(self.re_cycles)),
             ("te_cycles".into(), int(self.te_cycles)),
@@ -188,10 +171,24 @@ impl CellRecord {
             ("re_energy_pj".into(), Json::Float(self.re_energy_pj)),
             ("baseline_dram_bytes".into(), int(self.baseline_dram_bytes)),
             ("re_dram_bytes".into(), int(self.re_dram_bytes)),
-        ])
+            (
+                "memo_fragments_shaded".into(),
+                int(self.memo_fragments_shaded),
+            ),
+            (
+                "memo_fragments_reused".into(),
+                int(self.memo_fragments_reused),
+            ),
+        ]);
+        Json::Obj(pairs)
     }
 
     /// Parses a record written by [`to_json`](Self::to_json).
+    ///
+    /// An axis key that is absent takes the axis's registry default, so
+    /// stores written before an axis existed still parse (`memo_kb` today,
+    /// `sig_compare_cycles` before it). A present-but-mistyped axis value
+    /// is an error.
     ///
     /// # Errors
     /// Describes the first missing or mistyped field.
@@ -206,31 +203,26 @@ impl CellRecord {
                 .and_then(Json::as_f64)
                 .ok_or(format!("missing num `{k}`"))
         };
-        let s = |k: &str| {
-            v.get(k)
-                .and_then(Json::as_str)
-                .map(str::to_string)
-                .ok_or(format!("missing str `{k}`"))
-        };
+        let mut point = ParamPoint::new(
+            u("width")? as u32,
+            u("height")? as u32,
+            u("frames")? as usize,
+        );
+        for (a, def) in AXES.iter().enumerate() {
+            match v.get(def.name) {
+                None => {} // pre-axis record: registry default stands
+                Some(value) => {
+                    let raw = def
+                        .value_from_json(value)
+                        .filter(|&raw| def.is_valid(raw))
+                        .ok_or(format!("bad value for axis `{}`", def.name))?;
+                    point.set(a, raw);
+                }
+            }
+        }
         Ok(CellRecord {
             id: u("id")? as usize,
-            scene: s("scene")?,
-            tile_size: u("tile_size")? as u32,
-            sig_bits: u("sig_bits")? as u32,
-            compare_distance: u("compare_distance")? as usize,
-            refresh_period: u("refresh_period")? as usize,
-            binning: s("binning")?,
-            ot_depth: u("ot_depth")? as u32,
-            l2_kb: u("l2_kb")? as u32,
-            // Absent in records written before the axis existed; those runs
-            // used the then-hard-coded design-point cost of 4 cycles.
-            sig_compare_cycles: v
-                .get("sig_compare_cycles")
-                .and_then(Json::as_u64)
-                .unwrap_or(4),
-            frames: u("frames")? as usize,
-            width: u("width")? as u32,
-            height: u("height")? as u32,
+            point,
             baseline_cycles: u("baseline_cycles")?,
             re_cycles: u("re_cycles")?,
             te_cycles: u("te_cycles")?,
@@ -241,8 +233,56 @@ impl CellRecord {
             re_energy_pj: f("re_energy_pj")?,
             baseline_dram_bytes: u("baseline_dram_bytes")?,
             re_dram_bytes: u("re_dram_bytes")?,
+            // Absent in records written before the memo capacity axis.
+            memo_fragments_shaded: v
+                .get("memo_fragments_shaded")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            memo_fragments_reused: v
+                .get("memo_fragments_reused")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
         })
     }
+}
+
+/// The axis columns a CSV over `records` carries, in registry order:
+/// every [`Presence::Always`] axis, plus each [`Presence::NonDefault`]
+/// axis some record moves off its default. A pure function of the record
+/// values, so the CSV stays byte-identical across worker counts, resume,
+/// and — for grids that never touch a newer axis — across registry growth.
+pub fn csv_axes(records: &[CellRecord]) -> Vec<AxisId> {
+    (0..AXIS_COUNT)
+        .filter(|&a| match AXES[a].presence {
+            Presence::Always => true,
+            Presence::NonDefault => records.iter().any(|r| r.point.get(a) != AXES[a].default),
+        })
+        .collect()
+}
+
+/// The CSV header row for the given axis columns.
+pub fn csv_header(axes: &[AxisId]) -> String {
+    let mut out = String::from("id");
+    for &a in axes {
+        out.push(',');
+        out.push_str(AXES[a].name);
+    }
+    out.push_str(",frames,width,height,");
+    out.push_str(METRIC_COLUMNS);
+    out
+}
+
+/// The CSV document for `records` (header + one row per record).
+pub fn render_csv(records: &[CellRecord]) -> String {
+    let axes = csv_axes(records);
+    let mut out = String::with_capacity(records.len() * 128 + 256);
+    out.push_str(&csv_header(&axes));
+    out.push('\n');
+    for r in records {
+        out.push_str(&r.csv_row(&axes));
+        out.push('\n');
+    }
+    out
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -402,41 +442,23 @@ pub fn read_records(dir: impl AsRef<Path>) -> io::Result<Vec<CellRecord>> {
     Ok(records)
 }
 
-/// The CSV document for `records` (header + one row per record).
-pub fn render_csv(records: &[CellRecord]) -> String {
-    let mut out = String::with_capacity(records.len() * 128 + CSV_HEADER.len() + 1);
-    out.push_str(CSV_HEADER);
-    out.push('\n');
-    for r in records {
-        out.push_str(&r.csv_row());
-        out.push('\n');
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid::CellConfig;
-    use re_gpu::BinningMode;
+    use crate::axis;
+
+    /// The header the hand-plumbed (pre-registry) store always emitted;
+    /// grids that leave newer axes at their defaults must keep it
+    /// byte-for-byte.
+    const LEGACY_HEADER: &str = "id,scene,tile_size,sig_bits,compare_distance,refresh_period,\
+binning,ot_depth,l2_kb,sig_compare_cycles,frames,width,height,baseline_cycles,re_cycles,\
+te_cycles,tiles_rendered,tiles_skipped,false_positives,baseline_energy_pj,re_energy_pj,\
+baseline_dram_bytes,re_dram_bytes,re_speedup,skip_pct";
 
     fn record(id: usize) -> CellRecord {
         let cell = Cell {
             id,
-            scene: "ccs".into(),
-            config: CellConfig {
-                width: 128,
-                height: 64,
-                frames: 4,
-                tile_size: 16,
-                sig_bits: 32,
-                compare_distance: 2,
-                refresh_period: None,
-                binning: BinningMode::BoundingBox,
-                ot_depth: 16,
-                l2_kb: 256,
-                sig_compare_cycles: 4,
-            },
+            point: ParamPoint::new(128, 64, 4),
         };
         CellRecord {
             id: cell.id,
@@ -467,13 +489,11 @@ mod tests {
     }
 
     fn grid() -> ExperimentGrid {
-        ExperimentGrid {
-            scenes: vec!["ccs".into()],
-            frames: 4,
-            width: 128,
-            height: 64,
-            ..ExperimentGrid::default()
-        }
+        let mut g = ExperimentGrid::default().with_scenes(&["ccs"]);
+        g.frames = 4;
+        g.width = 128;
+        g.height = 64;
+        g
     }
 
     #[test]
@@ -488,9 +508,9 @@ mod tests {
     }
 
     #[test]
-    fn records_without_sig_compare_cycles_default_to_design_point() {
-        // Stores written before the axis existed lack the key; `sweep
-        // report` must still digest them with the old hard-coded cost.
+    fn records_without_newer_axes_take_registry_defaults() {
+        // Stores written before an axis existed lack its key; parsing must
+        // fall back to the registry default (the old hard-coded value).
         let r = record(3);
         let Json::Obj(fields) = r.to_json() else {
             panic!("record JSON is an object");
@@ -498,22 +518,77 @@ mod tests {
         let legacy = Json::Obj(
             fields
                 .into_iter()
-                .filter(|(k, _)| k != "sig_compare_cycles")
+                .filter(|(k, _)| {
+                    k != "sig_compare_cycles"
+                        && k != "memo_kb"
+                        && k != "memo_fragments_shaded"
+                        && k != "memo_fragments_reused"
+                })
                 .collect(),
         );
         let back = CellRecord::from_json(&Json::parse(&legacy.to_string()).unwrap()).unwrap();
-        assert_eq!(back.sig_compare_cycles, 4);
-        assert_eq!(back.scene, r.scene);
+        assert_eq!(back.point.sig_compare_cycles(), 4);
+        assert_eq!(
+            back.point.get(axis::MEMO_KB),
+            re_core::memo::DEFAULT_MEMO_KB as u64
+        );
+        assert_eq!(back.memo_fragments_shaded, 0);
+        assert_eq!(back.scene(), r.scene());
     }
 
     #[test]
-    fn csv_has_header_and_matching_columns() {
+    fn mistyped_axis_value_is_an_error() {
+        let r = record(0);
+        let Json::Obj(mut fields) = r.to_json() else {
+            panic!("record JSON is an object");
+        };
+        for (k, v) in &mut fields {
+            if k == "binning" {
+                *v = Json::Str("diagonal".into());
+            }
+        }
+        let err = CellRecord::from_json(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("binning"), "{err}");
+    }
+
+    #[test]
+    fn out_of_domain_axis_value_is_an_error_not_a_panic() {
+        // A corrupt or hand-edited record with a well-typed but
+        // out-of-domain value must surface as the documented Err.
+        let r = record(0);
+        let Json::Obj(mut fields) = r.to_json() else {
+            panic!("record JSON is an object");
+        };
+        for (k, v) in &mut fields {
+            if k == "sig_bits" {
+                *v = Json::Int(64);
+            }
+        }
+        let err = CellRecord::from_json(&Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("sig_bits"), "{err}");
+    }
+
+    #[test]
+    fn csv_keeps_the_legacy_header_until_a_new_axis_is_swept() {
         let text = render_csv(&[record(0)]);
         let mut lines = text.lines();
         let header = lines.next().unwrap();
         let row = lines.next().unwrap();
+        assert_eq!(header, LEGACY_HEADER);
         assert_eq!(header.split(',').count(), row.split(',').count());
-        assert!(header.starts_with("id,scene,"));
+
+        // Sweeping the memo axis inserts its column in registry position.
+        let mut swept = record(1);
+        swept.point.set(axis::MEMO_KB, 4);
+        let text = render_csv(&[record(0), swept]);
+        let header = text.lines().next().unwrap();
+        assert!(
+            header.contains("sig_compare_cycles,memo_kb,frames"),
+            "{header}"
+        );
+        for line in text.lines().skip(1) {
+            assert_eq!(line.split(',').count(), header.split(',').count());
+        }
     }
 
     #[test]
@@ -536,7 +611,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let g = grid();
         ResultStore::open(&dir, &g).unwrap();
-        let other = ExperimentGrid { frames: 99, ..g };
+        let mut other = g.clone();
+        other.frames = 99;
         let err = ResultStore::open(&dir, &other).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,118 @@
+//! Per-axis round-trip property: CLI string → grid → enumeration → CSV row
+//! → store JSON → parse back, for every registered axis and random
+//! in-domain values.
+//!
+//! Everything here is generic over the registry: an axis added to
+//! `re_sweep::axis::AXES` is covered with no change to this file (only the
+//! in-domain sampler below needs a row if the axis's domain is numeric).
+
+use proptest::prelude::*;
+use re_sweep::{axis, CellRecord, ExperimentGrid, ParamPoint, AXES, AXIS_COUNT};
+
+/// A uniform in-domain raw value for `axis` from a random seed.
+fn sample(a: axis::AxisId, seed: u64) -> u64 {
+    if let Some(domain) = AXES[a].domain_values() {
+        return domain[seed as usize % domain.len()];
+    }
+    // Numeric domains: keep the samples small but off-default-capable.
+    let raw = match a {
+        axis::TILE_SIZE => 1 + seed % 64,
+        axis::SIG_BITS => 1 + seed % 32,
+        axis::COMPARE_DISTANCE => 1 + seed % 8,
+        axis::REFRESH_PERIOD => seed % 16,
+        axis::OT_DEPTH => 1 + seed % 64,
+        axis::L2_KB => 1 + seed % 4096,
+        axis::SIG_COMPARE_CYCLES => seed % 64,
+        axis::MEMO_KB => 1 + seed % 256,
+        _ => panic!("new numeric axis `{}` needs a sampler row", AXES[a].name),
+    };
+    assert!(
+        AXES[a].is_valid(raw),
+        "sampler produced out-of-domain value"
+    );
+    raw
+}
+
+/// Builds a record at `point` with deterministic dummy metrics.
+fn record_at(point: ParamPoint, id: usize) -> CellRecord {
+    CellRecord {
+        id,
+        point,
+        baseline_cycles: 1000 + id as u64,
+        re_cycles: 400 + id as u64,
+        te_cycles: 900,
+        tiles_rendered: 10,
+        tiles_skipped: 22,
+        false_positives: 1,
+        baseline_energy_pj: 123.456,
+        re_energy_pj: 23.4,
+        baseline_dram_bytes: 4096,
+        re_dram_bytes: 2048,
+        memo_fragments_shaded: 7,
+        memo_fragments_reused: 3,
+    }
+}
+
+proptest! {
+    /// One random axis, two random in-domain values: the CLI list string
+    /// parses back to the same raws, the grid enumerates them in order,
+    /// and a record survives CSV and JSON round-trips.
+    #[test]
+    fn cli_grid_csv_json_roundtrip(
+        a in 0usize..AXIS_COUNT,
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+    ) {
+        let (v1, v2) = (sample(a, s1), sample(a, s2));
+        prop_assume!(v1 != v2);
+        let def = &AXES[a];
+
+        // CLI string → raw values.
+        let cli = format!("{},{}", def.format_value(v1), def.format_value(v2));
+        prop_assert_eq!(def.parse_list(&cli).unwrap(), vec![v1, v2]);
+
+        // Grid → enumeration order (the axis cycles innermost-to-outermost
+        // relative to the others, which all have one value).
+        let mut grid = ExperimentGrid::default().with_scenes(&["ccs"]);
+        grid.frames = 2;
+        grid.set_axis(a, vec![v1, v2]).unwrap();
+        let cells = grid.cells();
+        prop_assert_eq!(cells.len(), 2);
+        prop_assert_eq!(cells[0].point.get(a), v1);
+        prop_assert_eq!(cells[1].point.get(a), v2);
+
+        for (i, cell) in cells.iter().enumerate() {
+            let rec = record_at(cell.point, i);
+
+            // CSV row: the axis column carries the value's CSV form.
+            let csv = re_sweep::render_csv(std::slice::from_ref(&rec));
+            let mut lines = csv.lines();
+            let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+            let row: Vec<&str> = lines.next().unwrap().split(',').collect();
+            prop_assert_eq!(header.len(), row.len());
+            let col = header.iter().position(|&h| h == def.name);
+            match col {
+                Some(c) => prop_assert_eq!(row[c], def.csv_value(cell.point.get(a))),
+                // NonDefault axes stay out of the CSV at their default.
+                None => prop_assert_eq!(cell.point.get(a), def.default),
+            }
+
+            // Store JSON → parsed record, bit-exact.
+            let json = rec.to_json().to_string();
+            let back = CellRecord::from_json(&re_sweep::json::Json::parse(&json).unwrap()).unwrap();
+            prop_assert_eq!(&back, &rec);
+            prop_assert_eq!(back.point.get(a), cell.point.get(a));
+        }
+    }
+
+    /// Scene-axis values round-trip as aliases through every artifact.
+    #[test]
+    fn scene_axis_roundtrips_aliases(seed in any::<u64>()) {
+        let raw = sample(axis::SCENE, seed);
+        let alias = AXES[axis::SCENE].format_value(raw);
+        prop_assert_eq!(AXES[axis::SCENE].parse_value(&alias).unwrap(), raw);
+        let mut point = ParamPoint::new(128, 64, 2);
+        point.set(axis::SCENE, raw);
+        prop_assert_eq!(point.scene(), alias.as_str());
+    }
+}

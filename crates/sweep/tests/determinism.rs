@@ -5,19 +5,18 @@
 //! * a run killed partway and resumed produces output byte-identical to a
 //!   fresh uninterrupted run.
 
-use re_sweep::{CellRecord, ExperimentGrid, ResultStore, SweepOptions};
+use re_sweep::{axis, CellRecord, ExperimentGrid, ResultStore, SweepOptions};
 
 fn grid() -> ExperimentGrid {
-    ExperimentGrid {
-        scenes: vec!["ccs".into(), "abi".into(), "ter".into()],
-        frames: 4,
-        width: 160,
-        height: 96,
-        tile_sizes: vec![8, 16],
-        sig_bits: vec![16, 32],
-        compare_distances: vec![1, 2],
-        ..ExperimentGrid::default()
-    }
+    let mut g = ExperimentGrid::default()
+        .with_scenes(&["ccs", "abi", "ter"])
+        .with_axis(axis::TILE_SIZE, vec![8, 16])
+        .with_axis(axis::SIG_BITS, vec![16, 32])
+        .with_axis(axis::COMPARE_DISTANCE, vec![1, 2]);
+    g.frames = 4;
+    g.width = 160;
+    g.height = 96;
+    g
 }
 
 fn opts(workers: usize) -> SweepOptions {
@@ -92,14 +91,12 @@ fn killed_and_resumed_run_matches_a_fresh_run() {
 
 #[test]
 fn records_roundtrip_through_the_store_bit_for_bit() {
-    let g = ExperimentGrid {
-        scenes: vec!["tib".into()],
-        frames: 3,
-        width: 128,
-        height: 64,
-        sig_bits: vec![8, 32],
-        ..ExperimentGrid::default()
-    };
+    let mut g = ExperimentGrid::default()
+        .with_scenes(&["tib"])
+        .with_axis(axis::SIG_BITS, vec![8, 32]);
+    g.frames = 3;
+    g.width = 128;
+    g.height = 64;
     let dir = temp_dir("roundtrip");
     let _ = std::fs::remove_dir_all(&dir);
     let first = re_sweep::run_grid_with_store(&g, &opts(1), &dir).expect("run");

@@ -10,26 +10,24 @@
 //! tests rasterizing concurrently in the same binary would pollute the
 //! deltas.
 
-use re_sweep::{render_csv, CellRecord, ExperimentGrid, SweepOptions};
+use re_sweep::{axis, render_csv, CellRecord, ExperimentGrid, SweepOptions};
 
 #[test]
 fn grouped_sweep_rasterizes_each_render_key_exactly_once() {
-    // 2 scenes × (2 sig_bits × 2 distances × 2 sig-compare costs) = 16
-    // cells, but only 2 render keys: every axis except the scene is
-    // evaluation-side.
-    let grid = ExperimentGrid {
-        scenes: vec!["ccs".into(), "tib".into()],
-        frames: 3,
-        width: 128,
-        height: 64,
-        tile_sizes: vec![16],
-        sig_bits: vec![16, 32],
-        compare_distances: vec![1, 2],
-        sig_compare_cycles: vec![2, 4],
-        ..ExperimentGrid::default()
-    };
+    // 2 scenes × (2 sig_bits × 2 distances × 2 sig-compare costs × 2 memo
+    // capacities) = 32 cells, but only 2 render keys: every axis except
+    // the scene is evaluation-side.
+    let mut grid = ExperimentGrid::default()
+        .with_scenes(&["ccs", "tib"])
+        .with_axis(axis::SIG_BITS, vec![16, 32])
+        .with_axis(axis::COMPARE_DISTANCE, vec![1, 2])
+        .with_axis(axis::SIG_COMPARE_CYCLES, vec![2, 4])
+        .with_axis(axis::MEMO_KB, vec![4, 16]);
+    grid.frames = 3;
+    grid.width = 128;
+    grid.height = 64;
     let cells = grid.cell_count();
-    assert_eq!(cells, 16);
+    assert_eq!(cells, 32);
     let tile_count = (128 / 16) * (64 / 16); // 32 tiles per frame
     let per_render = grid.frames as u64 * tile_count;
 

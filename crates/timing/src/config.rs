@@ -126,6 +126,20 @@ impl TimingConfig {
     pub fn dram_latency_avg(&self) -> u32 {
         (self.dram_latency_min + self.dram_latency_max) / 2
     }
+
+    /// Resizes the L2 to `kb` KiB, keeping line size/ways/latency. This is
+    /// the canonical KiB→bytes lowering the sweep's `--l2-kb` axis uses;
+    /// `kb` must stay below 4 GiB/1024 so `kb << 10` fits the geometry's
+    /// `u32` byte count.
+    pub fn set_l2_kb(&mut self, kb: u32) {
+        self.l2_cache.size_bytes = kb << 10;
+    }
+
+    /// Sets the Signature Unit's Overlapped-Tiles queue depth (the sweep's
+    /// `--ot-depths` axis).
+    pub fn set_ot_depth(&mut self, entries: u32) {
+        self.ot_queue_entries = entries;
+    }
 }
 
 impl Default for TimingConfig {

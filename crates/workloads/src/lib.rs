@@ -35,6 +35,14 @@ pub mod scenes;
 
 use re_core::Scene;
 
+/// Aliases of [`suite`] in suite (paper figure) order, without constructing
+/// the scene generators. The sweep axis registry indexes scenes by position
+/// in this list, so the order here is load-bearing: it must match
+/// [`suite`] exactly (pinned by a test).
+pub const ALIASES: [&str; 10] = [
+    "ccs", "cde", "coc", "ctr", "hop", "mst", "abi", "csn", "ter", "tib",
+];
+
 /// Suite entry: a scene plus the Table II metadata.
 pub struct Benchmark {
     /// Short alias used throughout the paper's figures.
@@ -153,6 +161,7 @@ mod tests {
             aliases,
             ["ccs", "cde", "coc", "ctr", "hop", "mst", "abi", "csn", "ter", "tib"]
         );
+        assert_eq!(aliases, ALIASES, "ALIASES must mirror suite() order");
     }
 
     #[test]
