@@ -5,9 +5,16 @@
 //! grouped-vs-per-cell ratio on an evaluation-axis-heavy grid (grouping
 //! turns O(cells) rasterizations into O(render-keys), so cells/s should
 //! rise with the cells-per-key factor).
+//!
+//! Both benches drive the plan/executor API directly: traces are captured
+//! once up front and `ThreadExecutor::execute` runs a pre-compiled
+//! `SweepPlan`, so the timed region is pure job execution — no capture or
+//! cache I/O.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use re_sweep::{axis, pool, ExperimentGrid, SweepOptions};
+use re_sweep::{
+    axis, pool, Executor, ExperimentGrid, NullObserver, SweepOptions, SweepPlan, ThreadExecutor,
+};
 
 fn small_grid() -> ExperimentGrid {
     let mut g = ExperimentGrid::default()
@@ -33,58 +40,49 @@ fn eval_heavy_grid() -> ExperimentGrid {
     g
 }
 
-fn bench_fanout(c: &mut Criterion) {
-    let grid = small_grid();
-    let cells = grid.cell_count() as u64;
-    // Capture once up front so the benchmark times pure fan-out + simulate.
-    let opts = SweepOptions {
-        workers: 1,
+fn quiet() -> SweepOptions {
+    SweepOptions {
         quiet: true,
         ..SweepOptions::default()
-    };
-    let traces = re_sweep::capture_traces(&grid, &opts).expect("capture");
+    }
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let plan = SweepPlan::compile(&small_grid());
+    let cells = plan.cell_count() as u64;
+    // Capture once up front so the benchmark times pure fan-out + simulate.
+    let traces = re_sweep::capture_plan_traces(&plan, &quiet()).expect("capture");
 
     let mut g = c.benchmark_group("sweep_fanout");
     g.sample_size(10);
     g.throughput(Throughput::Elements(cells));
     for workers in [1, 2, pool::default_workers()] {
-        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| {
-                let cells = grid.cells();
-                pool::run_indexed(cells, w, |_, cell| {
-                    re_sweep::run_cell(&traces[cell.scene()], &cell)
-                })
-            })
+        let exec = ThreadExecutor {
+            workers,
+            group_renders: false,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &exec, |b, exec| {
+            b.iter(|| exec.execute(&plan, &traces, &NullObserver, &|_, _| {}))
         });
     }
     g.finish();
 }
 
 fn bench_render_grouping(c: &mut Criterion) {
-    let grid = eval_heavy_grid();
-    let cells = grid.cell_count() as u64;
-    // Cache captures on disk so every timed run_grid loads the same traces
-    // instead of re-capturing; the timed difference is then rasterize-once
-    // vs rasterize-per-cell.
-    let trace_dir = std::env::temp_dir().join(format!("re_bench_traces_{}", std::process::id()));
-    let base = SweepOptions {
-        workers: 2,
-        quiet: true,
-        trace_dir: Some(trace_dir),
-        ..SweepOptions::default()
-    };
-    let _ = re_sweep::capture_traces(&grid, &base).expect("capture");
+    let plan = SweepPlan::compile(&eval_heavy_grid());
+    let cells = plan.cell_count() as u64;
+    let traces = re_sweep::capture_plan_traces(&plan, &quiet()).expect("capture");
 
     let mut g = c.benchmark_group("sweep_render_grouping");
     g.sample_size(10);
     g.throughput(Throughput::Elements(cells));
     for (label, group_renders) in [("per-cell-render", false), ("render-once", true)] {
-        let opts = SweepOptions {
+        let exec = ThreadExecutor {
+            workers: 2,
             group_renders,
-            ..base.clone()
         };
-        g.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
-            b.iter(|| re_sweep::run_grid(&grid, opts).expect("sweep"))
+        g.bench_with_input(BenchmarkId::from_parameter(label), &exec, |b, exec| {
+            b.iter(|| exec.execute(&plan, &traces, &NullObserver, &|_, _| {}))
         });
     }
     g.finish();

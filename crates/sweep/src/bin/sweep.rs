@@ -3,20 +3,26 @@
 //!
 //! ```text
 //! sweep [OPTIONS]            run a grid (axis flags come from the registry)
-//! sweep report [--store DIR] digest a store into per-axis marginal tables
+//! sweep --shard K/N ...      run one shard of the grid's plan (by render key)
+//! sweep merge <out> <in>...  union per-shard stores into one store
+//! sweep report [--store DIR] digest a store into comparison/marginal tables
 //! sweep axes                 print every registered axis (living docs)
 //! ```
 //!
 //! All parsing lives in `re_sweep::cli`, generated from the axis registry
-//! (`re_sweep::axis`); this binary only dispatches. Cells sharing a render
-//! key — the same (scene, screen, tile size, binning) — are rasterized
-//! **once** and share the recorded render log; only the evaluation stage
-//! runs per cell (`--no-group` disables this).
+//! (`re_sweep::axis`); this binary only dispatches. The grid is compiled
+//! into an explicit `SweepPlan` (one render job per render key, one eval
+//! job per cell): cells sharing a render key — the same (scene, screen,
+//! tile size, binning) — are rasterized **once** and share the recorded
+//! render log; only the evaluation stage runs per cell (`--no-group`
+//! disables this). `--shard K/N` runs the K-th of N render-key partitions
+//! of the plan; merging every shard's store reproduces the unsharded
+//! `results.csv` byte for byte.
 //!
 //! Re-running with the same `--out` resumes: completed cells are skipped and
 //! `results.csv` is regenerated over the full grid. The CSV is byte-identical
-//! for any `--workers` value, across kill/resume, and with or without render
-//! grouping.
+//! for any `--workers` value, across kill/resume, with or without render
+//! grouping, and across shard/merge.
 
 use std::process::ExitCode;
 
@@ -34,6 +40,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(Command::Report { store }) => run_report(&store),
+        Ok(Command::Merge { out, inputs }) => run_merge(&out, &inputs),
         Ok(Command::Run(args)) => run_sweep(*args),
         Err(e) => {
             eprintln!("sweep: {e}");
@@ -62,6 +69,24 @@ fn run_report(store: &std::path::Path) -> ExitCode {
     }
 }
 
+fn run_merge(out: &std::path::Path, inputs: &[std::path::PathBuf]) -> ExitCode {
+    match re_sweep::merge_stores(out, inputs) {
+        Ok(summary) => {
+            eprintln!(
+                "[sweep] merged {} store(s): {} cells → {}",
+                summary.inputs,
+                summary.records.len(),
+                summary.csv_path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep merge: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_sweep(args: RunArgs) -> ExitCode {
     let cells = args.grid.cell_count();
     let scenes = args.grid.scene_aliases().len();
@@ -71,8 +96,31 @@ fn run_sweep(args: RunArgs) -> ExitCode {
         args.grid.frames
     );
 
+    // Compile the explicit job graph; `--shard` selects one render-key
+    // partition of it.
+    let full = re_sweep::SweepPlan::compile(&args.grid);
+    let plan = match args.shard {
+        None => full,
+        Some(s) => match full.shard(s.index, s.count) {
+            Ok(shard) => {
+                eprintln!(
+                    "[sweep] shard {s}: {} of {} render keys, {} of {} cells",
+                    shard.render_job_count(),
+                    full.render_job_count(),
+                    shard.cell_count(),
+                    full.cell_count(),
+                );
+                shard
+            }
+            Err(e) => {
+                eprintln!("sweep: --shard: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
     if args.store {
-        match re_sweep::run_grid_with_store(&args.grid, &args.opts, &args.out) {
+        match re_sweep::run_plan_with_store(&plan, &args.opts, &args.out) {
             Ok(summary) => {
                 eprintln!(
                     "[sweep] done: {} ran, {} resumed → {}",
@@ -80,6 +128,12 @@ fn run_sweep(args: RunArgs) -> ExitCode {
                     summary.resumed,
                     summary.csv_path.display()
                 );
+                if let Some(s) = args.shard {
+                    eprintln!(
+                        "[sweep] shard {s} complete; when every shard is done: \
+                         sweep merge <merged-dir> <shard-dirs>..."
+                    );
+                }
                 print_highlights(&summary.records);
                 ExitCode::SUCCESS
             }
@@ -89,7 +143,7 @@ fn run_sweep(args: RunArgs) -> ExitCode {
             }
         }
     } else {
-        match re_sweep::run_grid(&args.grid, &args.opts) {
+        match re_sweep::run_plan(&plan, &args.opts) {
             Ok(outcomes) => {
                 let records: Vec<re_sweep::CellRecord> = outcomes
                     .iter()

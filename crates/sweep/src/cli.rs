@@ -17,6 +17,7 @@ use std::path::PathBuf;
 use crate::axis::{self, AxisClass, Presence, AXES};
 use crate::engine::SweepOptions;
 use crate::grid::ExperimentGrid;
+use crate::plan::ShardSpec;
 
 /// Arguments of a `sweep` run (the default subcommand).
 #[derive(Debug)]
@@ -29,6 +30,8 @@ pub struct RunArgs {
     pub out: PathBuf,
     /// Whether to persist to the store (`--no-store` clears it).
     pub store: bool,
+    /// Which shard of the plan to run (`--shard K/N`; `None` = all of it).
+    pub shard: Option<ShardSpec>,
 }
 
 /// A parsed `sweep` invocation.
@@ -36,10 +39,17 @@ pub struct RunArgs {
 pub enum Command {
     /// Run a grid (optionally against a store).
     Run(Box<RunArgs>),
-    /// Digest an existing store into marginal tables.
+    /// Digest an existing store into comparison/marginal tables.
     Report {
         /// Store directory to read.
         store: PathBuf,
+    },
+    /// Union per-shard stores into one (validated) store.
+    Merge {
+        /// Output store directory (fresh or empty).
+        out: PathBuf,
+        /// Input (per-shard) store directories.
+        inputs: Vec<PathBuf>,
     },
     /// Print the axis registry table.
     Axes,
@@ -55,6 +65,7 @@ pub enum Command {
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     match argv.first().map(String::as_str) {
         Some("report") => parse_report(&argv[1..]),
+        Some("merge") => parse_merge(&argv[1..]),
         Some("axes") => match argv.get(1).map(String::as_str) {
             None => Ok(Command::Axes),
             Some("-h" | "--help") => Ok(Command::Help),
@@ -80,11 +91,32 @@ fn parse_report(argv: &[String]) -> Result<Command, String> {
     Ok(Command::Report { store })
 }
 
+fn parse_merge(argv: &[String]) -> Result<Command, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for arg in argv {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Command::Help),
+            flag if flag.starts_with('-') => {
+                return Err(format!("merge takes no flags (got `{flag}`)"));
+            }
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    if dirs.len() < 2 {
+        return Err("merge: usage is `sweep merge <out> <in>...` \
+                    (an output directory plus at least one input store)"
+            .into());
+    }
+    let out = dirs.remove(0);
+    Ok(Command::Merge { out, inputs: dirs })
+}
+
 /// Fixed (non-axis) flags of the run subcommand, for suggestions.
 const RUN_FLAGS: &[&str] = &[
     "--out",
     "--no-store",
     "--workers",
+    "--shard",
     "--frames",
     "--width",
     "--height",
@@ -100,6 +132,7 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
     let mut out = PathBuf::from("sweep-out");
     let mut store = true;
     let mut trace_dir: Option<PathBuf> = None;
+    let mut shard: Option<ShardSpec> = None;
 
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -118,6 +151,9 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
             "--out" => out = PathBuf::from(value()?),
             "--no-store" => store = false,
             "--workers" => opts.workers = value()?.parse().map_err(|_| "--workers: bad value")?,
+            "--shard" => {
+                shard = Some(ShardSpec::parse(value()?).map_err(|e| format!("--shard: {e}"))?)
+            }
             "--frames" => {
                 grid.frames = value()?.parse().map_err(|_| "--frames: bad value")?;
                 if grid.frames == 0 {
@@ -152,6 +188,7 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
         opts,
         out,
         store,
+        shard,
     })))
 }
 
@@ -205,12 +242,16 @@ pub fn usage() -> String {
 USAGE:
     sweep [OPTIONS]
     sweep report [--store DIR]
+    sweep merge <out> <in>...
     sweep axes
 
 OPTIONS:
     --out DIR           result-store directory (default: sweep-out; resumable)
     --no-store          run in memory only, print the CSV to stdout
-    --workers N         worker threads (default: all hardware threads)
+    --workers N         worker threads (default: all hardware threads, or
+                        the RE_SWEEP_WORKERS environment override)
+    --shard K/N         run only shard K of N (1-based; partitioned by
+                        render key, so each shard rasterizes its keys once)
     --frames N          frames per cell (default: 24)
     --width W           screen width (default: 400)
     --height H          screen height (default: 256)
@@ -246,8 +287,15 @@ Axis LIST values are comma-separated; `all` expands to the axis default
 
 REPORT:
     sweep report [--store DIR]
-                        per-axis marginal mean/median RE speedup tables from
-                        an existing store (default store: sweep-out)
+                        per-scene comparison table plus per-axis marginal
+                        mean/median RE speedup tables from an existing
+                        store (default store: sweep-out)
+
+MERGE:
+    sweep merge <out> <in>...
+                        fingerprint-check and union per-shard stores into
+                        one store at <out>; its results.csv is
+                        byte-identical to an unsharded run of the grid
 
 AXES:
     sweep axes          print every registered axis: flag, class, domain,
@@ -379,6 +427,46 @@ mod tests {
         let r = run_args(&["--no-store"]);
         assert!(!r.store);
         assert_eq!(r.opts.trace_dir, None);
+    }
+
+    #[test]
+    fn shard_flag_parses_and_validates() {
+        let r = run_args(&["--shard", "1/2"]);
+        assert_eq!(r.shard, Some(ShardSpec { index: 0, count: 2 }));
+        let r = run_args(&["--out", "d"]);
+        assert_eq!(r.shard, None);
+        let err = parse_strs(&["--shard", "0/2"]).unwrap_err();
+        assert!(err.contains("--shard") && err.contains("K/N"), "{err}");
+        let err = parse_strs(&["--shard", "3/2"]).unwrap_err();
+        assert!(err.contains("--shard"), "{err}");
+        let err = parse_strs(&["--shards", "1/2"]).unwrap_err();
+        assert!(err.contains("did you mean `--shard`?"), "{err}");
+    }
+
+    #[test]
+    fn merge_subcommand_parses() {
+        match parse_strs(&["merge", "out", "a", "b"]).unwrap() {
+            Command::Merge { out, inputs } => {
+                assert_eq!(out, PathBuf::from("out"));
+                assert_eq!(inputs, vec![PathBuf::from("a"), PathBuf::from("b")]);
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+        // One input is enough (a single complete store just round-trips).
+        assert!(matches!(
+            parse_strs(&["merge", "out", "a"]).unwrap(),
+            Command::Merge { .. }
+        ));
+        let err = parse_strs(&["merge", "out"]).unwrap_err();
+        assert!(err.contains("sweep merge <out> <in>..."), "{err}");
+        let err = parse_strs(&["merge"]).unwrap_err();
+        assert!(err.contains("sweep merge <out> <in>..."), "{err}");
+        let err = parse_strs(&["merge", "--force", "a", "b"]).unwrap_err();
+        assert!(err.contains("no flags"), "{err}");
+        assert!(matches!(
+            parse_strs(&["merge", "--help"]).unwrap(),
+            Command::Help
+        ));
     }
 
     #[test]

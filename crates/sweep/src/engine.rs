@@ -1,54 +1,76 @@
-//! The sweep engine: capture traces, render each key once, fan cells out,
-//! aggregate results.
+//! The sweep engine: compile a grid into a [`SweepPlan`], capture traces,
+//! hand the plan to an [`Executor`], aggregate results.
 //!
 //! Execution model:
 //!
-//! 1. every distinct scene of the grid is captured **once** into a trace
+//! 1. the grid is compiled into an explicit job graph ([`crate::plan`]):
+//!    one render job per [`RenderKey`], one eval job per cell;
+//! 2. every distinct scene of the plan is captured **once** into a trace
 //!    (from the disk cache when available) — scene generators never cross a
 //!    thread boundary;
-//! 2. cells go through the work-stealing pool. With render grouping (the
-//!    default), cells sharing a [`RenderKey`] — the same (scene, screen,
-//!    tile size, binning) — share one lazily built `Arc<RenderLog>`: the
-//!    first worker to reach a group runs Stage A, every cell of the group
-//!    runs only Stage B, and the log is dropped when its last cell
-//!    finishes. A sweep over evaluation-only axes (every registered axis
-//!    classified `Eval`: signature width, compare distance, refresh, OT
-//!    depth, L2, signature-compare cost, memo capacity) therefore
-//!    rasterizes each key **exactly once** instead of once per cell;
-//! 3. results are re-assembled in cell-id order, so every aggregate —
+//! 3. the default [`ThreadExecutor`] fans the jobs out over the
+//!    work-stealing pool. With render grouping (the default), the first
+//!    worker to reach a render job runs Stage A and every cell of the job
+//!    runs only Stage B against the shared `Arc<RenderLog>`, so a sweep
+//!    over evaluation-only axes rasterizes each key **exactly once**;
+//! 4. results are re-assembled in cell-id order, so every aggregate —
 //!    returned reports, store records, the final CSV — is independent of
-//!    worker count, scheduling and grouping.
+//!    worker count, scheduling, grouping and sharding.
+//!
+//! [`run_grid`] and [`run_grid_with_store`] are thin wrappers (compile +
+//! default executor) kept for the bench harness, the ablation studies and
+//! every pre-plan caller; new callers that need to partition, observe or
+//! re-execute work should compile a plan and drive it directly.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 use re_core::render::RenderLog;
-use re_core::{evaluate, render_scene, RunReport, Simulator};
+use re_core::{render_scene, RunReport, Simulator};
 use re_trace::Trace;
 
+use crate::exec::ThreadExecutor;
+use crate::exec::{Executor, NullObserver, StderrObserver, SweepEvent, SweepObserver};
 use crate::grid::{Cell, ExperimentGrid, RenderKey};
-use crate::pool;
+use crate::plan::SweepPlan;
 use crate::store::{CellRecord, ResultStore};
 use crate::trace_cache::{SharedTraceScene, TraceCache};
 
-/// How a sweep executes (as opposed to *what* it runs, which is the grid).
-#[derive(Debug, Clone)]
+/// How a sweep executes (as opposed to *what* it runs, which is the grid —
+/// or, compiled, the [`SweepPlan`]).
+#[derive(Clone)]
 pub struct SweepOptions {
-    /// Worker threads; 0 means one per available hardware thread.
+    /// Worker threads; 0 means one per available hardware thread (or the
+    /// `RE_SWEEP_WORKERS` override — see [`crate::pool::default_workers`]).
     pub workers: usize,
     /// Directory for cached `.retrace` captures (`None` = capture in memory
     /// each run).
     pub trace_dir: Option<PathBuf>,
-    /// Suppress per-cell progress lines on stderr.
+    /// Suppress the default stderr progress lines. Only consulted when
+    /// [`observer`](Self::observer) is `None`.
     pub quiet: bool,
     /// Render each [`RenderKey`] once and share the log across its cells
     /// (the default). Disable to rebuild Stage A per cell — only useful for
     /// baselining and for equivalence tests.
     pub group_renders: bool,
+    /// Progress-event sink. `None` installs [`StderrObserver`] (or
+    /// [`NullObserver`] when [`quiet`](Self::quiet) is set); `Some`
+    /// overrides both.
+    pub observer: Option<Arc<dyn SweepObserver>>,
+}
+
+impl std::fmt::Debug for SweepOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepOptions")
+            .field("workers", &self.workers)
+            .field("trace_dir", &self.trace_dir)
+            .field("quiet", &self.quiet)
+            .field("group_renders", &self.group_renders)
+            .field("observer", &self.observer.as_ref().map(|_| "<custom>"))
+            .finish()
+    }
 }
 
 impl Default for SweepOptions {
@@ -58,16 +80,27 @@ impl Default for SweepOptions {
             trace_dir: None,
             quiet: false,
             group_renders: true,
+            observer: None,
         }
     }
 }
 
 impl SweepOptions {
-    fn effective_workers(&self) -> usize {
-        if self.workers == 0 {
-            pool::default_workers()
-        } else {
-            self.workers
+    /// The observer events go to: the installed one, else the stderr
+    /// default (or the null observer under `quiet`).
+    pub fn effective_observer(&self) -> Arc<dyn SweepObserver> {
+        match &self.observer {
+            Some(o) => Arc::clone(o),
+            None if self.quiet => Arc::new(NullObserver),
+            None => Arc::new(StderrObserver),
+        }
+    }
+
+    /// The default executor these options describe.
+    fn executor(&self) -> ThreadExecutor {
+        ThreadExecutor {
+            workers: self.workers,
+            group_renders: self.group_renders,
         }
     }
 }
@@ -84,7 +117,8 @@ pub struct CellOutcome {
 /// What a stored sweep produced overall.
 #[derive(Debug)]
 pub struct SweepSummary {
-    /// Every record of the grid, in cell-id order.
+    /// Every record of the plan (for a shard: of that shard), in cell-id
+    /// order.
     pub records: Vec<CellRecord>,
     /// Path of the regenerated `results.csv`.
     pub csv_path: PathBuf,
@@ -94,36 +128,36 @@ pub struct SweepSummary {
     pub ran: usize,
 }
 
-/// Progress reporting shared by the workers.
-struct Progress {
-    done: AtomicUsize,
-    total: usize,
-    start: Instant,
-    quiet: bool,
-}
-
-impl Progress {
-    fn new(total: usize, quiet: bool) -> Self {
-        Progress {
-            done: AtomicUsize::new(0),
-            total,
-            start: Instant::now(),
-            quiet,
+/// Captures (or loads from cache) the named scenes.
+fn capture(
+    aliases: &[&'static str],
+    frames: usize,
+    width: u32,
+    height: u32,
+    opts: &SweepOptions,
+) -> io::Result<HashMap<&'static str, Arc<Trace>>> {
+    // Captures run the full geometry+raster pipeline per frame; the default
+    // GpuConfig only carries screen geometry, and replay overrides it per
+    // cell anyway.
+    let capture_cfg = re_gpu::GpuConfig {
+        width,
+        height,
+        ..re_gpu::GpuConfig::default()
+    };
+    let observer = opts.effective_observer();
+    let mut cache = TraceCache::new(opts.trace_dir.clone());
+    let mut traces = HashMap::new();
+    for &alias in aliases {
+        if traces.contains_key(alias) {
+            continue;
         }
+        observer.on_event(&SweepEvent::CaptureStart {
+            scene: alias,
+            frames,
+        });
+        traces.insert(alias, cache.get(alias, frames, capture_cfg)?);
     }
-
-    fn cell_done(&self, label: &str) {
-        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.quiet {
-            return;
-        }
-        let secs = self.start.elapsed().as_secs_f64();
-        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
-        eprintln!(
-            "[sweep] {done}/{total} {label}  ({rate:.2} cells/s)",
-            total = self.total
-        );
-    }
+    Ok(traces)
 }
 
 /// Captures (or loads from cache) every scene the grid references.
@@ -134,32 +168,37 @@ pub fn capture_traces(
     grid: &ExperimentGrid,
     opts: &SweepOptions,
 ) -> io::Result<HashMap<&'static str, Arc<Trace>>> {
-    // Captures run the full geometry+raster pipeline per frame; the default
-    // GpuConfig only carries screen geometry, and replay overrides it per
-    // cell anyway.
-    let capture_cfg = re_gpu::GpuConfig {
-        width: grid.width,
-        height: grid.height,
-        ..re_gpu::GpuConfig::default()
-    };
-    let mut cache = TraceCache::new(opts.trace_dir.clone());
-    let mut traces = HashMap::new();
-    for alias in grid.scene_aliases() {
-        if traces.contains_key(alias) {
-            continue;
-        }
-        if !opts.quiet {
-            eprintln!("[sweep] capturing {alias} ({} frames)…", grid.frames);
-        }
-        traces.insert(alias, cache.get(alias, grid.frames, capture_cfg)?);
-    }
-    Ok(traces)
+    capture(
+        &grid.scene_aliases(),
+        grid.frames,
+        grid.width,
+        grid.height,
+        opts,
+    )
+}
+
+/// Captures (or loads from cache) every scene the plan's cells reference —
+/// for a shard or a resumed remainder, only the scenes it actually needs.
+///
+/// # Errors
+/// Trace-cache I/O errors or unknown scene aliases.
+pub fn capture_plan_traces(
+    plan: &SweepPlan,
+    opts: &SweepOptions,
+) -> io::Result<HashMap<&'static str, Arc<Trace>>> {
+    capture(
+        &plan.scene_aliases(),
+        plan.frames(),
+        plan.width(),
+        plan.height(),
+        opts,
+    )
 }
 
 /// Runs one cell against a shared trace through the monolithic per-cell
 /// path (Stage A + Stage B interleaved). The grouped path in
-/// [`run_grid`]/[`run_grid_with_store`] produces identical reports while
-/// rendering each key once.
+/// [`run_plan`]/[`run_grid`] produces identical reports while rendering
+/// each key once.
 pub fn run_cell(trace: &Arc<Trace>, cell: &Cell) -> RunReport {
     let mut scene = SharedTraceScene::new(Arc::clone(trace), cell.scene().to_string());
     let mut sim = Simulator::new(cell.point.sim_options());
@@ -173,151 +212,98 @@ pub fn render_key_log(trace: &Arc<Trace>, key: &RenderKey) -> RenderLog {
     render_scene(&mut scene, key.gpu_config(), key.frames())
 }
 
-/// A render group's shared state: the lazily built log plus the number of
-/// cells still due to evaluate it (the log is dropped with the last one).
-struct GroupSlot {
-    log: Mutex<Option<Arc<RenderLog>>>,
-    remaining: AtomicUsize,
-}
-
-fn run_cells(
-    cells: Vec<Cell>,
-    traces: &HashMap<&'static str, Arc<Trace>>,
-    opts: &SweepOptions,
-    on_done: impl Fn(&Cell, &RunReport) + Sync,
-) -> Vec<CellOutcome> {
-    let progress = Progress::new(cells.len(), opts.quiet);
-
-    if !opts.group_renders {
-        return pool::run_indexed(cells, opts.effective_workers(), |_i, cell| {
-            let trace = &traces[cell.scene()];
-            let report = run_cell(trace, &cell);
-            on_done(&cell, &report);
-            progress.cell_done(&cell.label());
-            CellOutcome { cell, report }
-        });
-    }
-
-    // One slot per render key. Work is seeded round-robin over the
-    // scene-major cell order, so different workers tend to hit different
-    // groups first and Stage A parallelizes across keys; within a group,
-    // the first worker renders (holding only that group's lock) and the
-    // rest evaluate the shared log.
-    let mut groups: HashMap<RenderKey, GroupSlot> = HashMap::new();
-    for cell in &cells {
-        groups
-            .entry(cell.render_key())
-            .or_insert_with(|| GroupSlot {
-                log: Mutex::new(None),
-                remaining: AtomicUsize::new(0),
-            })
-            .remaining
-            .fetch_add(1, Ordering::Relaxed);
-    }
-    if !opts.quiet {
-        eprintln!(
-            "[sweep] render grouping: {} cells share {} render keys",
-            cells.len(),
-            groups.len()
-        );
-    }
-
-    pool::run_indexed(cells, opts.effective_workers(), |_i, cell| {
-        let key = cell.render_key();
-        let slot = &groups[&key];
-        let log = {
-            let mut guard = slot.log.lock().expect("group slot poisoned");
-            match guard.as_ref() {
-                Some(log) => Arc::clone(log),
-                None => {
-                    if !opts.quiet {
-                        eprintln!("[sweep] rendering {} ts{}…", key.scene(), key.tile_size());
-                    }
-                    let log = Arc::new(render_key_log(&traces[key.scene()], &key));
-                    *guard = Some(Arc::clone(&log));
-                    log
-                }
-            }
-        };
-        let report = evaluate(&log, &cell.point.sim_options());
-        drop(log);
-        // Last cell of the group: free the log's memory early instead of
-        // keeping every group alive until the sweep ends.
-        if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            *slot.log.lock().expect("group slot poisoned") = None;
-        }
-        on_done(&cell, &report);
-        progress.cell_done(&cell.label());
-        CellOutcome { cell, report }
-    })
+/// Runs a compiled plan in memory on the default [`ThreadExecutor`] and
+/// returns every outcome in cell-id order.
+///
+/// # Errors
+/// Trace capture/caching errors.
+pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> io::Result<Vec<CellOutcome>> {
+    let traces = capture_plan_traces(plan, opts)?;
+    let observer = opts.effective_observer();
+    Ok(opts
+        .executor()
+        .execute(plan, &traces, observer.as_ref(), &|_, _| {}))
 }
 
 /// Runs the whole grid in memory and returns every outcome in cell-id
 /// order. This is the entry point `re-bench` layers its suite harness and
-/// ablation studies on.
+/// ablation studies on — a thin wrapper over [`SweepPlan::compile`] +
+/// [`run_plan`].
 ///
 /// # Errors
 /// Trace capture/caching errors.
 pub fn run_grid(grid: &ExperimentGrid, opts: &SweepOptions) -> io::Result<Vec<CellOutcome>> {
-    let traces = capture_traces(grid, opts)?;
-    Ok(run_cells(grid.cells(), &traces, opts, |_, _| {}))
+    run_plan(&SweepPlan::compile(grid), opts)
 }
 
-/// Runs the grid against a resumable store at `dir`: cells already recorded
+/// Runs a plan against a resumable store at `dir`: cells already recorded
 /// there are skipped, newly finished cells are committed as they complete
 /// (so a kill loses at most in-flight work), and `results.csv` is
-/// regenerated from the complete record set.
+/// regenerated from the plan's complete record set.
+///
+/// For a sharded plan the store carries the shard identity; it holds only
+/// that shard's cells and its `results.csv` covers exactly them (merge the
+/// per-shard stores with [`crate::merge_stores`] to reassemble the full
+/// sweep).
 ///
 /// # Errors
 /// Store/trace I/O errors, including a store that belongs to a different
-/// grid.
-pub fn run_grid_with_store(
-    grid: &ExperimentGrid,
+/// grid or a different shard of this grid.
+pub fn run_plan_with_store(
+    plan: &SweepPlan,
     opts: &SweepOptions,
     dir: impl Into<PathBuf>,
 ) -> io::Result<SweepSummary> {
-    let (store, existing) = ResultStore::open(dir, grid)?;
-    let done: std::collections::HashSet<usize> = existing.iter().map(|r| r.id).collect();
-    let pending: Vec<Cell> = grid
-        .cells()
-        .into_iter()
-        .filter(|c| !done.contains(&c.id))
-        .collect();
+    let (store, existing) = ResultStore::open_for_plan(dir, plan)?;
+    let plan_ids: HashSet<usize> = plan.eval_jobs().iter().map(|j| j.cell.id).collect();
+    if let Some(stray) = existing.iter().find(|r| !plan_ids.contains(&r.id)) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "store at {} holds cell id {}, which is not part of this {}",
+                store.dir().display(),
+                stray.id,
+                match plan.shard_spec() {
+                    Some(s) => format!("shard ({s})"),
+                    None => "plan".to_string(),
+                },
+            ),
+        ));
+    }
+    let done: HashSet<usize> = existing.iter().map(|r| r.id).collect();
+    let pending = plan.without_cells(&done);
     let resumed = existing.len();
-    let ran = pending.len();
-    if !opts.quiet && resumed > 0 {
-        eprintln!("[sweep] resuming: {resumed} cells already complete, {ran} to run");
+    let ran = pending.cell_count();
+    let observer = opts.effective_observer();
+    if resumed > 0 {
+        observer.on_event(&SweepEvent::StoreResume {
+            resumed,
+            pending: ran,
+        });
     }
 
-    let outcomes = if pending.is_empty() {
+    let outcomes = if ran == 0 {
         Vec::new()
     } else {
         // Capture only the scenes that still have pending cells: a resume
         // with one cell left must not re-capture the other nine workloads.
-        let needed: Vec<&str> = {
-            let mut seen = std::collections::HashSet::new();
-            pending
-                .iter()
-                .filter(|c| seen.insert(c.scene()))
-                .map(|c| c.scene())
-                .collect()
-        };
-        let capture_grid = grid.clone().with_scenes(&needed);
-        let traces = capture_traces(&capture_grid, opts)?;
+        let traces = capture_plan_traces(&pending, opts)?;
         // Commit from the worker so a killed sweep keeps finished cells.
         // A failed commit must not report success (an apparently complete
         // store that silently lacks records would poison later resumes and
         // merges), so the first store error is kept and returned after the
         // pool drains.
-        let record_error = std::sync::Mutex::new(None::<io::Error>);
-        let outcomes = run_cells(pending, &traces, opts, |cell, report| {
-            if let Err(e) = store.record(&CellRecord::from_run(cell, report)) {
-                record_error
-                    .lock()
-                    .expect("record_error lock poisoned")
-                    .get_or_insert(e);
-            }
-        });
+        let record_error = Mutex::new(None::<io::Error>);
+        let outcomes =
+            opts.executor()
+                .execute(&pending, &traces, observer.as_ref(), &|cell, report| {
+                    if let Err(e) = store.record(&CellRecord::from_run(cell, report)) {
+                        record_error
+                            .lock()
+                            .expect("record_error lock poisoned")
+                            .get_or_insert(e);
+                    }
+                });
         if let Some(e) = record_error
             .into_inner()
             .expect("record_error lock poisoned")
@@ -337,11 +323,11 @@ pub fn run_grid_with_store(
             .map(|o| CellRecord::from_run(&o.cell, &o.report)),
     );
     records.sort_by_key(|r| r.id);
-    if records.len() != grid.cell_count() {
+    if records.len() != plan.cell_count() {
         return Err(io::Error::other(format!(
             "sweep incomplete: {} of {} cells recorded",
             records.len(),
-            grid.cell_count()
+            plan.cell_count()
         )));
     }
     let csv_path = store.write_csv(&records)?;
@@ -351,6 +337,21 @@ pub fn run_grid_with_store(
         resumed,
         ran,
     })
+}
+
+/// Runs the grid against a resumable store at `dir` — a thin wrapper over
+/// [`SweepPlan::compile`] + [`run_plan_with_store`], kept for every
+/// pre-plan caller.
+///
+/// # Errors
+/// Store/trace I/O errors, including a store that belongs to a different
+/// grid.
+pub fn run_grid_with_store(
+    grid: &ExperimentGrid,
+    opts: &SweepOptions,
+    dir: impl Into<PathBuf>,
+) -> io::Result<SweepSummary> {
+    run_plan_with_store(&SweepPlan::compile(grid), opts, dir)
 }
 
 #[cfg(test)]
@@ -426,6 +427,30 @@ mod tests {
         assert_eq!(second.resumed, 4);
         assert_eq!(second.ran, 0);
         assert_eq!(std::fs::read_to_string(&second.csv_path).unwrap(), csv);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_store_runs_only_its_cells_and_records_identity() {
+        let dir = std::env::temp_dir().join(format!("re_sweep_shardeng_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = SweepPlan::compile(&tiny_grid());
+        let shard = plan.shard(0, 2).expect("shard");
+        let summary = run_plan_with_store(&shard, &quiet(), &dir).expect("shard run");
+        assert_eq!(summary.ran, shard.cell_count());
+        assert!(summary.ran < plan.cell_count());
+
+        // Re-running the shard resumes everything.
+        let again = run_plan_with_store(&shard, &quiet(), &dir).expect("shard rerun");
+        assert_eq!(again.resumed, shard.cell_count());
+        assert_eq!(again.ran, 0);
+
+        // Opening the same store unsharded (or as the other shard) fails.
+        let err = run_plan_with_store(&plan, &quiet(), &dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let other = plan.shard(1, 2).expect("shard");
+        let err = run_plan_with_store(&other, &quiet(), &dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,391 @@
+//! Plan execution: the [`Executor`] trait, its in-process
+//! [`ThreadExecutor`], and the [`SweepObserver`] progress-event channel.
+//!
+//! An executor takes a compiled [`SweepPlan`] plus the captured traces and
+//! runs the plan's jobs, returning outcomes in cell-id order. The contract
+//! every implementation must keep:
+//!
+//! * **render-once** — with grouping, each [`crate::plan::RenderJob`] runs
+//!   Stage A exactly once and its log is shared by the job's eval cells;
+//! * **deterministic output** — outcomes are returned in cell-id order and
+//!   each report is a pure function of the cell, so results are
+//!   byte-identical across worker counts, scheduling, and executors.
+//!
+//! [`ThreadExecutor`] is the std-thread work-stealing implementation (the
+//! engine's default); an async executor is the planned second
+//! implementation — the plan/executor split is exactly that seam.
+//!
+//! Progress is reported through [`SweepObserver`] events instead of
+//! hardwired `eprintln!`: the CLI installs [`StderrObserver`] (the classic
+//! `[sweep] …` lines), embedders can install their own, and
+//! [`NullObserver`] silences everything (what `quiet` does).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use re_core::render::RenderLog;
+use re_core::RunReport;
+use re_trace::Trace;
+
+use crate::engine::{render_key_log, run_cell, CellOutcome};
+use crate::grid::Cell;
+use crate::plan::SweepPlan;
+use crate::pool;
+
+/// One progress event of a running sweep.
+///
+/// Events carry every number an observer could want to display, so
+/// observers stay stateless formatters.
+#[derive(Debug, Clone)]
+pub enum SweepEvent<'a> {
+    /// A workload's trace is being captured (or loaded from the cache).
+    CaptureStart {
+        /// Workload alias.
+        scene: &'static str,
+        /// Frames captured.
+        frames: usize,
+    },
+    /// A grouped execution is starting: `cells` eval jobs share
+    /// `render_jobs` Stage A renders.
+    GroupStart {
+        /// Eval jobs in the plan.
+        cells: usize,
+        /// Render jobs in the plan.
+        render_jobs: usize,
+    },
+    /// A render job is starting Stage A.
+    RenderStart {
+        /// Workload alias of the render key.
+        scene: &'static str,
+        /// Tile edge of the render key.
+        tile_size: u32,
+    },
+    /// One cell finished.
+    CellDone {
+        /// Cells finished so far (this execution).
+        done: usize,
+        /// Cells in this execution.
+        total: usize,
+        /// The cell's human-readable label.
+        label: &'a str,
+        /// Mean completion rate since the execution started.
+        cells_per_sec: f64,
+    },
+    /// A store run found `resumed` cells already complete and will run the
+    /// remaining `pending`.
+    StoreResume {
+        /// Cells already in the store.
+        resumed: usize,
+        /// Cells left to run.
+        pending: usize,
+    },
+}
+
+/// Receives [`SweepEvent`]s from a running sweep.
+///
+/// Carried in [`crate::SweepOptions`]; must be `Send + Sync` because
+/// workers emit events concurrently.
+pub trait SweepObserver: Send + Sync {
+    /// Called for every event, possibly from multiple threads at once.
+    fn on_event(&self, event: &SweepEvent<'_>);
+}
+
+/// The classic stderr progress lines (`[sweep] …`) — the default observer
+/// of a non-quiet sweep.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrObserver;
+
+impl SweepObserver for StderrObserver {
+    fn on_event(&self, event: &SweepEvent<'_>) {
+        match *event {
+            SweepEvent::CaptureStart { scene, frames } => {
+                eprintln!("[sweep] capturing {scene} ({frames} frames)…");
+            }
+            SweepEvent::GroupStart { cells, render_jobs } => {
+                eprintln!("[sweep] render grouping: {cells} cells share {render_jobs} render keys");
+            }
+            SweepEvent::RenderStart { scene, tile_size } => {
+                eprintln!("[sweep] rendering {scene} ts{tile_size}…");
+            }
+            SweepEvent::CellDone {
+                done,
+                total,
+                label,
+                cells_per_sec,
+            } => {
+                eprintln!("[sweep] {done}/{total} {label}  ({cells_per_sec:.2} cells/s)");
+            }
+            SweepEvent::StoreResume { resumed, pending } => {
+                eprintln!("[sweep] resuming: {resumed} cells already complete, {pending} to run");
+            }
+        }
+    }
+}
+
+/// Swallows every event (what `quiet` installs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl SweepObserver for NullObserver {
+    fn on_event(&self, _event: &SweepEvent<'_>) {}
+}
+
+/// Runs a [`SweepPlan`]'s jobs against already-captured traces.
+///
+/// `on_done` is invoked from worker context as each cell completes (the
+/// store's commit hook); outcomes come back in cell-id order regardless of
+/// scheduling.
+pub trait Executor {
+    /// Executes every job of `plan` and returns one outcome per eval job,
+    /// in cell-id order.
+    fn execute(
+        &self,
+        plan: &SweepPlan,
+        traces: &HashMap<&'static str, Arc<Trace>>,
+        observer: &dyn SweepObserver,
+        on_done: &(dyn Fn(&Cell, &RunReport) + Sync),
+    ) -> Vec<CellOutcome>;
+}
+
+/// Progress accounting shared by the workers of one execution.
+struct Progress<'o> {
+    done: AtomicUsize,
+    total: usize,
+    start: Instant,
+    observer: &'o dyn SweepObserver,
+}
+
+impl<'o> Progress<'o> {
+    fn new(total: usize, observer: &'o dyn SweepObserver) -> Self {
+        Progress {
+            done: AtomicUsize::new(0),
+            total,
+            start: Instant::now(),
+            observer,
+        }
+    }
+
+    fn cell_done(&self, label: &str) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let secs = self.start.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        self.observer.on_event(&SweepEvent::CellDone {
+            done,
+            total: self.total,
+            label,
+            cells_per_sec: rate,
+        });
+    }
+}
+
+/// A render job's shared state: the lazily built log plus the number of
+/// cells still due to evaluate it (the log is dropped with the last one).
+struct GroupSlot {
+    log: Mutex<Option<Arc<RenderLog>>>,
+    remaining: AtomicUsize,
+}
+
+/// The std-thread work-stealing executor (the engine's default).
+///
+/// Eval jobs are seeded round-robin over the work-stealing
+/// [`pool`], so different workers tend to reach different render jobs
+/// first and Stage A parallelizes across keys; within a job, the first
+/// worker renders (holding only that job's lock) and the rest evaluate
+/// the shared log, which is freed as its last cell finishes.
+#[derive(Debug, Clone)]
+pub struct ThreadExecutor {
+    /// Worker threads; 0 means [`pool::default_workers`].
+    pub workers: usize,
+    /// Render each key once and share the log across its cells (the
+    /// default). Disable to rebuild Stage A per cell — only useful for
+    /// baselining and equivalence tests.
+    pub group_renders: bool,
+}
+
+impl Default for ThreadExecutor {
+    fn default() -> Self {
+        ThreadExecutor {
+            workers: 0,
+            group_renders: true,
+        }
+    }
+}
+
+impl ThreadExecutor {
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            pool::default_workers()
+        } else {
+            self.workers
+        }
+    }
+}
+
+impl Executor for ThreadExecutor {
+    fn execute(
+        &self,
+        plan: &SweepPlan,
+        traces: &HashMap<&'static str, Arc<Trace>>,
+        observer: &dyn SweepObserver,
+        on_done: &(dyn Fn(&Cell, &RunReport) + Sync),
+    ) -> Vec<CellOutcome> {
+        let jobs = plan.eval_jobs().to_vec();
+        let progress = Progress::new(jobs.len(), observer);
+
+        if !self.group_renders {
+            return pool::run_indexed(jobs, self.effective_workers(), |_i, job| {
+                let trace = &traces[job.cell.scene()];
+                let report = run_cell(trace, &job.cell);
+                on_done(&job.cell, &report);
+                progress.cell_done(&job.cell.label());
+                CellOutcome {
+                    cell: job.cell,
+                    report,
+                }
+            });
+        }
+
+        // One slot per render job, indexed by the job's plan position.
+        let slots: Vec<GroupSlot> = plan
+            .render_jobs()
+            .iter()
+            .map(|rj| GroupSlot {
+                log: Mutex::new(None),
+                remaining: AtomicUsize::new(rj.cells.len()),
+            })
+            .collect();
+        observer.on_event(&SweepEvent::GroupStart {
+            cells: jobs.len(),
+            render_jobs: slots.len(),
+        });
+
+        pool::run_indexed(jobs, self.effective_workers(), |_i, job| {
+            let key = &plan.render_jobs()[job.render_job].key;
+            let slot = &slots[job.render_job];
+            let log = {
+                let mut guard = slot.log.lock().expect("group slot poisoned");
+                match guard.as_ref() {
+                    Some(log) => Arc::clone(log),
+                    None => {
+                        observer.on_event(&SweepEvent::RenderStart {
+                            scene: key.scene(),
+                            tile_size: key.tile_size(),
+                        });
+                        let log = Arc::new(render_key_log(&traces[key.scene()], key));
+                        *guard = Some(Arc::clone(&log));
+                        log
+                    }
+                }
+            };
+            let report = re_core::evaluate(&log, &job.cell.point.sim_options());
+            drop(log);
+            // Last cell of the job: free the log's memory early instead of
+            // keeping every job's log alive until the sweep ends.
+            if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *slot.log.lock().expect("group slot poisoned") = None;
+            }
+            on_done(&job.cell, &report);
+            progress.cell_done(&job.cell.label());
+            CellOutcome {
+                cell: job.cell,
+                report,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis;
+    use crate::engine::capture_traces;
+    use crate::grid::ExperimentGrid;
+    use crate::SweepOptions;
+
+    fn tiny_grid() -> ExperimentGrid {
+        let mut g = ExperimentGrid::default()
+            .with_scenes(&["ccs"])
+            .with_axis(axis::SIG_BITS, vec![16, 32]);
+        g.frames = 2;
+        g.width = 128;
+        g.height = 64;
+        g
+    }
+
+    /// Collects events (thread-safely) for assertions.
+    #[derive(Default)]
+    struct Recorder(Mutex<Vec<String>>);
+
+    impl SweepObserver for Recorder {
+        fn on_event(&self, event: &SweepEvent<'_>) {
+            let tag = match event {
+                SweepEvent::CaptureStart { scene, .. } => format!("capture:{scene}"),
+                SweepEvent::GroupStart { cells, render_jobs } => {
+                    format!("group:{cells}/{render_jobs}")
+                }
+                SweepEvent::RenderStart { scene, .. } => format!("render:{scene}"),
+                SweepEvent::CellDone { done, total, .. } => format!("done:{done}/{total}"),
+                SweepEvent::StoreResume { resumed, pending } => {
+                    format!("resume:{resumed}+{pending}")
+                }
+            };
+            self.0.lock().unwrap().push(tag);
+        }
+    }
+
+    #[test]
+    fn thread_executor_runs_a_plan_and_reports_events() {
+        let grid = tiny_grid();
+        let plan = SweepPlan::compile(&grid);
+        let opts = SweepOptions {
+            quiet: true,
+            ..SweepOptions::default()
+        };
+        let traces = capture_traces(&grid, &opts).expect("capture");
+        let recorder = Recorder::default();
+        let count = AtomicUsize::new(0);
+        let exec = ThreadExecutor {
+            workers: 2,
+            group_renders: true,
+        };
+        let outcomes = exec.execute(&plan, &traces, &recorder, &|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.cell.id, i);
+        }
+        let events = recorder.0.into_inner().unwrap();
+        assert!(events.contains(&"group:2/1".to_string()), "{events:?}");
+        // One render (one key), two cell completions.
+        assert_eq!(events.iter().filter(|e| *e == "render:ccs").count(), 1);
+        assert!(events.contains(&"done:2/2".to_string()), "{events:?}");
+    }
+
+    #[test]
+    fn grouped_and_per_cell_executors_agree() {
+        let grid = tiny_grid();
+        let plan = SweepPlan::compile(&grid);
+        let opts = SweepOptions {
+            quiet: true,
+            ..SweepOptions::default()
+        };
+        let traces = capture_traces(&grid, &opts).expect("capture");
+        let run = |group_renders| {
+            ThreadExecutor {
+                workers: 2,
+                group_renders,
+            }
+            .execute(&plan, &traces, &NullObserver, &|_, _| {})
+        };
+        let (grouped, per_cell) = (run(true), run(false));
+        assert_eq!(grouped.len(), per_cell.len());
+        for (a, b) in grouped.iter().zip(&per_cell) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.report, b.report);
+        }
+    }
+}

@@ -23,12 +23,23 @@
 //!   `Arc<re_core::RenderLog>` built by the first worker to reach the
 //!   group, so a sweep over evaluation-only axes rasterizes each key
 //!   exactly once (O(render-keys), not O(cells));
+//! * [`plan`] — [`SweepPlan::compile`] turns a grid into an explicit job
+//!   graph (one [`RenderJob`] per render key, one [`EvalJob`] per cell)
+//!   that callers can query, [shard by render key](SweepPlan::shard)
+//!   across machines, or hand to a different executor;
+//! * [`exec`] — the [`Executor`] trait and its work-stealing
+//!   [`ThreadExecutor`], plus [`SweepObserver`] progress events (no more
+//!   hardwired stderr);
 //! * [`pool`] — a std-only work-stealing thread pool that fans cells out
-//!   and reassembles results in cell-id order;
+//!   and reassembles results in cell-id order (`RE_SWEEP_WORKERS`
+//!   overrides the default worker count);
 //! * [`ResultStore`] — an on-disk store (per-cell JSON, committed
 //!   atomically) plus a regenerated `results.csv`; a killed sweep resumes
 //!   from completed cells and the final CSV is byte-identical to a fresh
 //!   single-worker run, with or without render grouping;
+//! * [`merge`] — [`merge_stores`] fingerprint-checks and unions per-shard
+//!   stores into one whose `results.csv` is byte-identical to an
+//!   unsharded run (`sweep merge`);
 //! * [`report`] — per-axis marginal speedup tables computed straight from
 //!   a store's records (`sweep report`);
 //! * [`cli`] — registry-generated command-line parsing for the `sweep`
@@ -57,17 +68,25 @@
 pub mod axis;
 pub mod cli;
 pub mod engine;
+pub mod exec;
 pub mod grid;
 pub mod json;
+pub mod merge;
+pub mod plan;
 pub mod pool;
 pub mod report;
 pub mod store;
 pub mod trace_cache;
 
 pub use axis::{AxisClass, AxisDef, AxisId, ParamPoint, Presence, AXES, AXIS_COUNT};
-pub use engine::{capture_traces, render_key_log, run_cell, run_grid, run_grid_with_store};
+pub use engine::{capture_plan_traces, capture_traces, render_key_log, run_cell};
+pub use engine::{run_grid, run_grid_with_store, run_plan, run_plan_with_store};
 pub use engine::{CellOutcome, SweepOptions, SweepSummary};
+pub use exec::{Executor, NullObserver, StderrObserver, SweepEvent, SweepObserver, ThreadExecutor};
 pub use grid::{binning_name, parse_binning, Cell, ExperimentGrid, RenderKey};
-pub use report::{axis_marginals, render_report, AxisMarginal};
-pub use store::{csv_axes, csv_header, read_records, render_csv, CellRecord, ResultStore};
+pub use merge::{merge_stores, MergeSummary};
+pub use plan::{EvalJob, RenderJob, ShardSpec, SweepPlan};
+pub use report::{axis_marginals, render_report, scene_table, AxisMarginal, SceneRow};
+pub use store::{csv_axes, csv_header, read_records, read_store_meta, render_csv};
+pub use store::{CellRecord, ResultStore, StoreMeta};
 pub use trace_cache::{capture_alias, SharedTraceScene, TraceCache};

@@ -1,0 +1,156 @@
+//! Merging per-shard result stores back into one sweep (`sweep merge`).
+//!
+//! A sharded sweep leaves one store per shard (see [`crate::plan`]); this
+//! module unions them into a single store that is indistinguishable from
+//! an unsharded run — same per-cell records, and a `results.csv` that is
+//! byte-identical because the CSV is a pure function of the full record
+//! set in cell-id order.
+//!
+//! The merge is validated before anything is written:
+//!
+//! * every input store must carry the **same grid fingerprint** (stores
+//!   from different grids mixed together would silently corrupt the
+//!   result — the same check that guards resume);
+//! * cell ids must be **pairwise disjoint** (an overlap means the same
+//!   shard was passed twice, or the inputs were not produced by a
+//!   consistent `--shard K/N` partition);
+//! * the union must **cover the full grid** (a missing shard would
+//!   masquerade as a complete, smaller sweep).
+//!
+//! Every violation is reported with the offending directories and what to
+//! do about it.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::store::{read_records, read_store_meta, CellRecord, ResultStore, StoreMeta};
+
+/// What a merge produced.
+#[derive(Debug)]
+pub struct MergeSummary {
+    /// Every record of the merged grid, in cell-id order.
+    pub records: Vec<CellRecord>,
+    /// Path of the merged store's `results.csv`.
+    pub csv_path: PathBuf,
+    /// Number of input stores merged.
+    pub inputs: usize,
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Fingerprint-checks and unions the per-shard stores at `inputs` into a
+/// fresh store at `out` (records plus a regenerated `results.csv`).
+///
+/// The output store is unsharded: it can be resumed, reported on and
+/// merged again exactly like a store produced by an unsharded run of the
+/// same grid, and its `results.csv` is byte-identical to one.
+///
+/// # Errors
+/// [`io::ErrorKind::InvalidData`] when the inputs disagree on the grid
+/// fingerprint, share a cell id, or fail to cover the whole grid — and
+/// when `out` already holds cell records (merge only into a fresh or
+/// empty store). Plain I/O errors propagate.
+pub fn merge_stores(out: impl Into<PathBuf>, inputs: &[PathBuf]) -> io::Result<MergeSummary> {
+    let out = out.into();
+    if inputs.is_empty() {
+        return Err(invalid(
+            "merge needs at least one input store (sweep merge <out> <in>...)".to_string(),
+        ));
+    }
+
+    // Identity check: one grid, every store.
+    let first_meta = read_store_meta(&inputs[0])?;
+    for dir in &inputs[1..] {
+        let meta = read_store_meta(dir)?;
+        if meta.fingerprint != first_meta.fingerprint {
+            return Err(invalid(format!(
+                "grid fingerprint mismatch: {} has {:016x} but {} has {:016x} \
+                 — merge only stores produced by `--shard` runs of one grid",
+                inputs[0].display(),
+                first_meta.fingerprint,
+                dir.display(),
+                meta.fingerprint,
+            )));
+        }
+    }
+
+    // Union with provenance, so an overlap names both stores.
+    let mut sources: HashMap<usize, &Path> = HashMap::new();
+    let mut records: Vec<CellRecord> = Vec::new();
+    for dir in inputs {
+        for rec in read_records(dir)? {
+            // read_records skips the id-range check ResultStore::open does;
+            // without it here, a stray out-of-range record could mask a
+            // missing cell in the count-based coverage check below.
+            if rec.id >= first_meta.cells {
+                return Err(invalid(format!(
+                    "{}: cell id {} out of range for this grid ({} cells) \
+                     — the store holds records from a different grid",
+                    dir.display(),
+                    rec.id,
+                    first_meta.cells,
+                )));
+            }
+            if let Some(prev) = sources.insert(rec.id, dir) {
+                return Err(invalid(format!(
+                    "cell id {} is present in both {} and {} \
+                     — shards must be disjoint (was the same shard merged twice?)",
+                    rec.id,
+                    prev.display(),
+                    dir.display(),
+                )));
+            }
+            records.push(rec);
+        }
+    }
+    records.sort_by_key(|r| r.id);
+
+    // Coverage: the union must be the whole grid.
+    if records.len() != first_meta.cells {
+        let missing: Vec<String> = (0..first_meta.cells)
+            .filter(|id| !sources.contains_key(id))
+            .take(5)
+            .map(|id| id.to_string())
+            .collect();
+        return Err(invalid(format!(
+            "the {} input store(s) cover {} of {} cells (missing ids: {}{}) \
+             — run and merge every shard of the grid",
+            inputs.len(),
+            records.len(),
+            first_meta.cells,
+            missing.join(", "),
+            if records.len() + missing.len() < first_meta.cells {
+                ", …"
+            } else {
+                ""
+            },
+        )));
+    }
+
+    // All checks passed: materialize the merged (unsharded) store.
+    let merged_meta = StoreMeta {
+        shard: None,
+        ..first_meta
+    };
+    let (store, existing) = ResultStore::open_with_meta(&out, &merged_meta)?;
+    if !existing.is_empty() {
+        return Err(invalid(format!(
+            "output store {} already holds {} cell record(s) \
+             — merge into a fresh or empty directory",
+            out.display(),
+            existing.len(),
+        )));
+    }
+    for rec in &records {
+        store.record(rec)?;
+    }
+    let csv_path = store.write_csv(&records)?;
+    Ok(MergeSummary {
+        records,
+        csv_path,
+        inputs: inputs.len(),
+    })
+}

@@ -97,8 +97,19 @@ where
         .collect()
 }
 
-/// The default worker count: one per available hardware thread.
+/// The default worker count: the `RE_SWEEP_WORKERS` environment override
+/// when it is set to a positive integer (so CI and containers can pin
+/// worker counts without threading a flag through every harness),
+/// otherwise one per available hardware thread. Unset, empty, zero or
+/// non-numeric values fall through to the hardware count.
 pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("RE_SWEEP_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
@@ -150,6 +161,21 @@ mod tests {
     fn empty_and_oversubscribed() {
         assert!(run_indexed(Vec::<u8>::new(), 4, |_, x| x).is_empty());
         assert_eq!(run_indexed(vec![7u8], 64, |_, x| x), vec![7]);
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn env_var_overrides_default_workers() {
+        // Serialized with nothing: no other test in this binary reads the
+        // variable between set and remove.
+        std::env::set_var("RE_SWEEP_WORKERS", "3");
+        assert_eq!(default_workers(), 3);
+        // Invalid values fall through to the hardware count.
+        std::env::set_var("RE_SWEEP_WORKERS", "0");
+        assert!(default_workers() >= 1);
+        std::env::set_var("RE_SWEEP_WORKERS", "many");
+        assert!(default_workers() >= 1);
+        std::env::remove_var("RE_SWEEP_WORKERS");
         assert!(default_workers() >= 1);
     }
 }

@@ -1,14 +1,17 @@
-//! Per-axis marginal analytics over a store's records (`sweep report`).
+//! Sweep analytics over a store's records (`sweep report`).
 //!
-//! For every registered axis with more than one value among the records,
-//! the report groups the records by that axis's value — marginalizing over
-//! every other axis — and tabulates the mean and median RE speedup plus
-//! the mean skip rate of each group. The axis list comes straight from
-//! [`crate::axis::AXES`], so a newly registered axis shows up in `sweep
-//! report` without any change here. This is the first slice of the
-//! ROADMAP's "richer sweep analytics" item: enough to read off, straight
-//! from a `results.csv`-equivalent record set, which design-space
-//! direction moves the metric.
+//! Two views:
+//!
+//! * **Per-scene comparison** ([`scene_table`]) — the paper-figure-style
+//!   slice: for each workload, mean/median RE speedup, mean skip rate and
+//!   the mean energy and DRAM-traffic savings of RE over the baseline
+//!   (the per-benchmark breakdown HPCA'19 Figs. 10–12 chart).
+//! * **Per-axis marginals** ([`axis_marginals`]) — for every registered
+//!   axis with more than one value among the records, the records grouped
+//!   by that axis's value (marginalizing over every other axis) with mean
+//!   and median RE speedup plus mean skip rate per group. The axis list
+//!   comes straight from [`crate::axis::AXES`], so a newly registered
+//!   axis shows up in `sweep report` without any change here.
 
 use crate::axis::AXES;
 use crate::store::CellRecord;
@@ -85,6 +88,77 @@ fn marginal_for(
     AxisMarginal { axis, rows }
 }
 
+/// One scene's row of the per-scene comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneRow {
+    /// Workload alias.
+    pub scene: &'static str,
+    /// Records of this scene.
+    pub cells: usize,
+    /// Arithmetic-mean RE speedup over those records.
+    pub mean_speedup: f64,
+    /// Median RE speedup.
+    pub median_speedup: f64,
+    /// Mean percentage of tiles RE skipped.
+    pub mean_skip_pct: f64,
+    /// Mean percentage of baseline energy RE saves
+    /// (`100·(1 − re/baseline)`; negative = RE costs energy).
+    pub mean_energy_saved_pct: f64,
+    /// Mean percentage of baseline DRAM traffic RE saves.
+    pub mean_dram_saved_pct: f64,
+}
+
+/// The per-scene comparison table: one row per workload, in
+/// first-occurrence (grid enumeration, i.e. suite) order — mean/median RE
+/// speedup, skip rate, and energy/DRAM savings per scene, marginalized
+/// over every configuration axis.
+pub fn scene_table(records: &[CellRecord]) -> Vec<SceneRow> {
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut groups: std::collections::HashMap<&'static str, Vec<&CellRecord>> =
+        std::collections::HashMap::new();
+    for r in records {
+        let s = r.scene();
+        if !groups.contains_key(s) {
+            order.push(s);
+        }
+        groups.entry(s).or_default().push(r);
+    }
+    let saved_pct = |used: f64, baseline: f64| {
+        if baseline > 0.0 {
+            100.0 * (1.0 - used / baseline)
+        } else {
+            0.0
+        }
+    };
+    order
+        .into_iter()
+        .map(|scene| {
+            let rs = &groups[scene];
+            let n = rs.len() as f64;
+            let mut speedups: Vec<f64> = rs.iter().map(|r| r.speedup()).collect();
+            let mean_speedup = speedups.iter().sum::<f64>() / n;
+            speedups.sort_by(f64::total_cmp);
+            SceneRow {
+                scene,
+                cells: rs.len(),
+                mean_speedup,
+                median_speedup: median(&speedups),
+                mean_skip_pct: rs.iter().map(|r| r.skip_pct()).sum::<f64>() / n,
+                mean_energy_saved_pct: rs
+                    .iter()
+                    .map(|r| saved_pct(r.re_energy_pj, r.baseline_energy_pj))
+                    .sum::<f64>()
+                    / n,
+                mean_dram_saved_pct: rs
+                    .iter()
+                    .map(|r| saved_pct(r.re_dram_bytes as f64, r.baseline_dram_bytes as f64))
+                    .sum::<f64>()
+                    / n,
+            }
+        })
+        .collect()
+}
+
 /// Marginal tables for every registered axis that actually varies in
 /// `records` (single-valued axes carry no information and are omitted).
 pub fn axis_marginals(records: &[CellRecord]) -> Vec<AxisMarginal> {
@@ -109,9 +183,32 @@ pub fn render_report(records: &[CellRecord]) -> String {
             s.len()
         }
     ));
+    out.push_str("\nper-scene comparison:\n");
+    out.push_str(&format!(
+        "{:<7} {:>6} {:>13} {:>15} {:>13} {:>13} {:>13}\n",
+        "scene",
+        "cells",
+        "mean speedup",
+        "median speedup",
+        "mean skip %",
+        "energy sav %",
+        "dram sav %"
+    ));
+    for row in scene_table(records) {
+        out.push_str(&format!(
+            "{:<7} {:>6} {:>12.4}x {:>14.4}x {:>13.2} {:>13.2} {:>13.2}\n",
+            row.scene,
+            row.cells,
+            row.mean_speedup,
+            row.median_speedup,
+            row.mean_skip_pct,
+            row.mean_energy_saved_pct,
+            row.mean_dram_saved_pct,
+        ));
+    }
     let marginals = axis_marginals(records);
     if marginals.is_empty() {
-        out.push_str("(no axis varies; nothing to marginalize)\n");
+        out.push_str("\n(no axis varies; nothing to marginalize)\n");
         return out;
     }
     for m in marginals {
@@ -215,6 +312,40 @@ mod tests {
         assert!(text.contains("marginal over `sig_bits`"));
         assert!(!text.contains("marginal over `tile_size`"));
         assert!(text.contains("2 cells"));
+        assert!(text.contains("per-scene comparison:"));
+    }
+
+    #[test]
+    fn scene_table_aggregates_per_scene_in_suite_order() {
+        // tib first in record order: the table preserves record order, not
+        // alphabetical order.
+        let records = vec![
+            rec(0, "tib", 16, 400, 100, 60), // speedup 4.0
+            rec(1, "ccs", 16, 200, 100, 50), // speedup 2.0
+            rec(2, "tib", 32, 200, 100, 80), // speedup 2.0
+        ];
+        let rows = scene_table(&records);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].scene, "tib");
+        assert_eq!(rows[0].cells, 2);
+        assert!((rows[0].mean_speedup - 3.0).abs() < 1e-12);
+        assert!((rows[0].median_speedup - 3.0).abs() < 1e-12);
+        assert!((rows[0].mean_skip_pct - 70.0).abs() < 1e-12);
+        // rec() uses baseline_energy 1.0 / re 0.5 and dram 10 / 5: 50% saved.
+        assert!((rows[0].mean_energy_saved_pct - 50.0).abs() < 1e-12);
+        assert!((rows[0].mean_dram_saved_pct - 50.0).abs() < 1e-12);
+        assert_eq!(rows[1].scene, "ccs");
+        assert_eq!(rows[1].cells, 1);
+    }
+
+    #[test]
+    fn scene_table_survives_zero_baselines() {
+        let mut r = rec(0, "ccs", 16, 200, 100, 50);
+        r.baseline_energy_pj = 0.0;
+        r.baseline_dram_bytes = 0;
+        let rows = scene_table(&[r]);
+        assert_eq!(rows[0].mean_energy_saved_pct, 0.0);
+        assert_eq!(rows[0].mean_dram_saved_pct, 0.0);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use re_core::RunReport;
 use crate::axis::{AxisId, ParamPoint, Presence, AXES, AXIS_COUNT};
 use crate::grid::{Cell, ExperimentGrid};
 use crate::json::Json;
+use crate::plan::{ShardSpec, SweepPlan};
 
 /// The non-axis (measurement) columns every CSV row ends with, in order.
 const METRIC_COLUMNS: &str = "baseline_cycles,re_cycles,\
@@ -297,6 +298,103 @@ fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// What identifies a store: the grid it belongs to (fingerprint + spec +
+/// full-grid cell count) and, for a per-shard store, which shard.
+///
+/// Written to the store's `grid.json` on creation and validated on every
+/// reopen; [`read_store_meta`] reads it back for analysis and merging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreMeta {
+    /// The grid fingerprint ([`ExperimentGrid::fingerprint`]).
+    pub fingerprint: u64,
+    /// Cell count of the **full** grid (a shard store still records the
+    /// whole id space it draws from).
+    pub cells: usize,
+    /// The grid's canonical spec string.
+    pub spec: String,
+    /// Which shard this store holds (`None` for an unsharded sweep).
+    pub shard: Option<ShardSpec>,
+}
+
+impl StoreMeta {
+    /// The meta an unsharded run of `grid` writes.
+    pub fn of_grid(grid: &ExperimentGrid) -> Self {
+        StoreMeta {
+            fingerprint: grid.fingerprint(),
+            cells: grid.cell_count(),
+            spec: grid.spec_string(),
+            shard: None,
+        }
+    }
+
+    /// The meta a run of `plan` writes (shard identity included).
+    pub fn of_plan(plan: &SweepPlan) -> Self {
+        StoreMeta {
+            fingerprint: plan.fingerprint(),
+            cells: plan.total_cells(),
+            spec: plan.spec().to_string(),
+            shard: plan.shard_spec(),
+        }
+    }
+
+    /// Human name of the shard slot (`unsharded` or `shard K/N`).
+    fn shard_desc(shard: Option<ShardSpec>) -> String {
+        match shard {
+            Some(s) => format!("shard {s}"),
+            None => "unsharded".to_string(),
+        }
+    }
+}
+
+/// Reads the identity (`grid.json`) of the store at `dir`.
+///
+/// # Errors
+/// [`io::ErrorKind::NotFound`] if `dir` holds no store,
+/// [`io::ErrorKind::InvalidData`] for a corrupt `grid.json`.
+pub fn read_store_meta(dir: impl AsRef<Path>) -> io::Result<StoreMeta> {
+    let path = dir.as_ref().join("grid.json");
+    if !path.is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "{} is not a sweep store (no grid.json)",
+                dir.as_ref().display()
+            ),
+        ));
+    }
+    let text = std::fs::read_to_string(&path)?;
+    let doc = Json::parse(&text).map_err(invalid)?;
+    let bad = |what: &str| invalid(format!("{}: {what}", path.display()));
+    let fingerprint = doc
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| bad("grid.json has no fingerprint"))?;
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad("grid.json has no cell count"))? as usize;
+    let spec = doc
+        .get("spec")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("grid.json has no spec"))?
+        .to_string();
+    let shard = match doc.get("shard") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| bad("shard is not a string"))
+                .and_then(|s| ShardSpec::parse(s).map_err(|e| bad(&e)))?,
+        ),
+    };
+    Ok(StoreMeta {
+        fingerprint,
+        cells,
+        spec,
+        shard,
+    })
+}
+
 /// The store directory handle. Recording is `&self` and thread-safe: each
 /// record goes to its own file.
 #[derive(Debug)]
@@ -312,47 +410,78 @@ impl ResultStore {
     /// # Errors
     /// I/O errors; [`io::ErrorKind::InvalidData`] if `dir` already holds a
     /// store for a *different* grid (resuming it would silently mix
-    /// incompatible results) or a record file is corrupt.
+    /// incompatible results), for a shard of this grid, or a record file
+    /// is corrupt.
     pub fn open(
         dir: impl Into<PathBuf>,
         grid: &ExperimentGrid,
+    ) -> io::Result<(Self, Vec<CellRecord>)> {
+        Self::open_with_meta(dir, &StoreMeta::of_grid(grid))
+    }
+
+    /// Opens (or creates) the store at `dir` for `plan` — for a sharded
+    /// plan the store is stamped with (and checked against) the shard
+    /// identity, so two shards can never share a directory.
+    ///
+    /// # Errors
+    /// As [`open`](Self::open), plus a shard-identity mismatch.
+    pub fn open_for_plan(
+        dir: impl Into<PathBuf>,
+        plan: &SweepPlan,
+    ) -> io::Result<(Self, Vec<CellRecord>)> {
+        Self::open_with_meta(dir, &StoreMeta::of_plan(plan))
+    }
+
+    /// Opens (or creates) a store with an explicit identity (the
+    /// grid/plan-facing constructors and the merge writer all land here).
+    pub(crate) fn open_with_meta(
+        dir: impl Into<PathBuf>,
+        meta: &StoreMeta,
     ) -> io::Result<(Self, Vec<CellRecord>)> {
         let dir = dir.into();
         let cells_dir = dir.join("cells");
         std::fs::create_dir_all(&cells_dir)?;
 
         let grid_path = dir.join("grid.json");
-        let fingerprint = grid.fingerprint();
+        let fingerprint = meta.fingerprint;
         if grid_path.exists() {
-            let text = std::fs::read_to_string(&grid_path)?;
-            let existing = Json::parse(&text).map_err(invalid)?;
-            let stored = existing
-                .get("fingerprint")
-                .and_then(Json::as_str)
-                .ok_or_else(|| invalid("grid.json has no fingerprint"))?;
-            if stored != format!("{fingerprint:016x}") {
+            let stored = read_store_meta(&dir)?;
+            if stored.fingerprint != fingerprint {
                 return Err(invalid(format!(
                     "store at {} was created for a different grid \
-                     (stored fingerprint {stored}, this grid {fingerprint:016x}); \
+                     (stored fingerprint {:016x}, this grid {fingerprint:016x}); \
                      use a fresh directory or delete the store",
-                    dir.display()
+                    dir.display(),
+                    stored.fingerprint,
+                )));
+            }
+            if stored.shard != meta.shard {
+                return Err(invalid(format!(
+                    "store at {} was created for {} of this grid; this run is {} \
+                     — use a separate directory per shard",
+                    dir.display(),
+                    StoreMeta::shard_desc(stored.shard),
+                    StoreMeta::shard_desc(meta.shard),
                 )));
             }
         } else {
-            let doc = Json::Obj(vec![
+            let mut pairs = vec![
                 (
                     "fingerprint".into(),
                     Json::Str(format!("{fingerprint:016x}")),
                 ),
-                ("cells".into(), Json::Int(grid.cell_count() as i64)),
-                ("spec".into(), Json::Str(grid.spec_string())),
-            ]);
-            write_atomic(&grid_path, &doc.to_string())?;
+                ("cells".into(), Json::Int(meta.cells as i64)),
+                ("spec".into(), Json::Str(meta.spec.clone())),
+            ];
+            if let Some(shard) = meta.shard {
+                pairs.push(("shard".into(), Json::Str(shard.to_string())));
+            }
+            write_atomic(&grid_path, &Json::Obj(pairs).to_string())?;
         }
 
         let store = ResultStore {
             dir,
-            cell_count: grid.cell_count(),
+            cell_count: meta.cells,
         };
         let mut records = Vec::new();
         for entry in std::fs::read_dir(&cells_dir)? {

@@ -1,16 +1,17 @@
-//! The render-once contract of sweep grouping.
+//! The render-once contract of sweep grouping — and of sharding.
 //!
 //! With render grouping enabled, a sweep over evaluation-only axes must
 //! rasterize each (scene, tile size, binning) render key **exactly once**
 //! — asserted here via `re_gpu`'s process-wide raster-invocation counter —
 //! while producing a `results.csv` byte-identical to the per-cell-render
-//! baseline.
+//! baseline. Sharding partitions the plan *by render key*, so each shard
+//! must rasterize exactly its own keys once and nothing else.
 //!
 //! The counter is process-global, so this file holds a single test: other
 //! tests rasterizing concurrently in the same binary would pollute the
 //! deltas.
 
-use re_sweep::{axis, render_csv, CellRecord, ExperimentGrid, SweepOptions};
+use re_sweep::{axis, render_csv, CellRecord, ExperimentGrid, SweepOptions, SweepPlan};
 
 #[test]
 fn grouped_sweep_rasterizes_each_render_key_exactly_once() {
@@ -41,6 +42,7 @@ fn grouped_sweep_rasterizes_each_render_key_exactly_once() {
         quiet: true,
         trace_dir: Some(trace_dir.clone()),
         group_renders,
+        ..SweepOptions::default()
     };
 
     // Grouped: exactly one Stage A render per render key.
@@ -69,6 +71,32 @@ fn grouped_sweep_rasterizes_each_render_key_exactly_once() {
     };
     assert_eq!(csv_of(&grouped), csv_of(&per_cell));
     for (a, b) in grouped.iter().zip(&per_cell) {
+        assert_eq!(a.report, b.report, "cell {}", a.cell.id);
+    }
+
+    // Sharding by render key: each of two shards rasterizes exactly its
+    // own keys once (here: one key each), and together they cover the
+    // grid with the same per-cell reports as the unsharded run.
+    let plan = SweepPlan::compile(&grid);
+    assert_eq!(plan.render_job_count(), 2);
+    let mut shard_outcomes = Vec::new();
+    for k in 0..2 {
+        let shard = plan.shard(k, 2).expect("shard");
+        let before = re_gpu::raster_invocations();
+        let outcomes = re_sweep::run_plan(&shard, &opts(true)).expect("shard sweep");
+        let shard_rasters = re_gpu::raster_invocations() - before;
+        assert_eq!(
+            shard_rasters,
+            shard.render_job_count() as u64 * per_render,
+            "shard {k} must rasterize exactly its own render keys once"
+        );
+        assert_eq!(outcomes.len(), shard.cell_count());
+        shard_outcomes.extend(outcomes);
+    }
+    shard_outcomes.sort_by_key(|o| o.cell.id);
+    assert_eq!(shard_outcomes.len(), cells);
+    for (a, b) in shard_outcomes.iter().zip(&grouped) {
+        assert_eq!(a.cell, b.cell);
         assert_eq!(a.report, b.report, "cell {}", a.cell.id);
     }
 
