@@ -60,6 +60,7 @@ fn bench_fanout(c: &mut Criterion) {
         let exec = ThreadExecutor {
             workers,
             group_renders: false,
+            log_dir: None,
         };
         g.bench_with_input(BenchmarkId::from_parameter(workers), &exec, |b, exec| {
             b.iter(|| exec.execute(&plan, &traces, &NullObserver, &|_, _| {}))
@@ -80,6 +81,7 @@ fn bench_render_grouping(c: &mut Criterion) {
         let exec = ThreadExecutor {
             workers: 2,
             group_renders,
+            log_dir: None,
         };
         g.bench_with_input(BenchmarkId::from_parameter(label), &exec, |b, exec| {
             b.iter(|| exec.execute(&plan, &traces, &NullObserver, &|_, _| {}))

@@ -83,6 +83,7 @@ pub mod memo;
 pub mod passes;
 pub mod record;
 pub mod redundancy;
+pub mod relog;
 pub mod render;
 pub mod signature;
 pub mod sim;
@@ -91,6 +92,7 @@ pub mod te;
 pub use memo::{FragmentMemo, MemoStats};
 pub use passes::{evaluate, Evaluation, TechniquePass};
 pub use redundancy::TileClassCounts;
+pub use relog::{RelogError, RelogReader};
 pub use render::{render_scene, RenderLog, Renderer};
 pub use signature::{SignatureBuffer, SignatureUnit, SignatureUnitStats};
 pub use sim::{RunReport, Scene, SimOptions, Simulator, TechniqueReport};

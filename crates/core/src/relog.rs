@@ -1,0 +1,1065 @@
+//! The `.relog` binary format: lossless on-disk [`RenderLog`]s.
+//!
+//! A [`RenderLog`] is the Stage A artifact — everything
+//! [`crate::passes::evaluate`] needs, recorded once per render key. This
+//! module gives it a versioned, dependency-free on-disk form so a resumed,
+//! killed, or sharded sweep can *skip Stage A entirely*: the sweep engine
+//! caches one `.relog` per render key next to the `.retrace` trace cache
+//! and replays it instead of re-rasterizing (see `re_sweep`'s
+//! `RenderLogCache`).
+//!
+//! Layout (all integers little-endian; full byte-level spec in
+//! `docs/FORMATS.md`):
+//!
+//! ```text
+//! magic        "RELOG001"                                   8 bytes
+//! fingerprint  u64   FNV-1a over name/config/frame count (see
+//!                    [`log_fingerprint`]) — stale-artifact detection
+//! name         len u16 + UTF-8
+//! config       width u32, height u32, tile_size u32, binning u8
+//! frames       count u32, then per frame a framed record:
+//!                payload_len u64, payload_crc u32 (CRC32 of payload)
+//!                payload:
+//!                  re_unsafe u8
+//!                  geometry output (drawcalls, prims, bins, stats)
+//!                  geometry events, per-tile records
+//! ```
+//!
+//! Three independent integrity layers, one per failure mode:
+//!
+//! * **version** — the magic names the format revision; any layout change
+//!   bumps it, and an old reader rejects a new file (and vice versa)
+//!   instead of misparsing it;
+//! * **identity** — the [`log_fingerprint`] ties the artifact to the
+//!   render key that produced it (a renamed or hand-moved file is *stale*,
+//!   not corrupt, and is detected before any frame is read);
+//! * **integrity** — every frame record carries a CRC32 of its payload, so
+//!   torn writes and bit rot are caught frame-by-frame, which keeps the
+//!   streaming reader trustworthy without hashing the whole file up front.
+//!
+//! Encoding is canonical (a pure function of the log), so
+//! encode → decode → encode is byte-stable, and decode(encode(x)) == x for
+//! every field — including f32 bit patterns, which are copied verbatim.
+//!
+//! # Streaming
+//!
+//! [`RelogReader`] decodes one [`FrameLog`] at a time from any
+//! [`io::Read`], so a consumer holds at most one frame's events in memory
+//! regardless of log length — the bound the sweep engine relies on when a
+//! render key's log is replayed from disk by many evaluation jobs.
+
+use std::io::{self, Read};
+use std::path::Path;
+
+use re_crc::Crc32;
+use re_gpu::geometry::{AssembledPrim, DrawcallMeta, GeometryOutput, ShadedVertex};
+use re_gpu::stats::{GeometryStats, TileStats};
+use re_gpu::{BinningMode, GpuConfig};
+use re_math::{Rect, Vec4};
+
+use crate::record::Event;
+use crate::render::{FrameLog, RenderLog, TileLog};
+
+/// Format magic; the trailing digits are the format revision.
+pub const MAGIC: &[u8; 8] = b"RELOG001";
+
+/// Errors produced when parsing a `.relog` stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelogError {
+    /// The stream does not start with the `RELOG001` magic (wrong file
+    /// type *or* wrong format revision — the version lives in the magic).
+    BadMagic,
+    /// The stream ended before a complete record.
+    Truncated {
+        /// What was being read.
+        context: &'static str,
+    },
+    /// An enum tag (event kind, binning mode) was invalid.
+    BadTag {
+        /// What was being read.
+        context: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// The workload name was not valid UTF-8.
+    BadString,
+    /// A frame record's payload failed its CRC32 (torn write, bit rot).
+    BadChecksum {
+        /// Zero-based index of the corrupt frame record.
+        frame: u32,
+    },
+}
+
+impl std::fmt::Display for RelogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelogError::BadMagic => write!(f, "not a RELOG001 stream"),
+            RelogError::Truncated { context } => write!(f, "truncated while reading {context}"),
+            RelogError::BadTag { context, value } => {
+                write!(f, "invalid tag {value:#04x} while reading {context}")
+            }
+            RelogError::BadString => write!(f, "invalid UTF-8 in workload name"),
+            RelogError::BadChecksum { frame } => {
+                write!(f, "frame record {frame} failed its checksum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelogError {}
+
+impl From<RelogError> for io::Error {
+    fn from(e: RelogError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// The identity fingerprint a `.relog` header carries: FNV-1a over the
+/// workload name, the render configuration and the frame count — every
+/// input that determines a log's contents. Two logs with different
+/// fingerprints were rendered from different render keys, so a cache hit
+/// requires an exact match.
+pub fn log_fingerprint(name: &str, config: GpuConfig, frames: usize) -> u64 {
+    let text = format!(
+        "name={name}\nscreen={}x{}\ntile={}\nbinning={}\nframes={frames}\n",
+        config.width,
+        config.height,
+        config.tile_size,
+        binning_tag(config.binning),
+    );
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn binning_tag(mode: BinningMode) -> u8 {
+    match mode {
+        BinningMode::BoundingBox => 0,
+        BinningMode::ExactCoverage => 1,
+    }
+}
+
+fn binning_from_tag(value: u8) -> Result<BinningMode, RelogError> {
+    match value {
+        0 => Ok(BinningMode::BoundingBox),
+        1 => Ok(BinningMode::ExactCoverage),
+        value => Err(RelogError::BadTag {
+            context: "binning mode",
+            value,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn vec4(&mut self, v: Vec4) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.out.extend_from_slice(b);
+    }
+    fn u32s(&mut self, vs: &[u32]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+    fn event(&mut self, e: &Event) {
+        match *e {
+            Event::VertexFetch { addr, bytes } => {
+                self.u8(0);
+                self.u64(addr);
+                self.u32(bytes);
+            }
+            Event::ParamWrite { addr, bytes } => {
+                self.u8(1);
+                self.u64(addr);
+                self.u32(bytes);
+            }
+            Event::ParamRead { addr, bytes } => {
+                self.u8(2);
+                self.u64(addr);
+                self.u32(bytes);
+            }
+            Event::Texel { unit, addr } => {
+                self.u8(3);
+                self.u8(unit);
+                self.u64(addr);
+            }
+            Event::ColorFlush { addr, bytes } => {
+                self.u8(4);
+                self.u64(addr);
+                self.u32(bytes);
+            }
+            Event::FragShaded {
+                tile,
+                drawcall,
+                hash,
+            } => {
+                self.u8(5);
+                self.u32(tile);
+                self.u32(drawcall);
+                self.u32(hash);
+            }
+        }
+    }
+    fn events(&mut self, es: &[Event]) {
+        self.u32(es.len() as u32);
+        for e in es {
+            self.event(e);
+        }
+    }
+    fn vertex(&mut self, v: &ShadedVertex) {
+        self.vec4(v.clip);
+        for s in v.screen {
+            self.f32(s);
+        }
+        self.f32(v.inv_w);
+        assert!(
+            v.varyings.len() <= u8::MAX as usize,
+            "vertex has {} varyings, more than the format's u8 count",
+            v.varyings.len()
+        );
+        self.u8(v.varyings.len() as u8);
+        for &vy in &v.varyings {
+            self.vec4(vy);
+        }
+    }
+    fn geometry_stats(&mut self, s: &GeometryStats) {
+        for v in [
+            s.vertices_fetched,
+            s.vertices_shaded,
+            s.vs_instr_slots,
+            s.prims_in,
+            s.prims_culled,
+            s.prims_from_clipping,
+            s.prims_binned,
+            s.prim_tile_pairs,
+            s.param_bytes_written,
+            s.vertex_bytes_fetched,
+        ] {
+            self.u64(v);
+        }
+    }
+    fn tile_stats(&mut self, s: &TileStats) {
+        for v in [
+            s.prims_processed,
+            s.param_bytes_read,
+            s.fragments_rasterized,
+            s.attr_interpolations,
+            s.early_z_killed,
+            s.fragments_shaded,
+            s.fs_instr_slots,
+            s.texel_fetches,
+            s.blend_ops,
+            s.depth_accesses,
+            s.pixels_flushed,
+            s.color_bytes_flushed,
+        ] {
+            self.u64(v);
+        }
+    }
+    fn geo(&mut self, g: &GeometryOutput) {
+        self.u32(g.drawcalls.len() as u32);
+        for dc in &g.drawcalls {
+            self.bytes(&dc.constants_bytes);
+            self.u32s(&dc.prim_indices);
+        }
+        self.u32(g.prims.len() as u32);
+        for p in &g.prims {
+            self.u32(p.drawcall);
+            for v in &p.verts {
+                self.vertex(v);
+            }
+            for e in [p.bbox.x0, p.bbox.y0, p.bbox.x1, p.bbox.y1] {
+                self.i32(e);
+            }
+            self.u64(p.param_addr);
+            self.bytes(&p.param_bytes);
+            self.u32s(&p.overlapped_tiles);
+        }
+        self.u32(g.bins.len() as u32);
+        for bin in &g.bins {
+            self.u32s(bin);
+        }
+        self.geometry_stats(&g.stats);
+    }
+}
+
+/// Encodes one frame's payload (what the per-frame CRC covers).
+fn encode_frame(frame: &FrameLog) -> Vec<u8> {
+    let mut w = Writer {
+        out: Vec::with_capacity(1 << 12),
+    };
+    w.u8(frame.re_unsafe as u8);
+    w.geo(&frame.geo);
+    w.events(&frame.geo_events);
+    w.u32(frame.tiles.len() as u32);
+    for t in &frame.tiles {
+        w.events(&t.events);
+        w.tile_stats(&t.stats);
+        w.u32(t.color_id);
+        w.u32(t.te_sig);
+        w.u64(t.color_bytes);
+    }
+    w.out
+}
+
+/// Serializes a complete log (see the module docs for the layout).
+///
+/// # Panics
+/// Panics on values no real render produces but the format could not
+/// represent faithfully: a workload name over 65 535 bytes or a vertex
+/// with more than 255 varyings (silently truncating a length prefix
+/// would persist a self-inconsistent artifact, which is strictly worse).
+pub fn encode(log: &RenderLog) -> Vec<u8> {
+    let mut w = Writer {
+        out: Vec::with_capacity(1 << 16),
+    };
+    w.out.extend_from_slice(MAGIC);
+    w.u64(log_fingerprint(&log.name, log.config, log.frames.len()));
+    let name = log.name.as_bytes();
+    assert!(
+        name.len() <= u16::MAX as usize,
+        "workload name too long to serialize ({} bytes, max {})",
+        name.len(),
+        u16::MAX
+    );
+    w.u16(name.len() as u16);
+    w.out.extend_from_slice(name);
+    w.u32(log.config.width);
+    w.u32(log.config.height);
+    w.u32(log.config.tile_size);
+    w.u8(binning_tag(log.config.binning));
+    w.u32(log.frames.len() as u32);
+    for frame in &log.frames {
+        let payload = encode_frame(frame);
+        w.u64(payload.len() as u64);
+        w.u32(Crc32::digest(&payload));
+        w.out.extend_from_slice(&payload);
+    }
+    w.out
+}
+
+/// Writes `log` to `path` (plain write; callers wanting atomicity write to
+/// a temp file and rename, as `re_sweep`'s cache does).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save(path: impl AsRef<Path>, log: &RenderLog) -> io::Result<()> {
+    std::fs::write(path, encode(log))
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], RelogError> {
+        // checked_add: a corrupt length field near usize::MAX must surface
+        // as Truncated, not overflow the bounds arithmetic.
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(RelogError::Truncated { context })?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self, context: &'static str) -> Result<u8, RelogError> {
+        Ok(self.take(1, context)?[0])
+    }
+    fn u32(&mut self, context: &'static str) -> Result<u32, RelogError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("len 4"),
+        ))
+    }
+    fn u64(&mut self, context: &'static str) -> Result<u64, RelogError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("len 8"),
+        ))
+    }
+    fn i32(&mut self, context: &'static str) -> Result<i32, RelogError> {
+        Ok(i32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("len 4"),
+        ))
+    }
+    fn f32(&mut self, context: &'static str) -> Result<f32, RelogError> {
+        Ok(f32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("len 4"),
+        ))
+    }
+    fn vec4(&mut self, context: &'static str) -> Result<Vec4, RelogError> {
+        Ok(Vec4::new(
+            self.f32(context)?,
+            self.f32(context)?,
+            self.f32(context)?,
+            self.f32(context)?,
+        ))
+    }
+    fn byte_vec(&mut self, context: &'static str) -> Result<Vec<u8>, RelogError> {
+        let n = self.u32(context)? as usize;
+        Ok(self.take(n, context)?.to_vec())
+    }
+    fn u32s(&mut self, context: &'static str) -> Result<Vec<u32>, RelogError> {
+        let n = self.u32(context)? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(self.u32(context)?);
+        }
+        Ok(out)
+    }
+    fn event(&mut self) -> Result<Event, RelogError> {
+        Ok(match self.u8("event tag")? {
+            0 => Event::VertexFetch {
+                addr: self.u64("vertex fetch")?,
+                bytes: self.u32("vertex fetch")?,
+            },
+            1 => Event::ParamWrite {
+                addr: self.u64("param write")?,
+                bytes: self.u32("param write")?,
+            },
+            2 => Event::ParamRead {
+                addr: self.u64("param read")?,
+                bytes: self.u32("param read")?,
+            },
+            3 => Event::Texel {
+                unit: self.u8("texel event")?,
+                addr: self.u64("texel event")?,
+            },
+            4 => Event::ColorFlush {
+                addr: self.u64("color flush")?,
+                bytes: self.u32("color flush")?,
+            },
+            5 => Event::FragShaded {
+                tile: self.u32("frag shaded")?,
+                drawcall: self.u32("frag shaded")?,
+                hash: self.u32("frag shaded")?,
+            },
+            value => {
+                return Err(RelogError::BadTag {
+                    context: "event",
+                    value,
+                })
+            }
+        })
+    }
+    fn events(&mut self, context: &'static str) -> Result<Vec<Event>, RelogError> {
+        let n = self.u32(context)? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(self.event()?);
+        }
+        Ok(out)
+    }
+    fn vertex(&mut self) -> Result<ShadedVertex, RelogError> {
+        let clip = self.vec4("vertex clip")?;
+        let screen = [
+            self.f32("vertex screen")?,
+            self.f32("vertex screen")?,
+            self.f32("vertex screen")?,
+        ];
+        let inv_w = self.f32("vertex inv_w")?;
+        let n = self.u8("varying count")? as usize;
+        let mut varyings = Vec::with_capacity(n);
+        for _ in 0..n {
+            varyings.push(self.vec4("varyings")?);
+        }
+        Ok(ShadedVertex {
+            clip,
+            screen,
+            inv_w,
+            varyings,
+        })
+    }
+    fn geometry_stats(&mut self) -> Result<GeometryStats, RelogError> {
+        let c = "geometry stats";
+        Ok(GeometryStats {
+            vertices_fetched: self.u64(c)?,
+            vertices_shaded: self.u64(c)?,
+            vs_instr_slots: self.u64(c)?,
+            prims_in: self.u64(c)?,
+            prims_culled: self.u64(c)?,
+            prims_from_clipping: self.u64(c)?,
+            prims_binned: self.u64(c)?,
+            prim_tile_pairs: self.u64(c)?,
+            param_bytes_written: self.u64(c)?,
+            vertex_bytes_fetched: self.u64(c)?,
+        })
+    }
+    fn tile_stats(&mut self) -> Result<TileStats, RelogError> {
+        let c = "tile stats";
+        Ok(TileStats {
+            prims_processed: self.u64(c)?,
+            param_bytes_read: self.u64(c)?,
+            fragments_rasterized: self.u64(c)?,
+            attr_interpolations: self.u64(c)?,
+            early_z_killed: self.u64(c)?,
+            fragments_shaded: self.u64(c)?,
+            fs_instr_slots: self.u64(c)?,
+            texel_fetches: self.u64(c)?,
+            blend_ops: self.u64(c)?,
+            depth_accesses: self.u64(c)?,
+            pixels_flushed: self.u64(c)?,
+            color_bytes_flushed: self.u64(c)?,
+        })
+    }
+    fn geo(&mut self) -> Result<GeometryOutput, RelogError> {
+        let dc_count = self.u32("drawcall count")? as usize;
+        let mut drawcalls = Vec::with_capacity(dc_count.min(1 << 16));
+        for _ in 0..dc_count {
+            drawcalls.push(DrawcallMeta {
+                constants_bytes: self.byte_vec("constants bytes")?,
+                prim_indices: self.u32s("prim indices")?,
+            });
+        }
+        let prim_count = self.u32("prim count")? as usize;
+        let mut prims = Vec::with_capacity(prim_count.min(1 << 20));
+        for _ in 0..prim_count {
+            let drawcall = self.u32("prim drawcall")?;
+            let verts = [self.vertex()?, self.vertex()?, self.vertex()?];
+            // Struct literal, not `Rect::new`: the constructor asserts
+            // non-inverted edges, and the decoder must reproduce whatever
+            // was written (and never panic on hostile bytes).
+            let bbox = Rect {
+                x0: self.i32("prim bbox")?,
+                y0: self.i32("prim bbox")?,
+                x1: self.i32("prim bbox")?,
+                y1: self.i32("prim bbox")?,
+            };
+            prims.push(AssembledPrim {
+                drawcall,
+                verts,
+                bbox,
+                param_addr: self.u64("param addr")?,
+                param_bytes: self.byte_vec("param bytes")?,
+                overlapped_tiles: self.u32s("overlapped tiles")?,
+            });
+        }
+        let bin_count = self.u32("bin count")? as usize;
+        let mut bins = Vec::with_capacity(bin_count.min(1 << 20));
+        for _ in 0..bin_count {
+            bins.push(self.u32s("bin")?);
+        }
+        Ok(GeometryOutput {
+            drawcalls,
+            prims,
+            bins,
+            stats: self.geometry_stats()?,
+        })
+    }
+}
+
+/// Decodes one frame's payload bytes (CRC already verified by the caller).
+fn decode_frame(payload: &[u8]) -> Result<FrameLog, RelogError> {
+    let mut p = Parser {
+        bytes: payload,
+        pos: 0,
+    };
+    let re_unsafe = p.u8("re_unsafe flag")? != 0;
+    let geo = p.geo()?;
+    let geo_events = p.events("geometry events")?;
+    let tile_count = p.u32("tile count")? as usize;
+    let mut tiles = Vec::with_capacity(tile_count.min(1 << 20));
+    for _ in 0..tile_count {
+        tiles.push(TileLog {
+            events: p.events("tile events")?,
+            stats: p.tile_stats()?,
+            color_id: p.u32("color id")?,
+            te_sig: p.u32("te signature")?,
+            color_bytes: p.u64("color bytes")?,
+        });
+    }
+    if p.pos != payload.len() {
+        return Err(RelogError::Truncated {
+            context: "frame payload (trailing bytes)",
+        });
+    }
+    Ok(FrameLog {
+        re_unsafe,
+        geo,
+        geo_events,
+        tiles,
+    })
+}
+
+/// The decoded fixed-size part of a `.relog` stream — enough to identify
+/// the artifact without touching any frame record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelogHeader {
+    /// The [`log_fingerprint`] the writer recorded.
+    pub fingerprint: u64,
+    /// Workload name of the log.
+    pub name: String,
+    /// The render configuration of the log.
+    pub config: GpuConfig,
+    /// Number of frame records that follow.
+    pub frame_count: u32,
+}
+
+fn read_chunk<R: Read>(src: &mut R, n: usize, context: &'static str) -> io::Result<Vec<u8>> {
+    // Grow in bounded steps: `n` comes from an untrusted length field, so a
+    // corrupt value must fail as `Truncated` when the source runs dry, not
+    // attempt a near-usize::MAX upfront allocation.
+    const STEP: usize = 1 << 20;
+    let mut buf = Vec::with_capacity(n.min(STEP));
+    while buf.len() < n {
+        let start = buf.len();
+        buf.resize(start + (n - start).min(STEP), 0);
+        match src.read_exact(&mut buf[start..]) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(RelogError::Truncated { context }.into())
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(buf)
+}
+
+/// Streaming `.relog` reader: decodes the header eagerly and then one
+/// [`FrameLog`] per [`next_frame`](Self::next_frame) call, holding at most
+/// one frame's payload in memory.
+#[derive(Debug)]
+pub struct RelogReader<R> {
+    src: R,
+    header: RelogHeader,
+    next: u32,
+}
+
+impl RelogReader<io::BufReader<std::fs::File>> {
+    /// Opens `path` and reads its header.
+    ///
+    /// # Errors
+    /// I/O errors; format errors as [`io::ErrorKind::InvalidData`]
+    /// (wrapping the [`RelogError`]).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        RelogReader::new(io::BufReader::new(std::fs::File::open(path)?))
+    }
+}
+
+impl<R: Read> RelogReader<R> {
+    /// Wraps any byte source, reading and validating the header.
+    ///
+    /// # Errors
+    /// I/O errors; format errors as [`io::ErrorKind::InvalidData`].
+    pub fn new(mut src: R) -> io::Result<Self> {
+        let magic = read_chunk(&mut src, 8, "magic")?;
+        if magic.as_slice() != MAGIC {
+            return Err(RelogError::BadMagic.into());
+        }
+        // Fingerprint + name length, then the name, then the fixed tail —
+        // three reads because the name's length is only known after the
+        // second one.
+        let head = read_chunk(&mut src, 8 + 2, "header")?;
+        let name_len = u16::from_le_bytes(head[8..10].try_into().expect("len 2")) as usize;
+        let rest = read_chunk(&mut src, name_len + 4 + 4 + 4 + 1 + 4, "header")?;
+        let bytes: Vec<u8> = head.iter().chain(&rest).copied().collect();
+        let header = parse_header(&mut Parser {
+            bytes: &bytes,
+            pos: 0,
+        })?;
+        Ok(RelogReader {
+            src,
+            header,
+            next: 0,
+        })
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &RelogHeader {
+        &self.header
+    }
+
+    /// The workload name.
+    pub fn name(&self) -> &str {
+        &self.header.name
+    }
+
+    /// The render configuration the log was recorded under.
+    pub fn config(&self) -> GpuConfig {
+        self.header.config
+    }
+
+    /// Frame records in the stream.
+    pub fn frame_count(&self) -> u32 {
+        self.header.frame_count
+    }
+
+    /// Reads one frame's raw (CRC-verified) payload, or `None` past the
+    /// last frame.
+    fn next_payload(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.next == self.header.frame_count {
+            return Ok(None);
+        }
+        let frame = self.next;
+        let head = read_chunk(&mut self.src, 8 + 4, "frame header")?;
+        let len = u64::from_le_bytes(head[0..8].try_into().expect("len 8"));
+        let crc = u32::from_le_bytes(head[8..12].try_into().expect("len 4"));
+        let payload = read_chunk(&mut self.src, len as usize, "frame payload")?;
+        if Crc32::digest(&payload) != crc {
+            return Err(RelogError::BadChecksum { frame }.into());
+        }
+        self.next += 1;
+        Ok(Some(payload))
+    }
+
+    /// Decodes the next frame, or `None` past the last one.
+    ///
+    /// # Errors
+    /// I/O errors; checksum and format errors as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn next_frame(&mut self) -> io::Result<Option<FrameLog>> {
+        match self.next_payload()? {
+            None => Ok(None),
+            Some(payload) => Ok(Some(decode_frame(&payload)?)),
+        }
+    }
+
+    /// Scans every remaining frame record, verifying framing and CRCs
+    /// without decoding — the cheap whole-file integrity check the sweep
+    /// cache runs before trusting an artifact.
+    ///
+    /// # Errors
+    /// As [`next_frame`](Self::next_frame), minus decode errors.
+    pub fn verify_frames(&mut self) -> io::Result<()> {
+        while self.next_payload()?.is_some() {}
+        Ok(())
+    }
+}
+
+/// Parses the header fields (everything after the magic) out of a parser.
+fn parse_header(p: &mut Parser<'_>) -> Result<RelogHeader, RelogError> {
+    let fingerprint = p.u64("fingerprint")?;
+    let name_len = p.take(2, "name length")?;
+    let name_len = u16::from_le_bytes(name_len.try_into().expect("len 2")) as usize;
+    let name_bytes = p.take(name_len, "workload name")?;
+    let name = std::str::from_utf8(name_bytes)
+        .map_err(|_| RelogError::BadString)?
+        .to_owned();
+    let config = GpuConfig {
+        width: p.u32("config width")?,
+        height: p.u32("config height")?,
+        tile_size: p.u32("config tile size")?,
+        binning: binning_from_tag(p.u8("binning mode")?)?,
+    };
+    let frame_count = p.u32("frame count")?;
+    Ok(RelogHeader {
+        fingerprint,
+        name,
+        config,
+        frame_count,
+    })
+}
+
+/// Parses a complete in-memory `.relog` stream.
+///
+/// # Errors
+/// Any [`RelogError`]; trailing bytes after the last frame are rejected.
+pub fn decode(bytes: &[u8]) -> Result<RenderLog, RelogError> {
+    let mut p = Parser { bytes, pos: 0 };
+    if p.take(8, "magic")? != MAGIC {
+        return Err(RelogError::BadMagic);
+    }
+    let header = parse_header(&mut p)?;
+    let mut frames = Vec::with_capacity(header.frame_count.min(1 << 20) as usize);
+    for frame in 0..header.frame_count {
+        let len = p.u64("frame header")? as usize;
+        let crc = p.u32("frame header")?;
+        let payload = p.take(len, "frame payload")?;
+        if Crc32::digest(payload) != crc {
+            return Err(RelogError::BadChecksum { frame });
+        }
+        frames.push(decode_frame(payload)?);
+    }
+    if p.pos != bytes.len() {
+        return Err(RelogError::Truncated {
+            context: "stream (trailing bytes)",
+        });
+    }
+    Ok(RenderLog {
+        name: header.name,
+        config: header.config,
+        frames,
+    })
+}
+
+/// Loads and fully decodes a `.relog` file.
+///
+/// # Errors
+/// I/O errors; format errors as [`io::ErrorKind::InvalidData`].
+pub fn load(path: impl AsRef<Path>) -> io::Result<RenderLog> {
+    let bytes = std::fs::read(path)?;
+    Ok(decode(&bytes)?)
+}
+
+/// Replays a `.relog` stream through Stage B ([`crate::passes`]) without
+/// ever materializing the whole log: frames are decoded, evaluated and
+/// dropped one at a time, so memory stays bounded to a single frame no
+/// matter how long the recording is.
+///
+/// `opts.gpu` must match the configuration in the stream's header — the
+/// same contract as [`crate::passes::evaluate`], but reported as an error
+/// rather than a panic: the stream is external input (a cache artifact
+/// may be swapped underneath a running sweep), so callers need a
+/// recoverable signal to fall back on re-rendering.
+///
+/// # Errors
+/// I/O, checksum and format errors from the stream, and
+/// [`io::ErrorKind::InvalidData`] when the stream's configuration does
+/// not match `opts.gpu`.
+pub fn evaluate_reader<R: Read>(
+    reader: &mut RelogReader<R>,
+    opts: &crate::SimOptions,
+) -> io::Result<crate::RunReport> {
+    if opts.gpu != reader.config() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "render log was recorded under {:?}, evaluation expects {:?}",
+                reader.config(),
+                opts.gpu
+            ),
+        ));
+    }
+    let mut eval = crate::Evaluation::new(*opts, reader.config().tile_count());
+    while let Some(frame) = reader.next_frame()? {
+        eval.push_frame(&frame);
+    }
+    let name = reader.name().to_owned();
+    Ok(eval.finish(&name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::render_scene;
+    use crate::sim::Scene;
+    use crate::SimOptions;
+    use re_gpu::api::{DrawCall, FrameDesc, PipelineState, Vertex};
+    use re_math::Mat4;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig {
+            width: 64,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        }
+    }
+
+    struct Tri;
+    impl Scene for Tri {
+        fn frame(&mut self, i: usize) -> FrameDesc {
+            let step = i as f32 * 0.04;
+            let verts = [(-0.5 + step, -0.5), (0.5 + step, -0.5), (step, 0.5)]
+                .iter()
+                .map(|&(x, y)| {
+                    Vertex::new(vec![
+                        Vec4::new(x, y, 0.0, 1.0),
+                        Vec4::new(0.9, 0.2, 0.1, 1.0),
+                    ])
+                })
+                .collect();
+            let mut frame = FrameDesc::new();
+            frame.re_unsafe = i == 1;
+            frame.drawcalls.push(DrawCall {
+                state: PipelineState::flat_2d(),
+                constants: Mat4::IDENTITY.cols.to_vec(),
+                vertices: verts,
+            });
+            frame
+        }
+        fn name(&self) -> &str {
+            "tri"
+        }
+    }
+
+    #[test]
+    fn rendered_log_roundtrips_exactly() {
+        let log = render_scene(&mut Tri, cfg(), 3);
+        let bytes = encode(&log);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back, log);
+        // Canonical encoding: encode ∘ decode is byte-stable.
+        assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn streaming_reader_matches_full_decode() {
+        let log = render_scene(&mut Tri, cfg(), 3);
+        let bytes = encode(&log);
+        let mut r = RelogReader::new(bytes.as_slice()).expect("header");
+        assert_eq!(r.name(), "tri");
+        assert_eq!(r.config(), cfg());
+        assert_eq!(r.frame_count(), 3);
+        assert_eq!(
+            r.header().fingerprint,
+            log_fingerprint("tri", cfg(), 3),
+            "writer stamps the canonical fingerprint"
+        );
+        let mut frames = Vec::new();
+        while let Some(f) = r.next_frame().expect("frame") {
+            frames.push(f);
+        }
+        assert_eq!(frames, log.frames);
+        assert!(r.next_frame().expect("past end").is_none());
+    }
+
+    #[test]
+    fn evaluating_a_decoded_log_is_bit_identical() {
+        let log = render_scene(&mut Tri, cfg(), 4);
+        let opts = SimOptions {
+            gpu: cfg(),
+            ..SimOptions::default()
+        };
+        let direct = crate::evaluate(&log, &opts);
+        let decoded = decode(&encode(&log)).expect("decode");
+        assert_eq!(crate::evaluate(&decoded, &opts), direct);
+        // And the streaming path agrees too.
+        let bytes = encode(&log);
+        let mut r = RelogReader::new(bytes.as_slice()).expect("header");
+        assert_eq!(evaluate_reader(&mut r, &opts).expect("stream"), direct);
+    }
+
+    #[test]
+    fn corrupt_payload_fails_its_frame_checksum() {
+        let log = render_scene(&mut Tri, cfg(), 2);
+        let mut bytes = encode(&log);
+        // Flip a byte near the end (inside the last frame's payload).
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xFF;
+        assert_eq!(
+            decode(&bytes),
+            Err(RelogError::BadChecksum { frame: 1 }),
+            "payload corruption must be caught by the frame CRC"
+        );
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_rejected() {
+        let log = render_scene(&mut Tri, cfg(), 2);
+        let bytes = encode(&log);
+        for cut in [1usize, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must error");
+        }
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(decode(&bad), Err(RelogError::BadMagic));
+        // A future revision (different magic digits) is rejected, not
+        // misparsed.
+        let mut vnext = bytes.clone();
+        vnext[7] = b'2';
+        assert_eq!(decode(&vnext), Err(RelogError::BadMagic));
+        // Trailing garbage is an error, not silently ignored.
+        let mut long = bytes;
+        long.push(0);
+        assert!(matches!(decode(&long), Err(RelogError::Truncated { .. })));
+    }
+
+    #[test]
+    fn corrupt_length_fields_error_instead_of_panicking() {
+        // A bit flip landing in a frame's payload_len must surface as a
+        // clean error (no giant allocation, no overflow panic) on both the
+        // in-memory and the streaming path.
+        let log = render_scene(&mut Tri, cfg(), 2);
+        let mut bytes = encode(&log);
+        let header = 8 + 8 + 2 + "tri".len() + 13 + 4;
+        bytes[header..header + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(RelogError::Truncated { .. })));
+        let mut r = RelogReader::new(bytes.as_slice()).expect("header still parses");
+        let err = r.next_frame().expect_err("corrupt length");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn mismatched_config_is_an_error_not_a_panic() {
+        // The stream is external input (cache artifacts can be swapped
+        // underneath a sweep), so a config mismatch must be recoverable.
+        let log = render_scene(&mut Tri, cfg(), 1);
+        let bytes = encode(&log);
+        let mut r = RelogReader::new(bytes.as_slice()).expect("header");
+        let opts = SimOptions {
+            gpu: GpuConfig {
+                tile_size: 32,
+                ..cfg()
+            },
+            ..SimOptions::default()
+        };
+        let err = evaluate_reader(&mut r, &opts).expect_err("config mismatch");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn fingerprint_sees_every_identity_input() {
+        let base = log_fingerprint("tri", cfg(), 3);
+        assert_eq!(base, log_fingerprint("tri", cfg(), 3));
+        assert_ne!(base, log_fingerprint("ccs", cfg(), 3));
+        assert_ne!(base, log_fingerprint("tri", cfg(), 4));
+        for other in [
+            GpuConfig {
+                width: 128,
+                ..cfg()
+            },
+            GpuConfig {
+                height: 128,
+                ..cfg()
+            },
+            GpuConfig {
+                tile_size: 32,
+                ..cfg()
+            },
+            GpuConfig {
+                binning: BinningMode::ExactCoverage,
+                ..cfg()
+            },
+        ] {
+            assert_ne!(base, log_fingerprint("tri", other, 3));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_and_verify() {
+        let log = render_scene(&mut Tri, cfg(), 2);
+        let path = std::env::temp_dir().join(format!("re_relog_test_{}.relog", std::process::id()));
+        save(&path, &log).expect("save");
+        assert_eq!(load(&path).expect("load"), log);
+        let mut r = RelogReader::open(&path).expect("open");
+        r.verify_frames().expect("all frames verify");
+        let _ = std::fs::remove_file(&path);
+    }
+}

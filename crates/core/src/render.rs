@@ -36,7 +36,7 @@ use crate::sim::Scene;
 use crate::te::TransactionElimination;
 
 /// Everything Stage A records about one tile of one frame.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TileLog {
     /// The tile's raster-pipeline memory accesses, in pipeline order.
     pub events: Vec<Event>,
@@ -63,7 +63,7 @@ impl TileLog {
 }
 
 /// Everything Stage A records about one frame.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameLog {
     /// Whether the frame carried a global-state change that makes skipping
     /// unsafe (paper §III-E).
@@ -81,8 +81,9 @@ pub struct FrameLog {
 /// A complete recorded render: the Stage A artifact.
 ///
 /// Self-contained and `Send + Sync`; build once, evaluate many times (see
-/// [`crate::passes::evaluate`]).
-#[derive(Debug)]
+/// [`crate::passes::evaluate`]). [`crate::relog`] gives it a lossless
+/// on-disk form (`.relog`) so resumed or sharded sweeps can skip Stage A.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RenderLog {
     /// Workload name (reports).
     pub name: String,

@@ -34,6 +34,19 @@
 //! * [`hashalt`] — alternative (weaker) hash functions used by the paper's
 //!   hash-quality ablation: XOR folding, FNV-1a and an additive checksum.
 //!
+//! # Who consumes this crate
+//!
+//! The Signature Unit model in `re_core::signature` drives
+//! [`units::ComputeCrcUnit`] and [`units::AccumulateCrcUnit`] exactly as
+//! the paper's Fig. 7 hardware would (sign the constants/attribute
+//! blocks, fold them into per-tile signatures through the OT queue), and
+//! charges their cycle and LUT-access counts to the RE machine.
+//! Transaction Elimination (`re_core::te`) signs rendered tile colors
+//! with the same non-augmented [`Crc32`]. The `.relog` render-log format
+//! (`re_core::relog`) reuses [`Crc32`] as its per-frame integrity
+//! checksum, so one CRC definition serves both the simulated hardware and
+//! the on-disk artifacts.
+//!
 //! # Quickstart
 //!
 //! ```

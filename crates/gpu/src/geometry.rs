@@ -23,7 +23,7 @@ pub struct ShadedVertex {
 }
 
 /// A primitive as stored in the Parameter Buffer, plus binning metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AssembledPrim {
     /// Index of the owning drawcall within the frame.
     pub drawcall: u32,
@@ -44,7 +44,7 @@ pub struct AssembledPrim {
 
 /// Per-drawcall metadata retained for the Raster Pipeline and the
 /// Signature Unit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DrawcallMeta {
     /// The constants block exactly as signed (little-endian vec4 slots).
     pub constants_bytes: Vec<u8>,
@@ -54,7 +54,7 @@ pub struct DrawcallMeta {
 }
 
 /// Everything the Geometry Pipeline + Tiling Engine produce for one frame.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeometryOutput {
     /// Per-drawcall metadata, in submission order.
     pub drawcalls: Vec<DrawcallMeta>,

@@ -28,6 +28,26 @@
 //! [`Gpu::rasterize_tile`] then renders any single tile on demand, so a
 //! technique driver can skip redundant tiles entirely.
 //!
+//! Three cross-cutting facilities matter to consumers:
+//!
+//! * **Hooks** ([`hooks::GpuHooks`]) — every pipeline memory access
+//!   (vertex fetch, Parameter Buffer read/write, texel fetch, color
+//!   flush, fragment-shaded probe) is reported to a caller-supplied sink,
+//!   which is how `re_core` records replayable event streams and
+//!   `re_timing`'s `MemorySystem` simulates cache hierarchies.
+//! * **Activity counters** ([`stats::GeometryStats`],
+//!   [`stats::TileStats`]) — the per-frame / per-tile work counts the
+//!   cycle and energy models consume.
+//! * **The raster-invocation counter** ([`raster_invocations`]) — a
+//!   process-wide count of [`Gpu::rasterize_tile`] calls. The sweep's
+//!   render-once contract (each render key rasterized at most once, and
+//!   *zero* times when a cached render log covers it) is pinned in tests
+//!   against exactly this counter.
+//!
+//! The binning strategy is selectable per [`GpuConfig`] via
+//! [`BinningMode`]: conservative bounding-box (the paper's baseline) or
+//! exact coverage.
+//!
 //! ```
 //! use re_gpu::{Gpu, GpuConfig};
 //! use re_gpu::api::FrameDesc;

@@ -1,0 +1,372 @@
+//! The sweep's on-disk artifact caches: workload traces (`.retrace`) and
+//! Stage A render logs (`.relog`), living side by side in one directory.
+//!
+//! Two artifact kinds, one pattern — capture/render once, persist
+//! atomically, replay everywhere:
+//!
+//! * **Traces** ([`TraceCache`]). Scene generators are `Box<dyn Scene>`
+//!   and deliberately not `Send` — they were never designed for threading.
+//!   The sweep sidesteps that entirely: each workload is captured **once**
+//!   into a [`re_trace::Trace`] (a plain `Send + Sync` value), optionally
+//!   cached on disk as a `.retrace` file, and every worker replays it
+//!   through its own lightweight [`SharedTraceScene`] that borrows the
+//!   trace via `Arc` instead of cloning frames wholesale. Replay is
+//!   bit-exact (see `re_trace`'s roundtrip tests), so a sweep over a trace
+//!   measures exactly what a serial run over the live generator would.
+//!
+//! * **Render logs** ([`RenderLogCache`]). Stage A's output — the
+//!   [`re_core::RenderLog`] per render key — is the sweep's dominant cost.
+//!   Caching it as a `.relog` file (format: [`re_core::relog`]) means a
+//!   resumed, killed, or re-merged shard run can skip rasterization
+//!   entirely for covered keys: the plan marks those render jobs satisfied
+//!   ([`crate::SweepPlan::attach_cached_logs`]) and the executor streams
+//!   the log from disk instead. Lookup validates the artifact end to end
+//!   (magic/version, identity fingerprint, per-frame checksums) and treats
+//!   anything invalid as a miss, so corrupt or stale files silently fall
+//!   back to re-rendering.
+//!
+//! Both caches commit via write-to-temp-then-rename, so a killed sweep
+//! never leaves a torn artifact a later run would trust.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use re_core::relog;
+use re_core::render::RenderLog;
+use re_core::Scene;
+use re_gpu::api::FrameDesc;
+use re_gpu::GpuConfig;
+use re_trace::Trace;
+
+use crate::grid::{binning_name, RenderKey};
+
+/// A [`Scene`] replaying an `Arc`-shared trace; cheap to construct per cell.
+///
+/// Frame indices beyond the capture length wrap around, matching
+/// [`re_trace::TraceScene`]'s replay semantics — the sweep engine always
+/// captures exactly as many frames as it replays, so within the engine the
+/// wrap never triggers.
+#[derive(Debug, Clone)]
+pub struct SharedTraceScene {
+    trace: Arc<Trace>,
+    name: String,
+}
+
+impl SharedTraceScene {
+    /// Wraps `trace` for replay under `name` (used in reports).
+    pub fn new(trace: Arc<Trace>, name: impl Into<String>) -> Self {
+        SharedTraceScene {
+            trace,
+            name: name.into(),
+        }
+    }
+}
+
+impl Scene for SharedTraceScene {
+    fn init(&mut self, textures: &mut re_gpu::texture::TextureStore) {
+        for img in &self.trace.textures {
+            let w = img.width;
+            let texels = &img.texels;
+            textures.upload_with(img.width, img.height, |x, y| texels[(y * w + x) as usize]);
+        }
+    }
+
+    fn frame(&mut self, index: usize) -> FrameDesc {
+        let n = self.trace.frames.len().max(1);
+        self.trace.frames[index % n].clone()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Captures workloads once and hands out shared traces, with an optional
+/// on-disk `.retrace` cache keyed by scene, frame count and capture screen.
+#[derive(Debug)]
+pub struct TraceCache {
+    dir: Option<PathBuf>,
+    loaded: HashMap<String, Arc<Trace>>,
+}
+
+impl TraceCache {
+    /// A cache writing `.retrace` files under `dir` (`None` = memory only).
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        TraceCache {
+            dir,
+            loaded: HashMap::new(),
+        }
+    }
+
+    fn file_key(alias: &str, frames: usize, cfg: GpuConfig) -> String {
+        format!("{alias}-{frames}f-{}x{}.retrace", cfg.width, cfg.height)
+    }
+
+    /// The trace of workload `alias` over `frames` frames: from memory, else
+    /// from the disk cache, else captured live (and then cached).
+    ///
+    /// # Errors
+    /// I/O errors from the disk cache, or an unknown alias (reported as
+    /// [`io::ErrorKind::NotFound`]).
+    pub fn get(&mut self, alias: &str, frames: usize, cfg: GpuConfig) -> io::Result<Arc<Trace>> {
+        let key = Self::file_key(alias, frames, cfg);
+        if let Some(t) = self.loaded.get(&key) {
+            return Ok(Arc::clone(t));
+        }
+        if let Some(dir) = &self.dir {
+            let path = dir.join(&key);
+            if path.exists() {
+                let t = Arc::new(Trace::load(&path)?);
+                self.loaded.insert(key, Arc::clone(&t));
+                return Ok(t);
+            }
+        }
+        let t = Arc::new(capture_alias(alias, frames, cfg)?);
+        if let Some(dir) = &self.dir {
+            std::fs::create_dir_all(dir)?;
+            // Write-then-rename so a killed sweep never leaves a torn
+            // `.retrace` that a resumed run would trust.
+            let tmp = dir.join(format!("{key}.tmp"));
+            t.save(&tmp)?;
+            std::fs::rename(&tmp, dir.join(&key))?;
+        }
+        self.loaded.insert(key, Arc::clone(&t));
+        Ok(t)
+    }
+}
+
+/// On-disk cache of Stage A artifacts: one `.relog` per [`RenderKey`],
+/// next to the `.retrace` files when the caches share a directory.
+///
+/// Unlike [`TraceCache`] there is no in-memory layer — the executor
+/// already shares a hot log across its cells via `Arc`, and the point of
+/// the disk artifact is exactly the runs that *don't* have the log in
+/// memory (resume after a kill, a re-executed shard, `--no-group`
+/// baselining machines). `None` as the directory disables the cache.
+#[derive(Debug, Clone)]
+pub struct RenderLogCache {
+    dir: Option<PathBuf>,
+}
+
+impl RenderLogCache {
+    /// A cache writing `.relog` files under `dir` (`None` = disabled).
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        RenderLogCache { dir }
+    }
+
+    /// Whether a directory is configured.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The cache file name of `key` — every identity input (scene, frame
+    /// count, screen, tile size, binning) is in the name, so distinct keys
+    /// never collide.
+    pub fn file_key(key: &RenderKey) -> String {
+        let cfg = key.gpu_config();
+        format!(
+            "{}-{}f-{}x{}-ts{}-{}.relog",
+            key.scene(),
+            key.frames(),
+            cfg.width,
+            cfg.height,
+            cfg.tile_size,
+            binning_name(cfg.binning),
+        )
+    }
+
+    /// The fingerprint a valid artifact for `key` must carry
+    /// ([`relog::log_fingerprint`] over the key's identity).
+    pub fn expected_fingerprint(key: &RenderKey) -> u64 {
+        relog::log_fingerprint(key.scene(), key.gpu_config(), key.frames())
+    }
+
+    /// The path of a **validated** cached log for `key`, or `None` when
+    /// the cache is disabled, the file is absent, or the artifact fails
+    /// validation (bad magic/version, fingerprint mismatch = stale, frame
+    /// checksum failure = corrupt). Invalid artifacts are deleted so the
+    /// slot is clean for the re-render that follows.
+    pub fn lookup(&self, key: &RenderKey) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let path = dir.join(Self::file_key(key));
+        if !path.is_file() {
+            return None;
+        }
+        let valid = (|| -> io::Result<bool> {
+            let mut reader = relog::RelogReader::open(&path)?;
+            if reader.header().fingerprint != Self::expected_fingerprint(key)
+                || reader.config() != key.gpu_config()
+                || reader.frame_count() as usize != key.frames()
+            {
+                return Ok(false);
+            }
+            reader.verify_frames()?;
+            Ok(true)
+        })()
+        .unwrap_or(false);
+        if valid {
+            Some(path)
+        } else {
+            let _ = std::fs::remove_file(&path);
+            None
+        }
+    }
+
+    /// Persists a freshly rendered log for `key` (atomic: temp + rename)
+    /// and returns its path; `Ok(None)` when the cache is disabled.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn store(&self, key: &RenderKey, log: &RenderLog) -> io::Result<Option<PathBuf>> {
+        let Some(dir) = &self.dir else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)?;
+        let name = Self::file_key(key);
+        let tmp = dir.join(format!("{name}.tmp"));
+        relog::save(&tmp, log)?;
+        let path = dir.join(name);
+        std::fs::rename(&tmp, &path)?;
+        Ok(Some(path))
+    }
+}
+
+/// Captures `frames` frames of the suite workload `alias` under `cfg`.
+///
+/// # Errors
+/// [`io::ErrorKind::NotFound`] if `alias` is not in the suite.
+pub fn capture_alias(alias: &str, frames: usize, cfg: GpuConfig) -> io::Result<Trace> {
+    let mut bench = re_workloads::by_alias(alias).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("unknown workload alias `{alias}`"),
+        )
+    })?;
+    Ok(re_trace::capture(bench.scene.as_mut(), cfg, frames))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_core::{SimOptions, Simulator};
+
+    fn cfg() -> GpuConfig {
+        GpuConfig {
+            width: 128,
+            height: 64,
+            tile_size: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shared_replay_matches_live_run() {
+        let trace = Arc::new(capture_alias("ccs", 4, cfg()).expect("capture"));
+        let mut replay = SharedTraceScene::new(Arc::clone(&trace), "ccs");
+        let mut live = re_workloads::by_alias("ccs").unwrap();
+
+        let opts = SimOptions {
+            gpu: cfg(),
+            ..SimOptions::default()
+        };
+        let a = Simulator::new(opts).run(&mut replay, 4);
+        let b = Simulator::new(opts).run(live.scene.as_mut(), 4);
+        assert_eq!(a.baseline.total_cycles(), b.baseline.total_cycles());
+        assert_eq!(a.re.tiles_skipped, b.re.tiles_skipped);
+        assert_eq!(a.false_positives, b.false_positives);
+        assert_eq!(a.name, "ccs");
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_is_reused() {
+        let dir = std::env::temp_dir().join(format!("re_sweep_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = TraceCache::new(Some(dir.clone()));
+        let first = cache.get("tib", 3, cfg()).expect("capture");
+        assert!(dir.join("tib-3f-128x64.retrace").exists());
+
+        // A fresh cache object must hit the file, not re-capture.
+        let mut cache2 = TraceCache::new(Some(dir.clone()));
+        let second = cache2.get("tib", 3, cfg()).expect("load");
+        assert_eq!(*first, *second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_alias_is_not_found() {
+        let mut cache = TraceCache::new(None);
+        let err = cache.get("nope", 2, cfg()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    /// A render key of the given frame count over the `ccs` workload.
+    fn key_of(frames: usize) -> crate::grid::RenderKey {
+        let mut g = crate::grid::ExperimentGrid::default().with_scenes(&["ccs"]);
+        g.frames = frames;
+        g.width = 128;
+        g.height = 64;
+        g.cells()[0].render_key()
+    }
+
+    fn log_for(key: &crate::grid::RenderKey) -> RenderLog {
+        let trace = Arc::new(capture_alias(key.scene(), key.frames(), cfg()).expect("capture"));
+        crate::engine::render_key_log(&trace, key)
+    }
+
+    #[test]
+    fn render_log_cache_stores_and_validates() {
+        let dir = std::env::temp_dir().join(format!("re_relog_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RenderLogCache::new(Some(dir.clone()));
+        let key = key_of(3);
+        assert_eq!(cache.lookup(&key), None, "cold cache misses");
+
+        let log = log_for(&key);
+        let path = cache.store(&key, &log).expect("store").expect("enabled");
+        assert_eq!(path.file_name().unwrap(), "ccs-3f-128x64-ts16-bbox.relog");
+        assert_eq!(cache.lookup(&key), Some(path.clone()));
+        assert_eq!(relog::load(&path).expect("load"), log, "artifact is exact");
+
+        // A disabled cache neither hits nor writes.
+        let off = RenderLogCache::new(None);
+        assert!(!off.enabled());
+        assert_eq!(off.lookup(&key), None);
+        assert_eq!(off.store(&key, &log).expect("noop"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_stale_artifacts_are_misses_and_removed() {
+        let dir = std::env::temp_dir().join(format!("re_relog_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RenderLogCache::new(Some(dir.clone()));
+        let key3 = key_of(3);
+        let path = cache
+            .store(&key3, &log_for(&key3))
+            .expect("store")
+            .expect("enabled");
+
+        // Corrupt: flip a byte inside a frame payload.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("write");
+        assert_eq!(cache.lookup(&key3), None, "corrupt artifact is a miss");
+        assert!(!path.exists(), "invalid artifact is cleaned up");
+
+        // Stale: a valid artifact for another key parked under this key's
+        // file name (e.g. hand-copied between cache dirs) fails the
+        // fingerprint.
+        let key4 = key_of(4);
+        let other = cache
+            .store(&key4, &log_for(&key4))
+            .expect("store")
+            .expect("enabled");
+        std::fs::rename(&other, &path).expect("rename");
+        assert_eq!(cache.lookup(&key3), None, "stale artifact is a miss");
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -51,13 +51,8 @@ fn main() -> ExitCode {
 
 fn run_report(store: &std::path::Path) -> ExitCode {
     match re_sweep::read_records(store) {
-        Ok(records) if records.is_empty() => {
-            eprintln!(
-                "sweep report: store at {} holds no records",
-                store.display()
-            );
-            ExitCode::FAILURE
-        }
+        // An empty or single-cell store is not an error — the renderer
+        // prints a clear "nothing to report" message for it.
         Ok(records) => {
             print!("{}", re_sweep::render_report(&records));
             ExitCode::SUCCESS
@@ -88,6 +83,7 @@ fn run_merge(out: &std::path::Path, inputs: &[std::path::PathBuf]) -> ExitCode {
 }
 
 fn run_sweep(args: RunArgs) -> ExitCode {
+    let rasters_before = re_gpu::raster_invocations();
     let cells = args.grid.cell_count();
     let scenes = args.grid.scene_aliases().len();
     eprintln!(
@@ -128,6 +124,13 @@ fn run_sweep(args: RunArgs) -> ExitCode {
                     summary.resumed,
                     summary.csv_path.display()
                 );
+                // A warm `--log-dir` makes this 0: every covered render
+                // key was replayed from its cached log (the CI resume
+                // smoke greps for exactly this line).
+                eprintln!(
+                    "[sweep] raster invocations this run: {}",
+                    re_gpu::raster_invocations() - rasters_before
+                );
                 if let Some(s) = args.shard {
                     eprintln!(
                         "[sweep] shard {s} complete; when every shard is done: \
@@ -145,6 +148,10 @@ fn run_sweep(args: RunArgs) -> ExitCode {
     } else {
         match re_sweep::run_plan(&plan, &args.opts) {
             Ok(outcomes) => {
+                eprintln!(
+                    "[sweep] raster invocations this run: {}",
+                    re_gpu::raster_invocations() - rasters_before
+                );
                 let records: Vec<re_sweep::CellRecord> = outcomes
                     .iter()
                     .map(|o| re_sweep::CellRecord::from_run(&o.cell, &o.report))

@@ -121,6 +121,8 @@ const RUN_FLAGS: &[&str] = &[
     "--width",
     "--height",
     "--trace-dir",
+    "--log-dir",
+    "--no-log-cache",
     "--no-group",
     "--quiet",
     "--help",
@@ -132,6 +134,8 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
     let mut out = PathBuf::from("sweep-out");
     let mut store = true;
     let mut trace_dir: Option<PathBuf> = None;
+    let mut log_dir: Option<PathBuf> = None;
+    let mut log_cache = true;
     let mut shard: Option<ShardSpec> = None;
 
     let mut it = argv.iter();
@@ -163,6 +167,8 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
             "--width" => grid.width = value()?.parse().map_err(|_| "--width: bad value")?,
             "--height" => grid.height = value()?.parse().map_err(|_| "--height: bad value")?,
             "--trace-dir" => trace_dir = Some(PathBuf::from(value()?)),
+            "--log-dir" => log_dir = Some(PathBuf::from(value()?)),
+            "--no-log-cache" => log_cache = false,
             "--no-group" => opts.group_renders = false,
             "--quiet" => opts.quiet = true,
             "-h" | "--help" => return Ok(Command::Help),
@@ -182,6 +188,17 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
         (_, Some(dir)) => Some(dir),
         (true, None) => Some(out.join("traces")),
         (false, None) => None,
+    };
+    // Render logs default to living next to the `.retrace` files, so a
+    // resumed or re-sharded run finds both artifact kinds in one place;
+    // `--no-log-cache` turns the `.relog` side off entirely.
+    opts.log_dir = if log_cache {
+        log_dir.or_else(|| opts.trace_dir.clone())
+    } else {
+        if log_dir.is_some() {
+            return Err("--no-log-cache contradicts --log-dir".into());
+        }
+        None
     };
     Ok(Command::Run(Box::new(RunArgs {
         grid,
@@ -278,6 +295,10 @@ OPTIONS:
     }
     out.push_str(
         "    --trace-dir DIR     cache .retrace captures here (default: <out>/traces)
+    --log-dir DIR       cache .relog render logs here (default: the trace
+                        directory); a warm cache lets resumed/sharded runs
+                        skip Stage A rasterization entirely
+    --no-log-cache      never read or write .relog render-log artifacts
     --no-group          render per cell instead of once per render key
     --quiet             no per-cell progress on stderr
     -h, --help          this text
@@ -427,6 +448,40 @@ mod tests {
         let r = run_args(&["--no-store"]);
         assert!(!r.store);
         assert_eq!(r.opts.trace_dir, None);
+    }
+
+    #[test]
+    fn log_dir_defaults_to_the_trace_dir() {
+        // Store run: both caches live under <out>/traces by default.
+        let r = run_args(&["--out", "results"]);
+        assert_eq!(
+            r.opts.log_dir.as_deref(),
+            Some(std::path::Path::new("results/traces"))
+        );
+        assert_eq!(r.opts.log_dir, r.opts.trace_dir);
+
+        // Explicit --log-dir wins over the default.
+        let r = run_args(&["--out", "results", "--log-dir", "logs"]);
+        assert_eq!(
+            r.opts.log_dir.as_deref(),
+            Some(std::path::Path::new("logs"))
+        );
+
+        // A memory-only run has no default cache directory at all.
+        let r = run_args(&["--no-store"]);
+        assert_eq!(r.opts.log_dir, None);
+        // ...but an explicit trace dir brings the log cache with it.
+        let r = run_args(&["--no-store", "--trace-dir", "t"]);
+        assert_eq!(r.opts.log_dir.as_deref(), Some(std::path::Path::new("t")));
+
+        // --no-log-cache disables the .relog side everywhere.
+        let r = run_args(&["--out", "results", "--no-log-cache"]);
+        assert_eq!(r.opts.log_dir, None);
+        assert!(r.opts.trace_dir.is_some(), "trace cache is untouched");
+        let err = parse_strs(&["--no-log-cache", "--log-dir", "x"]).unwrap_err();
+        assert!(err.contains("contradicts"), "{err}");
+        let err = parse_strs(&["--log-drr", "x"]).unwrap_err();
+        assert!(err.contains("did you mean `--log-dir`?"), "{err}");
     }
 
     #[test]

@@ -31,12 +31,12 @@ use re_core::render::RenderLog;
 use re_core::{render_scene, RunReport, Simulator};
 use re_trace::Trace;
 
+use crate::artifacts::{SharedTraceScene, TraceCache};
 use crate::exec::ThreadExecutor;
 use crate::exec::{Executor, NullObserver, StderrObserver, SweepEvent, SweepObserver};
 use crate::grid::{Cell, ExperimentGrid, RenderKey};
 use crate::plan::SweepPlan;
 use crate::store::{CellRecord, ResultStore};
-use crate::trace_cache::{SharedTraceScene, TraceCache};
 
 /// How a sweep executes (as opposed to *what* it runs, which is the grid —
 /// or, compiled, the [`SweepPlan`]).
@@ -48,6 +48,13 @@ pub struct SweepOptions {
     /// Directory for cached `.retrace` captures (`None` = capture in memory
     /// each run).
     pub trace_dir: Option<PathBuf>,
+    /// Directory for cached `.relog` Stage A artifacts (`None` = no render
+    /// log cache). With a warm cache every covered render key is replayed
+    /// from disk instead of rasterized — a resumed or re-executed sweep
+    /// performs zero raster invocations for those keys. The CLI defaults
+    /// this to the trace directory, so both artifact kinds live side by
+    /// side.
+    pub log_dir: Option<PathBuf>,
     /// Suppress the default stderr progress lines. Only consulted when
     /// [`observer`](Self::observer) is `None`.
     pub quiet: bool,
@@ -66,6 +73,7 @@ impl std::fmt::Debug for SweepOptions {
         f.debug_struct("SweepOptions")
             .field("workers", &self.workers)
             .field("trace_dir", &self.trace_dir)
+            .field("log_dir", &self.log_dir)
             .field("quiet", &self.quiet)
             .field("group_renders", &self.group_renders)
             .field("observer", &self.observer.as_ref().map(|_| "<custom>"))
@@ -78,6 +86,7 @@ impl Default for SweepOptions {
         SweepOptions {
             workers: 0,
             trace_dir: None,
+            log_dir: None,
             quiet: false,
             group_renders: true,
             observer: None,
@@ -101,6 +110,21 @@ impl SweepOptions {
         ThreadExecutor {
             workers: self.workers,
             group_renders: self.group_renders,
+            log_dir: self.log_dir.clone(),
+        }
+    }
+
+    /// The plan with every render job a cached `.relog` covers marked
+    /// satisfied. Borrowed (no copy) without a log directory or with
+    /// grouping off — the per-cell path measures the full monolithic
+    /// pipeline, so it never substitutes cached artifacts.
+    fn annotated<'a>(&self, plan: &'a SweepPlan) -> std::borrow::Cow<'a, SweepPlan> {
+        if self.group_renders && self.log_dir.is_some() {
+            let mut plan = plan.clone();
+            plan.attach_cached_logs(&crate::artifacts::RenderLogCache::new(self.log_dir.clone()));
+            std::borrow::Cow::Owned(plan)
+        } else {
+            std::borrow::Cow::Borrowed(plan)
         }
     }
 }
@@ -195,6 +219,22 @@ pub fn capture_plan_traces(
     )
 }
 
+/// Captures exactly the traces an execution of `plan` will touch: with
+/// grouping, only scenes with at least one *unsatisfied* render job (a
+/// plan fully covered by cached logs captures nothing); without grouping,
+/// every scene.
+fn capture_execution_traces(
+    plan: &SweepPlan,
+    opts: &SweepOptions,
+) -> io::Result<HashMap<&'static str, Arc<Trace>>> {
+    let aliases = if opts.group_renders {
+        plan.pending_scene_aliases()
+    } else {
+        plan.scene_aliases()
+    };
+    capture(&aliases, plan.frames(), plan.width(), plan.height(), opts)
+}
+
 /// Runs one cell against a shared trace through the monolithic per-cell
 /// path (Stage A + Stage B interleaved). The grouped path in
 /// [`run_plan`]/[`run_grid`] produces identical reports while rendering
@@ -213,16 +253,20 @@ pub fn render_key_log(trace: &Arc<Trace>, key: &RenderKey) -> RenderLog {
 }
 
 /// Runs a compiled plan in memory on the default [`ThreadExecutor`] and
-/// returns every outcome in cell-id order.
+/// returns every outcome in cell-id order. With a
+/// [`log_dir`](SweepOptions::log_dir), render jobs covered by valid cached
+/// `.relog` artifacts skip Stage A entirely (and are excluded from trace
+/// capture); fresh renders are persisted for the next run.
 ///
 /// # Errors
 /// Trace capture/caching errors.
 pub fn run_plan(plan: &SweepPlan, opts: &SweepOptions) -> io::Result<Vec<CellOutcome>> {
-    let traces = capture_plan_traces(plan, opts)?;
+    let plan = opts.annotated(plan);
+    let traces = capture_execution_traces(&plan, opts)?;
     let observer = opts.effective_observer();
     Ok(opts
         .executor()
-        .execute(plan, &traces, observer.as_ref(), &|_, _| {}))
+        .execute(plan.as_ref(), &traces, observer.as_ref(), &|_, _| {}))
 }
 
 /// Runs the whole grid in memory and returns every outcome in cell-id
@@ -285,9 +329,13 @@ pub fn run_plan_with_store(
     let outcomes = if ran == 0 {
         Vec::new()
     } else {
-        // Capture only the scenes that still have pending cells: a resume
-        // with one cell left must not re-capture the other nine workloads.
-        let traces = capture_plan_traces(&pending, opts)?;
+        // Cached render logs satisfy whatever keys they cover — a fully
+        // warm resume rasterizes nothing.
+        let pending = opts.annotated(&pending);
+        // Capture only the scenes that still have pending cells (a resume
+        // with one cell left must not re-capture the other nine
+        // workloads) — and, of those, only the ones no cached log covers.
+        let traces = capture_execution_traces(&pending, opts)?;
         // Commit from the worker so a killed sweep keeps finished cells.
         // A failed commit must not report success (an apparently complete
         // store that silently lacks records would poison later resumes and
@@ -428,6 +476,47 @@ mod tests {
         assert_eq!(second.ran, 0);
         assert_eq!(std::fs::read_to_string(&second.csv_path).unwrap(), csv);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_log_cache_reproduces_reports_bit_identically() {
+        let base = std::env::temp_dir().join(format!("re_sweep_logdir_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let grid = tiny_grid().with_axis(crate::axis::SIG_BITS, vec![16, 32]);
+        let with_logs = SweepOptions {
+            log_dir: Some(base.join("logs")),
+            ..quiet()
+        };
+
+        // Cold run writes one artifact per render key; warm run replays
+        // them and must agree bit for bit with a cache-free run.
+        let cold = run_grid(&grid, &with_logs).expect("cold run");
+        let plan = SweepPlan::compile(&grid);
+        let mut annotated = plan.clone();
+        let satisfied = annotated.attach_cached_logs(&crate::artifacts::RenderLogCache::new(
+            with_logs.log_dir.clone(),
+        ));
+        assert_eq!(satisfied, plan.render_job_count(), "cache fully warm");
+        assert_eq!(annotated.satisfied_render_jobs(), satisfied);
+        assert!(annotated.pending_scene_aliases().is_empty());
+
+        let warm = run_grid(&grid, &with_logs).expect("warm run");
+        let memory_only = run_grid(&grid, &quiet()).expect("no cache");
+        for ((a, b), c) in warm.iter().zip(&cold).zip(&memory_only) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.report, b.report, "cell {}", a.cell.id);
+            assert_eq!(a.report, c.report, "cell {}", a.cell.id);
+        }
+
+        // Store runs see the same artifacts: two stores, one cold and one
+        // warm, regenerate byte-identical CSVs.
+        let s1 = run_grid_with_store(&grid, &with_logs, base.join("store1")).expect("store cold");
+        let s2 = run_grid_with_store(&grid, &with_logs, base.join("store2")).expect("store warm");
+        assert_eq!(
+            std::fs::read_to_string(&s1.csv_path).unwrap(),
+            std::fs::read_to_string(&s2.csv_path).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -62,6 +62,23 @@ pub enum SweepEvent<'a> {
         /// Tile edge of the render key.
         tile_size: u32,
     },
+    /// A render job is satisfied by a cached `.relog`: its cells replay
+    /// the artifact from disk and Stage A never runs (emitted once per
+    /// job, by the first cell to reach it).
+    RenderLogReplay {
+        /// Workload alias of the render key.
+        scene: &'static str,
+        /// Tile edge of the render key.
+        tile_size: u32,
+    },
+    /// A freshly rendered log was persisted to the render-log cache;
+    /// future resumes and re-executions of this key will skip Stage A.
+    RenderLogSaved {
+        /// Workload alias of the render key.
+        scene: &'static str,
+        /// Tile edge of the render key.
+        tile_size: u32,
+    },
     /// One cell finished.
     CellDone {
         /// Cells finished so far (this execution).
@@ -108,6 +125,12 @@ impl SweepObserver for StderrObserver {
             }
             SweepEvent::RenderStart { scene, tile_size } => {
                 eprintln!("[sweep] rendering {scene} ts{tile_size}…");
+            }
+            SweepEvent::RenderLogReplay { scene, tile_size } => {
+                eprintln!("[sweep] replaying cached render log for {scene} ts{tile_size}");
+            }
+            SweepEvent::RenderLogSaved { scene, tile_size } => {
+                eprintln!("[sweep] cached render log for {scene} ts{tile_size}");
             }
             SweepEvent::CellDone {
                 done,
@@ -185,6 +208,8 @@ impl<'o> Progress<'o> {
 struct GroupSlot {
     log: Mutex<Option<Arc<RenderLog>>>,
     remaining: AtomicUsize,
+    /// Whether the one-per-job replay event was already emitted.
+    replay_announced: std::sync::atomic::AtomicBool,
 }
 
 /// The std-thread work-stealing executor (the engine's default).
@@ -194,14 +219,28 @@ struct GroupSlot {
 /// first and Stage A parallelizes across keys; within a job, the first
 /// worker renders (holding only that job's lock) and the rest evaluate
 /// the shared log, which is freed as its last cell finishes.
+///
+/// Render jobs a cached `.relog` satisfies ([`RenderJob::cached_log`])
+/// never run Stage A at all: each of their cells replays the artifact
+/// through [`re_core::relog::RelogReader`], frame by frame, holding at
+/// most one frame in memory. With [`log_dir`](Self::log_dir) set, jobs
+/// that *do* render persist their log on completion, so the next
+/// execution of the same keys is raster-free.
+///
+/// [`RenderJob::cached_log`]: crate::plan::RenderJob::cached_log
 #[derive(Debug, Clone)]
 pub struct ThreadExecutor {
     /// Worker threads; 0 means [`pool::default_workers`].
     pub workers: usize,
     /// Render each key once and share the log across its cells (the
     /// default). Disable to rebuild Stage A per cell — only useful for
-    /// baselining and equivalence tests.
+    /// baselining and equivalence tests (cached logs are ignored too: the
+    /// per-cell path measures the full monolithic pipeline).
     pub group_renders: bool,
+    /// Directory to persist freshly rendered `.relog` artifacts into
+    /// (`None` = don't write). Writes are best-effort: a full disk costs
+    /// the cache entry, never the sweep.
+    pub log_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ThreadExecutor {
@@ -209,6 +248,7 @@ impl Default for ThreadExecutor {
         ThreadExecutor {
             workers: 0,
             group_renders: true,
+            log_dir: None,
         }
     }
 }
@@ -254,16 +294,46 @@ impl Executor for ThreadExecutor {
             .map(|rj| GroupSlot {
                 log: Mutex::new(None),
                 remaining: AtomicUsize::new(rj.cells.len()),
+                replay_announced: std::sync::atomic::AtomicBool::new(false),
             })
             .collect();
         observer.on_event(&SweepEvent::GroupStart {
             cells: jobs.len(),
             render_jobs: slots.len(),
         });
+        let log_cache = crate::artifacts::RenderLogCache::new(self.log_dir.clone());
 
         pool::run_indexed(jobs, self.effective_workers(), |_i, job| {
-            let key = &plan.render_jobs()[job.render_job].key;
+            let render_job = &plan.render_jobs()[job.render_job];
+            let key = &render_job.key;
             let slot = &slots[job.render_job];
+            let opts = job.cell.point.sim_options();
+
+            // Satisfied job: stream the cached artifact instead of
+            // rendering — frame by frame, so memory stays bounded to one
+            // frame per worker no matter how many cells share the key.
+            if let Some(path) = &render_job.cached_log {
+                if !slot.replay_announced.swap(true, Ordering::Relaxed) {
+                    observer.on_event(&SweepEvent::RenderLogReplay {
+                        scene: key.scene(),
+                        tile_size: key.tile_size(),
+                    });
+                }
+                let streamed = re_core::relog::RelogReader::open(path)
+                    .and_then(|mut r| re_core::relog::evaluate_reader(&mut r, &opts));
+                if let Ok(report) = streamed {
+                    on_done(&job.cell, &report);
+                    progress.cell_done(&job.cell.label());
+                    return CellOutcome {
+                        cell: job.cell,
+                        report,
+                    };
+                }
+                // The artifact was validated when the plan was annotated,
+                // so a failure here means it changed underneath us —
+                // fall through and render the key like any other job.
+            }
+
             let log = {
                 let mut guard = slot.log.lock().expect("group slot poisoned");
                 match guard.as_ref() {
@@ -273,13 +343,41 @@ impl Executor for ThreadExecutor {
                             scene: key.scene(),
                             tile_size: key.tile_size(),
                         });
-                        let log = Arc::new(render_key_log(&traces[key.scene()], key));
+                        let trace = match traces.get(key.scene()) {
+                            Some(t) => Arc::clone(t),
+                            // Traces are only captured for unsatisfied
+                            // jobs; if a satisfied job's artifact just
+                            // vanished, capture its trace on the fly.
+                            None => Arc::new(
+                                crate::artifacts::capture_alias(
+                                    key.scene(),
+                                    key.frames(),
+                                    re_gpu::GpuConfig {
+                                        width: key.gpu_config().width,
+                                        height: key.gpu_config().height,
+                                        ..re_gpu::GpuConfig::default()
+                                    },
+                                )
+                                .expect("workload aliases in a plan are known"),
+                            ),
+                        };
+                        let log = Arc::new(render_key_log(&trace, key));
+                        // Persist for future runs (best-effort: the cache
+                        // is an optimization, never a failure source).
+                        if render_job.cached_log.is_none() {
+                            if let Ok(Some(_)) = log_cache.store(key, &log) {
+                                observer.on_event(&SweepEvent::RenderLogSaved {
+                                    scene: key.scene(),
+                                    tile_size: key.tile_size(),
+                                });
+                            }
+                        }
                         *guard = Some(Arc::clone(&log));
                         log
                     }
                 }
             };
-            let report = re_core::evaluate(&log, &job.cell.point.sim_options());
+            let report = re_core::evaluate(&log, &opts);
             drop(log);
             // Last cell of the job: free the log's memory early instead of
             // keeping every job's log alive until the sweep ends.
@@ -326,6 +424,8 @@ mod tests {
                     format!("group:{cells}/{render_jobs}")
                 }
                 SweepEvent::RenderStart { scene, .. } => format!("render:{scene}"),
+                SweepEvent::RenderLogReplay { scene, .. } => format!("replay:{scene}"),
+                SweepEvent::RenderLogSaved { scene, .. } => format!("logsaved:{scene}"),
                 SweepEvent::CellDone { done, total, .. } => format!("done:{done}/{total}"),
                 SweepEvent::StoreResume { resumed, pending } => {
                     format!("resume:{resumed}+{pending}")
@@ -349,6 +449,7 @@ mod tests {
         let exec = ThreadExecutor {
             workers: 2,
             group_renders: true,
+            log_dir: None,
         };
         let outcomes = exec.execute(&plan, &traces, &recorder, &|_, _| {
             count.fetch_add(1, Ordering::Relaxed);
@@ -378,6 +479,7 @@ mod tests {
             ThreadExecutor {
                 workers: 2,
                 group_renders,
+                log_dir: None,
             }
             .execute(&plan, &traces, &NullObserver, &|_, _| {})
         };

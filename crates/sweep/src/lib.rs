@@ -15,14 +15,18 @@
 //! * [`ExperimentGrid`] — the cross product of per-axis value lists ×
 //!   scenes, enumerated into stable-id [`Cell`]s carrying a typed
 //!   [`axis::ParamPoint`];
-//! * [`trace_cache`] — each workload is captured **once** into a
-//!   `.retrace` (optionally cached on disk) and replayed per worker, so
-//!   scene generators never need to be `Send`;
+//! * [`artifacts`] — the on-disk artifact caches: each workload is
+//!   captured **once** into a `.retrace` ([`TraceCache`]) and replayed per
+//!   worker, so scene generators never need to be `Send`; each render
+//!   key's Stage A log can be persisted as a `.relog`
+//!   ([`RenderLogCache`]), letting resumed and sharded runs skip
+//!   rasterization entirely;
 //! * render grouping — cells sharing a [`RenderKey`] (every
 //!   `Render`-classified axis, screen and frame count) share one
 //!   `Arc<re_core::RenderLog>` built by the first worker to reach the
 //!   group, so a sweep over evaluation-only axes rasterizes each key
-//!   exactly once (O(render-keys), not O(cells));
+//!   exactly once (O(render-keys), not O(cells)) — and zero times when a
+//!   valid cached log covers the key;
 //! * [`plan`] — [`SweepPlan::compile`] turns a grid into an explicit job
 //!   graph (one [`RenderJob`] per render key, one [`EvalJob`] per cell)
 //!   that callers can query, [shard by render key](SweepPlan::shard)
@@ -65,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod axis;
 pub mod cli;
 pub mod engine;
@@ -76,8 +81,8 @@ pub mod plan;
 pub mod pool;
 pub mod report;
 pub mod store;
-pub mod trace_cache;
 
+pub use artifacts::{capture_alias, RenderLogCache, SharedTraceScene, TraceCache};
 pub use axis::{AxisClass, AxisDef, AxisId, ParamPoint, Presence, AXES, AXIS_COUNT};
 pub use engine::{capture_plan_traces, capture_traces, render_key_log, run_cell};
 pub use engine::{run_grid, run_grid_with_store, run_plan, run_plan_with_store};
@@ -89,4 +94,3 @@ pub use plan::{EvalJob, RenderJob, ShardSpec, SweepPlan};
 pub use report::{axis_marginals, render_report, scene_table, AxisMarginal, SceneRow};
 pub use store::{csv_axes, csv_header, read_records, read_store_meta, render_csv};
 pub use store::{CellRecord, ResultStore, StoreMeta};
-pub use trace_cache::{capture_alias, SharedTraceScene, TraceCache};

@@ -80,6 +80,18 @@ pub struct RenderJob {
     pub key: RenderKey,
     /// Ids of the cells evaluating this job's log, ascending.
     pub cells: Vec<usize>,
+    /// Path of a validated cached `.relog` covering this key, set by
+    /// [`SweepPlan::attach_cached_logs`]. When present the job is
+    /// **satisfied**: executors replay the artifact instead of
+    /// rasterizing, so the job costs zero raster invocations.
+    pub cached_log: Option<std::path::PathBuf>,
+}
+
+impl RenderJob {
+    /// Whether a validated cached log already satisfies this job.
+    pub fn is_satisfied(&self) -> bool {
+        self.cached_log.is_some()
+    }
 }
 
 /// The Stage B unit: evaluate one cell against its render job's log.
@@ -129,6 +141,7 @@ impl SweepPlan {
                 render_jobs.push(RenderJob {
                     key,
                     cells: Vec::new(),
+                    cached_log: None,
                 });
                 render_jobs.len() - 1
             });
@@ -214,6 +227,7 @@ impl SweepPlan {
                     render_jobs.push(RenderJob {
                         key: self.render_jobs[job.render_job].key,
                         cells: Vec::new(),
+                        cached_log: self.render_jobs[job.render_job].cached_log.clone(),
                     });
                     map[job.render_job] = Some(render_jobs.len() - 1);
                     render_jobs.len() - 1
@@ -236,6 +250,29 @@ impl SweepPlan {
             eval_jobs,
             shard,
         }
+    }
+
+    /// Marks every render job a validated cached `.relog` covers as
+    /// satisfied (its [`RenderJob::cached_log`] is set to the artifact's
+    /// path) and returns how many jobs that matched. Jobs the cache misses
+    /// — including corrupt or stale artifacts, which `lookup` rejects and
+    /// removes — are left to render normally.
+    ///
+    /// Resume composes with this naturally: [`Self::without_cells`] first
+    /// drops completed cells, then the cached logs satisfy the remaining
+    /// keys, so a fully warm resume performs zero raster invocations.
+    pub fn attach_cached_logs(&mut self, cache: &crate::artifacts::RenderLogCache) -> usize {
+        let mut satisfied = 0;
+        for job in &mut self.render_jobs {
+            job.cached_log = cache.lookup(&job.key);
+            satisfied += usize::from(job.cached_log.is_some());
+        }
+        satisfied
+    }
+
+    /// Number of render jobs already satisfied by a cached log.
+    pub fn satisfied_render_jobs(&self) -> usize {
+        self.render_jobs.iter().filter(|j| j.is_satisfied()).count()
     }
 
     /// The Stage A jobs, in first-cell order.
@@ -314,6 +351,20 @@ impl SweepPlan {
         self.eval_jobs
             .iter()
             .map(|j| j.cell.scene())
+            .filter(|s| seen.insert(*s))
+            .collect()
+    }
+
+    /// Distinct aliases of render jobs a cached log does **not** satisfy,
+    /// in job order — the only scenes a grouped execution still needs
+    /// traces for (a fully satisfied plan needs none, which is what makes
+    /// a warm-cache resume capture- and raster-free).
+    pub fn pending_scene_aliases(&self) -> Vec<&'static str> {
+        let mut seen = HashSet::new();
+        self.render_jobs
+            .iter()
+            .filter(|j| !j.is_satisfied())
+            .map(|j| j.key.scene())
             .filter(|s| seen.insert(*s))
             .collect()
     }

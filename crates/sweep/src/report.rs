@@ -171,7 +171,25 @@ pub fn axis_marginals(records: &[CellRecord]) -> Vec<AxisMarginal> {
 
 /// Renders the marginal tables as the aligned text document the
 /// `sweep report` subcommand prints.
+///
+/// A store with fewer than two records gets a clear "nothing to report"
+/// message instead of degenerate one-row tables (a mean, median and
+/// marginal of one cell carry no information).
 pub fn render_report(records: &[CellRecord]) -> String {
+    if records.len() < 2 {
+        let what = match records.len() {
+            0 => "holds no completed cells".to_string(),
+            _ => format!(
+                "holds a single completed cell ({})",
+                records[0].point.label()
+            ),
+        };
+        return format!(
+            "sweep report: store {what} — nothing to report\n\
+             (comparison and marginal tables aggregate across cells; run a \
+             grid with at least two cells first)\n"
+        );
+    }
     let mut out = String::new();
     out.push_str(&format!(
         "sweep report: {} cells, {} scenes\n",
@@ -346,6 +364,28 @@ mod tests {
         let rows = scene_table(&[r]);
         assert_eq!(rows[0].mean_energy_saved_pct, 0.0);
         assert_eq!(rows[0].mean_dram_saved_pct, 0.0);
+    }
+
+    #[test]
+    fn empty_and_single_cell_stores_get_a_clear_message() {
+        let empty = render_report(&[]);
+        assert!(empty.contains("nothing to report"), "{empty}");
+        assert!(empty.contains("no completed cells"), "{empty}");
+        assert!(!empty.contains("per-scene comparison"), "{empty}");
+
+        let single = render_report(&[rec(0, "ccs", 16, 200, 100, 50)]);
+        assert!(single.contains("nothing to report"), "{single}");
+        assert!(single.contains("single completed cell"), "{single}");
+        assert!(single.contains("ccs"), "names the lone cell: {single}");
+        assert!(!single.contains("per-scene comparison"), "{single}");
+
+        // Two cells are enough for real tables again.
+        let two = render_report(&[
+            rec(0, "ccs", 16, 200, 100, 50),
+            rec(1, "ccs", 32, 200, 50, 80),
+        ]);
+        assert!(two.contains("per-scene comparison"), "{two}");
+        assert!(!two.contains("nothing to report"), "{two}");
     }
 
     #[test]

@@ -45,3 +45,39 @@ fn registry_pipeline_reproduces_the_pre_registry_csv_byte_for_byte() {
         "results.csv for a pre-registry grid must stay byte-identical"
     );
 }
+
+#[test]
+fn decoded_render_logs_reproduce_the_golden_csv_byte_for_byte() {
+    // Two passes over a `--log-dir`: the first renders and persists one
+    // `.relog` per render key, the second evaluates entirely from the
+    // decoded artifacts. Both must match the golden fixture exactly —
+    // the serialization round-trip may not perturb a single output byte.
+    let dir = std::env::temp_dir().join(format!("re_sweep_goldlog_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = SweepOptions {
+        workers: 2,
+        quiet: true,
+        log_dir: Some(dir.clone()),
+        ..SweepOptions::default()
+    };
+    let csv_of = |outcomes: &[re_sweep::CellOutcome]| {
+        let records: Vec<CellRecord> = outcomes
+            .iter()
+            .map(|o| CellRecord::from_run(&o.cell, &o.report))
+            .collect();
+        re_sweep::render_csv(&records)
+    };
+    let cold = re_sweep::run_grid(&golden_grid(), &opts).expect("cold sweep");
+    assert_eq!(
+        csv_of(&cold),
+        GOLDEN,
+        "cold log-dir run matches the fixture"
+    );
+    let warm = re_sweep::run_grid(&golden_grid(), &opts).expect("warm sweep");
+    assert_eq!(
+        csv_of(&warm),
+        GOLDEN,
+        "a sweep evaluated from decoded .relog artifacts must stay byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -100,5 +100,87 @@ fn grouped_sweep_rasterizes_each_render_key_exactly_once() {
         assert_eq!(a.report, b.report, "cell {}", a.cell.id);
     }
 
+    // ---- render-log cache: a warm --log-dir skips Stage A entirely ----
+    let log_dir = trace_dir.join("logs");
+    let with_logs = |group_renders| SweepOptions {
+        log_dir: Some(log_dir.clone()),
+        ..opts(group_renders)
+    };
+
+    // Cold pass: still one raster per key, and the artifacts get written.
+    let before = re_gpu::raster_invocations();
+    let cold = re_sweep::run_grid(&grid, &with_logs(true)).expect("cold log-dir sweep");
+    assert_eq!(re_gpu::raster_invocations() - before, 2 * per_render);
+    assert_eq!(
+        std::fs::read_dir(&log_dir).unwrap().count(),
+        2,
+        "one .relog per render key"
+    );
+
+    // Warm pass: **zero** raster invocations — every key replays its
+    // cached log — and the results are byte-identical to the grouped run.
+    let before = re_gpu::raster_invocations();
+    let warm = re_sweep::run_grid(&grid, &with_logs(true)).expect("warm log-dir sweep");
+    assert_eq!(
+        re_gpu::raster_invocations() - before,
+        0,
+        "a warm render-log cache must not rasterize anything"
+    );
+    assert_eq!(csv_of(&warm), csv_of(&grouped));
+    for ((a, b), c) in warm.iter().zip(&cold).zip(&grouped) {
+        assert_eq!(a.report, b.report, "cell {}", a.cell.id);
+        assert_eq!(a.report, c.report, "cell {}", a.cell.id);
+    }
+
+    // A warm store-backed resume is raster-free too: fresh store, cached
+    // logs — every cell "runs" but Stage A never does.
+    let store_dir = trace_dir.join("store");
+    let before = re_gpu::raster_invocations();
+    let summary =
+        re_sweep::run_grid_with_store(&grid, &with_logs(true), &store_dir).expect("store run");
+    assert_eq!(summary.ran, cells);
+    assert_eq!(re_gpu::raster_invocations() - before, 0);
+    assert_eq!(
+        std::fs::read_to_string(&summary.csv_path).unwrap(),
+        csv_of(&grouped)
+    );
+
+    // Corrupting one artifact silently re-renders exactly that key (and
+    // repairs the cache); the other key still replays from disk.
+    let corrupt = std::fs::read_dir(&log_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.file_name().unwrap().to_str().unwrap().starts_with("ccs"))
+        .expect("ccs artifact");
+    let mut bytes = std::fs::read(&corrupt).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&corrupt, &bytes).unwrap();
+    let before = re_gpu::raster_invocations();
+    let repaired = re_sweep::run_grid(&grid, &with_logs(true)).expect("repair sweep");
+    assert_eq!(
+        re_gpu::raster_invocations() - before,
+        per_render,
+        "only the corrupt key re-renders"
+    );
+    assert_eq!(csv_of(&repaired), csv_of(&grouped));
+    let before = re_gpu::raster_invocations();
+    let _ = re_sweep::run_grid(&grid, &with_logs(true)).expect("rewarmed sweep");
+    assert_eq!(
+        re_gpu::raster_invocations() - before,
+        0,
+        "the re-render must repair the cache"
+    );
+
+    // The per-cell baseline ignores the cache by design: it measures the
+    // full monolithic pipeline.
+    let before = re_gpu::raster_invocations();
+    let per_cell_cached = re_sweep::run_grid(&grid, &with_logs(false)).expect("per-cell sweep");
+    assert_eq!(
+        re_gpu::raster_invocations() - before,
+        cells as u64 * per_render
+    );
+    assert_eq!(csv_of(&per_cell_cached), csv_of(&grouped));
+
     let _ = std::fs::remove_dir_all(&trace_dir);
 }

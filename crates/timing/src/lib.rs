@@ -18,6 +18,28 @@
 //! * [`pipeline`] — stage-throughput cycle model (geometry and per-tile
 //!   raster cycles).
 //! * [`energy`] — per-access energy table and static power integration.
+//!
+//! # How a technique uses this crate
+//!
+//! Each evaluated technique owns one [`MemorySystem`] (its private cache
+//! hierarchy + DRAM) and one [`EnergyModel`]. The recorded pipeline
+//! events are replayed into the memory system (it implements
+//! [`re_gpu::hooks::GpuHooks`]); after each frame/tile the accumulated
+//! [`MemEpoch`] is drained and converted to cycles with
+//! [`geometry_cycles`] / [`raster_tile_cycles`] under a [`TimingConfig`],
+//! and at the end the DRAM traffic — classified per [`TrafficClass`] —
+//! and SRAM access counts are settled into an [`EnergyBreakdown`]:
+//!
+//! ```
+//! use re_timing::{MemorySystem, TimingConfig};
+//! use re_gpu::hooks::GpuHooks;
+//!
+//! let cfg = TimingConfig::mali450();
+//! let mut mem = MemorySystem::new(cfg);
+//! mem.vertex_fetch(0x100, 48); // replayed pipeline access
+//! let epoch = mem.take_epoch();
+//! assert!(epoch.vertex_misses > 0, "a cold vertex cache misses to DRAM");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -26,6 +26,18 @@
 //! a fixed per-benchmark seed, and per-frame state is a pure function of
 //! the frame index — identical frames produce bit-identical command
 //! streams, which is the invariant RE exploits.
+//!
+//! # Entry points
+//!
+//! [`suite`] builds all ten [`Benchmark`]s in paper-figure order;
+//! [`by_alias`] fetches a single one. [`ALIASES`] lists the aliases in
+//! the same order **without** constructing any generator — the sweep's
+//! axis registry indexes scenes by position in that list, so its order is
+//! load-bearing (pinned by a test). Each generator implements
+//! [`re_core::Scene`] and is driven either directly by
+//! [`re_core::Simulator`] or captured once into a trace (`re_trace`) for
+//! parallel replay. The per-scene generator helpers (deterministic
+//! seeding, layered quads, texture synthesis) live in [`helpers`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -236,7 +236,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Element counts a [`vec`] strategy may produce.
+    /// Element counts a [`vec()`] strategy may produce.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -262,7 +262,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
