@@ -60,7 +60,9 @@ fn bench_fanout(c: &mut Criterion) {
         let exec = ThreadExecutor {
             workers,
             group_renders: false,
-            log_dir: None,
+            // No heartbeat watchdog: the benchmark times pure execution.
+            heartbeat: None,
+            ..ThreadExecutor::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(workers), &exec, |b, exec| {
             b.iter(|| exec.execute(&plan, &traces, &NullObserver, &|_, _| {}))
@@ -81,7 +83,8 @@ fn bench_render_grouping(c: &mut Criterion) {
         let exec = ThreadExecutor {
             workers: 2,
             group_renders,
-            log_dir: None,
+            heartbeat: None,
+            ..ThreadExecutor::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(label), &exec, |b, exec| {
             b.iter(|| exec.execute(&plan, &traces, &NullObserver, &|_, _| {}))

@@ -554,6 +554,12 @@ impl Evaluation {
 
     /// Settles every pass and assembles the report.
     pub fn finish(self, name: &str) -> RunReport {
+        // One completed evaluation, however it was driven (simulator,
+        // in-memory replay, or streamed `.relog`), and one pass execution
+        // per stack entry — the registry counters behind the sweep's
+        // `metrics.json`.
+        re_obs::metrics::counter(re_obs::names::EVALUATIONS).incr();
+        re_obs::metrics::counter(re_obs::names::EVAL_PASSES).add(self.passes.len() as u64);
         let mut report = RunReport {
             name: name.to_owned(),
             frames: self.per_frame.len(),

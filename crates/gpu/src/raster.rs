@@ -68,16 +68,29 @@ impl SampleCtx for TexSampler<'_> {
     }
 }
 
-/// Process-wide count of [`rasterize_tile`] invocations.
+/// Process-wide count of [`rasterize_tile`] invocations, backed by the
+/// [`re_obs`] metrics registry under
+/// [`re_obs::names::RASTER_INVOCATIONS`].
 ///
 /// The render/evaluate split's contract is that a sweep rasterizes each
 /// render-key group exactly once no matter how many evaluation-side
 /// configurations share it; this counter lets tests assert that directly.
-static RASTER_INVOCATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// The `Arc` is resolved once and cached so the per-tile increment never
+/// touches the registry lock.
+fn raster_counter() -> &'static re_obs::Counter {
+    static COUNTER: std::sync::OnceLock<std::sync::Arc<re_obs::Counter>> =
+        std::sync::OnceLock::new();
+    COUNTER
+        .get_or_init(|| re_obs::metrics::counter(re_obs::names::RASTER_INVOCATIONS))
+        .as_ref()
+}
 
 /// Total [`rasterize_tile`] calls made by this process so far.
+///
+/// Reads the same atomic as the registry counter
+/// `gpu.raster_invocations`, so the two are consistent byte for byte.
 pub fn raster_invocations() -> u64 {
-    RASTER_INVOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
+    raster_counter().get()
 }
 
 /// Whether a zero-valued edge function should count as covered — the
@@ -100,7 +113,7 @@ pub fn rasterize_tile(
     framebuffer: &mut Framebuffer,
     hooks: &mut dyn GpuHooks,
 ) -> TileStats {
-    RASTER_INVOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    raster_counter().incr();
     let mut stats = TileStats::default();
     let rect = config.tile_rect(tile_id);
     let tw = rect.width();

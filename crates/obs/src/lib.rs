@@ -1,0 +1,50 @@
+//! Observability primitives for the Rendering Elimination reproduction:
+//! a process-wide registry of named atomic counters and duration
+//! histograms, plus scoped spans that time a region of code into a
+//! histogram.
+//!
+//! Everything here is std-only and dependency-free, like the rest of the
+//! workspace. The design generalizes the original
+//! `re_gpu::raster_invocations()` pattern — one hand-rolled process
+//! global per interesting number — into a uniform, queryable registry:
+//!
+//! * [`metrics::Counter`] — a named monotonic `AtomicU64`. Incrementing
+//!   is a single relaxed atomic add, cheap enough for per-tile hot paths
+//!   (the raster-invocation counter lives on exactly such a path).
+//! * [`metrics::Histogram`] — a lock-free duration histogram
+//!   (count/total/min/max plus power-of-two nanosecond buckets), fed by
+//!   [`span::Span`] scoped timers.
+//! * [`metrics::Registry`] — name → instrument map. [`metrics::global`]
+//!   is the process-wide instance every crate records into;
+//!   [`metrics::snapshot`] freezes it into a [`metrics::MetricsSnapshot`]
+//!   that serializes as the versioned `metrics.json` document (schema:
+//!   `docs/FORMATS.md`).
+//!
+//! The well-known instrument names used across the workspace are listed
+//! in [`names`]; they are plain strings, so embedders can add their own
+//! without touching this crate.
+//!
+//! # Example
+//!
+//! ```
+//! use re_obs::{metrics, span};
+//!
+//! metrics::counter("example.widgets").add(3);
+//! {
+//!     let _timer = span::span("example.build");
+//!     // ... timed work ...
+//! }
+//! let snap = metrics::snapshot();
+//! assert_eq!(snap.counter("example.widgets"), Some(3));
+//! assert!(snap.to_json().contains("\"metrics_version\":1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod names;
+pub mod span;
+
+pub use metrics::{global, snapshot, Counter, Histogram, MetricsSnapshot, Registry};
+pub use span::{span, Span, Stopwatch};

@@ -1,0 +1,399 @@
+//! The metrics registry: named atomic counters and duration histograms,
+//! snapshotted into the versioned `metrics.json` document.
+//!
+//! Instruments are created on first use ([`Registry::counter`] /
+//! [`Registry::histogram`]) and live for the life of the process; callers
+//! on hot paths should fetch the `Arc` once (e.g. into a `OnceLock`) so
+//! recording never touches the registry lock. Recording itself is a
+//! relaxed atomic operation — no locks, no allocation.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Schema version of the `metrics.json` document
+/// ([`MetricsSnapshot::to_json`]).
+pub const METRICS_VERSION: u64 = 1;
+
+/// A named monotonic counter.
+///
+/// Values only grow; "per run" numbers are deltas between two reads
+/// (counters are process-wide, so one process may host many runs).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two nanosecond buckets: bucket `i` counts durations in
+/// `[2^i, 2^(i+1))` ns (bucket 0 also takes 0 ns). 64 buckets cover the
+/// whole `u64` range, so no overflow bucket is needed.
+const BUCKETS: usize = 64;
+
+/// A lock-free duration histogram: count, total, min/max, and
+/// power-of-two nanosecond buckets.
+///
+/// Concurrent recording is linearizable per field but not across fields —
+/// a snapshot taken while workers record may be transiently inconsistent
+/// (e.g. `count` ahead of `total_ns`); end-of-run snapshots, the intended
+/// use, see quiesced values.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        // A span longer than ~584 years saturates; fine.
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one duration given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let bucket = ns.max(1).ilog2() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| (1u64 << i, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A frozen [`Histogram`]: plain numbers, no atomics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Recorded durations.
+    pub count: u64,
+    /// Sum of all recorded durations, in nanoseconds.
+    pub total_ns: u64,
+    /// Smallest recorded duration in nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Largest recorded duration in nanoseconds (0 when empty).
+    pub max_ns: u64,
+    /// Non-empty buckets as `(lower_bound_ns, count)`; bucket
+    /// `lower_bound_ns = 2^i` counts durations in `[2^i, 2^(i+1))` ns.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A name → instrument map. [`global`] is the process-wide instance;
+/// separate registries exist so tests can assert against an isolated one.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use. Hot paths
+    /// should keep the returned `Arc` instead of re-resolving the name.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        Arc::clone(map.entry(name).or_default())
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        Arc::clone(map.entry(name).or_default())
+    }
+
+    /// The current value of counter `name` (0 when it was never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("counter registry poisoned")
+            .get(name)
+            .map_or(0, |c| c.get())
+    }
+
+    /// Freezes every registered instrument into a snapshot (sorted by
+    /// name — `BTreeMap` order — so serialization is deterministic).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("counter registry poisoned")
+                .iter()
+                .map(|(name, c)| ((*name).to_string(), c.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("histogram registry poisoned")
+                .iter()
+                .map(|(name, h)| ((*name).to_string(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry every workspace crate records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// [`Registry::counter`] on the [`global`] registry.
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// [`Registry::histogram`] on the [`global`] registry.
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// [`Registry::snapshot`] of the [`global`] registry.
+pub fn snapshot() -> MetricsSnapshot {
+    global().snapshot()
+}
+
+/// A frozen registry: the content of one `metrics.json` document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Every counter as `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Every histogram as `(name, snapshot)`, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name` in this snapshot.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The snapshot of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Serializes the snapshot as the versioned `metrics.json` document
+    /// (one line, no insignificant whitespace; schema in
+    /// `docs/FORMATS.md`). All values are integers — nanoseconds for
+    /// durations — so the document round-trips exactly through any JSON
+    /// parser.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"metrics_version\":{METRICS_VERSION}");
+        out.push_str(",\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"durations\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&mut out, name);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{},\"buckets\":[",
+                h.count,
+                h.total_ns,
+                h.min_ns,
+                h.max_ns,
+                h.mean_ns(),
+            );
+            for (j, (lo, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{lo},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Minimal JSON string emission (instrument names are plain identifiers,
+/// but escape anyway so arbitrary embedder names stay well-formed).
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("t.a");
+        let also_a = reg.counter("t.a");
+        a.incr();
+        also_a.add(4);
+        assert_eq!(reg.counter_value("t.a"), 5);
+        assert_eq!(reg.counter_value("t.never"), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_count_total_min_max_and_buckets() {
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_micros(3));
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 3200);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 3000);
+        assert_eq!(s.mean_ns(), 1066);
+        // 100 ns lands in [64, 128), 3000 ns in [2048, 4096).
+        assert_eq!(s.buckets, vec![(64, 2), (2048, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.total_ns, s.min_ns, s.max_ns), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean_ns(), 0);
+    }
+
+    #[test]
+    fn zero_and_huge_durations_do_not_panic() {
+        let h = Histogram::new();
+        h.record_ns(0);
+        h.record_ns(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets.len(), 2);
+        assert_eq!(s.buckets[0].0, 1, "0 ns lands in the lowest bucket");
+    }
+
+    #[test]
+    fn snapshot_serializes_versioned_sorted_json() {
+        let reg = Registry::new();
+        reg.counter("z.last").add(2);
+        reg.counter("a.first").incr();
+        reg.histogram("stage.x").record(Duration::from_micros(1));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.first"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.histogram("stage.x").unwrap().count, 1);
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"metrics_version\":1,"), "{json}");
+        let a = json.find("a.first").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < z, "counters sorted by name: {json}");
+        assert!(json.contains("\"stage.x\":{\"count\":1"), "{json}");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        counter("obs.test.global").add(7);
+        assert!(global().counter_value("obs.test.global") >= 7);
+        assert!(snapshot().counter("obs.test.global").is_some());
+    }
+}

@@ -1,0 +1,59 @@
+//! Well-known instrument names used across the workspace.
+//!
+//! Names are namespaced `crate.subsystem.what`; counters count events or
+//! bytes, histograms (the `*.stage.*` family) record durations. The
+//! registry accepts any `&'static str`, so this list is documentation
+//! and a single point of truth for cross-crate tests, not a closed set.
+
+/// Counter: total [`rasterize_tile`] calls — Stage A work. The
+/// render/evaluate split's contract is that a sweep rasterizes each
+/// render-key group exactly once (and zero times under a warm `.relog`
+/// cache); this counter is what pins that. `re_gpu::raster_invocations()`
+/// reads the same counter.
+///
+/// [`rasterize_tile`]: ../../re_gpu/raster/fn.rasterize_tile.html
+pub const RASTER_INVOCATIONS: &str = "gpu.raster_invocations";
+
+/// Counter: completed Stage B evaluations (one per cell evaluated).
+pub const EVALUATIONS: &str = "core.eval.evaluations";
+
+/// Counter: technique passes driven to completion across all evaluations
+/// (the default stack runs four passes per evaluation).
+pub const EVAL_PASSES: &str = "core.eval.pass_executions";
+
+/// Counter: `.retrace` trace-cache hits (capture skipped).
+pub const TRACE_HITS: &str = "sweep.trace.hits";
+
+/// Counter: `.retrace` trace-cache misses (live capture ran).
+pub const TRACE_MISSES: &str = "sweep.trace.misses";
+
+/// Counter: cells whose Stage B streamed a cached `.relog` artifact
+/// instead of rendering (one per replayed cell, not per job).
+pub const RELOG_REPLAYS: &str = "sweep.relog.replays";
+
+/// Counter: freshly rendered `.relog` artifacts persisted to the cache.
+pub const RELOG_SAVES: &str = "sweep.relog.saves";
+
+/// Counter: artifact bytes read from disk (`.retrace` loads and `.relog`
+/// replays).
+pub const ARTIFACT_BYTES_READ: &str = "sweep.artifacts.bytes_read";
+
+/// Counter: artifact bytes written to disk (`.retrace` and `.relog`
+/// saves).
+pub const ARTIFACT_BYTES_WRITTEN: &str = "sweep.artifacts.bytes_written";
+
+/// Histogram: per-scene trace capture (or cache load) duration.
+pub const STAGE_CAPTURE: &str = "sweep.stage.capture";
+
+/// Histogram: per-render-job Stage A render duration.
+pub const STAGE_RENDER: &str = "sweep.stage.render";
+
+/// Histogram: per-cell `.relog` replay duration (streamed Stage B —
+/// includes the disk read).
+pub const STAGE_REPLAY: &str = "sweep.stage.replay";
+
+/// Histogram: per-cell in-memory Stage B evaluation duration.
+pub const STAGE_EVAL: &str = "sweep.stage.eval";
+
+/// Histogram: per-cell store-commit duration (the `on_done` hook).
+pub const STAGE_STORE: &str = "sweep.stage.store_write";

@@ -1,0 +1,119 @@
+//! Scoped timers recording into [`crate::metrics::Histogram`]s.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metrics::{self, Histogram};
+
+/// A scoped timer: measures from construction until [`Span::finish`] (or
+/// drop) and records the elapsed time into its histogram exactly once.
+///
+/// Use [`finish`](Span::finish) when the duration is also needed as a
+/// value (e.g. for an event payload); plain drop covers the
+/// fire-and-forget case.
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl Span {
+    /// A span recording into `hist`.
+    pub fn on(hist: Arc<Histogram>) -> Self {
+        Span {
+            hist,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Stops the timer, records into the histogram, and returns the
+    /// elapsed time.
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.hist.record(elapsed);
+        self.armed = false;
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.start.elapsed());
+        }
+    }
+}
+
+/// A span on the global registry's histogram named `name`.
+pub fn span(name: &'static str) -> Span {
+    Span::on(metrics::histogram(name))
+}
+
+/// A bare monotonic stopwatch — for timings that feed event payloads
+/// rather than histograms.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since the start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn finish_records_once_and_returns_the_duration() {
+        let reg = Registry::new();
+        let h = reg.histogram("span.finish");
+        let d = Span::on(Arc::clone(&h)).finish();
+        assert!(d >= Duration::ZERO);
+        assert_eq!(h.snapshot().count, 1, "finish records exactly once");
+    }
+
+    #[test]
+    fn drop_records_once() {
+        let reg = Registry::new();
+        let h = reg.histogram("span.drop");
+        {
+            let _s = Span::on(Arc::clone(&h));
+        }
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn global_span_reaches_the_global_histogram() {
+        span("obs.test.span").finish();
+        let snap = crate::metrics::snapshot();
+        assert!(snap.histogram("obs.test.span").unwrap().count >= 1);
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+}

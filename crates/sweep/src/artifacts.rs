@@ -113,16 +113,21 @@ impl TraceCache {
     pub fn get(&mut self, alias: &str, frames: usize, cfg: GpuConfig) -> io::Result<Arc<Trace>> {
         let key = Self::file_key(alias, frames, cfg);
         if let Some(t) = self.loaded.get(&key) {
+            re_obs::metrics::counter(re_obs::names::TRACE_HITS).incr();
             return Ok(Arc::clone(t));
         }
         if let Some(dir) = &self.dir {
             let path = dir.join(&key);
             if path.exists() {
                 let t = Arc::new(Trace::load(&path)?);
+                re_obs::metrics::counter(re_obs::names::TRACE_HITS).incr();
+                re_obs::metrics::counter(re_obs::names::ARTIFACT_BYTES_READ)
+                    .add(std::fs::metadata(&path).map_or(0, |m| m.len()));
                 self.loaded.insert(key, Arc::clone(&t));
                 return Ok(t);
             }
         }
+        re_obs::metrics::counter(re_obs::names::TRACE_MISSES).incr();
         let t = Arc::new(capture_alias(alias, frames, cfg)?);
         if let Some(dir) = &self.dir {
             std::fs::create_dir_all(dir)?;
@@ -130,7 +135,10 @@ impl TraceCache {
             // `.retrace` that a resumed run would trust.
             let tmp = dir.join(format!("{key}.tmp"));
             t.save(&tmp)?;
-            std::fs::rename(&tmp, dir.join(&key))?;
+            let path = dir.join(&key);
+            std::fs::rename(&tmp, &path)?;
+            re_obs::metrics::counter(re_obs::names::ARTIFACT_BYTES_WRITTEN)
+                .add(std::fs::metadata(&path).map_or(0, |m| m.len()));
         }
         self.loaded.insert(key, Arc::clone(&t));
         Ok(t)

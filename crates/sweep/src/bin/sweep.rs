@@ -6,6 +6,7 @@
 //! sweep --shard K/N ...      run one shard of the grid's plan (by render key)
 //! sweep merge <out> <in>...  union per-shard stores into one store
 //! sweep report [--store DIR] digest a store into comparison/marginal tables
+//! sweep profile [--store DIR] timing profile from a store's events.jsonl
 //! sweep axes                 print every registered axis (living docs)
 //! ```
 //!
@@ -23,6 +24,12 @@
 //! `results.csv` is regenerated over the full grid. The CSV is byte-identical
 //! for any `--workers` value, across kill/resume, with or without render
 //! grouping, and across shard/merge.
+//!
+//! Observability: store runs also append a machine-readable run log
+//! (`events.jsonl` beside the store; `--no-events` disables it) that
+//! `sweep profile` digests into stage breakdowns and cache-hit rates, and
+//! `--metrics PATH` dumps the process metrics registry (counters and
+//! duration histograms) as versioned JSON on exit.
 
 use std::process::ExitCode;
 
@@ -40,6 +47,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(Command::Report { store }) => run_report(&store),
+        Ok(Command::Profile { store }) => run_profile(&store),
         Ok(Command::Merge { out, inputs }) => run_merge(&out, &inputs),
         Ok(Command::Run(args)) => run_sweep(*args),
         Err(e) => {
@@ -64,6 +72,29 @@ fn run_report(store: &std::path::Path) -> ExitCode {
     }
 }
 
+fn run_profile(store: &std::path::Path) -> ExitCode {
+    let log = store.join(re_sweep::EVENTS_FILE);
+    if !log.exists() {
+        // A store copied without its run log (or written by a pre-log
+        // build) is not an error — there is just nothing to profile.
+        println!(
+            "no run log at {} — run the sweep (without --no-events) to record one",
+            log.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    match re_sweep::read_events(&log) {
+        Ok(events) => {
+            print!("{}", re_sweep::Profile::from_events(&events).render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep profile: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_merge(out: &std::path::Path, inputs: &[std::path::PathBuf]) -> ExitCode {
     match re_sweep::merge_stores(out, inputs) {
         Ok(summary) => {
@@ -82,7 +113,7 @@ fn run_merge(out: &std::path::Path, inputs: &[std::path::PathBuf]) -> ExitCode {
     }
 }
 
-fn run_sweep(args: RunArgs) -> ExitCode {
+fn run_sweep(mut args: RunArgs) -> ExitCode {
     let rasters_before = re_gpu::raster_invocations();
     let cells = args.grid.cell_count();
     let scenes = args.grid.scene_aliases().len();
@@ -115,7 +146,27 @@ fn run_sweep(args: RunArgs) -> ExitCode {
         },
     };
 
-    if args.store {
+    // Tee every sweep event into the append-only run log beside the
+    // store. Losing the log (unwritable directory, full disk) must not
+    // lose the run, so failure only warns.
+    if args.store && args.events {
+        let log_path = args.out.join(re_sweep::EVENTS_FILE);
+        match re_sweep::JsonlObserver::append(&log_path, args.shard) {
+            Ok(jsonl) => {
+                let base = args.opts.effective_observer();
+                args.opts.observer = Some(std::sync::Arc::new(re_sweep::MultiObserver::new(vec![
+                    base,
+                    std::sync::Arc::new(jsonl),
+                ])));
+            }
+            Err(e) => eprintln!(
+                "[sweep] warning: cannot write run log {}: {e} (continuing without)",
+                log_path.display()
+            ),
+        }
+    }
+
+    let code = if args.store {
         match re_sweep::run_plan_with_store(&plan, &args.opts, &args.out) {
             Ok(summary) => {
                 eprintln!(
@@ -164,6 +215,26 @@ fn run_sweep(args: RunArgs) -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+    };
+
+    if let Some(path) = &args.metrics {
+        dump_metrics(path);
+    }
+    code
+}
+
+/// Writes the process metrics registry (every counter and duration
+/// histogram recorded so far) as versioned JSON. Best effort: a failed
+/// dump warns but does not change the exit code.
+fn dump_metrics(path: &std::path::Path) {
+    let mut json = re_obs::snapshot().to_json();
+    json.push('\n');
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("[sweep] metrics → {}", path.display()),
+        Err(e) => eprintln!(
+            "[sweep] warning: cannot write metrics {}: {e}",
+            path.display()
+        ),
     }
 }
 

@@ -32,6 +32,11 @@ pub struct RunArgs {
     pub store: bool,
     /// Which shard of the plan to run (`--shard K/N`; `None` = all of it).
     pub shard: Option<ShardSpec>,
+    /// Where to dump the `metrics.json` registry snapshot (`--metrics`).
+    pub metrics: Option<PathBuf>,
+    /// Whether to write the `events.jsonl` run log beside the store
+    /// (`--no-events` turns it off; memory-only runs never write one).
+    pub events: bool,
 }
 
 /// A parsed `sweep` invocation.
@@ -51,6 +56,11 @@ pub enum Command {
         /// Input (per-shard) store directories.
         inputs: Vec<PathBuf>,
     },
+    /// Digest a store's `events.jsonl` run log into a timing profile.
+    Profile {
+        /// Store directory whose run log to read.
+        store: PathBuf,
+    },
     /// Print the axis registry table.
     Axes,
     /// Print usage and exit.
@@ -65,6 +75,7 @@ pub enum Command {
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     match argv.first().map(String::as_str) {
         Some("report") => parse_report(&argv[1..]),
+        Some("profile") => parse_profile(&argv[1..]),
         Some("merge") => parse_merge(&argv[1..]),
         Some("axes") => match argv.get(1).map(String::as_str) {
             None => Ok(Command::Axes),
@@ -89,6 +100,22 @@ fn parse_report(argv: &[String]) -> Result<Command, String> {
         }
     }
     Ok(Command::Report { store })
+}
+
+fn parse_profile(argv: &[String]) -> Result<Command, String> {
+    let mut store = PathBuf::from("sweep-out");
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--store" => match it.next() {
+                Some(dir) => store = PathBuf::from(dir),
+                None => return Err("profile: --store needs a value".into()),
+            },
+            "-h" | "--help" => return Ok(Command::Help),
+            other => return Err(unknown_flag(other, &["--store", "--help"])),
+        }
+    }
+    Ok(Command::Profile { store })
 }
 
 fn parse_merge(argv: &[String]) -> Result<Command, String> {
@@ -124,6 +151,8 @@ const RUN_FLAGS: &[&str] = &[
     "--log-dir",
     "--no-log-cache",
     "--no-group",
+    "--metrics",
+    "--no-events",
     "--quiet",
     "--help",
 ];
@@ -137,6 +166,8 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
     let mut log_dir: Option<PathBuf> = None;
     let mut log_cache = true;
     let mut shard: Option<ShardSpec> = None;
+    let mut metrics: Option<PathBuf> = None;
+    let mut events = true;
 
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -170,6 +201,8 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
             "--log-dir" => log_dir = Some(PathBuf::from(value()?)),
             "--no-log-cache" => log_cache = false,
             "--no-group" => opts.group_renders = false,
+            "--metrics" => metrics = Some(PathBuf::from(value()?)),
+            "--no-events" => events = false,
             "--quiet" => opts.quiet = true,
             "-h" | "--help" => return Ok(Command::Help),
             other => {
@@ -206,6 +239,8 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
         out,
         store,
         shard,
+        metrics,
+        events,
     })))
 }
 
@@ -259,6 +294,7 @@ pub fn usage() -> String {
 USAGE:
     sweep [OPTIONS]
     sweep report [--store DIR]
+    sweep profile [--store DIR]
     sweep merge <out> <in>...
     sweep axes
 
@@ -300,6 +336,10 @@ OPTIONS:
                         skip Stage A rasterization entirely
     --no-log-cache      never read or write .relog render-log artifacts
     --no-group          render per cell instead of once per render key
+    --metrics PATH      dump the process metrics registry (counters and
+                        duration histograms) as versioned JSON on exit
+    --no-events         do not write the events.jsonl run log beside the
+                        store (written by default on store runs)
     --quiet             no per-cell progress on stderr
     -h, --help          this text
 
@@ -311,6 +351,13 @@ REPORT:
                         per-scene comparison table plus per-axis marginal
                         mean/median RE speedup tables from an existing
                         store (default store: sweep-out)
+
+PROFILE:
+    sweep profile [--store DIR]
+                        stage breakdowns, replay-cache hit rates and
+                        per-scene/per-render-key/per-worker hotspots from
+                        a store's events.jsonl run log (default store:
+                        sweep-out)
 
 MERGE:
     sweep merge <out> <in>...
@@ -522,6 +569,31 @@ mod tests {
             parse_strs(&["merge", "--help"]).unwrap(),
             Command::Help
         ));
+    }
+
+    #[test]
+    fn profile_subcommand_and_observability_flags_parse() {
+        match parse_strs(&["profile", "--store", "d"]).unwrap() {
+            Command::Profile { store } => assert_eq!(store, PathBuf::from("d")),
+            other => panic!("expected profile, got {other:?}"),
+        }
+        match parse_strs(&["profile"]).unwrap() {
+            Command::Profile { store } => assert_eq!(store, PathBuf::from("sweep-out")),
+            other => panic!("expected profile, got {other:?}"),
+        }
+        let err = parse_strs(&["profile", "--stroe", "d"]).unwrap_err();
+        assert!(err.contains("did you mean `--store`?"), "{err}");
+
+        let r = run_args(&["--metrics", "m.json"]);
+        assert_eq!(r.metrics, Some(PathBuf::from("m.json")));
+        assert!(r.events, "events.jsonl is on by default");
+        let r = run_args(&["--no-events"]);
+        assert_eq!(r.metrics, None);
+        assert!(!r.events);
+        let err = parse_strs(&["--metrics"]).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let err = parse_strs(&["--no-event"]).unwrap_err();
+        assert!(err.contains("did you mean `--no-events`?"), "{err}");
     }
 
     #[test]

@@ -111,6 +111,7 @@ impl SweepOptions {
             workers: self.workers,
             group_renders: self.group_renders,
             log_dir: self.log_dir.clone(),
+            ..ThreadExecutor::default()
         }
     }
 
@@ -169,6 +170,7 @@ fn capture(
         ..re_gpu::GpuConfig::default()
     };
     let observer = opts.effective_observer();
+    let capture_hist = re_obs::metrics::histogram(re_obs::names::STAGE_CAPTURE);
     let mut cache = TraceCache::new(opts.trace_dir.clone());
     let mut traces = HashMap::new();
     for &alias in aliases {
@@ -179,7 +181,15 @@ fn capture(
             scene: alias,
             frames,
         });
+        let sw = re_obs::Stopwatch::start();
         traces.insert(alias, cache.get(alias, frames, capture_cfg)?);
+        let duration = sw.elapsed();
+        capture_hist.record(duration);
+        observer.on_event(&SweepEvent::CaptureDone {
+            scene: alias,
+            frames,
+            duration,
+        });
     }
     Ok(traces)
 }

@@ -17,21 +17,32 @@
 //!
 //! Progress is reported through [`SweepObserver`] events instead of
 //! hardwired `eprintln!`: the CLI installs [`StderrObserver`] (the classic
-//! `[sweep] …` lines), embedders can install their own, and
+//! `[sweep] …` lines) plus a [`crate::events::JsonlObserver`] writing the
+//! machine-readable `events.jsonl`, embedders can install their own, and
 //! [`NullObserver`] silences everything (what `quiet` does).
+//!
+//! Events carry timing payloads (durations, worker ids) and the executor
+//! emits a periodic [`SweepEvent::Progress`] heartbeat, so an observer
+//! stream is enough to reconstruct where wall-clock went — that is what
+//! `sweep profile` does ([`crate::profile`]). The same stage timings are
+//! recorded into the [`re_obs`] registry histograms
+//! (`sweep.stage.*`), and cache traffic into its counters
+//! (`sweep.relog.*`, `sweep.artifacts.*`).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use re_core::render::RenderLog;
 use re_core::RunReport;
+use re_obs::names;
+use re_obs::Stopwatch;
 use re_trace::Trace;
 
 use crate::engine::{render_key_log, run_cell, CellOutcome};
 use crate::grid::Cell;
-use crate::plan::SweepPlan;
+use crate::plan::{ShardSpec, SweepPlan};
 use crate::pool;
 
 /// One progress event of a running sweep.
@@ -47,6 +58,15 @@ pub enum SweepEvent<'a> {
         /// Frames captured.
         frames: usize,
     },
+    /// A workload's trace is ready.
+    CaptureDone {
+        /// Workload alias.
+        scene: &'static str,
+        /// Frames captured.
+        frames: usize,
+        /// Capture (or cache-load) duration.
+        duration: Duration,
+    },
     /// A grouped execution is starting: `cells` eval jobs share
     /// `render_jobs` Stage A renders.
     GroupStart {
@@ -54,6 +74,10 @@ pub enum SweepEvent<'a> {
         cells: usize,
         /// Render jobs in the plan.
         render_jobs: usize,
+        /// Worker threads executing the plan.
+        workers: usize,
+        /// Which shard of the full plan this is (`None` = unsharded).
+        shard: Option<ShardSpec>,
     },
     /// A render job is starting Stage A.
     RenderStart {
@@ -61,6 +85,21 @@ pub enum SweepEvent<'a> {
         scene: &'static str,
         /// Tile edge of the render key.
         tile_size: u32,
+        /// Worker running the render.
+        worker: usize,
+    },
+    /// A render job finished Stage A.
+    RenderDone {
+        /// Workload alias of the render key.
+        scene: &'static str,
+        /// Tile edge of the render key.
+        tile_size: u32,
+        /// Worker that ran the render.
+        worker: usize,
+        /// Frames rendered.
+        frames: usize,
+        /// Stage A duration.
+        duration: Duration,
     },
     /// A render job is satisfied by a cached `.relog`: its cells replay
     /// the artifact from disk and Stage A never runs (emitted once per
@@ -70,6 +109,8 @@ pub enum SweepEvent<'a> {
         scene: &'static str,
         /// Tile edge of the render key.
         tile_size: u32,
+        /// Worker that reached the job first.
+        worker: usize,
     },
     /// A freshly rendered log was persisted to the render-log cache;
     /// future resumes and re-executions of this key will skip Stage A.
@@ -78,6 +119,29 @@ pub enum SweepEvent<'a> {
         scene: &'static str,
         /// Tile edge of the render key.
         tile_size: u32,
+        /// Size of the artifact on disk.
+        bytes: u64,
+    },
+    /// One cell's Stage B (and store commit) finished. Chattier than
+    /// [`CellDone`](Self::CellDone) — this is the per-cell timing record
+    /// the run log and `sweep profile` are built from; the stderr
+    /// observer ignores it.
+    EvalDone {
+        /// The cell's stable id.
+        cell: usize,
+        /// The cell's workload alias.
+        scene: &'static str,
+        /// Worker that evaluated the cell.
+        worker: usize,
+        /// Whether Stage B streamed a cached `.relog` (true) or evaluated
+        /// in memory (false).
+        replayed: bool,
+        /// Evaluation duration. For a replayed cell this includes the
+        /// artifact's disk read; for the ungrouped per-cell path it is
+        /// the whole monolithic (render + evaluate) pipeline.
+        eval: Duration,
+        /// Store-commit (`on_done`) duration.
+        store: Duration,
     },
     /// One cell finished.
     CellDone {
@@ -89,6 +153,29 @@ pub enum SweepEvent<'a> {
         label: &'a str,
         /// Mean completion rate since the execution started.
         cells_per_sec: f64,
+        /// Time since the execution started.
+        elapsed: Duration,
+        /// Estimated time to completion, from the rate over the last few
+        /// completions (windowed, so it tracks the current mix of cheap
+        /// and expensive cells instead of the since-start mean). `None`
+        /// until enough completions have accumulated.
+        eta: Option<Duration>,
+    },
+    /// Periodic heartbeat (and one final tick when the execution ends),
+    /// emitted by a watchdog thread even while every worker is busy
+    /// inside a long render — this is what keeps `events.jsonl` alive
+    /// for tailing tools.
+    Progress {
+        /// Cells finished so far (this execution).
+        done: usize,
+        /// Cells in this execution.
+        total: usize,
+        /// Time since the execution started.
+        elapsed: Duration,
+        /// Mean completion rate since the execution started.
+        cells_per_sec: f64,
+        /// Windowed ETA (see [`CellDone::eta`](Self::CellDone)).
+        eta: Option<Duration>,
     },
     /// A store run found `resumed` cells already complete and will run the
     /// remaining `pending`.
@@ -109,6 +196,19 @@ pub trait SweepObserver: Send + Sync {
     fn on_event(&self, event: &SweepEvent<'_>);
 }
 
+/// Formats a duration as compact seconds (`12.3s`, `0.4s`).
+fn fmt_secs(d: Duration) -> String {
+    format!("{:.1}s", d.as_secs_f64())
+}
+
+/// Formats an optional ETA (`eta 12.3s` / `eta -`).
+fn fmt_eta(eta: Option<Duration>) -> String {
+    match eta {
+        Some(d) => format!("eta {}", fmt_secs(d)),
+        None => "eta -".to_string(),
+    }
+}
+
 /// The classic stderr progress lines (`[sweep] …`) — the default observer
 /// of a non-quiet sweep.
 #[derive(Debug, Default, Clone, Copy)]
@@ -120,25 +220,81 @@ impl SweepObserver for StderrObserver {
             SweepEvent::CaptureStart { scene, frames } => {
                 eprintln!("[sweep] capturing {scene} ({frames} frames)…");
             }
-            SweepEvent::GroupStart { cells, render_jobs } => {
-                eprintln!("[sweep] render grouping: {cells} cells share {render_jobs} render keys");
+            SweepEvent::CaptureDone {
+                scene, duration, ..
+            } => {
+                eprintln!("[sweep] captured {scene} in {}", fmt_secs(duration));
             }
-            SweepEvent::RenderStart { scene, tile_size } => {
+            SweepEvent::GroupStart {
+                cells,
+                render_jobs,
+                workers,
+                shard,
+            } => {
+                let shard = match shard {
+                    Some(s) => format!(", shard {s}"),
+                    None => String::new(),
+                };
+                eprintln!(
+                    "[sweep] render grouping: {cells} cells share {render_jobs} render keys \
+                     ({workers} workers{shard})"
+                );
+            }
+            SweepEvent::RenderStart {
+                scene, tile_size, ..
+            } => {
                 eprintln!("[sweep] rendering {scene} ts{tile_size}…");
             }
-            SweepEvent::RenderLogReplay { scene, tile_size } => {
+            SweepEvent::RenderDone {
+                scene,
+                tile_size,
+                duration,
+                ..
+            } => {
+                eprintln!(
+                    "[sweep] rendered {scene} ts{tile_size} in {}",
+                    fmt_secs(duration)
+                );
+            }
+            SweepEvent::RenderLogReplay {
+                scene, tile_size, ..
+            } => {
                 eprintln!("[sweep] replaying cached render log for {scene} ts{tile_size}");
             }
-            SweepEvent::RenderLogSaved { scene, tile_size } => {
-                eprintln!("[sweep] cached render log for {scene} ts{tile_size}");
+            SweepEvent::RenderLogSaved {
+                scene,
+                tile_size,
+                bytes,
+            } => {
+                eprintln!("[sweep] cached render log for {scene} ts{tile_size} ({bytes} bytes)");
             }
+            // Per-cell timing detail is for the run log, not the terminal.
+            SweepEvent::EvalDone { .. } => {}
             SweepEvent::CellDone {
                 done,
                 total,
                 label,
                 cells_per_sec,
+                elapsed,
+                eta,
             } => {
-                eprintln!("[sweep] {done}/{total} {label}  ({cells_per_sec:.2} cells/s)");
+                eprintln!(
+                    "[sweep] {done}/{total} {label}  ({cells_per_sec:.2} cells/s, {} elapsed, {})",
+                    fmt_secs(elapsed),
+                    fmt_eta(eta),
+                );
+            }
+            SweepEvent::Progress {
+                done,
+                total,
+                cells_per_sec,
+                eta,
+                ..
+            } => {
+                eprintln!(
+                    "[sweep] progress: {done}/{total} cells ({cells_per_sec:.2} cells/s, {})",
+                    fmt_eta(eta),
+                );
             }
             SweepEvent::StoreResume { resumed, pending } => {
                 eprintln!("[sweep] resuming: {resumed} cells already complete, {pending} to run");
@@ -153,6 +309,25 @@ pub struct NullObserver;
 
 impl SweepObserver for NullObserver {
     fn on_event(&self, _event: &SweepEvent<'_>) {}
+}
+
+/// Fans every event out to each observer in order — how the CLI runs the
+/// stderr lines and the `events.jsonl` stream side by side.
+pub struct MultiObserver(Vec<Arc<dyn SweepObserver>>);
+
+impl MultiObserver {
+    /// An observer forwarding to every entry of `observers`.
+    pub fn new(observers: Vec<Arc<dyn SweepObserver>>) -> Self {
+        MultiObserver(observers)
+    }
+}
+
+impl SweepObserver for MultiObserver {
+    fn on_event(&self, event: &SweepEvent<'_>) {
+        for o in &self.0 {
+            o.on_event(event);
+        }
+    }
 }
 
 /// Runs a [`SweepPlan`]'s jobs against already-captured traces.
@@ -172,12 +347,17 @@ pub trait Executor {
     ) -> Vec<CellOutcome>;
 }
 
+/// Completion timestamps kept for the windowed ETA.
+const ETA_WINDOW: usize = 16;
+
 /// Progress accounting shared by the workers of one execution.
 struct Progress<'o> {
     done: AtomicUsize,
     total: usize,
     start: Instant,
     observer: &'o dyn SweepObserver,
+    /// Completion instants of the last [`ETA_WINDOW`] cells.
+    window: Mutex<std::collections::VecDeque<Instant>>,
 }
 
 impl<'o> Progress<'o> {
@@ -187,18 +367,68 @@ impl<'o> Progress<'o> {
             total,
             start: Instant::now(),
             observer,
+            window: Mutex::new(std::collections::VecDeque::with_capacity(ETA_WINDOW + 1)),
         }
+    }
+
+    /// Mean completion rate since the start.
+    fn mean_rate(&self, done: usize) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            done as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// ETA from the rate over the completions still in the window. `None`
+    /// until two completions exist (no rate yet); `Some(0)` when done.
+    fn eta(&self, done: usize) -> Option<Duration> {
+        let remaining = self.total.saturating_sub(done);
+        if remaining == 0 {
+            return Some(Duration::ZERO);
+        }
+        let window = self.window.lock().expect("eta window poisoned");
+        let (first, last) = (window.front()?, window.back()?);
+        if window.len() < 2 {
+            return None;
+        }
+        let span = last.duration_since(*first).as_secs_f64();
+        if span <= 0.0 {
+            return None;
+        }
+        let rate = (window.len() - 1) as f64 / span;
+        Some(Duration::from_secs_f64(remaining as f64 / rate))
     }
 
     fn cell_done(&self, label: &str) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        let secs = self.start.elapsed().as_secs_f64();
-        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        {
+            let mut window = self.window.lock().expect("eta window poisoned");
+            window.push_back(Instant::now());
+            if window.len() > ETA_WINDOW {
+                window.pop_front();
+            }
+        }
         self.observer.on_event(&SweepEvent::CellDone {
             done,
             total: self.total,
             label,
-            cells_per_sec: rate,
+            cells_per_sec: self.mean_rate(done),
+            elapsed: self.start.elapsed(),
+            eta: self.eta(done),
+        });
+    }
+
+    /// Emits one [`SweepEvent::Progress`] heartbeat.
+    fn tick(&self) {
+        let done = self.done.load(Ordering::Relaxed);
+        self.observer.on_event(&SweepEvent::Progress {
+            done,
+            total: self.total,
+            elapsed: self.start.elapsed(),
+            cells_per_sec: self.mean_rate(done),
+            eta: self.eta(done),
         });
     }
 }
@@ -209,7 +439,7 @@ struct GroupSlot {
     log: Mutex<Option<Arc<RenderLog>>>,
     remaining: AtomicUsize,
     /// Whether the one-per-job replay event was already emitted.
-    replay_announced: std::sync::atomic::AtomicBool,
+    replay_announced: AtomicBool,
 }
 
 /// The std-thread work-stealing executor (the engine's default).
@@ -241,6 +471,10 @@ pub struct ThreadExecutor {
     /// (`None` = don't write). Writes are best-effort: a full disk costs
     /// the cache entry, never the sweep.
     pub log_dir: Option<std::path::PathBuf>,
+    /// Interval of the [`SweepEvent::Progress`] heartbeat (`None` =
+    /// disabled). A watchdog thread emits the event even while every
+    /// worker is busy, plus one final tick as the execution ends.
+    pub heartbeat: Option<Duration>,
 }
 
 impl Default for ThreadExecutor {
@@ -249,6 +483,7 @@ impl Default for ThreadExecutor {
             workers: 0,
             group_renders: true,
             log_dir: None,
+            heartbeat: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -261,6 +496,41 @@ impl ThreadExecutor {
             self.workers
         }
     }
+
+    /// Runs `body` with the heartbeat watchdog alive (when enabled and
+    /// there is work): ticks every [`heartbeat`](Self::heartbeat), plus a
+    /// final tick after `body` returns so every execution's event stream
+    /// ends with a `done == total` progress record.
+    fn with_heartbeat<R>(&self, progress: &Progress<'_>, body: impl FnOnce() -> R) -> R {
+        let Some(interval) = self.heartbeat else {
+            return body();
+        };
+        if progress.total == 0 {
+            return body();
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let ticker = s.spawn(|| {
+                // Poll well under the interval so shutdown is prompt.
+                let poll = interval
+                    .max(Duration::from_millis(1))
+                    .min(Duration::from_millis(25));
+                let mut since = Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(poll);
+                    if since.elapsed() >= interval {
+                        progress.tick();
+                        since = Instant::now();
+                    }
+                }
+                progress.tick();
+            });
+            let out = body();
+            stop.store(true, Ordering::Relaxed);
+            let _ = ticker.join();
+            out
+        })
+    }
 }
 
 impl Executor for ThreadExecutor {
@@ -272,18 +542,43 @@ impl Executor for ThreadExecutor {
         on_done: &(dyn Fn(&Cell, &RunReport) + Sync),
     ) -> Vec<CellOutcome> {
         let jobs = plan.eval_jobs().to_vec();
+        let workers = self.effective_workers().clamp(1, jobs.len().max(1));
         let progress = Progress::new(jobs.len(), observer);
 
+        // Stage histograms and cache counters, resolved once per
+        // execution so workers never touch the registry lock.
+        let eval_hist = re_obs::metrics::histogram(names::STAGE_EVAL);
+        let store_hist = re_obs::metrics::histogram(names::STAGE_STORE);
+
         if !self.group_renders {
-            return pool::run_indexed(jobs, self.effective_workers(), |_i, job| {
-                let trace = &traces[job.cell.scene()];
-                let report = run_cell(trace, &job.cell);
-                on_done(&job.cell, &report);
-                progress.cell_done(&job.cell.label());
-                CellOutcome {
-                    cell: job.cell,
-                    report,
-                }
+            return self.with_heartbeat(&progress, || {
+                pool::run_indexed(jobs, workers, |worker, _i, job| {
+                    let trace = &traces[job.cell.scene()];
+                    // The monolithic path has no render/evaluate split to
+                    // time separately; the whole pipeline lands in the
+                    // eval stage.
+                    let sw = Stopwatch::start();
+                    let report = run_cell(trace, &job.cell);
+                    let eval = sw.elapsed();
+                    eval_hist.record(eval);
+                    let sw = Stopwatch::start();
+                    on_done(&job.cell, &report);
+                    let store = sw.elapsed();
+                    store_hist.record(store);
+                    observer.on_event(&SweepEvent::EvalDone {
+                        cell: job.cell.id,
+                        scene: job.cell.scene(),
+                        worker,
+                        replayed: false,
+                        eval,
+                        store,
+                    });
+                    progress.cell_done(&job.cell.label());
+                    CellOutcome {
+                        cell: job.cell,
+                        report,
+                    }
+                })
             });
         }
 
@@ -294,102 +589,158 @@ impl Executor for ThreadExecutor {
             .map(|rj| GroupSlot {
                 log: Mutex::new(None),
                 remaining: AtomicUsize::new(rj.cells.len()),
-                replay_announced: std::sync::atomic::AtomicBool::new(false),
+                replay_announced: AtomicBool::new(false),
             })
             .collect();
         observer.on_event(&SweepEvent::GroupStart {
             cells: jobs.len(),
             render_jobs: slots.len(),
+            workers,
+            shard: plan.shard_spec(),
         });
         let log_cache = crate::artifacts::RenderLogCache::new(self.log_dir.clone());
+        let render_hist = re_obs::metrics::histogram(names::STAGE_RENDER);
+        let replay_hist = re_obs::metrics::histogram(names::STAGE_REPLAY);
+        let relog_replays = re_obs::metrics::counter(names::RELOG_REPLAYS);
+        let relog_saves = re_obs::metrics::counter(names::RELOG_SAVES);
+        let bytes_read = re_obs::metrics::counter(names::ARTIFACT_BYTES_READ);
+        let bytes_written = re_obs::metrics::counter(names::ARTIFACT_BYTES_WRITTEN);
 
-        pool::run_indexed(jobs, self.effective_workers(), |_i, job| {
-            let render_job = &plan.render_jobs()[job.render_job];
-            let key = &render_job.key;
-            let slot = &slots[job.render_job];
-            let opts = job.cell.point.sim_options();
+        self.with_heartbeat(&progress, || {
+            pool::run_indexed(jobs, workers, |worker, _i, job| {
+                let render_job = &plan.render_jobs()[job.render_job];
+                let key = &render_job.key;
+                let slot = &slots[job.render_job];
+                let opts = job.cell.point.sim_options();
 
-            // Satisfied job: stream the cached artifact instead of
-            // rendering — frame by frame, so memory stays bounded to one
-            // frame per worker no matter how many cells share the key.
-            if let Some(path) = &render_job.cached_log {
-                if !slot.replay_announced.swap(true, Ordering::Relaxed) {
-                    observer.on_event(&SweepEvent::RenderLogReplay {
-                        scene: key.scene(),
-                        tile_size: key.tile_size(),
-                    });
-                }
-                let streamed = re_core::relog::RelogReader::open(path)
-                    .and_then(|mut r| re_core::relog::evaluate_reader(&mut r, &opts));
-                if let Ok(report) = streamed {
-                    on_done(&job.cell, &report);
-                    progress.cell_done(&job.cell.label());
-                    return CellOutcome {
-                        cell: job.cell,
-                        report,
-                    };
-                }
-                // The artifact was validated when the plan was annotated,
-                // so a failure here means it changed underneath us —
-                // fall through and render the key like any other job.
-            }
-
-            let log = {
-                let mut guard = slot.log.lock().expect("group slot poisoned");
-                match guard.as_ref() {
-                    Some(log) => Arc::clone(log),
-                    None => {
-                        observer.on_event(&SweepEvent::RenderStart {
+                // Satisfied job: stream the cached artifact instead of
+                // rendering — frame by frame, so memory stays bounded to one
+                // frame per worker no matter how many cells share the key.
+                if let Some(path) = &render_job.cached_log {
+                    if !slot.replay_announced.swap(true, Ordering::Relaxed) {
+                        observer.on_event(&SweepEvent::RenderLogReplay {
                             scene: key.scene(),
                             tile_size: key.tile_size(),
+                            worker,
                         });
-                        let trace = match traces.get(key.scene()) {
-                            Some(t) => Arc::clone(t),
-                            // Traces are only captured for unsatisfied
-                            // jobs; if a satisfied job's artifact just
-                            // vanished, capture its trace on the fly.
-                            None => Arc::new(
-                                crate::artifacts::capture_alias(
-                                    key.scene(),
-                                    key.frames(),
-                                    re_gpu::GpuConfig {
-                                        width: key.gpu_config().width,
-                                        height: key.gpu_config().height,
-                                        ..re_gpu::GpuConfig::default()
-                                    },
-                                )
-                                .expect("workload aliases in a plan are known"),
-                            ),
-                        };
-                        let log = Arc::new(render_key_log(&trace, key));
-                        // Persist for future runs (best-effort: the cache
-                        // is an optimization, never a failure source).
-                        if render_job.cached_log.is_none() {
-                            if let Ok(Some(_)) = log_cache.store(key, &log) {
-                                observer.on_event(&SweepEvent::RenderLogSaved {
-                                    scene: key.scene(),
-                                    tile_size: key.tile_size(),
-                                });
-                            }
-                        }
-                        *guard = Some(Arc::clone(&log));
-                        log
                     }
+                    let sw = Stopwatch::start();
+                    let streamed = re_core::relog::RelogReader::open(path)
+                        .and_then(|mut r| re_core::relog::evaluate_reader(&mut r, &opts));
+                    if let Ok(report) = streamed {
+                        let eval = sw.elapsed();
+                        replay_hist.record(eval);
+                        relog_replays.incr();
+                        bytes_read.add(std::fs::metadata(path).map_or(0, |m| m.len()));
+                        let sw = Stopwatch::start();
+                        on_done(&job.cell, &report);
+                        let store = sw.elapsed();
+                        store_hist.record(store);
+                        observer.on_event(&SweepEvent::EvalDone {
+                            cell: job.cell.id,
+                            scene: key.scene(),
+                            worker,
+                            replayed: true,
+                            eval,
+                            store,
+                        });
+                        progress.cell_done(&job.cell.label());
+                        return CellOutcome {
+                            cell: job.cell,
+                            report,
+                        };
+                    }
+                    // The artifact was validated when the plan was annotated,
+                    // so a failure here means it changed underneath us —
+                    // fall through and render the key like any other job.
                 }
-            };
-            let report = re_core::evaluate(&log, &opts);
-            drop(log);
-            // Last cell of the job: free the log's memory early instead of
-            // keeping every job's log alive until the sweep ends.
-            if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                *slot.log.lock().expect("group slot poisoned") = None;
-            }
-            on_done(&job.cell, &report);
-            progress.cell_done(&job.cell.label());
-            CellOutcome {
-                cell: job.cell,
-                report,
-            }
+
+                let log = {
+                    let mut guard = slot.log.lock().expect("group slot poisoned");
+                    match guard.as_ref() {
+                        Some(log) => Arc::clone(log),
+                        None => {
+                            observer.on_event(&SweepEvent::RenderStart {
+                                scene: key.scene(),
+                                tile_size: key.tile_size(),
+                                worker,
+                            });
+                            let trace = match traces.get(key.scene()) {
+                                Some(t) => Arc::clone(t),
+                                // Traces are only captured for unsatisfied
+                                // jobs; if a satisfied job's artifact just
+                                // vanished, capture its trace on the fly.
+                                None => Arc::new(
+                                    crate::artifacts::capture_alias(
+                                        key.scene(),
+                                        key.frames(),
+                                        re_gpu::GpuConfig {
+                                            width: key.gpu_config().width,
+                                            height: key.gpu_config().height,
+                                            ..re_gpu::GpuConfig::default()
+                                        },
+                                    )
+                                    .expect("workload aliases in a plan are known"),
+                                ),
+                            };
+                            let sw = Stopwatch::start();
+                            let log = Arc::new(render_key_log(&trace, key));
+                            let duration = sw.elapsed();
+                            render_hist.record(duration);
+                            observer.on_event(&SweepEvent::RenderDone {
+                                scene: key.scene(),
+                                tile_size: key.tile_size(),
+                                worker,
+                                frames: key.frames(),
+                                duration,
+                            });
+                            // Persist for future runs (best-effort: the cache
+                            // is an optimization, never a failure source).
+                            if render_job.cached_log.is_none() {
+                                if let Ok(Some(path)) = log_cache.store(key, &log) {
+                                    let bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
+                                    relog_saves.incr();
+                                    bytes_written.add(bytes);
+                                    observer.on_event(&SweepEvent::RenderLogSaved {
+                                        scene: key.scene(),
+                                        tile_size: key.tile_size(),
+                                        bytes,
+                                    });
+                                }
+                            }
+                            *guard = Some(Arc::clone(&log));
+                            log
+                        }
+                    }
+                };
+                let sw = Stopwatch::start();
+                let report = re_core::evaluate(&log, &opts);
+                let eval = sw.elapsed();
+                eval_hist.record(eval);
+                drop(log);
+                // Last cell of the job: free the log's memory early instead of
+                // keeping every job's log alive until the sweep ends.
+                if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    *slot.log.lock().expect("group slot poisoned") = None;
+                }
+                let sw = Stopwatch::start();
+                on_done(&job.cell, &report);
+                let store = sw.elapsed();
+                store_hist.record(store);
+                observer.on_event(&SweepEvent::EvalDone {
+                    cell: job.cell.id,
+                    scene: key.scene(),
+                    worker,
+                    replayed: false,
+                    eval,
+                    store,
+                });
+                progress.cell_done(&job.cell.label());
+                CellOutcome {
+                    cell: job.cell,
+                    report,
+                }
+            })
         })
     }
 }
@@ -420,13 +771,30 @@ mod tests {
         fn on_event(&self, event: &SweepEvent<'_>) {
             let tag = match event {
                 SweepEvent::CaptureStart { scene, .. } => format!("capture:{scene}"),
-                SweepEvent::GroupStart { cells, render_jobs } => {
-                    format!("group:{cells}/{render_jobs}")
+                SweepEvent::CaptureDone { scene, .. } => format!("captured:{scene}"),
+                SweepEvent::GroupStart {
+                    cells,
+                    render_jobs,
+                    workers,
+                    shard,
+                } => {
+                    format!(
+                        "group:{cells}/{render_jobs}:w{workers}{}",
+                        match shard {
+                            Some(s) => format!(":{s}"),
+                            None => String::new(),
+                        }
+                    )
                 }
                 SweepEvent::RenderStart { scene, .. } => format!("render:{scene}"),
+                SweepEvent::RenderDone { scene, .. } => format!("rendered:{scene}"),
                 SweepEvent::RenderLogReplay { scene, .. } => format!("replay:{scene}"),
                 SweepEvent::RenderLogSaved { scene, .. } => format!("logsaved:{scene}"),
+                SweepEvent::EvalDone { cell, replayed, .. } => {
+                    format!("eval:{cell}:{replayed}")
+                }
                 SweepEvent::CellDone { done, total, .. } => format!("done:{done}/{total}"),
+                SweepEvent::Progress { done, total, .. } => format!("progress:{done}/{total}"),
                 SweepEvent::StoreResume { resumed, pending } => {
                     format!("resume:{resumed}+{pending}")
                 }
@@ -448,8 +816,7 @@ mod tests {
         let count = AtomicUsize::new(0);
         let exec = ThreadExecutor {
             workers: 2,
-            group_renders: true,
-            log_dir: None,
+            ..ThreadExecutor::default()
         };
         let outcomes = exec.execute(&plan, &traces, &recorder, &|_, _| {
             count.fetch_add(1, Ordering::Relaxed);
@@ -460,10 +827,59 @@ mod tests {
             assert_eq!(o.cell.id, i);
         }
         let events = recorder.0.into_inner().unwrap();
-        assert!(events.contains(&"group:2/1".to_string()), "{events:?}");
-        // One render (one key), two cell completions.
+        assert!(events.contains(&"group:2/1:w2".to_string()), "{events:?}");
+        // One render (one key), two cell completions, two eval records.
         assert_eq!(events.iter().filter(|e| *e == "render:ccs").count(), 1);
+        assert_eq!(events.iter().filter(|e| *e == "rendered:ccs").count(), 1);
         assert!(events.contains(&"done:2/2".to_string()), "{events:?}");
+        assert!(events.contains(&"eval:0:false".to_string()), "{events:?}");
+        assert!(events.contains(&"eval:1:false".to_string()), "{events:?}");
+        // The final heartbeat tick always fires, with everything done.
+        assert!(events.contains(&"progress:2/2".to_string()), "{events:?}");
+    }
+
+    #[test]
+    fn heartbeat_interval_ticks_during_execution() {
+        let grid = tiny_grid();
+        let plan = SweepPlan::compile(&grid);
+        let opts = SweepOptions {
+            quiet: true,
+            ..SweepOptions::default()
+        };
+        let traces = capture_traces(&grid, &opts).expect("capture");
+        let recorder = Recorder::default();
+        let exec = ThreadExecutor {
+            workers: 1,
+            heartbeat: Some(Duration::from_millis(1)),
+            ..ThreadExecutor::default()
+        };
+        exec.execute(&plan, &traces, &recorder, &|_, _| {});
+        let events = recorder.0.into_inner().unwrap();
+        let ticks = events.iter().filter(|e| e.starts_with("progress:")).count();
+        assert!(ticks >= 1, "{events:?}");
+    }
+
+    #[test]
+    fn disabled_heartbeat_emits_no_progress() {
+        let grid = tiny_grid();
+        let plan = SweepPlan::compile(&grid);
+        let opts = SweepOptions {
+            quiet: true,
+            ..SweepOptions::default()
+        };
+        let traces = capture_traces(&grid, &opts).expect("capture");
+        let recorder = Recorder::default();
+        let exec = ThreadExecutor {
+            workers: 2,
+            heartbeat: None,
+            ..ThreadExecutor::default()
+        };
+        exec.execute(&plan, &traces, &recorder, &|_, _| {});
+        let events = recorder.0.into_inner().unwrap();
+        assert!(
+            !events.iter().any(|e| e.starts_with("progress:")),
+            "{events:?}"
+        );
     }
 
     #[test]
@@ -479,7 +895,7 @@ mod tests {
             ThreadExecutor {
                 workers: 2,
                 group_renders,
-                log_dir: None,
+                ..ThreadExecutor::default()
             }
             .execute(&plan, &traces, &NullObserver, &|_, _| {})
         };
@@ -489,5 +905,21 @@ mod tests {
             assert_eq!(a.cell, b.cell);
             assert_eq!(a.report, b.report);
         }
+    }
+
+    #[test]
+    fn multi_observer_fans_out() {
+        let a = Arc::new(Recorder::default());
+        let b = Arc::new(Recorder::default());
+        let multi = MultiObserver::new(vec![
+            Arc::clone(&a) as Arc<dyn SweepObserver>,
+            Arc::clone(&b) as Arc<dyn SweepObserver>,
+        ]);
+        multi.on_event(&SweepEvent::StoreResume {
+            resumed: 1,
+            pending: 2,
+        });
+        assert_eq!(*a.0.lock().unwrap(), vec!["resume:1+2".to_string()]);
+        assert_eq!(*b.0.lock().unwrap(), vec!["resume:1+2".to_string()]);
     }
 }

@@ -33,7 +33,16 @@
 //!   across machines, or hand to a different executor;
 //! * [`exec`] — the [`Executor`] trait and its work-stealing
 //!   [`ThreadExecutor`], plus [`SweepObserver`] progress events (no more
-//!   hardwired stderr);
+//!   hardwired stderr), including a periodic `Progress` heartbeat with a
+//!   windowed ETA;
+//! * [`events`] — [`JsonlObserver`] writes every event as one line of a
+//!   versioned, append-only `events.jsonl` beside the store, and
+//!   [`events::read_events`] parses it back;
+//! * [`profile`] — [`profile::Profile`] folds a run log into stage
+//!   breakdowns, cache-hit accounting and per-scene / per-render-key /
+//!   per-worker hotspots (`sweep profile`); process-wide counters and
+//!   duration histograms live in the `re_obs` metrics registry
+//!   (`sweep --metrics` dumps them as `metrics.json`);
 //! * [`pool`] — a std-only work-stealing thread pool that fans cells out
 //!   and reassembles results in cell-id order (`RE_SWEEP_WORKERS`
 //!   overrides the default worker count);
@@ -73,12 +82,14 @@ pub mod artifacts;
 pub mod axis;
 pub mod cli;
 pub mod engine;
+pub mod events;
 pub mod exec;
 pub mod grid;
 pub mod json;
 pub mod merge;
 pub mod plan;
 pub mod pool;
+pub mod profile;
 pub mod report;
 pub mod store;
 
@@ -87,10 +98,15 @@ pub use axis::{AxisClass, AxisDef, AxisId, ParamPoint, Presence, AXES, AXIS_COUN
 pub use engine::{capture_plan_traces, capture_traces, render_key_log, run_cell};
 pub use engine::{run_grid, run_grid_with_store, run_plan, run_plan_with_store};
 pub use engine::{CellOutcome, SweepOptions, SweepSummary};
-pub use exec::{Executor, NullObserver, StderrObserver, SweepEvent, SweepObserver, ThreadExecutor};
+pub use events::{read_events, EventRecord, JsonlObserver, EVENTS_FILE, EVENTS_VERSION};
+pub use exec::{
+    Executor, MultiObserver, NullObserver, StderrObserver, SweepEvent, SweepObserver,
+    ThreadExecutor,
+};
 pub use grid::{binning_name, parse_binning, Cell, ExperimentGrid, RenderKey};
 pub use merge::{merge_stores, MergeSummary};
 pub use plan::{EvalJob, RenderJob, ShardSpec, SweepPlan};
+pub use profile::Profile;
 pub use report::{axis_marginals, render_report, scene_table, AxisMarginal, SceneRow};
 pub use store::{csv_axes, csv_header, read_records, read_store_meta, render_csv};
 pub use store::{CellRecord, ResultStore, StoreMeta};

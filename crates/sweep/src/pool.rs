@@ -16,15 +16,17 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 
 /// Runs `work` over `items` on `workers` threads and returns the results in
-/// input order. `workers` is clamped to `1..=items.len()`; with one worker
-/// everything runs on the caller's thread, which keeps single-worker runs
-/// trivially deterministic to schedule (the *results* are identical either
-/// way).
+/// input order. `work` is called as `work(worker, index, item)` — the
+/// worker id (`0..workers`) lets callers attribute time and events to the
+/// thread that did the work. `workers` is clamped to `1..=items.len()`;
+/// with one worker everything runs on the caller's thread as worker 0,
+/// which keeps single-worker runs trivially deterministic to schedule
+/// (the *results* are identical either way).
 pub fn run_indexed<I, R, F>(items: Vec<I>, workers: usize, work: F) -> Vec<R>
 where
     I: Send,
     R: Send,
-    F: Fn(usize, I) -> R + Sync,
+    F: Fn(usize, usize, I) -> R + Sync,
 {
     let n = items.len();
     if n == 0 {
@@ -36,7 +38,7 @@ where
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| work(i, item))
+            .map(|(i, item)| work(0, i, item))
             .collect();
     }
 
@@ -74,7 +76,7 @@ where
                     };
                     match task {
                         Some((i, item)) => {
-                            let r = work(i, item);
+                            let r = work(w, i, item);
                             // The receiver lives past the scope; send only
                             // fails if the caller's thread panicked.
                             let _ = tx.send((i, r));
@@ -122,7 +124,8 @@ mod tests {
     fn preserves_input_order() {
         for workers in [1, 2, 4, 9] {
             let items: Vec<u64> = (0..100).collect();
-            let out = run_indexed(items, workers, |i, x| {
+            let out = run_indexed(items, workers, |w, i, x| {
+                assert!(w < workers.max(1));
                 assert_eq!(i as u64, x);
                 x * 2
             });
@@ -133,7 +136,7 @@ mod tests {
     #[test]
     fn runs_every_item_exactly_once() {
         let hits = AtomicUsize::new(0);
-        let out = run_indexed((0..57).collect::<Vec<_>>(), 8, |_, x: i32| {
+        let out = run_indexed((0..57).collect::<Vec<_>>(), 8, |_, _, x: i32| {
             hits.fetch_add(1, Ordering::Relaxed);
             x
         });
@@ -144,23 +147,20 @@ mod tests {
     #[test]
     fn uneven_work_is_stolen() {
         // One giant task up front; the other workers must drain the rest.
-        let thread_ids = Mutex::new(std::collections::HashSet::new());
-        run_indexed((0..64).collect::<Vec<_>>(), 4, |i, _| {
-            thread_ids
-                .lock()
-                .unwrap()
-                .insert(std::thread::current().id());
+        let worker_ids = Mutex::new(std::collections::HashSet::new());
+        run_indexed((0..64).collect::<Vec<_>>(), 4, |w, i, _| {
+            worker_ids.lock().unwrap().insert(w);
             if i == 0 {
                 std::thread::sleep(std::time::Duration::from_millis(30));
             }
         });
-        assert!(thread_ids.lock().unwrap().len() > 1, "work never spread");
+        assert!(worker_ids.lock().unwrap().len() > 1, "work never spread");
     }
 
     #[test]
     fn empty_and_oversubscribed() {
-        assert!(run_indexed(Vec::<u8>::new(), 4, |_, x| x).is_empty());
-        assert_eq!(run_indexed(vec![7u8], 64, |_, x| x), vec![7]);
+        assert!(run_indexed(Vec::<u8>::new(), 4, |_, _, x| x).is_empty());
+        assert_eq!(run_indexed(vec![7u8], 64, |w, _, x| x + w as u8), vec![7]);
         assert!(default_workers() >= 1);
     }
 
