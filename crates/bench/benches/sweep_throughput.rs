@@ -93,5 +93,52 @@ fn bench_render_grouping(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fanout, bench_render_grouping);
+/// Stage A worker-scaling curve: one render-heavy key (a single scene at
+/// one tile size, many frames) rendered with a frame-parallel budget of
+/// 1, 2, 4 and all hardware workers.
+///
+/// The interesting number is the speedup at each budget relative to 1 —
+/// chunking is embarrassingly parallel across frames, so the curve should
+/// approach linear until memory bandwidth or the serial stitch tail
+/// dominates (Amdahl: stitching re-interns every tile record).
+///
+/// CI caveat: shared runners virtualize cores and throttle unpredictably,
+/// so the absolute cells/s and even the scaling ratio are only meaningful
+/// on quiet dedicated hardware — CI runs this bench solely as a
+/// does-it-still-run smoke, never as a regression gate.
+fn bench_render_worker_scaling(c: &mut Criterion) {
+    let mut grid = ExperimentGrid::default().with_scenes(&["ccs"]);
+    grid.frames = 16;
+    grid.width = 192;
+    grid.height = 128;
+    let plan = SweepPlan::compile(&grid);
+    let traces = re_sweep::capture_plan_traces(&plan, &quiet()).expect("capture");
+
+    let mut g = c.benchmark_group("stage_a_render_workers");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(grid.frames as u64));
+    let mut budgets = vec![1, 2, 4, pool::default_workers()];
+    budgets.dedup();
+    for render_workers in budgets {
+        let exec = ThreadExecutor {
+            workers: 1, // one eval worker: the timed region is Stage A
+            render_workers,
+            heartbeat: None,
+            ..ThreadExecutor::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(render_workers),
+            &exec,
+            |b, exec| b.iter(|| exec.execute(&plan, &traces, &NullObserver, &|_, _| {})),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fanout,
+    bench_render_grouping,
+    bench_render_worker_scaling
+);
 criterion_main!(benches);

@@ -79,6 +79,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod lzss;
 pub mod memo;
 pub mod passes;
 pub mod record;
@@ -92,8 +93,11 @@ pub mod te;
 pub use memo::{FragmentMemo, MemoStats};
 pub use passes::{evaluate, Evaluation, TechniquePass};
 pub use redundancy::TileClassCounts;
-pub use relog::{RelogError, RelogReader};
-pub use render::{render_scene, RenderLog, Renderer};
+pub use relog::{Compression, RelogError, RelogReader};
+pub use render::{
+    chunk_ranges, render_chunk, render_chunk_with, render_scene, render_scene_chunked,
+    stitch_chunks, RenderChunk, RenderLog, Renderer,
+};
 pub use signature::{SignatureBuffer, SignatureUnit, SignatureUnitStats};
 pub use sim::{RunReport, Scene, SimOptions, Simulator, TechniqueReport};
 pub use te::TransactionElimination;

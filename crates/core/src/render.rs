@@ -25,11 +25,13 @@
 //! rasterization. That turns a sweep's dominant cost from O(cells)
 //! rasterizations into O(render-keys).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::ops::Range;
 
 use re_gpu::api::FrameDesc;
 use re_gpu::stats::TileStats;
-use re_gpu::{GeometryOutput, Gpu, GpuConfig};
+use re_gpu::{GeometryOutput, Gpu, GpuConfig, ParallelRaster};
 
 use crate::record::{Event, Recorder};
 use crate::sim::Scene;
@@ -125,6 +127,8 @@ pub struct Renderer {
     /// content forever). Id equality is exact for comparisons reaching at
     /// most this many frames back — see [`Renderer::with_id_window`].
     id_window: Option<u64>,
+    /// Band-parallel rasterization within each frame (`None` = serial).
+    parallel: Option<ParallelRaster>,
 }
 
 impl Renderer {
@@ -156,7 +160,17 @@ impl Renderer {
             next_id: 0,
             frame_index: 0,
             id_window: window,
+            parallel: None,
         }
+    }
+
+    /// Enables band-parallel rasterization within each frame (`None` or
+    /// `bands <= 1` keeps the serial path). The rendered output is
+    /// bit-identical either way — tiles are rasterized from per-tile-local
+    /// state and committed in tile-id order — so this is purely a wall-clock
+    /// knob. See [`re_gpu::Gpu::rasterize_bands`].
+    pub fn set_parallel_raster(&mut self, parallel: Option<ParallelRaster>) {
+        self.parallel = parallel;
     }
 
     /// Mutable access to the GPU (texture uploads during scene init).
@@ -184,32 +198,46 @@ impl Renderer {
         let geo_events = std::mem::take(&mut self.recorder.events);
 
         let mut tiles = Vec::with_capacity(tile_count as usize);
-        for t in 0..tile_count {
-            self.recorder.clear();
-            let stats = self.gpu.rasterize_tile(desc, &geo, t, &mut self.recorder);
-            let events = std::mem::take(&mut self.recorder.events);
-
-            let colors = self.gpu.framebuffer().back().read_rect(config.tile_rect(t));
-            let te_sig = TransactionElimination::color_signature(&colors);
-            let packed: Vec<u32> = colors.iter().map(|c| c.to_u32()).collect();
-            let frame_index = self.frame_index;
-            let entry = self
-                .interner
-                .entry(packed)
-                .and_modify(|(_, seen)| *seen = frame_index)
-                .or_insert((self.next_id, frame_index));
-            let color_id = entry.0;
-            if color_id == self.next_id {
-                self.next_id += 1;
+        match self.parallel.filter(|p| p.bands > 1) {
+            Some(par) => {
+                // Band path: tiles rasterize concurrently from per-tile-local
+                // state, then colors are committed and interned serially in
+                // tile-id order — the same visit order as the serial path, so
+                // ids, signatures and recorded events are bit-identical.
+                let results = self.gpu.rasterize_bands(desc, &geo, par, Recorder::new);
+                for (t, (stats, colors, recorder)) in results.into_iter().enumerate() {
+                    self.gpu.apply_tile_colors(t as u32, &colors);
+                    let te_sig = TransactionElimination::color_signature(&colors);
+                    let color_bytes = colors.len() as u64 * 4;
+                    let color_id = self.intern(colors.iter().map(|c| c.to_u32()).collect());
+                    tiles.push(TileLog {
+                        events: recorder.events,
+                        stats,
+                        color_id,
+                        te_sig,
+                        color_bytes,
+                    });
+                }
             }
+            None => {
+                for t in 0..tile_count {
+                    self.recorder.clear();
+                    let stats = self.gpu.rasterize_tile(desc, &geo, t, &mut self.recorder);
+                    let events = std::mem::take(&mut self.recorder.events);
 
-            tiles.push(TileLog {
-                events,
-                stats,
-                color_id,
-                te_sig,
-                color_bytes: colors.len() as u64 * 4,
-            });
+                    let colors = self.gpu.framebuffer().back().read_rect(config.tile_rect(t));
+                    let te_sig = TransactionElimination::color_signature(&colors);
+                    let color_bytes = colors.len() as u64 * 4;
+                    let color_id = self.intern(colors.iter().map(|c| c.to_u32()).collect());
+                    tiles.push(TileLog {
+                        events,
+                        stats,
+                        color_id,
+                        te_sig,
+                        color_bytes,
+                    });
+                }
+            }
         }
         self.gpu.end_frame();
         if let Some(window) = self.id_window {
@@ -224,6 +252,44 @@ impl Renderer {
             geo_events,
             tiles,
         }
+    }
+
+    /// Interns one tile's packed colors, assigning ids in first-seen order.
+    fn intern(&mut self, packed: Vec<u32>) -> u32 {
+        let frame_index = self.frame_index;
+        let entry = self
+            .interner
+            .entry(packed)
+            .and_modify(|(_, seen)| *seen = frame_index)
+            .or_insert((self.next_id, frame_index));
+        let color_id = entry.0;
+        if color_id == self.next_id {
+            self.next_id += 1;
+        }
+        color_id
+    }
+
+    /// Consumes the renderer and returns its interner inverted: `palette[id]`
+    /// is the packed tile content that id stands for. Ids are dense
+    /// (`0..palette.len()`), assigned in first-seen order.
+    ///
+    /// This is what makes chunked rendering stitchable: a chunk's
+    /// [`FrameLog`]s plus its palette fully determine the global ids
+    /// ([`stitch_chunks`]) without the stitcher re-reading any pixels.
+    ///
+    /// # Panics
+    /// Panics if the renderer was built with an id window — eviction drops
+    /// palette entries, so windowed ids are not invertible.
+    pub fn into_palette(self) -> Vec<Vec<u32>> {
+        assert!(
+            self.id_window.is_none(),
+            "palette export requires full id retention (no id window)"
+        );
+        let mut palette = vec![Vec::new(); self.next_id as usize];
+        for (packed, (id, _)) in self.interner {
+            palette[id as usize] = packed;
+        }
+        palette
     }
 }
 
@@ -246,6 +312,167 @@ pub fn render_scene(scene: &mut dyn Scene, config: GpuConfig, frames: usize) -> 
         config,
         frames,
     }
+}
+
+/// A contiguous frame range rendered by an independent [`Renderer`]: the
+/// building block of frame-parallel Stage A.
+///
+/// Color ids inside `frames` are *chunk-local* (each chunk starts its own
+/// interner at id 0); `palette` maps them back to exact pixel contents so
+/// [`stitch_chunks`] can re-intern globally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderChunk {
+    /// Index of the chunk's first frame within the whole render.
+    pub start: usize,
+    /// The chunk's frame logs, in frame order. `tiles[..].color_id` values
+    /// are chunk-local.
+    pub frames: Vec<FrameLog>,
+    /// Chunk-local color id → packed tile colors. Ids are dense and in
+    /// first-seen order (see [`Renderer::into_palette`]).
+    pub palette: Vec<Vec<u32>>,
+}
+
+/// Splits `frames` frames into at most `chunks` contiguous, near-equal
+/// ranges (never empty; larger remainders go to earlier chunks). Returns an
+/// empty list for zero frames.
+pub fn chunk_ranges(frames: usize, chunks: usize) -> Vec<Range<usize>> {
+    if frames == 0 {
+        return Vec::new();
+    }
+    let n = chunks.clamp(1, frames);
+    let (base, rem) = (frames / n, frames % n);
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for c in 0..n {
+        let take = base + usize::from(c < rem);
+        out.push(start..start + take);
+        start += take;
+    }
+    out
+}
+
+/// Renders the frame range `range` of `scene` as an independent chunk.
+///
+/// Frame rendering is a pure function of the frame's [`FrameDesc`] plus the
+/// double-buffer parity — tiles rasterize from tile-local state seeded with
+/// the frame's clear color, never reading the previous frame's surface, and
+/// the chunk GPU's parity is seeded to `range.start`
+/// ([`re_gpu::Gpu::seed_frame_parity`]) — so a chunk renderer starting cold
+/// at `range.start` produces exactly the frames a serial renderer would.
+pub fn render_chunk(scene: &mut dyn Scene, config: GpuConfig, range: Range<usize>) -> RenderChunk {
+    render_chunk_with(scene, config, range, None)
+}
+
+/// [`render_chunk`] with optional band-parallel rasterization inside each
+/// frame (see [`Renderer::set_parallel_raster`]). Output is bit-identical
+/// regardless of `parallel`.
+pub fn render_chunk_with(
+    scene: &mut dyn Scene,
+    config: GpuConfig,
+    range: Range<usize>,
+    parallel: Option<ParallelRaster>,
+) -> RenderChunk {
+    let mut renderer = Renderer::new(config);
+    renderer.set_parallel_raster(parallel);
+    renderer.init_scene(scene);
+    // Serial rendering alternates the double-buffered surfaces every frame,
+    // and recorded flush addresses name the surface. Seed the same parity
+    // the serial render would have at this chunk's first frame.
+    renderer.gpu_mut().seed_frame_parity(range.start);
+    let start = range.start;
+    let frames = range
+        .map(|f| {
+            let desc = scene.frame(f);
+            renderer.render_frame(&desc)
+        })
+        .collect();
+    RenderChunk {
+        start,
+        frames,
+        palette: renderer.into_palette(),
+    }
+}
+
+/// Stitches contiguous chunks into one [`RenderLog`] bit-identical to a
+/// serial [`render_scene`] of the same scene and frame count.
+///
+/// Chunk-local color ids are re-interned into a global map by walking
+/// chunks, frames and tiles in order and assigning global ids at first
+/// sight. That is exactly the order and policy of the serial renderer's
+/// interner, so every tile receives the id the serial render would have
+/// given it — the determinism argument needs nothing else, which is why the
+/// frame→chunk split (count and boundaries) cannot affect the result.
+///
+/// # Panics
+/// Panics if the chunks are not contiguous from frame 0 or if a frame
+/// references a color id outside its chunk's palette.
+pub fn stitch_chunks(
+    name: impl Into<String>,
+    config: GpuConfig,
+    chunks: Vec<RenderChunk>,
+) -> RenderLog {
+    let mut global: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut next_id = 0u32;
+    let mut frames: Vec<FrameLog> = Vec::with_capacity(chunks.iter().map(|c| c.frames.len()).sum());
+    for chunk in chunks {
+        assert_eq!(
+            chunk.start,
+            frames.len(),
+            "chunks must be contiguous from frame 0"
+        );
+        // Each chunk-local id resolves to a global id exactly once; the
+        // palette entry is moved (not cloned) into the global map on first
+        // use and the mapping cached in `remap`.
+        let mut palette: Vec<Option<Vec<u32>>> = chunk.palette.into_iter().map(Some).collect();
+        let mut remap: Vec<Option<u32>> = vec![None; palette.len()];
+        for mut frame in chunk.frames {
+            for tile in &mut frame.tiles {
+                let local = tile.color_id as usize;
+                tile.color_id = match remap[local] {
+                    Some(id) => id,
+                    None => {
+                        let packed = palette[local].take().expect("palette entry resolved twice");
+                        let id = match global.entry(packed) {
+                            Entry::Occupied(e) => *e.get(),
+                            Entry::Vacant(v) => {
+                                let id = next_id;
+                                next_id += 1;
+                                *v.insert(id)
+                            }
+                        };
+                        remap[local] = Some(id);
+                        id
+                    }
+                };
+            }
+            frames.push(frame);
+        }
+    }
+    RenderLog {
+        name: name.into(),
+        config,
+        frames,
+    }
+}
+
+/// [`render_scene`] split into `chunks` independently rendered frame ranges
+/// and stitched back together — bit-identical to the serial function by
+/// construction (see [`stitch_chunks`]).
+///
+/// This single-threaded form is the reference for the parallel executors:
+/// they render the same [`chunk_ranges`] on worker threads (one scene
+/// instance per chunk) and pass the collected chunks to [`stitch_chunks`].
+pub fn render_scene_chunked(
+    scene: &mut dyn Scene,
+    config: GpuConfig,
+    frames: usize,
+    chunks: usize,
+) -> RenderLog {
+    let parts = chunk_ranges(frames, chunks)
+        .into_iter()
+        .map(|range| render_chunk(scene, config, range))
+        .collect();
+    stitch_chunks(scene.name().to_owned(), config, parts)
 }
 
 #[cfg(test)]
@@ -367,6 +594,82 @@ mod tests {
                 assert_eq!(a.color_id, b.color_id);
             }
         }
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for frames in [0usize, 1, 2, 3, 7, 16, 33] {
+            for chunks in [0usize, 1, 2, 3, 5, 8, 64] {
+                let ranges = chunk_ranges(frames, chunks);
+                if frames == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert_eq!(ranges.len(), chunks.clamp(1, frames));
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, frames);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                }
+                let (min, max) = ranges.iter().fold((usize::MAX, 0), |(lo, hi), r| {
+                    (lo.min(r.len()), hi.max(r.len()))
+                });
+                assert!(min >= 1 && max - min <= 1, "near-equal split: {ranges:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_render_is_bit_identical_to_serial() {
+        let serial = render_scene(&mut Tri { period: 2 }, cfg(), 7);
+        for chunks in [1usize, 2, 3, 7, 16] {
+            let chunked = render_scene_chunked(&mut Tri { period: 2 }, cfg(), 7, chunks);
+            assert_eq!(serial, chunked, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn band_parallel_render_is_bit_identical_to_serial() {
+        let serial = render_scene(&mut Tri { period: 1 }, cfg(), 4);
+        for bands in [2usize, 3, 4, 99] {
+            let mut scene = Tri { period: 1 };
+            let mut r = Renderer::new(cfg());
+            r.set_parallel_raster(Some(ParallelRaster { bands }));
+            r.init_scene(&mut scene);
+            let frames: Vec<FrameLog> = (0..4).map(|f| r.render_frame(&scene.frame(f))).collect();
+            assert_eq!(serial.frames, frames, "bands={bands}");
+        }
+    }
+
+    #[test]
+    fn chunked_plus_band_parallel_matches_serial() {
+        let serial = render_scene(&mut Tri { period: 1 }, cfg(), 5);
+        let parts = chunk_ranges(5, 2)
+            .into_iter()
+            .map(|range| {
+                render_chunk_with(
+                    &mut Tri { period: 1 },
+                    cfg(),
+                    range,
+                    Some(ParallelRaster { bands: 3 }),
+                )
+            })
+            .collect();
+        let stitched = stitch_chunks("tri", cfg(), parts);
+        assert_eq!(serial, stitched);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn stitch_rejects_non_contiguous_chunks() {
+        let chunk = render_chunk(&mut Tri { period: 1 }, cfg(), 1..2);
+        let _ = stitch_chunks("tri", cfg(), vec![chunk]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full id retention")]
+    fn windowed_renderer_has_no_palette() {
+        let _ = Renderer::with_id_window(cfg(), Some(2)).into_palette();
     }
 
     #[test]

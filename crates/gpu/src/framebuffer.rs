@@ -49,6 +49,15 @@ impl ColorSurface {
         self.base_addr + (y as u64 * self.width as u64 + x as u64) * 4
     }
 
+    /// Simulated base address of the surface. [`pixel_addr`](Self::pixel_addr)
+    /// is a pure function of this base and the surface width, which is what
+    /// lets a detached rasterizer ([`crate::raster::rasterize_tile_detached`])
+    /// report byte-identical flush addresses without holding the surface.
+    #[inline]
+    pub fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+
     /// Writes one pixel.
     #[inline]
     pub fn put_pixel(&mut self, x: u32, y: u32, c: Color) {

@@ -78,7 +78,7 @@ pub mod tiling;
 pub use api::{DrawCall, FrameDesc, PipelineState};
 pub use framebuffer::Framebuffer;
 pub use geometry::GeometryOutput;
-pub use raster::raster_invocations;
+pub use raster::{raster_invocations, ParallelRaster};
 pub use shader::ShaderProgram;
 pub use stats::{FrameStats, GeometryStats, TileStats};
 pub use texture::{Texture, TextureStore};
@@ -241,6 +241,90 @@ impl Gpu {
         )
     }
 
+    /// Rasterizes every tile of the current frame with up to
+    /// [`ParallelRaster::bands`] band threads, returning per-tile results
+    /// **in tile-id order**: the tile's activity counters, its final colors
+    /// (row-major over the tile rect, ready for
+    /// [`apply_tile_colors`](Self::apply_tile_colors)), and the hook sink
+    /// that recorded its accesses (one fresh sink per tile, from
+    /// `make_hooks`).
+    ///
+    /// The frame is split into row-aligned bands
+    /// ([`tiling::band_ranges`]) with exclusive tile ownership, so band
+    /// threads share nothing mutable — no locking anywhere on the raster
+    /// path. Each tile runs the identical detached pipeline the serial
+    /// [`rasterize_tile`](Self::rasterize_tile) wraps
+    /// ([`raster::rasterize_tile_detached`]), so counters, event streams,
+    /// flush addresses, colors and [`raster_invocations`] accounting are
+    /// exactly equal to rasterizing the tiles serially.
+    ///
+    /// The back buffer is **not** written — commit each tile's colors with
+    /// [`apply_tile_colors`](Self::apply_tile_colors) (in any order) before
+    /// [`end_frame`](Self::end_frame).
+    pub fn rasterize_bands<H, F>(
+        &self,
+        frame: &FrameDesc,
+        geo: &GeometryOutput,
+        parallel: ParallelRaster,
+        make_hooks: F,
+    ) -> Vec<(TileStats, Vec<Color>, H)>
+    where
+        H: hooks::GpuHooks + Send,
+        F: Fn() -> H + Sync,
+    {
+        let base_addr = self.framebuffer.back().base_addr();
+        let raster_band = |band: std::ops::Range<u32>| {
+            band.map(|t| {
+                let mut h = make_hooks();
+                let (stats, colors) = raster::rasterize_tile_detached(
+                    &self.config,
+                    frame,
+                    geo,
+                    t,
+                    &self.textures,
+                    base_addr,
+                    &mut h,
+                );
+                (stats, colors, h)
+            })
+            .collect::<Vec<_>>()
+        };
+        let bands = tiling::band_ranges(&self.config, parallel.bands);
+        if bands.len() <= 1 {
+            return raster_band(0..self.config.tile_count());
+        }
+        let per_band: Vec<Vec<(TileStats, Vec<Color>, H)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = bands
+                .into_iter()
+                .map(|band| s.spawn(|| raster_band(band)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("raster band thread panicked"))
+                .collect()
+        });
+        per_band.into_iter().flatten().collect()
+    }
+
+    /// Writes a tile's final colors (row-major over the tile rect, as
+    /// returned by [`rasterize_bands`](Self::rasterize_bands)) into the
+    /// back buffer — the commit half of detached rasterization.
+    ///
+    /// # Panics
+    /// Panics if `colors` does not cover the tile rect exactly.
+    pub fn apply_tile_colors(&mut self, tile_id: u32, colors: &[Color]) {
+        let rect = self.config.tile_rect(tile_id);
+        assert_eq!(
+            colors.len(),
+            rect.area() as usize,
+            "colors must cover tile {tile_id}'s rect exactly"
+        );
+        let back = self.framebuffer.back_mut();
+        for (li, (x, y)) in rect.pixels().enumerate() {
+            back.put_pixel(x as u32, y as u32, colors[li]);
+        }
+    }
+
     /// Reads back the color of pixel `(x, y)` from the back buffer (the
     /// frame currently being rendered).
     pub fn back_pixel(&self, x: u32, y: u32) -> Color {
@@ -250,6 +334,18 @@ impl Gpu {
     /// Finishes the frame: swaps the front and back buffers.
     pub fn end_frame(&mut self) {
         self.framebuffer.swap();
+    }
+
+    /// Aligns the double-buffer parity of a **fresh** GPU as if
+    /// `frame_index` frames had already been rendered and swapped:
+    /// afterwards the back buffer is the surface a serial render would be
+    /// writing for frame `frame_index`. Frame-chunked renders
+    /// (`re_core::render_chunk`) seed this before their first frame so
+    /// recorded color-flush addresses match a serial render bit-for-bit.
+    pub fn seed_frame_parity(&mut self, frame_index: usize) {
+        if frame_index % 2 == 1 {
+            self.framebuffer.swap();
+        }
     }
 }
 

@@ -102,6 +102,24 @@ fn edge_is_top_left(dx: f32, dy: f32) -> bool {
     (dy == 0.0 && dx < 0.0) || dy > 0.0
 }
 
+/// Tile-parallel rasterization settings: split the frame's tiles into up
+/// to [`bands`](Self::bands) row-aligned bands (see
+/// [`crate::tiling::band_ranges`]) and rasterize the bands on separate
+/// threads.
+///
+/// Every band owns its tiles exclusively — each tile rasterizes into its
+/// own on-chip buffers ([`rasterize_tile_detached`]) and no two bands
+/// touch the same output, so the hot path needs no locking. Per-tile
+/// activity counters, recorded event streams, flush addresses, final
+/// pixels and the [`raster_invocations`] count are all exactly equal to
+/// the serial path's (pinned by proptest in `re-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelRaster {
+    /// Maximum band count (= worker threads). `0` or `1` keeps the serial
+    /// path; the effective count is clamped to the number of tile rows.
+    pub bands: usize,
+}
+
 /// Rasterizes tile `tile_id` of the current frame into the back buffer.
 /// See the module docs for the stage breakdown.
 pub fn rasterize_tile(
@@ -113,6 +131,37 @@ pub fn rasterize_tile(
     framebuffer: &mut Framebuffer,
     hooks: &mut dyn GpuHooks,
 ) -> TileStats {
+    let base_addr = framebuffer.back().base_addr();
+    let (stats, colors) =
+        rasterize_tile_detached(config, frame, geo, tile_id, textures, base_addr, hooks);
+    let rect = config.tile_rect(tile_id);
+    let back = framebuffer.back_mut();
+    for (li, (x, y)) in rect.pixels().enumerate() {
+        back.put_pixel(x as u32, y as u32, colors[li]);
+    }
+    stats
+}
+
+/// Rasterizes tile `tile_id` *detached* from the frame buffer: identical
+/// pipeline, counters and hook stream as [`rasterize_tile`] (the flush
+/// addresses are computed from `back_base_addr`, the back surface's
+/// [`crate::framebuffer::ColorSurface::base_addr`]), but the tile's final
+/// colors are returned (row-major over the tile rect) instead of written.
+///
+/// Taking no `&mut Framebuffer` makes the call safe to run concurrently
+/// for different tiles — the foundation of band-parallel rasterization
+/// ([`ParallelRaster`], [`crate::Gpu::rasterize_bands`]). The caller is
+/// responsible for committing the colors to the back buffer
+/// ([`crate::Gpu::apply_tile_colors`]).
+pub fn rasterize_tile_detached(
+    config: &GpuConfig,
+    frame: &FrameDesc,
+    geo: &GeometryOutput,
+    tile_id: u32,
+    textures: &TextureStore,
+    back_base_addr: u64,
+    hooks: &mut dyn GpuHooks,
+) -> (TileStats, Vec<Color>) {
     raster_counter().incr();
     let mut stats = TileStats::default();
     let rect = config.tile_rect(tile_id);
@@ -266,21 +315,18 @@ pub fn rasterize_tile(
         }
     }
 
-    // Tile Flush: write the tile's colors to the back Frame Buffer, one
-    // 64-byte line per 16-pixel run.
-    let back = framebuffer.back_mut();
+    // Tile Flush: report the tile's color writes to the back Frame Buffer,
+    // one 64-byte line per 16-pixel run. Addresses reproduce
+    // `ColorSurface::pixel_addr` exactly (base + (y·width + x)·4).
     for y in rect.y0..rect.y1 {
-        for x in rect.x0..rect.x1 {
-            let li = ((y - rect.y0) * tw + (x - rect.x0)) as usize;
-            back.put_pixel(x as u32, y as u32, color[li]);
-        }
         let row_bytes = (tw * 4) as u32;
-        hooks.color_flush(back.pixel_addr(rect.x0 as u32, y as u32), row_bytes);
+        let addr = back_base_addr + (y as u64 * config.width as u64 + rect.x0 as u64) * 4;
+        hooks.color_flush(addr, row_bytes);
     }
     stats.pixels_flushed += rect.area() as u64;
     stats.color_bytes_flushed += rect.area() as u64 * 4;
 
-    stats
+    (stats, color)
 }
 
 #[cfg(test)]
@@ -499,6 +545,140 @@ mod tests {
         // across all tiles (screen coordinates excluded).
         let first = hc.0[0].1;
         assert!(hc.0.iter().all(|&(_, h)| h == first));
+    }
+
+    /// Records every hook call verbatim, for stream-equality assertions.
+    #[derive(Debug, Default, PartialEq)]
+    struct CaptureHooks(Vec<(u8, u64, u64, u64)>);
+
+    impl GpuHooks for CaptureHooks {
+        fn vertex_fetch(&mut self, addr: u64, bytes: u32) {
+            self.0.push((0, addr, bytes as u64, 0));
+        }
+        fn param_write(&mut self, addr: u64, bytes: u32) {
+            self.0.push((1, addr, bytes as u64, 0));
+        }
+        fn param_read(&mut self, addr: u64, bytes: u32) {
+            self.0.push((2, addr, bytes as u64, 0));
+        }
+        fn texel_fetch(&mut self, unit: u8, addr: u64, bytes: u32) {
+            self.0.push((3, addr, bytes as u64, unit as u64));
+        }
+        fn color_flush(&mut self, addr: u64, bytes: u32) {
+            self.0.push((4, addr, bytes as u64, 0));
+        }
+        fn fragment_shaded(&mut self, tile_id: u32, drawcall: u32, input_hash: u32) {
+            self.0
+                .push((5, tile_id as u64, drawcall as u64, input_hash as u64));
+        }
+    }
+
+    #[test]
+    fn band_parallel_matches_serial_exactly() {
+        let build_frame = |gpu: &mut Gpu| {
+            let tex = gpu.textures_mut().upload_with(8, 8, |x, y| {
+                if (x + y) % 2 == 0 {
+                    Color::WHITE
+                } else {
+                    Color::BLACK
+                }
+            });
+            let mut frame = FrameDesc::new();
+            frame.clear_color = Color::new(12, 34, 56, 255);
+            frame.drawcalls.push(flat_tri(
+                [(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0)],
+                Vec4::new(0.8, 0.1, 0.2, 0.7),
+            ));
+            let vertices = [
+                ((-0.9, -0.2), (0.0, 0.0)),
+                ((0.4, -0.9), (1.0, 0.0)),
+                ((0.9, 0.9), (1.0, 1.0)),
+            ]
+            .iter()
+            .map(|&((x, y), (u, v))| {
+                Vertex::new(vec![
+                    Vec4::new(x, y, 0.3, 1.0),
+                    Vec4::splat(1.0),
+                    Vec4::new(u, v, 0.0, 0.0),
+                ])
+            })
+            .collect();
+            frame.drawcalls.push(DrawCall {
+                state: PipelineState::sprite_2d(tex),
+                constants: Mat4::IDENTITY.cols.to_vec(),
+                vertices,
+            });
+            frame
+        };
+
+        let mut serial = Gpu::new(cfg());
+        let frame = build_frame(&mut serial);
+        let geo = serial.run_geometry(&frame, &mut NullHooks);
+        let mut serial_tiles = Vec::new();
+        for t in 0..serial.tile_count() {
+            let mut hooks = CaptureHooks::default();
+            let stats = serial.rasterize_tile(&frame, &geo, t, &mut hooks);
+            let colors = serial
+                .framebuffer()
+                .back()
+                .read_rect(serial.config().tile_rect(t));
+            serial_tiles.push((stats, colors, hooks));
+        }
+
+        let mut parallel = Gpu::new(cfg());
+        let frame2 = build_frame(&mut parallel);
+        assert_eq!(frame, frame2);
+        let geo2 = parallel.run_geometry(&frame2, &mut NullHooks);
+        assert_eq!(geo, geo2);
+        let before = raster_invocations();
+        let results = parallel.rasterize_bands(
+            &frame2,
+            &geo2,
+            ParallelRaster { bands: 3 },
+            CaptureHooks::default,
+        );
+        assert_eq!(
+            raster_invocations() - before,
+            parallel.tile_count() as u64,
+            "one invocation per tile, exactly"
+        );
+        assert_eq!(results.len(), parallel.tile_count() as usize);
+        for (t, (stats, colors, hooks)) in results.into_iter().enumerate() {
+            let (ref s_stats, ref s_colors, ref s_hooks) = serial_tiles[t];
+            assert_eq!(&stats, s_stats, "tile {t} stats");
+            assert_eq!(&colors, s_colors, "tile {t} colors");
+            assert_eq!(&hooks, s_hooks, "tile {t} hook stream");
+            parallel.apply_tile_colors(t as u32, &colors);
+        }
+        for y in 0..32 {
+            for x in 0..32 {
+                assert_eq!(
+                    serial.back_pixel(x, y),
+                    parallel.back_pixel(x, y),
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_band_raster_needs_no_threads() {
+        let mut gpu = Gpu::new(cfg());
+        let mut frame = FrameDesc::new();
+        frame.drawcalls.push(flat_tri(
+            [(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0)],
+            Vec4::splat(1.0),
+        ));
+        let geo = gpu.run_geometry(&frame, &mut NullHooks);
+        let results = gpu.rasterize_bands(&frame, &geo, ParallelRaster { bands: 1 }, || NullHooks);
+        assert_eq!(results.len(), gpu.tile_count() as usize);
+        let agg = results
+            .iter()
+            .fold(TileStats::default(), |mut a, (s, _, _)| {
+                a.merge(s);
+                a
+            });
+        assert_eq!(agg.fragments_rasterized, 528);
     }
 
     #[test]

@@ -34,6 +34,20 @@ pub const RELOG_REPLAYS: &str = "sweep.relog.replays";
 /// Counter: freshly rendered `.relog` artifacts persisted to the cache.
 pub const RELOG_SAVES: &str = "sweep.relog.saves";
 
+/// Counter: frame chunks rendered by parallel Stage A (one per chunk; a
+/// serial render counts one). `chunks / renders` is the mean frame-level
+/// fan-out a sweep achieved.
+pub const RENDER_FRAME_CHUNKS: &str = "sweep.render.frame_chunks";
+
+/// Histogram: per-render chunk-stitch duration — the serial tail of a
+/// frame-parallel Stage A render (re-interning color ids across chunks).
+pub const RENDER_STITCH_NS: &str = "sweep.render.stitch_ns";
+
+/// Counter: bytes of compressed `.relog` artifacts written (on-disk size,
+/// counted only when compression is enabled; compare with
+/// [`ARTIFACT_BYTES_WRITTEN`] to see the storage saving).
+pub const RELOG_COMPRESSED_BYTES: &str = "sweep.relog.compressed_bytes";
+
 /// Counter: artifact bytes read from disk (`.retrace` loads and `.relog`
 /// replays).
 pub const ARTIFACT_BYTES_READ: &str = "sweep.artifacts.bytes_read";

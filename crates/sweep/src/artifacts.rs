@@ -156,12 +156,31 @@ impl TraceCache {
 #[derive(Debug, Clone)]
 pub struct RenderLogCache {
     dir: Option<PathBuf>,
+    compression: relog::Compression,
 }
 
 impl RenderLogCache {
-    /// A cache writing `.relog` files under `dir` (`None` = disabled).
+    /// A cache writing plain (`RELOG001`) `.relog` files under `dir`
+    /// (`None` = disabled).
     pub fn new(dir: Option<PathBuf>) -> Self {
-        RenderLogCache { dir }
+        RenderLogCache {
+            dir,
+            compression: relog::Compression::None,
+        }
+    }
+
+    /// The same cache writing artifacts with `compression`
+    /// ([`relog::Compression::Lzss`] = smaller files, same contents).
+    /// Reads are unaffected — [`lookup`](Self::lookup) accepts either
+    /// framing, so mixed directories and flag flips between runs are fine.
+    pub fn with_compression(mut self, compression: relog::Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// The compression newly stored artifacts are written with.
+    pub fn compression(&self) -> relog::Compression {
+        self.compression
     }
 
     /// Whether a directory is configured.
@@ -234,7 +253,7 @@ impl RenderLogCache {
         std::fs::create_dir_all(dir)?;
         let name = Self::file_key(key);
         let tmp = dir.join(format!("{name}.tmp"));
-        relog::save(&tmp, log)?;
+        relog::save_with(&tmp, log, self.compression)?;
         let path = dir.join(name);
         std::fs::rename(&tmp, &path)?;
         Ok(Some(path))
@@ -342,6 +361,33 @@ mod tests {
         assert!(!off.enabled());
         assert_eq!(off.lookup(&key), None);
         assert_eq!(off.store(&key, &log).expect("noop"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compressed_artifacts_validate_and_replay_identically() {
+        let dir = std::env::temp_dir().join(format!("re_relog_lz_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = key_of(3);
+        let log = log_for(&key);
+
+        let plain = RenderLogCache::new(Some(dir.clone()));
+        let path = plain.store(&key, &log).expect("store").expect("enabled");
+        let plain_bytes = std::fs::metadata(&path).unwrap().len();
+
+        let packed =
+            RenderLogCache::new(Some(dir.clone())).with_compression(relog::Compression::Lzss);
+        let path = packed.store(&key, &log).expect("store").expect("enabled");
+        let packed_bytes = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            packed_bytes < plain_bytes,
+            "compressed artifact must be smaller ({packed_bytes} vs {plain_bytes})"
+        );
+        // Either cache object validates the compressed artifact, and the
+        // decoded contents are exact.
+        assert_eq!(plain.lookup(&key), Some(path.clone()));
+        assert_eq!(packed.lookup(&key), Some(path.clone()));
+        assert_eq!(relog::load(&path).expect("load"), log);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -143,6 +143,8 @@ const RUN_FLAGS: &[&str] = &[
     "--out",
     "--no-store",
     "--workers",
+    "--render-workers",
+    "--relog-compress",
     "--shard",
     "--frames",
     "--width",
@@ -186,6 +188,20 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
             "--out" => out = PathBuf::from(value()?),
             "--no-store" => store = false,
             "--workers" => opts.workers = value()?.parse().map_err(|_| "--workers: bad value")?,
+            "--render-workers" => {
+                opts.render_workers = value()?
+                    .parse()
+                    .map_err(|_| "--render-workers: bad value")?
+            }
+            "--relog-compress" => {
+                opts.relog_compress = match value()? {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!("--relog-compress: `{other}` is not `on` or `off`"))
+                    }
+                }
+            }
             "--shard" => {
                 shard = Some(ShardSpec::parse(value()?).map_err(|e| format!("--shard: {e}"))?)
             }
@@ -303,6 +319,9 @@ OPTIONS:
     --no-store          run in memory only, print the CSV to stdout
     --workers N         worker threads (default: all hardware threads, or
                         the RE_SWEEP_WORKERS environment override)
+    --render-workers N  threads one Stage A render may spread its frames
+                        over (default: match --workers; 1 = serial Stage A;
+                        results are bit-identical at any setting)
     --shard K/N         run only shard K of N (1-based; partitioned by
                         render key, so each shard rasterizes its keys once)
     --frames N          frames per cell (default: 24)
@@ -335,6 +354,10 @@ OPTIONS:
                         directory); a warm cache lets resumed/sharded runs
                         skip Stage A rasterization entirely
     --no-log-cache      never read or write .relog render-log artifacts
+    --relog-compress on|off
+                        write .relog artifacts LZSS-compressed (RELOG002;
+                        default: off). Replay reads both framings, so the
+                        flag can change between runs of one cache
     --no-group          render per cell instead of once per render key
     --metrics PATH      dump the process metrics registry (counters and
                         duration histograms) as versioned JSON on exit
@@ -529,6 +552,24 @@ mod tests {
         assert!(err.contains("contradicts"), "{err}");
         let err = parse_strs(&["--log-drr", "x"]).unwrap_err();
         assert!(err.contains("did you mean `--log-dir`?"), "{err}");
+    }
+
+    #[test]
+    fn parallel_render_and_compression_flags_parse() {
+        let r = run_args(&[]);
+        assert_eq!(r.opts.render_workers, 0, "default: match --workers");
+        assert!(!r.opts.relog_compress, "compression is opt-in");
+        let r = run_args(&["--render-workers", "4", "--relog-compress", "on"]);
+        assert_eq!(r.opts.render_workers, 4);
+        assert!(r.opts.relog_compress);
+        let r = run_args(&["--relog-compress", "off"]);
+        assert!(!r.opts.relog_compress);
+        let err = parse_strs(&["--render-workers", "many"]).unwrap_err();
+        assert!(err.contains("--render-workers"), "{err}");
+        let err = parse_strs(&["--relog-compress", "yes"]).unwrap_err();
+        assert!(err.contains("not `on` or `off`"), "{err}");
+        let err = parse_strs(&["--render-worker", "2"]).unwrap_err();
+        assert!(err.contains("did you mean `--render-workers`?"), "{err}");
     }
 
     #[test]

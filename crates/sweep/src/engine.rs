@@ -62,6 +62,18 @@ pub struct SweepOptions {
     /// (the default). Disable to rebuild Stage A per cell — only useful for
     /// baselining and for equivalence tests.
     pub group_renders: bool,
+    /// Worker threads a single Stage A render may spread its frames over
+    /// (chunked rendering + deterministic stitch — output is bit-identical
+    /// to a serial render at any setting; see [`render_key_log_parallel`]).
+    /// 0 means match the executor's worker count; 1 forces serial Stage A.
+    /// The executor divides this budget among concurrently running
+    /// renders, so a single-key plan uses every worker while a many-key
+    /// plan still parallelizes across keys first.
+    pub render_workers: usize,
+    /// Write `.relog` cache artifacts LZSS-compressed (`RELOG002`).
+    /// Smaller files, identical replay results; readers accept both
+    /// framings, so flipping this between runs is safe.
+    pub relog_compress: bool,
     /// Progress-event sink. `None` installs [`StderrObserver`] (or
     /// [`NullObserver`] when [`quiet`](Self::quiet) is set); `Some`
     /// overrides both.
@@ -76,6 +88,8 @@ impl std::fmt::Debug for SweepOptions {
             .field("log_dir", &self.log_dir)
             .field("quiet", &self.quiet)
             .field("group_renders", &self.group_renders)
+            .field("render_workers", &self.render_workers)
+            .field("relog_compress", &self.relog_compress)
             .field("observer", &self.observer.as_ref().map(|_| "<custom>"))
             .finish()
     }
@@ -89,6 +103,8 @@ impl Default for SweepOptions {
             log_dir: None,
             quiet: false,
             group_renders: true,
+            render_workers: 0,
+            relog_compress: false,
             observer: None,
         }
     }
@@ -111,6 +127,8 @@ impl SweepOptions {
             workers: self.workers,
             group_renders: self.group_renders,
             log_dir: self.log_dir.clone(),
+            render_workers: self.render_workers,
+            relog_compress: self.relog_compress,
             ..ThreadExecutor::default()
         }
     }
@@ -260,6 +278,111 @@ pub fn run_cell(trace: &Arc<Trace>, cell: &Cell) -> RunReport {
 pub fn render_key_log(trace: &Arc<Trace>, key: &RenderKey) -> RenderLog {
     let mut scene = SharedTraceScene::new(Arc::clone(trace), key.scene().to_string());
     render_scene(&mut scene, key.gpu_config(), key.frames())
+}
+
+/// Timing of one chunk of a frame-parallel Stage A render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkTiming {
+    /// Chunk index (0-based, frame order).
+    pub chunk: usize,
+    /// Frames the chunk rendered.
+    pub frames: usize,
+    /// Wall-clock time the chunk's render took.
+    pub duration: std::time::Duration,
+}
+
+/// A frame-parallel Stage A render: the stitched log plus per-chunk
+/// timings and the stitch cost, for events and metrics.
+#[derive(Debug)]
+pub struct ParallelRender {
+    /// The stitched log — bit-identical to [`render_key_log`]'s output.
+    pub log: RenderLog,
+    /// Per-chunk timings in chunk order (a single entry when the render
+    /// ran serially).
+    pub chunks: Vec<ChunkTiming>,
+    /// Time spent stitching chunk logs back together (zero for a serial
+    /// render).
+    pub stitch: std::time::Duration,
+}
+
+/// Runs Stage A for one render key across up to `render_workers` threads
+/// and returns a log **bit-identical** to [`render_key_log`]'s.
+///
+/// The key's frame range is split into contiguous chunks
+/// ([`re_core::chunk_ranges`]), each rendered by its own thread against a
+/// fresh [`SharedTraceScene`] view of the shared trace, then stitched back
+/// in frame order with color ids re-interned globally
+/// ([`re_core::stitch_chunks`]). When there are fewer chunks than workers
+/// (short renders), the leftover budget moves inside the frame: each chunk
+/// renderer splits its tile grid into that many bands
+/// ([`re_gpu::ParallelRaster`]). Both levels are exact — same pixels, same
+/// logs, same [`re_gpu::raster_invocations`] count — so callers may pick
+/// any budget, including per-run adaptive ones, without perturbing
+/// results.
+///
+/// A budget of 0 or 1 (or a 0/1-frame render) falls back to the serial
+/// path without spawning.
+pub fn render_key_log_parallel(
+    trace: &Arc<Trace>,
+    key: &RenderKey,
+    render_workers: usize,
+) -> ParallelRender {
+    let frames = key.frames();
+    let budget = render_workers.max(1);
+    let ranges = re_core::chunk_ranges(frames, budget);
+    if budget == 1 || ranges.len() <= 1 {
+        let sw = re_obs::Stopwatch::start();
+        let log = render_key_log(trace, key);
+        let duration = sw.elapsed();
+        return ParallelRender {
+            log,
+            chunks: vec![ChunkTiming {
+                chunk: 0,
+                frames,
+                duration,
+            }],
+            stitch: std::time::Duration::ZERO,
+        };
+    }
+    let bands = (budget / ranges.len()).max(1);
+    let parallel = (bands > 1).then_some(re_gpu::ParallelRaster { bands });
+    let config = key.gpu_config();
+    let rendered: Vec<(re_core::RenderChunk, std::time::Duration)> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let trace = Arc::clone(trace);
+                s.spawn(move || {
+                    let sw = re_obs::Stopwatch::start();
+                    let mut scene = SharedTraceScene::new(trace, key.scene().to_string());
+                    let chunk = re_core::render_chunk_with(&mut scene, config, range, parallel);
+                    (chunk, sw.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("render chunk thread panicked"))
+            .collect()
+    });
+    let mut chunks = Vec::with_capacity(rendered.len());
+    let mut parts = Vec::with_capacity(rendered.len());
+    for (i, (part, duration)) in rendered.into_iter().enumerate() {
+        chunks.push(ChunkTiming {
+            chunk: i,
+            frames: part.frames.len(),
+            duration,
+        });
+        parts.push(part);
+    }
+    let sw = re_obs::Stopwatch::start();
+    let log = re_core::stitch_chunks(key.scene().to_string(), config, parts);
+    let stitch = sw.elapsed();
+    ParallelRender {
+        log,
+        chunks,
+        stitch,
+    }
 }
 
 /// Runs a compiled plan in memory on the default [`ThreadExecutor`] and
@@ -466,6 +589,35 @@ mod tests {
         for (a, b) in grouped.iter().zip(&per_cell) {
             assert_eq!(a.cell, b.cell);
             assert_eq!(a.report, b.report, "cell {}", a.cell.id);
+        }
+    }
+
+    #[test]
+    fn parallel_render_key_log_matches_serial_at_every_budget() {
+        let grid = tiny_grid();
+        let plan = SweepPlan::compile(&grid);
+        let traces = capture_plan_traces(&plan, &quiet()).expect("capture");
+        for job in plan.render_jobs() {
+            let key = &job.key;
+            let trace = &traces[key.scene()];
+            let serial = render_key_log(trace, key);
+            // Budgets below, at, and above the frame count (3), including
+            // the degenerate 0/1 serial fallbacks.
+            for budget in [0, 1, 2, 3, 8] {
+                let par = render_key_log_parallel(trace, key, budget);
+                assert_eq!(
+                    par.log,
+                    serial,
+                    "{} ts{} budget {budget}",
+                    key.scene(),
+                    key.tile_size()
+                );
+                let chunk_frames: usize = par.chunks.iter().map(|c| c.frames).sum();
+                assert_eq!(chunk_frames, key.frames(), "chunks cover every frame");
+                if budget <= 1 {
+                    assert_eq!(par.chunks.len(), 1, "serial fallback is one chunk");
+                }
+            }
         }
     }
 

@@ -180,6 +180,25 @@ pub fn event_json(event: &SweepEvent<'_>, t_ms: u64) -> Json {
             push("frames", Json::Int(frames as i64));
             push("duration_ns", ns(duration));
         }
+        SweepEvent::RenderChunkDone {
+            scene,
+            tile_size,
+            worker,
+            chunk,
+            chunks,
+            frames,
+            duration,
+        } => {
+            push("type", Json::Str("render_chunk".into()));
+            push("t_ms", Json::Int(t_ms as i64));
+            push("scene", Json::Str(scene.into()));
+            push("tile_size", Json::Int(tile_size as i64));
+            push("worker", Json::Int(worker as i64));
+            push("chunk", Json::Int(chunk as i64));
+            push("chunks", Json::Int(chunks as i64));
+            push("frames", Json::Int(frames as i64));
+            push("duration_ns", ns(duration));
+        }
         SweepEvent::RenderLogReplay {
             scene,
             tile_size,
@@ -340,6 +359,25 @@ pub enum EventRecord {
         /// Stage A duration in nanoseconds.
         duration_ns: u64,
     },
+    /// Mirror of [`SweepEvent::RenderChunkDone`].
+    RenderChunk {
+        /// Timestamp.
+        t_ms: u64,
+        /// Workload alias of the render key.
+        scene: String,
+        /// Tile edge of the render key.
+        tile_size: u64,
+        /// Worker that owned the render job.
+        worker: u64,
+        /// Chunk index (0-based, frame order).
+        chunk: u64,
+        /// Chunks the render was split into.
+        chunks: u64,
+        /// Frames this chunk rendered.
+        frames: u64,
+        /// The chunk's render duration in nanoseconds.
+        duration_ns: u64,
+    },
     /// Mirror of [`SweepEvent::RenderLogReplay`].
     Replay {
         /// Timestamp.
@@ -488,6 +526,16 @@ impl EventRecord {
                 frames: num("frames")?,
                 duration_ns: num("duration_ns")?,
             },
+            "render_chunk" => EventRecord::RenderChunk {
+                t_ms,
+                scene: text("scene")?,
+                tile_size: num("tile_size")?,
+                worker: num("worker")?,
+                chunk: num("chunk")?,
+                chunks: num("chunks")?,
+                frames: num("frames")?,
+                duration_ns: num("duration_ns")?,
+            },
             "replay" => EventRecord::Replay {
                 t_ms,
                 scene: text("scene")?,
@@ -611,6 +659,15 @@ mod tests {
                 frames: 3,
                 duration: d,
             },
+            SweepEvent::RenderChunkDone {
+                scene: "ccs",
+                tile_size: 16,
+                worker: 1,
+                chunk: 0,
+                chunks: 4,
+                frames: 1,
+                duration: d,
+            },
             SweepEvent::RenderLogReplay {
                 scene: "ccs",
                 tile_size: 16,
@@ -667,7 +724,7 @@ mod tests {
             );
         }
         // Spot-check one payload end to end.
-        let json = event_json(&events[7], 9);
+        let json = event_json(&events[8], 9);
         let rec = EventRecord::from_json(&Json::parse(&json.to_string()).unwrap()).unwrap();
         assert_eq!(
             rec,

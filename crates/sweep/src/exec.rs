@@ -40,7 +40,7 @@ use re_obs::names;
 use re_obs::Stopwatch;
 use re_trace::Trace;
 
-use crate::engine::{render_key_log, run_cell, CellOutcome};
+use crate::engine::{render_key_log_parallel, run_cell, CellOutcome};
 use crate::grid::Cell;
 use crate::plan::{ShardSpec, SweepPlan};
 use crate::pool;
@@ -99,6 +99,27 @@ pub enum SweepEvent<'a> {
         /// Frames rendered.
         frames: usize,
         /// Stage A duration.
+        duration: Duration,
+    },
+    /// One chunk of a frame-parallel Stage A render finished. Emitted
+    /// after the whole render completes (one event per chunk, in chunk
+    /// order, right before the job's [`RenderDone`](Self::RenderDone)) —
+    /// the per-chunk durations are what `sweep profile` computes
+    /// parallel efficiency from. Serial renders emit none.
+    RenderChunkDone {
+        /// Workload alias of the render key.
+        scene: &'static str,
+        /// Tile edge of the render key.
+        tile_size: u32,
+        /// Worker that owned the render job.
+        worker: usize,
+        /// Chunk index (0-based, frame order).
+        chunk: usize,
+        /// Chunks the render was split into.
+        chunks: usize,
+        /// Frames this chunk rendered.
+        frames: usize,
+        /// The chunk's render duration.
         duration: Duration,
     },
     /// A render job is satisfied by a cached `.relog`: its cells replay
@@ -253,6 +274,21 @@ impl SweepObserver for StderrObserver {
             } => {
                 eprintln!(
                     "[sweep] rendered {scene} ts{tile_size} in {}",
+                    fmt_secs(duration)
+                );
+            }
+            SweepEvent::RenderChunkDone {
+                scene,
+                tile_size,
+                chunk,
+                chunks,
+                frames,
+                duration,
+                ..
+            } => {
+                eprintln!(
+                    "[sweep]   {scene} ts{tile_size} chunk {}/{chunks} ({frames} frames) in {}",
+                    chunk + 1,
                     fmt_secs(duration)
                 );
             }
@@ -471,6 +507,16 @@ pub struct ThreadExecutor {
     /// (`None` = don't write). Writes are best-effort: a full disk costs
     /// the cache entry, never the sweep.
     pub log_dir: Option<std::path::PathBuf>,
+    /// Threads one Stage A render may spread its frames over
+    /// ([`render_key_log_parallel`] — output stays bit-identical at any
+    /// setting). 0 means match the executor's worker count, 1 forces
+    /// serial Stage A. The budget is divided by the number of renders in
+    /// flight, so concurrent keys split the machine instead of
+    /// oversubscribing it.
+    pub render_workers: usize,
+    /// Persist `.relog` artifacts LZSS-compressed (`RELOG002`) instead of
+    /// stored (`RELOG001`). Replay reads both framings transparently.
+    pub relog_compress: bool,
     /// Interval of the [`SweepEvent::Progress`] heartbeat (`None` =
     /// disabled). A watchdog thread emits the event even while every
     /// worker is busy, plus one final tick as the execution ends.
@@ -483,6 +529,8 @@ impl Default for ThreadExecutor {
             workers: 0,
             group_renders: true,
             log_dir: None,
+            render_workers: 0,
+            relog_compress: false,
             heartbeat: Some(Duration::from_secs(10)),
         }
     }
@@ -598,13 +646,32 @@ impl Executor for ThreadExecutor {
             workers,
             shard: plan.shard_spec(),
         });
-        let log_cache = crate::artifacts::RenderLogCache::new(self.log_dir.clone());
+        let log_cache = crate::artifacts::RenderLogCache::new(self.log_dir.clone())
+            .with_compression(if self.relog_compress {
+                re_core::relog::Compression::Lzss
+            } else {
+                re_core::relog::Compression::None
+            });
         let render_hist = re_obs::metrics::histogram(names::STAGE_RENDER);
         let replay_hist = re_obs::metrics::histogram(names::STAGE_REPLAY);
         let relog_replays = re_obs::metrics::counter(names::RELOG_REPLAYS);
         let relog_saves = re_obs::metrics::counter(names::RELOG_SAVES);
         let bytes_read = re_obs::metrics::counter(names::ARTIFACT_BYTES_READ);
         let bytes_written = re_obs::metrics::counter(names::ARTIFACT_BYTES_WRITTEN);
+        let frame_chunks = re_obs::metrics::counter(names::RENDER_FRAME_CHUNKS);
+        let stitch_hist = re_obs::metrics::histogram(names::RENDER_STITCH_NS);
+        let compressed_bytes = re_obs::metrics::counter(names::RELOG_COMPRESSED_BYTES);
+        // Stage A parallelism budget, divided among renders in flight: a
+        // single hot key fans its frames over every render worker, while
+        // many concurrent keys parallelize across keys first. Any split is
+        // exact (stitching is chunking-invariant), so the adaptive budget
+        // never perturbs results.
+        let render_budget = if self.render_workers == 0 {
+            workers
+        } else {
+            self.render_workers
+        };
+        let active_renders = AtomicUsize::new(0);
 
         self.with_heartbeat(&progress, || {
             pool::run_indexed(jobs, workers, |worker, _i, job| {
@@ -683,10 +750,29 @@ impl Executor for ThreadExecutor {
                                     .expect("workload aliases in a plan are known"),
                                 ),
                             };
+                            let in_flight = active_renders.fetch_add(1, Ordering::AcqRel) + 1;
+                            let budget = (render_budget / in_flight).max(1);
                             let sw = Stopwatch::start();
-                            let log = Arc::new(render_key_log(&trace, key));
+                            let rendered = render_key_log_parallel(&trace, key, budget);
+                            active_renders.fetch_sub(1, Ordering::AcqRel);
                             let duration = sw.elapsed();
                             render_hist.record(duration);
+                            frame_chunks.add(rendered.chunks.len() as u64);
+                            stitch_hist.record(rendered.stitch);
+                            if rendered.chunks.len() > 1 {
+                                for t in &rendered.chunks {
+                                    observer.on_event(&SweepEvent::RenderChunkDone {
+                                        scene: key.scene(),
+                                        tile_size: key.tile_size(),
+                                        worker,
+                                        chunk: t.chunk,
+                                        chunks: rendered.chunks.len(),
+                                        frames: t.frames,
+                                        duration: t.duration,
+                                    });
+                                }
+                            }
+                            let log = Arc::new(rendered.log);
                             observer.on_event(&SweepEvent::RenderDone {
                                 scene: key.scene(),
                                 tile_size: key.tile_size(),
@@ -701,6 +787,9 @@ impl Executor for ThreadExecutor {
                                     let bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
                                     relog_saves.incr();
                                     bytes_written.add(bytes);
+                                    if self.relog_compress {
+                                        compressed_bytes.add(bytes);
+                                    }
                                     observer.on_event(&SweepEvent::RenderLogSaved {
                                         scene: key.scene(),
                                         tile_size: key.tile_size(),
@@ -788,6 +877,12 @@ mod tests {
                 }
                 SweepEvent::RenderStart { scene, .. } => format!("render:{scene}"),
                 SweepEvent::RenderDone { scene, .. } => format!("rendered:{scene}"),
+                SweepEvent::RenderChunkDone {
+                    scene,
+                    chunk,
+                    chunks,
+                    ..
+                } => format!("chunk:{scene}:{chunk}/{chunks}"),
                 SweepEvent::RenderLogReplay { scene, .. } => format!("replay:{scene}"),
                 SweepEvent::RenderLogSaved { scene, .. } => format!("logsaved:{scene}"),
                 SweepEvent::EvalDone { cell, replayed, .. } => {
@@ -880,6 +975,48 @@ mod tests {
             !events.iter().any(|e| e.starts_with("progress:")),
             "{events:?}"
         );
+    }
+
+    #[test]
+    fn frame_parallel_stage_a_emits_chunk_events_and_matches_serial() {
+        let mut grid = tiny_grid();
+        grid.frames = 6;
+        let plan = SweepPlan::compile(&grid);
+        let opts = SweepOptions {
+            quiet: true,
+            ..SweepOptions::default()
+        };
+        let traces = capture_traces(&grid, &opts).expect("capture");
+        let run = |render_workers| {
+            let recorder = Recorder::default();
+            let outcomes = ThreadExecutor {
+                workers: 2,
+                render_workers,
+                ..ThreadExecutor::default()
+            }
+            .execute(&plan, &traces, &recorder, &|_, _| {});
+            (outcomes, recorder.0.into_inner().unwrap())
+        };
+        let (serial, serial_events) = run(1);
+        let (parallel, parallel_events) = run(4);
+        // Serial Stage A emits no chunk events; the 4-way render splits its
+        // single key's 6 frames into 4 chunks, announced before RenderDone.
+        assert!(
+            !serial_events.iter().any(|e| e.starts_with("chunk:")),
+            "{serial_events:?}"
+        );
+        for chunk in 0..4 {
+            assert!(
+                parallel_events.contains(&format!("chunk:ccs:{chunk}/4")),
+                "{parallel_events:?}"
+            );
+        }
+        // Outcomes are bit-identical regardless of the render budget.
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.report, b.report, "cell {}", a.cell.id);
+        }
     }
 
     #[test]

@@ -72,6 +72,27 @@ pub struct RenderKeyProfile {
     pub replays: u64,
     /// Live render time in nanoseconds.
     pub render_ns: u64,
+    /// Frame chunks recorded by parallel Stage A renders of this key
+    /// (0 when every render ran serially — serial renders emit no
+    /// `render_chunk` events).
+    pub chunks: u64,
+    /// Total busy time across those chunks, in nanoseconds.
+    pub chunk_busy_ns: u64,
+}
+
+impl RenderKeyProfile {
+    /// Parallel efficiency of this key's frame-parallel renders, as a
+    /// percentage: chunk busy time over (mean chunk fan-out × wall render
+    /// time). 100% means the chunk threads were busy for the render's
+    /// whole duration; lower values mean stragglers or stitch overhead.
+    /// `None` when no render of this key was chunked.
+    pub fn parallel_efficiency_pct(&self) -> Option<f64> {
+        if self.chunks == 0 || self.renders == 0 || self.render_ns == 0 {
+            return None;
+        }
+        let mean_fanout = self.chunks as f64 / self.renders as f64;
+        Some(self.chunk_busy_ns as f64 * 100.0 / (mean_fanout * self.render_ns as f64))
+    }
 }
 
 /// Busy time attributed to one worker thread.
@@ -125,6 +146,16 @@ impl Profile {
                     let w = workers.entry(*worker).or_default();
                     w.renders += 1;
                     w.busy_ns += duration_ns;
+                }
+                EventRecord::RenderChunk {
+                    scene,
+                    tile_size,
+                    duration_ns,
+                    ..
+                } => {
+                    let k = keys.entry((scene.clone(), *tile_size)).or_default();
+                    k.chunks += 1;
+                    k.chunk_busy_ns += duration_ns;
                 }
                 EventRecord::Replay {
                     scene,
@@ -249,9 +280,13 @@ impl Profile {
             out.push('\n');
             let _ = writeln!(out, "render keys:");
             for k in &self.render_keys {
+                let par = match k.parallel_efficiency_pct() {
+                    Some(pct) => format!(", {} chunks, {pct:.0}% par-eff", k.chunks),
+                    None => String::new(),
+                };
                 let _ = writeln!(
                     out,
-                    "  {:<12} ts{:<5} {:>10} render  ({} rendered, {} replayed)",
+                    "  {:<12} ts{:<5} {:>10} render  ({} rendered, {} replayed{par})",
                     k.scene,
                     k.tile_size,
                     secs(k.render_ns),
@@ -362,6 +397,47 @@ mod tests {
         assert_eq!(p.render_keys[0].tile_size, 16);
         assert_eq!(p.workers.len(), 2);
         assert_eq!(p.workers[0].busy_ns, 500 + 200 + 10);
+    }
+
+    #[test]
+    fn parallel_renders_report_chunks_and_efficiency() {
+        let chunk = |chunk, duration_ns| EventRecord::RenderChunk {
+            t_ms: 0,
+            scene: "ccs".into(),
+            tile_size: 16,
+            worker: 0,
+            chunk,
+            chunks: 2,
+            frames: 2,
+            duration_ns,
+        };
+        let events = vec![
+            chunk(0, 400),
+            chunk(1, 300),
+            EventRecord::RenderDone {
+                t_ms: 1,
+                scene: "ccs".into(),
+                tile_size: 16,
+                worker: 0,
+                frames: 4,
+                duration_ns: 500,
+            },
+        ];
+        let p = Profile::from_events(&events);
+        let k = &p.render_keys[0];
+        assert_eq!((k.chunks, k.chunk_busy_ns), (2, 700));
+        // 700 ns busy over 2 chunks × 500 ns wall = 70%.
+        let eff = k.parallel_efficiency_pct().expect("chunked render");
+        assert!((eff - 70.0).abs() < 1e-9, "{eff}");
+        let text = p.render();
+        assert!(text.contains("2 chunks, 70% par-eff"), "{text}");
+        // Serial keys stay unchanged.
+        let serial = RenderKeyProfile {
+            renders: 1,
+            render_ns: 500,
+            ..RenderKeyProfile::default()
+        };
+        assert_eq!(serial.parallel_efficiency_pct(), None);
     }
 
     #[test]
