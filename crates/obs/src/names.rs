@@ -71,3 +71,31 @@ pub const STAGE_EVAL: &str = "sweep.stage.eval";
 
 /// Histogram: per-cell store-commit duration (the `on_done` hook).
 pub const STAGE_STORE: &str = "sweep.stage.store_write";
+
+/// Counter: grid submissions accepted by the `sweep serve` daemon.
+pub const SERVE_SUBMISSIONS: &str = "serve.submissions";
+
+/// Counter: daemon jobs run to completion (success or failure). The
+/// daemon's queue depth at any instant is
+/// [`SERVE_SUBMISSIONS`]` - `[`SERVE_JOBS_DONE`]` - running`; the
+/// `metrics` verb reports the live depth directly.
+pub const SERVE_JOBS_DONE: &str = "serve.jobs_done";
+
+/// Counter: render jobs a daemon submission found already satisfied by a
+/// cached `.relog` artifact at compile time (Stage A skipped entirely).
+pub const SERVE_DEDUP_CACHED: &str = "serve.dedup.cached_jobs";
+
+/// Counter: render jobs that piggybacked on a render already in flight
+/// for another submission ([`InFlightRenders`] follower waits) instead of
+/// rasterizing the key again.
+///
+/// [`InFlightRenders`]: ../../re_sweep/exec/struct.InFlightRenders.html
+pub const SERVE_DEDUP_INFLIGHT: &str = "serve.dedup.inflight_hits";
+
+/// Counter: client connections the daemon accepted.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+
+/// Counter: protocol frames the daemon rejected as malformed (oversized
+/// lines, bad JSON, unknown verbs) — each one produced a structured error
+/// response, never a crash.
+pub const SERVE_BAD_FRAMES: &str = "serve.bad_frames";

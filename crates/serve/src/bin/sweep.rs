@@ -8,6 +8,8 @@
 //! sweep report [--store DIR] digest a store into comparison/marginal tables
 //! sweep profile [--store DIR] timing profile from a store's events.jsonl
 //! sweep axes                 print every registered axis (living docs)
+//! sweep serve --addr A       long-running daemon: submit grids over TCP
+//! sweep client --addr A ...  talk to a daemon (submit/status/watch/csv/...)
 //! ```
 //!
 //! All parsing lives in `re_sweep::cli`, generated from the axis registry
@@ -30,13 +32,26 @@
 //! `sweep profile` digests into stage breakdowns and cache-hit rates, and
 //! `--metrics PATH` dumps the process metrics registry (counters and
 //! duration histograms) as versioned JSON on exit.
+//!
+//! Lifecycle: `sweep run` and `sweep serve` handle SIGINT/SIGTERM
+//! gracefully — the store keeps every committed cell, the run log gets a
+//! `run_end` trailer, `--metrics` still dumps, and a daemon drains its
+//! queue before exiting. Re-running the same `--out` resumes.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use re_sweep::cli::{self, Command, RunArgs};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // The daemon verbs live in re_serve; everything else in re_sweep::cli.
+    match argv.first().map(String::as_str) {
+        Some("serve") => return run_serve(&argv[1..]),
+        Some("client") => return re_serve::client::main(&argv[1..]),
+        _ => {}
+    }
     match cli::parse(&argv) {
         Ok(Command::Help) => {
             print!("{}", cli::usage());
@@ -53,6 +68,61 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("sweep: {e}");
             ExitCode::from(2)
+        }
+    }
+}
+
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut config = re_serve::ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parsed = match a.as_str() {
+            "--addr" => value("--addr").map(|v| config.addr = v),
+            "--root" => value("--root").map(|v| config.root = v.into()),
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| config.workers = n)
+                    .map_err(|_| format!("--workers: `{v}` is not a number"))
+            }),
+            "--prefetch" => value("--prefetch").and_then(|v| {
+                v.parse()
+                    .map(|n| config.prefetch = n)
+                    .map_err(|_| format!("--prefetch: `{v}` is not a number"))
+            }),
+            other => Err(format!("serve: unknown flag `{other}`")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("sweep serve: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let daemon = match re_serve::Daemon::bind(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sweep serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match daemon.local_addr() {
+        Ok(addr) => eprintln!("[sweep serve] listening on {addr}"),
+        Err(e) => eprintln!("[sweep serve] listening (addr unknown: {e})"),
+    }
+    // SIGINT/SIGTERM turn into a graceful drain: queued jobs finish,
+    // stores and run logs flush, metrics.json is written.
+    match daemon.run(Some(re_serve::sig::install())) {
+        Ok(()) => {
+            eprintln!("[sweep serve] drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep serve: {e}");
+            ExitCode::FAILURE
         }
     }
 }
@@ -149,15 +219,18 @@ fn run_sweep(mut args: RunArgs) -> ExitCode {
     // Tee every sweep event into the append-only run log beside the
     // store. Losing the log (unwritable directory, full disk) must not
     // lose the run, so failure only warns.
+    let mut jsonl: Option<Arc<re_sweep::JsonlObserver>> = None;
     if args.store && args.events {
         let log_path = args.out.join(re_sweep::EVENTS_FILE);
         match re_sweep::JsonlObserver::append(&log_path, args.shard) {
-            Ok(jsonl) => {
+            Ok(observer) => {
+                let observer = Arc::new(observer);
                 let base = args.opts.effective_observer();
-                args.opts.observer = Some(std::sync::Arc::new(re_sweep::MultiObserver::new(vec![
+                args.opts.observer = Some(Arc::new(re_sweep::MultiObserver::new(vec![
                     base,
-                    std::sync::Arc::new(jsonl),
+                    Arc::clone(&observer) as _,
                 ])));
+                jsonl = Some(observer);
             }
             Err(e) => eprintln!(
                 "[sweep] warning: cannot write run log {}: {e} (continuing without)",
@@ -166,6 +239,35 @@ fn run_sweep(mut args: RunArgs) -> ExitCode {
         }
     }
 
+    // Graceful SIGINT/SIGTERM: the store keeps every committed cell (the
+    // run resumes with the same --out), the run log gets its `run_end`
+    // trailer, and --metrics still dumps. A monitor thread does the
+    // stateful work the signal handler itself cannot.
+    let finished = Arc::new(AtomicBool::new(false));
+    {
+        let stop = re_serve::sig::install();
+        let finished = Arc::clone(&finished);
+        let jsonl = jsonl.clone();
+        let metrics = args.metrics.clone();
+        std::thread::spawn(move || loop {
+            if finished.load(Ordering::Acquire) {
+                return;
+            }
+            if stop.load(Ordering::Acquire) {
+                if let Some(observer) = &jsonl {
+                    let _ = observer.finish("signal");
+                }
+                if let Some(path) = &metrics {
+                    dump_metrics(path);
+                }
+                eprintln!("[sweep] interrupted — store flushed; resume with the same --out");
+                std::process::exit(130);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+
+    let mut run_ok = true;
     let code = if args.store {
         match re_sweep::run_plan_with_store(&plan, &args.opts, &args.out) {
             Ok(summary) => {
@@ -192,6 +294,7 @@ fn run_sweep(mut args: RunArgs) -> ExitCode {
                 ExitCode::SUCCESS
             }
             Err(e) => {
+                run_ok = false;
                 eprintln!("sweep: {e}");
                 ExitCode::FAILURE
             }
@@ -211,11 +314,18 @@ fn run_sweep(mut args: RunArgs) -> ExitCode {
                 ExitCode::SUCCESS
             }
             Err(e) => {
+                run_ok = false;
                 eprintln!("sweep: {e}");
                 ExitCode::FAILURE
             }
         }
     };
+
+    // Disarm the signal monitor, then seal the run log.
+    finished.store(true, Ordering::Release);
+    if let Some(observer) = &jsonl {
+        let _ = observer.finish(if run_ok { "complete" } else { "error" });
+    }
 
     if let Some(path) = &args.metrics {
         dump_metrics(path);

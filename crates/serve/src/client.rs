@@ -1,0 +1,239 @@
+//! The daemon client: `sweep client --addr HOST:PORT <verb> …`.
+//!
+//! A thin cover over the wire protocol (see [`crate::proto`]): each verb
+//! sends one request frame and prints the response. `submit` reuses the
+//! `sweep run` flag grammar — everything `re_sweep::cli` accepts for a
+//! one-shot run describes the grid here — and `--wait` blocks until the
+//! daemon finishes the job, exiting nonzero if it failed.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use re_sweep::json::Json;
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends `request` and reads the single response frame.
+    ///
+    /// # Errors
+    /// I/O failures, a closed connection, or an unparsable frame.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &request.to_json())?;
+        self.read_response()
+    }
+
+    /// Reads the next response frame (for `watch` streams).
+    ///
+    /// # Errors
+    /// I/O failures, a closed connection, or an unparsable frame.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let line = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+        })?;
+        Response::parse_line(&line)
+            .map(Ok)
+            .unwrap_or_else(|e| Err(io::Error::new(io::ErrorKind::InvalidData, e)))
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("sweep client: {msg}");
+    ExitCode::from(2)
+}
+
+/// Runs the `sweep client` subcommand. `args` is everything after the
+/// literal `client`.
+pub fn main(args: &[String]) -> ExitCode {
+    let mut addr = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--addr" {
+            match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return fail("--addr needs a value"),
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let Some(addr) = addr else {
+        return fail("missing --addr HOST:PORT (where is the daemon?)");
+    };
+    let Some((verb, verb_args)) = rest.split_first() else {
+        return fail(
+            "missing verb: submit | status | watch | report | csv | metrics | ping | shutdown",
+        );
+    };
+
+    let job_arg = || -> Result<u64, String> {
+        match verb_args {
+            [flag, n] if flag == "--job" => n
+                .parse()
+                .map_err(|_| format!("--job: `{n}` is not a job id")),
+            _ => Err(format!("{verb} needs exactly `--job N`")),
+        }
+    };
+
+    match verb.as_str() {
+        "submit" => submit(&addr, verb_args),
+        "watch" => match job_arg() {
+            Ok(job) => watch(&addr, job),
+            Err(e) => fail(&e),
+        },
+        "status" | "report" | "csv" => {
+            let job = match job_arg() {
+                Ok(j) => j,
+                Err(e) => return fail(&e),
+            };
+            let request = match verb.as_str() {
+                "status" => Request::Status { job },
+                "report" => Request::Report { job },
+                _ => Request::Csv { job },
+            };
+            one_shot(&addr, &request)
+        }
+        "metrics" => one_shot(&addr, &Request::Metrics),
+        "ping" => one_shot(&addr, &Request::Ping),
+        "shutdown" => one_shot(&addr, &Request::Shutdown),
+        other => fail(&format!("unknown verb `{other}`")),
+    }
+}
+
+/// Sends one request; prints string payloads raw (so `csv`/`report`
+/// pipe cleanly) and everything else as the JSON payload object.
+fn one_shot(addr: &str, request: &Request) -> ExitCode {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("connect {addr}: {e}")),
+    };
+    match client.request(request) {
+        Ok(Response::Ok(fields)) => {
+            match fields.as_slice() {
+                // A single string payload (csv, report) prints verbatim.
+                [(_, Json::Str(s))] => print!("{s}"),
+                _ => println!("{}", Json::Obj(fields.to_vec())),
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Err(e)) => fail(&e),
+        Err(e) => fail(&format!("{}: {e}", request.verb())),
+    }
+}
+
+fn watch(addr: &str, job: u64) -> ExitCode {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("connect {addr}: {e}")),
+    };
+    if let Err(e) = write_frame(&mut client.writer, &Request::Watch { job }.to_json()) {
+        return fail(&format!("watch: {e}"));
+    }
+    loop {
+        match client.read_response() {
+            Ok(Response::Ok(fields)) => {
+                if fields.iter().any(|(k, _)| k == "done") {
+                    return ExitCode::SUCCESS;
+                }
+                if let Some((_, event)) = fields.iter().find(|(k, _)| k == "event") {
+                    println!("{event}");
+                }
+            }
+            Ok(Response::Err(e)) => return fail(&e),
+            Err(e) => return fail(&format!("watch: {e}")),
+        }
+    }
+}
+
+fn submit(addr: &str, args: &[String]) -> ExitCode {
+    let wait = args.iter().any(|a| a == "--wait");
+    let run_flags: Vec<String> = args.iter().filter(|a| *a != "--wait").cloned().collect();
+    // The submission grid speaks the exact `sweep run` flag grammar.
+    let grid = match re_sweep::cli::parse(&run_flags) {
+        Ok(re_sweep::cli::Command::Run(run)) => run.grid,
+        Ok(_) => return fail("submit takes run flags (axis lists, --frames, …), not a subcommand"),
+        Err(e) => return fail(&format!("submit: {e}")),
+    };
+
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("connect {addr}: {e}")),
+    };
+    let response = match client.request(&Request::Submit {
+        grid: Box::new(grid),
+    }) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("submit: {e}")),
+    };
+    let job = match &response {
+        Response::Ok(_) => match response.field("job").and_then(Json::as_u64) {
+            Some(j) => j,
+            None => return fail("daemon accepted the job but sent no id"),
+        },
+        Response::Err(e) => return fail(e),
+    };
+    let cached = response
+        .field("cached_jobs")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let renders = response
+        .field("render_jobs")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    eprintln!(
+        "[sweep client] submitted job {job} ({renders} render jobs, {cached} already cached)"
+    );
+    if !wait {
+        println!("{job}");
+        return ExitCode::SUCCESS;
+    }
+
+    // Poll until the daemon finishes the job.
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let status = match client.request(&Request::Status { job }) {
+            Ok(Response::Ok(fields)) => Response::Ok(fields),
+            Ok(Response::Err(e)) => return fail(&e),
+            Err(e) => return fail(&format!("status: {e}")),
+        };
+        match status.field("state").and_then(Json::as_str) {
+            Some("done") => {
+                let rasters = status.field("rasters").and_then(Json::as_u64).unwrap_or(0);
+                // The daemon-side analog of the one-shot CLI's raster
+                // line (CI greps for it to pin warm-cache dedup).
+                eprintln!("[sweep client] job {job} raster invocations: {rasters}");
+                println!("{job}");
+                return ExitCode::SUCCESS;
+            }
+            Some("failed") => {
+                let why = status
+                    .field("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error");
+                return fail(&format!("job {job} failed: {why}"));
+            }
+            _ => {}
+        }
+    }
+}

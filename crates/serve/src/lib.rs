@@ -1,0 +1,37 @@
+//! The sweep daemon: a long-running process that serves experiment-grid
+//! submissions over a local TCP socket, amortizing the `.retrace`/`.relog`
+//! artifact caches — and renders currently in flight — across requests.
+//!
+//! The one-shot `sweep run` pays its Stage A cost every invocation unless
+//! a warm `--log-dir` happens to cover it. `sweep serve` keeps that
+//! warmth in a live process: every submission compiles to a
+//! [`re_sweep::SweepPlan`], dedups its render jobs against the shared
+//! disk cache **and** against renders other queued submissions are
+//! performing right now ([`re_sweep::InFlightRenders`]), and executes on
+//! the [`re_sweep::AsyncExecutor`], which overlaps `.relog` replay reads
+//! with evaluation. A re-submitted grid costs only Stage B and performs
+//! zero raster invocations.
+//!
+//! * [`proto`] — the line-delimited JSON wire protocol (versioned,
+//!   hostile-input hardened; schema in `docs/SERVING.md`);
+//! * [`daemon`] — the server: job queue, serial job runner, per-job
+//!   stores under one root, graceful drain;
+//! * [`client`] — the `sweep client` verbs (`submit`, `status`, `watch`,
+//!   `report`, `csv`, `metrics`, `ping`, `shutdown`);
+//! * [`sig`] — SIGINT/SIGTERM to a clean flush, shared with `sweep run`.
+//!
+//! The `sweep` binary itself lives in this crate (`src/bin/sweep.rs`):
+//! the one-shot verbs delegate to `re_sweep::cli`, plus `serve` and
+//! `client` from here.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod proto;
+pub mod sig;
+
+pub use client::Client;
+pub use daemon::{Daemon, ServeConfig};
+pub use proto::{Request, Response, MAX_LINE, PROTO_VERSION};

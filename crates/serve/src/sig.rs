@@ -1,0 +1,56 @@
+//! Minimal SIGINT/SIGTERM handling: a handler that sets a process-global
+//! flag, installed through the raw `signal(2)` libc symbol so the
+//! workspace stays dependency-free.
+//!
+//! The handler does the only thing that is async-signal-safe here —
+//! store to an atomic — and everything stateful (flushing the run log
+//! trailer, dumping metrics, draining the daemon queue) happens on
+//! ordinary threads that poll [`requested`] or the [`install`]ed flag.
+//! A second signal while the graceful path runs falls back to the
+//! default disposition, so a stuck shutdown can still be interrupted.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[allow(unsafe_code)]
+mod raw {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::REQUESTED.store(true, Ordering::Release);
+        // Restore the default disposition: a repeated ^C kills a shutdown
+        // that is itself wedged.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+            signal(SIGTERM, SIG_DFL);
+        }
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent) and returns the
+/// "shutdown requested" flag it sets.
+pub fn install() -> &'static AtomicBool {
+    raw::install();
+    &REQUESTED
+}
+
+/// Whether a SIGINT/SIGTERM has been received.
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Acquire)
+}

@@ -1,0 +1,198 @@
+//! Wire-protocol properties: every frame the codec emits parses back to
+//! the same value, and hostile input — garbage bytes, truncated JSON,
+//! unknown verbs, oversized lines — produces a structured error, never a
+//! panic.
+
+use std::io::{BufReader, Cursor};
+
+use proptest::prelude::*;
+use re_serve::proto::{grid_from_json, grid_to_json, read_frame, write_frame};
+use re_serve::{Request, Response, MAX_LINE};
+use re_sweep::axis::{self, AXES};
+use re_sweep::json::Json;
+use re_sweep::ExperimentGrid;
+
+/// A uniform in-domain raw value for `axis` from a random seed (mirrors
+/// the sampler in `re_sweep`'s axis round-trip suite).
+fn sample(a: axis::AxisId, seed: u64) -> u64 {
+    if let Some(domain) = AXES[a].domain_values() {
+        return domain[seed as usize % domain.len()];
+    }
+    let raw = match a {
+        axis::TILE_SIZE => 1 + seed % 64,
+        axis::SIG_BITS => 1 + seed % 32,
+        axis::COMPARE_DISTANCE => 1 + seed % 8,
+        axis::REFRESH_PERIOD => seed % 16,
+        axis::OT_DEPTH => 1 + seed % 64,
+        axis::L2_KB => 1 + seed % 4096,
+        axis::SIG_COMPARE_CYCLES => seed % 64,
+        axis::MEMO_KB => 1 + seed % 256,
+        _ => panic!("new numeric axis `{}` needs a sampler row", AXES[a].name),
+    };
+    assert!(
+        AXES[a].is_valid(raw),
+        "sampler produced out-of-domain value"
+    );
+    raw
+}
+
+/// Round-trips a request through its wire line.
+fn round_trip(request: &Request) -> Request {
+    let line = request.to_json().to_string();
+    Request::parse_line(&line).expect("emitted frame must parse")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A grid with one random non-default axis survives
+    /// submit → wire → parse bit-exactly (same fingerprint, same cells).
+    #[test]
+    fn submit_frames_round_trip(
+        a in 0usize..re_sweep::AXIS_COUNT,
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+        frames in 1usize..6,
+    ) {
+        let (v1, v2) = (sample(a, s1), sample(a, s2));
+        prop_assume!(v1 != v2);
+        let mut grid = ExperimentGrid::default().with_scenes(&["ccs", "hop"]);
+        grid.frames = frames;
+        grid.set_axis(a, vec![v1, v2]).unwrap();
+
+        let back = match round_trip(&Request::Submit { grid: Box::new(grid.clone()) }) {
+            Request::Submit { grid } => *grid,
+            other => panic!("wrong verb: {other:?}"),
+        };
+        prop_assert_eq!(&back, &grid);
+        prop_assert_eq!(back.fingerprint(), grid.fingerprint());
+
+        // The standalone grid codec agrees with the framed one.
+        let again = grid_from_json(&grid_to_json(&grid)).unwrap();
+        prop_assert_eq!(&again, &grid);
+    }
+
+    /// Job-addressed verbs carry their id through the wire unchanged.
+    #[test]
+    fn job_verbs_round_trip(seed in any::<u64>()) {
+        // Halve the seed: ids travel as i64, so stay inside its range.
+        let job = seed >> 1;
+        for request in [
+            Request::Status { job },
+            Request::Watch { job },
+            Request::Report { job },
+            Request::Csv { job },
+        ] {
+            prop_assert_eq!(round_trip(&request), request);
+        }
+    }
+
+    /// Payload-free verbs round-trip too.
+    #[test]
+    fn bare_verbs_round_trip(which in 0usize..3) {
+        let request = [Request::Ping, Request::Metrics, Request::Shutdown][which].clone();
+        prop_assert_eq!(round_trip(&request), request);
+    }
+
+    /// Ok responses keep every payload field in order; error responses
+    /// keep their message.
+    #[test]
+    fn responses_round_trip(n in any::<i64>(), s in any::<u64>(), b in any::<bool>()) {
+        let ok = Response::Ok(vec![
+            ("count".to_string(), Json::Int(n)),
+            ("name".to_string(), Json::Str(format!("job-{s}"))),
+            ("flag".to_string(), Json::Bool(b)),
+        ]);
+        let line = ok.to_json().to_string();
+        prop_assert_eq!(Response::parse_line(&line).unwrap(), ok);
+
+        let err = Response::Err(format!("no such job {s}"));
+        let line = err.to_json().to_string();
+        prop_assert_eq!(Response::parse_line(&line).unwrap(), err);
+    }
+
+    /// Arbitrary bytes never panic the request parser: anything that is
+    /// not a well-formed frame comes back as `Err(reason)`.
+    #[test]
+    fn hostile_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = Request::parse_line(&line);
+        let _ = Response::parse_line(&line);
+    }
+}
+
+#[test]
+fn malformed_frames_are_structured_errors() {
+    let cases = [
+        ("", "empty line"),
+        ("not json at all", "garbage"),
+        ("{\"verb\":", "truncated JSON"),
+        ("[1,2,3]", "non-object frame"),
+        ("{\"noverb\":true}", "missing verb"),
+        ("{\"verb\":\"frobnicate\"}", "unknown verb"),
+        ("{\"verb\":\"status\"}", "missing job id"),
+        ("{\"verb\":\"status\",\"job\":\"x\"}", "mistyped job id"),
+        ("{\"verb\":\"status\",\"job\":-3}", "negative job id"),
+        ("{\"verb\":\"submit\"}", "missing grid"),
+        ("{\"verb\":\"submit\",\"grid\":7}", "mistyped grid"),
+        (
+            "{\"verb\":\"submit\",\"grid\":{\"frames\":0,\"width\":1,\"height\":1,\"axes\":{}}}",
+            "zero frames",
+        ),
+        (
+            "{\"verb\":\"submit\",\"grid\":{\"frames\":1,\"width\":1,\"height\":1,\
+             \"axes\":{\"no_such_axis\":\"1\"}}}",
+            "unknown axis",
+        ),
+        (
+            "{\"verb\":\"submit\",\"grid\":{\"frames\":1,\"width\":1,\"height\":1,\
+             \"axes\":{\"tile_size\":\"0\"}}}",
+            "out-of-domain axis value",
+        ),
+    ];
+    for (line, what) in cases {
+        assert!(
+            Request::parse_line(line).is_err(),
+            "{what} must be rejected: {line:?}"
+        );
+    }
+}
+
+#[test]
+fn read_frame_splits_lines_and_reports_torn_tails() {
+    let mut src = BufReader::new(Cursor::new(b"{\"a\":1}\n{\"b\":2}\ntorn".to_vec()));
+    assert_eq!(
+        read_frame(&mut src).unwrap().as_deref(),
+        Some("{\"a\":1}\n")
+    );
+    assert_eq!(
+        read_frame(&mut src).unwrap().as_deref(),
+        Some("{\"b\":2}\n")
+    );
+    // A torn tail still surfaces (the parser then rejects it)…
+    assert_eq!(read_frame(&mut src).unwrap().as_deref(), Some("torn"));
+    // …and a clean EOF is None.
+    assert_eq!(read_frame(&mut src).unwrap(), None);
+}
+
+#[test]
+fn read_frame_rejects_oversized_lines_without_buffering_them() {
+    let mut big = vec![b'a'; MAX_LINE + 10];
+    big.push(b'\n');
+    let mut src = BufReader::new(Cursor::new(big));
+    let err = read_frame(&mut src).expect_err("oversized line must error");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn write_then_read_frame_round_trips() {
+    let mut wire = Vec::new();
+    let frame = Request::Ping.to_json();
+    write_frame(&mut wire, &frame).unwrap();
+    write_frame(&mut wire, &Request::Shutdown.to_json()).unwrap();
+    let mut src = BufReader::new(Cursor::new(wire));
+    let line = read_frame(&mut src).unwrap().unwrap();
+    assert_eq!(Request::parse_line(&line).unwrap(), Request::Ping);
+    let line = read_frame(&mut src).unwrap().unwrap();
+    assert_eq!(Request::parse_line(&line).unwrap(), Request::Shutdown);
+}

@@ -313,6 +313,8 @@ USAGE:
     sweep profile [--store DIR]
     sweep merge <out> <in>...
     sweep axes
+    sweep serve [--addr HOST:PORT] [--root DIR]
+    sweep client --addr HOST:PORT <verb> [ARGS]
 
 OPTIONS:
     --out DIR           result-store directory (default: sweep-out; resumable)
@@ -391,6 +393,16 @@ MERGE:
 AXES:
     sweep axes          print every registered axis: flag, class, domain,
                         default (generated from the axis registry)
+
+SERVE:
+    sweep serve [--addr HOST:PORT] [--root DIR] [--workers N] [--prefetch N]
+                        long-running daemon: accepts grid submissions over
+                        TCP, shares the artifact caches and in-flight
+                        renders across jobs (docs/SERVING.md)
+    sweep client --addr HOST:PORT <verb>
+                        talk to a daemon; verbs: submit (takes run flags,
+                        plus --wait), status/watch/report/csv (--job N),
+                        metrics, ping, shutdown
 ",
     );
     out

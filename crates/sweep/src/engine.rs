@@ -78,6 +78,13 @@ pub struct SweepOptions {
     /// [`NullObserver`] when [`quiet`](Self::quiet) is set); `Some`
     /// overrides both.
     pub observer: Option<Arc<dyn SweepObserver>>,
+    /// Executor override. `None` (the default) builds a
+    /// [`ThreadExecutor`] from the fields above; `Some` runs the plan
+    /// through the given executor instead — how the `sweep serve` daemon
+    /// installs its [`AsyncExecutor`](crate::exec::AsyncExecutor) with a
+    /// shared in-flight render registry. An override is used as-is: the
+    /// worker/grouping fields above do not reconfigure it.
+    pub executor: Option<Arc<dyn Executor + Send + Sync>>,
 }
 
 impl std::fmt::Debug for SweepOptions {
@@ -91,6 +98,7 @@ impl std::fmt::Debug for SweepOptions {
             .field("render_workers", &self.render_workers)
             .field("relog_compress", &self.relog_compress)
             .field("observer", &self.observer.as_ref().map(|_| "<custom>"))
+            .field("executor", &self.executor.as_ref().map(|_| "<custom>"))
             .finish()
     }
 }
@@ -106,6 +114,7 @@ impl Default for SweepOptions {
             render_workers: 0,
             relog_compress: false,
             observer: None,
+            executor: None,
         }
     }
 }
@@ -121,16 +130,20 @@ impl SweepOptions {
         }
     }
 
-    /// The default executor these options describe.
-    fn executor(&self) -> ThreadExecutor {
-        ThreadExecutor {
+    /// The executor these options describe: the installed override, else
+    /// a [`ThreadExecutor`] built from the fields.
+    fn executor(&self) -> Arc<dyn Executor + Send + Sync> {
+        if let Some(e) = &self.executor {
+            return Arc::clone(e);
+        }
+        Arc::new(ThreadExecutor {
             workers: self.workers,
             group_renders: self.group_renders,
             log_dir: self.log_dir.clone(),
             render_workers: self.render_workers,
             relog_compress: self.relog_compress,
             ..ThreadExecutor::default()
-        }
+        })
     }
 
     /// The plan with every render job a cached `.relog` covers marked

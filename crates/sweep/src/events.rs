@@ -12,11 +12,27 @@
 //! * every run segment starts with a `run_start` line carrying the
 //!   format version ([`EVENTS_VERSION`]), a wall-clock `epoch_ms`, and
 //!   the shard identity when sharded. A resumed store run *appends* a new
-//!   segment, so one file can hold several;
+//!   segment, so one file can hold several; a segment that shut down
+//!   cleanly (normal exit, graceful signal, daemon drain) ends with a
+//!   `run_end` trailer ([`JsonlObserver::finish`]) naming the reason —
+//!   its absence marks a segment that was killed mid-run;
 //! * durations are integer nanoseconds (`*_ns`), so lines round-trip
 //!   exactly through any JSON parser;
 //! * consumers must skip unknown `"type"`s ([`EventRecord::Unknown`]) —
 //!   that is what lets the format grow without breaking old tools.
+//!
+//! # Concurrent writers
+//!
+//! Overlapping runs may share one `events.jsonl` (daemon jobs writing to
+//! a common store directory, or a resume racing a straggler). The file is
+//! safe for that: every writer opens it `O_APPEND` and emits each record
+//! as a **single** `write_all` of one `\n`-terminated line, which Linux
+//! applies atomically at the file's end for regular files — lines from
+//! two writers interleave but never splice into each other. Segments are
+//! then reconstructed by `run_start`/`run_end` markers, not byte ranges.
+//! The one artifact a crash *can* leave is a torn final line (a writer
+//! killed mid-`write`), which [`read_events`] tolerates: an unparsable
+//! line is an error only when the file continues past it.
 
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
@@ -93,6 +109,23 @@ impl JsonlObserver {
     /// The file this observer writes to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Writes this segment's `run_end` trailer: the marker that the run
+    /// shut down cleanly (as opposed to being killed mid-write). `reason`
+    /// is free-form — the CLI writes `"complete"` on normal exit and
+    /// `"signal"` from the SIGINT/SIGTERM path; the daemon writes
+    /// `"drain"` on graceful shutdown.
+    ///
+    /// # Errors
+    /// File write errors.
+    pub fn finish(&self, reason: &str) -> io::Result<()> {
+        let t_ms = self.start.elapsed().as_millis() as u64;
+        self.write_line(&Json::Obj(vec![
+            ("type".to_string(), Json::Str("run_end".into())),
+            ("t_ms".to_string(), Json::Int(t_ms as i64)),
+            ("reason".to_string(), Json::Str(reason.into())),
+        ]))
     }
 
     fn write_line(&self, json: &Json) -> io::Result<()> {
@@ -300,6 +333,14 @@ pub enum EventRecord {
         /// Shard identity (`"k/n"`), when the segment ran a shard.
         shard: Option<String>,
     },
+    /// A run segment ended cleanly (see [`JsonlObserver::finish`]). A
+    /// segment without one was killed mid-run.
+    RunEnd {
+        /// Timestamp.
+        t_ms: u64,
+        /// Why the segment ended (`"complete"`, `"signal"`, `"drain"`, …).
+        reason: String,
+    },
     /// Mirror of [`SweepEvent::CaptureStart`].
     CaptureStart {
         /// Timestamp.
@@ -494,6 +535,10 @@ impl EventRecord {
                 epoch_ms: num("epoch_ms")?,
                 shard: opt_text("shard"),
             },
+            "run_end" => EventRecord::RunEnd {
+                t_ms,
+                reason: text("reason")?,
+            },
             "capture_start" => EventRecord::CaptureStart {
                 t_ms,
                 scene: text("scene")?,
@@ -596,26 +641,34 @@ fn bad(kind: &str, k: &str) -> String {
 }
 
 /// Reads and parses a complete `events.jsonl` (all segments, in file
-/// order). Empty lines are skipped; anything else must parse.
+/// order). Empty lines are skipped; anything else must parse — with one
+/// exception: an unparsable **final** line of a file that does not end in
+/// `\n` is a torn tail (a writer was killed mid-`write`) and is silently
+/// dropped. A newline-terminated bad line was written whole and is still
+/// an error.
 ///
 /// # Errors
 /// I/O errors, or a parse error naming the offending line number.
 pub fn read_events(path: impl AsRef<Path>) -> io::Result<Vec<EventRecord>> {
     let text = std::fs::read_to_string(path.as_ref())?;
+    let torn_tail = !text.is_empty() && !text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
     let mut out = Vec::new();
-    for (i, line) in text.lines().enumerate() {
+    for (i, line) in lines.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let parsed = Json::parse(line)
-            .and_then(|v| EventRecord::from_json(&v))
-            .map_err(|e| {
-                io::Error::new(
+        let parsed = Json::parse(line).and_then(|v| EventRecord::from_json(&v));
+        match parsed {
+            Ok(record) => out.push(record),
+            Err(_) if torn_tail && i + 1 == lines.len() => {}
+            Err(e) => {
+                return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("{}:{}: {e}", path.as_ref().display(), i + 1),
-                )
-            })?;
-        out.push(parsed);
+                ))
+            }
+        }
     }
     Ok(out)
 }
@@ -801,6 +854,90 @@ mod tests {
         let err = read_events(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains(":1:"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_end_trailer_round_trips() {
+        let path = tmp("run_end");
+        let _ = std::fs::remove_file(&path);
+        let obs = JsonlObserver::append(&path, None).expect("open");
+        obs.finish("signal").expect("trailer");
+        let records = read_events(&path).expect("read");
+        assert_eq!(records.len(), 2);
+        assert!(
+            matches!(&records[1], EventRecord::RunEnd { reason, .. } if reason == "signal"),
+            "{records:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_without_newline_is_dropped_not_fatal() {
+        let path = tmp("torn_tail");
+        // A writer killed mid-write leaves a half line with no trailing
+        // newline; everything before it must still parse.
+        std::fs::write(
+            &path,
+            "{\"type\":\"progress\",\"done\":1,\"total\":2,\"elapsed_ns\":5,\
+             \"cells_per_sec\":0.5}\n{\"type\":\"eval_do",
+        )
+        .unwrap();
+        let records = read_events(&path).expect("torn tail tolerated");
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0], EventRecord::Progress { .. }));
+        // The same garbage *with* a newline was written whole: still fatal.
+        std::fs::write(&path, "{\"type\":\"eval_do\n").unwrap();
+        assert!(read_events(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn two_concurrent_writers_interleave_without_splicing() {
+        let path = tmp("two_writers");
+        let _ = std::fs::remove_file(&path);
+        // Two observers appending to one file from separate threads — the
+        // daemon's overlapping-jobs-one-store shape. Every line must still
+        // parse (O_APPEND + single-write lines never splice) and both
+        // segment headers and trailers must land.
+        std::thread::scope(|scope| {
+            for t in 0..2u64 {
+                let path = &path;
+                scope.spawn(move || {
+                    let obs = JsonlObserver::append(path, None).expect("open");
+                    for i in 0..50 {
+                        obs.on_event(&SweepEvent::EvalDone {
+                            cell: (t * 1000 + i) as usize,
+                            scene: "ccs",
+                            worker: t as usize,
+                            replayed: false,
+                            eval: Duration::from_micros(i),
+                            store: Duration::from_nanos(1),
+                        });
+                    }
+                    obs.finish("complete").expect("trailer");
+                });
+            }
+        });
+        let records = read_events(&path).expect("all lines parse");
+        assert_eq!(records.len(), 2 + 100 + 2);
+        let starts = records
+            .iter()
+            .filter(|r| matches!(r, EventRecord::RunStart { .. }))
+            .count();
+        let ends = records
+            .iter()
+            .filter(|r| matches!(r, EventRecord::RunEnd { .. }))
+            .count();
+        assert_eq!((starts, ends), (2, 2));
+        // Each writer's 50 cells all arrived intact.
+        for t in 0..2u64 {
+            let cells = records
+                .iter()
+                .filter(|r| matches!(r, EventRecord::EvalDone { cell, .. } if cell / 1000 == t))
+                .count();
+            assert_eq!(cells, 50, "writer {t}");
+        }
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -34,7 +34,10 @@
 //! * [`exec`] — the [`Executor`] trait and its work-stealing
 //!   [`ThreadExecutor`], plus [`SweepObserver`] progress events (no more
 //!   hardwired stderr), including a periodic `Progress` heartbeat with a
-//!   windowed ETA;
+//!   windowed ETA; the [`AsyncExecutor`] overlaps `.relog` replay I/O
+//!   with evaluation and deduplicates renders across concurrent
+//!   executions through a shared [`InFlightRenders`] registry (the
+//!   `sweep serve` daemon's executor);
 //! * [`events`] — [`JsonlObserver`] writes every event as one line of a
 //!   versioned, append-only `events.jsonl` beside the store, and
 //!   [`events::read_events`] parses it back;
@@ -98,10 +101,12 @@ pub use axis::{AxisClass, AxisDef, AxisId, ParamPoint, Presence, AXES, AXIS_COUN
 pub use engine::{capture_plan_traces, capture_traces, render_key_log, run_cell};
 pub use engine::{run_grid, run_grid_with_store, run_plan, run_plan_with_store};
 pub use engine::{CellOutcome, SweepOptions, SweepSummary};
-pub use events::{read_events, EventRecord, JsonlObserver, EVENTS_FILE, EVENTS_VERSION};
+pub use events::{
+    event_json, read_events, EventRecord, JsonlObserver, EVENTS_FILE, EVENTS_VERSION,
+};
 pub use exec::{
-    Executor, MultiObserver, NullObserver, StderrObserver, SweepEvent, SweepObserver,
-    ThreadExecutor,
+    AsyncExecutor, Executor, FlightClaim, FlightLease, FlightWait, InFlightRenders, MultiObserver,
+    NullObserver, StderrObserver, SweepEvent, SweepObserver, ThreadExecutor,
 };
 pub use grid::{binning_name, parse_binning, Cell, ExperimentGrid, RenderKey};
 pub use merge::{merge_stores, MergeSummary};

@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::plan::ShardSpec;
 use crate::store::{read_records, read_store_meta, CellRecord, ResultStore, StoreMeta};
 
 /// What a merge produced.
@@ -41,8 +42,68 @@ fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// Expands each input: a directory that is not itself a store but holds
+/// `shard-*` children is replaced by those children in name order, so
+/// `sweep merge <out> shards/` works directly on the layout sharded runs
+/// conventionally write (`shards/shard-0/`, `shards/shard-1/`, …). A path
+/// that is neither is kept as-is — the store-meta read then names it in
+/// the usual "not a sweep store" error.
+fn expand_inputs(inputs: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for input in inputs {
+        if !input.is_dir() || input.join("grid.json").is_file() {
+            out.push(input.clone());
+            continue;
+        }
+        let mut shards: Vec<PathBuf> = std::fs::read_dir(input)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_dir()
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("shard-"))
+            })
+            .collect();
+        if shards.is_empty() {
+            out.push(input.clone());
+            continue;
+        }
+        shards.sort();
+        out.extend(shards);
+    }
+    Ok(out)
+}
+
+/// When every input is a shard of one `K/N` partition, the one-based `K/N`
+/// names of the shards that were *not* passed — the actionable version of
+/// a bare coverage failure. `None` when the inputs are not a consistent
+/// shard set (mixed counts, or any unsharded store).
+fn missing_shards(metas: &[StoreMeta]) -> Option<Vec<String>> {
+    let count = metas.first()?.shard?.count;
+    let mut present = vec![false; count];
+    for meta in metas {
+        let s = meta.shard?;
+        if s.count != count {
+            return None;
+        }
+        *present.get_mut(s.index)? = true;
+    }
+    Some(
+        (0..count)
+            .filter(|&i| !present[i])
+            .map(|index| ShardSpec { index, count }.to_string())
+            .collect(),
+    )
+}
+
 /// Fingerprint-checks and unions the per-shard stores at `inputs` into a
 /// fresh store at `out` (records plus a regenerated `results.csv`).
+///
+/// An input may also be a *directory of* shard stores: a directory that
+/// is not itself a store but contains `shard-*` children is expanded to
+/// those children in name order, so `sweep merge merged shards/` merges
+/// `shards/shard-0/`, `shards/shard-1/`, … without listing each one.
 ///
 /// The output store is unsharded: it can be resumed, reported on and
 /// merged again exactly like a store produced by an unsharded run of the
@@ -60,11 +121,20 @@ pub fn merge_stores(out: impl Into<PathBuf>, inputs: &[PathBuf]) -> io::Result<M
             "merge needs at least one input store (sweep merge <out> <in>...)".to_string(),
         ));
     }
+    let inputs = expand_inputs(inputs)?;
+    if inputs.is_empty() {
+        return Err(invalid(
+            "the given directory holds no shard-* stores (sweep merge <out> <in>...)".to_string(),
+        ));
+    }
 
     // Identity check: one grid, every store.
-    let first_meta = read_store_meta(&inputs[0])?;
-    for dir in &inputs[1..] {
-        let meta = read_store_meta(dir)?;
+    let metas: Vec<StoreMeta> = inputs
+        .iter()
+        .map(read_store_meta)
+        .collect::<io::Result<_>>()?;
+    let first_meta = metas[0].clone();
+    for (dir, meta) in inputs.iter().zip(&metas).skip(1) {
         if meta.fingerprint != first_meta.fingerprint {
             return Err(invalid(format!(
                 "grid fingerprint mismatch: {} has {:016x} but {} has {:016x} \
@@ -80,7 +150,7 @@ pub fn merge_stores(out: impl Into<PathBuf>, inputs: &[PathBuf]) -> io::Result<M
     // Union with provenance, so an overlap names both stores.
     let mut sources: HashMap<usize, &Path> = HashMap::new();
     let mut records: Vec<CellRecord> = Vec::new();
-    for dir in inputs {
+    for dir in &inputs {
         for rec in read_records(dir)? {
             // read_records skips the id-range check ResultStore::open does;
             // without it here, a stray out-of-range record could mask a
@@ -108,8 +178,20 @@ pub fn merge_stores(out: impl Into<PathBuf>, inputs: &[PathBuf]) -> io::Result<M
     }
     records.sort_by_key(|r| r.id);
 
-    // Coverage: the union must be the whole grid.
+    // Coverage: the union must be the whole grid. When the inputs form a
+    // consistent K/N shard set, name the absent shards — that is the
+    // actionable fact — rather than raw cell ids.
     if records.len() != first_meta.cells {
+        if let Some(shards) = missing_shards(&metas).filter(|s| !s.is_empty()) {
+            return Err(invalid(format!(
+                "the {} input store(s) cover {} of {} cells: shard(s) {} missing \
+                 — run those shards and merge again",
+                inputs.len(),
+                records.len(),
+                first_meta.cells,
+                shards.join(", "),
+            )));
+        }
         let missing: Vec<String> = (0..first_meta.cells)
             .filter(|id| !sources.contains_key(id))
             .take(5)

@@ -132,15 +132,75 @@ fn merge_rejects_overlapping_cell_ids() {
 #[test]
 fn merge_rejects_incomplete_coverage_and_names_missing_cells() {
     let grid = golden_grid();
+    // A consistent shard set with a gap reports the absent shard by name…
     let s1 = run_shard(&grid, 0, 2, "cov_s1");
-
     let err = merge_stores(fresh("cov_out"), std::slice::from_ref(&s1)).unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     let msg = err.to_string();
-    assert!(msg.contains("missing ids"), "{msg}");
+    assert!(msg.contains("shard(s) 2/2 missing"), "{msg}");
+
+    // …while a partial store that is not a shard set still reports the
+    // missing cell ids.
+    let partial = fresh("cov_partial");
+    re_sweep::run_grid_with_store(&grid, &opts(), &partial).expect("full run");
+    std::fs::remove_file(partial.join("cells/cell_00000.json")).expect("drop");
+    let err = merge_stores(fresh("cov_out2"), std::slice::from_ref(&partial)).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(msg.contains("missing ids: 0"), "{msg}");
     assert!(msg.contains("every shard"), "must say what to do: {msg}");
 
-    let _ = std::fs::remove_dir_all(&s1);
+    for d in [s1, partial] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
+fn merge_accepts_a_directory_of_shard_stores() {
+    let grid = golden_grid();
+    // The conventional sharded layout: one parent dir, shard-K children.
+    let parent = fresh("dir_parent");
+    for k in 0..2 {
+        let dir = parent.join(format!("shard-{k}"));
+        let shard = SweepPlan::compile(&grid).shard(k, 2).expect("shard");
+        re_sweep::run_plan_with_store(&shard, &opts(), &dir).expect("shard run");
+    }
+
+    let merged = fresh("dir_merged");
+    let summary = merge_stores(&merged, std::slice::from_ref(&parent)).expect("merge dir");
+    assert_eq!(summary.inputs, 2, "parent expands to its shard-* children");
+    let csv = std::fs::read_to_string(&summary.csv_path).expect("merged csv");
+    assert_eq!(csv, GOLDEN);
+
+    // A directory with no store and no shard-* children still errors
+    // clearly.
+    let empty = fresh("dir_empty");
+    std::fs::create_dir_all(&empty).expect("mkdir");
+    let err = merge_stores(fresh("dir_out2"), std::slice::from_ref(&empty)).unwrap_err();
+    assert!(err.to_string().contains("not a sweep store"), "{err}");
+
+    for d in [parent, merged, empty] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
+fn merge_coverage_failure_names_the_missing_shards() {
+    let grid = golden_grid();
+    // Shards 1/3 and 3/3 present, 2/3 absent: the error must say so in
+    // the same one-based K/N notation `--shard` takes.
+    let s1 = run_shard(&grid, 0, 3, "ms_s1");
+    let s3 = run_shard(&grid, 2, 3, "ms_s3");
+
+    let err = merge_stores(fresh("ms_out"), &[s1.clone(), s3.clone()]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(msg.contains("shard(s) 2/3 missing"), "{msg}");
+    assert!(msg.contains("run those shards"), "{msg}");
+
+    for d in [s1, s3] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
 }
 
 #[test]
