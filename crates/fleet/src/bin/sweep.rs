@@ -10,6 +10,7 @@
 //! sweep axes                 print every registered axis (living docs)
 //! sweep serve --addr A       long-running daemon: submit grids over TCP
 //! sweep client --addr A ...  talk to a daemon (submit/status/watch/csv/...)
+//! sweep fleet ...            run a sharded sweep end to end (see below)
 //! ```
 //!
 //! All parsing lives in `re_sweep::cli`, generated from the axis registry
@@ -22,6 +23,12 @@
 //! of the plan; merging every shard's store reproduces the unsharded
 //! `results.csv` byte for byte.
 //!
+//! `sweep fleet` automates the whole sharded shape (the `re_fleet`
+//! crate): it takes the same run flags plus `--local-procs N` and/or
+//! `--daemon HOST:PORT`, partitions the plan across those workers,
+//! supervises them (liveness via run-log heartbeats, bounded retry of
+//! dead shards), and merges + reports when the last shard lands.
+//!
 //! Re-running with the same `--out` resumes: completed cells are skipped and
 //! `results.csv` is regenerated over the full grid. The CSV is byte-identical
 //! for any `--workers` value, across kill/resume, with or without render
@@ -33,10 +40,11 @@
 //! `--metrics PATH` dumps the process metrics registry (counters and
 //! duration histograms) as versioned JSON on exit.
 //!
-//! Lifecycle: `sweep run` and `sweep serve` handle SIGINT/SIGTERM
-//! gracefully — the store keeps every committed cell, the run log gets a
-//! `run_end` trailer, `--metrics` still dumps, and a daemon drains its
-//! queue before exiting. Re-running the same `--out` resumes.
+//! Lifecycle: `sweep run`, `sweep serve` and `sweep fleet` handle
+//! SIGINT/SIGTERM gracefully — the store keeps every committed cell, the
+//! run log gets a `run_end` trailer, `--metrics` still dumps, a daemon
+//! drains its queue before exiting, and a fleet kills its workers and
+//! saves its manifest. Re-running the same `--out` resumes.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,10 +54,12 @@ use re_sweep::cli::{self, Command, RunArgs};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    // The daemon verbs live in re_serve; everything else in re_sweep::cli.
+    // The daemon and fleet verbs live in re_serve/re_fleet; everything
+    // else in re_sweep::cli.
     match argv.first().map(String::as_str) {
         Some("serve") => return run_serve(&argv[1..]),
         Some("client") => return re_serve::client::main(&argv[1..]),
+        Some("fleet") => return run_fleet(&argv[1..]),
         _ => {}
     }
     match cli::parse(&argv) {
@@ -68,6 +78,49 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("sweep: {e}");
             ExitCode::from(2)
+        }
+    }
+}
+
+fn run_fleet(args: &[String]) -> ExitCode {
+    let fleet = match re_fleet::cli::parse(args) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            eprintln!("sweep fleet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if fleet.dry_run {
+        let plan = re_sweep::SweepPlan::compile(&fleet.run.grid);
+        print!("{}", re_fleet::render_dry_run(&fleet, &plan));
+        return ExitCode::SUCCESS;
+    }
+    let result = re_fleet::run_fleet(&fleet);
+    // The fleet owns the metrics dump (worker --metrics flags are
+    // dropped), and dumps even on failure — a failed fleet's counters
+    // are exactly the interesting ones.
+    if let Some(path) = &fleet.run.metrics {
+        dump_metrics(path);
+    }
+    match result {
+        Ok(summary) => {
+            eprintln!(
+                "[sweep fleet] done: {} cells over {} shard(s), {} relaunch(es) → {}",
+                summary.cells,
+                summary.shards,
+                summary.retries,
+                summary.csv_path.display()
+            );
+            match re_sweep::read_records(&summary.merged) {
+                Ok(records) => print!("{}", re_sweep::render_report(&records)),
+                Err(e) => eprintln!("[sweep fleet] warning: no report ({e})"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => ExitCode::from(130),
+        Err(e) => {
+            eprintln!("sweep fleet: {e}");
+            ExitCode::FAILURE
         }
     }
 }
@@ -255,7 +308,8 @@ fn run_sweep(mut args: RunArgs) -> ExitCode {
             }
             if stop.load(Ordering::Acquire) {
                 if let Some(observer) = &jsonl {
-                    let _ = observer.finish("signal");
+                    let rasters = re_gpu::raster_invocations() - rasters_before;
+                    let _ = observer.finish_with_rasters("signal", Some(rasters));
                 }
                 if let Some(path) = &metrics {
                     dump_metrics(path);
@@ -321,10 +375,14 @@ fn run_sweep(mut args: RunArgs) -> ExitCode {
         }
     };
 
-    // Disarm the signal monitor, then seal the run log.
+    // Disarm the signal monitor, then seal the run log. The trailer
+    // carries this segment's raster count — a fleet supervisor tailing
+    // the log sums these across shards.
     finished.store(true, Ordering::Release);
     if let Some(observer) = &jsonl {
-        let _ = observer.finish(if run_ok { "complete" } else { "error" });
+        let rasters = re_gpu::raster_invocations() - rasters_before;
+        let _ =
+            observer.finish_with_rasters(if run_ok { "complete" } else { "error" }, Some(rasters));
     }
 
     if let Some(path) = &args.metrics {

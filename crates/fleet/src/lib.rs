@@ -1,0 +1,43 @@
+//! `sweep fleet`: one command that runs a sharded sweep end to end.
+//!
+//! The paper's full design-space grid is embarrassingly parallel — the
+//! plan partitions exactly by render key ([`re_sweep::SweepPlan::shard`])
+//! and per-shard stores merge back byte-identically
+//! ([`re_sweep::merge_stores`]) — but until this crate the fan-out was a
+//! shell loop the operator wrote by hand. `sweep fleet` closes the loop:
+//!
+//! 1. **Plan once.** The grid (the exact `sweep run` flag grammar) is
+//!    compiled once; the partition is `shard j → j % count` over render
+//!    keys, so it is deterministic and safe to recompute on resume.
+//! 2. **Launch one worker per shard.** The *local* backend spawns
+//!    `sweep run --shard K/N` child processes with per-shard stores under
+//!    `<root>/shards/shard-k/` and a shared artifact cache under
+//!    `<root>/cache`; the *daemon* backend submits the shard over the
+//!    `re_serve` wire protocol (`submit` with `"shard":"K/N"`) and polls.
+//! 3. **Supervise.** Liveness comes from each shard's `events.jsonl` —
+//!    workers heartbeat every second ([`SweepOptions::heartbeat`]), so a
+//!    quiet log means a dead or wedged worker, which is killed and
+//!    relaunched under a bounded retry budget (safe: stores resume).
+//!    Progress is aggregated into a single periodically repainted line.
+//! 4. **Merge and report.** When every shard is complete the shard
+//!    stores are merged (directory mode) into `<root>/merged` — whose
+//!    `results.csv` is byte-identical to an unsharded run — and the
+//!    per-axis report is printed.
+//!
+//! A persistent `<root>/fleet.json` manifest records the partition and
+//! per-shard outcomes, and identity-checks a resumed root; interrupted
+//! fleets re-run with the same command line and skip complete shards.
+//!
+//! [`SweepOptions::heartbeat`]: re_sweep::SweepOptions
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod manifest;
+pub mod supervisor;
+pub mod tail;
+
+pub use cli::{render_dry_run, Backend, FleetArgs};
+pub use manifest::{Manifest, ShardEntry};
+pub use supervisor::{run_fleet, FleetSummary};

@@ -1,0 +1,263 @@
+//! The persistent fleet manifest (`<root>/fleet.json`): what partition
+//! this root holds, where each shard runs, and how far it got.
+//!
+//! The manifest makes `sweep fleet` itself resumable and its roots
+//! self-describing: a re-run of the same command line identity-checks
+//! the root (same grid fingerprint, same shard count) before touching
+//! anything, then skips shards whose stores are already complete. It is
+//! advisory for progress — the shard *stores* are the ground truth of
+//! completeness, exactly as with `sweep run` resume — but authoritative
+//! for identity: a fingerprint mismatch means the operator pointed two
+//! different grids at one root, which is always an error.
+//!
+//! Writes are atomic (temp file + rename), so a manifest read after a
+//! crash is the last consistent snapshot, never a torn one.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use re_sweep::json::Json;
+
+use crate::cli::Backend;
+
+/// Manifest format version (the `"fleet_version"` field).
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// File name of the manifest inside the fleet root.
+pub const MANIFEST_FILE: &str = "fleet.json";
+
+/// One shard's placement and latest known outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Zero-based shard index (CLI/wire form is 1-based `K/N`).
+    pub index: usize,
+    /// Where the shard runs.
+    pub backend: Backend,
+    /// Daemon job id, once submitted (daemon backend only).
+    pub job: Option<u64>,
+    /// `"pending"`, `"running"`, `"done"` or `"failed"`.
+    pub state: String,
+    /// Launches so far (first attempt included).
+    pub attempts: usize,
+    /// Cells the shard's plan holds.
+    pub cells: usize,
+    /// Render keys the shard's plan holds.
+    pub render_jobs: usize,
+    /// Raster invocations the shard performed in the recorded run.
+    pub rasters: Option<u64>,
+}
+
+/// The fleet manifest: grid identity plus per-shard state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Grid fingerprint (must match the plan compiled from the flags).
+    pub fingerprint: u64,
+    /// Canonical grid spec string (for humans reading the file).
+    pub spec: String,
+    /// Cells in the full grid.
+    pub cells: usize,
+    /// One entry per shard, in index order.
+    pub shards: Vec<ShardEntry>,
+    /// Whether `<root>/merged` holds the completed merge.
+    pub merged: bool,
+}
+
+impl Manifest {
+    /// The manifest path inside `root`.
+    pub fn path(root: &Path) -> PathBuf {
+        root.join(MANIFEST_FILE)
+    }
+
+    /// Serializes the manifest as pretty-enough JSON (one object).
+    pub fn to_json(&self) -> Json {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut pairs = vec![
+                    ("index".to_string(), Json::Int(s.index as i64)),
+                    ("backend".to_string(), Json::Str(s.backend.kind().into())),
+                ];
+                if let Backend::Daemon(addr) = &s.backend {
+                    pairs.push(("daemon".to_string(), Json::Str(addr.clone())));
+                }
+                if let Some(job) = s.job {
+                    pairs.push(("job".to_string(), Json::Int(job as i64)));
+                }
+                pairs.extend([
+                    ("state".to_string(), Json::Str(s.state.clone())),
+                    ("attempts".to_string(), Json::Int(s.attempts as i64)),
+                    ("cells".to_string(), Json::Int(s.cells as i64)),
+                    ("render_jobs".to_string(), Json::Int(s.render_jobs as i64)),
+                ]);
+                if let Some(r) = s.rasters {
+                    pairs.push(("rasters".to_string(), Json::Int(r as i64)));
+                }
+                Json::Obj(pairs)
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "fleet_version".to_string(),
+                Json::Int(MANIFEST_VERSION as i64),
+            ),
+            (
+                "fingerprint".to_string(),
+                Json::Str(format!("{:016x}", self.fingerprint)),
+            ),
+            ("spec".to_string(), Json::Str(self.spec.clone())),
+            ("cells".to_string(), Json::Int(self.cells as i64)),
+            ("shards".to_string(), Json::Arr(shards)),
+            ("merged".to_string(), Json::Bool(self.merged)),
+        ])
+    }
+
+    /// Parses a manifest object.
+    ///
+    /// # Errors
+    /// A description of the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Manifest, String> {
+        let num = |o: &Json, k: &str| {
+            o.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("manifest: missing int `{k}`"))
+        };
+        let text = |o: &Json, k: &str| {
+            o.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("manifest: missing string `{k}`"))
+        };
+        let version = num(v, "fleet_version")?;
+        if version != MANIFEST_VERSION {
+            return Err(format!(
+                "manifest: version {version} is not {MANIFEST_VERSION} \
+                 (written by a different build?)"
+            ));
+        }
+        let fingerprint = u64::from_str_radix(&text(v, "fingerprint")?, 16)
+            .map_err(|_| "manifest: `fingerprint` is not hex".to_string())?;
+        let Some(Json::Arr(entries)) = v.get("shards") else {
+            return Err("manifest: missing `shards` array".to_string());
+        };
+        let mut shards = Vec::with_capacity(entries.len());
+        for e in entries {
+            let backend = match text(e, "backend")?.as_str() {
+                "local" => Backend::Local,
+                "daemon" => Backend::Daemon(text(e, "daemon")?),
+                other => return Err(format!("manifest: unknown backend `{other}`")),
+            };
+            shards.push(ShardEntry {
+                index: num(e, "index")? as usize,
+                backend,
+                job: e.get("job").and_then(Json::as_u64),
+                state: text(e, "state")?,
+                attempts: num(e, "attempts")? as usize,
+                cells: num(e, "cells")? as usize,
+                render_jobs: num(e, "render_jobs")? as usize,
+                rasters: e.get("rasters").and_then(Json::as_u64),
+            });
+        }
+        Ok(Manifest {
+            fingerprint,
+            spec: text(v, "spec")?,
+            cells: num(v, "cells")? as usize,
+            shards,
+            merged: matches!(v.get("merged"), Some(Json::Bool(true))),
+        })
+    }
+
+    /// Atomically writes the manifest into `root` (temp file + rename).
+    ///
+    /// # Errors
+    /// File write errors.
+    pub fn save(&self, root: &Path) -> io::Result<()> {
+        let path = Self::path(root);
+        let tmp = path.with_extension("json.tmp");
+        let mut body = self.to_json().to_string();
+        body.push('\n');
+        std::fs::write(&tmp, body)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads the manifest from `root`, `Ok(None)` when there is none.
+    ///
+    /// # Errors
+    /// Read errors, bad JSON, or a schema violation (both mean the root
+    /// is not a fleet root this build understands).
+    pub fn load(root: &Path) -> io::Result<Option<Manifest>> {
+        let path = Self::path(root);
+        let body = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let invalid = |m: String| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {m}", path.display()),
+            )
+        };
+        let json = Json::parse(body.trim()).map_err(|e| invalid(format!("bad JSON: {e}")))?;
+        Manifest::from_json(&json).map(Some).map_err(invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            fingerprint: 0xdead_beef_0123_4567,
+            spec: "scenes=ccs,tib\nframes=3".to_string(),
+            cells: 8,
+            shards: vec![
+                ShardEntry {
+                    index: 0,
+                    backend: Backend::Local,
+                    job: None,
+                    state: "done".to_string(),
+                    attempts: 2,
+                    cells: 4,
+                    render_jobs: 1,
+                    rasters: Some(12),
+                },
+                ShardEntry {
+                    index: 1,
+                    backend: Backend::Daemon("127.0.0.1:7333".to_string()),
+                    job: Some(3),
+                    state: "running".to_string(),
+                    attempts: 1,
+                    cells: 4,
+                    render_jobs: 1,
+                    rasters: None,
+                },
+            ],
+            merged: false,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_its_wire_form() {
+        let m = sample();
+        let line = m.to_json().to_string();
+        let back = Manifest::from_json(&Json::parse(&line).expect("json")).expect("schema");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let root = std::env::temp_dir().join(format!("re-fleet-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("mkdir");
+        assert_eq!(Manifest::load(&root).expect("no manifest yet"), None);
+        let m = sample();
+        m.save(&root).expect("save");
+        assert_eq!(Manifest::load(&root).expect("load"), Some(m));
+        // A corrupt manifest is an error, not a silent fresh start.
+        std::fs::write(Manifest::path(&root), "{not json").expect("corrupt");
+        assert!(Manifest::load(&root).is_err());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

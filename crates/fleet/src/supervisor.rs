@@ -1,0 +1,641 @@
+//! The fleet supervisor: launch one worker per shard, keep them alive,
+//! and merge the shard stores when the last one finishes.
+//!
+//! One poll loop (cadence [`FleetArgs::poll`]) drives a per-shard state
+//! machine:
+//!
+//! * **queued** — not launched yet, or queued for relaunch after a
+//!   failure. The next tick launches it: the *local* backend spawns this
+//!   same binary as `sweep <run flags> --shard K/N` with stdout/stderr
+//!   into `<shard_dir>/worker.log`; the *daemon* backend submits the
+//!   shard over the wire and remembers the job id.
+//! * **running** — supervised. Local liveness is the shard's
+//!   `events.jsonl`: workers heartbeat every second, so a log that grows
+//!   nothing for [`FleetArgs::stall_timeout`] is a wedged worker — it is
+//!   killed and requeued. A worker that *exits* is judged by its store,
+//!   not its exit code: complete store → done, anything else → requeued.
+//!   Daemon liveness is the `status` poll; a failed job or an unreachable
+//!   daemon requeues the shard (a fresh submission — daemon stores
+//!   resume, so nothing reruns twice).
+//! * **done / failed** — terminal. Every relaunch consumes the shared
+//!   per-shard retry budget (1 + [`FleetArgs::max_retries`] launches);
+//!   exhausting it fails the shard and, eventually, the fleet.
+//!
+//! Retry is safe *because stores resume*: a relaunched worker skips every
+//! committed cell, and the merged CSV is byte-identical no matter how
+//! many times a shard died on the way — the same invariant `sweep run`
+//! has for kill/resume, inherited wholesale.
+//!
+//! The supervisor is itself resumable: `<root>/fleet.json` (see
+//! [`crate::manifest`]) is saved on every state change, shards whose
+//! stores are already complete are skipped at startup, and SIGINT/SIGTERM
+//! kills the children, saves the manifest, and leaves a root that the
+//! same command line picks back up.
+//!
+//! Fault injection for tests: `RE_FLEET_KILL_ONCE=<shard-index>` SIGKILLs
+//! that shard's first local worker as soon as its run log appears
+//! (i.e. genuinely mid-run), exercising the retry path deterministically.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use re_obs::names::{
+    FLEET_SHARDS_FAILED, FLEET_SHARDS_LAUNCHED, FLEET_SHARDS_RETRIED, FLEET_SUPERVISOR_TICK,
+};
+use re_serve::Client;
+use re_sweep::{merge_stores, read_records, CellRecord, ResultStore, ShardSpec, SweepPlan};
+
+use crate::cli::{worker_args, Backend, FleetArgs};
+use crate::manifest::{Manifest, ShardEntry};
+use crate::tail::ShardTail;
+
+/// What a completed fleet run produced.
+#[derive(Debug)]
+pub struct FleetSummary {
+    /// Cells in the full grid (== records in the merged store).
+    pub cells: usize,
+    /// Shards the partition had.
+    pub shards: usize,
+    /// Relaunches across all shards (0 on a clean run).
+    pub retries: usize,
+    /// Raster invocations across every worker this run.
+    pub rasters: u64,
+    /// The merged store directory (`<root>/merged`).
+    pub merged: PathBuf,
+    /// The merged `results.csv` — byte-identical to an unsharded run.
+    pub csv_path: PathBuf,
+}
+
+/// One shard's lifecycle.
+enum State {
+    Queued,
+    Local(Child),
+    Remote {
+        client: Option<Client>,
+        job: u64,
+        done: u64,
+    },
+    Done,
+    Failed(String),
+}
+
+impl State {
+    fn label(&self) -> &'static str {
+        match self {
+            State::Queued => "queued",
+            State::Local(_) | State::Remote { .. } => "run",
+            State::Done => "done",
+            State::Failed(_) => "FAIL",
+        }
+    }
+
+    fn manifest_state(&self) -> &'static str {
+        match self {
+            State::Queued => "pending",
+            State::Local(_) | State::Remote { .. } => "running",
+            State::Done => "done",
+            State::Failed(_) => "failed",
+        }
+    }
+}
+
+struct Shard {
+    index: usize,
+    backend: Backend,
+    dir: PathBuf,
+    plan: SweepPlan,
+    cells: usize,
+    render_jobs: usize,
+    tail: ShardTail,
+    state: State,
+    /// Launches so far; the budget is `1 + max_retries`.
+    attempts: usize,
+    job: Option<u64>,
+    last_growth: Instant,
+    kill_pending: bool,
+    remote_rasters: u64,
+}
+
+/// Runs the whole fleet: partition, launch, supervise, merge, report.
+///
+/// # Errors
+/// Identity violations (the root holds a different grid or partition),
+/// a shard that exhausted its retry budget, merge failures, and plain
+/// I/O errors. SIGINT/SIGTERM surfaces as [`io::ErrorKind::Interrupted`]
+/// after the children are killed and the manifest saved.
+pub fn run_fleet(args: &FleetArgs) -> io::Result<FleetSummary> {
+    let full = SweepPlan::compile(&args.run.grid);
+    let count = args.shard_count();
+    let root = args.run.out.clone();
+    let quiet = args.run.opts.quiet;
+    std::fs::create_dir_all(&root)?;
+    check_identity(&root, &full, count)?;
+
+    let kill_once: Option<usize> = std::env::var("RE_FLEET_KILL_ONCE")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    // Each local worker gets an equal slice of the machine (unless the
+    // operator passed --workers, which worker_args honors instead).
+    let threads = match args.local_procs {
+        0 => 1,
+        n => (std::thread::available_parallelism().map_or(1, |p| p.get()) / n).max(1),
+    };
+
+    let mut shards = Vec::with_capacity(count);
+    for index in 0..count {
+        let plan = full
+            .shard(index, count)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let dir = root.join("shards").join(format!("shard-{index}"));
+        let cells = plan.cell_count();
+        // Store completeness is the ground truth; an empty shard (more
+        // shards than render keys) is complete without ever running.
+        let complete = cells == 0 || store_complete(&dir, cells)?;
+        if complete && cells > 0 && !quiet {
+            eprintln!(
+                "[sweep fleet] shard {}/{count}: store already complete, skipping",
+                index + 1
+            );
+        }
+        shards.push(Shard {
+            index,
+            backend: args.backend(index),
+            tail: ShardTail::new(dir.join(re_sweep::EVENTS_FILE)),
+            render_jobs: plan.render_job_count(),
+            cells,
+            plan,
+            dir,
+            state: if complete { State::Done } else { State::Queued },
+            attempts: 0,
+            job: None,
+            last_growth: Instant::now(),
+            kill_pending: false,
+            remote_rasters: 0,
+        });
+    }
+
+    let stop = re_serve::sig::install();
+    let started = Instant::now();
+    let base_done: u64 = shards.iter().map(done_cells).sum();
+    let mut last_saved = String::new();
+    let mut last_paint = Instant::now();
+    let mut painted = false;
+    persist(&root, &full, &shards, false, &mut last_saved)?;
+
+    loop {
+        let _tick = re_obs::span(FLEET_SUPERVISOR_TICK);
+        if stop.load(Ordering::Acquire) {
+            for shard in &mut shards {
+                if let State::Local(child) = &mut shard.state {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+            persist(&root, &full, &shards, false, &mut last_saved)?;
+            if !quiet {
+                eprintln!(
+                    "\n[sweep fleet] interrupted — shard stores kept; rerun the same \
+                     command to resume"
+                );
+            }
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "interrupted"));
+        }
+
+        for shard in &mut shards {
+            step(args, shard, kill_once, threads)?;
+        }
+        persist(&root, &full, &shards, false, &mut last_saved)?;
+
+        if !quiet && last_paint.elapsed().as_millis() >= 500 {
+            eprint!(
+                "\r{}",
+                progress_line(&shards, full.cell_count(), base_done, started)
+            );
+            painted = true;
+            last_paint = Instant::now();
+        }
+        if shards
+            .iter()
+            .all(|s| matches!(s.state, State::Done | State::Failed(_)))
+        {
+            break;
+        }
+        std::thread::sleep(args.poll);
+    }
+    if !quiet {
+        let nl = if painted { "\r" } else { "" };
+        eprintln!(
+            "{nl}{}",
+            progress_line(&shards, full.cell_count(), base_done, started)
+        );
+    }
+
+    let retries: usize = shards.iter().map(|s| s.attempts.saturating_sub(1)).sum();
+    let rasters: u64 = shards
+        .iter()
+        .map(|s| s.tail.rasters() + s.remote_rasters)
+        .sum();
+
+    if let Some((shard, why)) = shards.iter().find_map(|s| match &s.state {
+        State::Failed(why) => Some((s, why)),
+        _ => None,
+    }) {
+        return Err(io::Error::other(format!(
+            "shard {}/{count} failed after {} attempt(s): {why}",
+            shard.index + 1,
+            shard.attempts
+        )));
+    }
+
+    // Directory mode: `<root>/shards` expands to every shard-* store, so
+    // the merge is one call whatever the shard count.
+    let merged = root.join("merged");
+    let csv_path = merged.join("results.csv");
+    if store_complete(&merged, full.cell_count())? && csv_path.is_file() {
+        if !quiet {
+            eprintln!("[sweep fleet] merged store already complete, skipping merge");
+        }
+    } else {
+        let summary = merge_stores(&merged, &[root.join("shards")])?;
+        if !quiet {
+            eprintln!(
+                "[sweep fleet] merged {} store(s): {} cells → {}",
+                summary.inputs,
+                summary.records.len(),
+                summary.csv_path.display()
+            );
+        }
+    }
+    persist(&root, &full, &shards, true, &mut last_saved)?;
+
+    // The fleet-wide analog of `sweep run`'s raster line: a warm shared
+    // cache drives this to 0 (CI greps for it).
+    eprintln!("[sweep fleet] raster invocations this run: {rasters}");
+
+    Ok(FleetSummary {
+        cells: full.cell_count(),
+        shards: count,
+        retries,
+        rasters,
+        merged,
+        csv_path,
+    })
+}
+
+fn step(
+    args: &FleetArgs,
+    shard: &mut Shard,
+    kill_once: Option<usize>,
+    threads: usize,
+) -> io::Result<()> {
+    match shard.state {
+        State::Queued => launch(args, shard, kill_once, threads),
+        State::Local(_) => step_local(args, shard),
+        State::Remote { .. } => step_remote(args, shard),
+        State::Done | State::Failed(_) => Ok(()),
+    }
+}
+
+fn launch(
+    args: &FleetArgs,
+    shard: &mut Shard,
+    kill_once: Option<usize>,
+    threads: usize,
+) -> io::Result<()> {
+    shard.attempts += 1;
+    re_obs::metrics::counter(FLEET_SHARDS_LAUNCHED).incr();
+    if shard.attempts > 1 {
+        re_obs::metrics::counter(FLEET_SHARDS_RETRIED).incr();
+    }
+    shard.last_growth = Instant::now();
+    let quiet = args.run.opts.quiet;
+    match shard.backend.clone() {
+        Backend::Local => {
+            std::fs::create_dir_all(&shard.dir)?;
+            let log = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(shard.dir.join("worker.log"))?;
+            let child = Command::new(std::env::current_exe()?)
+                .args(worker_args(args, shard.index, &shard.dir, threads))
+                .stdin(Stdio::null())
+                .stdout(log.try_clone()?)
+                .stderr(log)
+                .spawn()?;
+            if !quiet {
+                eprintln!(
+                    "[sweep fleet] shard {}/{}: local worker pid {} ({} cells, {} render keys)",
+                    shard.index + 1,
+                    args.shard_count(),
+                    child.id(),
+                    shard.cells,
+                    shard.render_jobs
+                );
+            }
+            shard.kill_pending = kill_once == Some(shard.index) && shard.attempts == 1;
+            shard.state = State::Local(child);
+        }
+        Backend::Daemon(addr) => {
+            let submitted = Client::connect(&addr).and_then(|mut client| {
+                let shard_spec = ShardSpec {
+                    index: shard.index,
+                    count: args.shard_count(),
+                };
+                let outcome = client.submit(&args.run.grid, Some(shard_spec))?;
+                Ok((client, outcome.job))
+            });
+            match submitted {
+                Ok((client, job)) => {
+                    if !quiet {
+                        eprintln!(
+                            "[sweep fleet] shard {}/{}: daemon {addr} job {job} ({} cells)",
+                            shard.index + 1,
+                            args.shard_count(),
+                            shard.cells
+                        );
+                    }
+                    shard.job = Some(job);
+                    shard.state = State::Remote {
+                        client: Some(client),
+                        job,
+                        done: 0,
+                    };
+                }
+                Err(e) => retry_or_fail(args, shard, &format!("daemon {addr}: {e}")),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn step_local(args: &FleetArgs, shard: &mut Shard) -> io::Result<()> {
+    if shard.tail.poll()? {
+        shard.last_growth = Instant::now();
+    }
+    // Fault injection: the run log's existence means run_start landed —
+    // the worker is genuinely mid-run when the SIGKILL arrives.
+    if shard.kill_pending && shard.tail.path().exists() {
+        if let State::Local(child) = &mut shard.state {
+            let _ = child.kill();
+        }
+        shard.kill_pending = false;
+    }
+    let exited = match &mut shard.state {
+        State::Local(child) => child.try_wait()?,
+        _ => return Ok(()),
+    };
+    if let Some(status) = exited {
+        // Drain the trailer the exiting worker just wrote (rasters).
+        let _ = shard.tail.poll();
+        if store_complete(&shard.dir, shard.cells)? {
+            shard.state = State::Done;
+        } else {
+            let why = format!(
+                "worker exited ({status}) before completing — see {}",
+                shard.dir.join("worker.log").display()
+            );
+            retry_or_fail(args, shard, &why);
+        }
+        return Ok(());
+    }
+    if shard.last_growth.elapsed() > args.stall_timeout {
+        if let State::Local(child) = &mut shard.state {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let why = format!(
+            "run log quiet for {:.1}s — killed as stuck",
+            args.stall_timeout.as_secs_f64()
+        );
+        retry_or_fail(args, shard, &why);
+    }
+    Ok(())
+}
+
+/// What one daemon poll concluded (computed with the state borrow held,
+/// applied after it drops).
+enum RemotePoll {
+    Waiting,
+    Unreachable(String),
+    Complete {
+        records: Vec<CellRecord>,
+        rasters: u64,
+    },
+    JobFailed(String),
+}
+
+fn step_remote(args: &FleetArgs, shard: &mut Shard) -> io::Result<()> {
+    let Backend::Daemon(addr) = shard.backend.clone() else {
+        return Ok(());
+    };
+    let poll = {
+        let State::Remote { client, job, done } = &mut shard.state else {
+            return Ok(());
+        };
+        let job = *job;
+        if client.is_none() {
+            // A dropped connection is not a dead daemon: reconnect and
+            // keep polling the same job.
+            *client = Client::connect(&addr).ok();
+        }
+        match client.as_mut().map(|c| c.status(job)) {
+            None => RemotePoll::Unreachable(format!("daemon {addr}: connect failed")),
+            Some(Err(e)) => {
+                *client = None;
+                RemotePoll::Unreachable(format!("daemon {addr}: {e}"))
+            }
+            Some(Ok(snapshot)) => {
+                if snapshot.done > *done {
+                    *done = snapshot.done;
+                    shard.last_growth = Instant::now();
+                }
+                match snapshot.state.as_str() {
+                    "done" => {
+                        let connection = client.as_mut().expect("status just succeeded");
+                        match connection.cells(job) {
+                            Ok(records) => RemotePoll::Complete {
+                                records,
+                                rasters: snapshot.rasters.unwrap_or(0),
+                            },
+                            Err(e) => {
+                                *client = None;
+                                RemotePoll::Unreachable(format!("daemon {addr}: {e}"))
+                            }
+                        }
+                    }
+                    "failed" => RemotePoll::JobFailed(format!(
+                        "daemon job {job} failed: {}",
+                        snapshot.error.as_deref().unwrap_or("unknown error")
+                    )),
+                    _ => RemotePoll::Waiting,
+                }
+            }
+        }
+    };
+    match poll {
+        RemotePoll::Waiting => {}
+        RemotePoll::Complete { records, rasters } => {
+            // Materialize the daemon's records as a local shard store so
+            // the merge is uniform across backends.
+            let (store, _existing) = ResultStore::open_for_plan(&shard.dir, &shard.plan)?;
+            for record in &records {
+                store.record(record)?;
+            }
+            if store_complete(&shard.dir, shard.cells)? {
+                shard.remote_rasters += rasters;
+                shard.state = State::Done;
+            } else {
+                retry_or_fail(args, shard, "daemon returned an incomplete cell set");
+            }
+        }
+        RemotePoll::JobFailed(why) => retry_or_fail(args, shard, &why),
+        RemotePoll::Unreachable(why) => {
+            if shard.last_growth.elapsed() > args.stall_timeout {
+                retry_or_fail(
+                    args,
+                    shard,
+                    &format!("{why} for {:.1}s", args.stall_timeout.as_secs_f64()),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn retry_or_fail(args: &FleetArgs, shard: &mut Shard, why: &str) {
+    let quiet = args.run.opts.quiet;
+    if shard.attempts > args.max_retries {
+        re_obs::metrics::counter(FLEET_SHARDS_FAILED).incr();
+        if !quiet {
+            eprintln!(
+                "\n[sweep fleet] shard {}/{}: {why} — retry budget exhausted",
+                shard.index + 1,
+                args.shard_count()
+            );
+        }
+        shard.state = State::Failed(why.to_string());
+    } else {
+        if !quiet {
+            eprintln!(
+                "\n[sweep fleet] shard {}/{}: {why} — relaunching (attempt {} of {})",
+                shard.index + 1,
+                args.shard_count(),
+                shard.attempts + 1,
+                args.max_retries + 1
+            );
+        }
+        shard.state = State::Queued;
+    }
+}
+
+/// `true` when `dir` holds a store with every one of the shard's cells.
+/// A missing store is simply "not complete"; a corrupt one is an error.
+fn store_complete(dir: &Path, cells: usize) -> io::Result<bool> {
+    match read_records(dir) {
+        Ok(records) => Ok(records.len() == cells),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+fn done_cells(shard: &Shard) -> u64 {
+    match &shard.state {
+        State::Done => shard.cells as u64,
+        State::Remote { done, .. } => *done,
+        // Queued/local/failed: the tail's accounting (resume base + this
+        // segment), clamped — a heartbeat can land after the last cell.
+        _ => shard.tail.cells_done().min(shard.cells as u64),
+    }
+}
+
+/// The single aggregated progress line, fixed-width so `\r` repaints
+/// cleanly: cells done/total, ETA from this run's completion rate, and
+/// every shard's state.
+fn progress_line(shards: &[Shard], total: usize, base_done: u64, started: Instant) -> String {
+    let done: u64 = shards.iter().map(done_cells).sum();
+    let fresh = done.saturating_sub(base_done);
+    let eta = if (done as usize) >= total {
+        "0s".to_string()
+    } else if fresh == 0 {
+        "--".to_string()
+    } else {
+        let rate = fresh as f64 / started.elapsed().as_secs_f64().max(1e-9);
+        format!("{}s", ((total as f64 - done as f64) / rate).ceil() as u64)
+    };
+    let states: Vec<String> = shards
+        .iter()
+        .map(|s| format!("{}:{}", s.index + 1, s.state.label()))
+        .collect();
+    let line = format!(
+        "[sweep fleet] {done}/{total} cells  eta {eta}  [{}]",
+        states.join(" ")
+    );
+    format!("{line:<100}")
+}
+
+fn persist(
+    root: &Path,
+    full: &SweepPlan,
+    shards: &[Shard],
+    merged: bool,
+    last_saved: &mut String,
+) -> io::Result<()> {
+    let manifest = Manifest {
+        fingerprint: full.fingerprint(),
+        spec: full.spec().to_string(),
+        cells: full.cell_count(),
+        shards: shards
+            .iter()
+            .map(|s| ShardEntry {
+                index: s.index,
+                backend: s.backend.clone(),
+                job: s.job,
+                state: s.state.manifest_state().to_string(),
+                attempts: s.attempts,
+                cells: s.cells,
+                render_jobs: s.render_jobs,
+                rasters: match s.state {
+                    State::Done => Some(s.tail.rasters() + s.remote_rasters),
+                    _ => None,
+                },
+            })
+            .collect(),
+        merged,
+    };
+    // Save only on change: the loop ticks every 200 ms, states change
+    // rarely, and each save is an fsync-free write + rename.
+    let body = manifest.to_json().to_string();
+    if body != *last_saved {
+        manifest.save(root)?;
+        *last_saved = body;
+    }
+    Ok(())
+}
+
+fn check_identity(root: &Path, full: &SweepPlan, count: usize) -> io::Result<()> {
+    let Some(manifest) = Manifest::load(root)? else {
+        return Ok(());
+    };
+    let clash = |msg: String| Err(io::Error::new(io::ErrorKind::InvalidInput, msg));
+    if manifest.fingerprint != full.fingerprint() {
+        return clash(format!(
+            "fleet root {} holds a different grid (manifest fingerprint {:016x}, this \
+             command {:016x}) — use a fresh --out",
+            root.display(),
+            manifest.fingerprint,
+            full.fingerprint()
+        ));
+    }
+    if manifest.shards.len() != count {
+        return clash(format!(
+            "fleet root {} was partitioned into {} shard(s), this command asks for {count} \
+             — keep the original --local-procs/--daemon placement or use a fresh --out",
+            root.display(),
+            manifest.shards.len()
+        ));
+    }
+    Ok(())
+}

@@ -99,3 +99,23 @@ pub const SERVE_CONNECTIONS: &str = "serve.connections";
 /// lines, bad JSON, unknown verbs) — each one produced a structured error
 /// response, never a crash.
 pub const SERVE_BAD_FRAMES: &str = "serve.bad_frames";
+
+/// Counter: shard workers a `sweep fleet` supervisor launched (first
+/// attempts and retries both count; `launched - retried` is the shard
+/// count of a clean run).
+pub const FLEET_SHARDS_LAUNCHED: &str = "fleet.shards_launched";
+
+/// Counter: shard workers relaunched after dying or stalling (bounded by
+/// the fleet's `--max-retries`; safe because stores are resumable and
+/// the render-key partition is deterministic).
+pub const FLEET_SHARDS_RETRIED: &str = "fleet.shards_retried";
+
+/// Counter: shards abandoned with their retry budget exhausted — any
+/// nonzero value means the fleet run failed and left `fleet.json` behind
+/// for a resume.
+pub const FLEET_SHARDS_FAILED: &str = "fleet.shards_failed";
+
+/// Histogram: one `sweep fleet` supervisor poll tick — tailing every
+/// shard's `events.jsonl`, reaping children, polling daemons and
+/// repainting the progress line.
+pub const FLEET_SUPERVISOR_TICK: &str = "fleet.supervisor.tick";

@@ -40,7 +40,7 @@ use re_obs::names;
 use re_sweep::json::Json;
 use re_sweep::{
     event_json, AsyncExecutor, ExperimentGrid, InFlightRenders, JsonlObserver, MultiObserver,
-    RenderLogCache, SweepEvent, SweepObserver, SweepOptions, SweepPlan, EVENTS_FILE,
+    RenderLogCache, ShardSpec, SweepEvent, SweepObserver, SweepOptions, SweepPlan, EVENTS_FILE,
 };
 
 use crate::proto::{read_frame, write_frame, Request, Response, PROTO_VERSION};
@@ -137,6 +137,8 @@ impl SweepObserver for JobEvents {
 
 struct Job {
     grid: ExperimentGrid,
+    /// Shard of the grid this job runs (`None` = the whole grid).
+    shard: Option<ShardSpec>,
     store: PathBuf,
     status: JobStatus,
     /// Raster invocations this job performed (exact: jobs are serial).
@@ -275,16 +277,21 @@ fn run_jobs(state: &Arc<DaemonState>) {
 }
 
 fn run_one_job(state: &Arc<DaemonState>, index: usize) {
-    let (grid, store, events) = {
+    let (grid, shard, store, events) = {
         let mut jobs = state.jobs.lock().expect("jobs poisoned");
         let job = &mut jobs[index];
         job.status = JobStatus::Running;
-        (job.grid.clone(), job.store.clone(), Arc::clone(&job.events))
+        (
+            job.grid.clone(),
+            job.shard,
+            job.store.clone(),
+            Arc::clone(&job.events),
+        )
     };
     let cache = state.config.root.join("cache");
 
     let mut observers: Vec<Arc<dyn SweepObserver>> = vec![Arc::clone(&events) as _];
-    let jsonl = match JsonlObserver::append(store.join(EVENTS_FILE), None) {
+    let jsonl = match JsonlObserver::append(store.join(EVENTS_FILE), shard) {
         Ok(o) => {
             let o = Arc::new(o);
             observers.push(Arc::clone(&o) as _);
@@ -312,7 +319,16 @@ fn run_one_job(state: &Arc<DaemonState>, index: usize) {
 
     let before = re_gpu::raster_invocations();
     let plan = SweepPlan::compile(&grid);
-    let result = re_sweep::run_plan_with_store(&plan, &opts, &store);
+    // `submit` already validated the shard, so a failure here (the spec
+    // was valid then) can only mean internal inconsistency — surface it
+    // as a failed job rather than panicking the runner.
+    let result = match shard {
+        Some(s) => plan
+            .shard(s.index, s.count)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e)),
+        None => Ok(plan),
+    }
+    .and_then(|plan| re_sweep::run_plan_with_store(&plan, &opts, &store));
     let rasters = re_gpu::raster_invocations() - before;
 
     let status = match result {
@@ -320,11 +336,14 @@ fn run_one_job(state: &Arc<DaemonState>, index: usize) {
         Err(e) => JobStatus::Failed(e.to_string()),
     };
     if let Some(jsonl) = jsonl {
-        let _ = jsonl.finish(if status == JobStatus::Done {
-            "complete"
-        } else {
-            "error"
-        });
+        let _ = jsonl.finish_with_rasters(
+            if status == JobStatus::Done {
+                "complete"
+            } else {
+                "error"
+            },
+            Some(rasters),
+        );
     }
     {
         let mut jobs = state.jobs.lock().expect("jobs poisoned");
@@ -368,6 +387,10 @@ fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) -> io::Result<
             stream_watch(state, &mut writer, job)?;
             continue;
         }
+        if let Request::Cells { job } = request {
+            stream_cells(state, &mut writer, job)?;
+            continue;
+        }
         let response = respond(state, &request);
         write_frame(&mut writer, &response.to_json())?;
         if shutdown {
@@ -406,6 +429,46 @@ fn stream_watch(state: &Arc<DaemonState>, writer: &mut impl io::Write, job: u64)
     }
 }
 
+/// Streams a completed job's cell records — one `{"ok":true,"record":
+/// {...}}` frame per record, in cell-id order, then `done:true`. Each
+/// record is one store `cell_*.json` object, so every frame stays far
+/// under `MAX_LINE` no matter how large the grid is.
+fn stream_cells(state: &Arc<DaemonState>, writer: &mut impl io::Write, job: u64) -> io::Result<()> {
+    let store = {
+        let jobs = state.jobs.lock().expect("jobs poisoned");
+        match job_index(&jobs, job) {
+            Err(e) => return write_frame(writer, &Response::Err(e).to_json()),
+            Ok(i) => match &jobs[i].status {
+                JobStatus::Done => jobs[i].store.clone(),
+                other => {
+                    return write_frame(
+                        writer,
+                        &Response::Err(format!(
+                            "job {job} is {} — wait for it to complete (status/watch)",
+                            other.name()
+                        ))
+                        .to_json(),
+                    )
+                }
+            },
+        }
+    };
+    let records = match re_sweep::read_records(&store) {
+        Ok(r) => r,
+        Err(e) => return write_frame(writer, &Response::Err(e.to_string()).to_json()),
+    };
+    for record in &records {
+        write_frame(
+            writer,
+            &Response::Ok(vec![("record".to_string(), record.to_json())]).to_json(),
+        )?;
+    }
+    write_frame(
+        writer,
+        &Response::Ok(vec![("done".to_string(), Json::Bool(true))]).to_json(),
+    )
+}
+
 fn job_index(jobs: &[Job], job: u64) -> Result<usize, String> {
     let index = (job as usize)
         .checked_sub(1)
@@ -431,7 +494,7 @@ fn respond(state: &Arc<DaemonState>, request: &Request) -> Response {
                 Json::Int(state.in_flight.len() as i64),
             ),
         ]),
-        Request::Submit { grid } => submit(state, grid),
+        Request::Submit { grid, shard } => submit(state, grid, *shard),
         Request::Status { job } => {
             let jobs = state.jobs.lock().expect("jobs poisoned");
             match job_index(&jobs, *job) {
@@ -442,6 +505,7 @@ fn respond(state: &Arc<DaemonState>, request: &Request) -> Response {
                         ("job".to_string(), Json::Int(*job as i64)),
                         ("state".to_string(), Json::Str(j.status.name().into())),
                         ("cells".to_string(), Json::Int(j.cells as i64)),
+                        ("done".to_string(), Json::Int(cells_done(&j.events) as i64)),
                         ("render_jobs".to_string(), Json::Int(j.render_jobs as i64)),
                         ("cached_jobs".to_string(), Json::Int(j.cached_jobs as i64)),
                         (
@@ -449,6 +513,9 @@ fn respond(state: &Arc<DaemonState>, request: &Request) -> Response {
                             Json::Str(j.store.display().to_string()),
                         ),
                     ];
+                    if let Some(s) = j.shard {
+                        fields.push(("shard".to_string(), Json::Str(s.to_string())));
+                    }
                     if let Some(r) = j.rasters {
                         fields.push(("rasters".to_string(), Json::Int(r as i64)));
                     }
@@ -489,9 +556,33 @@ fn respond(state: &Arc<DaemonState>, request: &Request) -> Response {
             state.begin_drain();
             Response::Ok(vec![("draining".to_string(), Json::Bool(true))])
         }
-        // Watch is streamed by the connection handler, never here.
+        // Watch and cells are streamed by the connection handler, never
+        // here.
         Request::Watch { .. } => Response::Err("internal: watch must stream".to_string()),
+        Request::Cells { .. } => Response::Err("internal: cells must stream".to_string()),
     }
+}
+
+/// Cells this job has committed so far, read off its buffered event
+/// stream: the store-resume base (cells found already complete) plus the
+/// latest per-segment completion count (`cell_done`/`progress` carry a
+/// running `done` that excludes resumed cells).
+fn cells_done(events: &JobEvents) -> usize {
+    let log = events.log.lock().expect("job events poisoned");
+    let mut resumed = 0;
+    let mut done = 0;
+    for event in &log.0 {
+        match event.get("type").and_then(Json::as_str) {
+            Some("store_resume") => {
+                resumed = event.get("resumed").and_then(Json::as_u64).unwrap_or(0) as usize;
+            }
+            Some("cell_done" | "progress") => {
+                done = event.get("done").and_then(Json::as_u64).unwrap_or(0) as usize;
+            }
+            _ => {}
+        }
+    }
+    resumed + done
 }
 
 /// Runs `body` on a job that must have completed successfully.
@@ -516,13 +607,21 @@ fn with_done_job(
     }
 }
 
-fn submit(state: &Arc<DaemonState>, grid: &ExperimentGrid) -> Response {
+fn submit(state: &Arc<DaemonState>, grid: &ExperimentGrid, shard: Option<ShardSpec>) -> Response {
     if state.draining.load(Ordering::Acquire) {
         return Response::Err("daemon is draining, not accepting submissions".to_string());
     }
-    // Compile now so a bad grid fails the submitter, not the queue, and
-    // so the response can say how much Stage A the caches already cover.
-    let mut plan = SweepPlan::compile(grid);
+    // Compile now so a bad grid (or shard spec) fails the submitter, not
+    // the queue, and so the response can say how much Stage A the caches
+    // already cover — counted on the shard actually being run.
+    let full = SweepPlan::compile(grid);
+    let mut plan = match shard {
+        Some(s) => match full.shard(s.index, s.count) {
+            Ok(p) => p,
+            Err(e) => return Response::Err(format!("shard: {e}")),
+        },
+        None => full,
+    };
     plan.attach_cached_logs(&RenderLogCache::new(Some(state.config.root.join("cache"))));
     let cached = plan
         .render_jobs()
@@ -537,6 +636,7 @@ fn submit(state: &Arc<DaemonState>, grid: &ExperimentGrid) -> Response {
         let id = jobs.len() as u64 + 1;
         let job = Job {
             grid: grid.clone(),
+            shard,
             store: state.config.root.join("jobs").join(format!("job-{id}")),
             status: JobStatus::Queued,
             rasters: None,
@@ -554,7 +654,7 @@ fn submit(state: &Arc<DaemonState>, grid: &ExperimentGrid) -> Response {
         queue.push_back(id as usize - 1);
         state.queue_grew.notify_all();
     }
-    Response::Ok(vec![
+    let mut fields = vec![
         ("job".to_string(), Json::Int(id as i64)),
         ("cells".to_string(), Json::Int(cells as i64)),
         ("render_jobs".to_string(), Json::Int(render_jobs as i64)),
@@ -563,5 +663,9 @@ fn submit(state: &Arc<DaemonState>, grid: &ExperimentGrid) -> Response {
             "fingerprint".to_string(),
             Json::Str(format!("{:016x}", grid.fingerprint())),
         ),
-    ])
+    ];
+    if let Some(s) = shard {
+        fields.push(("shard".to_string(), Json::Str(s.to_string())));
+    }
+    Response::Ok(fields)
 }

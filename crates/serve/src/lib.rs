@@ -17,12 +17,15 @@
 //! * [`daemon`] — the server: job queue, serial job runner, per-job
 //!   stores under one root, graceful drain;
 //! * [`client`] — the `sweep client` verbs (`submit`, `status`, `watch`,
-//!   `report`, `csv`, `metrics`, `ping`, `shutdown`);
+//!   `report`, `csv`, `metrics`, `ping`, `shutdown`) and the library
+//!   calls (`Client::submit`/`status`/`cells`, [`client::watch_job`])
+//!   the `sweep fleet` daemon backend drives;
 //! * [`sig`] — SIGINT/SIGTERM to a clean flush, shared with `sweep run`.
 //!
-//! The `sweep` binary itself lives in this crate (`src/bin/sweep.rs`):
-//! the one-shot verbs delegate to `re_sweep::cli`, plus `serve` and
-//! `client` from here.
+//! The `sweep` binary itself lives in `re_fleet` (`crates/fleet`), the
+//! top of the crate stack: its one-shot verbs delegate to
+//! `re_sweep::cli`, `serve` and `client` come from here, and `fleet`
+//! from `re_fleet`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +35,6 @@ pub mod daemon;
 pub mod proto;
 pub mod sig;
 
-pub use client::Client;
+pub use client::{watch_job, Client, JobSnapshot, SubmitOutcome};
 pub use daemon::{Daemon, ServeConfig};
 pub use proto::{Request, Response, MAX_LINE, PROTO_VERSION};

@@ -22,7 +22,7 @@ use std::io::{self, BufRead};
 
 use re_sweep::axis::{self, AXES};
 use re_sweep::json::Json;
-use re_sweep::ExperimentGrid;
+use re_sweep::{ExperimentGrid, ShardSpec};
 
 /// Protocol version, echoed in `hello` responses.
 pub const PROTO_VERSION: u64 = 1;
@@ -41,6 +41,11 @@ pub enum Request {
     Submit {
         /// The grid to run (boxed: it dwarfs the other variants).
         grid: Box<ExperimentGrid>,
+        /// Run only this shard of the compiled plan (wire form `"K/N"`,
+        /// 1-based, exactly like the CLI's `--shard`). `None` runs the
+        /// whole grid. A fleet driver uses this to place one shard of a
+        /// partition on a remote daemon.
+        shard: Option<ShardSpec>,
     },
     /// One-shot snapshot of a job's state.
     Status {
@@ -62,6 +67,16 @@ pub enum Request {
         /// Job id from `submit`.
         job: u64,
     },
+    /// Stream a completed job's cell records, one
+    /// `{"ok":true,"record":{...}}` frame per record (the `cell_*.json`
+    /// store objects verbatim) then `{"ok":true,"done":true}`. Streaming
+    /// keeps every frame far under [`MAX_LINE`] however large the grid —
+    /// a fleet driver fetches a daemon shard's records this way to
+    /// materialize a local store for the merge.
+    Cells {
+        /// Job id from `submit`.
+        job: u64,
+    },
     /// Snapshot of the daemon process's `re_obs` metrics registry.
     Metrics,
     /// Graceful drain: finish every accepted job, flush stores, run
@@ -79,6 +94,7 @@ impl Request {
             Request::Watch { .. } => "watch",
             Request::Report { .. } => "report",
             Request::Csv { .. } => "csv",
+            Request::Cells { .. } => "cells",
             Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
@@ -88,13 +104,17 @@ impl Request {
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![("verb".to_string(), Json::Str(self.verb().into()))];
         match self {
-            Request::Submit { grid } => {
+            Request::Submit { grid, shard } => {
                 pairs.push(("grid".to_string(), grid_to_json(grid)));
+                if let Some(s) = shard {
+                    pairs.push(("shard".to_string(), Json::Str(s.to_string())));
+                }
             }
             Request::Status { job }
             | Request::Watch { job }
             | Request::Report { job }
-            | Request::Csv { job } => {
+            | Request::Csv { job }
+            | Request::Cells { job } => {
                 pairs.push(("job".to_string(), Json::Int(*job as i64)));
             }
             Request::Ping | Request::Metrics | Request::Shutdown => {}
@@ -122,14 +142,23 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "submit" => {
                 let grid = grid_from_json(v.get("grid").ok_or("submit: missing `grid`")?)?;
+                let shard = match v.get("shard") {
+                    None => None,
+                    Some(s) => {
+                        let s = s.as_str().ok_or("submit: `shard` is not a string")?;
+                        Some(ShardSpec::parse(s).map_err(|e| format!("submit: shard: {e}"))?)
+                    }
+                };
                 Ok(Request::Submit {
                     grid: Box::new(grid),
+                    shard,
                 })
             }
             "status" => Ok(Request::Status { job: job()? }),
             "watch" => Ok(Request::Watch { job: job()? }),
             "report" => Ok(Request::Report { job: job()? }),
             "csv" => Ok(Request::Csv { job: job()? }),
+            "cells" => Ok(Request::Cells { job: job()? }),
             "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown verb `{other}`")),

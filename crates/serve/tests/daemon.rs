@@ -66,6 +66,7 @@ fn submit_and_wait(addr: &str, grid: &ExperimentGrid) -> (u64, u64) {
     let response = client
         .request(&Request::Submit {
             grid: Box::new(grid.clone()),
+            shard: None,
         })
         .expect("submit");
     let job = response
@@ -264,6 +265,77 @@ fn hostile_clients_get_errors_not_crashes() {
     handle.join().expect("daemon thread");
 }
 
+/// The daemon shard path end to end — the exact data flow the `sweep
+/// fleet` daemon backend drives: submit each shard of a partition with
+/// `shard: Some(K/N)`, poll with the library `status` (which now carries
+/// `done`), fetch records with the streaming `cells` verb, materialize
+/// local shard stores from them, and `merge_stores` the result into a
+/// CSV byte-identical to the unsharded one-shot run.
+#[test]
+fn sharded_submissions_merge_to_the_unsharded_csv() {
+    let _guard = lock();
+    let root = tmp_dir("shard");
+    let (addr, handle) = start_daemon(root);
+    let grid = small_grid(); // two render keys → a 2-way partition
+
+    let plan = re_sweep::SweepPlan::compile(&grid);
+    let fleet_root = tmp_dir("shard-fleet");
+    let mut client = Client::connect(&addr).expect("connect");
+    for index in 0..2 {
+        let shard = re_sweep::ShardSpec { index, count: 2 };
+        let outcome = client.submit(&grid, Some(shard)).expect("submit shard");
+        let shard_plan = plan.shard(index, 2).expect("shard plan");
+        assert_eq!(
+            outcome.cells as usize,
+            shard_plan.cell_count(),
+            "daemon must accept the shard, not the whole grid"
+        );
+        let snapshot = loop {
+            std::thread::sleep(Duration::from_millis(20));
+            let s = client.status(outcome.job).expect("status");
+            match s.state.as_str() {
+                "done" => break s,
+                "failed" => panic!("shard job failed: {:?}", s.error),
+                _ => {}
+            }
+        };
+        assert_eq!(
+            snapshot.done as usize,
+            shard_plan.cell_count(),
+            "status must count committed cells"
+        );
+        // Fetch the shard's records and materialize a local store — the
+        // daemon's store stays on its own host in a real fleet.
+        let records = client.cells(outcome.job).expect("cells");
+        assert_eq!(records.len(), shard_plan.cell_count());
+        let dir = fleet_root.join(format!("shards/shard-{index}"));
+        let (store, _) =
+            re_sweep::ResultStore::open_for_plan(&dir, &shard_plan).expect("shard store");
+        for rec in &records {
+            store.record(rec).expect("record");
+        }
+    }
+
+    let merged = fleet_root.join("merged");
+    re_sweep::merge_stores(&merged, &[fleet_root.join("shards")]).expect("merge");
+    let merged_csv = std::fs::read_to_string(merged.join("results.csv")).expect("merged csv");
+
+    let out = tmp_dir("shard-oneshot");
+    let opts = re_sweep::SweepOptions {
+        quiet: true,
+        ..re_sweep::SweepOptions::default()
+    };
+    re_sweep::run_plan_with_store(&plan, &opts, &out).expect("one-shot run");
+    let reference = std::fs::read_to_string(out.join("results.csv")).expect("one-shot csv");
+    assert_eq!(
+        merged_csv, reference,
+        "merged daemon shards must reproduce the unsharded CSV byte for byte"
+    );
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("daemon thread");
+}
+
 /// Draining rejects new submissions but still answers status queries.
 #[test]
 fn draining_daemon_rejects_new_submissions() {
@@ -279,6 +351,7 @@ fn draining_daemon_rejects_new_submissions() {
     let response = submitter
         .request(&Request::Submit {
             grid: Box::new(small_grid()),
+            shard: None,
         })
         .expect("submit during drain");
     match response {

@@ -60,12 +60,18 @@ proptest! {
         grid.frames = frames;
         grid.set_axis(a, vec![v1, v2]).unwrap();
 
-        let back = match round_trip(&Request::Submit { grid: Box::new(grid.clone()) }) {
-            Request::Submit { grid } => *grid,
+        let request = Request::Submit { grid: Box::new(grid.clone()), shard: None };
+        let back = match round_trip(&request) {
+            Request::Submit { grid, shard: None } => *grid,
             other => panic!("wrong verb: {other:?}"),
         };
         prop_assert_eq!(&back, &grid);
         prop_assert_eq!(back.fingerprint(), grid.fingerprint());
+
+        // A sharded submission carries its 1-based `K/N` spec through too.
+        let shard = Some(re_sweep::ShardSpec { index: s1 as usize % 4, count: 4 });
+        let sharded = Request::Submit { grid: Box::new(grid.clone()), shard };
+        prop_assert_eq!(round_trip(&sharded), sharded);
 
         // The standalone grid codec agrees with the framed one.
         let again = grid_from_json(&grid_to_json(&grid)).unwrap();
@@ -82,6 +88,7 @@ proptest! {
             Request::Watch { job },
             Request::Report { job },
             Request::Csv { job },
+            Request::Cells { job },
         ] {
             prop_assert_eq!(round_trip(&request), request);
         }
@@ -135,6 +142,16 @@ fn malformed_frames_are_structured_errors() {
         ("{\"verb\":\"status\",\"job\":-3}", "negative job id"),
         ("{\"verb\":\"submit\"}", "missing grid"),
         ("{\"verb\":\"submit\",\"grid\":7}", "mistyped grid"),
+        (
+            "{\"verb\":\"submit\",\"shard\":\"0/2\",\
+             \"grid\":{\"frames\":1,\"width\":1,\"height\":1,\"axes\":{}}}",
+            "zero-based shard",
+        ),
+        (
+            "{\"verb\":\"submit\",\"shard\":7,\
+             \"grid\":{\"frames\":1,\"width\":1,\"height\":1,\"axes\":{}}}",
+            "mistyped shard",
+        ),
         (
             "{\"verb\":\"submit\",\"grid\":{\"frames\":0,\"width\":1,\"height\":1,\"axes\":{}}}",
             "zero frames",

@@ -145,6 +145,7 @@ const RUN_FLAGS: &[&str] = &[
     "--workers",
     "--render-workers",
     "--relog-compress",
+    "--heartbeat-ms",
     "--shard",
     "--frames",
     "--width",
@@ -201,6 +202,10 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
                         return Err(format!("--relog-compress: `{other}` is not `on` or `off`"))
                     }
                 }
+            }
+            "--heartbeat-ms" => {
+                let ms: u64 = value()?.parse().map_err(|_| "--heartbeat-ms: bad value")?;
+                opts.heartbeat = (ms > 0).then(|| std::time::Duration::from_millis(ms));
             }
             "--shard" => {
                 shard = Some(ShardSpec::parse(value()?).map_err(|e| format!("--shard: {e}"))?)
@@ -326,6 +331,10 @@ OPTIONS:
                         results are bit-identical at any setting)
     --shard K/N         run only shard K of N (1-based; partitioned by
                         render key, so each shard rasterizes its keys once)
+    --heartbeat-ms N    cadence of the progress heartbeat the executor
+                        writes even while every worker is busy (default:
+                        10000; 0 disables it) — supervisors tailing
+                        events.jsonl tighten this for liveness checks
     --frames N          frames per cell (default: 24)
     --width W           screen width (default: 400)
     --height H          screen height (default: 256)
@@ -403,6 +412,22 @@ SERVE:
                         talk to a daemon; verbs: submit (takes run flags,
                         plus --wait), status/watch/report/csv (--job N),
                         metrics, ping, shutdown
+
+FLEET:
+    sweep fleet [RUN FLAGS] --local-procs N [--daemon HOST:PORT]...
+                        run a sharded sweep end to end: partition the grid
+                        by render key across N local worker processes plus
+                        one shard per --daemon, supervise them (heartbeat
+                        liveness, bounded retry of dead shards), then merge
+                        the shard stores into <out>/merged — byte-identical
+                        to the unsharded run (docs/FLEET.md)
+    --max-retries N     relaunches allowed per shard beyond the first
+                        attempt (default 2; stores resume, so retry is safe)
+    --stall-timeout-ms N
+                        a shard whose run log grows nothing for this long
+                        is killed and retried (default 30000)
+    --poll-ms N         supervisor poll cadence (default 200)
+    --dry-run           print the shard partition and exit
 ",
     );
     out
@@ -582,6 +607,25 @@ mod tests {
         assert!(err.contains("not `on` or `off`"), "{err}");
         let err = parse_strs(&["--render-worker", "2"]).unwrap_err();
         assert!(err.contains("did you mean `--render-workers`?"), "{err}");
+    }
+
+    #[test]
+    fn heartbeat_flag_sets_cadence() {
+        let r = run_args(&[]);
+        assert_eq!(
+            r.opts.heartbeat,
+            Some(std::time::Duration::from_secs(10)),
+            "default cadence"
+        );
+        let r = run_args(&["--heartbeat-ms", "250"]);
+        assert_eq!(
+            r.opts.heartbeat,
+            Some(std::time::Duration::from_millis(250))
+        );
+        let r = run_args(&["--heartbeat-ms", "0"]);
+        assert_eq!(r.opts.heartbeat, None, "0 disables the heartbeat");
+        let err = parse_strs(&["--heartbeat-ms", "soon"]).unwrap_err();
+        assert!(err.contains("--heartbeat-ms"), "{err}");
     }
 
     #[test]

@@ -74,6 +74,12 @@ pub struct SweepOptions {
     /// Smaller files, identical replay results; readers accept both
     /// framings, so flipping this between runs is safe.
     pub relog_compress: bool,
+    /// Interval of the [`SweepEvent::Progress`](crate::exec::SweepEvent)
+    /// heartbeat the default executor's watchdog emits (`None` disables
+    /// it). Supervisors that tail `events.jsonl` for liveness — the
+    /// `sweep fleet` driver — tighten this below the 10-second default so
+    /// a stuck worker is detected promptly.
+    pub heartbeat: Option<std::time::Duration>,
     /// Progress-event sink. `None` installs [`StderrObserver`] (or
     /// [`NullObserver`] when [`quiet`](Self::quiet) is set); `Some`
     /// overrides both.
@@ -97,6 +103,7 @@ impl std::fmt::Debug for SweepOptions {
             .field("group_renders", &self.group_renders)
             .field("render_workers", &self.render_workers)
             .field("relog_compress", &self.relog_compress)
+            .field("heartbeat", &self.heartbeat)
             .field("observer", &self.observer.as_ref().map(|_| "<custom>"))
             .field("executor", &self.executor.as_ref().map(|_| "<custom>"))
             .finish()
@@ -113,6 +120,7 @@ impl Default for SweepOptions {
             group_renders: true,
             render_workers: 0,
             relog_compress: false,
+            heartbeat: Some(std::time::Duration::from_secs(10)),
             observer: None,
             executor: None,
         }
@@ -142,7 +150,7 @@ impl SweepOptions {
             log_dir: self.log_dir.clone(),
             render_workers: self.render_workers,
             relog_compress: self.relog_compress,
-            ..ThreadExecutor::default()
+            heartbeat: self.heartbeat,
         })
     }
 

@@ -120,12 +120,27 @@ impl JsonlObserver {
     /// # Errors
     /// File write errors.
     pub fn finish(&self, reason: &str) -> io::Result<()> {
+        self.finish_with_rasters(reason, None)
+    }
+
+    /// [`finish`](Self::finish) with the segment's raster-invocation
+    /// count attached to the trailer. A fleet supervisor tailing several
+    /// shard logs sums these to report the fleet-wide raster total — the
+    /// number the `.relog` cache drives to zero on a warm run.
+    ///
+    /// # Errors
+    /// File write errors.
+    pub fn finish_with_rasters(&self, reason: &str, rasters: Option<u64>) -> io::Result<()> {
         let t_ms = self.start.elapsed().as_millis() as u64;
-        self.write_line(&Json::Obj(vec![
+        let mut fields = vec![
             ("type".to_string(), Json::Str("run_end".into())),
             ("t_ms".to_string(), Json::Int(t_ms as i64)),
             ("reason".to_string(), Json::Str(reason.into())),
-        ]))
+        ];
+        if let Some(n) = rasters {
+            fields.push(("rasters".to_string(), Json::Int(n as i64)));
+        }
+        self.write_line(&Json::Obj(fields))
     }
 
     fn write_line(&self, json: &Json) -> io::Result<()> {
@@ -340,6 +355,9 @@ pub enum EventRecord {
         t_ms: u64,
         /// Why the segment ended (`"complete"`, `"signal"`, `"drain"`, …).
         reason: String,
+        /// Raster invocations this segment performed, when the writer
+        /// recorded them ([`JsonlObserver::finish_with_rasters`]).
+        rasters: Option<u64>,
     },
     /// Mirror of [`SweepEvent::CaptureStart`].
     CaptureStart {
@@ -538,6 +556,7 @@ impl EventRecord {
             "run_end" => EventRecord::RunEnd {
                 t_ms,
                 reason: text("reason")?,
+                rasters: opt_num("rasters"),
             },
             "capture_start" => EventRecord::CaptureStart {
                 t_ms,
@@ -863,10 +882,22 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let obs = JsonlObserver::append(&path, None).expect("open");
         obs.finish("signal").expect("trailer");
+        obs.finish_with_rasters("complete", Some(7))
+            .expect("trailer");
         let records = read_events(&path).expect("read");
-        assert_eq!(records.len(), 2);
+        assert_eq!(records.len(), 3);
         assert!(
-            matches!(&records[1], EventRecord::RunEnd { reason, .. } if reason == "signal"),
+            matches!(
+                &records[1],
+                EventRecord::RunEnd { reason, rasters: None, .. } if reason == "signal"
+            ),
+            "{records:?}"
+        );
+        assert!(
+            matches!(
+                &records[2],
+                EventRecord::RunEnd { reason, rasters: Some(7), .. } if reason == "complete"
+            ),
             "{records:?}"
         );
         let _ = std::fs::remove_file(&path);

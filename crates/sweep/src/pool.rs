@@ -102,17 +102,31 @@ where
 /// The default worker count: the `RE_SWEEP_WORKERS` environment override
 /// when it is set to a positive integer (so CI and containers can pin
 /// worker counts without threading a flag through every harness),
-/// otherwise one per available hardware thread. Unset, empty, zero or
-/// non-numeric values fall through to the hardware count.
+/// otherwise one per available hardware thread. Unset values fall
+/// through to the hardware count silently; an empty, zero or
+/// non-numeric value also falls through, but with a one-line stderr
+/// warning (once per process) naming the bad value and the fallback —
+/// a typo'd pin should not masquerade as a deliberate hardware-count
+/// run.
 pub fn default_workers() -> usize {
+    let fallback = || std::thread::available_parallelism().map_or(1, |n| n.get());
     if let Ok(v) = std::env::var("RE_SWEEP_WORKERS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
                 return n;
             }
         }
+        let n = fallback();
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "[sweep] warning: RE_SWEEP_WORKERS={v:?} is not a positive \
+                 integer; using the hardware thread count ({n})"
+            );
+        });
+        return n;
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    fallback()
 }
 
 #[cfg(test)]
