@@ -7,6 +7,7 @@
 //! sweep merge <out> <in>...  union per-shard stores into one store
 //! sweep report [--store DIR] digest a store into comparison/marginal tables
 //! sweep profile [--store DIR] timing profile from a store's events.jsonl
+//! sweep import <file.retrace> install an external capture as trace:<alias>
 //! sweep axes                 print every registered axis (living docs)
 //! sweep serve --addr A       long-running daemon: submit grids over TCP
 //! sweep client --addr A ...  talk to a daemon (submit/status/watch/csv/...)
@@ -71,6 +72,7 @@ fn main() -> ExitCode {
             print!("{}", cli::render_axes_table());
             ExitCode::SUCCESS
         }
+        Ok(Command::Import { src, alias, dir }) => run_import(&src, alias.as_deref(), &dir),
         Ok(Command::Report { store }) => run_report(&store),
         Ok(Command::Profile { store }) => run_profile(&store),
         Ok(Command::Merge { out, inputs }) => run_merge(&out, &inputs),
@@ -175,6 +177,34 @@ fn run_serve(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("sweep serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_import(src: &std::path::Path, alias: Option<&str>, dir: &std::path::Path) -> ExitCode {
+    match re_sweep::importer::import_file(src, alias, dir) {
+        Ok(outcome) => {
+            eprintln!(
+                "[sweep import] {} → {} ({} frames, {} texture(s), {}x{}, {} bytes)",
+                src.display(),
+                outcome.path.display(),
+                outcome.frames,
+                outcome.textures,
+                outcome.screen.0,
+                outcome.screen.1,
+                outcome.bytes
+            );
+            println!(
+                "registered `{}` — run it with: sweep --scenes {} --import-dir {}",
+                outcome.alias,
+                outcome.alias,
+                dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep import: {e}");
             ExitCode::FAILURE
         }
     }

@@ -253,6 +253,13 @@ pub fn worker_args(
         argv.push("--workers".into());
         argv.push(workers.to_string());
     }
+    // The worker's --out is the shard dir, which would shift the default
+    // import directory — hand every worker the fleet's effective one so
+    // `trace:<alias>` scene values resolve identically fleet-wide.
+    if !has("--import-dir") {
+        argv.push("--import-dir".into());
+        argv.push(args.run.import_dir.display().to_string());
+    }
     argv.push("--quiet".into());
     argv.push("--heartbeat-ms".into());
     argv.push(args.heartbeat_ms.to_string());
@@ -412,6 +419,9 @@ mod tests {
         assert_eq!(run.opts.log_dir.as_deref(), Some(Path::new("root/cache")));
         // The fleet owns metrics dumping; the worker flag was dropped.
         assert_eq!(run.metrics, None);
+        // Workers inherit the fleet's effective import directory (their
+        // own --out is the shard dir, which would shift the default).
+        assert_eq!(run.import_dir, Path::new("root/imports"));
     }
 
     #[test]

@@ -175,6 +175,16 @@ impl Daemon {
     pub fn bind(config: ServeConfig) -> io::Result<Daemon> {
         std::fs::create_dir_all(config.root.join("cache"))?;
         std::fs::create_dir_all(config.root.join("jobs"))?;
+        // Register traces already imported under <root>/imports so a
+        // submission may name `trace:<alias>` scenes from the first
+        // connection on.
+        let imports = config.root.join(re_sweep::importer::IMPORTS_DIR);
+        for (path, why) in re_sweep::importer::register_dir(&imports)?.skipped {
+            eprintln!(
+                "[sweep serve] warning: skipping import {}: {why}",
+                path.display()
+            );
+        }
         let listener = TcpListener::bind(&config.addr)?;
         Ok(Daemon {
             listener,
@@ -356,6 +366,10 @@ fn run_one_job(state: &Arc<DaemonState>, index: usize) {
 }
 
 fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) -> io::Result<()> {
+    // Pick up traces imported since startup before parsing any grid this
+    // client submits (already-registered aliases are a fast no-op scan).
+    let imports = state.config.root.join(re_sweep::importer::IMPORTS_DIR);
+    let _ = re_sweep::importer::register_dir(&imports);
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {

@@ -74,13 +74,23 @@ impl Scene for SharedTraceScene {
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
-        let n = self.trace.frames.len().max(1);
-        self.trace.frames[index % n].clone()
+        // Zero-frame traces replay as empty frames (matching
+        // `re_trace::TraceScene`) instead of panicking on the modulo.
+        match self.trace.frames.len() {
+            0 => FrameDesc::new(),
+            n => self.trace.frames[index % n].clone(),
+        }
     }
 
     fn name(&self) -> &str {
         &self.name
     }
+}
+
+/// Artifact-file-safe form of a scene alias: imported traces contain a
+/// `:` (`trace:foo`), which is not portable in file names.
+pub fn sanitize_alias(alias: &str) -> String {
+    alias.replace(':', "+")
 }
 
 /// Captures workloads once and hands out shared traces, with an optional
@@ -101,7 +111,12 @@ impl TraceCache {
     }
 
     fn file_key(alias: &str, frames: usize, cfg: GpuConfig) -> String {
-        format!("{alias}-{frames}f-{}x{}.retrace", cfg.width, cfg.height)
+        format!(
+            "{}-{frames}f-{}x{}.retrace",
+            sanitize_alias(alias),
+            cfg.width,
+            cfg.height
+        )
     }
 
     /// The trace of workload `alias` over `frames` frames: from memory, else
@@ -195,7 +210,7 @@ impl RenderLogCache {
         let cfg = key.gpu_config();
         format!(
             "{}-{}f-{}x{}-ts{}-{}.relog",
-            key.scene(),
+            sanitize_alias(key.scene()),
             key.frames(),
             cfg.width,
             cfg.height,
@@ -260,18 +275,42 @@ impl RenderLogCache {
     }
 }
 
-/// Captures `frames` frames of the suite workload `alias` under `cfg`.
+/// Captures `frames` frames of the workload `alias` under `cfg`.
+///
+/// Builtin aliases (the suite and the vector family) capture their live
+/// generator. Imported `trace:<alias>` scenes re-read their registered
+/// `.retrace` file through the hardened import layer — re-validating on
+/// every capture guards against on-disk tampering between registration and
+/// use — and then re-capture its replay under the requested config and
+/// frame count (wrapping when more frames are requested than captured).
 ///
 /// # Errors
-/// [`io::ErrorKind::NotFound`] if `alias` is not in the suite.
+/// [`io::ErrorKind::NotFound`] for unknown aliases,
+/// [`io::ErrorKind::InvalidData`] for imports that fail re-validation.
 pub fn capture_alias(alias: &str, frames: usize, cfg: GpuConfig) -> io::Result<Trace> {
-    let mut bench = re_workloads::by_alias(alias).ok_or_else(|| {
+    if let Some(path) = re_workloads::source::trace_path(alias) {
+        let bytes = std::fs::read(&path)?;
+        let imported =
+            re_trace::import::import_bytes(&bytes, &re_trace::import::ImportLimits::default())
+                .map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{alias} ({}): {e}", path.display()),
+                    )
+                })?;
+        let mut replay = re_trace::TraceScene::with_name(imported, alias);
+        return Ok(re_trace::capture(&mut replay, cfg, frames));
+    }
+    let mut scene = re_workloads::source::builtin_scene(alias).ok_or_else(|| {
+        let suggestion = re_workloads::source::suggest(alias)
+            .map(|near| format!(" (did you mean `{near}`?)"))
+            .unwrap_or_default();
         io::Error::new(
             io::ErrorKind::NotFound,
-            format!("unknown workload alias `{alias}`"),
+            format!("unknown workload alias `{alias}`{suggestion}"),
         )
     })?;
-    Ok(re_trace::capture(bench.scene.as_mut(), cfg, frames))
+    Ok(re_trace::capture(scene.as_mut(), cfg, frames))
 }
 
 #[cfg(test)]

@@ -97,8 +97,9 @@ pub enum ValueRepr {
     OptUInt,
     /// A closed set of named values; CSV/JSON store the name.
     Named(&'static [(&'static str, u64)]),
-    /// A workload alias, stored as its index into
-    /// [`re_workloads::ALIASES`].
+    /// A scene alias, stored as its index into the scene-source registry
+    /// ([`re_workloads::source`]): the paper suite, the vector family, and
+    /// runtime-registered `trace:<alias>` imports.
     Scene,
 }
 
@@ -178,7 +179,7 @@ impl AxisDef {
         let repr_ok = match self.repr {
             ValueRepr::UInt | ValueRepr::OptUInt => true,
             ValueRepr::Named(names) => names.iter().any(|&(_, r)| r == raw),
-            ValueRepr::Scene => (raw as usize) < re_workloads::ALIASES.len(),
+            ValueRepr::Scene => (raw as usize) < re_workloads::source::count(),
         };
         repr_ok && (self.validate)(raw)
     }
@@ -200,11 +201,15 @@ impl AxisDef {
                 .find(|&&(n, _)| n == s)
                 .map(|&(_, r)| r)
                 .ok_or_else(bad)?,
-            ValueRepr::Scene => re_workloads::ALIASES
-                .iter()
-                .position(|&a| a == s)
+            ValueRepr::Scene => re_workloads::source::index_of(s)
                 .map(|i| i as u64)
-                .ok_or_else(|| format!("{}: unknown workload alias `{s}`", self.flag))?,
+                .ok_or_else(|| {
+                    let mut msg = format!("{}: unknown workload alias `{s}`", self.flag);
+                    if let Some(near) = re_workloads::source::suggest(s) {
+                        msg.push_str(&format!(" (did you mean `{near}`?)"));
+                    }
+                    msg
+                })?,
         };
         if !self.is_valid(raw) {
             return Err(format!(
@@ -234,8 +239,7 @@ impl AxisDef {
                 .find(|&&(_, r)| r == raw)
                 .map(|&(n, _)| n.to_string())
                 .unwrap_or_else(|| raw.to_string()),
-            ValueRepr::Scene => re_workloads::ALIASES
-                .get(raw as usize)
+            ValueRepr::Scene => re_workloads::source::alias_at(raw as usize)
                 .map(|a| a.to_string())
                 .unwrap_or_else(|| raw.to_string()),
         }
@@ -275,16 +279,18 @@ impl AxisDef {
             }
             ValueRepr::Scene => {
                 let s = v.as_str()?;
-                re_workloads::ALIASES
-                    .iter()
-                    .position(|&a| a == s)
-                    .map(|i| i as u64)
+                re_workloads::source::index_of(s).map(|i| i as u64)
             }
         }
     }
 
     /// Every raw value of a closed domain (named axes and scenes), `None`
     /// for open numeric domains.
+    ///
+    /// For the scene axis this is deliberately the *paper suite* only —
+    /// it is what `all` expands to, so vector scenes and imported traces
+    /// never silently join existing grids (which would change their
+    /// fingerprints); those are always named explicitly.
     pub fn domain_values(&self) -> Option<Vec<u64>> {
         match self.repr {
             ValueRepr::Named(names) => Some(names.iter().map(|&(_, r)| r).collect()),
@@ -371,7 +377,7 @@ pub static AXES: [AxisDef; AXIS_COUNT] = [
         spec_key: "scenes",
         label: ("", ""),
         help: "workload aliases",
-        domain: "suite aliases (ccs..tib), or `all`",
+        domain: "suite aliases (ccs..tib), vector scenes (vui vdoc vmap), imported `trace:<alias>`; `all` = the suite",
         class: AxisClass::Render,
         presence: Presence::Always,
         repr: ValueRepr::Scene,
@@ -578,7 +584,8 @@ impl ParamPoint {
 
     /// Workload alias of the scene axis.
     pub fn scene(&self) -> &'static str {
-        re_workloads::ALIASES[self.values[SCENE] as usize]
+        re_workloads::source::alias_at(self.values[SCENE] as usize)
+            .expect("scene index validated against the registry at set() time")
     }
 
     /// Tile edge in pixels.
@@ -798,6 +805,40 @@ mod tests {
             swept.label(),
             "ccs ts16 sb32 d2 r0 bbox ot16 l2:256K sc4 mk4"
         );
+    }
+
+    #[test]
+    fn scene_axis_covers_vector_and_imported_sources() {
+        let scene = &AXES[SCENE];
+        // The vector family sits right after the suite in the registry.
+        let vui = scene.parse_value("vui").unwrap();
+        assert_eq!(vui, re_workloads::ALIASES.len() as u64);
+        assert_eq!(scene.format_value(vui), "vui");
+        assert!(scene.is_valid(vui));
+        // `all` still expands to the paper suite only — fingerprints of
+        // existing grids must not change.
+        assert_eq!(
+            scene.parse_list("all").unwrap().len(),
+            re_workloads::ALIASES.len()
+        );
+        // Unknown aliases get a nearest-match suggestion.
+        let err = scene.parse_value("vuii").unwrap_err();
+        assert!(err.contains("did you mean `vui`"), "{err}");
+        // Imported traces become parseable once registered, and roundtrip
+        // through CSV/JSON forms like any other scene.
+        let idx = re_workloads::source::register_trace(
+            "axis-test",
+            std::path::Path::new("/tmp/axis-test.retrace"),
+            7,
+        )
+        .unwrap() as u64;
+        assert_eq!(scene.parse_value("trace:axis-test").unwrap(), idx);
+        assert_eq!(scene.format_value(idx), "trace:axis-test");
+        assert_eq!(scene.csv_value(idx), "trace:axis-test");
+        assert_eq!(scene.value_from_json(&scene.json_value(idx)), Some(idx));
+        let mut p = ParamPoint::new(64, 64, 2);
+        p.set(SCENE, idx);
+        assert_eq!(p.scene(), "trace:axis-test");
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct RunArgs {
     /// Whether to write the `events.jsonl` run log beside the store
     /// (`--no-events` turns it off; memory-only runs never write one).
     pub events: bool,
+    /// Effective imported-trace directory (`--import-dir`, default
+    /// `<out>/imports`) — already scanned by the time parsing returns, and
+    /// forwarded verbatim to fleet worker processes.
+    pub import_dir: PathBuf,
 }
 
 /// A parsed `sweep` invocation.
@@ -61,6 +65,16 @@ pub enum Command {
         /// Store directory whose run log to read.
         store: PathBuf,
     },
+    /// Validate an external `.retrace` capture and install it as a
+    /// `trace:<alias>` scene-axis value.
+    Import {
+        /// Source capture (bare or RETRIMP1-enveloped).
+        src: PathBuf,
+        /// Alias override (`--as`; default: the sanitized file stem).
+        alias: Option<String>,
+        /// Import directory to install into.
+        dir: PathBuf,
+    },
     /// Print the axis registry table.
     Axes,
     /// Print usage and exit.
@@ -77,13 +91,117 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         Some("report") => parse_report(&argv[1..]),
         Some("profile") => parse_profile(&argv[1..]),
         Some("merge") => parse_merge(&argv[1..]),
-        Some("axes") => match argv.get(1).map(String::as_str) {
-            None => Ok(Command::Axes),
-            Some("-h" | "--help") => Ok(Command::Help),
-            Some(other) => Err(format!("axes takes no arguments (got `{other}`)")),
-        },
+        Some("import") => parse_import(&argv[1..]),
+        Some("axes") => parse_axes(&argv[1..]),
         _ => parse_run(argv),
     }
+}
+
+fn parse_axes(argv: &[String]) -> Result<Command, String> {
+    let mut out: Option<PathBuf> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return Err("axes: --out needs a value".into()),
+            },
+            "--import-dir" => match it.next() {
+                Some(v) => dir = Some(PathBuf::from(v)),
+                None => return Err("axes: --import-dir needs a value".into()),
+            },
+            "-h" | "--help" => return Ok(Command::Help),
+            other => {
+                return Err(format!(
+                    "axes takes only --import-dir/--out (got `{other}`)"
+                ))
+            }
+        }
+    }
+    // Register before rendering so the table lists `trace:` aliases.
+    let dir = dir.unwrap_or_else(|| {
+        crate::importer::import_dir_for(&out.unwrap_or_else(|| PathBuf::from("sweep-out")))
+    });
+    register_imports(&dir)?;
+    Ok(Command::Axes)
+}
+
+fn parse_import(argv: &[String]) -> Result<Command, String> {
+    let mut src: Option<PathBuf> = None;
+    let mut alias: Option<String> = None;
+    let mut out = PathBuf::from("sweep-out");
+    let mut dir: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--as" => match it.next() {
+                Some(v) => alias = Some(v.clone()),
+                None => return Err("import: --as needs a value".into()),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => return Err("import: --out needs a value".into()),
+            },
+            "--import-dir" => match it.next() {
+                Some(v) => dir = Some(PathBuf::from(v)),
+                None => return Err("import: --import-dir needs a value".into()),
+            },
+            "-h" | "--help" => return Ok(Command::Help),
+            flag if flag.starts_with('-') => {
+                return Err(unknown_flag(
+                    flag,
+                    &["--as", "--out", "--import-dir", "--help"],
+                ));
+            }
+            file => match src {
+                None => src = Some(PathBuf::from(file)),
+                Some(_) => return Err(format!("import: one source file only (got `{file}` too)")),
+            },
+        }
+    }
+    let src = src
+        .ok_or("import: usage is `sweep import <file.retrace> [--as ALIAS] [--import-dir DIR]`")?;
+    let dir = dir.unwrap_or_else(|| crate::importer::import_dir_for(&out));
+    Ok(Command::Import { src, alias, dir })
+}
+
+/// Resolves the effective import directory from raw argv. This is a
+/// pre-pass: the scene axis cannot parse `trace:<alias>` values until the
+/// directory has been scanned, and flags may appear in any order, so the
+/// scan must run before the normal flag loop.
+fn import_dir_from(argv: &[String]) -> PathBuf {
+    let mut out = PathBuf::from("sweep-out");
+    let mut dir: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => {
+                if let Some(v) = it.next() {
+                    out = PathBuf::from(v);
+                }
+            }
+            "--import-dir" => {
+                if let Some(v) = it.next() {
+                    dir = Some(PathBuf::from(v));
+                }
+            }
+            _ => {}
+        }
+    }
+    dir.unwrap_or_else(|| crate::importer::import_dir_for(&out))
+}
+
+/// Scans an import directory into the scene-source registry, warning (on
+/// stderr) about files that fail validation rather than failing runs that
+/// never name them.
+fn register_imports(dir: &std::path::Path) -> Result<(), String> {
+    let summary = crate::importer::register_dir(dir)
+        .map_err(|e| format!("--import-dir {}: {e}", dir.display()))?;
+    for (path, why) in &summary.skipped {
+        eprintln!("warning: skipping import {}: {why}", path.display());
+    }
+    Ok(())
 }
 
 fn parse_report(argv: &[String]) -> Result<Command, String> {
@@ -152,6 +270,7 @@ const RUN_FLAGS: &[&str] = &[
     "--height",
     "--trace-dir",
     "--log-dir",
+    "--import-dir",
     "--no-log-cache",
     "--no-group",
     "--metrics",
@@ -161,6 +280,11 @@ const RUN_FLAGS: &[&str] = &[
 ];
 
 fn parse_run(argv: &[String]) -> Result<Command, String> {
+    // Imported traces must be registered before `--scenes trace:<alias>`
+    // is parsed, whatever the flag order.
+    let import_dir = import_dir_from(argv);
+    register_imports(&import_dir)?;
+
     let mut grid = ExperimentGrid::default();
     let mut opts = SweepOptions::default();
     let mut out = PathBuf::from("sweep-out");
@@ -220,6 +344,10 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
             "--height" => grid.height = value()?.parse().map_err(|_| "--height: bad value")?,
             "--trace-dir" => trace_dir = Some(PathBuf::from(value()?)),
             "--log-dir" => log_dir = Some(PathBuf::from(value()?)),
+            // Consumed by the pre-pass above; just skip the value here.
+            "--import-dir" => {
+                value()?;
+            }
             "--no-log-cache" => log_cache = false,
             "--no-group" => opts.group_renders = false,
             "--metrics" => metrics = Some(PathBuf::from(value()?)),
@@ -262,6 +390,7 @@ fn parse_run(argv: &[String]) -> Result<Command, String> {
         shard,
         metrics,
         events,
+        import_dir,
     })))
 }
 
@@ -317,7 +446,8 @@ USAGE:
     sweep report [--store DIR]
     sweep profile [--store DIR]
     sweep merge <out> <in>...
-    sweep axes
+    sweep import <file.retrace> [--as ALIAS] [--import-dir DIR]
+    sweep axes [--import-dir DIR]
     sweep serve [--addr HOST:PORT] [--root DIR]
     sweep client --addr HOST:PORT <verb> [ARGS]
 
@@ -365,6 +495,9 @@ OPTIONS:
                         directory); a warm cache lets resumed/sharded runs
                         skip Stage A rasterization entirely
     --no-log-cache      never read or write .relog render-log artifacts
+    --import-dir DIR    directory of imported traces to register as
+                        `trace:<alias>` scene values before the grid is
+                        parsed (default: <out>/imports; see IMPORT)
     --relog-compress on|off
                         write .relog artifacts LZSS-compressed (RELOG002;
                         default: off). Replay reads both framings, so the
@@ -399,9 +532,20 @@ MERGE:
                         one store at <out>; its results.csv is
                         byte-identical to an unsharded run of the grid
 
+IMPORT:
+    sweep import <file.retrace> [--as ALIAS] [--import-dir DIR]
+                        validate an external capture (bare .retrace or a
+                        RETRIMP1 checksummed envelope), canonicalize it
+                        into the import directory and register it; the
+                        trace then runs anywhere a built-in scene does:
+                        `sweep --scenes trace:ALIAS ...` (docs/FORMATS.md
+                        has the validation rules)
+
 AXES:
-    sweep axes          print every registered axis: flag, class, domain,
-                        default (generated from the axis registry)
+    sweep axes [--import-dir DIR]
+                        print every registered axis: flag, class, domain,
+                        default (generated from the axis registry), plus
+                        the imported traces visible in the import dir
 
 SERVE:
     sweep serve [--addr HOST:PORT] [--root DIR] [--workers N] [--prefetch N]
@@ -458,6 +602,15 @@ pub fn render_axes_table() -> String {
             "{:<20} {:<22} {:<7} {:<9} {:<22} {}{}\n",
             a.name, a.flag, class, default, a.domain, a.help, presence
         ));
+    }
+    // Nothing is appended when no trace is registered: CI asserts the
+    // bare table is exactly one line per AxisDef entry plus the header.
+    let imported = re_workloads::source::imported();
+    if !imported.is_empty() {
+        out.push_str("\nimported traces (usable as --scenes values):\n");
+        for (alias, path) in imported {
+            out.push_str(&format!("    {alias:<28} {}\n", path.display()));
+        }
     }
     out
 }
@@ -702,10 +855,91 @@ mod tests {
         assert!(matches!(parse_strs(&["axes"]).unwrap(), Command::Axes));
         assert!(parse_strs(&["axes", "typo"])
             .unwrap_err()
-            .contains("no arguments"));
+            .contains("only --import-dir/--out"));
         assert!(matches!(parse_strs(&["--help"]).unwrap(), Command::Help));
         let err = parse_strs(&["report", "--stroe", "d"]).unwrap_err();
         assert!(err.contains("did you mean `--store`?"), "{err}");
+    }
+
+    #[test]
+    fn import_subcommand_parses() {
+        match parse_strs(&[
+            "import",
+            "cap.retrace",
+            "--as",
+            "web",
+            "--import-dir",
+            "imp",
+        ])
+        .unwrap()
+        {
+            Command::Import { src, alias, dir } => {
+                assert_eq!(src, PathBuf::from("cap.retrace"));
+                assert_eq!(alias.as_deref(), Some("web"));
+                assert_eq!(dir, PathBuf::from("imp"));
+            }
+            other => panic!("expected import, got {other:?}"),
+        }
+        // The import directory defaults to <out>/imports.
+        match parse_strs(&["import", "cap.retrace", "--out", "results"]).unwrap() {
+            Command::Import { alias, dir, .. } => {
+                assert_eq!(alias, None);
+                assert_eq!(dir, PathBuf::from("results/imports"));
+            }
+            other => panic!("expected import, got {other:?}"),
+        }
+        let err = parse_strs(&["import"]).unwrap_err();
+        assert!(err.contains("sweep import <file.retrace>"), "{err}");
+        let err = parse_strs(&["import", "a.retrace", "b.retrace"]).unwrap_err();
+        assert!(err.contains("one source file"), "{err}");
+        let err = parse_strs(&["import", "a.retrace", "--a"]).unwrap_err();
+        assert!(err.contains("did you mean `--as`?"), "{err}");
+        assert!(matches!(
+            parse_strs(&["import", "--help"]).unwrap(),
+            Command::Help
+        ));
+    }
+
+    #[test]
+    fn run_pre_pass_registers_imports_in_any_flag_order() {
+        let dir = std::env::temp_dir().join(format!("re_cli_imp_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("cli-imp.retrace");
+        let mut scene = re_workloads::source::builtin_scene("ccs").unwrap();
+        re_trace::capture(
+            &mut *scene,
+            re_gpu::GpuConfig {
+                width: 64,
+                height: 48,
+                tile_size: 16,
+                ..Default::default()
+            },
+            2,
+        )
+        .save(&src)
+        .unwrap();
+        let imports = dir.join("imports");
+        crate::importer::import_file(&src, None, &imports).expect("import");
+
+        // `--scenes` before `--import-dir`: the pre-pass must still win.
+        let r = run_args(&[
+            "--scenes",
+            "trace:cli-imp",
+            "--import-dir",
+            imports.to_str().unwrap(),
+        ]);
+        assert_eq!(r.grid.scene_aliases(), ["trace:cli-imp"]);
+        assert_eq!(r.import_dir, imports);
+
+        // Vector scenes need no registration at all.
+        let r = run_args(&["--scenes", "vui,vdoc,vmap"]);
+        assert_eq!(r.grid.scene_aliases(), ["vui", "vdoc", "vmap"]);
+
+        // The axes table lists what got registered.
+        let table = render_axes_table();
+        assert!(table.contains("trace:cli-imp"), "{table}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -193,7 +193,10 @@ impl ExperimentGrid {
     pub fn scene_aliases(&self) -> Vec<&'static str> {
         self.values[axis::SCENE]
             .iter()
-            .map(|&raw| re_workloads::ALIASES[raw as usize])
+            .map(|&raw| {
+                re_workloads::source::alias_at(raw as usize)
+                    .expect("grid scene values are validated against the registry")
+            })
             .collect()
     }
 

@@ -1,0 +1,332 @@
+//! `sweep import`: turning external `.retrace` captures into first-class
+//! `trace:<alias>` scene-axis values.
+//!
+//! The flow has two halves:
+//!
+//! * [`import_file`] — the one-time ingestion step behind the
+//!   `sweep import` subcommand. The foreign bytes go through the hardened
+//!   decoder ([`re_trace::import`]), are re-encoded to *canonical* bare
+//!   `.retrace` form (envelopes are unwrapped; the canonical bytes are
+//!   what gets fingerprinted, so re-importing the same capture enveloped
+//!   vs bare is idempotent), written atomically into the run's import
+//!   directory (`<out>/imports/<alias>.retrace`), and registered with the
+//!   scene-source registry.
+//!
+//! * [`register_dir`] — the scan every entry point (run/axes parsing, the
+//!   serve daemon, fleet workers) performs before grids are parsed, so
+//!   `trace:<alias>` values resolve in any process that shares the import
+//!   directory. Files that fail validation are skipped (and reported to
+//!   the caller) rather than aborting unrelated sweeps; a grid that then
+//!   names the missing alias fails with the usual unknown-alias error.
+//!
+//! Scene aliases live in grid specs, result CSVs and render keys, so an
+//! alias must never change meaning mid-process — the registry enforces
+//! that by fingerprint (same content re-registers fine, different content
+//! is an error).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use re_trace::import::{import_bytes, ImportLimits};
+use re_workloads::source;
+
+/// Subdirectory of a sweep output root that holds imported traces.
+pub const IMPORTS_DIR: &str = "imports";
+
+/// The default import directory for an output root.
+pub fn import_dir_for(out: &Path) -> PathBuf {
+    out.join(IMPORTS_DIR)
+}
+
+/// FNV-1a over the canonical trace bytes (the registry's collision key).
+fn content_fingerprint(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// What [`import_file`] did.
+#[derive(Debug)]
+pub struct ImportOutcome {
+    /// The full scene-axis alias (`trace:<name>`).
+    pub alias: &'static str,
+    /// Canonical file the import now lives at.
+    pub path: PathBuf,
+    /// Frames in the capture.
+    pub frames: usize,
+    /// Textures in the capture.
+    pub textures: usize,
+    /// Capture-time screen size.
+    pub screen: (u32, u32),
+    /// Canonical byte size.
+    pub bytes: usize,
+}
+
+/// Derives the default alias from the source file name (stem, lowercased,
+/// non-alias characters mapped to `-`).
+fn alias_from_path(src: &Path) -> String {
+    let stem = src
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut out = String::new();
+    for c in stem.chars() {
+        let c = c.to_ascii_lowercase();
+        if c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_' {
+            out.push(c);
+        } else {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').chars().take(32).collect()
+}
+
+/// Validates, canonicalizes, stores and registers one external capture.
+///
+/// `alias` overrides the file-stem-derived name. Returns the outcome on
+/// success; re-importing identical content under the same alias is
+/// idempotent.
+///
+/// # Errors
+/// A human-readable message for I/O failures, hostile or over-limit
+/// payloads, bad aliases, or alias collisions with different content.
+pub fn import_file(src: &Path, alias: Option<&str>, dir: &Path) -> Result<ImportOutcome, String> {
+    let bytes = std::fs::read(src).map_err(|e| format!("cannot read {}: {e}", src.display()))?;
+    let trace = import_bytes(&bytes, &ImportLimits::default())
+        .map_err(|e| format!("{}: {e}", src.display()))?;
+    let name = match alias {
+        Some(a) => a.to_owned(),
+        None => alias_from_path(src),
+    };
+    source::validate_trace_name(&name)?;
+
+    let canonical = trace.to_bytes();
+    let fingerprint = content_fingerprint(&canonical);
+    let path = dir.join(format!("{name}.retrace"));
+
+    // Refuse to overwrite a different capture already parked at this
+    // alias's path (it may belong to another process sharing the dir).
+    if path.is_file() {
+        let existing = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if content_fingerprint(&existing) != fingerprint {
+            return Err(format!(
+                "{} already holds a different capture; pick another alias with --as",
+                path.display()
+            ));
+        }
+    } else {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let tmp = dir.join(format!("{name}.retrace.tmp"));
+        std::fs::write(&tmp, &canonical).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+
+    let alias_idx = source::register_trace(&name, &path, fingerprint)?;
+    Ok(ImportOutcome {
+        alias: source::alias_at(alias_idx).expect("just registered"),
+        path,
+        frames: trace.frames.len(),
+        textures: trace.textures.len(),
+        screen: (trace.config.width, trace.config.height),
+        bytes: canonical.len(),
+    })
+}
+
+/// Result of scanning an import directory.
+#[derive(Debug, Default)]
+pub struct RegisterSummary {
+    /// Aliases now registered (including already-registered ones found
+    /// again), in sorted file order.
+    pub registered: Vec<&'static str>,
+    /// Files that failed validation or collided, with the reason.
+    pub skipped: Vec<(PathBuf, String)>,
+}
+
+/// Scans `dir` for `<alias>.retrace` files and registers each with the
+/// scene-source registry. A missing directory is an empty scan, not an
+/// error; invalid files are collected in
+/// [`RegisterSummary::skipped`] so callers can warn without failing
+/// sweeps that never name them.
+///
+/// # Errors
+/// Only directory-level I/O errors (e.g. permission denied on `dir`).
+pub fn register_dir(dir: &Path) -> io::Result<RegisterSummary> {
+    let mut summary = RegisterSummary::default();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(summary),
+        Err(e) => return Err(e),
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "retrace") && p.is_file())
+        .collect();
+    files.sort();
+    for path in files {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let outcome = (|| -> Result<&'static str, String> {
+            source::validate_trace_name(&name)?;
+            // Fast path: already registered from this exact path. The
+            // daemon rescans per connection, and captures re-validate
+            // file content anyway, so skip the re-read here.
+            if source::trace_path(&name).as_deref() == Some(path.as_path()) {
+                let full = format!("{}{name}", source::TRACE_PREFIX);
+                if let Some(idx) = source::index_of(&full) {
+                    return Ok(source::alias_at(idx).expect("registered"));
+                }
+            }
+            let bytes =
+                std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let trace =
+                import_bytes(&bytes, &ImportLimits::default()).map_err(|e| e.to_string())?;
+            // Canonical fingerprint (files written by import_file already
+            // are canonical, so this is just `bytes` re-hashed).
+            let fingerprint = content_fingerprint(&trace.to_bytes());
+            let idx = source::register_trace(&name, &path, fingerprint)?;
+            Ok(source::alias_at(idx).expect("just registered"))
+        })();
+        match outcome {
+            Ok(alias) => summary.registered.push(alias),
+            Err(why) => summary.skipped.push((path, why)),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_gpu::GpuConfig;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("re_import_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn small_capture(alias: &str, frames: usize) -> re_trace::Trace {
+        let mut scene = source::builtin_scene(alias).expect("builtin");
+        re_trace::capture(
+            &mut *scene,
+            GpuConfig {
+                width: 64,
+                height: 48,
+                tile_size: 16,
+                ..Default::default()
+            },
+            frames,
+        )
+    }
+
+    #[test]
+    fn import_roundtrip_registers_and_is_idempotent() {
+        let dir = unique_dir("rt");
+        let src = dir.join("CapturedStream.retrace");
+        small_capture("ccs", 2).save(&src).unwrap();
+
+        let out = import_file(&src, None, &dir.join(IMPORTS_DIR)).expect("import");
+        assert_eq!(out.alias, "trace:capturedstream");
+        assert_eq!(out.frames, 2);
+        assert_eq!(out.screen, (64, 48));
+        assert!(out.path.is_file());
+
+        // Re-import: same alias, same content — fine.
+        let again = import_file(&src, None, &dir.join(IMPORTS_DIR)).expect("idempotent");
+        assert_eq!(again.alias, out.alias);
+
+        // The registered alias resolves through capture_alias.
+        let t = crate::artifacts::capture_alias(
+            out.alias,
+            2,
+            GpuConfig {
+                width: 64,
+                height: 48,
+                tile_size: 16,
+                ..Default::default()
+            },
+        )
+        .expect("capture via registry");
+        assert_eq!(t.frames.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enveloped_sources_canonicalize_to_the_same_content() {
+        let dir = unique_dir("env");
+        let capture = small_capture("ccs", 2);
+        let bare = dir.join("env-bare.retrace");
+        capture.save(&bare).unwrap();
+        let wrapped = dir.join("env-wrapped.retrace");
+        std::fs::write(
+            &wrapped,
+            re_trace::import::wrap_envelope(&capture.to_bytes()),
+        )
+        .unwrap();
+
+        let imports = dir.join(IMPORTS_DIR);
+        let a = import_file(&bare, Some("env-same"), &imports).expect("bare");
+        // Same alias, enveloped source, identical payload: idempotent
+        // because the fingerprint is over the canonical (unwrapped) bytes.
+        let b = import_file(&wrapped, Some("env-same"), &imports).expect("wrapped");
+        assert_eq!(a.alias, b.alias);
+        assert_eq!(a.bytes, b.bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collision_with_different_content_is_an_error() {
+        let dir = unique_dir("coll");
+        let imports = dir.join(IMPORTS_DIR);
+        let one = dir.join("one.retrace");
+        small_capture("ccs", 2).save(&one).unwrap();
+        let two = dir.join("two.retrace");
+        small_capture("ccs", 3).save(&two).unwrap();
+
+        import_file(&one, Some("coll-x"), &imports).expect("first");
+        let err = import_file(&two, Some("coll-x"), &imports).unwrap_err();
+        assert!(err.contains("different"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_source_is_rejected_with_context() {
+        let dir = unique_dir("bad");
+        let src = dir.join("garbage.retrace");
+        std::fs::write(&src, b"not a trace at all").unwrap();
+        let err = import_file(&src, None, &dir.join(IMPORTS_DIR)).unwrap_err();
+        assert!(err.contains("garbage.retrace"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn register_dir_scans_sorted_and_skips_invalid() {
+        let dir = unique_dir("scan");
+        let imports = dir.join(IMPORTS_DIR);
+        std::fs::create_dir_all(&imports).unwrap();
+        small_capture("ccs", 2)
+            .save(imports.join("scan-b.retrace"))
+            .unwrap();
+        small_capture("ccs", 2)
+            .save(imports.join("scan-a.retrace"))
+            .unwrap();
+        std::fs::write(imports.join("scan-junk.retrace"), b"junk").unwrap();
+        std::fs::write(imports.join("notes.txt"), b"ignored").unwrap();
+
+        let summary = register_dir(&imports).expect("scan");
+        assert_eq!(summary.registered, ["trace:scan-a", "trace:scan-b"]);
+        assert_eq!(summary.skipped.len(), 1);
+        assert!(summary.skipped[0].0.ends_with("scan-junk.retrace"));
+
+        // Missing directory: empty summary, not an error.
+        let empty = register_dir(&dir.join("absent")).expect("missing dir");
+        assert!(empty.registered.is_empty() && empty.skipped.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

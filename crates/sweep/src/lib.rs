@@ -88,6 +88,7 @@ pub mod engine;
 pub mod events;
 pub mod exec;
 pub mod grid;
+pub mod importer;
 pub mod json;
 pub mod merge;
 pub mod plan;

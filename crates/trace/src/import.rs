@@ -1,0 +1,505 @@
+//! Hardened ingestion of *foreign* `.retrace` bytes.
+//!
+//! [`crate::Trace::from_bytes`] is truncation-safe but trusts that the
+//! stream came from our own writer: it enforces no resource limits and no
+//! semantic invariants (a hostile header can declare gigabyte textures, a
+//! drawcall can reference a texture that was never uploaded — the latter
+//! would panic deep inside the rasterizer at replay time). This module is
+//! the validation layer `sweep import` routes every external capture
+//! through before it can become a `trace:<alias>` scene:
+//!
+//! 1. **Size gate** — the raw byte length is checked against
+//!    [`ImportLimits::max_bytes`] before any parsing.
+//! 2. **Optional checksummed envelope** — a `RETRIMP1` wrapper (magic,
+//!    payload length, CRC32) detects in-flight corruption that the bare
+//!    `.retrace` format (which has no checksum) cannot. Bare `RETRACE1`
+//!    payloads are also accepted.
+//! 3. **Structural decode** — the bounded `.retrace` reader.
+//! 4. **Semantic validation** — [`validate_trace`] enforces the limits and
+//!    the invariants replay relies on (non-degenerate config, at least one
+//!    frame, in-range texture references, texel buffers matching their
+//!    declared dimensions).
+//!
+//! Every failure is a structured [`ImportError`]; no input may panic
+//! (pinned by the hostile-input proptest suite).
+
+use re_crc::Crc32;
+
+use crate::format::TraceError;
+use crate::Trace;
+
+/// Magic of the checksummed import envelope.
+pub const ENVELOPE_MAGIC: &[u8; 8] = b"RETRIMP1";
+
+/// Envelope header size: magic + payload length u64 + CRC32 u32.
+const ENVELOPE_HEADER: usize = 8 + 8 + 4;
+
+/// Resource and sanity bounds applied to imported traces.
+///
+/// The defaults are far above anything the sweeps produce but small enough
+/// that a hostile header cannot commit the process to absurd allocations.
+#[derive(Debug, Clone, Copy)]
+pub struct ImportLimits {
+    /// Maximum raw input size in bytes.
+    pub max_bytes: usize,
+    /// Maximum screen width/height in the embedded config.
+    pub max_screen_dim: u32,
+    /// Maximum tile size in the embedded config.
+    pub max_tile_size: u32,
+    /// Maximum number of textures.
+    pub max_textures: usize,
+    /// Maximum width/height of any single texture.
+    pub max_texture_dim: u32,
+    /// Maximum texel count summed over all textures.
+    pub max_total_texels: u64,
+    /// Maximum number of frames.
+    pub max_frames: usize,
+    /// Maximum drawcalls in any single frame.
+    pub max_drawcalls_per_frame: usize,
+    /// Maximum vertices in any single drawcall.
+    pub max_vertices_per_drawcall: usize,
+    /// Maximum constant vec4s in any single drawcall.
+    pub max_constants_per_drawcall: usize,
+    /// Maximum instructions in any single shader.
+    pub max_shader_instrs: usize,
+}
+
+impl Default for ImportLimits {
+    fn default() -> Self {
+        ImportLimits {
+            max_bytes: 256 << 20,
+            max_screen_dim: 16_384,
+            max_tile_size: 4_096,
+            max_textures: 256,
+            max_texture_dim: 8_192,
+            max_total_texels: 1 << 26,
+            max_frames: 100_000,
+            max_drawcalls_per_frame: 4_096,
+            max_vertices_per_drawcall: 1 << 20,
+            max_constants_per_drawcall: 4_096,
+            max_shader_instrs: 4_096,
+        }
+    }
+}
+
+/// Why an import was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The `.retrace` payload failed structural decoding.
+    Format(TraceError),
+    /// The raw input exceeds [`ImportLimits::max_bytes`].
+    Oversized {
+        /// Input size.
+        bytes: usize,
+        /// Configured cap.
+        limit: usize,
+    },
+    /// The envelope header itself is incomplete.
+    EnvelopeTruncated,
+    /// The envelope's declared payload length disagrees with the bytes
+    /// actually present.
+    LengthMismatch {
+        /// Length field value.
+        declared: u64,
+        /// Bytes following the header.
+        actual: u64,
+    },
+    /// The envelope checksum does not match the payload.
+    CrcMismatch {
+        /// Checksum stored in the envelope.
+        expected: u32,
+        /// Checksum of the received payload.
+        actual: u32,
+    },
+    /// A decoded quantity exceeds its [`ImportLimits`] bound.
+    Limit {
+        /// Which quantity.
+        what: &'static str,
+        /// Decoded value.
+        value: u64,
+        /// Configured cap.
+        limit: u64,
+    },
+    /// A decoded trace violates a replay invariant.
+    Semantic(String),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Format(e) => write!(f, "malformed retrace payload: {e}"),
+            ImportError::Oversized { bytes, limit } => {
+                write!(
+                    f,
+                    "input is {bytes} bytes, over the {limit}-byte import cap"
+                )
+            }
+            ImportError::EnvelopeTruncated => write!(f, "truncated import envelope header"),
+            ImportError::LengthMismatch { declared, actual } => write!(
+                f,
+                "envelope declares {declared} payload bytes but {actual} are present"
+            ),
+            ImportError::CrcMismatch { expected, actual } => write!(
+                f,
+                "envelope checksum mismatch (stored {expected:#010x}, computed {actual:#010x})"
+            ),
+            ImportError::Limit { what, value, limit } => {
+                write!(f, "{what} is {value}, over the import limit of {limit}")
+            }
+            ImportError::Semantic(why) => write!(f, "invalid trace: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<TraceError> for ImportError {
+    fn from(e: TraceError) -> Self {
+        ImportError::Format(e)
+    }
+}
+
+/// Wraps canonical `.retrace` bytes in the checksummed `RETRIMP1` envelope
+/// (the recommended interchange form for captures produced outside this
+/// process).
+pub fn wrap_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE_HEADER + payload.len());
+    out.extend_from_slice(ENVELOPE_MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&Crc32::digest(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn unwrap_envelope(bytes: &[u8]) -> Result<&[u8], ImportError> {
+    if bytes.len() < ENVELOPE_HEADER {
+        return Err(ImportError::EnvelopeTruncated);
+    }
+    let declared = u64::from_le_bytes(bytes[8..16].try_into().expect("len 8"));
+    let expected = u32::from_le_bytes(bytes[16..20].try_into().expect("len 4"));
+    let payload = &bytes[ENVELOPE_HEADER..];
+    if declared != payload.len() as u64 {
+        return Err(ImportError::LengthMismatch {
+            declared,
+            actual: payload.len() as u64,
+        });
+    }
+    let actual = Crc32::digest(payload);
+    if actual != expected {
+        return Err(ImportError::CrcMismatch { expected, actual });
+    }
+    Ok(payload)
+}
+
+/// Decodes and validates foreign bytes into a [`Trace`].
+///
+/// Accepts either a bare `RETRACE1` stream or a `RETRIMP1` envelope.
+///
+/// # Errors
+/// Returns a structured [`ImportError`] for every rejection; never panics.
+pub fn import_bytes(bytes: &[u8], limits: &ImportLimits) -> Result<Trace, ImportError> {
+    if bytes.len() > limits.max_bytes {
+        return Err(ImportError::Oversized {
+            bytes: bytes.len(),
+            limit: limits.max_bytes,
+        });
+    }
+    let payload = if bytes.starts_with(ENVELOPE_MAGIC) {
+        unwrap_envelope(bytes)?
+    } else {
+        bytes
+    };
+    let trace = Trace::from_bytes(payload)?;
+    // The bare reader tolerates trailing bytes; an importer must not (they
+    // mean truncated-then-concatenated or otherwise damaged input). The
+    // writer is canonical — a parsed trace re-serializes to exactly the
+    // bytes consumed — so a length comparison detects any tail.
+    let consumed = trace.to_bytes().len();
+    if consumed != payload.len() {
+        return Err(ImportError::Semantic(format!(
+            "{} trailing bytes after the trace",
+            payload.len() - consumed
+        )));
+    }
+    validate_trace(&trace, limits)?;
+    Ok(trace)
+}
+
+fn check(what: &'static str, value: u64, limit: u64) -> Result<(), ImportError> {
+    if value > limit {
+        return Err(ImportError::Limit { what, value, limit });
+    }
+    Ok(())
+}
+
+/// Enforces [`ImportLimits`] and replay invariants on a decoded trace.
+///
+/// # Errors
+/// [`ImportError::Limit`] or [`ImportError::Semantic`] on the first
+/// violation found.
+pub fn validate_trace(trace: &Trace, limits: &ImportLimits) -> Result<(), ImportError> {
+    let cfg = &trace.config;
+    if cfg.width == 0 || cfg.height == 0 {
+        return Err(ImportError::Semantic(format!(
+            "degenerate screen {}x{}",
+            cfg.width, cfg.height
+        )));
+    }
+    check(
+        "screen width",
+        cfg.width as u64,
+        limits.max_screen_dim as u64,
+    )?;
+    check(
+        "screen height",
+        cfg.height as u64,
+        limits.max_screen_dim as u64,
+    )?;
+    if cfg.tile_size == 0 {
+        return Err(ImportError::Semantic("tile size 0".to_owned()));
+    }
+    check(
+        "tile size",
+        cfg.tile_size as u64,
+        limits.max_tile_size as u64,
+    )?;
+
+    check(
+        "texture count",
+        trace.textures.len() as u64,
+        limits.max_textures as u64,
+    )?;
+    let mut total_texels = 0u64;
+    for (i, tex) in trace.textures.iter().enumerate() {
+        if tex.width == 0 || tex.height == 0 {
+            return Err(ImportError::Semantic(format!(
+                "texture {i} has degenerate size {}x{}",
+                tex.width, tex.height
+            )));
+        }
+        check(
+            "texture width",
+            tex.width as u64,
+            limits.max_texture_dim as u64,
+        )?;
+        check(
+            "texture height",
+            tex.height as u64,
+            limits.max_texture_dim as u64,
+        )?;
+        let texels = tex.width as u64 * tex.height as u64;
+        if tex.texels.len() as u64 != texels {
+            return Err(ImportError::Semantic(format!(
+                "texture {i} declares {}x{} but carries {} texels",
+                tex.width,
+                tex.height,
+                tex.texels.len()
+            )));
+        }
+        total_texels += texels;
+        check("total texels", total_texels, limits.max_total_texels)?;
+    }
+
+    if trace.frames.is_empty() {
+        return Err(ImportError::Semantic("trace has no frames".to_owned()));
+    }
+    check(
+        "frame count",
+        trace.frames.len() as u64,
+        limits.max_frames as u64,
+    )?;
+    for (fi, frame) in trace.frames.iter().enumerate() {
+        check(
+            "drawcalls per frame",
+            frame.drawcalls.len() as u64,
+            limits.max_drawcalls_per_frame as u64,
+        )?;
+        for (di, dc) in frame.drawcalls.iter().enumerate() {
+            if let Some(tex) = dc.state.texture {
+                if tex.0 as usize >= trace.textures.len() {
+                    return Err(ImportError::Semantic(format!(
+                        "frame {fi} drawcall {di} references texture {} of {}",
+                        tex.0,
+                        trace.textures.len()
+                    )));
+                }
+            }
+            check(
+                "shader instructions",
+                dc.state
+                    .vertex_shader
+                    .instrs
+                    .len()
+                    .max(dc.state.fragment_shader.instrs.len()) as u64,
+                limits.max_shader_instrs as u64,
+            )?;
+            check(
+                "constants per drawcall",
+                dc.constants.len() as u64,
+                limits.max_constants_per_drawcall as u64,
+            )?;
+            check(
+                "vertices per drawcall",
+                dc.vertices.len() as u64,
+                limits.max_vertices_per_drawcall as u64,
+            )?;
+            for v in &dc.vertices {
+                if v.attrs.is_empty() {
+                    return Err(ImportError::Semantic(format!(
+                        "frame {fi} drawcall {di} has a vertex with no attributes"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re_gpu::GpuConfig;
+
+    fn tiny_trace() -> Trace {
+        let mut scene = re_workloads_stub::OneQuad;
+        crate::capture(
+            &mut scene,
+            GpuConfig {
+                width: 32,
+                height: 32,
+                tile_size: 16,
+                ..Default::default()
+            },
+            2,
+        )
+    }
+
+    /// A minimal scene without depending on re-workloads.
+    mod re_workloads_stub {
+        use re_core::Scene;
+        use re_gpu::api::{DrawCall, FrameDesc, PipelineState, Vertex};
+        use re_gpu::texture::TextureStore;
+        use re_math::{Color, Vec4};
+
+        pub struct OneQuad;
+        impl Scene for OneQuad {
+            fn init(&mut self, textures: &mut TextureStore) {
+                textures.upload_with(4, 4, |x, y| Color::new(x as u8, y as u8, 0, 255));
+            }
+            fn frame(&mut self, i: usize) -> FrameDesc {
+                let mut f = FrameDesc::new();
+                let c = Vec4::new(1.0, 0.5, i as f32 * 0.1, 1.0);
+                let verts = [(-0.5, -0.5), (0.5, -0.5), (0.0, 0.5)]
+                    .iter()
+                    .map(|&(x, y)| Vertex::new(vec![Vec4::new(x, y, 0.0, 1.0), c]))
+                    .collect();
+                f.drawcalls.push(DrawCall {
+                    state: PipelineState::flat_2d(),
+                    constants: re_math::Mat4::IDENTITY.cols.to_vec(),
+                    vertices: verts,
+                });
+                f
+            }
+        }
+    }
+
+    #[test]
+    fn bare_and_enveloped_payloads_import() {
+        let t = tiny_trace();
+        let bytes = t.to_bytes();
+        let limits = ImportLimits::default();
+        assert_eq!(import_bytes(&bytes, &limits).unwrap(), t);
+        assert_eq!(import_bytes(&wrap_envelope(&bytes), &limits).unwrap(), t);
+    }
+
+    #[test]
+    fn corrupt_crc_is_rejected() {
+        let mut wrapped = wrap_envelope(&tiny_trace().to_bytes());
+        let last = wrapped.len() - 1;
+        wrapped[last] ^= 0x01;
+        match import_bytes(&wrapped, &ImportLimits::default()) {
+            Err(ImportError::CrcMismatch { .. }) => {}
+            other => panic!("expected CrcMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_field_lies_are_rejected() {
+        let mut wrapped = wrap_envelope(&tiny_trace().to_bytes());
+        wrapped[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        match import_bytes(&wrapped, &ImportLimits::default()) {
+            Err(ImportError::LengthMismatch { .. }) => {}
+            other => panic!("expected LengthMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_frame_trace_is_rejected() {
+        let t = Trace {
+            config: GpuConfig {
+                width: 8,
+                height: 8,
+                tile_size: 8,
+                ..Default::default()
+            },
+            textures: Vec::new(),
+            frames: Vec::new(),
+        };
+        match import_bytes(&t.to_bytes(), &ImportLimits::default()) {
+            Err(ImportError::Semantic(why)) => assert!(why.contains("no frames")),
+            other => panic!("expected Semantic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_texture_reference_is_rejected() {
+        let mut t = tiny_trace();
+        t.frames[0].drawcalls[0].state.texture = Some(re_gpu::texture::TextureId(99));
+        match import_bytes(&t.to_bytes(), &ImportLimits::default()) {
+            Err(ImportError::Semantic(why)) => assert!(why.contains("texture 99")),
+            other => panic!("expected Semantic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let t = tiny_trace();
+        let limits = ImportLimits {
+            max_frames: 1,
+            ..Default::default()
+        };
+        match import_bytes(&t.to_bytes(), &limits) {
+            Err(ImportError::Limit { what, .. }) => assert_eq!(what, "frame count"),
+            other => panic!("expected Limit, got {other:?}"),
+        }
+        let limits = ImportLimits {
+            max_bytes: 16,
+            ..Default::default()
+        };
+        assert!(matches!(
+            import_bytes(&t.to_bytes(), &limits),
+            Err(ImportError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn texel_shortfall_is_semantic_error() {
+        let mut t = tiny_trace();
+        t.textures[0].texels.pop();
+        // Serialization writes what's there; reparse truncates elsewhere,
+        // so validate directly.
+        match validate_trace(&t, &ImportLimits::default()) {
+            Err(ImportError::Semantic(why)) => assert!(why.contains("texels")),
+            other => panic!("expected Semantic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ImportError::CrcMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+    }
+}

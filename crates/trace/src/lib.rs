@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod format;
+pub mod import;
 
 pub use format::TraceError;
 
@@ -174,8 +175,12 @@ impl Scene for TraceScene {
     }
 
     fn frame(&mut self, index: usize) -> FrameDesc {
-        let n = self.trace.frames.len().max(1);
-        self.trace.frames[index % n].clone()
+        // A trace captured with zero frames replays as empty frames rather
+        // than panicking on the modulo lookup.
+        match self.trace.frames.len() {
+            0 => FrameDesc::new(),
+            n => self.trace.frames[index % n].clone(),
+        }
     }
 
     fn name(&self) -> &str {

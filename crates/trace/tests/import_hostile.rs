@@ -1,0 +1,190 @@
+//! Hostile-input suite for the `.retrace` importer (mirrors the `.relog`
+//! hardening tests): truncated files, corrupt checksums, oversized length
+//! fields, bit flips, random garbage and alias collisions. The importer
+//! must return a structured [`ImportError`] for every one of them — and
+//! must never panic, whatever the bytes.
+
+use proptest::prelude::*;
+use re_gpu::GpuConfig;
+use re_trace::import::{import_bytes, wrap_envelope, ImportError, ImportLimits};
+use re_trace::{capture, Trace};
+use re_workloads::source;
+
+fn limits() -> ImportLimits {
+    ImportLimits::default()
+}
+
+/// A small valid capture to mutate.
+fn valid_bytes() -> Vec<u8> {
+    let mut scene = re_workloads::source::builtin_scene("vui").expect("vui");
+    capture(
+        &mut *scene,
+        GpuConfig {
+            width: 48,
+            height: 32,
+            tile_size: 16,
+            ..Default::default()
+        },
+        2,
+    )
+    .to_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic hostile corpus
+// ---------------------------------------------------------------------------
+
+#[test]
+fn corpus_of_malformed_inputs_is_rejected_structurally() {
+    let valid = valid_bytes();
+    let mut huge_texture_count = valid[..8 + 13].to_vec(); // magic + config
+    huge_texture_count.extend_from_slice(&u32::MAX.to_le_bytes());
+
+    let mut huge_texture_dims = valid[..8 + 13].to_vec();
+    huge_texture_dims.extend_from_slice(&1u32.to_le_bytes()); // one texture
+    huge_texture_dims.extend_from_slice(&u32::MAX.to_le_bytes()); // width
+    huge_texture_dims.extend_from_slice(&u32::MAX.to_le_bytes()); // height
+
+    let mut truncated_header = valid[..8 + 13 + 2].to_vec();
+    truncated_header.truncate(8 + 13 + 2);
+
+    let mut wrong_magic = valid.clone();
+    wrong_magic[0] ^= 0x20;
+
+    let mut trailing_garbage = valid.clone();
+    trailing_garbage.extend_from_slice(b"EXTRA BYTES");
+
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("empty", Vec::new()),
+        ("magic only", b"RETRACE1".to_vec()),
+        ("wrong magic", wrong_magic),
+        ("truncated header", truncated_header),
+        ("oversized texture count", huge_texture_count),
+        ("oversized texture dims", huge_texture_dims),
+        ("trailing garbage", trailing_garbage),
+        ("envelope header only", b"RETRIMP1".to_vec()),
+        (
+            "envelope truncated mid-header",
+            b"RETRIMP1\x10\x00\x00".to_vec(),
+        ),
+    ];
+    for (name, bytes) in cases {
+        let r = import_bytes(&bytes, &limits());
+        assert!(r.is_err(), "{name}: must be rejected");
+        let msg = r.unwrap_err().to_string();
+        assert!(!msg.is_empty(), "{name}: error must describe itself");
+    }
+}
+
+#[test]
+fn oversized_length_fields_do_not_allocate_or_panic() {
+    // A header that declares ~4 billion frames; the bounded reader must
+    // fail on truncation long before committing to that allocation.
+    let valid = valid_bytes();
+    let mut t = Trace::from_bytes(&valid).expect("valid");
+    t.textures.clear();
+    t.frames.clear();
+    let mut bytes = t.to_bytes();
+    let frame_count_at = bytes.len() - 4;
+    bytes[frame_count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+    match import_bytes(&bytes, &limits()) {
+        Err(ImportError::Format(_)) => {}
+        other => panic!("expected a structural error, got {other:?}"),
+    }
+}
+
+#[test]
+fn envelope_crc_and_length_tampering_is_caught() {
+    let payload = valid_bytes();
+    let good = wrap_envelope(&payload);
+    assert!(import_bytes(&good, &limits()).is_ok());
+
+    // Corrupt one payload byte: CRC catches it.
+    let mut flipped = good.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x80;
+    assert!(matches!(
+        import_bytes(&flipped, &limits()),
+        Err(ImportError::CrcMismatch { .. })
+    ));
+
+    // Lie about the length: caught before the CRC is even checked.
+    let mut lying = good.clone();
+    lying[8..16].copy_from_slice(&(payload.len() as u64 + 7).to_le_bytes());
+    assert!(matches!(
+        import_bytes(&lying, &limits()),
+        Err(ImportError::LengthMismatch { .. })
+    ));
+
+    // Chop the payload: length mismatch, not a panic.
+    let short = &good[..good.len() - 5];
+    assert!(matches!(
+        import_bytes(short, &limits()),
+        Err(ImportError::LengthMismatch { .. })
+    ));
+}
+
+#[test]
+fn alias_collisions_are_rejected_not_clobbered() {
+    let p = std::path::Path::new("/tmp/hostile-a.retrace");
+    source::register_trace("hostile-a", p, 0xAB).expect("first registration");
+    // Same alias, same content: idempotent.
+    source::register_trace("hostile-a", p, 0xAB).expect("idempotent re-registration");
+    // Same alias, different content: structured error, original untouched.
+    let err = source::register_trace("hostile-a", p, 0xCD).unwrap_err();
+    assert!(err.contains("already registered"), "{err}");
+    assert_eq!(source::trace_path("trace:hostile-a"), Some(p.to_path_buf()));
+    // Builtin-shadowing and malformed aliases are rejected outright.
+    assert!(source::register_trace("ccs", p, 1).is_err());
+    assert!(source::register_trace("UPPER", p, 1).is_err());
+    assert!(source::register_trace("", p, 1).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Arbitrary bytes never panic the importer; anything it does accept
+    /// must satisfy the validator's invariants by construction.
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        if let Ok(trace) = import_bytes(&data, &limits()) {
+            prop_assert!(!trace.frames.is_empty());
+            prop_assert!(trace.config.width > 0 && trace.config.height > 0);
+        }
+    }
+
+    /// Every strict prefix of a valid capture is rejected cleanly.
+    #[test]
+    fn truncation_at_any_offset_is_rejected(cut in 0usize..=1usize << 16) {
+        let bytes = valid_bytes();
+        let cut = cut % bytes.len(); // strict prefix
+        prop_assert!(import_bytes(&bytes[..cut], &limits()).is_err());
+    }
+
+    /// Any single bit flip in an enveloped capture is detected: flips in
+    /// the payload trip the CRC, flips in the header trip the magic,
+    /// length or stored-checksum checks.
+    #[test]
+    fn enveloped_bit_flips_are_detected(pos in 0usize..=1usize << 16, bit in 0u8..8) {
+        let mut bytes = wrap_envelope(&valid_bytes());
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(import_bytes(&bytes, &limits()).is_err(), "flip at {pos} bit {bit}");
+    }
+
+    /// Random mutations of a bare (un-enveloped) capture never panic —
+    /// they are either rejected or decode to a validated trace.
+    #[test]
+    fn bare_mutations_never_panic(
+        edits in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = valid_bytes();
+        for (pos, val) in edits {
+            let n = bytes.len();
+            bytes[pos % n] = val;
+        }
+        let _ = import_bytes(&bytes, &limits());
+    }
+}

@@ -138,6 +138,22 @@ impl FlatBatch {
         self
     }
 
+    /// Appends one flat-colored triangle at depth `z`.
+    pub fn tri(
+        &mut self,
+        a: (f32, f32),
+        b: (f32, f32),
+        c: (f32, f32),
+        color: Vec4,
+        z: f32,
+    ) -> &mut Self {
+        let v = |p: (f32, f32)| Vertex::new(vec![Vec4::new(p.0, p.1, z, 1.0), color]);
+        self.verts.push(v(a));
+        self.verts.push(v(b));
+        self.verts.push(v(c));
+        self
+    }
+
     /// Number of vertices accumulated.
     pub fn len(&self) -> usize {
         self.verts.len()

@@ -38,12 +38,19 @@
 //! [`re_core::Simulator`] or captured once into a trace (`re_trace`) for
 //! parallel replay. The per-scene generator helpers (deterministic
 //! seeding, layered quads, texture synthesis) live in [`helpers`].
+//!
+//! Beyond the paper suite, [`source`] is the full scene-source registry:
+//! it adds the [`scenes::vector`] 2D family (`vui vdoc vmap`) and
+//! runtime-registered imported traces (`trace:<alias>`) to the alias
+//! space without disturbing the ten-entry suite (and therefore without
+//! changing what `scenes=all` or the default grid means).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod helpers;
 pub mod scenes;
+pub mod source;
 
 use re_core::Scene;
 

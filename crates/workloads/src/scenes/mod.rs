@@ -1,5 +1,5 @@
-//! The ten benchmark scene generators (see the crate docs for the mapping
-//! to the paper's Table II games).
+//! The benchmark scene generators: the ten Table II stand-ins (see the
+//! crate docs for the mapping) plus the [`vector`] 2D/UI family.
 
 pub mod abi;
 pub mod ccs;
@@ -11,6 +11,7 @@ pub mod hop;
 pub mod mst;
 pub mod ter;
 pub mod tib;
+pub mod vector;
 
 #[cfg(test)]
 pub(crate) mod testutil {

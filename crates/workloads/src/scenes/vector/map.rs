@@ -1,0 +1,172 @@
+//! `vmap` — a vector map: landmass ellipses, lakes, a road network and
+//! block "labels", viewed through a camera that alternates holds with pan
+//! and zoom gestures. Holds are fully redundant; every camera-move frame
+//! shifts all visible geometry — the low-coherence end of the family, but
+//! in bursts rather than continuously.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use re_core::Scene;
+use re_gpu::api::FrameDesc;
+use re_math::{Color, Vec4};
+
+use super::tiler::{render, Poly, TilerConfig};
+
+/// Frames the camera holds between gestures.
+pub const HOLD: usize = 18;
+/// Frames per pan or zoom gesture.
+pub const MOVE: usize = 12;
+
+/// The map scene.
+#[derive(Debug)]
+pub struct MapPanZoom {
+    /// World-space display list (bottom to top).
+    world: Vec<Poly>,
+}
+
+impl Default for MapPanZoom {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MapPanZoom {
+    /// Builds the (deterministic) world.
+    pub fn new() -> Self {
+        let mut rng = SmallRng::seed_from_u64(0x3A9);
+        let mut world = Vec::new();
+        let land = Vec4::new(0.80, 0.84, 0.72, 1.0);
+        let water = Vec4::new(0.56, 0.70, 0.86, 1.0);
+        let road = Vec4::new(0.98, 0.92, 0.70, 1.0);
+        let block = Vec4::new(0.72, 0.70, 0.66, 1.0);
+
+        // Sea floor spanning well past the screen at every camera pose.
+        world.push(Poly::rect(-4.0, -4.0, 4.0, 4.0, water));
+        // Landmasses.
+        for _ in 0..6 {
+            let cx = rng.gen_range(-2.2..2.2);
+            let cy = rng.gen_range(-2.2..2.2);
+            let rx = rng.gen_range(0.5..1.3);
+            let ry = rng.gen_range(0.4..1.1);
+            world.push(Poly::ellipse(cx, cy, rx, ry, 14, land));
+        }
+        // Lakes punched into land (drawn over it).
+        for _ in 0..4 {
+            let cx = rng.gen_range(-1.8..1.8);
+            let cy = rng.gen_range(-1.8..1.8);
+            world.push(Poly::ellipse(
+                cx,
+                cy,
+                rng.gen_range(0.1..0.3),
+                rng.gen_range(0.1..0.25),
+                10,
+                water,
+            ));
+        }
+        // Road polyline segments.
+        let mut p = (rng.gen_range(-2.0..-1.0f32), rng.gen_range(-2.0..0.0f32));
+        for _ in 0..14 {
+            let q = (
+                (p.0 + rng.gen_range(0.2..0.7)).min(2.5),
+                (p.1 + rng.gen_range(-0.4..0.6)).clamp(-2.5, 2.5),
+            );
+            world.push(Poly::stroke(p, q, 0.025, road));
+            p = q;
+        }
+        // City blocks / labels.
+        for _ in 0..18 {
+            let x = rng.gen_range(-2.0..2.0);
+            let y = rng.gen_range(-2.0..2.0);
+            let w = rng.gen_range(0.05..0.14);
+            let h = rng.gen_range(0.04..0.1);
+            world.push(Poly::rect(x, y, x + w, y + h, block));
+        }
+        MapPanZoom { world }
+    }
+
+    /// Camera `(center_x, center_y, scale)` at frame `i`: gestures cycle
+    /// hold → pan-right → hold → zoom-in → hold → pan-up → hold → zoom-out.
+    fn camera(i: usize) -> (f32, f32, f32) {
+        let seg = HOLD + MOVE;
+        let cycle = 4 * seg;
+        let lap = (i / cycle) as f32;
+        let w = i % cycle;
+        // Progress within each gesture (0 while holding).
+        let prog = |k: usize| -> f32 {
+            let local = w as isize - (k * seg + HOLD) as isize;
+            if w / seg > k {
+                1.0
+            } else if local >= 0 {
+                (local + 1) as f32 / MOVE as f32
+            } else {
+                0.0
+            }
+        };
+        let pan_x = 0.6 * (lap + prog(0));
+        let zoom_in = prog(1);
+        let pan_y = 0.45 * (lap + prog(2));
+        let zoom_out = prog(3);
+        let scale = 1.0 + 0.8 * (zoom_in - zoom_out);
+        (pan_x, pan_y, scale)
+    }
+}
+
+impl Scene for MapPanZoom {
+    fn frame(&mut self, index: usize) -> FrameDesc {
+        let (cx, cy, scale) = Self::camera(index);
+        let polys: Vec<Poly> = self
+            .world
+            .iter()
+            .map(|p| Poly {
+                pts: p
+                    .pts
+                    .iter()
+                    .map(|&(x, y)| ((x - cx) * scale, (y - cy) * scale))
+                    .collect(),
+                color: p.color,
+            })
+            .collect();
+        render(&polys, TilerConfig::default(), Color::new(40, 52, 64, 255))
+    }
+
+    fn name(&self) -> &str {
+        "vmap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::testutil::equal_tiles_pct;
+
+    #[test]
+    fn hold_frames_identical_gesture_frames_differ() {
+        let mut s = MapPanZoom::new();
+        assert_eq!(s.frame(1), s.frame(2), "hold phase");
+        assert_ne!(s.frame(HOLD), s.frame(HOLD + 1), "pan phase");
+    }
+
+    #[test]
+    fn camera_returns_to_hold_after_each_gesture() {
+        let (x0, y0, s0) = MapPanZoom::camera(HOLD + MOVE);
+        let (x1, y1, s1) = MapPanZoom::camera(HOLD + MOVE + 1);
+        assert_eq!((x0, y0, s0), (x1, y1, s1), "pose frozen after gesture");
+    }
+
+    #[test]
+    fn coherence_reflects_hold_share() {
+        let mut s = MapPanZoom::new();
+        let pct = equal_tiles_pct(&mut s, 2 * (HOLD + MOVE));
+        // Holds dominate the timeline but gestures zero out coherence.
+        assert!(pct > 25.0 && pct < 95.0, "burst profile, got {pct:.1}");
+    }
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let mut a = MapPanZoom::new();
+        let mut b = MapPanZoom::new();
+        for i in [0usize, HOLD + 5, 77] {
+            assert_eq!(a.frame(i), b.frame(i), "frame {i}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! The `vector` workload family: 2D vector/UI scenes rendered through a
+//! software path tiler ([`tiler`]) instead of raw sprite quads.
+//!
+//! The paper's ten synthetic games are all full-scene generators with
+//! broadly similar redundancy shapes. Real mobile screens spend most of
+//! their time in vector-drawn UI — large solid regions, sparse animated
+//! edges — which is a very different profile for Rendering Elimination.
+//! Three scenes cover the spectrum:
+//!
+//! | alias  | scene                      | redundancy profile                     |
+//! |--------|----------------------------|----------------------------------------|
+//! | `vui`  | static UI, animated cursor | near-total; change confined to 1 tile  |
+//! | `vdoc` | scrolling document         | bimodal: header/footer static, body    |
+//! |        |                            | fully changing during scroll bursts    |
+//! | `vmap` | vector map pan/zoom        | alternating holds (total) and camera   |
+//! |        |                            | moves (near-zero)                      |
+//!
+//! These aliases are *not* part of [`crate::ALIASES`] / `scenes=all` — the
+//! default sweep grid stays the paper's ten games so existing artifacts
+//! and fingerprints remain byte-identical. They are addressed explicitly
+//! via the scene-source registry ([`crate::source`]).
+
+pub mod doc;
+pub mod map;
+pub mod tiler;
+pub mod ui;
+
+pub use doc::DocScroll;
+pub use map::MapPanZoom;
+pub use ui::UiCursor;

@@ -1,0 +1,450 @@
+//! A software path tiler in the pathfinder mold: the display list is a
+//! z-ordered stack of convex filled polygons; the screen is cut into a
+//! fixed grid of tiles, and each tile is classified as **empty**, **solid**
+//! (one opaque polygon covers it entirely — everything underneath is
+//! occlusion-culled) or **mask** (partial coverage; the contributing
+//! polygon fragments are clipped to the tile).
+//!
+//! The point of routing 2D scenes through a tiler instead of emitting raw
+//! quads is the *redundancy profile* it produces: large static regions
+//! collapse into solid spans whose geometry is bit-identical from frame to
+//! frame, while animation only perturbs the mask tiles along moving edges —
+//! the 2D/UI workload shape the paper's synthetic 3D suite lacks.
+//!
+//! The tiler grid is internal to the scene (scenes never see the
+//! simulator's `GpuConfig`); the simulator's own tile size axis cuts the
+//! screen independently. Redundancy still localizes correctly because
+//! unchanged tiler output regions produce unchanged screen-tile signatures.
+
+use re_gpu::api::FrameDesc;
+use re_math::{Color, Mat4, Vec4};
+
+use crate::helpers::FlatBatch;
+
+/// One filled convex polygon of the display list. Vertices are in NDC
+/// (`[-1, 1]²`), counter-clockwise. List order is paint order
+/// (later = on top).
+#[derive(Debug, Clone)]
+pub struct Poly {
+    /// Convex CCW outline in NDC.
+    pub pts: Vec<(f32, f32)>,
+    /// Fill color; the polygon is treated as opaque when `color.w >= 1`.
+    pub color: Vec4,
+}
+
+impl Poly {
+    /// An axis-aligned rectangle.
+    pub fn rect(x0: f32, y0: f32, x1: f32, y1: f32, color: Vec4) -> Self {
+        Poly {
+            pts: vec![(x0, y0), (x1, y0), (x1, y1), (x0, y1)],
+            color,
+        }
+    }
+
+    /// A convex `n`-gon approximating an ellipse centred at `(cx, cy)`.
+    pub fn ellipse(cx: f32, cy: f32, rx: f32, ry: f32, n: usize, color: Vec4) -> Self {
+        let n = n.max(3);
+        let pts = (0..n)
+            .map(|i| {
+                let a = i as f32 / n as f32 * std::f32::consts::TAU;
+                (cx + rx * a.cos(), cy + ry * a.sin())
+            })
+            .collect();
+        Poly { pts, color }
+    }
+
+    /// A thin quad from `(ax, ay)` to `(bx, by)` with half-width `hw`
+    /// (roads, strokes).
+    pub fn stroke(a: (f32, f32), b: (f32, f32), hw: f32, color: Vec4) -> Self {
+        let (dx, dy) = (b.0 - a.0, b.1 - a.1);
+        let len = (dx * dx + dy * dy).sqrt().max(1e-6);
+        let (nx, ny) = (-dy / len * hw, dx / len * hw);
+        Poly {
+            pts: vec![
+                (a.0 - nx, a.1 - ny),
+                (b.0 - nx, b.1 - ny),
+                (b.0 + nx, b.1 + ny),
+                (a.0 + nx, a.1 + ny),
+            ],
+            color,
+        }
+    }
+
+    fn opaque(&self) -> bool {
+        self.color.w >= 1.0
+    }
+
+    fn bbox(&self) -> (f32, f32, f32, f32) {
+        let mut b = (f32::MAX, f32::MAX, f32::MIN, f32::MIN);
+        for &(x, y) in &self.pts {
+            b.0 = b.0.min(x);
+            b.1 = b.1.min(y);
+            b.2 = b.2.max(x);
+            b.3 = b.3.max(y);
+        }
+        b
+    }
+}
+
+/// Tiler grid resolution (tiles across / down the NDC square).
+#[derive(Debug, Clone, Copy)]
+pub struct TilerConfig {
+    /// Tile columns across `x ∈ [-1, 1]`.
+    pub cols: u32,
+    /// Tile rows across `y ∈ [-1, 1]`.
+    pub rows: u32,
+}
+
+impl Default for TilerConfig {
+    fn default() -> Self {
+        TilerConfig { cols: 24, rows: 16 }
+    }
+}
+
+/// Classification of one tile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TileClass {
+    /// No polygon touches the tile; the clear color shows through.
+    Empty,
+    /// One opaque polygon fully covers the tile (index into the display
+    /// list). Everything underneath was occlusion-culled.
+    Solid(usize),
+    /// Partial coverage: contributing polygon indices, bottom-to-top.
+    Mask(Vec<usize>),
+}
+
+/// The classified tile grid plus culling statistics.
+#[derive(Debug)]
+pub struct Tiling {
+    /// Grid shape used.
+    pub cfg: TilerConfig,
+    /// Row-major tile classes (`rows × cols`).
+    pub tiles: Vec<TileClass>,
+    /// Polygon-tile pairs skipped because an opaque cover occluded them.
+    pub culled: usize,
+}
+
+/// How a polygon relates to a tile rectangle.
+#[derive(PartialEq)]
+enum Relation {
+    Disjoint,
+    Cover,
+    Overlap,
+}
+
+/// Signed area test: `true` when `p` is inside (or on the edge of) the
+/// convex CCW polygon.
+fn point_in_convex(pts: &[(f32, f32)], p: (f32, f32)) -> bool {
+    let n = pts.len();
+    for i in 0..n {
+        let a = pts[i];
+        let b = pts[(i + 1) % n];
+        let cross = (b.0 - a.0) * (p.1 - a.1) - (b.1 - a.1) * (p.0 - a.0);
+        if cross < -1e-7 {
+            return false;
+        }
+    }
+    true
+}
+
+fn relation(poly: &Poly, rect: (f32, f32, f32, f32)) -> Relation {
+    let (bx0, by0, bx1, by1) = poly.bbox();
+    if bx1 <= rect.0 || bx0 >= rect.2 || by1 <= rect.1 || by0 >= rect.3 {
+        return Relation::Disjoint;
+    }
+    let corners = [
+        (rect.0, rect.1),
+        (rect.2, rect.1),
+        (rect.2, rect.3),
+        (rect.0, rect.3),
+    ];
+    if corners.iter().all(|&c| point_in_convex(&poly.pts, c)) {
+        Relation::Cover
+    } else {
+        // Conservative: the bboxes intersect but the polygon may still miss
+        // the tile. Clipping at emission time resolves it exactly; a false
+        // Overlap only costs an empty clip, never a wrong pixel.
+        Relation::Overlap
+    }
+}
+
+/// Clips a convex polygon to an axis-aligned rectangle
+/// (Sutherland–Hodgman). Returns the clipped outline; empty when the
+/// polygon misses the rectangle.
+pub fn clip_to_rect(pts: &[(f32, f32)], rect: (f32, f32, f32, f32)) -> Vec<(f32, f32)> {
+    // inside(p) per edge and the parametric intersection with that edge.
+    type Edge = (
+        fn((f32, f32), f32) -> bool,
+        fn((f32, f32), (f32, f32), f32) -> (f32, f32),
+    );
+    let lerp_x = |a: (f32, f32), b: (f32, f32), x: f32| -> (f32, f32) {
+        let t = (x - a.0) / (b.0 - a.0);
+        (x, a.1 + t * (b.1 - a.1))
+    };
+    let lerp_y = |a: (f32, f32), b: (f32, f32), y: f32| -> (f32, f32) {
+        let t = (y - a.1) / (b.1 - a.1);
+        (a.0 + t * (b.0 - a.0), y)
+    };
+    let edges: [(Edge, f32); 4] = [
+        ((|p, v| p.0 >= v, lerp_x), rect.0),
+        ((|p, v| p.0 <= v, lerp_x), rect.2),
+        ((|p, v| p.1 >= v, lerp_y), rect.1),
+        ((|p, v| p.1 <= v, lerp_y), rect.3),
+    ];
+    let mut out: Vec<(f32, f32)> = pts.to_vec();
+    for ((inside, isect), v) in edges {
+        if out.is_empty() {
+            break;
+        }
+        let input = std::mem::take(&mut out);
+        for i in 0..input.len() {
+            let a = input[i];
+            let b = input[(i + 1) % input.len()];
+            let (ain, bin) = (inside(a, v), inside(b, v));
+            if ain {
+                out.push(a);
+            }
+            if ain != bin {
+                out.push(isect(a, b, v));
+            }
+        }
+    }
+    out
+}
+
+/// Classifies every tile of the grid against the display list.
+pub fn tile(polys: &[Poly], cfg: TilerConfig) -> Tiling {
+    let (cols, rows) = (cfg.cols.max(1) as usize, cfg.rows.max(1) as usize);
+    let tw = 2.0 / cols as f32;
+    let th = 2.0 / rows as f32;
+    let mut tiles = Vec::with_capacity(cols * rows);
+    let mut culled = 0usize;
+    for row in 0..rows {
+        for col in 0..cols {
+            let rect = (
+                -1.0 + col as f32 * tw,
+                -1.0 + row as f32 * th,
+                -1.0 + (col + 1) as f32 * tw,
+                -1.0 + (row + 1) as f32 * th,
+            );
+            // Walk top-down; an opaque cover terminates the walk and
+            // occlusion-culls everything below it.
+            let mut contributing: Vec<usize> = Vec::new();
+            let mut capped_by_cover = false;
+            for (idx, poly) in polys.iter().enumerate().rev() {
+                match relation(poly, rect) {
+                    Relation::Disjoint => {}
+                    Relation::Cover if poly.opaque() => {
+                        contributing.push(idx);
+                        capped_by_cover = true;
+                        // Everything below is invisible in this tile.
+                        culled += polys[..idx]
+                            .iter()
+                            .filter(|p| relation(p, rect) != Relation::Disjoint)
+                            .count();
+                        break;
+                    }
+                    _ => contributing.push(idx),
+                }
+            }
+            let class = if contributing.is_empty() {
+                TileClass::Empty
+            } else if capped_by_cover && contributing.len() == 1 {
+                TileClass::Solid(contributing[0])
+            } else {
+                contributing.reverse();
+                TileClass::Mask(contributing)
+            };
+            tiles.push(class);
+        }
+    }
+    Tiling {
+        cfg: TilerConfig {
+            cols: cols as u32,
+            rows: rows as u32,
+        },
+        tiles,
+        culled,
+    }
+}
+
+/// Emits the classified grid as a [`FrameDesc`]: solid tiles merge into
+/// horizontal same-color spans (one quad each), mask tiles emit their
+/// contributing fragments clipped to the tile. Two flat drawcalls at most:
+/// solids first, masks on top-in-paint-order second.
+pub fn emit(polys: &[Poly], tiling: &Tiling, clear: Color) -> FrameDesc {
+    let (cols, rows) = (tiling.cfg.cols as usize, tiling.cfg.rows as usize);
+    let tw = 2.0 / cols as f32;
+    let th = 2.0 / rows as f32;
+    let mut solids = FlatBatch::new();
+    let mut masks = FlatBatch::new();
+    for row in 0..rows {
+        let y0 = -1.0 + row as f32 * th;
+        let y1 = y0 + th;
+        let mut col = 0usize;
+        while col < cols {
+            match &tiling.tiles[row * cols + col] {
+                TileClass::Empty => col += 1,
+                TileClass::Solid(idx) => {
+                    // Extend the span while the solid color repeats.
+                    let color = polys[*idx].color;
+                    let start = col;
+                    while col < cols {
+                        match &tiling.tiles[row * cols + col] {
+                            TileClass::Solid(j) if polys[*j].color == color => col += 1,
+                            _ => break,
+                        }
+                    }
+                    let x0 = -1.0 + start as f32 * tw;
+                    let x1 = -1.0 + col as f32 * tw;
+                    solids.quad((x0, y0, x1, y1), color, 0.0);
+                }
+                TileClass::Mask(list) => {
+                    let x0 = -1.0 + col as f32 * tw;
+                    let rect = (x0, y0, x0 + tw, y1);
+                    for &idx in list {
+                        let clipped = clip_to_rect(&polys[idx].pts, rect);
+                        for k in 1..clipped.len().saturating_sub(1) {
+                            masks.tri(
+                                clipped[0],
+                                clipped[k],
+                                clipped[k + 1],
+                                polys[idx].color,
+                                0.0,
+                            );
+                        }
+                    }
+                    col += 1;
+                }
+            }
+        }
+    }
+    let mut frame = FrameDesc::new();
+    frame.clear_color = clear;
+    if !solids.is_empty() {
+        frame.drawcalls.push(solids.into_drawcall(Mat4::IDENTITY));
+    }
+    if !masks.is_empty() {
+        frame.drawcalls.push(masks.into_drawcall(Mat4::IDENTITY));
+    }
+    frame
+}
+
+/// Convenience: tile then emit.
+pub fn render(polys: &[Poly], cfg: TilerConfig, clear: Color) -> FrameDesc {
+    emit(polys, &tile(polys, cfg), clear)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn white() -> Vec4 {
+        Vec4::splat(1.0)
+    }
+
+    #[test]
+    fn full_screen_rect_is_all_solid() {
+        let polys = [Poly::rect(-1.0, -1.0, 1.0, 1.0, white())];
+        let t = tile(&polys, TilerConfig::default());
+        assert!(t.tiles.iter().all(|c| matches!(c, TileClass::Solid(0))));
+        assert_eq!(t.culled, 0);
+    }
+
+    #[test]
+    fn empty_display_list_is_all_empty() {
+        let t = tile(&[], TilerConfig::default());
+        assert!(t.tiles.iter().all(|c| *c == TileClass::Empty));
+    }
+
+    #[test]
+    fn occluded_poly_is_culled() {
+        // A small rect entirely under an opaque full-screen cover.
+        let polys = [
+            Poly::rect(-0.2, -0.2, 0.2, 0.2, white()),
+            Poly::rect(-1.0, -1.0, 1.0, 1.0, Vec4::new(0.5, 0.5, 0.5, 1.0)),
+        ];
+        let t = tile(&polys, TilerConfig::default());
+        assert!(t.tiles.iter().all(|c| matches!(c, TileClass::Solid(1))));
+        assert!(t.culled > 0, "hidden rect must be occlusion-culled");
+    }
+
+    #[test]
+    fn partial_coverage_is_mask() {
+        // A rect covering roughly one quadrant: its edge tiles are masks,
+        // its interior tiles are solid.
+        let polys = [Poly::rect(-0.5, -0.5, 0.5, 0.5, white())];
+        let t = tile(&polys, TilerConfig { cols: 8, rows: 8 });
+        let solids = t
+            .tiles
+            .iter()
+            .filter(|c| matches!(c, TileClass::Solid(_)))
+            .count();
+        let masks = t
+            .tiles
+            .iter()
+            .filter(|c| matches!(c, TileClass::Mask(_)))
+            .count();
+        let empties = t.tiles.iter().filter(|c| **c == TileClass::Empty).count();
+        assert!(
+            solids > 0 && empties > 0,
+            "{solids} solid / {empties} empty"
+        );
+        // Tile edges at ±0.5 align with the 8×8 grid, so coverage is exact
+        // per tile and no masks appear; a 10×10 grid misaligns and must
+        // produce masks.
+        assert_eq!(masks, 0);
+        let t2 = tile(&polys, TilerConfig { cols: 10, rows: 10 });
+        assert!(t2.tiles.iter().any(|c| matches!(c, TileClass::Mask(_))));
+    }
+
+    #[test]
+    fn translucent_cover_does_not_occlude() {
+        let polys = [
+            Poly::rect(-1.0, -1.0, 1.0, 1.0, white()),
+            Poly::rect(-1.0, -1.0, 1.0, 1.0, Vec4::new(0.0, 0.0, 0.0, 0.5)),
+        ];
+        let t = tile(&polys, TilerConfig::default());
+        assert!(t.tiles.iter().all(|c| matches!(c, TileClass::Mask(_))));
+        assert_eq!(t.culled, 0);
+    }
+
+    #[test]
+    fn clip_keeps_interior_and_cuts_exterior() {
+        let sq = [(-2.0, -2.0), (2.0, -2.0), (2.0, 2.0), (-2.0, 2.0)];
+        let c = clip_to_rect(&sq, (-1.0, -1.0, 1.0, 1.0));
+        assert_eq!(c.len(), 4);
+        for (x, y) in c {
+            assert!((-1.0..=1.0).contains(&x) && (-1.0..=1.0).contains(&y));
+        }
+        let miss = clip_to_rect(&sq, (3.0, 3.0, 4.0, 4.0));
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn emit_merges_solid_spans() {
+        // One full-screen opaque rect over a 4×4 grid → 4 row spans, one
+        // quad (6 verts) each, in a single drawcall.
+        let polys = [Poly::rect(-1.0, -1.0, 1.0, 1.0, white())];
+        let cfg = TilerConfig { cols: 4, rows: 4 };
+        let frame = emit(&polys, &tile(&polys, cfg), Color::BLACK);
+        assert_eq!(frame.drawcalls.len(), 1);
+        assert_eq!(frame.drawcalls[0].vertices.len(), 4 * 6);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let polys = [
+            Poly::ellipse(0.1, -0.2, 0.6, 0.4, 12, Vec4::new(0.2, 0.6, 0.3, 1.0)),
+            Poly::stroke(
+                (-0.8, -0.8),
+                (0.7, 0.5),
+                0.03,
+                Vec4::new(0.9, 0.9, 0.2, 1.0),
+            ),
+        ];
+        let a = render(&polys, TilerConfig::default(), Color::BLACK);
+        let b = render(&polys, TilerConfig::default(), Color::BLACK);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,148 @@
+//! `vui` — a static editor-style UI with an animated text cursor: toolbar,
+//! sidebar, text panel full of line rects, and a caret that blinks and
+//! advances. Almost every frame pair is identical; when the caret does
+//! change, the change is confined to one tile neighbourhood — the extreme
+//! high-redundancy end of the vector family.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use re_core::Scene;
+use re_gpu::api::FrameDesc;
+use re_math::{Color, Vec4};
+
+use super::tiler::{render, Poly, TilerConfig};
+
+/// Frames between caret blink toggles.
+pub const BLINK: usize = 9;
+/// Frames between caret column advances.
+pub const TYPE_EVERY: usize = 14;
+
+/// The static-UI scene.
+#[derive(Debug)]
+pub struct UiCursor {
+    chrome: Vec<Poly>,
+    /// Caret slot positions (x, y0, y1) across the text lines.
+    slots: Vec<(f32, f32, f32)>,
+}
+
+impl Default for UiCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UiCursor {
+    /// Builds the (deterministic) static layout.
+    pub fn new() -> Self {
+        let mut rng = SmallRng::seed_from_u64(0xB1E55);
+        let mut chrome = Vec::new();
+        let ink = Vec4::new(0.16, 0.17, 0.21, 1.0);
+        let panel = Vec4::new(0.93, 0.93, 0.90, 1.0);
+        let accent = Vec4::new(0.35, 0.55, 0.85, 1.0);
+
+        // Window background, toolbar, sidebar, content panel.
+        chrome.push(Poly::rect(-1.0, -1.0, 1.0, 1.0, ink));
+        chrome.push(Poly::rect(
+            -1.0,
+            0.82,
+            1.0,
+            1.0,
+            Vec4::new(0.25, 0.26, 0.31, 1.0),
+        ));
+        chrome.push(Poly::rect(
+            -1.0,
+            -1.0,
+            -0.58,
+            0.82,
+            Vec4::new(0.21, 0.22, 0.27, 1.0),
+        ));
+        chrome.push(Poly::rect(-0.54, -0.92, 0.96, 0.78, panel));
+
+        // Toolbar buttons.
+        for i in 0..6 {
+            let x = -0.92 + i as f32 * 0.18;
+            chrome.push(Poly::rect(x, 0.86, x + 0.12, 0.96, accent));
+        }
+        // Sidebar entries.
+        for i in 0..9 {
+            let y = 0.66 - i as f32 * 0.17;
+            let w: f32 = rng.gen_range(0.18..0.34);
+            chrome.push(Poly::rect(-0.94, y, -0.94 + w, y + 0.07, panel));
+        }
+
+        // Text lines in the content panel; remember caret slots along each
+        // line so the caret lands between "words".
+        let mut slots = Vec::new();
+        for line in 0..12 {
+            let y1 = 0.66 - line as f32 * 0.125;
+            let y0 = y1 - 0.055;
+            let mut x = -0.48;
+            let end: f32 = rng.gen_range(0.35..0.88);
+            while x < end {
+                let w: f32 = rng.gen_range(0.05..0.16);
+                chrome.push(Poly::rect(x, y0, (x + w).min(end), y1, ink));
+                x += w + 0.025;
+                slots.push((x.min(end + 0.02), y0, y1));
+            }
+        }
+        UiCursor { chrome, slots }
+    }
+}
+
+impl Scene for UiCursor {
+    fn frame(&mut self, index: usize) -> FrameDesc {
+        let mut polys = self.chrome.clone();
+        // The caret advances one slot every TYPE_EVERY frames and blinks
+        // every BLINK frames; when hidden the frame equals the pure chrome.
+        let visible = (index / BLINK).is_multiple_of(2);
+        if visible && !self.slots.is_empty() {
+            let (x, y0, y1) = self.slots[(index / TYPE_EVERY) % self.slots.len()];
+            polys.push(Poly::rect(
+                x,
+                y0,
+                x + 0.012,
+                y1,
+                Vec4::new(0.9, 0.3, 0.2, 1.0),
+            ));
+        }
+        render(&polys, TilerConfig::default(), Color::new(20, 20, 26, 255))
+    }
+
+    fn name(&self) -> &str {
+        "vui"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::testutil::equal_tiles_pct;
+
+    #[test]
+    fn frames_identical_within_a_blink_interval() {
+        let mut s = UiCursor::new();
+        assert_eq!(s.frame(0), s.frame(1), "caret steady between events");
+        assert_ne!(s.frame(0), s.frame(BLINK), "blink toggles the caret");
+    }
+
+    #[test]
+    fn caret_change_is_localized() {
+        // Between a caret-hidden and a caret-shown frame only the caret's
+        // tile region differs, so equal-tiles stays extremely high.
+        let mut s = UiCursor::new();
+        let pct = equal_tiles_pct(&mut s, 2 * BLINK);
+        assert!(
+            pct > 90.0,
+            "static UI must be near-fully redundant, got {pct:.1}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let mut a = UiCursor::new();
+        let mut b = UiCursor::new();
+        for i in [0usize, 7, 40] {
+            assert_eq!(a.frame(i), b.frame(i), "frame {i}");
+        }
+    }
+}

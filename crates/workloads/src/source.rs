@@ -1,0 +1,256 @@
+//! The scene-source registry: one alias space covering every way a sweep
+//! cell can obtain its command stream.
+//!
+//! Three kinds of source share the space, in a fixed index order the sweep
+//! axis registry relies on:
+//!
+//! 1. **Suite scenes** (`ccs`..`tib`) — indices `0..10`, identical to
+//!    [`crate::ALIASES`]. Only these are in `scenes=all`, so existing grid
+//!    fingerprints and artifacts stay byte-identical.
+//! 2. **Vector scenes** (`vui`, `vdoc`, `vmap`) — indices `10..13`, the
+//!    [`crate::scenes::vector`] family. First-class axis values, named
+//!    explicitly.
+//! 3. **Imported traces** (`trace:<alias>`) — indices `13..`, registered at
+//!    runtime by `sweep import` / import-dir scans. Registration is
+//!    process-global and append-only: aliases are interned (leaked) so the
+//!    rest of the pipeline can keep its `&'static str` scene names, and an
+//!    alias can only be re-registered with identical content.
+
+use std::path::{Path, PathBuf};
+use std::sync::{OnceLock, RwLock};
+
+use re_core::Scene;
+
+/// Aliases of the vector family, in registry order.
+pub const VECTOR_ALIASES: [&str; 3] = ["vui", "vdoc", "vmap"];
+
+/// Prefix marking an imported-trace alias in the scene axis.
+pub const TRACE_PREFIX: &str = "trace:";
+
+struct ImportedTrace {
+    /// Full alias including [`TRACE_PREFIX`], interned for `'static`.
+    alias: &'static str,
+    /// Canonical on-disk `.retrace` location.
+    path: PathBuf,
+    /// Content fingerprint of the canonical bytes (collision detection).
+    fingerprint: u64,
+}
+
+fn registry() -> &'static RwLock<Vec<ImportedTrace>> {
+    static REG: OnceLock<RwLock<Vec<ImportedTrace>>> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Number of statically known aliases (suite + vector).
+pub fn builtin_count() -> usize {
+    crate::ALIASES.len() + VECTOR_ALIASES.len()
+}
+
+/// Total number of registered aliases (builtins + imported traces).
+pub fn count() -> usize {
+    builtin_count()
+        + registry()
+            .read()
+            .expect("scene-source registry poisoned")
+            .len()
+}
+
+/// The alias at a registry index, if in range.
+pub fn alias_at(index: usize) -> Option<&'static str> {
+    let ns = crate::ALIASES.len();
+    if index < ns {
+        return Some(crate::ALIASES[index]);
+    }
+    if index < ns + VECTOR_ALIASES.len() {
+        return Some(VECTOR_ALIASES[index - ns]);
+    }
+    registry()
+        .read()
+        .expect("scene-source registry poisoned")
+        .get(index - builtin_count())
+        .map(|t| t.alias)
+}
+
+/// The registry index of an alias (full form — imported traces include the
+/// `trace:` prefix).
+pub fn index_of(alias: &str) -> Option<usize> {
+    if let Some(i) = crate::ALIASES.iter().position(|a| *a == alias) {
+        return Some(i);
+    }
+    if let Some(i) = VECTOR_ALIASES.iter().position(|a| *a == alias) {
+        return Some(crate::ALIASES.len() + i);
+    }
+    registry()
+        .read()
+        .expect("scene-source registry poisoned")
+        .iter()
+        .position(|t| t.alias == alias)
+        .map(|i| builtin_count() + i)
+}
+
+/// Validates a short (prefix-less) import alias: lowercase alphanumeric
+/// with `-`/`_`, at most 32 chars, not starting with a separator, and not
+/// shadowing a builtin alias.
+pub fn validate_trace_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 32 {
+        return Err(format!("import alias `{name}` must be 1..=32 characters"));
+    }
+    let mut chars = name.chars();
+    let first = chars.next().unwrap();
+    if !first.is_ascii_lowercase() && !first.is_ascii_digit() {
+        return Err(format!("import alias `{name}` must start with [a-z0-9]"));
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+    {
+        return Err(format!("import alias `{name}` may only use [a-z0-9_-]"));
+    }
+    if crate::ALIASES.contains(&name) || VECTOR_ALIASES.contains(&name) {
+        return Err(format!("import alias `{name}` shadows a builtin scene"));
+    }
+    Ok(())
+}
+
+/// Registers an imported trace under `trace:<name>` and returns its
+/// registry index.
+///
+/// Re-registering the same name with the same content fingerprint is
+/// idempotent (the existing entry wins, whatever its path); the same name
+/// with different content is an error — imported aliases are part of grid
+/// specs and result keys, so their meaning must never silently change
+/// within a process.
+pub fn register_trace(name: &str, path: &Path, fingerprint: u64) -> Result<usize, String> {
+    validate_trace_name(name)?;
+    let full = format!("{TRACE_PREFIX}{name}");
+    let mut reg = registry().write().expect("scene-source registry poisoned");
+    if let Some(i) = reg.iter().position(|t| t.alias == full) {
+        if reg[i].fingerprint == fingerprint {
+            return Ok(builtin_count() + i);
+        }
+        return Err(format!(
+            "import alias `{full}` is already registered from {} with different content",
+            reg[i].path.display()
+        ));
+    }
+    reg.push(ImportedTrace {
+        alias: Box::leak(full.into_boxed_str()),
+        path: path.to_path_buf(),
+        fingerprint,
+    });
+    Ok(builtin_count() + reg.len() - 1)
+}
+
+/// The on-disk path behind an imported-trace alias (full `trace:` form).
+pub fn trace_path(alias: &str) -> Option<PathBuf> {
+    registry()
+        .read()
+        .expect("scene-source registry poisoned")
+        .iter()
+        .find(|t| t.alias == alias)
+        .map(|t| t.path.clone())
+}
+
+/// All imported traces as `(alias, path)` pairs, in registration order.
+pub fn imported() -> Vec<(&'static str, PathBuf)> {
+    registry()
+        .read()
+        .expect("scene-source registry poisoned")
+        .iter()
+        .map(|t| (t.alias, t.path.clone()))
+        .collect()
+}
+
+/// Constructs the scene generator behind a *builtin* alias (suite or
+/// vector family). Imported traces return `None` — loading those needs the
+/// import validation layer, which lives above this crate.
+pub fn builtin_scene(alias: &str) -> Option<Box<dyn Scene>> {
+    match alias {
+        "vui" => Some(Box::new(crate::scenes::vector::UiCursor::new())),
+        "vdoc" => Some(Box::new(crate::scenes::vector::DocScroll::new())),
+        "vmap" => Some(Box::new(crate::scenes::vector::MapPanZoom::new())),
+        _ => crate::by_alias(alias).map(|b| b.scene),
+    }
+}
+
+/// Levenshtein distance (for near-miss suggestions).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The nearest known alias to `name` (distance ≤ 3), for "did you mean"
+/// suggestions on unknown scene values.
+pub fn suggest(name: &str) -> Option<&'static str> {
+    let mut best: Option<(usize, &'static str)> = None;
+    for i in 0..count() {
+        let alias = alias_at(i)?;
+        let d = edit_distance(name, alias);
+        if d <= 3 && best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, alias));
+        }
+    }
+    best.map(|(_, a)| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_indices_extend_the_suite() {
+        assert_eq!(alias_at(0), Some("ccs"));
+        assert_eq!(alias_at(9), Some("tib"));
+        assert_eq!(alias_at(10), Some("vui"));
+        assert_eq!(alias_at(12), Some("vmap"));
+        assert_eq!(index_of("vdoc"), Some(11));
+        assert_eq!(builtin_count(), 13);
+    }
+
+    #[test]
+    fn register_roundtrip_and_collision() {
+        let p = Path::new("/tmp/reg-test-a.retrace");
+        let i = register_trace("reg-test-a", p, 42).unwrap();
+        assert_eq!(alias_at(i), Some("trace:reg-test-a"));
+        assert_eq!(index_of("trace:reg-test-a"), Some(i));
+        assert_eq!(trace_path("trace:reg-test-a"), Some(p.to_path_buf()));
+        // Same content: idempotent. Different content: rejected.
+        assert_eq!(register_trace("reg-test-a", p, 42).unwrap(), i);
+        assert!(register_trace("reg-test-a", p, 43).is_err());
+    }
+
+    #[test]
+    fn alias_validation_rejects_bad_names() {
+        assert!(validate_trace_name("ok-name_2").is_ok());
+        assert!(validate_trace_name("").is_err());
+        assert!(validate_trace_name("Caps").is_err());
+        assert!(validate_trace_name("-lead").is_err());
+        assert!(validate_trace_name("has space").is_err());
+        assert!(validate_trace_name("ccs").is_err(), "builtin shadowing");
+        assert!(validate_trace_name("vui").is_err(), "builtin shadowing");
+    }
+
+    #[test]
+    fn builtin_scene_covers_suite_and_vector() {
+        assert_eq!(builtin_scene("tib").unwrap().name(), "tib");
+        assert_eq!(builtin_scene("vui").unwrap().name(), "vui");
+        assert!(builtin_scene("trace:whatever").is_none());
+        assert!(builtin_scene("nope").is_none());
+    }
+
+    #[test]
+    fn suggest_finds_near_misses() {
+        assert_eq!(suggest("vuii"), Some("vui"));
+        assert_eq!(suggest("cs"), Some("ccs"));
+        assert_eq!(suggest("zzzzzzzzzz"), None);
+    }
+}

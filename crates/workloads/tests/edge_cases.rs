@@ -1,0 +1,106 @@
+//! `Scene` trait edge cases across the whole workload registry:
+//! zero-frame runs, 1×1 screens, and tile sizes larger than the screen.
+//!
+//! These configurations never appear in the paper's grids, but the
+//! simulator accepts arbitrary `GpuConfig`s from imported traces and
+//! sweep flags, so every registered scene — the ten suite workloads and
+//! the three vector scenes — must survive them with sane accounting
+//! rather than panics or division artifacts.
+
+use re_core::sim::{SimOptions, Simulator};
+use re_gpu::GpuConfig;
+use re_workloads::source;
+
+/// Every built-in alias: the paper suite plus the vector family.
+fn all_builtin_aliases() -> Vec<&'static str> {
+    re_workloads::ALIASES
+        .iter()
+        .copied()
+        .chain(source::VECTOR_ALIASES.iter().copied())
+        .collect()
+}
+
+fn run(alias: &str, gpu: GpuConfig, frames: usize) -> re_core::sim::RunReport {
+    let mut scene = source::builtin_scene(alias).expect("registered alias");
+    let mut sim = Simulator::new(SimOptions {
+        gpu,
+        ..SimOptions::default()
+    });
+    sim.run(&mut *scene, frames)
+}
+
+#[test]
+fn zero_frame_runs_produce_empty_reports_for_every_scene() {
+    for alias in all_builtin_aliases() {
+        let report = run(alias, GpuConfig::default(), 0);
+        assert_eq!(report.frames, 0, "{alias}");
+        assert_eq!(report.baseline.raster_cycles, 0, "{alias}");
+        assert_eq!(report.re.raster_cycles, 0, "{alias}");
+        assert_eq!(report.classes.total(), 0, "{alias}");
+        assert_eq!(report.false_positives, 0, "{alias}");
+        assert!(report.per_frame.is_empty(), "{alias}");
+        // Ratio helpers must not divide by the zero classification count.
+        assert_eq!(report.equal_tiles_pct_dist1(), 0.0, "{alias}");
+    }
+}
+
+#[test]
+fn one_by_one_screens_simulate_every_scene_as_a_single_tile() {
+    let gpu = GpuConfig {
+        width: 1,
+        height: 1,
+        tile_size: 16,
+        ..GpuConfig::default()
+    };
+    for alias in all_builtin_aliases() {
+        let report = run(alias, gpu, 3);
+        assert_eq!(report.tile_count, 1, "{alias}: one partial tile");
+        assert_eq!(report.frames, 3, "{alias}");
+        assert!(
+            report.baseline.raster_cycles > 0,
+            "{alias}: even a 1x1 screen rasterizes something"
+        );
+    }
+}
+
+#[test]
+fn tiles_larger_than_the_screen_clamp_to_one_tile() {
+    let gpu = GpuConfig {
+        width: 40,
+        height: 24,
+        tile_size: 64,
+        ..GpuConfig::default()
+    };
+    for alias in all_builtin_aliases() {
+        let report = run(alias, gpu, 4);
+        assert_eq!(report.tile_count, 1, "{alias}: tile covers the screen");
+        // With one tile per frame, the skip/render accounting must still
+        // add up exactly across the run.
+        let skipped: u64 = report
+            .per_frame
+            .iter()
+            .map(|f| u64::from(f.tiles_skipped))
+            .sum();
+        assert!(
+            skipped <= report.frames as u64,
+            "{alias}: cannot skip more than one tile per frame"
+        );
+    }
+}
+
+#[test]
+fn vector_scenes_survive_non_multiple_screen_sizes() {
+    // 37×23 with 16px tiles: ragged right and bottom tile edges exercise
+    // the tiler's partial-tile emission under clipping.
+    let gpu = GpuConfig {
+        width: 37,
+        height: 23,
+        tile_size: 16,
+        ..GpuConfig::default()
+    };
+    for alias in source::VECTOR_ALIASES {
+        let report = run(alias, gpu, 5);
+        assert_eq!(report.tile_count, 3 * 2, "{alias}");
+        assert_eq!(report.frames, 5, "{alias}");
+    }
+}
